@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the DSP substrate: the per-window costs of the
+//! extraction pipeline's inner loops.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsp::fft::{fft_real, power_spectrum};
+use dsp::filter::{FftLowPass, FirFilter};
+use dsp::spectrum::dominant_frequency;
+use dsp::zero_crossing::find_zero_crossings;
+
+fn breathing_window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / 16.0;
+            (2.0 * std::f64::consts::PI * 0.2 * t).sin()
+                + 0.3 * (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let signal = breathing_window(n);
+        group.bench_with_input(BenchmarkId::new("fft_real", n), &signal, |b, s| {
+            b.iter(|| fft_real(black_box(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("power_spectrum", n), &signal, |b, s| {
+            b.iter(|| power_spectrum(black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters");
+    let signal = breathing_window(1024);
+    let fft = FftLowPass::breathing_band(16.0).unwrap();
+    group.bench_function("fft_lowpass_1024", |b| {
+        b.iter(|| fft.filter(black_box(&signal)))
+    });
+    let fir = FirFilter::low_pass(0.67, 16.0, 129).unwrap();
+    group.bench_function("fir_129taps_1024", |b| {
+        b.iter(|| fir.filter(black_box(&signal)))
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    let signal = breathing_window(1024);
+    group.bench_function("zero_crossings_1024", |b| {
+        b.iter(|| find_zero_crossings(black_box(&signal), 0.0, 1.0 / 16.0, 0.1))
+    });
+    group.bench_function("dominant_frequency_1024", |b| {
+        b.iter(|| dominant_frequency(black_box(&signal), 16.0, 0.05, 0.67))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_filters, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! repro <id>... [--full] [--series]
+//! repro all [--full]
+//! repro list
+//! ```
+
+use tagbreathe_bench::{run_experiment, TrialSetup, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let series = args.iter().any(|a| a == "--series");
+    let setup = if full {
+        TrialSetup::full()
+    } else {
+        TrialSetup::quick()
+    };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.iter().any(|&id| id == "list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let run_ids: Vec<&str> = if ids.iter().any(|&id| id == "all") {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        ids
+    };
+    if run_ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let mode = if full { "full (100 trials × 120 s)" } else { "quick (10 trials × 60 s)" };
+    eprintln!("# TagBreathe reproduction — {mode}");
+    for id in run_ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, setup, series) {
+            Ok(table) => {
+                println!("{}", table.render());
+                eprintln!("# {id} finished in {:.1} s", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment-id>... [--full] [--series]");
+    eprintln!("       repro all [--full]");
+    eprintln!("       repro list");
+    eprintln!("experiments: {}", EXPERIMENT_IDS.join(" "));
+}

@@ -1,0 +1,268 @@
+//! Section VI evaluation figures: Figures 12–17 and Table I.
+
+use crate::harness::{
+    capture, mean, scenario_accuracies, single_user, TrialSetup, RATE_CYCLE_BPM,
+};
+use crate::table::{fmt, Table};
+use breathing::{Posture, Scenario};
+use epcgen2::report::TagReport;
+
+/// Table I: system parameters and default experiment settings.
+pub fn tab1() -> Table {
+    let mut t = Table::new(
+        "Table I — system parameters and default experiment settings",
+        &["parameter", "range", "default"],
+    );
+    let rows: [[&str; 3]; 9] = [
+        ["Channel", "channel 1 - channel 10", "Hopping"],
+        ["Tx power", "15 - 30 dBm", "30 dBm"],
+        ["Distance", "1m - 6m", "4m"],
+        ["Orientation", "0 (front) - 180 (back)", "front"],
+        ["Number of users", "1 - 4 users", "1 user"],
+        ["Tags per user", "1 - 3 tags", "3 tags"],
+        ["Breathing rate", "5 - 20 bpm", "10 bpm"],
+        ["Posture", "Sitting, Standing, Lying", "Sitting"],
+        ["Propagation path", "with/without LOS path", "with LOS path"],
+    ];
+    for r in rows {
+        t.row(&[r[0].into(), r[1].into(), r[2].into()]);
+    }
+    t
+}
+
+/// Figure 12: breathing-rate accuracy at distances 1–6 m.
+///
+/// Paper: 98.0% at 1 m, decreasing slightly but staying above 90%.
+pub fn fig12(setup: TrialSetup) -> Table {
+    let mut t = Table::new(
+        "Figure 12 — accuracy vs distance (paper: 98% @1m, >90% throughout)",
+        &["distance_m", "mean_accuracy", "trials"],
+    );
+    for (di, distance) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].into_iter().enumerate() {
+        let mut accs = Vec::new();
+        for trial in 0..setup.trials {
+            let rate = RATE_CYCLE_BPM[trial % RATE_CYCLE_BPM.len()];
+            let scenario = single_user(distance, 0.0, 3, Posture::Sitting, rate);
+            let seed = (di * 1000 + trial) as u64;
+            let reports = capture(&scenario, seed, setup.duration_s);
+            accs.extend(scenario_accuracies(&scenario, &reports));
+        }
+        t.row(&[
+            fmt(distance, 0),
+            fmt(mean(&accs), 3),
+            setup.trials.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 13: accuracy with 1–4 users side by side at 4 m.
+///
+/// Paper: around 95% regardless of user count.
+pub fn fig13(setup: TrialSetup) -> Table {
+    let mut t = Table::new(
+        "Figure 13 — accuracy vs number of users (paper: ~95% for 1-4 users)",
+        &["users", "mean_accuracy", "trials"],
+    );
+    for n in 1..=4usize {
+        let mut accs = Vec::new();
+        for trial in 0..setup.trials {
+            let rates: Vec<f64> = (0..n)
+                .map(|u| RATE_CYCLE_BPM[(trial + 2 * u) % RATE_CYCLE_BPM.len()])
+                .collect();
+            let scenario = Scenario::builder()
+                .users_side_by_side(n, 4.0, &rates)
+                .build();
+            let seed = (n * 10_000 + trial) as u64;
+            let reports = capture(&scenario, seed, setup.duration_s);
+            accs.extend(scenario_accuracies(&scenario, &reports));
+        }
+        t.row(&[n.to_string(), fmt(mean(&accs), 3), setup.trials.to_string()]);
+    }
+    t
+}
+
+/// Figure 14: accuracy with 0–30 contending item tags.
+///
+/// Paper: 91% even with 30 contending tags.
+pub fn fig14(setup: TrialSetup) -> Table {
+    let mut t = Table::new(
+        "Figure 14 — accuracy vs contending tags (paper: ≥91% up to 30 tags)",
+        &["contending_tags", "mean_accuracy", "trials"],
+    );
+    for contending in [0usize, 5, 10, 15, 20, 25, 30] {
+        let mut accs = Vec::new();
+        for trial in 0..setup.trials {
+            let rate = RATE_CYCLE_BPM[trial % RATE_CYCLE_BPM.len()];
+            let base = single_user(2.0, 0.0, 3, Posture::Sitting, rate);
+            let scenario = Scenario::builder()
+                .subject(base.subjects()[0].clone())
+                .contending_items(contending)
+                .build();
+            let seed = (contending * 7000 + trial) as u64;
+            let reports = capture(&scenario, seed, setup.duration_s);
+            accs.extend(scenario_accuracies(&scenario, &reports));
+        }
+        t.row(&[
+            contending.to_string(),
+            fmt(mean(&accs), 3),
+            setup.trials.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 15: read rate and RSSI vs orientation (0–180°).
+///
+/// Paper: RSSI roughly flat while LOS exists (≤90°); read rate drops from
+/// ~50 Hz facing to ~10 Hz at 90°; no reads beyond.
+pub fn fig15(setup: TrialSetup) -> Table {
+    let mut t = Table::new(
+        "Figure 15 — read rate and RSSI vs orientation (paper: 50→10 Hz over 0–90°, none >90°)",
+        &["orientation_deg", "read_rate_hz", "mean_rssi_dbm"],
+    );
+    for orientation in [0.0, 30.0, 60.0, 90.0, 120.0, 150.0, 180.0] {
+        let mut rates = Vec::new();
+        let mut rssis = Vec::new();
+        for trial in 0..setup.trials {
+            let scenario = single_user(4.0, orientation, 3, Posture::Sitting, 10.0);
+            let seed = (orientation as usize * 31 + trial) as u64;
+            let reports = capture(&scenario, seed, setup.duration_s);
+            rates.push(reports.len() as f64 / setup.duration_s);
+            if !reports.is_empty() {
+                rssis.push(
+                    reports.iter().map(|r| r.rssi_dbm).sum::<f64>() / reports.len() as f64,
+                );
+            }
+        }
+        t.row(&[
+            fmt(orientation, 0),
+            fmt(mean(&rates), 1),
+            if rssis.is_empty() {
+                "-".into()
+            } else {
+                fmt(mean(&rssis), 1)
+            },
+        ]);
+    }
+    t
+}
+
+/// Figure 16: accuracy vs orientation while LOS exists (0–90°).
+///
+/// Paper: above 90% facing, decreasing to ~85% at 90°.
+pub fn fig16(setup: TrialSetup) -> Table {
+    let mut t = Table::new(
+        "Figure 16 — accuracy vs orientation with LOS (paper: 90% → 85% over 0–90°)",
+        &["orientation_deg", "mean_accuracy", "trials"],
+    );
+    for orientation in [0.0, 30.0, 60.0, 90.0] {
+        let mut accs = Vec::new();
+        for trial in 0..setup.trials {
+            let rate = RATE_CYCLE_BPM[trial % RATE_CYCLE_BPM.len()];
+            let scenario = single_user(4.0, orientation, 3, Posture::Sitting, rate);
+            let seed = (orientation as usize * 97 + trial) as u64;
+            let reports = capture(&scenario, seed, setup.duration_s);
+            accs.extend(scenario_accuracies(&scenario, &reports));
+        }
+        t.row(&[
+            fmt(orientation, 0),
+            fmt(mean(&accs), 3),
+            setup.trials.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 17: accuracy vs posture.
+///
+/// Paper: above 90% across sitting, standing and lying.
+pub fn fig17(setup: TrialSetup) -> Table {
+    let mut t = Table::new(
+        "Figure 17 — accuracy vs posture (paper: >90% for all)",
+        &["posture", "mean_accuracy", "trials"],
+    );
+    for (pi, posture) in [Posture::Sitting, Posture::Standing, Posture::Lying]
+        .into_iter()
+        .enumerate()
+    {
+        let mut accs = Vec::new();
+        for trial in 0..setup.trials {
+            let rate = RATE_CYCLE_BPM[trial % RATE_CYCLE_BPM.len()];
+            let scenario = single_user(3.0, 0.0, 3, posture, rate);
+            let seed = (pi * 500 + trial) as u64;
+            let reports = capture(&scenario, seed, setup.duration_s);
+            accs.extend(scenario_accuracies(&scenario, &reports));
+        }
+        t.row(&[
+            format!("{posture:?}"),
+            fmt(mean(&accs), 3),
+            setup.trials.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Aggregate read rate across a whole capture, Hz.
+pub fn aggregate_rate(reports: &[TagReport], duration_s: f64) -> f64 {
+    reports.len() as f64 / duration_s
+}
+
+/// Helper: the mean accuracy column of a rendered figure table.
+pub fn accuracy_column(t: &Table) -> Vec<f64> {
+    t.rows()
+        .iter()
+        .map(|r| r[1].parse().unwrap_or(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_lists_all_nine_parameters() {
+        let t = tab1();
+        assert_eq!(t.rows().len(), 9);
+        assert!(t.render().contains("30 dBm"));
+    }
+
+    #[test]
+    fn fig12_smoke_close_range_accurate() {
+        let t = fig12(TrialSetup::smoke());
+        let acc = accuracy_column(&t);
+        assert_eq!(acc.len(), 6);
+        assert!(acc[0] > 0.9, "1 m accuracy {}", acc[0]);
+        // Monotone-ish decline: the 6 m point must not beat the 1 m point.
+        assert!(acc[5] <= acc[0] + 0.05);
+    }
+
+    #[test]
+    fn fig13_smoke_multi_user_accurate() {
+        let t = fig13(TrialSetup::smoke());
+        let acc = accuracy_column(&t);
+        assert_eq!(acc.len(), 4);
+        for (i, a) in acc.iter().enumerate() {
+            assert!(*a > 0.8, "{} users: accuracy {a}", i + 1);
+        }
+    }
+
+    #[test]
+    fn fig15_smoke_read_rate_collapses_behind_body() {
+        let t = fig15(TrialSetup::smoke());
+        let rates: Vec<f64> = t.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(rates[0] > 25.0, "facing rate {}", rates[0]);
+        assert!(rates[3] < rates[0] * 0.5, "90° rate {}", rates[3]);
+        assert!(rates[5] < 1.0, "150° rate {}", rates[5]);
+        assert!(rates[6] < 1.0, "180° rate {}", rates[6]);
+    }
+
+    #[test]
+    fn fig17_smoke_all_postures_work() {
+        let t = fig17(TrialSetup::smoke());
+        for row in t.rows() {
+            let acc: f64 = row[1].parse().unwrap();
+            assert!(acc > 0.8, "{}: accuracy {acc}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared experiment infrastructure: trial setup, captures and accuracy
+//! bookkeeping.
+
+use breathing::{accuracy, Posture, Scenario, Subject, TagSite, Waveform};
+use epcgen2::mapping::EmbeddedIdentity;
+use epcgen2::reader::{Reader, ReaderConfig};
+use epcgen2::report::TagReport;
+use epcgen2::world::ScenarioWorld;
+use rfchannel::antenna::Antenna;
+use rfchannel::geometry::Vec3;
+use tagbreathe::{BreathMonitor, PipelineConfig};
+
+/// The breathing rates cycled across trials (paper Table I: 5–20 bpm).
+pub const RATE_CYCLE_BPM: [f64; 7] = [5.0, 8.0, 10.0, 12.0, 15.0, 18.0, 20.0];
+
+/// How many trials to run per sweep point and how long each lasts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialSetup {
+    /// Independent trials per data point.
+    pub trials: usize,
+    /// Capture duration per trial, seconds.
+    pub duration_s: f64,
+}
+
+impl TrialSetup {
+    /// Quick mode: 10 trials × 60 s (minutes of wall time for all
+    /// figures).
+    pub fn quick() -> Self {
+        TrialSetup {
+            trials: 10,
+            duration_s: 60.0,
+        }
+    }
+
+    /// The paper's full protocol: 100 trials × 2 minutes.
+    pub fn full() -> Self {
+        TrialSetup {
+            trials: 100,
+            duration_s: 120.0,
+        }
+    }
+
+    /// Smoke mode for unit tests: 2 trials × 40 s.
+    pub fn smoke() -> Self {
+        TrialSetup {
+            trials: 2,
+            duration_s: 40.0,
+        }
+    }
+}
+
+impl Default for TrialSetup {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// The antenna position used throughout the evaluation (1 m above the
+/// floor, Section VI-B.1).
+pub fn antenna_position() -> Vec3 {
+    Vec3::new(0.0, 0.0, 1.0)
+}
+
+/// Runs one capture of a scenario with the paper-default reader and the
+/// given seed.
+pub fn capture(scenario: &Scenario, seed: u64, duration_s: f64) -> Vec<TagReport> {
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_seed(seed),
+        vec![Antenna::paper_default(antenna_position())],
+    )
+    .expect("default reader setup");
+    reader.run(&ScenarioWorld::new(scenario.clone()), duration_s)
+}
+
+/// Analyses a capture and returns per-user accuracies against each
+/// subject's nominal rate (Eq. 8). Users whose analysis fails score 0.
+pub fn scenario_accuracies(scenario: &Scenario, reports: &[TagReport]) -> Vec<f64> {
+    let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+    let monitor = BreathMonitor::paper_default();
+    let analysis = monitor.analyze(reports, &EmbeddedIdentity::new(ids.clone()));
+    scenario
+        .subjects()
+        .iter()
+        .map(|s| {
+            analysis
+                .users
+                .get(&s.user_id())
+                .and_then(|r| r.as_ref().ok())
+                .and_then(|a| a.mean_rate_bpm())
+                .map(|bpm| accuracy(bpm, s.nominal_rate_bpm()).max(0.0))
+                .unwrap_or(0.0)
+        })
+        .collect()
+}
+
+/// Same as [`scenario_accuracies`] but with a custom pipeline
+/// configuration.
+pub fn scenario_accuracies_with(
+    scenario: &Scenario,
+    reports: &[TagReport],
+    config: PipelineConfig,
+) -> Vec<f64> {
+    let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+    let monitor = BreathMonitor::new(config).expect("valid config");
+    let analysis = monitor.analyze(reports, &EmbeddedIdentity::new(ids.clone()));
+    scenario
+        .subjects()
+        .iter()
+        .map(|s| {
+            analysis
+                .users
+                .get(&s.user_id())
+                .and_then(|r| r.as_ref().ok())
+                .and_then(|a| a.mean_rate_bpm())
+                .map(|bpm| accuracy(bpm, s.nominal_rate_bpm()).max(0.0))
+                .unwrap_or(0.0)
+        })
+        .collect()
+}
+
+/// Builds a single-user scenario at `distance_m`, rotated by
+/// `orientation_deg` from facing the antenna, with `n_tags` tags and the
+/// given posture and rate.
+pub fn single_user(
+    distance_m: f64,
+    orientation_deg: f64,
+    n_tags: usize,
+    posture: Posture,
+    rate_bpm: f64,
+) -> Scenario {
+    assert!((1..=3).contains(&n_tags), "tags per user is 1–3 (Table I)");
+    let sites = TagSite::ALL[..n_tags].to_vec();
+    let subject = Subject::new(
+        1,
+        Vec3::new(distance_m, 0.0, 0.0),
+        Vec3::new(-1.0, 0.0, 0.0),
+        posture,
+        Waveform::Sinusoid { rate_bpm },
+        sites,
+    )
+    .facing_away_from(antenna_position(), orientation_deg);
+    Scenario::builder().subject(subject).build()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_cycle_is_within_table1_range() {
+        for r in RATE_CYCLE_BPM {
+            assert!((5.0..=20.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn capture_and_accuracy_round_trip() {
+        let scenario = single_user(2.0, 0.0, 3, Posture::Sitting, 12.0);
+        let reports = capture(&scenario, 7, 40.0);
+        assert!(!reports.is_empty());
+        let acc = scenario_accuracies(&scenario, &reports);
+        assert_eq!(acc.len(), 1);
+        assert!(acc[0] > 0.9, "accuracy {}", acc[0]);
+    }
+
+    #[test]
+    fn single_user_builder_limits_tags() {
+        let s = single_user(3.0, 0.0, 1, Posture::Standing, 10.0);
+        assert_eq!(s.subjects()[0].sites().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1–3")]
+    fn too_many_tags_panics() {
+        single_user(3.0, 0.0, 4, Posture::Sitting, 10.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

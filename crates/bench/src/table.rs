@@ -1,0 +1,134 @@
+//! Plain-text table rendering for experiment outputs.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: a caption, column headers and rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a free-text note shown under the table.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders to an aligned plain-text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.caption);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:<width$}  ", cell, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(100)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats an optional float, rendering `None` as `-`.
+pub fn fmt_opt(x: Option<f64>, decimals: usize) -> String {
+    match x {
+        Some(v) => fmt(v, decimals),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["a", "long-header", "c"]);
+        t.row(&["1".into(), "2".into(), "3".into()]);
+        t.row(&["10".into(), "200000".into(), "3".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("note: a note"));
+        // Each data line has the same column starts.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        Table::new("x", &["a", "b"]).row(&["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "-");
+        assert_eq!(fmt_opt(Some(2.5), 1), "2.5");
+    }
+
+    #[test]
+    fn rows_accessor() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1".into()]);
+        assert_eq!(t.rows().len(), 1);
+    }
+}

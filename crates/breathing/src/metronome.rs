@@ -1,0 +1,174 @@
+//! Ground-truth bookkeeping: the simulated counterpart of the metronome
+//! mobile application the paper uses to pace volunteers.
+
+use serde::{Deserialize, Serialize};
+
+/// A metronome schedule: the true breathing rate over time.
+///
+/// Supports the paper's constant-rate trials and stepped schedules for
+/// irregular-breathing extensions.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_breathing::metronome::Metronome;
+///
+/// let m = Metronome::constant(12.0);
+/// assert_eq!(m.rate_at(30.0), 12.0);
+///
+/// let stepped = Metronome::stepped(&[(60.0, 10.0), (60.0, 20.0)]);
+/// assert_eq!(stepped.rate_at(30.0), 10.0);
+/// assert_eq!(stepped.rate_at(90.0), 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metronome {
+    segments: Vec<(f64, f64)>, // (duration_s, rate_bpm)
+}
+
+impl Metronome {
+    /// A constant-rate schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive.
+    pub fn constant(rate_bpm: f64) -> Self {
+        assert!(rate_bpm > 0.0, "metronome rate must be positive");
+        Metronome {
+            segments: vec![(f64::INFINITY, rate_bpm)],
+        }
+    }
+
+    /// A stepped schedule of `(duration_s, rate_bpm)` segments; the last
+    /// segment extends forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty or any duration/rate is not positive.
+    pub fn stepped(segments: &[(f64, f64)]) -> Self {
+        assert!(!segments.is_empty(), "metronome needs at least one segment");
+        for &(d, r) in segments {
+            assert!(d > 0.0 && r > 0.0, "durations and rates must be positive");
+        }
+        Metronome {
+            segments: segments.to_vec(),
+        }
+    }
+
+    /// The true rate at time `t` seconds.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let mut elapsed = 0.0;
+        for &(d, r) in &self.segments {
+            elapsed += d;
+            if t < elapsed {
+                return r;
+            }
+        }
+        self.segments.last().map(|&(_, r)| r).unwrap_or(0.0)
+    }
+
+    /// Mean true rate over `[0, t]`.
+    pub fn mean_rate(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return self.rate_at(0.0);
+        }
+        let mut remaining = t;
+        let mut weighted = 0.0;
+        for &(d, r) in &self.segments {
+            let take = d.min(remaining);
+            weighted += take * r;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        if remaining > 0.0 {
+            weighted += remaining * self.segments.last().map(|&(_, r)| r).unwrap_or(0.0);
+        }
+        weighted / t
+    }
+}
+
+/// The paper's accuracy metric (Eq. 8): `1 − |R̂ − R| / R`.
+///
+/// # Panics
+///
+/// Panics if the true rate `r` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_breathing::metronome::accuracy;
+/// assert_eq!(accuracy(10.0, 10.0), 1.0);
+/// assert!((accuracy(9.5, 10.0) - 0.95).abs() < 1e-12);
+/// ```
+pub fn accuracy(estimated: f64, r: f64) -> f64 {
+    assert!(r > 0.0, "true rate must be positive");
+    1.0 - (estimated - r).abs() / r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let m = Metronome::constant(15.0);
+        for t in [0.0, 10.0, 1e6] {
+            assert_eq!(m.rate_at(t), 15.0);
+        }
+        assert_eq!(m.mean_rate(120.0), 15.0);
+    }
+
+    #[test]
+    fn stepped_schedule_transitions() {
+        let m = Metronome::stepped(&[(10.0, 5.0), (10.0, 10.0), (10.0, 20.0)]);
+        assert_eq!(m.rate_at(0.0), 5.0);
+        assert_eq!(m.rate_at(9.99), 5.0);
+        assert_eq!(m.rate_at(10.0), 10.0);
+        assert_eq!(m.rate_at(25.0), 20.0);
+        // Last segment extends forever.
+        assert_eq!(m.rate_at(1000.0), 20.0);
+    }
+
+    #[test]
+    fn mean_rate_weighted() {
+        let m = Metronome::stepped(&[(10.0, 10.0), (10.0, 20.0)]);
+        assert_eq!(m.mean_rate(20.0), 15.0);
+        assert_eq!(m.mean_rate(10.0), 10.0);
+        // Past the schedule, extends at the last rate.
+        assert!((m.mean_rate(40.0) - (100.0 + 200.0 + 400.0) / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rate_at_zero_is_initial() {
+        let m = Metronome::stepped(&[(10.0, 7.0), (10.0, 14.0)]);
+        assert_eq!(m.mean_rate(0.0), 7.0);
+    }
+
+    #[test]
+    fn accuracy_metric_eq8() {
+        assert_eq!(accuracy(10.0, 10.0), 1.0);
+        assert!((accuracy(11.0, 10.0) - 0.9).abs() < 1e-12);
+        assert!((accuracy(9.0, 10.0) - 0.9).abs() < 1e-12);
+        // Overestimating by more than 2× goes negative (still well-defined).
+        assert!(accuracy(25.0, 10.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn accuracy_zero_truth_panics() {
+        accuracy(10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_schedule_panics() {
+        Metronome::stepped(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_constant_panics() {
+        Metronome::constant(-5.0);
+    }
+}

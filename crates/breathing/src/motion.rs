@@ -1,0 +1,206 @@
+//! Non-respiratory body motion — the disturbance real deployments face.
+//!
+//! Breathing moves a tag by millimetres; people also sway, fidget and
+//! occasionally shift posture, moving tags by centimetres. These artefacts
+//! are the main realistic failure mode for phase-based sensing, so the
+//! simulator can inject them and the test suite verifies the pipeline
+//! degrades gracefully rather than silently reporting wrong rates.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A model of non-respiratory torso motion along the facing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum BodyMotion {
+    /// No extraneous motion (the paper's seated, metronome-paced trials).
+    #[default]
+    Still,
+    /// Slow postural sway: a low-frequency sinusoid (typically below the
+    /// breathing band).
+    Sway {
+        /// Sway amplitude, metres (typically 0.005–0.02).
+        amplitude_m: f64,
+        /// Sway period, seconds (typically 10–30).
+        period_s: f64,
+    },
+    /// Occasional fidgets: smooth centimetre-scale bumps at deterministic
+    /// pseudo-random instants.
+    Fidget {
+        /// Bump amplitude, metres.
+        amplitude_m: f64,
+        /// Mean bumps per minute.
+        rate_per_min: f64,
+        /// Stream seed.
+        seed: u64,
+    },
+    /// Gross locomotion: the subject walks along the facing direction at a
+    /// constant speed. Breath monitoring is impossible during locomotion;
+    /// the pipeline is expected to detect it and abstain.
+    Walk {
+        /// Walking speed, m/s (positive = toward the facing direction).
+        speed_mps: f64,
+    },
+}
+
+impl BodyMotion {
+    /// Torso offset along the facing direction at time `t`, metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive amplitudes/periods/rates of the configured
+    /// variant.
+    pub fn offset_m(&self, t: f64) -> f64 {
+        match *self {
+            BodyMotion::Still => 0.0,
+            BodyMotion::Sway {
+                amplitude_m,
+                period_s,
+            } => {
+                assert!(amplitude_m > 0.0, "sway amplitude must be positive");
+                assert!(period_s > 0.0, "sway period must be positive");
+                amplitude_m * (2.0 * std::f64::consts::PI * t / period_s).sin()
+            }
+            BodyMotion::Walk { speed_mps } => {
+                assert!(speed_mps != 0.0, "walking speed must be non-zero");
+                speed_mps * t
+            }
+            BodyMotion::Fidget {
+                amplitude_m,
+                rate_per_min,
+                seed,
+            } => {
+                assert!(amplitude_m > 0.0, "fidget amplitude must be positive");
+                assert!(rate_per_min > 0.0, "fidget rate must be positive");
+                // Bumps are Gaussian pulses of ~1.5 s width at
+                // deterministic pseudo-random times, one candidate slot per
+                // mean interarrival interval.
+                let interval = 60.0 / rate_per_min;
+                let slot = (t / interval).floor() as i64;
+                let mut total = 0.0;
+                // A pulse can bleed into neighbouring slots.
+                for s in slot - 1..=slot + 1 {
+                    if s < 0 {
+                        continue;
+                    }
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    // Not every slot fires (p = 0.7), keeping arrivals irregular.
+                    if rng.gen::<f64>() > 0.7 {
+                        continue;
+                    }
+                    let centre = s as f64 * interval + rng.gen::<f64>() * interval;
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    let width = 0.8 + rng.gen::<f64>() * 0.7;
+                    let x = (t - centre) / width;
+                    total += sign * amplitude_m * (-0.5 * x * x).exp();
+                }
+                total
+            }
+        }
+    }
+
+    /// Offset rate of change at `t` (m/s), by symmetric difference.
+    pub fn velocity_mps(&self, t: f64) -> f64 {
+        let h = 1e-4;
+        (self.offset_m(t + h) - self.offset_m((t - h).max(0.0))) / (2.0 * h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_is_zero_everywhere() {
+        let m = BodyMotion::Still;
+        for i in 0..100 {
+            assert_eq!(m.offset_m(i as f64 * 0.37), 0.0);
+        }
+    }
+
+    #[test]
+    fn sway_is_periodic_and_bounded() {
+        let m = BodyMotion::Sway {
+            amplitude_m: 0.01,
+            period_s: 20.0,
+        };
+        for i in 0..200 {
+            let t = i as f64 * 0.25;
+            let x = m.offset_m(t);
+            assert!(x.abs() <= 0.01 + 1e-12);
+            assert!((x - m.offset_m(t + 20.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fidget_is_deterministic_and_mostly_quiet() {
+        let m = BodyMotion::Fidget {
+            amplitude_m: 0.03,
+            rate_per_min: 4.0,
+            seed: 7,
+        };
+        let a: Vec<f64> = (0..600).map(|i| m.offset_m(i as f64 * 0.1)).collect();
+        let b: Vec<f64> = (0..600).map(|i| m.offset_m(i as f64 * 0.1)).collect();
+        assert_eq!(a, b);
+        // Most of the time the torso is near rest...
+        let quiet = a.iter().filter(|x| x.abs() < 0.003).count();
+        assert!(quiet > a.len() / 3, "only {quiet} quiet samples");
+        // ...but bumps do occur.
+        let peak = a.iter().cloned().fold(0.0f64, |m, x| m.max(x.abs()));
+        assert!(peak > 0.01, "no fidget observed (peak {peak})");
+    }
+
+    #[test]
+    fn fidget_streams_differ_by_seed() {
+        let a = BodyMotion::Fidget {
+            amplitude_m: 0.03,
+            rate_per_min: 4.0,
+            seed: 1,
+        };
+        let b = BodyMotion::Fidget {
+            amplitude_m: 0.03,
+            rate_per_min: 4.0,
+            seed: 2,
+        };
+        let same = (0..600).all(|i| a.offset_m(i as f64 * 0.1) == b.offset_m(i as f64 * 0.1));
+        assert!(!same);
+    }
+
+    #[test]
+    fn velocity_matches_derivative_of_sway() {
+        let m = BodyMotion::Sway {
+            amplitude_m: 0.01,
+            period_s: 20.0,
+        };
+        let omega = 2.0 * std::f64::consts::PI / 20.0;
+        let t = 3.3;
+        let want = 0.01 * omega * (omega * t).cos();
+        assert!((m.velocity_mps(t) - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn walk_is_linear_in_time() {
+        let m = BodyMotion::Walk { speed_mps: 0.5 };
+        assert_eq!(m.offset_m(0.0), 0.0);
+        assert!((m.offset_m(10.0) - 5.0).abs() < 1e-12);
+        assert!((m.velocity_mps(3.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_walk_speed_panics() {
+        BodyMotion::Walk { speed_mps: 0.0 }.offset_m(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn invalid_sway_panics() {
+        BodyMotion::Sway {
+            amplitude_m: 0.0,
+            period_s: 20.0,
+        }
+        .offset_m(1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Demographic presets: subjects with physiologically grounded defaults.
+//!
+//! The paper's healthcare motivations span newborns (apnea monitoring),
+//! adults at rest, and patients; their resting rates and chest excursions
+//! differ substantially. These presets bundle the published normal ranges
+//! so examples and tests build realistic subjects in one line.
+
+use crate::motion::BodyMotion;
+use crate::subject::{Posture, Subject, TagSite};
+use crate::waveform::Waveform;
+use rfchannel::geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A demographic profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Demographic {
+    /// Newborn / infant: 30–60 bpm at rest, small chest excursion, lying.
+    Infant,
+    /// Healthy adult at rest: 12–20 bpm, ~1 cm chest excursion.
+    Adult,
+    /// Elderly at rest: 12–28 bpm, often shallower breathing.
+    Elderly,
+    /// Trained athlete at rest: slow, deep breathing.
+    Athlete,
+}
+
+impl Demographic {
+    /// The mid-range resting rate, bpm.
+    pub fn typical_rate_bpm(self) -> f64 {
+        match self {
+            Demographic::Infant => 40.0,
+            Demographic::Adult => 14.0,
+            Demographic::Elderly => 18.0,
+            Demographic::Athlete => 10.0,
+        }
+    }
+
+    /// The plausible resting range, bpm.
+    pub fn rate_range_bpm(self) -> (f64, f64) {
+        match self {
+            Demographic::Infant => (30.0, 60.0),
+            Demographic::Adult => (12.0, 20.0),
+            Demographic::Elderly => (12.0, 28.0),
+            Demographic::Athlete => (6.0, 12.0),
+        }
+    }
+
+    /// Breathing amplitude (half of chest excursion), metres.
+    pub fn amplitude_m(self) -> f64 {
+        match self {
+            Demographic::Infant => 0.002,
+            Demographic::Adult => 0.005,
+            Demographic::Elderly => 0.0035,
+            Demographic::Athlete => 0.007,
+        }
+    }
+
+    /// The default posture for monitoring this demographic.
+    pub fn posture(self) -> Posture {
+        match self {
+            Demographic::Infant => Posture::Lying,
+            _ => Posture::Sitting,
+        }
+    }
+
+    /// Builds a subject of this demographic at `distance_m` down-range,
+    /// facing the antenna at the origin, breathing the typical rate with
+    /// realistic cycle jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_m` is not positive.
+    pub fn subject(self, user_id: u64, distance_m: f64) -> Subject {
+        assert!(distance_m > 0.0, "distance must be positive");
+        Subject::new(
+            user_id,
+            Vec3::new(distance_m, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            self.posture(),
+            Waveform::realistic(self.typical_rate_bpm(), user_id),
+            TagSite::ALL.to_vec(),
+        )
+        .with_amplitude_m(self.amplitude_m())
+        .with_motion(BodyMotion::Still)
+    }
+
+    /// Whether a measured rate is inside this demographic's normal resting
+    /// range (the simplest clinical plausibility check).
+    pub fn rate_is_normal(self, bpm: f64) -> bool {
+        let (lo, hi) = self.rate_range_bpm();
+        (lo..=hi).contains(&bpm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_rates_lie_inside_their_ranges() {
+        for d in [
+            Demographic::Infant,
+            Demographic::Adult,
+            Demographic::Elderly,
+            Demographic::Athlete,
+        ] {
+            assert!(d.rate_is_normal(d.typical_rate_bpm()), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn infants_breathe_faster_and_shallower_than_adults() {
+        assert!(Demographic::Infant.typical_rate_bpm() > 2.0 * Demographic::Adult.typical_rate_bpm());
+        assert!(Demographic::Infant.amplitude_m() < Demographic::Adult.amplitude_m());
+        assert_eq!(Demographic::Infant.posture(), Posture::Lying);
+    }
+
+    #[test]
+    fn subject_builder_applies_profile() {
+        let s = Demographic::Athlete.subject(5, 3.0);
+        assert_eq!(s.user_id(), 5);
+        assert_eq!(s.nominal_rate_bpm(), 10.0);
+        assert_eq!(s.sites().len(), 3);
+        // Amplitude applied: quarter-period excursion reaches ~7 mm.
+        let quarter = 60.0 / 10.0 / 4.0;
+        let moved = s
+            .tag_position(TagSite::Chest, quarter)
+            .distance_to(s.tag_position(TagSite::Chest, 0.0));
+        assert!(moved > 0.004, "moved {moved}");
+    }
+
+    #[test]
+    fn rate_is_normal_boundaries() {
+        assert!(Demographic::Adult.rate_is_normal(12.0));
+        assert!(Demographic::Adult.rate_is_normal(20.0));
+        assert!(!Demographic::Adult.rate_is_normal(25.0));
+        assert!(!Demographic::Athlete.rate_is_normal(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn non_positive_distance_panics() {
+        Demographic::Adult.subject(1, 0.0);
+    }
+}

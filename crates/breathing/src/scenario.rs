@@ -1,0 +1,222 @@
+//! Scenario builders: rooms full of subjects (and distractor item tags)
+//! matching the paper's experiment settings (Table I).
+
+use crate::subject::{Posture, Subject, TagSite};
+use crate::waveform::Waveform;
+use rfchannel::geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An RFID-labelled inanimate item ("contending tag", Section VI-B.3):
+/// contends for MAC slots but does not breathe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemTag {
+    /// Position in the room.
+    pub position: Vec3,
+}
+
+/// A complete monitoring scenario: subjects plus contending item tags.
+///
+/// Built with a non-consuming builder (C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_breathing::scenario::Scenario;
+///
+/// // Four users side by side, 4 m from the antenna (paper Figure 13).
+/// let scenario = Scenario::builder()
+///     .users_side_by_side(4, 4.0, &[12.0, 10.0, 15.0, 8.0])
+///     .build();
+/// assert_eq!(scenario.subjects().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    subjects: Vec<Subject>,
+    items: Vec<ItemTag>,
+}
+
+impl Scenario {
+    /// Starts building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The paper's default single-user scenario: one subject sitting 4 m
+    /// away, facing the antenna, 3 tags, 10 bpm.
+    pub fn paper_default() -> Self {
+        Scenario::builder().subject(Subject::paper_default(1, 4.0)).build()
+    }
+
+    /// Monitored subjects.
+    pub fn subjects(&self) -> &[Subject] {
+        &self.subjects
+    }
+
+    /// Contending item tags.
+    pub fn items(&self) -> &[ItemTag] {
+        &self.items
+    }
+
+    /// Total number of tags in the air (subjects' tags + items).
+    pub fn total_tags(&self) -> usize {
+        self.subjects.iter().map(|s| s.sites().len()).sum::<usize>() + self.items.len()
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    subjects: Vec<Subject>,
+    items: Vec<ItemTag>,
+    next_user_id: u64,
+}
+
+impl ScenarioBuilder {
+    /// Adds an explicit subject.
+    pub fn subject(&mut self, subject: Subject) -> &mut Self {
+        self.next_user_id = self.next_user_id.max(subject.user_id() + 1);
+        self.subjects.push(subject);
+        self
+    }
+
+    /// Adds `n` users sitting side by side at `distance_m` down-range,
+    /// 0.6 m apart laterally, each breathing at the corresponding rate from
+    /// `rates_bpm` (cycled if shorter than `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `rates_bpm` is empty.
+    pub fn users_side_by_side(&mut self, n: usize, distance_m: f64, rates_bpm: &[f64]) -> &mut Self {
+        assert!(n > 0, "need at least one user");
+        assert!(!rates_bpm.is_empty(), "need at least one breathing rate");
+        let spacing = 0.6;
+        let first_y = -(n as f64 - 1.0) / 2.0 * spacing;
+        for i in 0..n {
+            let id = self.next_user_id + i as u64 + 1;
+            let y = first_y + i as f64 * spacing;
+            let subject = Subject::new(
+                id,
+                Vec3::new(distance_m, y, 0.0),
+                Vec3::new(-1.0, 0.0, 0.0),
+                Posture::Sitting,
+                Waveform::Sinusoid {
+                    rate_bpm: rates_bpm[i % rates_bpm.len()],
+                },
+                TagSite::ALL.to_vec(),
+            );
+            self.subjects.push(subject);
+        }
+        self.next_user_id += n as u64 + 1;
+        self
+    }
+
+    /// Scatters `n` contending item tags around the room at readable
+    /// positions (a grid 1.5–5 m down-range).
+    pub fn contending_items(&mut self, n: usize) -> &mut Self {
+        for i in 0..n {
+            // Deterministic scatter on a lattice, left and right of the
+            // subjects, heights 0.5–1.5 m.
+            let row = i / 6;
+            let col = i % 6;
+            let x = 1.5 + row as f64 * 0.7;
+            let y = -2.0 + col as f64 * 0.8;
+            let z = 0.5 + ((i * 7) % 11) as f64 * 0.1;
+            self.items.push(ItemTag {
+                position: Vec3::new(x, y, z),
+            });
+        }
+        self
+    }
+
+    /// Finalises the scenario.
+    pub fn build(&self) -> Scenario {
+        Scenario {
+            subjects: self.subjects.clone(),
+            items: self.items.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_one_subject_three_tags() {
+        let s = Scenario::paper_default();
+        assert_eq!(s.subjects().len(), 1);
+        assert_eq!(s.total_tags(), 3);
+        assert!(s.items().is_empty());
+    }
+
+    #[test]
+    fn side_by_side_users_are_spaced_laterally() {
+        let s = Scenario::builder()
+            .users_side_by_side(4, 4.0, &[10.0])
+            .build();
+        assert_eq!(s.subjects().len(), 4);
+        let ys: Vec<f64> = s.subjects().iter().map(|u| u.torso().y).collect();
+        for pair in ys.windows(2) {
+            assert!((pair[1] - pair[0] - 0.6).abs() < 1e-9);
+        }
+        // All at the same range.
+        assert!(s.subjects().iter().all(|u| (u.torso().x - 4.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn user_ids_are_unique() {
+        let s = Scenario::builder()
+            .users_side_by_side(4, 4.0, &[10.0, 12.0])
+            .build();
+        let mut ids: Vec<u64> = s.subjects().iter().map(|u| u.user_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn rates_cycle_when_fewer_than_users() {
+        let s = Scenario::builder()
+            .users_side_by_side(3, 4.0, &[10.0, 20.0])
+            .build();
+        let rates: Vec<f64> = s.subjects().iter().map(|u| u.nominal_rate_bpm()).collect();
+        assert_eq!(rates, vec![10.0, 20.0, 10.0]);
+    }
+
+    #[test]
+    fn contending_items_count_toward_total() {
+        let s = Scenario::builder()
+            .subject(Subject::paper_default(1, 2.0))
+            .contending_items(30)
+            .build();
+        assert_eq!(s.items().len(), 30);
+        assert_eq!(s.total_tags(), 33);
+    }
+
+    #[test]
+    fn item_positions_are_within_readable_range() {
+        let s = Scenario::builder().contending_items(30).build();
+        for item in s.items() {
+            let d = item.position.norm();
+            assert!(d > 1.0 && d < 8.0, "item at {d} m");
+        }
+    }
+
+    #[test]
+    fn mixing_explicit_and_generated_subjects_keeps_ids_unique() {
+        let s = Scenario::builder()
+            .subject(Subject::paper_default(1, 2.0))
+            .users_side_by_side(2, 4.0, &[10.0])
+            .build();
+        let mut ids: Vec<u64> = s.subjects().iter().map(|u| u.user_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        Scenario::builder().users_side_by_side(0, 4.0, &[10.0]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Subjects: tag placement, posture and breathing kinematics.
+//!
+//! A subject is a torso at a position in the room, facing some direction,
+//! wearing 1–3 passive tags (chest / middle / lower abdomen, Section IV-D of
+//! the paper). Breathing moves each tag along the body's facing normal by a
+//! placement-dependent amplitude; the geometry (and hence the projection of
+//! that motion onto the antenna's range axis) is handled downstream by the
+//! channel model.
+
+use crate::motion::BodyMotion;
+use crate::waveform::Waveform;
+use rfchannel::geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Where on the torso a tag is attached (the paper places three tags per
+/// user: chest, in-between, lower abdomen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagSite {
+    /// On the chest (sternum height).
+    Chest,
+    /// Between chest and abdomen.
+    Middle,
+    /// On the lower abdomen.
+    Abdomen,
+}
+
+impl TagSite {
+    /// All three paper placements, top to bottom.
+    pub const ALL: [TagSite; 3] = [TagSite::Chest, TagSite::Middle, TagSite::Abdomen];
+
+    /// Height offset of the site relative to the torso reference point
+    /// (sternum), metres, for an upright posture.
+    pub fn height_offset_m(self) -> f64 {
+        match self {
+            TagSite::Chest => 0.0,
+            TagSite::Middle => -0.15,
+            TagSite::Abdomen => -0.30,
+        }
+    }
+}
+
+/// How a subject is positioned (Table I: sitting, standing, lying).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Posture {
+    /// Seated (the paper's default).
+    #[default]
+    Sitting,
+    /// Standing upright.
+    Standing,
+    /// Lying down (e.g. on a bed at antenna height).
+    Lying,
+}
+
+impl Posture {
+    /// Height of the sternum above the floor for this posture, metres.
+    pub fn sternum_height_m(self) -> f64 {
+        match self {
+            Posture::Sitting => 1.0,
+            Posture::Standing => 1.35,
+            Posture::Lying => 0.75,
+        }
+    }
+
+    /// Relative breathing-motion amplitude by site for this posture.
+    ///
+    /// Chest breathing dominates upright; abdominal motion grows lying
+    /// down (the paper notes some users breathe with chests, others with
+    /// abdomens — posture shifts the balance).
+    pub fn site_amplitude_factor(self, site: TagSite) -> f64 {
+        match (self, site) {
+            (Posture::Sitting, TagSite::Chest) => 1.0,
+            (Posture::Sitting, TagSite::Middle) => 0.8,
+            (Posture::Sitting, TagSite::Abdomen) => 0.7,
+            (Posture::Standing, TagSite::Chest) => 1.0,
+            (Posture::Standing, TagSite::Middle) => 0.75,
+            (Posture::Standing, TagSite::Abdomen) => 0.6,
+            (Posture::Lying, TagSite::Chest) => 0.6,
+            (Posture::Lying, TagSite::Middle) => 0.8,
+            (Posture::Lying, TagSite::Abdomen) => 1.0,
+        }
+    }
+}
+
+/// A monitored user wearing one or more tags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subject {
+    user_id: u64,
+    torso: Vec3,
+    facing: Vec3,
+    posture: Posture,
+    waveform: Waveform,
+    amplitude_m: f64,
+    sites: Vec<TagSite>,
+    motion: BodyMotion,
+}
+
+impl Subject {
+    /// Typical peak-to-peak chest excursion is ~1 cm, so the amplitude
+    /// (half excursion) is ~5 mm.
+    pub const DEFAULT_AMPLITUDE_M: f64 = 0.005;
+
+    /// Creates a subject.
+    ///
+    /// * `user_id` — 64-bit identity written into the tags' EPCs;
+    /// * `torso` — sternum position (z is overridden by posture height);
+    /// * `facing` — horizontal facing direction (normalised internally);
+    /// * `sites` — tag placements (1–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty or `facing` is a zero vector.
+    pub fn new(
+        user_id: u64,
+        torso: Vec3,
+        facing: Vec3,
+        posture: Posture,
+        waveform: Waveform,
+        sites: Vec<TagSite>,
+    ) -> Self {
+        assert!(!sites.is_empty(), "a subject must wear at least one tag");
+        let facing = Vec3::new(facing.x, facing.y, 0.0).normalized();
+        let torso = Vec3::new(torso.x, torso.y, posture.sternum_height_m());
+        Subject {
+            user_id,
+            torso,
+            facing,
+            posture,
+            waveform,
+            amplitude_m: Self::DEFAULT_AMPLITUDE_M,
+            sites,
+            motion: BodyMotion::Still,
+        }
+    }
+
+    /// A subject in the paper's default configuration: sitting `distance_m`
+    /// down-range from the origin, facing the antenna (at the origin),
+    /// wearing all three tags, breathing a 10 bpm sinusoid.
+    pub fn paper_default(user_id: u64, distance_m: f64) -> Self {
+        Subject::new(
+            user_id,
+            Vec3::new(distance_m, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Posture::Sitting,
+            Waveform::paper_default(),
+            TagSite::ALL.to_vec(),
+        )
+    }
+
+    /// Sets the breathing amplitude in metres (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude is not positive.
+    pub fn with_amplitude_m(mut self, amplitude_m: f64) -> Self {
+        assert!(amplitude_m > 0.0, "amplitude must be positive");
+        self.amplitude_m = amplitude_m;
+        self
+    }
+
+    /// Adds non-respiratory body motion (builder style).
+    pub fn with_motion(mut self, motion: BodyMotion) -> Self {
+        self.motion = motion;
+        self
+    }
+
+    /// The configured non-respiratory motion model.
+    pub fn motion(&self) -> BodyMotion {
+        self.motion
+    }
+
+    /// Rotates the subject to a given orientation relative to the direction
+    /// toward `target`: 0° = facing it, 180° = back turned (builder style).
+    pub fn facing_away_from(mut self, target: Vec3, orientation_deg: f64) -> Self {
+        let to_target = Vec3::new(target.x - self.torso.x, target.y - self.torso.y, 0.0);
+        let base = to_target.normalized();
+        let a = orientation_deg.to_radians();
+        // Rotate the facing vector around z by the orientation angle.
+        self.facing = Vec3::new(
+            base.x * a.cos() - base.y * a.sin(),
+            base.x * a.sin() + base.y * a.cos(),
+            0.0,
+        );
+        self
+    }
+
+    /// The subject's user identity.
+    pub fn user_id(&self) -> u64 {
+        self.user_id
+    }
+
+    /// Tag sites worn by this subject.
+    pub fn sites(&self) -> &[TagSite] {
+        &self.sites
+    }
+
+    /// The subject's posture.
+    pub fn posture(&self) -> Posture {
+        self.posture
+    }
+
+    /// The breathing waveform.
+    pub fn waveform(&self) -> &Waveform {
+        &self.waveform
+    }
+
+    /// Torso (sternum) reference position.
+    pub fn torso(&self) -> Vec3 {
+        self.torso
+    }
+
+    /// Horizontal facing unit vector.
+    pub fn facing(&self) -> Vec3 {
+        self.facing
+    }
+
+    /// Orientation in degrees relative to the direction toward `target`
+    /// (0° = facing it).
+    pub fn orientation_toward_deg(&self, target: Vec3) -> f64 {
+        let to_target = Vec3::new(target.x - self.torso.x, target.y - self.torso.y, 0.0);
+        if to_target.norm() < 1e-9 {
+            return 0.0;
+        }
+        self.facing.angle_to(to_target).to_degrees()
+    }
+
+    /// Position of the tag at `site` at time `t`: resting site position
+    /// plus breathing motion along the facing normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subject does not wear a tag at `site`.
+    pub fn tag_position(&self, site: TagSite, t: f64) -> Vec3 {
+        assert!(
+            self.sites.contains(&site),
+            "subject {} wears no tag at {site:?}",
+            self.user_id
+        );
+        let rest = self.torso + Vec3::new(0.0, 0.0, site.height_offset_m())
+            + self.facing * 0.10; // tags sit on the front of the torso
+        let amp = self.amplitude_m * self.posture.site_amplitude_factor(site);
+        rest + self.facing * (amp * self.waveform.excursion(t) + self.motion.offset_m(t))
+    }
+
+    /// Velocity of the tag at `site` at time `t` (m/s vector).
+    pub fn tag_velocity(&self, site: TagSite, t: f64) -> Vec3 {
+        let amp = self.amplitude_m * self.posture.site_amplitude_factor(site);
+        self.facing * (amp * self.waveform.excursion_rate(t) + self.motion.velocity_mps(t))
+    }
+
+    /// The nominal (ground-truth metronome) breathing rate in bpm.
+    pub fn nominal_rate_bpm(&self) -> f64 {
+        self.waveform.nominal_rate_bpm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let s = Subject::paper_default(1, 4.0);
+        assert_eq!(s.user_id(), 1);
+        assert_eq!(s.torso(), Vec3::new(4.0, 0.0, 1.0));
+        assert_eq!(s.sites().len(), 3);
+        // Facing the antenna at the origin.
+        assert!(s.orientation_toward_deg(Vec3::new(0.0, 0.0, 1.0)) < 1e-6);
+    }
+
+    #[test]
+    fn tag_positions_are_stacked_vertically() {
+        let s = Subject::paper_default(1, 4.0);
+        let chest = s.tag_position(TagSite::Chest, 0.0);
+        let mid = s.tag_position(TagSite::Middle, 0.0);
+        let abd = s.tag_position(TagSite::Abdomen, 0.0);
+        assert!(chest.z > mid.z && mid.z > abd.z);
+        assert_eq!(chest.x, mid.x);
+    }
+
+    #[test]
+    fn breathing_moves_tags_along_facing() {
+        let s = Subject::paper_default(1, 4.0);
+        // At the sinusoid quarter-period the excursion peaks.
+        let quarter = 60.0 / 10.0 / 4.0;
+        let inhale = s.tag_position(TagSite::Chest, quarter);
+        let rest = s.tag_position(TagSite::Chest, 0.0);
+        let moved = inhale - rest;
+        // Facing is -x, so inhalation moves the tag toward the antenna.
+        assert!(moved.x < 0.0);
+        assert!((moved.norm() - Subject::DEFAULT_AMPLITUDE_M).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_sites_move_in_phase() {
+        // The paper relies on the three tags' displacements being
+        // simultaneous (constructive fusion, Section IV-D).
+        let s = Subject::paper_default(1, 4.0);
+        let t = 1.3;
+        let d_chest = s.tag_position(TagSite::Chest, t).x - s.tag_position(TagSite::Chest, 0.0).x;
+        let d_abd = s.tag_position(TagSite::Abdomen, t).x - s.tag_position(TagSite::Abdomen, 0.0).x;
+        assert!(d_chest * d_abd >= 0.0, "sites moved in opposite directions");
+    }
+
+    #[test]
+    fn orientation_rotation() {
+        let antenna = Vec3::new(0.0, 0.0, 1.0);
+        for deg in [0.0, 30.0, 90.0, 150.0, 180.0] {
+            let s = Subject::paper_default(1, 4.0).facing_away_from(antenna, deg);
+            let got = s.orientation_toward_deg(antenna);
+            assert!((got - deg).abs() < 1e-6, "want {deg}, got {got}");
+        }
+    }
+
+    #[test]
+    fn posture_changes_height_and_amplitudes() {
+        assert!(Posture::Standing.sternum_height_m() > Posture::Sitting.sternum_height_m());
+        assert!(
+            Posture::Lying.site_amplitude_factor(TagSite::Abdomen)
+                > Posture::Lying.site_amplitude_factor(TagSite::Chest)
+        );
+        assert!(
+            Posture::Sitting.site_amplitude_factor(TagSite::Chest)
+                > Posture::Sitting.site_amplitude_factor(TagSite::Abdomen)
+        );
+    }
+
+    #[test]
+    fn velocity_is_zero_at_excursion_peak() {
+        let s = Subject::paper_default(1, 2.0);
+        let quarter = 60.0 / 10.0 / 4.0;
+        let v = s.tag_velocity(TagSite::Chest, quarter);
+        assert!(v.norm() < 1e-4, "velocity at peak {v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tag")]
+    fn empty_sites_panics() {
+        Subject::new(
+            1,
+            Vec3::new(4.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Posture::Sitting,
+            Waveform::paper_default(),
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wears no tag")]
+    fn querying_missing_site_panics() {
+        let s = Subject::new(
+            1,
+            Vec3::new(4.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Posture::Sitting,
+            Waveform::paper_default(),
+            vec![TagSite::Chest],
+        );
+        s.tag_position(TagSite::Abdomen, 0.0);
+    }
+
+    #[test]
+    fn amplitude_builder_scales_motion() {
+        let s = Subject::paper_default(1, 4.0).with_amplitude_m(0.01);
+        let quarter = 60.0 / 10.0 / 4.0;
+        let moved = s.tag_position(TagSite::Chest, quarter) - s.tag_position(TagSite::Chest, 0.0);
+        assert!((moved.norm() - 0.01).abs() < 1e-6);
+    }
+}

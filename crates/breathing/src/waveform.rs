@@ -1,0 +1,389 @@
+//! Breathing displacement waveforms.
+//!
+//! A waveform maps time to a dimensionless breathing excursion in `[-1, 1]`
+//! where `+1` is full inhalation (chest expanded toward the antenna) and
+//! `-1` full exhalation. Subjects scale it by a per-placement amplitude
+//! (millimetres) to obtain physical tag displacement.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+use rand::Rng;
+
+/// A breathing excursion pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// A pure sinusoid at a fixed rate (breaths per minute).
+    Sinusoid {
+        /// Breathing rate in breaths per minute.
+        rate_bpm: f64,
+    },
+    /// A realistic asymmetric breath: inhalation occupies about 40% of the
+    /// cycle, exhalation 45%, followed by a 15% end-expiratory pause.
+    Realistic {
+        /// Breathing rate in breaths per minute.
+        rate_bpm: f64,
+        /// Cycle-to-cycle period jitter as a fraction of the period
+        /// (healthy adults ≈ 0.03–0.08). Deterministic per `seed`.
+        jitter: f64,
+        /// Seed for the jitter stream.
+        seed: u64,
+    },
+    /// A realistic pattern interrupted by apnea (breath-hold) episodes —
+    /// the irregular patterns with "occasional pauses" the paper's
+    /// introduction motivates.
+    WithApnea {
+        /// Base rate in breaths per minute.
+        rate_bpm: f64,
+        /// Seconds of normal breathing between apneas.
+        breathe_s: f64,
+        /// Seconds of each apnea episode.
+        apnea_s: f64,
+    },
+    /// Cheyne–Stokes respiration: a crescendo–decrescendo amplitude
+    /// envelope followed by an apnea — the clinical "alternating between
+    /// fast and slow with occasional pauses" pattern the paper's
+    /// introduction cites as a monitoring target.
+    CheyneStokes {
+        /// Breathing rate during the active phase, bpm.
+        rate_bpm: f64,
+        /// Length of one full crescendo–decrescendo cycle, seconds.
+        cycle_s: f64,
+        /// Apnea fraction of each cycle, in `[0, 0.8]`.
+        apnea_fraction: f64,
+    },
+}
+
+impl Waveform {
+    /// Convenience constructor for the paper's default 10 bpm sinusoid.
+    pub fn paper_default() -> Self {
+        Waveform::Sinusoid { rate_bpm: 10.0 }
+    }
+
+    /// Creates a realistic pattern with default jitter.
+    pub fn realistic(rate_bpm: f64, seed: u64) -> Self {
+        Waveform::Realistic {
+            rate_bpm,
+            jitter: 0.05,
+            seed,
+        }
+    }
+
+    /// The nominal (metronome) breathing rate in breaths per minute.
+    pub fn nominal_rate_bpm(&self) -> f64 {
+        match *self {
+            Waveform::Sinusoid { rate_bpm }
+            | Waveform::Realistic { rate_bpm, .. }
+            | Waveform::WithApnea { rate_bpm, .. }
+            | Waveform::CheyneStokes { rate_bpm, .. } => rate_bpm,
+        }
+    }
+
+    /// Evaluates the excursion at time `t` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate is not positive.
+    pub fn excursion(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Sinusoid { rate_bpm } => {
+                assert!(rate_bpm > 0.0, "breathing rate must be positive");
+                (2.0 * PI * rate_bpm / 60.0 * t).sin()
+            }
+            Waveform::Realistic {
+                rate_bpm,
+                jitter,
+                seed,
+            } => {
+                assert!(rate_bpm > 0.0, "breathing rate must be positive");
+                let period = 60.0 / rate_bpm;
+                // Jitter each cycle's period deterministically: cycle k gets
+                // period * (1 + jitter * g_k). Track cumulative time.
+                let (cycle_phase, _k) = jittered_phase(t, period, jitter, seed);
+                realistic_shape(cycle_phase)
+            }
+            Waveform::WithApnea {
+                rate_bpm,
+                breathe_s,
+                apnea_s,
+            } => {
+                assert!(rate_bpm > 0.0, "breathing rate must be positive");
+                assert!(breathe_s > 0.0 && apnea_s >= 0.0);
+                let cycle = breathe_s + apnea_s;
+                let u = t.rem_euclid(cycle);
+                if u < breathe_s {
+                    (2.0 * PI * rate_bpm / 60.0 * u).sin()
+                } else {
+                    // Breath held near end-exhalation: flat, slight drift.
+                    -0.05
+                }
+            }
+            Waveform::CheyneStokes {
+                rate_bpm,
+                cycle_s,
+                apnea_fraction,
+            } => {
+                assert!(rate_bpm > 0.0, "breathing rate must be positive");
+                assert!(cycle_s > 0.0, "cycle length must be positive");
+                assert!(
+                    (0.0..=0.8).contains(&apnea_fraction),
+                    "apnea fraction must be in [0, 0.8]"
+                );
+                let u = t.rem_euclid(cycle_s);
+                let active_s = cycle_s * (1.0 - apnea_fraction);
+                if u >= active_s {
+                    return -0.05; // apnea near end-exhalation
+                }
+                // Crescendo–decrescendo envelope: half-sine over the
+                // active phase.
+                let envelope = (PI * u / active_s).sin();
+                envelope * (2.0 * PI * rate_bpm / 60.0 * u).sin()
+            }
+        }
+    }
+
+    /// Excursion rate of change at `t` (1/s), by symmetric difference.
+    pub fn excursion_rate(&self, t: f64) -> f64 {
+        let h = 1e-4;
+        (self.excursion(t + h) - self.excursion(t.max(h) - h)) / (2.0 * h)
+    }
+
+    /// Whether the subject is actively breathing at `t` (false during an
+    /// apnea episode).
+    pub fn is_breathing_at(&self, t: f64) -> bool {
+        match *self {
+            Waveform::WithApnea {
+                breathe_s, apnea_s, ..
+            } => t.rem_euclid(breathe_s + apnea_s) < breathe_s,
+            Waveform::CheyneStokes {
+                cycle_s,
+                apnea_fraction,
+                ..
+            } => t.rem_euclid(cycle_s) < cycle_s * (1.0 - apnea_fraction),
+            _ => true,
+        }
+    }
+}
+
+/// Maps `t` into (phase within the current jittered cycle, cycle index).
+fn jittered_phase(t: f64, period: f64, jitter: f64, seed: u64) -> (f64, usize) {
+    if jitter <= 0.0 {
+        let k = (t / period).floor();
+        return ((t - k * period) / period, k as usize);
+    }
+    // Walk cycles until we pass t. Cycle lengths are deterministic in
+    // (seed, k). Bounded: t / (period * (1 - jitter)) cycles at most.
+    let mut start = 0.0;
+    let mut k = 0usize;
+    loop {
+        let p = period * (1.0 + jitter * cycle_jitter(seed, k));
+        if t < start + p || k > 100_000 {
+            return (((t - start) / p).clamp(0.0, 1.0), k);
+        }
+        start += p;
+        k += 1;
+    }
+}
+
+/// Deterministic per-cycle jitter in roughly [-1, 1].
+fn cycle_jitter(seed: u64, k: usize) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    rng.gen::<f64>() * 2.0 - 1.0
+}
+
+/// The asymmetric single-cycle shape: inhale (0–0.4), exhale (0.4–0.85),
+/// pause (0.85–1.0). Smooth (half-cosine segments), range [-1, 1].
+fn realistic_shape(phase: f64) -> f64 {
+    let p = phase.clamp(0.0, 1.0);
+    if p < 0.4 {
+        // Inhale: -1 → +1.
+        -(PI * p / 0.4).cos()
+    } else if p < 0.85 {
+        // Exhale: +1 → -1.
+        (PI * (p - 0.4) / 0.45).cos()
+    } else {
+        // End-expiratory pause at -1.
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinusoid_period_matches_rate() {
+        let w = Waveform::Sinusoid { rate_bpm: 12.0 };
+        let period = 5.0;
+        for t in [0.3, 1.7, 4.2] {
+            assert!((w.excursion(t) - w.excursion(t + period)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn excursion_bounded_in_unit_interval() {
+        let patterns = [
+            Waveform::Sinusoid { rate_bpm: 15.0 },
+            Waveform::realistic(15.0, 3),
+            Waveform::WithApnea {
+                rate_bpm: 12.0,
+                breathe_s: 20.0,
+                apnea_s: 10.0,
+            },
+        ];
+        for w in &patterns {
+            for i in 0..2000 {
+                let x = w.excursion(i as f64 * 0.05);
+                assert!((-1.0001..=1.0001).contains(&x), "{w:?} at {i}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_shape_endpoints() {
+        assert!((realistic_shape(0.0) + 1.0).abs() < 1e-12);
+        assert!((realistic_shape(0.4) - 1.0).abs() < 1e-12);
+        assert!((realistic_shape(0.85) + 1.0).abs() < 1e-12);
+        assert!((realistic_shape(1.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realistic_inhale_is_monotone_up() {
+        let mut last = -2.0;
+        for i in 0..=40 {
+            let x = realistic_shape(i as f64 * 0.01);
+            assert!(x >= last - 1e-12);
+            last = x;
+        }
+    }
+
+    #[test]
+    fn realistic_cycle_count_over_a_minute() {
+        // At 10 bpm with small jitter, one minute holds ~10 cycles: count
+        // rising transitions through zero.
+        let w = Waveform::realistic(10.0, 7);
+        let mut crossings = 0;
+        let mut prev = w.excursion(0.0);
+        for i in 1..6000 {
+            let x = w.excursion(i as f64 * 0.01);
+            if prev < 0.0 && x >= 0.0 {
+                crossings += 1;
+            }
+            prev = x;
+        }
+        assert!((9..=11).contains(&crossings), "{crossings} breaths in 60 s");
+    }
+
+    #[test]
+    fn jitter_zero_is_perfectly_periodic() {
+        let w = Waveform::Realistic {
+            rate_bpm: 12.0,
+            jitter: 0.0,
+            seed: 0,
+        };
+        assert!((w.excursion(1.0) - w.excursion(6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = Waveform::realistic(10.0, 5);
+        let b = Waveform::realistic(10.0, 5);
+        let c = Waveform::realistic(10.0, 6);
+        assert_eq!(a.excursion(33.3), b.excursion(33.3));
+        assert_ne!(a.excursion(33.3), c.excursion(33.3));
+    }
+
+    #[test]
+    fn apnea_flattens_excursion() {
+        let w = Waveform::WithApnea {
+            rate_bpm: 12.0,
+            breathe_s: 20.0,
+            apnea_s: 10.0,
+        };
+        assert!(w.is_breathing_at(5.0));
+        assert!(!w.is_breathing_at(25.0));
+        // During apnea, excursion is constant.
+        assert_eq!(w.excursion(22.0), w.excursion(28.0));
+    }
+
+    #[test]
+    fn excursion_rate_matches_analytic_derivative_of_sine() {
+        let w = Waveform::Sinusoid { rate_bpm: 12.0 };
+        let omega = 2.0 * PI * 12.0 / 60.0;
+        for t in [1.0, 2.5, 7.9] {
+            let num = w.excursion_rate(t);
+            let ana = omega * (omega * t).cos();
+            assert!((num - ana).abs() < 1e-4, "at {t}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn nominal_rate_reported() {
+        assert_eq!(Waveform::paper_default().nominal_rate_bpm(), 10.0);
+        assert_eq!(Waveform::realistic(17.0, 0).nominal_rate_bpm(), 17.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_rate_panics() {
+        Waveform::Sinusoid { rate_bpm: 0.0 }.excursion(1.0);
+    }
+
+    #[test]
+    fn cheyne_stokes_envelope_rises_and_falls() {
+        let w = Waveform::CheyneStokes {
+            rate_bpm: 20.0,
+            cycle_s: 60.0,
+            apnea_fraction: 0.3,
+        };
+        // Peak excursions near the middle of the active phase exceed those
+        // near its edges.
+        let peak_near = |t0: f64| {
+            (0..30)
+                .map(|i| w.excursion(t0 + i as f64 * 0.1).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let early = peak_near(2.0);
+        let mid = peak_near(20.0);
+        let late = peak_near(38.0);
+        assert!(mid > early && mid > late, "{early} {mid} {late}");
+    }
+
+    #[test]
+    fn cheyne_stokes_apnea_phase_is_flat() {
+        let w = Waveform::CheyneStokes {
+            rate_bpm: 20.0,
+            cycle_s: 60.0,
+            apnea_fraction: 0.3,
+        };
+        // Active for 42 s, apnea for 18 s.
+        assert!(w.is_breathing_at(10.0));
+        assert!(!w.is_breathing_at(50.0));
+        assert_eq!(w.excursion(45.0), w.excursion(55.0));
+    }
+
+    #[test]
+    fn cheyne_stokes_is_cycle_periodic() {
+        let w = Waveform::CheyneStokes {
+            rate_bpm: 15.0,
+            cycle_s: 45.0,
+            apnea_fraction: 0.2,
+        };
+        for t in [1.0, 13.7, 30.2] {
+            assert!((w.excursion(t) - w.excursion(t + 45.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "apnea fraction")]
+    fn cheyne_stokes_invalid_fraction_panics() {
+        Waveform::CheyneStokes {
+            rate_bpm: 15.0,
+            cycle_s: 45.0,
+            apnea_fraction: 0.9,
+        }
+        .excursion(1.0);
+    }
+}

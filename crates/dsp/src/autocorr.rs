@@ -1,0 +1,182 @@
+//! Autocorrelation-based periodicity estimation.
+//!
+//! A third rate estimator alongside zero crossings and the FFT peak:
+//! the lag of the first significant autocorrelation maximum is the breath
+//! period. Autocorrelation is robust to waveform asymmetry (realistic
+//! breaths spend ~40% of the cycle inhaling) where zero-crossing spacing
+//! wobbles and harmonics can distract the FFT peak.
+
+/// Normalised autocorrelation of a zero-meaned signal at integer lags
+/// `0..=max_lag` (biased estimator, `r[0] == 1` for non-degenerate input).
+///
+/// Returns an empty vector for signals shorter than 2 samples or with zero
+/// variance.
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = signal.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let centred: Vec<f64> = signal.iter().map(|x| x - mean).collect();
+    let var: f64 = centred.iter().map(|x| x * x).sum();
+    if var <= 0.0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    (0..=max_lag)
+        .map(|lag| {
+            let mut acc = 0.0;
+            for i in 0..n - lag {
+                acc += centred[i] * centred[i + lag];
+            }
+            acc / var
+        })
+        .collect()
+}
+
+/// Estimates the fundamental period of `signal` by finding the first
+/// autocorrelation peak whose lag corresponds to a frequency within
+/// `[f_min, f_max]` Hz, with parabolic sub-lag refinement.
+///
+/// Returns the frequency in Hz, or `None` when no significant peak
+/// (`r > 0.2`) exists in range.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::autocorr::dominant_frequency_autocorr;
+///
+/// let sr = 16.0;
+/// let signal: Vec<f64> = (0..960)
+///     .map(|i| (2.0 * std::f64::consts::PI * 0.25 * i as f64 / sr).sin())
+///     .collect();
+/// let f = dominant_frequency_autocorr(&signal, sr, 0.05, 0.67).unwrap();
+/// assert!((f - 0.25).abs() < 0.01);
+/// ```
+pub fn dominant_frequency_autocorr(
+    signal: &[f64],
+    sample_rate: f64,
+    f_min: f64,
+    f_max: f64,
+) -> Option<f64> {
+    if !(sample_rate > 0.0) || f_max <= f_min || f_min <= 0.0 {
+        return None;
+    }
+    let lag_min = (sample_rate / f_max).floor().max(1.0) as usize;
+    let lag_max = (sample_rate / f_min).ceil() as usize;
+    let r = autocorrelation(signal, lag_max);
+    if r.len() <= lag_min + 1 {
+        return None;
+    }
+    let hi = (lag_max).min(r.len() - 2);
+    // The highest local maximum in the admissible lag range.
+    let mut best: Option<(usize, f64)> = None;
+    for lag in lag_min.max(1)..=hi {
+        if r[lag] >= r[lag - 1] && r[lag] >= r[lag + 1] {
+            if best.map(|(_, v)| r[lag] > v).unwrap_or(true) {
+                best = Some((lag, r[lag]));
+            }
+        }
+    }
+    let (lag, value) = best?;
+    if value < 0.2 {
+        return None;
+    }
+    // Parabolic refinement over (lag-1, lag, lag+1).
+    let (a, b, c) = (r[lag - 1], r[lag], r[lag + 1]);
+    let denom = a - 2.0 * b + c;
+    let delta = if denom.abs() > f64::EPSILON {
+        (0.5 * (a - c) / denom).clamp(-0.5, 0.5)
+    } else {
+        0.0
+    };
+    Some(sample_rate / (lag as f64 + delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+    }
+
+    #[test]
+    fn r0_is_one() {
+        let r = autocorrelation(&tone(0.3, 16.0, 256), 10);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_period() {
+        let sr = 16.0;
+        let r = autocorrelation(&tone(0.25, sr, 1024), 128);
+        let period = (sr / 0.25) as usize; // 64 samples
+        assert!(r[period] > 0.9, "r[{period}] = {}", r[period]);
+        assert!(r[period / 2] < -0.5, "half-period should anticorrelate");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        assert!(autocorrelation(&[1.0], 5).is_empty());
+        assert!(autocorrelation(&[3.0; 50], 5).is_empty());
+    }
+
+    #[test]
+    fn estimates_exact_tone() {
+        let sr = 16.0;
+        for f in [0.1, 0.2, 0.33, 0.5] {
+            let got = dominant_frequency_autocorr(&tone(f, sr, 1600), sr, 0.05, 0.67).unwrap();
+            assert!((got - f).abs() < 0.01, "true {f}, got {got}");
+        }
+    }
+
+    #[test]
+    fn robust_to_asymmetric_waveform() {
+        // A sawtooth-ish asymmetric breath: strong harmonics.
+        let sr = 16.0;
+        let f = 0.2;
+        let signal: Vec<f64> = (0..1600)
+            .map(|i| {
+                let phase = (f * i as f64 / sr).fract();
+                if phase < 0.4 {
+                    phase / 0.4 * 2.0 - 1.0
+                } else {
+                    1.0 - (phase - 0.4) / 0.6 * 2.0
+                }
+            })
+            .collect();
+        let got = dominant_frequency_autocorr(&signal, sr, 0.05, 0.67).unwrap();
+        assert!((got - f).abs() < 0.01, "got {got}");
+    }
+
+    #[test]
+    fn noise_only_yields_none_or_weak() {
+        // Deterministic pseudo-noise: no strong periodicity in band.
+        let signal: Vec<f64> = (0..512)
+            .map(|i| (((i * 2654435761u64 as usize) % 1000) as f64 / 500.0) - 1.0)
+            .collect();
+        if let Some(f) = dominant_frequency_autocorr(&signal, 16.0, 0.05, 0.67) {
+            assert!(f > 0.0); // allowed, but must be in range
+            assert!((0.04..0.7).contains(&f));
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_yield_none() {
+        let s = tone(0.2, 16.0, 256);
+        assert!(dominant_frequency_autocorr(&s, 0.0, 0.05, 0.67).is_none());
+        assert!(dominant_frequency_autocorr(&s, 16.0, 0.67, 0.05).is_none());
+        assert!(dominant_frequency_autocorr(&s, 16.0, 0.0, 0.67).is_none());
+        assert!(dominant_frequency_autocorr(&[], 16.0, 0.05, 0.67).is_none());
+    }
+
+    #[test]
+    fn short_window_relative_to_period_yields_none() {
+        // Only half a period of a 0.05 Hz tone in 64 samples at 16 Hz.
+        let s = tone(0.05, 16.0, 64);
+        assert!(dominant_frequency_autocorr(&s, 16.0, 0.04, 0.67).is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! Radix-2 iterative fast Fourier transform.
+//!
+//! TagBreathe converts displacement streams to the frequency domain, zeroes
+//! the bins above the breathing band, and converts back (Section IV-B of the
+//! paper). Window lengths here are short (a few thousand samples), so a
+//! straightforward in-place radix-2 Cooley–Tukey FFT with zero-padding to the
+//! next power of two is both adequate and allocation-friendly.
+
+use crate::complex::Complex;
+
+/// Direction of a Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Time domain → frequency domain.
+    Forward,
+    /// Frequency domain → time domain (scaled by `1/N`).
+    Inverse,
+}
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::fft::next_pow2;
+/// assert_eq!(next_pow2(1000), 1024);
+/// assert_eq!(next_pow2(1024), 1024);
+/// assert_eq!(next_pow2(0), 1);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex], direction: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(angle);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if direction == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Computes the FFT of a real signal, zero-padding to the next power of two.
+///
+/// Returns the full complex spectrum of length `next_pow2(signal.len())`.
+/// Bin `k` corresponds to frequency `k * sample_rate / n` for `k <= n/2`.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::fft::fft_real;
+/// let spectrum = fft_real(&[1.0, 0.0, 0.0, 0.0]);
+/// // Impulse has a flat spectrum.
+/// for bin in &spectrum {
+///     assert!((bin.abs() - 1.0).abs() < 1e-12);
+/// }
+/// ```
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut data = Vec::with_capacity(n);
+    data.extend(signal.iter().map(|&x| Complex::from_real(x)));
+    data.resize(n, Complex::ZERO);
+    fft_in_place(&mut data, Direction::Forward);
+    data
+}
+
+/// Computes the inverse FFT of a complex spectrum and returns the real parts
+/// of the first `out_len` samples.
+///
+/// # Panics
+///
+/// Panics if `spectrum.len()` is not a power of two or `out_len` exceeds it.
+pub fn ifft_real(spectrum: &[Complex], out_len: usize) -> Vec<f64> {
+    assert!(
+        out_len <= spectrum.len(),
+        "requested {out_len} output samples from a {}-point spectrum",
+        spectrum.len()
+    );
+    let mut data = spectrum.to_vec();
+    fft_in_place(&mut data, Direction::Inverse);
+    data.truncate(out_len);
+    data.into_iter().map(|z| z.re).collect()
+}
+
+/// Power spectrum (squared magnitudes) of the non-negative-frequency half of
+/// a real signal's FFT, `n/2 + 1` bins.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spectrum = fft_real(signal);
+    let half = spectrum.len() / 2;
+    spectrum[..=half].iter().map(|z| z.norm_sqr()).collect()
+}
+
+/// Frequency in hertz of FFT bin `k` for an `n`-point transform at
+/// `sample_rate` Hz.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::fft::bin_frequency;
+/// assert_eq!(bin_frequency(8, 64.0, 1024), 0.5);
+/// ```
+pub fn bin_frequency(k: usize, sample_rate: f64, n: usize) -> f64 {
+    k as f64 * sample_rate / n as f64
+}
+
+/// The FFT bin index closest to `freq_hz` for an `n`-point transform.
+pub fn frequency_bin(freq_hz: f64, sample_rate: f64, n: usize) -> usize {
+    ((freq_hz * n as f64 / sample_rate).round() as usize).min(n / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let spec = fft_real(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        for z in &spec {
+            assert_close(z.abs(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_in_dc() {
+        let spec = fft_real(&[3.0; 16]);
+        assert_close(spec[0].re, 48.0, 1e-9);
+        for z in &spec[1..] {
+            assert_close(z.abs(), 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_detects_pure_tone_bin() {
+        // 8-cycle cosine over 64 samples → energy at bin 8 and bin 56.
+        let n = 64;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        assert_close(spec[8].abs(), 32.0, 1e-9);
+        assert_close(spec[56].abs(), 32.0, 1e-9);
+        assert_close(spec[3].abs(), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let signal: Vec<f64> = (0..100).map(|i| ((i * 37) % 17) as f64 - 8.0).collect();
+        let spec = fft_real(&signal);
+        let back = ifft_real(&spec, signal.len());
+        for (a, b) in signal.iter().zip(&back) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_direction_scales_by_n() {
+        let mut data = vec![Complex::ONE; 8];
+        fft_in_place(&mut data, Direction::Inverse);
+        // IFFT of the all-ones spectrum is an impulse of height 1 at 0.
+        assert_close(data[0].re, 1.0, 1e-12);
+        for z in &data[1..] {
+            assert_close(z.abs(), 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i as f64 * 1.1).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fs = fft_real(&sum);
+        for k in 0..32 {
+            assert_close((fa[k] + fb[k]).re, fs[k].re, 1e-9);
+            assert_close((fa[k] + fb[k]).im, fs[k].im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal: Vec<f64> = (0..64).map(|i| ((i * i) % 13) as f64 / 13.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 =
+            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-9);
+    }
+
+    #[test]
+    fn zero_padding_to_pow2() {
+        let spec = fft_real(&[1.0, 2.0, 3.0]);
+        assert_eq!(spec.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_in_place_panics() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft_in_place(&mut data, Direction::Forward);
+    }
+
+    #[test]
+    fn bin_frequency_and_inverse() {
+        let n = 1600usize.next_power_of_two(); // 2048
+        let sr = 64.0;
+        let k = frequency_bin(0.67, sr, n);
+        let f = bin_frequency(k, sr, n);
+        assert!((f - 0.67).abs() < sr / n as f64);
+    }
+
+    #[test]
+    fn power_spectrum_length_is_half_plus_one() {
+        let ps = power_spectrum(&[0.0; 64]);
+        assert_eq!(ps.len(), 33);
+    }
+
+    #[test]
+    fn fft_length_one_is_identity() {
+        let mut data = vec![Complex::new(2.0, -1.0)];
+        fft_in_place(&mut data, Direction::Forward);
+        assert_eq!(data[0], Complex::new(2.0, -1.0));
+    }
+
+    #[test]
+    fn hermitian_symmetry_for_real_input() {
+        let signal: Vec<f64> = (0..32).map(|i| (i as f64).sqrt().sin()).collect();
+        let spec = fft_real(&signal);
+        let n = spec.len();
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Windowed-sinc FIR low-pass filter — the paper's stated alternative to the
+//! FFT-based filter for breath-signal extraction (Section IV-B).
+
+use crate::window::Window;
+
+/// A finite-impulse-response filter applied by direct convolution.
+///
+/// Constructed either from explicit taps or via windowed-sinc low-pass
+/// design. Filtering compensates the group delay of the (symmetric,
+/// linear-phase) filter so that output samples align with input samples.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::filter::FirFilter;
+///
+/// let fir = FirFilter::low_pass(0.67, 64.0, 129).unwrap();
+/// let out = fir.filter(&vec![1.0; 512]);
+/// assert_eq!(out.len(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+/// Error from invalid FIR design parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirDesignError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for FirDesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid FIR design parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for FirDesignError {}
+
+impl FirFilter {
+    /// Creates a filter from explicit tap coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, FirDesignError> {
+        if taps.is_empty() {
+            return Err(FirDesignError {
+                what: "tap vector must not be empty",
+            });
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Designs a windowed-sinc low-pass filter with a Hamming window.
+    ///
+    /// `num_taps` should be odd so the filter has an integer group delay;
+    /// even values are accepted and rounded up.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cutoff is not in `(0, sample_rate/2]` or
+    /// `num_taps == 0`.
+    pub fn low_pass(
+        cutoff_hz: f64,
+        sample_rate: f64,
+        num_taps: usize,
+    ) -> Result<Self, FirDesignError> {
+        Self::low_pass_with_window(cutoff_hz, sample_rate, num_taps, Window::Hamming)
+    }
+
+    /// Designs a windowed-sinc low-pass filter with an explicit window.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FirFilter::low_pass`].
+    pub fn low_pass_with_window(
+        cutoff_hz: f64,
+        sample_rate: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, FirDesignError> {
+        if !(cutoff_hz.is_finite() && cutoff_hz > 0.0) {
+            return Err(FirDesignError {
+                what: "cutoff frequency must be positive and finite",
+            });
+        }
+        if !(sample_rate.is_finite() && sample_rate > 0.0) {
+            return Err(FirDesignError {
+                what: "sample rate must be positive and finite",
+            });
+        }
+        if cutoff_hz > sample_rate / 2.0 {
+            return Err(FirDesignError {
+                what: "cutoff frequency exceeds the Nyquist frequency",
+            });
+        }
+        if num_taps == 0 {
+            return Err(FirDesignError {
+                what: "filter must have at least one tap",
+            });
+        }
+        let n = if num_taps % 2 == 0 {
+            num_taps + 1
+        } else {
+            num_taps
+        };
+        let fc = cutoff_hz / sample_rate; // normalised cutoff in cycles/sample
+        let mid = (n / 2) as isize;
+        let mut taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let k = i as isize - mid;
+                let sinc = if k == 0 {
+                    2.0 * fc
+                } else {
+                    let x = std::f64::consts::PI * k as f64;
+                    (2.0 * fc * x).sin() / x
+                };
+                sinc * window.value(i, n)
+            })
+            .collect();
+        // Normalise to unity DC gain.
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Designs a windowed-sinc band-pass filter (difference of two
+    /// low-passes) with a Hamming window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the band is invalid for the sample rate or
+    /// `num_taps == 0`.
+    pub fn band_pass(
+        low_hz: f64,
+        high_hz: f64,
+        sample_rate: f64,
+        num_taps: usize,
+    ) -> Result<Self, FirDesignError> {
+        if !(low_hz.is_finite() && low_hz > 0.0 && high_hz > low_hz) {
+            return Err(FirDesignError {
+                what: "band edges must be positive with high > low",
+            });
+        }
+        let hi = FirFilter::low_pass(high_hz, sample_rate, num_taps)?;
+        let lo = FirFilter::low_pass(low_hz, sample_rate, num_taps)?;
+        let taps = hi
+            .taps
+            .iter()
+            .zip(&lo.taps)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(FirFilter { taps })
+    }
+
+    /// The filter's tap coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// The group delay in samples (half the filter order).
+    pub fn group_delay(&self) -> usize {
+        self.taps.len() / 2
+    }
+
+    /// Filters `signal`, compensating the group delay; output has the same
+    /// length as the input. Edges are handled by reflecting the signal.
+    pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
+        let n = signal.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let delay = self.group_delay();
+        let m = self.taps.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut acc = 0.0;
+            for (j, &tap) in self.taps.iter().enumerate() {
+                // Centre the kernel on sample i (group-delay compensation).
+                let idx = i as isize + delay as isize - j as isize;
+                let idx = reflect(idx, n);
+                acc += tap * signal[idx];
+            }
+            out.push(acc);
+            debug_assert!(m <= 1 || out.len() <= n);
+        }
+        out
+    }
+
+    /// Frequency response magnitude at `freq_hz` for a given sample rate.
+    pub fn magnitude_at(&self, freq_hz: f64, sample_rate: f64) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, &tap) in self.taps.iter().enumerate() {
+            re += tap * (omega * k as f64).cos();
+            im -= tap * (omega * k as f64).sin();
+        }
+        re.hypot(im)
+    }
+}
+
+/// Reflects an index into `[0, n)` (mirror boundary handling).
+fn reflect(idx: isize, n: usize) -> usize {
+    let n = n as isize;
+    let mut i = idx;
+    loop {
+        if i < 0 {
+            i = -i - 1;
+        } else if i >= n {
+            i = 2 * n - 1 - i;
+        } else {
+            return i as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+    }
+
+    #[test]
+    fn design_rejects_bad_parameters() {
+        assert!(FirFilter::low_pass(0.0, 64.0, 65).is_err());
+        assert!(FirFilter::low_pass(0.67, -1.0, 65).is_err());
+        assert!(FirFilter::low_pass(0.67, 64.0, 0).is_err());
+        assert!(FirFilter::low_pass(64.0, 64.0, 65).is_err());
+        assert!(FirFilter::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn even_tap_count_rounds_up_to_odd() {
+        let f = FirFilter::low_pass(0.67, 64.0, 64).unwrap();
+        assert_eq!(f.taps().len(), 65);
+    }
+
+    #[test]
+    fn unity_dc_gain() {
+        let f = FirFilter::low_pass(0.67, 64.0, 129).unwrap();
+        let sum: f64 = f.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((f.magnitude_at(0.0, 64.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taps_are_symmetric() {
+        let f = FirFilter::low_pass(0.5, 32.0, 33).unwrap();
+        let t = f.taps();
+        for i in 0..t.len() {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn passes_low_frequency_rejects_high() {
+        let f = FirFilter::low_pass(0.67, 64.0, 257).unwrap();
+        assert!(f.magnitude_at(0.2, 64.0) > 0.95);
+        assert!(f.magnitude_at(5.0, 64.0) < 0.01);
+    }
+
+    #[test]
+    fn filters_mixture_close_to_clean_tone() {
+        let sr = 64.0;
+        let n = 2048;
+        let f = FirFilter::low_pass(0.67, sr, 257).unwrap();
+        let breath = tone(0.25, sr, n);
+        let mixed: Vec<f64> = breath
+            .iter()
+            .zip(tone(8.0, sr, n))
+            .map(|(a, b)| a + b)
+            .collect();
+        let out = f.filter(&mixed);
+        // Ignore edge transients (one kernel length each side).
+        let err: f64 = out[300..n - 300]
+            .iter()
+            .zip(&breath[300..n - 300])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / (n - 600) as f64;
+        assert!(err < 0.01, "residual {err}");
+    }
+
+    #[test]
+    fn group_delay_is_compensated() {
+        // A slow ramp should pass through essentially unchanged (no shift).
+        let f = FirFilter::low_pass(1.0, 64.0, 65).unwrap();
+        let ramp: Vec<f64> = (0..512).map(|i| i as f64 * 0.01).collect();
+        let out = f.filter(&ramp);
+        for i in 100..400 {
+            assert!((out[i] - ramp[i]).abs() < 0.01, "shifted at {i}");
+        }
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let f = FirFilter::low_pass(0.67, 64.0, 65).unwrap();
+        for len in [0usize, 1, 10, 100] {
+            assert_eq!(f.filter(&vec![0.5; len]).len(), len);
+        }
+    }
+
+    #[test]
+    fn reflect_boundary_handling() {
+        assert_eq!(reflect(-1, 10), 0);
+        assert_eq!(reflect(-2, 10), 1);
+        assert_eq!(reflect(10, 10), 9);
+        assert_eq!(reflect(11, 10), 8);
+        assert_eq!(reflect(5, 10), 5);
+    }
+
+    #[test]
+    fn from_taps_identity_filter() {
+        let f = FirFilter::from_taps(vec![1.0]).unwrap();
+        let signal = vec![1.0, -2.0, 3.0];
+        assert_eq!(f.filter(&signal), signal);
+    }
+
+    #[test]
+    fn band_pass_passes_band_and_rejects_edges() {
+        let sr = 16.0;
+        let bp = FirFilter::band_pass(0.05, 0.67, sr, 513).unwrap();
+        assert!(bp.magnitude_at(0.25, sr) > 0.9, "in-band");
+        assert!(bp.magnitude_at(0.01, sr) < 0.2, "below band");
+        assert!(bp.magnitude_at(3.0, sr) < 0.05, "above band");
+    }
+
+    #[test]
+    fn band_pass_rejects_invalid_band() {
+        assert!(FirFilter::band_pass(0.5, 0.1, 16.0, 65).is_err());
+        assert!(FirFilter::band_pass(0.0, 0.5, 16.0, 65).is_err());
+        assert!(FirFilter::band_pass(0.1, 20.0, 16.0, 65).is_err());
+    }
+
+    #[test]
+    fn window_choice_changes_stopband() {
+        let sr = 64.0;
+        let rect =
+            FirFilter::low_pass_with_window(0.67, sr, 129, Window::Rectangular).unwrap();
+        let blackman =
+            FirFilter::low_pass_with_window(0.67, sr, 129, Window::Blackman).unwrap();
+        // Blackman should have a deeper stopband than rectangular.
+        assert!(blackman.magnitude_at(3.0, sr) < rect.magnitude_at(3.0, sr));
+    }
+}

@@ -1,0 +1,107 @@
+//! Sliding-window median filtering: impulse-noise suppression.
+//!
+//! Corrupted phase readings and fidget bumps appear as isolated spikes in
+//! the displacement trajectory. A short median filter removes them without
+//! smearing breathing edges the way a moving average would.
+
+/// Applies a centred sliding median of odd `width` to `signal`.
+///
+/// Edges use a shrunken (still centred) window. `width == 1` is the
+/// identity.
+///
+/// # Panics
+///
+/// Panics if `width` is even or zero.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::filter::median_filter;
+///
+/// // A lone spike disappears; the ramp survives.
+/// let signal = [0.0, 1.0, 2.0, 99.0, 4.0, 5.0, 6.0];
+/// let clean = median_filter(&signal, 3);
+/// assert_eq!(clean[3], 4.0);
+/// assert_eq!(clean[1], 1.0);
+/// ```
+pub fn median_filter(signal: &[f64], width: usize) -> Vec<f64> {
+    assert!(width % 2 == 1 && width > 0, "median width must be odd and positive");
+    if width == 1 || signal.len() < 3 {
+        return signal.to_vec();
+    }
+    let half = width / 2;
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    let mut window = Vec::with_capacity(width);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        window.clear();
+        window.extend_from_slice(&signal[lo..hi]);
+        window.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let m = window.len();
+        out.push(if m % 2 == 1 {
+            window[m / 2]
+        } else {
+            0.5 * (window[m / 2 - 1] + window[m / 2])
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_for_width_one() {
+        let s = vec![3.0, -1.0, 4.0];
+        assert_eq!(median_filter(&s, 1), s);
+    }
+
+    #[test]
+    fn removes_isolated_spikes() {
+        let mut s: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        s[20] = 100.0;
+        s[35] = -100.0;
+        let clean = median_filter(&s, 5);
+        assert!(clean[20].abs() < 1.5, "spike survived: {}", clean[20]);
+        assert!(clean[35].abs() < 1.5, "spike survived: {}", clean[35]);
+    }
+
+    #[test]
+    fn preserves_monotone_ramps() {
+        let s: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let clean = median_filter(&s, 5);
+        // Interior points unchanged, edges pulled at most one step.
+        for i in 2..28 {
+            assert_eq!(clean[i], s[i]);
+        }
+    }
+
+    #[test]
+    fn preserves_slow_sine_shape() {
+        let s: Vec<f64> = (0..200).map(|i| (i as f64 * 0.05).sin()).collect();
+        let clean = median_filter(&s, 5);
+        // Interior: near-zero distortion (edges use shrunken windows and
+        // may shift by up to one sample step).
+        let err: f64 = s[3..197]
+            .iter()
+            .zip(&clean[3..197])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 0.01, "max interior distortion {err}");
+    }
+
+    #[test]
+    fn short_signals_pass_through() {
+        assert_eq!(median_filter(&[1.0, 2.0], 5), vec![1.0, 2.0]);
+        assert_eq!(median_filter(&[], 3), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_width_panics() {
+        median_filter(&[1.0, 2.0, 3.0], 4);
+    }
+}

@@ -1,0 +1,16 @@
+//! Low-pass filtering primitives used by the breath-signal extraction stage.
+//!
+//! The paper extracts breathing signals with an FFT-based low-pass filter
+//! (cutoff 0.67 Hz = 40 breaths per minute) and notes that a windowed-sinc
+//! FIR filter can be used instead. Both are provided here, plus moving
+//! average / detrending helpers used in preprocessing.
+
+mod fft_filter;
+mod fir;
+mod median;
+mod moving;
+
+pub use fft_filter::{FftBandPass, FftLowPass};
+pub use fir::FirFilter;
+pub use median::median_filter;
+pub use moving::{detrend_mean, detrend_linear, MovingAverage};

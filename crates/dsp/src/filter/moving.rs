@@ -1,0 +1,232 @@
+//! Moving-average smoothing and detrending helpers.
+
+use std::collections::VecDeque;
+
+/// A streaming moving-average (boxcar) filter.
+///
+/// Used by the real-time pipeline to smooth displacement streams before
+/// visualisation and by the RSSI baseline estimator.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::filter::MovingAverage;
+///
+/// let mut ma = MovingAverage::new(3).unwrap();
+/// assert_eq!(ma.push(3.0), 3.0);
+/// assert_eq!(ma.push(6.0), 4.5);
+/// assert_eq!(ma.push(9.0), 6.0);
+/// assert_eq!(ma.push(0.0), 5.0); // window now [6, 9, 0]
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over `capacity` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, &'static str> {
+        if capacity == 0 {
+            return Err("moving-average window must hold at least one sample");
+        }
+        Ok(MovingAverage {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+        })
+    }
+
+    /// Pushes a sample and returns the current mean of the window.
+    pub fn push(&mut self, x: f64) -> f64 {
+        if self.window.len() == self.capacity {
+            if let Some(old) = self.window.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.window.push_back(x);
+        self.sum += x;
+        self.sum / self.window.len() as f64
+    }
+
+    /// Current mean, or `None` if no samples have been pushed yet.
+    pub fn mean(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.window.len() as f64)
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+    }
+
+    /// Applies an equivalent centred smoothing pass over a whole slice.
+    pub fn smooth(width: usize, signal: &[f64]) -> Vec<f64> {
+        if signal.is_empty() || width <= 1 {
+            return signal.to_vec();
+        }
+        let half = width / 2;
+        let n = signal.len();
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(n);
+                signal[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    }
+}
+
+/// Subtracts the mean from a signal, returning a zero-mean copy.
+pub fn detrend_mean(signal: &[f64]) -> Vec<f64> {
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    signal.iter().map(|&x| x - mean).collect()
+}
+
+/// Removes the least-squares straight-line trend from a signal.
+///
+/// Useful when a user slowly drifts toward/away from the antenna during a
+/// measurement window: the drift appears as a ramp in integrated displacement
+/// and would otherwise bias zero-crossing detection.
+pub fn detrend_linear(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n < 2 {
+        return detrend_mean(signal);
+    }
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = signal.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (i, &y) in signal.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        cov += dx * (y - mean_y);
+        var += dx * dx;
+    }
+    let slope = if var > 0.0 { cov / var } else { 0.0 };
+    signal
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| y - (mean_y + slope * (i as f64 - mean_x)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(MovingAverage::new(0).is_err());
+    }
+
+    #[test]
+    fn warmup_averages_partial_window() {
+        let mut ma = MovingAverage::new(4).unwrap();
+        assert_eq!(ma.push(2.0), 2.0);
+        assert_eq!(ma.push(4.0), 3.0);
+        assert_eq!(ma.len(), 2);
+    }
+
+    #[test]
+    fn full_window_evicts_oldest() {
+        let mut ma = MovingAverage::new(2).unwrap();
+        ma.push(1.0);
+        ma.push(2.0);
+        assert_eq!(ma.push(3.0), 2.5); // window [2, 3]
+        assert_eq!(ma.len(), 2);
+    }
+
+    #[test]
+    fn mean_is_none_when_empty() {
+        let ma = MovingAverage::new(3).unwrap();
+        assert!(ma.mean().is_none());
+        assert!(ma.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut ma = MovingAverage::new(3).unwrap();
+        ma.push(5.0);
+        ma.clear();
+        assert!(ma.mean().is_none());
+        assert_eq!(ma.push(1.0), 1.0);
+    }
+
+    #[test]
+    fn smooth_constant_signal_is_identity() {
+        let s = vec![2.0; 20];
+        assert_eq!(MovingAverage::smooth(5, &s), s);
+    }
+
+    #[test]
+    fn smooth_reduces_variance_of_noise() {
+        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let smoothed = MovingAverage::smooth(10, &s);
+        let var_in: f64 = s.iter().map(|x| x * x).sum();
+        let var_out: f64 = smoothed.iter().map(|x| x * x).sum();
+        assert!(var_out < var_in / 10.0);
+    }
+
+    #[test]
+    fn smooth_width_one_is_identity() {
+        let s = vec![1.0, 2.0, 3.0];
+        assert_eq!(MovingAverage::smooth(1, &s), s);
+    }
+
+    #[test]
+    fn detrend_mean_gives_zero_mean() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        let d = detrend_mean(&s);
+        let mean: f64 = d.iter().sum::<f64>() / d.len() as f64;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn detrend_linear_removes_ramp() {
+        let s: Vec<f64> = (0..50).map(|i| 3.0 + 0.7 * i as f64).collect();
+        let d = detrend_linear(&s);
+        for x in &d {
+            assert!(x.abs() < 1e-9, "residual {x}");
+        }
+    }
+
+    #[test]
+    fn detrend_linear_preserves_oscillation() {
+        let s: Vec<f64> = (0..200)
+            .map(|i| 0.5 * i as f64 + (i as f64 * 0.3).sin())
+            .collect();
+        let d = detrend_linear(&s);
+        let energy: f64 = d.iter().map(|x| x * x).sum::<f64>() / d.len() as f64;
+        assert!(energy > 0.3, "oscillation destroyed: {energy}");
+    }
+
+    #[test]
+    fn detrend_edge_cases() {
+        assert!(detrend_mean(&[]).is_empty());
+        assert!(detrend_linear(&[]).is_empty());
+        assert_eq!(detrend_linear(&[5.0]), vec![0.0]);
+    }
+}

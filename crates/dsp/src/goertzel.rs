@@ -1,0 +1,134 @@
+//! Goertzel algorithm: single-bin DFT evaluation.
+//!
+//! When the pipeline only needs the power at one or a few candidate
+//! breathing frequencies (e.g. verifying a zero-crossing estimate, or
+//! tracking a known metronome rate), evaluating individual bins with
+//! Goertzel is much cheaper than a full FFT.
+
+/// Evaluates the DFT of `signal` at `freq_hz` (for `sample_rate` Hz) and
+/// returns the squared magnitude.
+///
+/// # Panics
+///
+/// Panics if the sample rate is not positive or the frequency is negative
+/// or above Nyquist.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::goertzel::goertzel_power;
+///
+/// let sr = 16.0;
+/// let signal: Vec<f64> = (0..256)
+///     .map(|i| (2.0 * std::f64::consts::PI * 0.25 * i as f64 / sr).sin())
+///     .collect();
+/// let on_peak = goertzel_power(&signal, 0.25, sr);
+/// let off_peak = goertzel_power(&signal, 1.5, sr);
+/// assert!(on_peak > 100.0 * off_peak);
+/// ```
+pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: f64) -> f64 {
+    assert!(sample_rate > 0.0, "sample rate must be positive");
+    assert!(
+        (0.0..=sample_rate / 2.0).contains(&freq_hz),
+        "frequency must be in [0, Nyquist]"
+    );
+    if signal.is_empty() {
+        return 0.0;
+    }
+    let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+    let coeff = 2.0 * omega.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    s1 * s1 + s2 * s2 - coeff * s1 * s2
+}
+
+/// Scans a frequency band with Goertzel at `step_hz` resolution and
+/// returns the frequency with the highest power, or `None` for degenerate
+/// inputs.
+pub fn goertzel_peak(
+    signal: &[f64],
+    f_min: f64,
+    f_max: f64,
+    step_hz: f64,
+    sample_rate: f64,
+) -> Option<(f64, f64)> {
+    if signal.len() < 4 || step_hz <= 0.0 || f_max <= f_min {
+        return None;
+    }
+    let mut best: Option<(f64, f64)> = None;
+    let mut f = f_min;
+    while f <= f_max {
+        let p = goertzel_power(signal, f, sample_rate);
+        if best.map(|(_, bp)| p > bp).unwrap_or(true) {
+            best = Some((f, p));
+        }
+        f += step_hz;
+    }
+    best.filter(|&(_, p)| p > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+    }
+
+    #[test]
+    fn matches_fft_bin_power() {
+        let sr = 16.0;
+        let signal = tone(0.25, sr, 1024); // bin 16 of a 1024-point FFT
+        let g = goertzel_power(&signal, 0.25, sr);
+        let spec = crate::fft::fft_real(&signal);
+        let fft_power = spec[16].norm_sqr();
+        assert!((g - fft_power).abs() / fft_power < 1e-9, "{g} vs {fft_power}");
+    }
+
+    #[test]
+    fn rejects_off_frequency_energy() {
+        let sr = 16.0;
+        let signal = tone(0.25, sr, 1024);
+        assert!(goertzel_power(&signal, 0.25, sr) > 1000.0 * goertzel_power(&signal, 2.0, sr));
+    }
+
+    #[test]
+    fn empty_signal_is_zero() {
+        assert_eq!(goertzel_power(&[], 1.0, 16.0), 0.0);
+    }
+
+    #[test]
+    fn peak_scan_finds_tone() {
+        let sr = 16.0;
+        let signal = tone(0.21, sr, 2048);
+        let (f, _) = goertzel_peak(&signal, 0.05, 0.67, 0.005, sr).unwrap();
+        assert!((f - 0.21).abs() < 0.01, "found {f}");
+    }
+
+    #[test]
+    fn peak_scan_degenerate_inputs() {
+        assert!(goertzel_peak(&[1.0], 0.1, 0.5, 0.01, 16.0).is_none());
+        let signal = tone(0.2, 16.0, 256);
+        assert!(goertzel_peak(&signal, 0.5, 0.1, 0.01, 16.0).is_none());
+        assert!(goertzel_peak(&signal, 0.1, 0.5, 0.0, 16.0).is_none());
+        assert!(goertzel_peak(&[0.0; 256], 0.1, 0.5, 0.01, 16.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn above_nyquist_panics() {
+        goertzel_power(&[1.0, 2.0], 10.0, 16.0);
+    }
+
+    #[test]
+    fn dc_power_equals_square_of_sum() {
+        let signal = [1.0, 2.0, 3.0];
+        let p = goertzel_power(&signal, 0.0, 16.0);
+        assert!((p - 36.0).abs() < 1e-9);
+    }
+}

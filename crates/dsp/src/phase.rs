@@ -1,0 +1,135 @@
+//! Phase wrapping and unwrapping helpers.
+//!
+//! Reader-reported phase lives in `[0, 2π)` and wraps; the displacement
+//! computation of Eq. (3) needs the *smallest* phase difference between
+//! consecutive same-channel readings, which is valid because the tag moves
+//! far less than λ/4 between readings at ≥60 Hz sampling.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle into `[0, 2π)`.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::phase::wrap_to_2pi;
+/// use std::f64::consts::PI;
+/// assert!((wrap_to_2pi(-PI / 2.0) - 1.5 * PI).abs() < 1e-12);
+/// assert!((wrap_to_2pi(5.0 * PI) - PI).abs() < 1e-12);
+/// ```
+pub fn wrap_to_2pi(theta: f64) -> f64 {
+    let tau = 2.0 * PI;
+    let r = theta % tau;
+    if r < 0.0 {
+        r + tau
+    } else {
+        r
+    }
+}
+
+/// Wraps an angle difference into `(-π, π]`.
+///
+/// This is the minimal-rotation interpretation used when differencing two
+/// consecutive phase readings.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::phase::wrap_to_pi;
+/// use std::f64::consts::PI;
+/// assert!((wrap_to_pi(1.9 * PI) - (-0.1 * PI)).abs() < 1e-12);
+/// ```
+pub fn wrap_to_pi(delta: f64) -> f64 {
+    let tau = 2.0 * PI;
+    let mut d = delta % tau;
+    if d > PI {
+        d -= tau;
+    } else if d <= -PI {
+        d += tau;
+    }
+    d
+}
+
+/// Unwraps a sequence of wrapped phase samples into a continuous sequence.
+///
+/// Consecutive jumps larger than π are interpreted as wraps.
+pub fn unwrap(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut offset = 0.0;
+    let tau = 2.0 * PI;
+    for (i, &p) in phases.iter().enumerate() {
+        if i > 0 {
+            let delta = p - phases[i - 1];
+            if delta > PI {
+                offset -= tau;
+            } else if delta < -PI {
+                offset += tau;
+            }
+        }
+        out.push(p + offset);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_to_2pi_range() {
+        for k in -20..20 {
+            let theta = k as f64 * 1.7;
+            let w = wrap_to_2pi(theta);
+            assert!((0.0..2.0 * PI).contains(&w), "{theta} -> {w}");
+            // Same angle modulo 2π.
+            assert!(((w - theta) / (2.0 * PI)).fract().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_to_pi_range_and_identity_in_range() {
+        assert_eq!(wrap_to_pi(0.5), 0.5);
+        assert_eq!(wrap_to_pi(-0.5), -0.5);
+        for k in -20..20 {
+            let d = k as f64 * 0.9;
+            let w = wrap_to_pi(d);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrap_to_pi_picks_minimal_rotation() {
+        // A reading going from 0.1 to 2π-0.1 is a -0.2 rad move, not +2π-0.2.
+        let d = wrap_to_pi((2.0 * PI - 0.1) - 0.1);
+        assert!((d + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwrap_recovers_linear_ramp() {
+        let true_phase: Vec<f64> = (0..200).map(|i| i as f64 * 0.2).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_to_2pi(p)).collect();
+        let unwrapped = unwrap(&wrapped);
+        for (u, t) in unwrapped.iter().zip(&true_phase) {
+            assert!((u - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_descending_phase() {
+        let true_phase: Vec<f64> = (0..200).map(|i| 100.0 - i as f64 * 0.15).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_to_2pi(p)).collect();
+        let unwrapped = unwrap(&wrapped);
+        // Differences must match the original.
+        for i in 1..unwrapped.len() {
+            let got = unwrapped[i] - unwrapped[i - 1];
+            let want = true_phase[i] - true_phase[i - 1];
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_empty_and_single() {
+        assert!(unwrap(&[]).is_empty());
+        assert_eq!(unwrap(&[1.5]), vec![1.5]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Resampling of irregularly-sampled streams onto a uniform grid.
+//!
+//! EPC Gen2 tag reads arrive at irregular instants (slotted ALOHA, hopping
+//! gaps, missed reads). FFT analysis needs uniform sampling, so the fusion
+//! stage bins/interpolates the displacement stream onto a fixed-rate grid.
+
+/// A time-stamped scalar sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sample {
+    /// Time in seconds.
+    pub time: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub const fn new(time: f64, value: f64) -> Self {
+        Sample { time, value }
+    }
+}
+
+/// Error from resampling an invalid series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResampleError {
+    /// Input had fewer than two samples.
+    TooFewSamples,
+    /// Input timestamps were not strictly increasing.
+    NonMonotonicTime,
+    /// The requested output rate was non-positive or non-finite.
+    InvalidRate,
+}
+
+impl std::fmt::Display for ResampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResampleError::TooFewSamples => {
+                write!(f, "resampling needs at least two samples")
+            }
+            ResampleError::NonMonotonicTime => {
+                write!(f, "sample timestamps must be strictly increasing")
+            }
+            ResampleError::InvalidRate => {
+                write!(f, "output sample rate must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResampleError {}
+
+/// Linearly interpolates an irregular series onto a uniform grid at
+/// `rate_hz`, spanning `[first.time, last.time]`.
+///
+/// Returns `(start_time, values)` where `values[k]` is the interpolated value
+/// at `start_time + k / rate_hz`.
+///
+/// # Errors
+///
+/// Returns an error if the series has fewer than two samples, timestamps are
+/// not strictly increasing, or the rate is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::resample::{resample_linear, Sample};
+///
+/// let series = [Sample::new(0.0, 0.0), Sample::new(1.0, 2.0)];
+/// let (t0, values) = resample_linear(&series, 4.0)?;
+/// assert_eq!(t0, 0.0);
+/// assert_eq!(values, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+/// # Ok::<(), tagbreathe_dsp::resample::ResampleError>(())
+/// ```
+pub fn resample_linear(
+    series: &[Sample],
+    rate_hz: f64,
+) -> Result<(f64, Vec<f64>), ResampleError> {
+    if series.len() < 2 {
+        return Err(ResampleError::TooFewSamples);
+    }
+    if !(rate_hz.is_finite() && rate_hz > 0.0) {
+        return Err(ResampleError::InvalidRate);
+    }
+    for pair in series.windows(2) {
+        if pair[1].time <= pair[0].time {
+            return Err(ResampleError::NonMonotonicTime);
+        }
+    }
+    let t0 = series[0].time;
+    let t_end = series[series.len() - 1].time;
+    let dt = 1.0 / rate_hz;
+    let n = ((t_end - t0) / dt).floor() as usize + 1;
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for k in 0..n {
+        let t = t0 + k as f64 * dt;
+        while seg + 2 < series.len() && series[seg + 1].time < t {
+            seg += 1;
+        }
+        let a = series[seg];
+        let b = series[seg + 1];
+        let alpha = ((t - a.time) / (b.time - a.time)).clamp(0.0, 1.0);
+        out.push(a.value + alpha * (b.value - a.value));
+    }
+    Ok((t0, out))
+}
+
+/// Bins an irregular series into fixed-width time bins by summation.
+///
+/// This mirrors Eq. (6) of the paper: the per-tag displacement increments
+/// falling in `[t, t + Δt)` are summed. Empty bins yield `0.0` (no observed
+/// displacement). Returns `(start_time, bin_sums)`.
+///
+/// `span` optionally forces the binning to cover `[start, start + span)`
+/// regardless of where samples fall; pass `None` to span the data.
+pub fn bin_sum(
+    series: &[Sample],
+    start: f64,
+    bin_width: f64,
+    span: Option<f64>,
+) -> (f64, Vec<f64>) {
+    assert!(
+        bin_width.is_finite() && bin_width > 0.0,
+        "bin width must be positive"
+    );
+    let n = match span {
+        Some(s) => ((s / bin_width).ceil() as usize).max(1),
+        None => {
+            let max_t = series.iter().map(|s| s.time).fold(start, f64::max);
+            ((max_t - start) / bin_width).floor() as usize + 1
+        }
+    };
+    let mut bins = vec![0.0; n];
+    for s in series {
+        if s.time < start {
+            continue;
+        }
+        let idx = ((s.time - start) / bin_width) as usize;
+        if idx < n {
+            bins[idx] += s.value;
+        }
+    }
+    (start, bins)
+}
+
+/// Estimates the mean sampling rate (Hz) of an irregular series.
+///
+/// Returns `None` for series with fewer than two samples or zero duration.
+pub fn mean_rate(series: &[Sample]) -> Option<f64> {
+    if series.len() < 2 {
+        return None;
+    }
+    let span = series[series.len() - 1].time - series[0].time;
+    if span <= 0.0 {
+        return None;
+    }
+    Some((series.len() - 1) as f64 / span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolation_on_straight_line() {
+        let series: Vec<Sample> = (0..5)
+            .map(|i| Sample::new(i as f64 * 0.5, i as f64))
+            .collect();
+        let (t0, v) = resample_linear(&series, 8.0).unwrap();
+        assert_eq!(t0, 0.0);
+        // Value should be 2*t everywhere.
+        for (k, x) in v.iter().enumerate() {
+            let t = k as f64 / 8.0;
+            assert!((x - 2.0 * t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn irregular_gaps_are_bridged() {
+        let series = [
+            Sample::new(0.0, 0.0),
+            Sample::new(0.1, 1.0),
+            Sample::new(2.0, 1.0), // long gap (e.g., blocked LOS)
+            Sample::new(2.1, 2.0),
+        ];
+        let (_, v) = resample_linear(&series, 10.0).unwrap();
+        assert_eq!(v.len(), 22);
+        // During the gap the value interpolates flat at 1.0.
+        assert!((v[10] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_too_few_and_non_monotonic() {
+        assert_eq!(
+            resample_linear(&[Sample::new(0.0, 1.0)], 4.0),
+            Err(ResampleError::TooFewSamples)
+        );
+        let bad = [Sample::new(0.0, 0.0), Sample::new(0.0, 1.0)];
+        assert_eq!(
+            resample_linear(&bad, 4.0),
+            Err(ResampleError::NonMonotonicTime)
+        );
+        let ok = [Sample::new(0.0, 0.0), Sample::new(1.0, 1.0)];
+        assert_eq!(resample_linear(&ok, 0.0), Err(ResampleError::InvalidRate));
+        assert_eq!(
+            resample_linear(&ok, f64::NAN),
+            Err(ResampleError::InvalidRate)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ResampleError::TooFewSamples.to_string().contains("two"));
+        assert!(ResampleError::NonMonotonicTime
+            .to_string()
+            .contains("increasing"));
+        assert!(ResampleError::InvalidRate.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn bin_sum_sums_within_bins() {
+        let series = [
+            Sample::new(0.05, 1.0),
+            Sample::new(0.07, 2.0),
+            Sample::new(0.15, 4.0),
+            Sample::new(0.35, 8.0),
+        ];
+        let (t0, bins) = bin_sum(&series, 0.0, 0.1, Some(0.4));
+        assert_eq!(t0, 0.0);
+        assert_eq!(bins, vec![3.0, 4.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn bin_sum_ignores_out_of_range() {
+        let series = [Sample::new(-1.0, 5.0), Sample::new(10.0, 5.0)];
+        let (_, bins) = bin_sum(&series, 0.0, 1.0, Some(2.0));
+        assert_eq!(bins, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn bin_sum_spans_data_when_no_span_given() {
+        let series = [Sample::new(0.0, 1.0), Sample::new(0.95, 1.0)];
+        let (_, bins) = bin_sum(&series, 0.0, 0.5, None);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn bin_sum_zero_width_panics() {
+        bin_sum(&[], 0.0, 0.0, None);
+    }
+
+    #[test]
+    fn mean_rate_of_regular_series() {
+        let series: Vec<Sample> = (0..65)
+            .map(|i| Sample::new(i as f64 / 64.0, 0.0))
+            .collect();
+        let r = mean_rate(&series).unwrap();
+        assert!((r - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rate_degenerate_cases() {
+        assert!(mean_rate(&[]).is_none());
+        assert!(mean_rate(&[Sample::new(0.0, 1.0)]).is_none());
+        assert!(mean_rate(&[Sample::new(1.0, 0.0), Sample::new(1.0, 0.0)]).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Spectral peak estimation.
+//!
+//! The paper notes (Section IV-B) that taking the FFT peak directly limits
+//! rate resolution to `1/w` for a `w`-second window (2.4 bpm at 25 s).
+//! Quadratic interpolation of the peak bin recovers sub-bin resolution and is
+//! used by the FFT-peak estimator baseline.
+
+use crate::fft::{bin_frequency, power_spectrum};
+use crate::window::Window;
+
+/// A spectral peak estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralPeak {
+    /// Peak frequency in hertz (sub-bin interpolated).
+    pub frequency_hz: f64,
+    /// Power at the raw peak bin.
+    pub power: f64,
+    /// Index of the raw peak bin.
+    pub bin: usize,
+}
+
+/// Finds the dominant spectral peak of `signal` within `[f_min, f_max]` Hz.
+///
+/// The signal is windowed (Hann), transformed, and the highest-power bin in
+/// range is refined by quadratic (parabolic) interpolation over log-power.
+/// Returns `None` if the range holds no bins or the signal is empty /
+/// all-zero in the range.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::spectrum::dominant_frequency;
+///
+/// let sr = 64.0;
+/// let signal: Vec<f64> = (0..2048)
+///     .map(|i| (2.0 * std::f64::consts::PI * 0.3 * i as f64 / sr).sin())
+///     .collect();
+/// let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+/// assert!((peak.frequency_hz - 0.3).abs() < 0.01);
+/// ```
+pub fn dominant_frequency(
+    signal: &[f64],
+    sample_rate: f64,
+    f_min: f64,
+    f_max: f64,
+) -> Option<SpectralPeak> {
+    if signal.len() < 4 || !(sample_rate > 0.0) || f_max <= f_min {
+        return None;
+    }
+    let mut windowed = signal.to_vec();
+    // Remove mean so DC leakage does not mask the breathing peak.
+    let mean = windowed.iter().sum::<f64>() / windowed.len() as f64;
+    for x in &mut windowed {
+        *x -= mean;
+    }
+    Window::Hann.apply(&mut windowed);
+    let ps = power_spectrum(&windowed);
+    let n = (ps.len() - 1) * 2; // original FFT length
+    let lo = ((f_min * n as f64 / sample_rate).ceil() as usize).max(1);
+    let hi = ((f_max * n as f64 / sample_rate).floor() as usize).min(ps.len() - 1);
+    if lo > hi {
+        return None;
+    }
+    let (bin, &power) = ps[lo..=hi]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, p)| (i + lo, p))?;
+    if power <= 0.0 {
+        return None;
+    }
+    // Parabolic interpolation over log power (Gaussian peak assumption).
+    let freq = if bin > 0 && bin + 1 < ps.len() && ps[bin - 1] > 0.0 && ps[bin + 1] > 0.0 {
+        let alpha = ps[bin - 1].ln();
+        let beta = ps[bin].ln();
+        let gamma = ps[bin + 1].ln();
+        let denom = alpha - 2.0 * beta + gamma;
+        let delta = if denom.abs() > f64::EPSILON {
+            (0.5 * (alpha - gamma) / denom).clamp(-0.5, 0.5)
+        } else {
+            0.0
+        };
+        (bin as f64 + delta) * sample_rate / n as f64
+    } else {
+        bin_frequency(bin, sample_rate, n)
+    };
+    Some(SpectralPeak {
+        frequency_hz: freq,
+        power,
+        bin,
+    })
+}
+
+/// The raw FFT frequency resolution for a window of `seconds` seconds: `1/w`.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::spectrum::fft_resolution_hz;
+/// // The paper's 25 s window gives 0.04 Hz = 2.4 breaths/minute.
+/// assert!((fft_resolution_hz(25.0) - 0.04).abs() < 1e-12);
+/// ```
+pub fn fft_resolution_hz(seconds: f64) -> f64 {
+    1.0 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, sr: f64, secs: f64) -> Vec<f64> {
+        (0..(sr * secs) as usize)
+            .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_bin_tone() {
+        let sr = 64.0;
+        let signal = tone(0.25, sr, 32.0); // 2048 samples, exact bin
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        assert!((peak.frequency_hz - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    fn interpolation_beats_bin_resolution() {
+        let sr = 64.0;
+        let signal = tone(0.21, sr, 25.0); // off-bin tone, 25 s window
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        // Raw resolution is 1/25 = 0.04 Hz; interpolation should do better
+        // than half a bin.
+        assert!(
+            (peak.frequency_hz - 0.21).abs() < 0.02,
+            "got {}",
+            peak.frequency_hz
+        );
+    }
+
+    #[test]
+    fn respects_search_range() {
+        let sr = 64.0;
+        // Strong 5 Hz tone plus weak 0.3 Hz tone.
+        let n = 2048;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / sr;
+                3.0 * (2.0 * PI * 5.0 * t).sin() + 0.3 * (2.0 * PI * 0.3 * t).sin()
+            })
+            .collect();
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        assert!((peak.frequency_hz - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn dc_is_excluded() {
+        let sr = 64.0;
+        let signal: Vec<f64> = tone(0.2, sr, 20.0).iter().map(|x| x + 100.0).collect();
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        assert!((peak.frequency_hz - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(dominant_frequency(&[], 64.0, 0.1, 1.0).is_none());
+        assert!(dominant_frequency(&[1.0, 2.0], 64.0, 0.1, 1.0).is_none());
+        assert!(dominant_frequency(&[0.0; 1024], 64.0, 1.0, 0.5).is_none());
+        // All-zero signal has no peak.
+        assert!(dominant_frequency(&[0.0; 1024], 64.0, 0.1, 1.0).is_none());
+    }
+
+    #[test]
+    fn resolution_formula() {
+        assert_eq!(fft_resolution_hz(10.0), 0.1);
+        // 0.04 Hz × 60 = 2.4 bpm as the paper states.
+        assert!((fft_resolution_hz(25.0) * 60.0 - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breathing_rates_recoverable_across_band() {
+        let sr = 64.0;
+        for bpm in [6.0, 10.0, 15.0, 20.0, 30.0] {
+            let f = bpm / 60.0;
+            let signal = tone(f, sr, 60.0);
+            let peak = dominant_frequency(&signal, sr, 0.05, 0.7).unwrap();
+            assert!(
+                (peak.frequency_hz * 60.0 - bpm).abs() < 0.5,
+                "bpm {bpm}: got {}",
+                peak.frequency_hz * 60.0
+            );
+        }
+    }
+}

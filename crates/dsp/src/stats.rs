@@ -1,0 +1,202 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Root-mean-square value; `None` for an empty slice.
+pub fn rms(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+    }
+}
+
+/// Median (interpolated for even lengths); `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+    }
+}
+
+/// Percentile in `[0, 100]` by linear interpolation; `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Normalises a signal to zero mean and unit peak amplitude
+/// (max |x| = 1). A constant signal normalises to all zeros.
+///
+/// This mirrors the paper's "we normalize the displacement values"
+/// (Figure 6).
+pub fn normalize_peak(xs: &[f64]) -> Vec<f64> {
+    let Some(m) = mean(xs) else { return Vec::new() };
+    let centred: Vec<f64> = xs.iter().map(|x| x - m).collect();
+    let peak = centred.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+    if peak > 0.0 {
+        centred.into_iter().map(|x| x / peak).collect()
+    } else {
+        centred
+    }
+}
+
+/// Normalises a signal to zero mean and unit standard deviation (z-score).
+/// A constant signal normalises to all zeros.
+pub fn normalize_zscore(xs: &[f64]) -> Vec<f64> {
+    let Some(m) = mean(xs) else { return Vec::new() };
+    let sd = std_dev(xs).unwrap_or(0.0);
+    if sd > 0.0 {
+        xs.iter().map(|x| (x - m) / sd).collect()
+    } else {
+        xs.iter().map(|x| x - m).collect()
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series; `None` for
+/// mismatched lengths, fewer than two points, or zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ma = mean(a)?;
+    let mb = mean(b)?;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+    }
+
+    #[test]
+    fn empty_inputs_give_none() {
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[]).is_none());
+        assert!(std_dev(&[]).is_none());
+        assert!(rms(&[]).is_none());
+        assert!(median(&[]).is_none());
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn rms_of_alternating() {
+        assert_eq!(rms(&[3.0, -3.0, 3.0, -3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 0.0), Some(0.0));
+        assert_eq!(percentile(&xs, 50.0), Some(5.0));
+        assert_eq!(percentile(&xs, 100.0), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn normalize_peak_bounds() {
+        let xs = [1.0, 3.0, 5.0];
+        let n = normalize_peak(&xs);
+        let peak = n.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        assert!((peak - 1.0).abs() < 1e-12);
+        let m: f64 = n.iter().sum::<f64>() / n.len() as f64;
+        assert!(m.abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_constant_is_zeros() {
+        assert_eq!(normalize_peak(&[4.0, 4.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize_zscore(&[4.0, 4.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zscore_has_unit_std() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let z = normalize_zscore(&xs);
+        assert!((std_dev(&z).unwrap() - 1.0).abs() < 1e-9);
+        assert!(mean(&z).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let c = [-1.0, -2.0, -3.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Window functions for spectral analysis and FIR filter design.
+
+/// A window-function shape.
+///
+/// TagBreathe's FIR alternative low-pass (Section IV-B) uses a windowed-sinc
+/// design; [`Window::Hamming`] is the default there, while spectral plots use
+/// [`Window::Hann`] to reduce leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    #[default]
+    Hamming,
+    /// Blackman window (wider main lobe, lower side lobes).
+    Blackman,
+}
+
+impl Window {
+    /// Evaluates the window at sample `i` of an `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn value(self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "window index {i} out of range for length {n}");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+            }
+        }
+    }
+
+    /// Generates the full `n`-point window as a vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tagbreathe_dsp::window::Window;
+    /// let w = Window::Hann.coefficients(5);
+    /// assert!((w[2] - 1.0).abs() < 1e-12); // peak at the centre
+    /// assert!(w[0].abs() < 1e-12);
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.value(i, n)).collect()
+    }
+
+    /// Multiplies `signal` by the window in place (window length = signal
+    /// length).
+    pub fn apply(self, signal: &mut [f64]) {
+        let n = signal.len();
+        if n == 0 {
+            return;
+        }
+        for (i, x) in signal.iter_mut().enumerate() {
+            *x *= self.value(i, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(8)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_is_zero_at_endpoints_and_one_at_centre() {
+        let w = Window::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_point_zero_eight() {
+        let w = Window::Hamming.coefficients(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative_and_peaks_at_centre() {
+        let w = Window::Blackman.coefficients(33);
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - w[16]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for win in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(17);
+            for i in 0..17 {
+                assert!((w[i] - w[16 - i]).abs() < 1e-12, "{win:?} asymmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_multiplies_in_place() {
+        let mut s = vec![2.0; 5];
+        Window::Hann.apply(&mut s);
+        assert!((s[2] - 2.0).abs() < 1e-12);
+        assert!(s[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_one_window_is_unity() {
+        for win in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            assert_eq!(win.value(0, 1), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        Window::Hann.value(5, 5);
+    }
+}

@@ -1,0 +1,238 @@
+//! Zero-crossing detection on band-limited signals.
+//!
+//! TagBreathe estimates the instantaneous breathing rate from the timestamps
+//! of zero crossings of the extracted (low-pass-filtered, zero-mean)
+//! breathing signal (Eq. 5). Each breath contributes two crossings, so
+//! `M` buffered crossings span `(M − 1)/2` breaths.
+
+/// Direction of a zero crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossingDirection {
+    /// Signal goes from negative to positive.
+    Rising,
+    /// Signal goes from positive to negative.
+    Falling,
+}
+
+/// A detected zero crossing with linearly interpolated sub-sample timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroCrossing {
+    /// Interpolated crossing time in seconds.
+    pub time: f64,
+    /// Crossing direction.
+    pub direction: CrossingDirection,
+}
+
+/// Detects zero crossings in a uniformly sampled signal.
+///
+/// `start_time` is the time of `signal[0]` and `dt` the sample spacing.
+/// `hysteresis` suppresses chatter: after a crossing the signal must exceed
+/// `±hysteresis` before another crossing is accepted. Pass `0.0` for plain
+/// sign-change detection.
+///
+/// # Panics
+///
+/// Panics if `dt` is not positive or `hysteresis` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::zero_crossing::{find_zero_crossings, CrossingDirection};
+///
+/// let signal = [-1.0, 1.0, -1.0];
+/// let crossings = find_zero_crossings(&signal, 0.0, 0.5, 0.0);
+/// assert_eq!(crossings.len(), 2);
+/// assert_eq!(crossings[0].direction, CrossingDirection::Rising);
+/// assert!((crossings[0].time - 0.25).abs() < 1e-12);
+/// ```
+pub fn find_zero_crossings(
+    signal: &[f64],
+    start_time: f64,
+    dt: f64,
+    hysteresis: f64,
+) -> Vec<ZeroCrossing> {
+    assert!(dt > 0.0, "sample spacing must be positive");
+    assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+    let mut out = Vec::new();
+    // State: last confirmed polarity (+1 / -1), None until signal exceeds
+    // the hysteresis band the first time.
+    let mut polarity: Option<i8> = None;
+    let mut last_idx_before_cross = 0usize;
+    for (i, &x) in signal.iter().enumerate() {
+        let p = if x > hysteresis {
+            Some(1i8)
+        } else if x < -hysteresis {
+            Some(-1i8)
+        } else {
+            None
+        };
+        let Some(p) = p else { continue };
+        match polarity {
+            None => polarity = Some(p),
+            Some(prev) if prev != p => {
+                // Find the actual sign change between the last sample with
+                // the previous polarity and here; interpolate linearly.
+                let (t, dir) =
+                    interpolate_crossing(signal, last_idx_before_cross, i, start_time, dt, p);
+                out.push(ZeroCrossing { time: t, direction: dir });
+                polarity = Some(p);
+            }
+            _ => {}
+        }
+        last_idx_before_cross = i;
+    }
+    out
+}
+
+fn interpolate_crossing(
+    signal: &[f64],
+    from: usize,
+    to: usize,
+    start_time: f64,
+    dt: f64,
+    new_polarity: i8,
+) -> (f64, CrossingDirection) {
+    // Scan for the sample pair that actually straddles zero.
+    let mut a = from;
+    for i in from..to {
+        let crosses = (signal[i] <= 0.0 && signal[i + 1] > 0.0)
+            || (signal[i] >= 0.0 && signal[i + 1] < 0.0);
+        if crosses {
+            a = i;
+            break;
+        }
+        a = i;
+    }
+    let b = a + 1;
+    let ya = signal[a];
+    let yb = signal[b.min(signal.len() - 1)];
+    let frac = if (yb - ya).abs() > f64::EPSILON {
+        (-ya / (yb - ya)).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
+    let t = start_time + (a as f64 + frac) * dt;
+    let dir = if new_polarity > 0 {
+        CrossingDirection::Rising
+    } else {
+        CrossingDirection::Falling
+    };
+    (t, dir)
+}
+
+/// Computes a rate in hertz from `M` buffered crossing times per Eq. (5):
+/// `f = (M − 1) / (2 (t_i − t_{i−M+1}))`.
+///
+/// Returns `None` when fewer than two crossings are available or the span is
+/// degenerate.
+pub fn rate_from_crossings(crossing_times: &[f64]) -> Option<f64> {
+    let m = crossing_times.len();
+    if m < 2 {
+        return None;
+    }
+    let span = crossing_times[m - 1] - crossing_times[0];
+    if span <= 0.0 {
+        return None;
+    }
+    Some((m - 1) as f64 / (2.0 * span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sine(freq: f64, sr: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+    }
+
+    #[test]
+    fn counts_crossings_of_sine() {
+        // 0.25 Hz over 20 s → 5 full periods → 10 crossings; the signal
+        // starts at exactly 0 rising, so the first crossing at t=0 has no
+        // preceding negative sample and is not counted.
+        let sr = 64.0;
+        let signal = sine(0.25, sr, (20.0 * sr) as usize);
+        let crossings = find_zero_crossings(&signal, 0.0, 1.0 / sr, 0.0);
+        assert!(
+            (9..=10).contains(&crossings.len()),
+            "got {} crossings",
+            crossings.len()
+        );
+    }
+
+    #[test]
+    fn crossing_times_are_interpolated() {
+        let signal = [-1.0, 3.0];
+        let c = find_zero_crossings(&signal, 10.0, 1.0, 0.0);
+        assert_eq!(c.len(), 1);
+        assert!((c[0].time - 10.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directions_alternate() {
+        let signal = sine(0.5, 64.0, 640);
+        let c = find_zero_crossings(&signal, 0.0, 1.0 / 64.0, 0.0);
+        for pair in c.windows(2) {
+            assert_ne!(pair[0].direction, pair[1].direction);
+        }
+    }
+
+    #[test]
+    fn hysteresis_suppresses_chatter() {
+        // Small oscillation around zero should produce no crossings with a
+        // hysteresis above its amplitude.
+        let noise: Vec<f64> = (0..100)
+            .map(|i| 0.05 * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(find_zero_crossings(&noise, 0.0, 0.01, 0.1).is_empty());
+        assert!(!find_zero_crossings(&noise, 0.0, 0.01, 0.0).is_empty());
+    }
+
+    #[test]
+    fn hysteresis_still_detects_large_swings() {
+        let signal = sine(0.25, 64.0, 64 * 8);
+        let with = find_zero_crossings(&signal, 0.0, 1.0 / 64.0, 0.2);
+        let without = find_zero_crossings(&signal, 0.0, 1.0 / 64.0, 0.0);
+        assert_eq!(with.len(), without.len());
+    }
+
+    #[test]
+    fn rate_from_crossings_matches_eq5() {
+        // 7 crossings of a 0.2 Hz signal: crossings every 2.5 s.
+        let times: Vec<f64> = (0..7).map(|i| i as f64 * 2.5).collect();
+        let f = rate_from_crossings(&times).unwrap();
+        assert!((f - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_from_crossings_degenerate() {
+        assert!(rate_from_crossings(&[]).is_none());
+        assert!(rate_from_crossings(&[1.0]).is_none());
+        assert!(rate_from_crossings(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn constant_signal_has_no_crossings() {
+        assert!(find_zero_crossings(&[1.0; 50], 0.0, 0.1, 0.0).is_empty());
+        assert!(find_zero_crossings(&[0.0; 50], 0.0, 0.1, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_panics() {
+        find_zero_crossings(&[1.0, -1.0], 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn recovered_rate_of_filtered_sine() {
+        let sr = 64.0;
+        let freq = 10.0 / 60.0; // 10 bpm
+        let signal = sine(freq, sr, (60.0 * sr) as usize);
+        let c = find_zero_crossings(&signal, 0.0, 1.0 / sr, 0.0);
+        let times: Vec<f64> = c.iter().rev().take(7).map(|z| z.time).collect();
+        let times: Vec<f64> = times.into_iter().rev().collect();
+        let f = rate_from_crossings(&times).unwrap();
+        assert!((f * 60.0 - 10.0).abs() < 0.1, "got {} bpm", f * 60.0);
+    }
+}

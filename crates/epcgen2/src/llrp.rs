@@ -1,0 +1,466 @@
+//! Binary LLRP encoding of tag reports.
+//!
+//! The paper's prototype drives the Impinj R420 through the LLRP Toolkit
+//! (Section V): the reader streams `RO_ACCESS_REPORT` messages whose
+//! `TagReportData` parameters carry the EPC, antenna, channel, timestamp,
+//! RSSI and — via Impinj custom parameters — the RF phase and Doppler
+//! estimate. This module implements that wire format for the subset
+//! TagBreathe consumes, so simulated traces can be exported in the same
+//! binary form a real reader produces, and real captures can be decoded
+//! into [`TagReport`]s and fed to the pipeline unchanged.
+//!
+//! Encoding summary (LLRP 1.1 §3/§4):
+//!
+//! * message header: `rsvd(3) ver(3) type(10)`, `length(32)` (whole
+//!   message), `id(32)`;
+//! * TLV parameter: `rsvd(6) type(10)`, `length(16)` (whole parameter);
+//! * TV parameter: `1 type(7)` then a fixed-length value.
+//!
+//! Types used: `RO_ACCESS_REPORT` = 61, `TagReportData` TLV = 240,
+//! `EPC-96` TV = 13, `AntennaID` TV = 1, `ChannelIndex` TV = 7,
+//! `PeakRSSI` TV = 6, `FirstSeenTimestampUTC` TV = 2, `Custom` TLV = 1023
+//! with Impinj vendor id 25882 — subtype 24 (`RFPhaseAngle`, 0–4095 for
+//! 0–2π), subtype 57 (`PeakRSSI`, 1/100 dBm), subtype 68
+//! (`RFDopplerFrequency`, 1/16 Hz).
+
+use crate::epc::Epc96;
+use crate::report::TagReport;
+
+const LLRP_VERSION: u8 = 1;
+const MSG_RO_ACCESS_REPORT: u16 = 61;
+const PARAM_TAG_REPORT_DATA: u16 = 240;
+const PARAM_CUSTOM: u16 = 1023;
+const TV_ANTENNA_ID: u8 = 1;
+const TV_FIRST_SEEN_UTC: u8 = 2;
+const TV_PEAK_RSSI: u8 = 6;
+const TV_CHANNEL_INDEX: u8 = 7;
+const TV_EPC96: u8 = 13;
+const IMPINJ_VENDOR_ID: u32 = 25882;
+const IMPINJ_PHASE_ANGLE: u32 = 24;
+const IMPINJ_PEAK_RSSI: u32 = 57;
+const IMPINJ_DOPPLER: u32 = 68;
+
+/// Error decoding an LLRP byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlrpError {
+    /// The buffer ended before a declared length was satisfied.
+    Truncated,
+    /// A header carried an unsupported version or message type.
+    Unsupported(&'static str),
+    /// A declared length was inconsistent with its container.
+    BadLength,
+}
+
+impl std::fmt::Display for LlrpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlrpError::Truncated => write!(f, "LLRP message truncated"),
+            LlrpError::Unsupported(what) => write!(f, "unsupported LLRP {what}"),
+            LlrpError::BadLength => write!(f, "inconsistent LLRP length field"),
+        }
+    }
+}
+
+impl std::error::Error for LlrpError {}
+
+/// Encodes reports as one `RO_ACCESS_REPORT` message.
+pub fn encode_ro_access_report(reports: &[TagReport], message_id: u32) -> Vec<u8> {
+    let mut body = Vec::new();
+    for r in reports {
+        encode_tag_report_data(&mut body, r);
+    }
+    let mut out = Vec::with_capacity(body.len() + 10);
+    let ver_type: u16 = ((LLRP_VERSION as u16) << 10) | MSG_RO_ACCESS_REPORT;
+    out.extend_from_slice(&ver_type.to_be_bytes());
+    out.extend_from_slice(&((body.len() as u32 + 10).to_be_bytes()));
+    out.extend_from_slice(&message_id.to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn encode_tag_report_data(out: &mut Vec<u8>, r: &TagReport) {
+    let mut p = Vec::new();
+    // EPC-96 (TV).
+    p.push(0x80 | TV_EPC96);
+    p.extend_from_slice(&r.epc.to_bytes());
+    // AntennaID (TV, u16).
+    p.push(0x80 | TV_ANTENNA_ID);
+    p.extend_from_slice(&(r.antenna_port as u16).to_be_bytes());
+    // PeakRSSI (TV, i8 dBm) — coarse; the Impinj custom carries 1/100 dB.
+    p.push(0x80 | TV_PEAK_RSSI);
+    p.push(r.rssi_dbm.round().clamp(-128.0, 127.0) as i8 as u8);
+    // ChannelIndex (TV, u16, 1-based on the wire).
+    p.push(0x80 | TV_CHANNEL_INDEX);
+    p.extend_from_slice(&(r.channel_index + 1).to_be_bytes());
+    // FirstSeenTimestampUTC (TV, u64 microseconds).
+    p.push(0x80 | TV_FIRST_SEEN_UTC);
+    let micros = (r.time_s * 1e6).round().max(0.0) as u64;
+    p.extend_from_slice(&micros.to_be_bytes());
+    // Impinj customs.
+    let phase_units =
+        ((r.phase_rad / (2.0 * std::f64::consts::PI) * 4096.0).round() as u64 % 4096) as u16;
+    encode_custom_u16(&mut p, IMPINJ_PHASE_ANGLE, phase_units);
+    let rssi_centi = (r.rssi_dbm * 100.0).round().clamp(-32768.0, 32767.0) as i16;
+    encode_custom_u16(&mut p, IMPINJ_PEAK_RSSI, rssi_centi as u16);
+    let doppler_units = (r.doppler_hz * 16.0).round().clamp(-32768.0, 32767.0) as i16;
+    encode_custom_u16(&mut p, IMPINJ_DOPPLER, doppler_units as u16);
+
+    write_tlv(out, PARAM_TAG_REPORT_DATA, &p);
+}
+
+fn encode_custom_u16(out: &mut Vec<u8>, subtype: u32, value: u16) {
+    let mut body = Vec::with_capacity(10);
+    body.extend_from_slice(&IMPINJ_VENDOR_ID.to_be_bytes());
+    body.extend_from_slice(&subtype.to_be_bytes());
+    body.extend_from_slice(&value.to_be_bytes());
+    write_tlv(out, PARAM_CUSTOM, &body);
+}
+
+fn write_tlv(out: &mut Vec<u8>, param_type: u16, body: &[u8]) {
+    out.extend_from_slice(&(param_type & 0x03FF).to_be_bytes());
+    out.extend_from_slice(&((body.len() as u16 + 4).to_be_bytes()));
+    out.extend_from_slice(body);
+}
+
+/// Decodes one `RO_ACCESS_REPORT` message back into reports.
+///
+/// # Errors
+///
+/// Returns [`LlrpError`] on truncation, bad lengths, or a non-report
+/// message type.
+pub fn decode_ro_access_report(bytes: &[u8]) -> Result<Vec<TagReport>, LlrpError> {
+    if bytes.len() < 10 {
+        return Err(LlrpError::Truncated);
+    }
+    let ver_type = u16::from_be_bytes([bytes[0], bytes[1]]);
+    let version = ((ver_type >> 10) & 0x7) as u8;
+    let msg_type = ver_type & 0x03FF;
+    if version != LLRP_VERSION {
+        return Err(LlrpError::Unsupported("version"));
+    }
+    if msg_type != MSG_RO_ACCESS_REPORT {
+        return Err(LlrpError::Unsupported("message type"));
+    }
+    let length = u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) as usize;
+    if length != bytes.len() || length < 10 {
+        return Err(LlrpError::BadLength);
+    }
+    let mut reports = Vec::new();
+    let mut cursor = 10usize;
+    while cursor < bytes.len() {
+        let (param_type, param_len) = read_tlv_header(bytes, cursor)?;
+        if param_type != PARAM_TAG_REPORT_DATA {
+            cursor += param_len; // skip unknown top-level parameters
+            continue;
+        }
+        let body = &bytes[cursor + 4..cursor + param_len];
+        reports.push(decode_tag_report_data(body)?);
+        cursor += param_len;
+    }
+    Ok(reports)
+}
+
+/// Decodes a stream of concatenated LLRP messages, collecting the reports
+/// of every `RO_ACCESS_REPORT` and skipping other message types
+/// (KEEPALIVE, READER_EVENT_NOTIFICATION, …) as a live socket would see
+/// them.
+///
+/// # Errors
+///
+/// Returns [`LlrpError`] on framing problems (truncation, bad lengths).
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<TagReport>, LlrpError> {
+    let mut reports = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        if at + 10 > bytes.len() {
+            return Err(LlrpError::Truncated);
+        }
+        let ver_type = u16::from_be_bytes([bytes[at], bytes[at + 1]]);
+        let msg_type = ver_type & 0x03FF;
+        let length = u32::from_be_bytes([
+            bytes[at + 2],
+            bytes[at + 3],
+            bytes[at + 4],
+            bytes[at + 5],
+        ]) as usize;
+        if length < 10 || at + length > bytes.len() {
+            return Err(LlrpError::BadLength);
+        }
+        if msg_type == MSG_RO_ACCESS_REPORT {
+            reports.extend(decode_ro_access_report(&bytes[at..at + length])?);
+        }
+        at += length;
+    }
+    Ok(reports)
+}
+
+/// Encodes a KEEPALIVE message (type 62) — used in stream-framing tests
+/// and useful for exercising socket code against the simulator.
+pub fn encode_keepalive(message_id: u32) -> Vec<u8> {
+    let ver_type: u16 = ((LLRP_VERSION as u16) << 10) | 62;
+    let mut out = Vec::with_capacity(10);
+    out.extend_from_slice(&ver_type.to_be_bytes());
+    out.extend_from_slice(&10u32.to_be_bytes());
+    out.extend_from_slice(&message_id.to_be_bytes());
+    out
+}
+
+fn read_tlv_header(bytes: &[u8], at: usize) -> Result<(u16, usize), LlrpError> {
+    if at + 4 > bytes.len() {
+        return Err(LlrpError::Truncated);
+    }
+    let t = u16::from_be_bytes([bytes[at], bytes[at + 1]]) & 0x03FF;
+    let l = u16::from_be_bytes([bytes[at + 2], bytes[at + 3]]) as usize;
+    if l < 4 || at + l > bytes.len() {
+        return Err(LlrpError::BadLength);
+    }
+    Ok((t, l))
+}
+
+fn decode_tag_report_data(body: &[u8]) -> Result<TagReport, LlrpError> {
+    let mut epc = None;
+    let mut antenna = 0u16;
+    let mut channel_wire = 1u16;
+    let mut coarse_rssi = 0i8;
+    let mut fine_rssi: Option<i16> = None;
+    let mut micros = 0u64;
+    let mut phase_units = 0u16;
+    let mut doppler_units = 0i16;
+
+    let mut at = 0usize;
+    while at < body.len() {
+        if body[at] & 0x80 != 0 {
+            // TV parameter.
+            let tv_type = body[at] & 0x7F;
+            at += 1;
+            let take = |n: usize, at: usize| -> Result<&[u8], LlrpError> {
+                body.get(at..at + n).ok_or(LlrpError::Truncated)
+            };
+            match tv_type {
+                t if t == TV_EPC96 => {
+                    let raw = take(12, at)?;
+                    let mut buf = [0u8; 12];
+                    buf.copy_from_slice(raw);
+                    epc = Some(Epc96::from_bytes(buf));
+                    at += 12;
+                }
+                t if t == TV_ANTENNA_ID => {
+                    antenna = u16::from_be_bytes([take(2, at)?[0], take(2, at)?[1]]);
+                    at += 2;
+                }
+                t if t == TV_CHANNEL_INDEX => {
+                    channel_wire = u16::from_be_bytes([take(2, at)?[0], take(2, at)?[1]]);
+                    at += 2;
+                }
+                t if t == TV_PEAK_RSSI => {
+                    coarse_rssi = take(1, at)?[0] as i8;
+                    at += 1;
+                }
+                t if t == TV_FIRST_SEEN_UTC => {
+                    let raw = take(8, at)?;
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(raw);
+                    micros = u64::from_be_bytes(buf);
+                    at += 8;
+                }
+                _ => return Err(LlrpError::Unsupported("TV parameter")),
+            }
+        } else {
+            // TLV parameter.
+            let (t, l) = read_tlv_header(body, at)?;
+            if t == PARAM_CUSTOM && l >= 4 + 10 {
+                let vendor = u32::from_be_bytes([
+                    body[at + 4],
+                    body[at + 5],
+                    body[at + 6],
+                    body[at + 7],
+                ]);
+                let subtype = u32::from_be_bytes([
+                    body[at + 8],
+                    body[at + 9],
+                    body[at + 10],
+                    body[at + 11],
+                ]);
+                let value = u16::from_be_bytes([body[at + 12], body[at + 13]]);
+                if vendor == IMPINJ_VENDOR_ID {
+                    match subtype {
+                        s if s == IMPINJ_PHASE_ANGLE => phase_units = value,
+                        s if s == IMPINJ_PEAK_RSSI => fine_rssi = Some(value as i16),
+                        s if s == IMPINJ_DOPPLER => doppler_units = value as i16,
+                        _ => {}
+                    }
+                }
+            }
+            at += l;
+        }
+    }
+
+    Ok(TagReport {
+        time_s: micros as f64 / 1e6,
+        epc: epc.ok_or(LlrpError::Unsupported("TagReportData without EPC"))?,
+        antenna_port: antenna.min(u8::MAX as u16) as u8,
+        channel_index: channel_wire.saturating_sub(1),
+        phase_rad: phase_units as f64 / 4096.0 * 2.0 * std::f64::consts::PI,
+        rssi_dbm: fine_rssi
+            .map(|c| c as f64 / 100.0)
+            .unwrap_or(coarse_rssi as f64),
+        doppler_hz: doppler_units as f64 / 16.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, user: u64, tag: u32) -> TagReport {
+        TagReport {
+            time_s: t,
+            epc: Epc96::monitor(user, tag),
+            antenna_port: 2,
+            channel_index: 7,
+            phase_rad: 3.217,
+            rssi_dbm: -53.5,
+            doppler_hz: -1.25,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_fields_to_wire_resolution() {
+        let reports = vec![sample(1.234567, 1, 0), sample(1.250001, 1, 2)];
+        let bytes = encode_ro_access_report(&reports, 42);
+        let decoded = decode_ro_access_report(&bytes).unwrap();
+        assert_eq!(decoded.len(), 2);
+        for (a, b) in reports.iter().zip(&decoded) {
+            assert_eq!(a.epc, b.epc);
+            assert_eq!(a.antenna_port, b.antenna_port);
+            assert_eq!(a.channel_index, b.channel_index);
+            assert!((a.time_s - b.time_s).abs() < 1e-6, "time");
+            assert!((a.phase_rad - b.phase_rad).abs() < 2.0 * std::f64::consts::PI / 4096.0);
+            assert!((a.rssi_dbm - b.rssi_dbm).abs() < 0.01);
+            assert!((a.doppler_hz - b.doppler_hz).abs() <= 1.0 / 16.0);
+        }
+    }
+
+    #[test]
+    fn header_fields_are_wire_correct() {
+        let bytes = encode_ro_access_report(&[], 7);
+        assert_eq!(bytes.len(), 10);
+        let ver_type = u16::from_be_bytes([bytes[0], bytes[1]]);
+        assert_eq!((ver_type >> 10) & 0x7, 1, "version");
+        assert_eq!(ver_type & 0x3FF, 61, "RO_ACCESS_REPORT type");
+        assert_eq!(u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]), 10);
+        assert_eq!(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]), 7);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_are_rejected() {
+        let bytes = encode_ro_access_report(&[sample(1.0, 1, 0)], 1);
+        assert_eq!(decode_ro_access_report(&bytes[..5]), Err(LlrpError::Truncated));
+        let mut short = bytes.clone();
+        short.truncate(bytes.len() - 3);
+        assert!(decode_ro_access_report(&short).is_err());
+        let mut bad_len = bytes.clone();
+        bad_len[5] = bad_len[5].wrapping_add(1);
+        assert_eq!(decode_ro_access_report(&bad_len), Err(LlrpError::BadLength));
+        let mut bad_type = bytes.clone();
+        bad_type[1] = 62; // not RO_ACCESS_REPORT
+        assert!(matches!(
+            decode_ro_access_report(&bad_type),
+            Err(LlrpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_top_level_parameters_are_skipped() {
+        let report = sample(2.0, 3, 1);
+        let mut bytes = encode_ro_access_report(&[report], 1);
+        // Append an unknown TLV (type 500, empty body) and fix the length.
+        bytes.extend_from_slice(&500u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        let len = bytes.len() as u32;
+        bytes[2..6].copy_from_slice(&len.to_be_bytes());
+        let decoded = decode_ro_access_report(&bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].epc, report.epc);
+    }
+
+    #[test]
+    fn phase_quantisation_is_within_one_unit() {
+        for k in 0..32 {
+            let mut r = sample(1.0, 1, 0);
+            r.phase_rad = k as f64 * 0.196;
+            let decoded = decode_ro_access_report(&encode_ro_access_report(&[r], 1)).unwrap();
+            let err = (decoded[0].phase_rad - r.phase_rad).abs();
+            let unit = 2.0 * std::f64::consts::PI / 4096.0;
+            assert!(err <= unit, "phase error {err}");
+        }
+    }
+
+    #[test]
+    fn pipeline_agrees_between_csv_and_llrp_transport() {
+        // Encode a simulated capture through LLRP, decode it, and check the
+        // analysis matches the direct path bit-for-bit within wire
+        // resolution.
+        use crate::mapping::EmbeddedIdentity;
+        use crate::reader::Reader;
+        use crate::world::ScenarioWorld;
+        use breathing::Scenario;
+        let world = ScenarioWorld::new(Scenario::paper_default());
+        let reports = Reader::paper_default().run(&world, 30.0);
+        let bytes = encode_ro_access_report(&reports, 1);
+        let decoded = decode_ro_access_report(&bytes).unwrap();
+        assert_eq!(decoded.len(), reports.len());
+        // Spot-check stream identity resolution still works.
+        let resolver = EmbeddedIdentity::new([1]);
+        use crate::mapping::IdentityResolver;
+        for r in decoded.iter().take(10) {
+            assert!(matches!(
+                resolver.resolve(r.epc),
+                crate::mapping::TagIdentity::Monitor { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn negative_doppler_and_rssi_survive() {
+        let mut r = sample(1.0, 1, 0);
+        r.doppler_hz = -7.8125; // exactly -125/16
+        r.rssi_dbm = -61.37;
+        let decoded = decode_ro_access_report(&encode_ro_access_report(&[r], 1)).unwrap();
+        assert!((decoded[0].doppler_hz - r.doppler_hz).abs() < 1e-9);
+        assert!((decoded[0].rssi_dbm - r.rssi_dbm).abs() < 0.01);
+    }
+
+    #[test]
+    fn stream_with_keepalives_decodes_all_reports() {
+        let batch1 = vec![sample(1.0, 1, 0), sample(1.1, 1, 1)];
+        let batch2 = vec![sample(2.0, 1, 2)];
+        let mut stream = Vec::new();
+        stream.extend(encode_keepalive(1));
+        stream.extend(encode_ro_access_report(&batch1, 2));
+        stream.extend(encode_keepalive(3));
+        stream.extend(encode_ro_access_report(&batch2, 4));
+        let decoded = decode_stream(&stream).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[2].epc, batch2[0].epc);
+    }
+
+    #[test]
+    fn stream_truncation_is_detected() {
+        let mut stream = encode_ro_access_report(&[sample(1.0, 1, 0)], 1);
+        stream.extend_from_slice(&[0x04]); // dangling partial header
+        assert_eq!(decode_stream(&stream), Err(LlrpError::Truncated));
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert_eq!(decode_stream(&[]), Ok(vec![]));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(LlrpError::Truncated.to_string().contains("truncated"));
+        assert!(LlrpError::BadLength.to_string().contains("length"));
+        assert!(LlrpError::Unsupported("x").to_string().contains("unsupported"));
+    }
+}

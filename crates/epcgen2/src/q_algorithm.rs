@@ -1,0 +1,181 @@
+//! The C1G2 dynamic-Q (slotted-ALOHA) anti-collision algorithm.
+//!
+//! The reader opens each inventory round with a Query carrying a slot-count
+//! exponent `Q`; every participating tag draws a uniform slot in
+//! `[0, 2^Q)`. Slots with exactly one replying tag singulate it; empty
+//! slots waste a little time; collided slots waste more and leave the tags
+//! for a later round. The reader adapts a floating-point `Q_fp` between
+//! rounds/slots: collisions push it up, empties pull it down (EPC C1G2
+//! Annex D). This adaptation is what lets one reader share its read
+//! capacity across 1–40+ tags — the mechanism behind the paper's
+//! multi-user (Figure 13) and contending-tag (Figure 14) results.
+
+use serde::{Deserialize, Serialize};
+
+/// Adaptive Q state.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_epcgen2::q_algorithm::QState;
+///
+/// let mut q = QState::new(4.0, 0.2);
+/// for _ in 0..40 {
+///     q.on_empty(); // an empty room drives Q to 0
+/// }
+/// assert_eq!(q.current_q(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QState {
+    qfp: f64,
+    c: f64,
+}
+
+impl QState {
+    /// Maximum Q allowed by the standard.
+    pub const MAX_Q: u32 = 15;
+
+    /// Creates a Q state with initial `q_initial` and adaptation constant
+    /// `c` (the standard recommends `0.1 ≤ C ≤ 0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_initial` is outside `[0, 15]` or `c` outside
+    /// `(0, 1]`.
+    pub fn new(q_initial: f64, c: f64) -> Self {
+        assert!(
+            (0.0..=Self::MAX_Q as f64).contains(&q_initial),
+            "initial Q must be in [0, 15]"
+        );
+        assert!(c > 0.0 && c <= 1.0, "C must be in (0, 1]");
+        QState { qfp: q_initial, c }
+    }
+
+    /// The standard's default starting point (`Q = 4`, `C = 0.2`).
+    pub fn standard_default() -> Self {
+        QState::new(4.0, 0.2)
+    }
+
+    /// The integer Q for the next Query: `round(Q_fp)`.
+    pub fn current_q(&self) -> u32 {
+        self.qfp.round() as u32
+    }
+
+    /// Number of slots the next round will offer: `2^Q`.
+    pub fn slot_count(&self) -> u32 {
+        1 << self.current_q()
+    }
+
+    /// Adapts to an empty slot: `Q_fp = max(0, Q_fp − C)`.
+    pub fn on_empty(&mut self) {
+        self.qfp = (self.qfp - self.c).max(0.0);
+    }
+
+    /// Adapts to a collided slot: `Q_fp = min(15, Q_fp + C)`.
+    pub fn on_collision(&mut self) {
+        self.qfp = (self.qfp + self.c).min(Self::MAX_Q as f64);
+    }
+
+    /// A singulated slot leaves `Q_fp` unchanged.
+    pub fn on_single(&mut self) {}
+
+    /// The floating-point Q value.
+    pub fn qfp(&self) -> f64 {
+        self.qfp
+    }
+}
+
+impl Default for QState {
+    fn default() -> Self {
+        Self::standard_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_q_is_four() {
+        let q = QState::standard_default();
+        assert_eq!(q.current_q(), 4);
+        assert_eq!(q.slot_count(), 16);
+    }
+
+    #[test]
+    fn collisions_raise_q_and_empties_lower_it() {
+        let mut q = QState::new(4.0, 0.5);
+        q.on_collision();
+        q.on_collision();
+        assert_eq!(q.current_q(), 5);
+        q.on_empty();
+        q.on_empty();
+        q.on_empty();
+        q.on_empty();
+        assert_eq!(q.current_q(), 3);
+    }
+
+    #[test]
+    fn q_is_clamped_at_bounds() {
+        let mut q = QState::new(0.0, 0.5);
+        q.on_empty();
+        assert_eq!(q.qfp(), 0.0);
+        let mut q = QState::new(15.0, 0.5);
+        q.on_collision();
+        assert_eq!(q.qfp(), 15.0);
+    }
+
+    #[test]
+    fn single_leaves_q_unchanged() {
+        let mut q = QState::new(4.3, 0.2);
+        let before = q.qfp();
+        q.on_single();
+        assert_eq!(q.qfp(), before);
+    }
+
+    #[test]
+    fn q_converges_near_population_size() {
+        // Feed the adaptation loop with outcome statistics of a round with
+        // n tags in 2^Q slots: Q should settle so 2^Q is within a small
+        // factor of n (slotted-ALOHA efficiency peaks near one tag per
+        // slot).
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for &n in &[1usize, 4, 12, 33] {
+            let mut q = QState::standard_default();
+            for _ in 0..400 {
+                let slots = q.slot_count() as usize;
+                let mut counts = vec![0u32; slots];
+                for _ in 0..n {
+                    counts[rng.gen_range(0..slots)] += 1;
+                }
+                for &c in &counts {
+                    match c {
+                        0 => q.on_empty(),
+                        1 => q.on_single(),
+                        _ => q.on_collision(),
+                    }
+                }
+            }
+            let settled = q.slot_count() as f64;
+            assert!(
+                settled >= n as f64 * 0.4 && settled <= n as f64 * 6.0 + 2.0,
+                "n={n}: settled at {settled} slots (Q={})",
+                q.current_q()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be")]
+    fn invalid_c_panics() {
+        QState::new(4.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial Q")]
+    fn invalid_q_panics() {
+        QState::new(16.0, 0.2);
+    }
+}

@@ -1,0 +1,540 @@
+//! The reader: inventory scheduling, frequency hopping, antenna
+//! round-robin, and low-level report generation.
+//!
+//! This is the simulated Impinj Speedway R420. It repeatedly runs inventory
+//! rounds ([`crate::inventory`]) against a [`TagWorld`], hopping channels on
+//! the FCC schedule and cycling through up to four antennas. Every
+//! successful singulation becomes a [`TagReport`] with the phase / RSSI /
+//! Doppler the physical layer would measure at that exact instant — so the
+//! breathing motion is sampled at the irregular instants the MAC actually
+//! grants, exactly the data quality the real system sees.
+
+use crate::inventory::{run_round, Participant, SlotEvent, SlotTiming};
+use crate::q_algorithm::QState;
+use crate::report::TagReport;
+use crate::select::SelectMask;
+use crate::session::{FlagTracker, Session};
+use crate::world::TagWorld;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfchannel::antenna::Antenna;
+use rfchannel::channel_plan::{ChannelPlan, HopSequence};
+use rfchannel::fading::FadingTable;
+use rfchannel::geometry::Vec3;
+use rfchannel::link::{LinkBudget, LinkConfig, Propagation};
+use rfchannel::tworay::two_ray_path_loss_db;
+use rfchannel::observation::{observe, reader_phase_offset, MeasurementNoise};
+use serde::{Deserialize, Serialize};
+
+/// Reader configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReaderConfig {
+    /// Radio link constants (transmit power etc.).
+    pub link: LinkConfig,
+    /// Measurement non-idealities of the low-level reports.
+    pub noise: MeasurementNoise,
+    /// Channel plan to hop over.
+    pub plan: ChannelPlan,
+    /// Dwell time per channel, seconds (paper measures ≈0.2 s).
+    pub dwell_s: f64,
+    /// MAC slot timing.
+    pub timing: SlotTiming,
+    /// Propagation model for the one-way path loss.
+    pub propagation: Propagation,
+    /// Inventory session (S0 continuous vs S1 persistent flags).
+    pub session: Session,
+    /// Optional Select pre-filter: only matching tags are inventoried.
+    pub select: Option<SelectMask>,
+    /// Simulation seed (hop order, fading, MAC randomness, noise).
+    pub seed: u64,
+}
+
+impl ReaderConfig {
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        ReaderConfig {
+            link: LinkConfig::paper_default(),
+            noise: MeasurementNoise::paper_default(),
+            plan: ChannelPlan::us_10(),
+            dwell_s: 0.2,
+            timing: SlotTiming::paper_default(),
+            propagation: Propagation::FreeSpace,
+            session: Session::S0,
+            select: None,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a Select pre-filter (builder style).
+    pub fn with_select(mut self, select: SelectMask) -> Self {
+        self.select = Some(select);
+        self
+    }
+
+    /// Returns a copy with a different session (builder style).
+    pub fn with_session(mut self, session: Session) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Returns a copy with a different seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ReaderConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Error constructing a reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReaderSetupError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for ReaderSetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid reader setup: {}", self.what)
+    }
+}
+
+impl std::error::Error for ReaderSetupError {}
+
+/// The simulated commodity reader.
+#[derive(Debug, Clone)]
+pub struct Reader {
+    config: ReaderConfig,
+    antennas: Vec<Antenna>,
+}
+
+impl Reader {
+    /// Antenna ports on an Impinj R420.
+    pub const MAX_ANTENNAS: usize = 4;
+
+    /// Creates a reader with the given antennas (1–4, like the R420's
+    /// ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no antennas are supplied, more than
+    /// [`Reader::MAX_ANTENNAS`], or the dwell time is not positive.
+    pub fn new(config: ReaderConfig, antennas: Vec<Antenna>) -> Result<Self, ReaderSetupError> {
+        if antennas.is_empty() {
+            return Err(ReaderSetupError {
+                what: "at least one antenna is required",
+            });
+        }
+        if antennas.len() > Self::MAX_ANTENNAS {
+            return Err(ReaderSetupError {
+                what: "the R420 supports at most 4 antenna ports",
+            });
+        }
+        if !(config.dwell_s > 0.0) {
+            return Err(ReaderSetupError {
+                what: "dwell time must be positive",
+            });
+        }
+        if config.session.validate().is_err() {
+            return Err(ReaderSetupError {
+                what: "S1 persistence must be within 0.5-5 s",
+            });
+        }
+        Ok(Reader { config, antennas })
+    }
+
+    /// The paper's single-antenna setup: one panel antenna 1 m above the
+    /// floor at the origin, boresight down-range.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the default configuration.
+    pub fn paper_default() -> Self {
+        Reader::new(
+            ReaderConfig::paper_default(),
+            vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+        )
+        .expect("default setup is valid")
+    }
+
+    /// The reader configuration.
+    pub fn config(&self) -> &ReaderConfig {
+        &self.config
+    }
+
+    /// The connected antennas.
+    pub fn antennas(&self) -> &[Antenna] {
+        &self.antennas
+    }
+
+    /// Interrogates `world` for `duration_s` seconds of air time and
+    /// returns the low-level reports in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive.
+    pub fn run<W: TagWorld>(&self, world: &W, duration_s: f64) -> Vec<TagReport> {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let cfg = &self.config;
+        let hop = HopSequence::new(&cfg.plan, cfg.dwell_s, cfg.seed);
+        let mut fading = FadingTable::office(cfg.seed.wrapping_add(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(2));
+        let mut q = QState::standard_default();
+        let mut flags = FlagTracker::new();
+        let mut reports = Vec::new();
+
+        let n = world.tag_count();
+        let mut t = 0.0_f64;
+        while t < duration_s {
+            let channel = hop.channel_at(t);
+            let lambda = cfg.plan.wavelength_m(channel);
+            // Round-robin antenna selection synchronised with hop dwells.
+            let port_slot = (t / cfg.dwell_s) as usize;
+            let antenna_index = port_slot % self.antennas.len();
+            let antenna = &self.antennas[antenna_index];
+
+            // Evaluate the link for every tag at the round start.
+            let mut participants = Vec::new();
+            for idx in 0..n {
+                if let Some(select) = &cfg.select {
+                    if !select.matches(world.epc(idx)) {
+                        continue;
+                    }
+                }
+                if !flags.participates(idx, t) {
+                    continue;
+                }
+                let pos = world.position(idx, t);
+                let budget = self.budget_for(world, idx, pos, antenna, channel, lambda, &mut fading, t);
+                if budget.powered {
+                    let p = budget.read_probability(&cfg.link);
+                    participants.push(Participant {
+                        tag_index: idx,
+                        read_probability: p,
+                    });
+                }
+            }
+
+            let outcome = run_round(&mut rng, &mut q, &participants, &cfg.timing);
+            for &(offset_us, event) in &outcome.events {
+                let SlotEvent::Read { tag_index } = event else {
+                    continue;
+                };
+                let te = t + offset_us as f64 / 1e6;
+                flags.on_read(tag_index, te, cfg.session);
+                if te >= duration_s {
+                    break;
+                }
+                // Re-evaluate the geometry at the exact read instant so the
+                // phase samples the breathing motion faithfully.
+                let channel_e = hop.channel_at(te);
+                let lambda_e = cfg.plan.wavelength_m(channel_e);
+                let pos_e = world.position(tag_index, te);
+                let budget_e = self.budget_for(
+                    world, tag_index, pos_e, antenna, channel_e, lambda_e, &mut fading, te,
+                );
+                let distance = antenna.distance_to(pos_e);
+                let radial = (pos_e - antenna.position()).normalized();
+                let v_radial = world.velocity(tag_index, te).dot(radial);
+                let gain = fading.gain(channel_e, Self::fading_key(world.epc(tag_index)));
+                let offset_rad = reader_phase_offset(cfg.seed, channel_e);
+                let obs = observe(
+                    &mut rng,
+                    &cfg.noise,
+                    &cfg.link,
+                    &budget_e,
+                    distance,
+                    v_radial,
+                    lambda_e,
+                    gain,
+                    offset_rad,
+                );
+                reports.push(TagReport {
+                    time_s: te,
+                    epc: world.epc(tag_index),
+                    antenna_port: (antenna_index + 1) as u8,
+                    channel_index: channel_e as u16,
+                    phase_rad: obs.phase_rad,
+                    rssi_dbm: obs.rssi.0,
+                    doppler_hz: obs.doppler_hz,
+                });
+            }
+            t += outcome.duration_us as f64 / 1e6;
+        }
+        reports
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn budget_for<W: TagWorld>(
+        &self,
+        world: &W,
+        idx: usize,
+        pos: Vec3,
+        antenna: &Antenna,
+        channel: usize,
+        lambda: f64,
+        fading: &mut FadingTable,
+        t: f64,
+    ) -> LinkBudget {
+        let distance = antenna.distance_to(pos).max(0.05);
+        let gain = antenna.gain_toward(pos);
+        let blockage = world.blockage_db(idx, antenna.position(), t);
+        let key = Self::fading_key(world.epc(idx));
+        let fade = fading.gain(channel, key);
+        let fade_db = 20.0 * fade.amplitude.max(1e-6).log10();
+        // The distance-sensitive ripple makes RSSI visibly track millimetre
+        // breathing motion (paper Figure 2); it modulates the reverse link
+        // only, leaving the calibrated read probabilities intact.
+        let ripple_db = fading.ripple(channel, key).gain_db(distance, lambda);
+        let path_loss_db = match self.config.propagation {
+            Propagation::FreeSpace => {
+                rfchannel::link::free_space_path_loss_db(distance, lambda)
+            }
+            Propagation::TwoRay { reflection_coeff } => {
+                let a = antenna.position();
+                let ground = ((pos.x - a.x).powi(2) + (pos.y - a.y).powi(2))
+                    .sqrt()
+                    .max(0.05);
+                two_ray_path_loss_db(
+                    ground,
+                    a.z.max(0.05),
+                    pos.z.max(0.05),
+                    lambda,
+                    reflection_coeff,
+                )
+            }
+        };
+        LinkBudget::evaluate_from_path_loss(
+            &self.config.link,
+            path_loss_db,
+            gain.0,
+            blockage,
+            fade_db,
+            ripple_db,
+        )
+    }
+
+    fn fading_key(epc: crate::epc::Epc96) -> u64 {
+        epc.user_id().rotate_left(17) ^ epc.tag_id() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::ScenarioWorld;
+    use breathing::{Scenario, Subject};
+
+    fn single_user_world(distance: f64) -> ScenarioWorld {
+        ScenarioWorld::new(
+            Scenario::builder()
+                .subject(Subject::paper_default(1, distance))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn reports_are_time_ordered_and_in_range() {
+        let reader = Reader::paper_default();
+        let world = single_user_world(2.0);
+        let reports = reader.run(&world, 5.0);
+        assert!(!reports.is_empty());
+        let mut last = 0.0;
+        for r in &reports {
+            assert!(r.time_s >= last);
+            assert!(r.time_s < 5.0);
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&r.phase_rad));
+            assert_eq!(r.antenna_port, 1);
+            assert!((r.channel_index as usize) < 10);
+            last = r.time_s;
+        }
+    }
+
+    #[test]
+    fn aggregate_read_rate_near_paper_initial_experiment() {
+        // One user at 2 m wearing 3 tags: the paper's initial experiment
+        // reports ~64 reads/s aggregate.
+        let reader = Reader::paper_default();
+        let world = single_user_world(2.0);
+        let reports = reader.run(&world, 25.0);
+        let rate = reports.len() as f64 / 25.0;
+        assert!((50.0..80.0).contains(&rate), "aggregate rate {rate} Hz");
+    }
+
+    #[test]
+    fn turned_away_subject_is_never_read() {
+        let antenna_pos = Vec3::new(0.0, 0.0, 1.0);
+        let world = ScenarioWorld::new(
+            Scenario::builder()
+                .subject(Subject::paper_default(1, 4.0).facing_away_from(antenna_pos, 170.0))
+                .build(),
+        );
+        let reader = Reader::paper_default();
+        let reports = reader.run(&world, 5.0);
+        assert!(reports.is_empty(), "read a fully blocked tag");
+    }
+
+    #[test]
+    fn grazing_subject_reads_slowly() {
+        let antenna_pos = Vec3::new(0.0, 0.0, 1.0);
+        let make_world = |deg: f64| {
+            ScenarioWorld::new(
+                Scenario::builder()
+                    .subject(Subject::paper_default(1, 4.0).facing_away_from(antenna_pos, deg))
+                    .build(),
+            )
+        };
+        let reader = Reader::paper_default();
+        let facing = reader.run(&make_world(0.0), 10.0).len();
+        let grazing = reader.run(&make_world(90.0), 10.0).len();
+        assert!(
+            (grazing as f64) < 0.5 * facing as f64,
+            "facing {facing}, grazing {grazing}"
+        );
+        assert!(grazing > 0, "grazing should still read occasionally");
+    }
+
+    #[test]
+    fn channels_hop_across_the_plan() {
+        let reader = Reader::paper_default();
+        let world = single_user_world(2.0);
+        let reports = reader.run(&world, 10.0);
+        let mut seen: Vec<u16> = reports.iter().map(|r| r.channel_index).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 8, "only {} channels used", seen.len());
+    }
+
+    #[test]
+    fn multi_antenna_round_robin_uses_all_ports() {
+        let config = ReaderConfig::paper_default();
+        let antennas = vec![
+            Antenna::paper_default(Vec3::new(0.0, -1.0, 1.0)),
+            Antenna::paper_default(Vec3::new(0.0, 1.0, 1.0)),
+        ];
+        let reader = Reader::new(config, antennas).unwrap();
+        let world = single_user_world(3.0);
+        let reports = reader.run(&world, 10.0);
+        let mut ports: Vec<u8> = reports.iter().map(|r| r.antenna_port).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports, vec![1, 2]);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let world = single_user_world(2.0);
+        let a = Reader::paper_default().run(&world, 3.0);
+        let b = Reader::paper_default().run(&world, 3.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time_s, y.time_s);
+            assert_eq!(x.phase_rad, y.phase_rad);
+        }
+        let c = Reader::new(
+            ReaderConfig::paper_default().with_seed(99),
+            vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+        )
+        .unwrap()
+        .run(&world, 3.0);
+        assert_ne!(
+            a.iter().map(|r| r.time_s).collect::<Vec<_>>(),
+            c.iter().map(|r| r.time_s).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn setup_validation() {
+        assert!(Reader::new(ReaderConfig::paper_default(), vec![]).is_err());
+        let too_many = vec![Antenna::paper_default(Vec3::ZERO); 5];
+        assert!(Reader::new(ReaderConfig::paper_default(), too_many).is_err());
+        let mut bad_dwell = ReaderConfig::paper_default();
+        bad_dwell.dwell_s = 0.0;
+        assert!(
+            Reader::new(bad_dwell, vec![Antenna::paper_default(Vec3::ZERO)]).is_err()
+        );
+    }
+
+    #[test]
+    fn rssi_declines_with_distance() {
+        let reader = Reader::paper_default();
+        let near: Vec<f64> = reader
+            .run(&single_user_world(1.0), 5.0)
+            .iter()
+            .map(|r| r.rssi_dbm)
+            .collect();
+        let far: Vec<f64> = reader
+            .run(&single_user_world(5.0), 5.0)
+            .iter()
+            .map(|r| r.rssi_dbm)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&near) > mean(&far) + 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_panics() {
+        Reader::paper_default().run(&single_user_world(2.0), 0.0);
+    }
+
+    #[test]
+    fn select_filter_excludes_item_tags() {
+        use crate::select::SelectMask;
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 2.0))
+            .contending_items(20)
+            .build();
+        let world = ScenarioWorld::new(scenario);
+        let plain = Reader::paper_default().run(&world, 10.0);
+        let selected = Reader::new(
+            ReaderConfig::paper_default().with_select(SelectMask::for_user(1)),
+            vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+        )
+        .unwrap()
+        .run(&world, 10.0);
+        // With Select, only the user's tags are reported...
+        assert!(selected.iter().all(|r| r.epc.user_id() == 1));
+        // ...and at a higher rate than the contended plain run achieves
+        // for those tags.
+        let plain_user = plain.iter().filter(|r| r.epc.user_id() == 1).count();
+        assert!(
+            selected.len() > plain_user * 2,
+            "select {} vs contended {plain_user}",
+            selected.len()
+        );
+    }
+
+    #[test]
+    fn s1_session_throttles_read_rate() {
+        use crate::session::Session;
+        let world = single_user_world(2.0);
+        let s0 = Reader::paper_default().run(&world, 20.0);
+        let s1 = Reader::new(
+            ReaderConfig::paper_default().with_session(Session::s1_default()),
+            vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+        )
+        .unwrap()
+        .run(&world, 20.0);
+        // S1 with 2 s persistence: each of the 3 tags is read ~once per
+        // 2 s -> ~30 reads in 20 s, vs thousands under S0.
+        assert!(
+            s1.len() < s0.len() / 10,
+            "S1 {} vs S0 {}",
+            s1.len(),
+            s0.len()
+        );
+        assert!(!s1.is_empty());
+    }
+
+    #[test]
+    fn invalid_s1_persistence_rejected() {
+        use crate::session::Session;
+        let cfg = ReaderConfig::paper_default()
+            .with_session(Session::S1 { persistence_s: 99.0 });
+        assert!(Reader::new(cfg, vec![Antenna::paper_default(Vec3::ZERO)]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The C1G2 `Select` command: pre-inventory tag filtering.
+//!
+//! `Select` broadcasts a bit mask over a region of tag memory; only tags
+//! whose memory matches participate in subsequent inventory rounds. For
+//! TagBreathe this is a natural optimisation the paper's EPC layout
+//! (Figure 9) enables: selecting on the user-ID prefix excludes the
+//! item-labelling tags from the slotted-ALOHA contention entirely, so the
+//! monitoring tags keep the full read capacity (`repro ablate-select`
+//! quantifies the gain).
+
+use crate::epc::Epc96;
+use serde::{Deserialize, Serialize};
+
+/// A Select mask over EPC memory: `mask` compared against the EPC starting
+/// at `bit_offset` (bit 0 = MSB of the 96-bit EPC, matching C1G2's
+/// MSB-first addressing of the EPC field).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectMask {
+    bit_offset: u16,
+    mask_bits: Vec<bool>,
+}
+
+impl SelectMask {
+    /// Creates a mask from raw bits at a bit offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is empty or extends beyond the 96-bit EPC.
+    pub fn new(bit_offset: u16, mask_bits: Vec<bool>) -> Self {
+        assert!(!mask_bits.is_empty(), "select mask must not be empty");
+        assert!(
+            bit_offset as usize + mask_bits.len() <= 96,
+            "select mask extends beyond the 96-bit EPC"
+        );
+        SelectMask {
+            bit_offset,
+            mask_bits,
+        }
+    }
+
+    /// Selects all tags whose 64-bit user-ID field equals `user_id` — one
+    /// monitored user.
+    pub fn for_user(user_id: u64) -> Self {
+        let bits = (0..64).rev().map(|b| (user_id >> b) & 1 == 1).collect();
+        SelectMask::new(0, bits)
+    }
+
+    /// Selects tags whose user-ID field begins with the given prefix bits —
+    /// e.g. a deployment can allocate all monitoring user IDs under one
+    /// prefix and exclude every item tag with a single Select.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_bits > 64`.
+    pub fn for_user_prefix(prefix: u64, prefix_bits: u16) -> Self {
+        assert!(prefix_bits > 0 && prefix_bits <= 64, "prefix must be 1–64 bits");
+        let bits = (0..prefix_bits)
+            .map(|i| (prefix >> (63 - i)) & 1 == 1)
+            .collect();
+        SelectMask::new(0, bits)
+    }
+
+    /// Whether `epc` matches the mask.
+    pub fn matches(&self, epc: Epc96) -> bool {
+        let bytes = epc.to_bytes();
+        self.mask_bits.iter().enumerate().all(|(i, &want)| {
+            let bit = self.bit_offset as usize + i;
+            let byte = bytes[bit / 8];
+            let got = (byte >> (7 - bit % 8)) & 1 == 1;
+            got == want
+        })
+    }
+
+    /// The mask length in bits.
+    pub fn len(&self) -> usize {
+        self.mask_bits.len()
+    }
+
+    /// Whether the mask is empty (never true — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_user_matches_only_that_user() {
+        let mask = SelectMask::for_user(42);
+        assert!(mask.matches(Epc96::monitor(42, 0)));
+        assert!(mask.matches(Epc96::monitor(42, 999)));
+        assert!(!mask.matches(Epc96::monitor(43, 0)));
+        assert!(!mask.matches(Epc96::monitor(u64::MAX, 0)));
+    }
+
+    #[test]
+    fn prefix_mask_covers_id_range() {
+        // All user IDs with the top byte 0x00 (IDs < 2^56) — but exclude
+        // the item convention of user_id = u64::MAX.
+        let mask = SelectMask::for_user_prefix(0, 8);
+        assert!(mask.matches(Epc96::monitor(1, 0)));
+        assert!(mask.matches(Epc96::monitor(255, 7)));
+        assert!(!mask.matches(Epc96::monitor(u64::MAX, 0)));
+    }
+
+    #[test]
+    fn offset_mask_matches_tag_id_field() {
+        // Mask at bit 64 targets the 32-bit tag-ID field.
+        let bits: Vec<bool> = (0..32).map(|i| (7u32 >> (31 - i)) & 1 == 1).collect();
+        let mask = SelectMask::new(64, bits);
+        assert!(mask.matches(Epc96::monitor(123, 7)));
+        assert!(!mask.matches(Epc96::monitor(123, 8)));
+    }
+
+    #[test]
+    fn full_epc_mask() {
+        let epc = Epc96::monitor(0xDEAD_BEEF, 0x1234_5678);
+        let bytes = epc.to_bytes();
+        let bits: Vec<bool> = (0..96)
+            .map(|b| (bytes[b / 8] >> (7 - b % 8)) & 1 == 1)
+            .collect();
+        let mask = SelectMask::new(0, bits);
+        assert!(mask.matches(epc));
+        assert!(!mask.matches(Epc96::monitor(0xDEAD_BEEF, 0x1234_5679)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn oversized_mask_panics() {
+        SelectMask::new(90, vec![true; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_mask_panics() {
+        SelectMask::new(0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn oversized_prefix_panics() {
+        SelectMask::for_user_prefix(0, 65);
+    }
+
+    #[test]
+    fn len_reports_bits() {
+        assert_eq!(SelectMask::for_user(1).len(), 64);
+        assert!(!SelectMask::for_user(1).is_empty());
+    }
+}

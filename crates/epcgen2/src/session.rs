@@ -1,0 +1,140 @@
+//! C1G2 inventory sessions.
+//!
+//! A tag carries an inventoried flag (A/B) per session. In session **S0**
+//! the flag reverts to A as soon as the carrier drops or the round ends, so
+//! every round re-reads every tag — the high-refresh behaviour continuous
+//! monitoring needs, and the implicit setting in the paper's ≈64 Hz
+//! single-tag read rate. In **S1** the flag persists for 0.5–5 s, so an
+//! inventoried tag stays silent for the persistence time — great for
+//! conveyor-belt inventory, fatal for breath sampling (the
+//! `repro ablate-session` ablation shows the collapse).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An inventory session configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Session {
+    /// Flag resets every round: tags participate continuously.
+    S0,
+    /// Flag persists: a read tag is silent for `persistence_s` seconds.
+    S1 {
+        /// Flag persistence, seconds (the standard allows 0.5–5 s).
+        persistence_s: f64,
+    },
+}
+
+impl Session {
+    /// The standard's nominal S1 persistence (2 s).
+    pub fn s1_default() -> Self {
+        Session::S1 { persistence_s: 2.0 }
+    }
+
+    /// Validates the session parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if S1 persistence is outside the standard's
+    /// 0.5–5 s window.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            Session::S0 => Ok(()),
+            Session::S1 { persistence_s } => {
+                if (0.5..=5.0).contains(&persistence_s) {
+                    Ok(())
+                } else {
+                    Err("S1 persistence must be within 0.5–5 s")
+                }
+            }
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::S0
+    }
+}
+
+/// Tracks per-tag inventoried flags over time.
+#[derive(Debug, Clone, Default)]
+pub struct FlagTracker {
+    /// Tag index → time until which the tag stays inventoried (B state).
+    silenced_until: HashMap<usize, f64>,
+}
+
+impl FlagTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `tag` may participate in a round starting at `t`.
+    pub fn participates(&self, tag: usize, t: f64) -> bool {
+        self.silenced_until.get(&tag).map(|&u| t >= u).unwrap_or(true)
+    }
+
+    /// Records that `tag` was read at `t` under `session`.
+    pub fn on_read(&mut self, tag: usize, t: f64, session: Session) {
+        if let Session::S1 { persistence_s } = session {
+            self.silenced_until.insert(tag, t + persistence_s);
+        }
+    }
+
+    /// Number of currently tracked (ever-silenced) tags.
+    pub fn len(&self) -> usize {
+        self.silenced_until.len()
+    }
+
+    /// Whether no tag has ever been silenced.
+    pub fn is_empty(&self) -> bool {
+        self.silenced_until.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s0_never_silences() {
+        let mut f = FlagTracker::new();
+        f.on_read(0, 1.0, Session::S0);
+        assert!(f.participates(0, 1.0));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn s1_silences_for_persistence() {
+        let mut f = FlagTracker::new();
+        f.on_read(3, 10.0, Session::s1_default());
+        assert!(!f.participates(3, 10.5));
+        assert!(!f.participates(3, 11.9));
+        assert!(f.participates(3, 12.0));
+        assert!(f.participates(4, 10.5), "other tags unaffected");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn re_read_extends_silence() {
+        let mut f = FlagTracker::new();
+        let s = Session::S1 { persistence_s: 1.0 };
+        f.on_read(0, 0.0, s);
+        assert!(f.participates(0, 1.0));
+        f.on_read(0, 1.0, s);
+        assert!(!f.participates(0, 1.5));
+    }
+
+    #[test]
+    fn session_validation() {
+        assert!(Session::S0.validate().is_ok());
+        assert!(Session::s1_default().validate().is_ok());
+        assert!(Session::S1 { persistence_s: 0.1 }.validate().is_err());
+        assert!(Session::S1 { persistence_s: 9.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn default_session_is_s0() {
+        assert_eq!(Session::default(), Session::S0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The world a reader interrogates: tag positions, motion and blockage over
+//! time.
+//!
+//! [`TagWorld`] abstracts over what carries the tags so the reader loop can
+//! interrogate a live scenario (breathing subjects + item tags), a unit-test
+//! fixture, or a future hardware shim identically.
+
+use crate::epc::Epc96;
+use breathing::{Scenario, TagSite};
+use rfchannel::blockage::BodyBlockage;
+use rfchannel::geometry::Vec3;
+
+/// A population of tags with time-dependent kinematics.
+pub trait TagWorld {
+    /// Number of tags in the world.
+    fn tag_count(&self) -> usize;
+
+    /// The (possibly overwritten) EPC of tag `index`.
+    fn epc(&self, index: usize) -> Epc96;
+
+    /// Position of tag `index` at time `t` seconds.
+    fn position(&self, index: usize, t: f64) -> Vec3;
+
+    /// Velocity of tag `index` at time `t`, m/s.
+    fn velocity(&self, index: usize, t: f64) -> Vec3;
+
+    /// One-way body-blockage attenuation (dB) between tag `index` and an
+    /// antenna at `antenna_pos`, at time `t`.
+    fn blockage_db(&self, index: usize, antenna_pos: Vec3, t: f64) -> f64;
+}
+
+/// The user ID under which item (non-monitoring) tags are labelled in
+/// simulated worlds. Chosen outside any plausible real user-ID range.
+pub const ITEM_USER_ID: u64 = u64::MAX;
+
+/// Adapter exposing a [`breathing::Scenario`] as a [`TagWorld`].
+///
+/// Tag indices enumerate each subject's tag sites in subject order, then the
+/// item tags. Monitoring tags carry overwritten EPCs
+/// (`Epc96::monitor(user_id, site_index)`); item tags carry EPCs under
+/// [`ITEM_USER_ID`].
+#[derive(Debug, Clone)]
+pub struct ScenarioWorld {
+    scenario: Scenario,
+    blockage: BodyBlockage,
+    /// Flattened (subject_index, site) in index order.
+    monitor_tags: Vec<(usize, TagSite)>,
+}
+
+impl ScenarioWorld {
+    /// Wraps a scenario with the default body-blockage profile.
+    pub fn new(scenario: Scenario) -> Self {
+        Self::with_blockage(scenario, BodyBlockage::paper_default())
+    }
+
+    /// Wraps a scenario with a custom blockage profile.
+    pub fn with_blockage(scenario: Scenario, blockage: BodyBlockage) -> Self {
+        let monitor_tags = scenario
+            .subjects()
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| s.sites().iter().map(move |&site| (si, site)))
+            .collect();
+        ScenarioWorld {
+            scenario,
+            blockage,
+            monitor_tags,
+        }
+    }
+
+    /// The wrapped scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Number of monitoring (worn) tags, excluding items.
+    pub fn monitor_tag_count(&self) -> usize {
+        self.monitor_tags.len()
+    }
+
+    fn site_index(site: TagSite) -> u32 {
+        TagSite::ALL
+            .iter()
+            .position(|&s| s == site)
+            .expect("TagSite::ALL is exhaustive") as u32
+    }
+}
+
+impl TagWorld for ScenarioWorld {
+    fn tag_count(&self) -> usize {
+        self.monitor_tags.len() + self.scenario.items().len()
+    }
+
+    fn epc(&self, index: usize) -> Epc96 {
+        if let Some(&(si, site)) = self.monitor_tags.get(index) {
+            let user = self.scenario.subjects()[si].user_id();
+            Epc96::monitor(user, Self::site_index(site))
+        } else {
+            let item = index - self.monitor_tags.len();
+            assert!(
+                item < self.scenario.items().len(),
+                "tag index {index} out of range"
+            );
+            Epc96::monitor(ITEM_USER_ID, item as u32)
+        }
+    }
+
+    fn position(&self, index: usize, t: f64) -> Vec3 {
+        if let Some(&(si, site)) = self.monitor_tags.get(index) {
+            self.scenario.subjects()[si].tag_position(site, t)
+        } else {
+            let item = index - self.monitor_tags.len();
+            self.scenario.items()[item].position
+        }
+    }
+
+    fn velocity(&self, index: usize, t: f64) -> Vec3 {
+        if let Some(&(si, site)) = self.monitor_tags.get(index) {
+            self.scenario.subjects()[si].tag_velocity(site, t)
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    fn blockage_db(&self, index: usize, antenna_pos: Vec3, _t: f64) -> f64 {
+        if let Some(&(si, _)) = self.monitor_tags.get(index) {
+            let subject = &self.scenario.subjects()[si];
+            let orientation = subject.orientation_toward_deg(antenna_pos);
+            self.blockage.attenuation_db(orientation)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breathing::Subject;
+
+    fn world() -> ScenarioWorld {
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 4.0))
+            .contending_items(5)
+            .build();
+        ScenarioWorld::new(scenario)
+    }
+
+    #[test]
+    fn counts_monitor_and_item_tags() {
+        let w = world();
+        assert_eq!(w.monitor_tag_count(), 3);
+        assert_eq!(w.tag_count(), 8);
+    }
+
+    #[test]
+    fn monitor_epcs_follow_figure9_layout() {
+        let w = world();
+        for i in 0..3 {
+            let epc = w.epc(i);
+            assert_eq!(epc.user_id(), 1);
+            assert_eq!(epc.tag_id(), i as u32);
+        }
+    }
+
+    #[test]
+    fn item_epcs_use_item_user_id() {
+        let w = world();
+        for i in 3..8 {
+            assert_eq!(w.epc(i).user_id(), ITEM_USER_ID);
+        }
+    }
+
+    #[test]
+    fn monitor_tags_move_items_do_not() {
+        let w = world();
+        let m0 = w.position(0, 0.0);
+        let m1 = w.position(0, 1.5);
+        assert!(m0.distance_to(m1) > 1e-6);
+        assert!(w.velocity(0, 1.0).norm() >= 0.0);
+        let i0 = w.position(3, 0.0);
+        let i1 = w.position(3, 1.5);
+        assert_eq!(i0, i1);
+        assert_eq!(w.velocity(3, 1.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn facing_subject_has_no_blockage_items_never_blocked() {
+        let w = world();
+        let antenna = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(w.blockage_db(0, antenna, 0.0), 0.0);
+        assert_eq!(w.blockage_db(4, antenna, 0.0), 0.0);
+    }
+
+    #[test]
+    fn turned_subject_is_blocked() {
+        let antenna = Vec3::new(0.0, 0.0, 1.0);
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 4.0).facing_away_from(antenna, 150.0))
+            .build();
+        let w = ScenarioWorld::new(scenario);
+        assert!(w.blockage_db(0, antenna, 0.0) > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        world().epc(8);
+    }
+}

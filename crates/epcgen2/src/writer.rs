@@ -1,0 +1,280 @@
+//! EPC commissioning: overwriting factory EPCs with the TagBreathe layout.
+//!
+//! "TagBreathe overwrites the 96-bit tag ID with a 64-bit user ID followed
+//! by a 32-bit short tag ID … overwriting tag IDs is a standard RFID
+//! operation supported by commodity RFID systems" (Section IV-C, Figure 9).
+//! A C1G2 `Write` transfers one 16-bit word at a time and is far more
+//! fragile than a read (the tag needs extra power to commit EPC memory), so
+//! commissioning is done up close with retries and a verifying read-back.
+//! Readers that cannot write fall back to a
+//! [`MappingTable`] instead.
+
+use crate::epc::Epc96;
+use crate::mapping::MappingTable;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Commissioning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteConfig {
+    /// Per-word write success probability (depends on range; near-field
+    /// commissioning is ≈ 0.95+ per word).
+    pub word_success_probability: f64,
+    /// Number of retries per tag before giving up.
+    pub max_retries: u32,
+}
+
+impl WriteConfig {
+    /// Near-field commissioning defaults.
+    pub fn near_field() -> Self {
+        WriteConfig {
+            word_success_probability: 0.97,
+            max_retries: 8,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the probability is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(0.0..=1.0).contains(&self.word_success_probability) {
+            return Err("word success probability must be in [0, 1]");
+        }
+        Ok(())
+    }
+}
+
+impl Default for WriteConfig {
+    fn default() -> Self {
+        Self::near_field()
+    }
+}
+
+/// Outcome of commissioning one tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteOutcome {
+    /// EPC written and verified by read-back.
+    Written {
+        /// Write attempts used (1 = first try).
+        attempts: u32,
+    },
+    /// All retries exhausted; the tag keeps its factory EPC.
+    Failed,
+}
+
+/// A commissioning plan: factory EPC → desired monitor identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommissionPlan {
+    entries: Vec<(Epc96, u64, u32)>,
+}
+
+impl CommissionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        CommissionPlan {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a tag: `factory` EPC becomes `Epc96::monitor(user_id, tag_id)`.
+    pub fn add(&mut self, factory: Epc96, user_id: u64, tag_id: u32) -> &mut Self {
+        self.entries.push((factory, user_id, tag_id));
+        self
+    }
+
+    /// Plans the standard 3-tag set for one user, given three factory
+    /// EPCs.
+    pub fn add_user(&mut self, factory: [Epc96; 3], user_id: u64) -> &mut Self {
+        for (i, epc) in factory.into_iter().enumerate() {
+            self.add(epc, user_id, i as u32);
+        }
+        self
+    }
+
+    /// Number of planned writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for CommissionPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommissionReport {
+    /// Per-entry outcome, in plan order.
+    pub outcomes: Vec<(Epc96, WriteOutcome)>,
+    /// Fallback mapping table covering the tags whose writes failed, so the
+    /// deployment still works (the paper's Section IV-C fallback).
+    pub fallback: MappingTable,
+}
+
+impl CommissionReport {
+    /// Number of successfully written tags.
+    pub fn written(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, WriteOutcome::Written { .. }))
+            .count()
+    }
+
+    /// Number of failed tags (covered by the fallback table).
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.written()
+    }
+}
+
+/// Executes a commissioning plan.
+///
+/// The 96-bit EPC is written as six 16-bit words; each word succeeds
+/// independently with the configured probability and the whole write is
+/// retried until it verifies or retries run out. Deterministic per `seed`.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid.
+pub fn commission(plan: &CommissionPlan, config: &WriteConfig, seed: u64) -> CommissionReport {
+    config.validate().expect("valid write configuration");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut outcomes = Vec::with_capacity(plan.entries.len());
+    let mut fallback = MappingTable::new();
+    for &(factory, user_id, tag_id) in &plan.entries {
+        let mut outcome = WriteOutcome::Failed;
+        for attempt in 1..=config.max_retries.max(1) {
+            // Six word writes must all succeed, then the read-back verify.
+            let ok = (0..6).all(|_| rng.gen::<f64>() < config.word_success_probability);
+            if ok {
+                outcome = WriteOutcome::Written { attempts: attempt };
+                break;
+            }
+        }
+        if outcome == WriteOutcome::Failed {
+            fallback.insert(factory, user_id, tag_id);
+        }
+        outcomes.push((factory, outcome));
+    }
+    CommissionReport { outcomes, fallback }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{IdentityResolver, TagIdentity};
+
+    fn factory(i: u32) -> Epc96 {
+        Epc96::monitor(0xFAC7_0000_0000_0000 + i as u64, i)
+    }
+
+    #[test]
+    fn near_field_commissioning_mostly_succeeds() {
+        let mut plan = CommissionPlan::new();
+        for i in 0..100 {
+            plan.add(factory(i), 1, i);
+        }
+        let report = commission(&plan, &WriteConfig::near_field(), 1);
+        assert_eq!(report.outcomes.len(), 100);
+        assert!(report.written() >= 99, "{} written", report.written());
+        assert_eq!(report.failed(), report.fallback.len());
+    }
+
+    #[test]
+    fn weak_link_fails_and_falls_back_to_table() {
+        let mut plan = CommissionPlan::new();
+        plan.add(factory(0), 7, 0);
+        let config = WriteConfig {
+            word_success_probability: 0.05,
+            max_retries: 3,
+        };
+        let report = commission(&plan, &config, 2);
+        assert_eq!(report.written(), 0);
+        assert_eq!(report.fallback.len(), 1);
+        // The fallback resolves the factory EPC to the intended identity.
+        assert_eq!(
+            report.fallback.resolve(factory(0)),
+            TagIdentity::Monitor {
+                user_id: 7,
+                tag_id: 0
+            }
+        );
+    }
+
+    #[test]
+    fn add_user_plans_three_tags() {
+        let mut plan = CommissionPlan::new();
+        plan.add_user([factory(0), factory(1), factory(2)], 42);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let report = commission(&plan, &WriteConfig::near_field(), 3);
+        assert_eq!(report.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut plan = CommissionPlan::new();
+        for i in 0..20 {
+            plan.add(factory(i), 1, i);
+        }
+        let config = WriteConfig {
+            word_success_probability: 0.7,
+            max_retries: 2,
+        };
+        let a = commission(&plan, &config, 9);
+        let b = commission(&plan, &config, 9);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn retries_reduce_failures() {
+        let mut plan = CommissionPlan::new();
+        for i in 0..200 {
+            plan.add(factory(i), 1, i);
+        }
+        let few = commission(
+            &plan,
+            &WriteConfig {
+                word_success_probability: 0.8,
+                max_retries: 1,
+            },
+            4,
+        );
+        let many = commission(
+            &plan,
+            &WriteConfig {
+                word_success_probability: 0.8,
+                max_retries: 10,
+            },
+            4,
+        );
+        assert!(many.written() > few.written());
+    }
+
+    #[test]
+    fn empty_plan_is_fine() {
+        let report = commission(&CommissionPlan::new(), &WriteConfig::near_field(), 0);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.written(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid write configuration")]
+    fn invalid_config_panics() {
+        let config = WriteConfig {
+            word_success_probability: 1.5,
+            max_retries: 1,
+        };
+        commission(&CommissionPlan::new(), &config, 0);
+    }
+}

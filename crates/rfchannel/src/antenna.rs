@@ -1,0 +1,167 @@
+//! Reader antenna model: placement, boresight and gain pattern.
+//!
+//! The prototype uses an Alien ALR-8696-C circularly polarised panel antenna
+//! with 8.5 dBic boresight gain; the Impinj R420 drives up to four such
+//! antennas in round-robin.
+
+use crate::geometry::Vec3;
+use crate::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// A directional reader antenna.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_rfchannel::antenna::Antenna;
+/// use tagbreathe_rfchannel::geometry::Vec3;
+///
+/// // Antenna 1 m above the floor looking down-range (+x), as in the paper.
+/// let ant = Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0));
+/// let on_axis = ant.gain_toward(Vec3::new(4.0, 0.0, 1.0));
+/// let off_axis = ant.gain_toward(Vec3::new(0.5, 4.0, 1.0));
+/// assert!(on_axis > off_axis);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    position: Vec3,
+    boresight: Vec3,
+    peak_gain_dbi: f64,
+    beamwidth_deg: f64,
+    front_to_back_db: f64,
+}
+
+impl Antenna {
+    /// Creates an antenna.
+    ///
+    /// `boresight` is normalised internally. `beamwidth_deg` is the 3 dB
+    /// (half-power) full beamwidth; `front_to_back_db` caps the rear-lobe
+    /// attenuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boresight is a zero vector, the beamwidth is not in
+    /// `(0, 360]`, or the front-to-back ratio is negative.
+    pub fn new(
+        position: Vec3,
+        boresight: Vec3,
+        peak_gain_dbi: f64,
+        beamwidth_deg: f64,
+        front_to_back_db: f64,
+    ) -> Self {
+        assert!(
+            beamwidth_deg > 0.0 && beamwidth_deg <= 360.0,
+            "beamwidth must be in (0, 360] degrees"
+        );
+        assert!(front_to_back_db >= 0.0, "front-to-back ratio must be non-negative");
+        Antenna {
+            position,
+            boresight: boresight.normalized(),
+            peak_gain_dbi,
+            beamwidth_deg,
+            front_to_back_db,
+        }
+    }
+
+    /// The paper's antenna: 8.5 dBic circular-polarised panel, ~65° 3 dB
+    /// beamwidth, 25 dB front-to-back, boresight along +x.
+    pub fn paper_default(position: Vec3) -> Self {
+        Antenna::new(position, Vec3::new(1.0, 0.0, 0.0), 8.5, 65.0, 25.0)
+    }
+
+    /// Antenna position in metres.
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// Boresight unit vector.
+    pub fn boresight(&self) -> Vec3 {
+        self.boresight
+    }
+
+    /// Peak (boresight) gain in dBi.
+    pub fn peak_gain_dbi(&self) -> f64 {
+        self.peak_gain_dbi
+    }
+
+    /// Gain toward a point, using a parabolic main-lobe rolloff
+    /// (−12 (θ/θ₃dB)² dB, the standard one-parameter pattern model) floored
+    /// at the front-to-back ratio.
+    pub fn gain_toward(&self, point: Vec3) -> Db {
+        let dir = point - self.position;
+        if dir.norm() < 1e-9 {
+            return Db(self.peak_gain_dbi);
+        }
+        let theta = self.boresight.angle_to(dir).to_degrees();
+        let half_bw = self.beamwidth_deg / 2.0;
+        let rolloff = 3.0 * (theta / half_bw).powi(2);
+        let rolloff = rolloff.min(self.front_to_back_db);
+        Db(self.peak_gain_dbi - rolloff)
+    }
+
+    /// Distance from the antenna to a point, metres.
+    pub fn distance_to(&self, point: Vec3) -> f64 {
+        self.position.distance_to(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ant() -> Antenna {
+        Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))
+    }
+
+    #[test]
+    fn boresight_gain_is_peak() {
+        let g = ant().gain_toward(Vec3::new(5.0, 0.0, 1.0));
+        assert!((g.0 - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_beamwidth_is_3db_down() {
+        let a = ant();
+        // 32.5° off axis in the y-plane at the antenna height.
+        let theta = (65.0f64 / 2.0).to_radians();
+        let p = Vec3::new(5.0 * theta.cos(), 5.0 * theta.sin(), 1.0);
+        let g = a.gain_toward(p);
+        assert!((g.0 - (8.5 - 3.0)).abs() < 0.05, "gain {g}");
+    }
+
+    #[test]
+    fn rear_lobe_is_floored() {
+        let g = ant().gain_toward(Vec3::new(-5.0, 0.0, 1.0));
+        assert!((g.0 - (8.5 - 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_decreases_monotonically_off_axis() {
+        let a = ant();
+        let mut last = f64::MAX;
+        for deg in [0.0, 10.0, 20.0, 40.0, 60.0, 90.0] {
+            let theta = (deg as f64).to_radians();
+            let p = Vec3::new(5.0 * theta.cos(), 5.0 * theta.sin(), 1.0);
+            let g = a.gain_toward(p).0;
+            assert!(g <= last + 1e-9, "gain increased at {deg}°");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn coincident_point_returns_peak() {
+        let a = ant();
+        assert_eq!(a.gain_toward(a.position()), Db(8.5));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        assert_eq!(ant().distance_to(Vec3::new(3.0, 4.0, 1.0)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beamwidth")]
+    fn invalid_beamwidth_panics() {
+        Antenna::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 8.5, 0.0, 25.0);
+    }
+}

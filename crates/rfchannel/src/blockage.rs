@@ -1,0 +1,186 @@
+//! Body blockage of the line-of-sight path.
+//!
+//! The paper (Figure 15) rotates a tagged user from facing the antenna (0°)
+//! to facing away (180°): RSSI stays roughly flat while the line of sight is
+//! clear (0–90°), the read rate falls from ~50 Hz to ~10 Hz, and beyond 90°
+//! the body blocks the path entirely and the tag cannot be read. The human
+//! torso attenuates UHF signals by tens of dB, so we model blockage as an
+//! orientation-dependent attenuation that is mild in the front half-plane
+//! and severe once the tag moves behind the body.
+
+use serde::{Deserialize, Serialize};
+
+/// Orientation-dependent body attenuation model.
+///
+/// `orientation_deg` is the angle between the user's facing direction and
+/// the direction from the user toward the antenna: 0° = facing the antenna
+/// (tags have a clear line of sight), 180° = back turned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BodyBlockage {
+    /// Orientation below which the body adds no attenuation (degrees).
+    clear_until_deg: f64,
+    /// Attenuation at 90° (grazing), dB.
+    grazing_db: f64,
+    /// Attenuation once fully shadowed, dB.
+    shadow_db: f64,
+    /// Orientation at which full shadowing is reached (degrees).
+    shadow_at_deg: f64,
+}
+
+impl BodyBlockage {
+    /// The calibrated default: clear to 60°, 6 dB at 90°, ramping to 45 dB
+    /// of through-body attenuation by 130°.
+    pub fn paper_default() -> Self {
+        BodyBlockage {
+            clear_until_deg: 60.0,
+            grazing_db: 6.0,
+            shadow_db: 45.0,
+            shadow_at_deg: 130.0,
+        }
+    }
+
+    /// Creates a custom blockage profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ clear_until < 90 < shadow_at ≤ 180` and the
+    /// attenuations are non-negative with `grazing ≤ shadow`.
+    pub fn new(clear_until_deg: f64, grazing_db: f64, shadow_db: f64, shadow_at_deg: f64) -> Self {
+        assert!(
+            (0.0..90.0).contains(&clear_until_deg),
+            "clear_until must be in [0, 90)"
+        );
+        assert!(
+            shadow_at_deg > 90.0 && shadow_at_deg <= 180.0,
+            "shadow_at must be in (90, 180]"
+        );
+        assert!(grazing_db >= 0.0 && shadow_db >= grazing_db);
+        BodyBlockage {
+            clear_until_deg,
+            grazing_db,
+            shadow_db,
+            shadow_at_deg,
+        }
+    }
+
+    /// Attenuation in dB at a given orientation.
+    ///
+    /// Orientation is folded into `[0, 180]` (rotating left or right is
+    /// symmetric).
+    pub fn attenuation_db(&self, orientation_deg: f64) -> f64 {
+        let theta = fold_orientation(orientation_deg);
+        if theta <= self.clear_until_deg {
+            0.0
+        } else if theta <= 90.0 {
+            // Quadratic onset from clear to grazing.
+            let x = (theta - self.clear_until_deg) / (90.0 - self.clear_until_deg);
+            self.grazing_db * x * x
+        } else if theta < self.shadow_at_deg {
+            // Power-law ramp from grazing to full shadow.
+            let x = (theta - 90.0) / (self.shadow_at_deg - 90.0);
+            self.grazing_db + (self.shadow_db - self.grazing_db) * x.powf(1.5)
+        } else {
+            self.shadow_db
+        }
+    }
+
+    /// Whether a clear line-of-sight path exists at this orientation
+    /// (the paper treats ≤ 90° as "with LOS").
+    pub fn has_los(&self, orientation_deg: f64) -> bool {
+        fold_orientation(orientation_deg) <= 90.0
+    }
+}
+
+impl Default for BodyBlockage {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Folds an arbitrary orientation angle into `[0, 180]` degrees.
+fn fold_orientation(deg: f64) -> f64 {
+    let wrapped = deg.rem_euclid(360.0);
+    if wrapped > 180.0 {
+        360.0 - wrapped
+    } else {
+        wrapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facing_has_zero_attenuation() {
+        let b = BodyBlockage::paper_default();
+        assert_eq!(b.attenuation_db(0.0), 0.0);
+        assert_eq!(b.attenuation_db(30.0), 0.0);
+        assert_eq!(b.attenuation_db(60.0), 0.0);
+    }
+
+    #[test]
+    fn grazing_matches_configuration() {
+        let b = BodyBlockage::paper_default();
+        assert!((b.attenuation_db(90.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_shadow_beyond_ramp() {
+        let b = BodyBlockage::paper_default();
+        assert_eq!(b.attenuation_db(130.0), 45.0);
+        assert_eq!(b.attenuation_db(180.0), 45.0);
+    }
+
+    #[test]
+    fn attenuation_is_monotonic_in_orientation() {
+        let b = BodyBlockage::paper_default();
+        let mut last = -1.0;
+        for deg in 0..=180 {
+            let a = b.attenuation_db(deg as f64);
+            assert!(a + 1e-9 >= last, "non-monotonic at {deg}°");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn symmetric_in_rotation_direction() {
+        let b = BodyBlockage::paper_default();
+        for deg in [30.0, 75.0, 100.0, 150.0] {
+            assert!((b.attenuation_db(deg) - b.attenuation_db(-deg)).abs() < 1e-12);
+            assert!((b.attenuation_db(deg) - b.attenuation_db(360.0 - deg)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn los_flag_matches_paper_convention() {
+        let b = BodyBlockage::paper_default();
+        assert!(b.has_los(0.0));
+        assert!(b.has_los(90.0));
+        assert!(!b.has_los(91.0));
+        assert!(!b.has_los(180.0));
+    }
+
+    #[test]
+    fn fold_orientation_cases() {
+        assert_eq!(fold_orientation(0.0), 0.0);
+        assert_eq!(fold_orientation(190.0), 170.0);
+        assert_eq!(fold_orientation(-45.0), 45.0);
+        assert_eq!(fold_orientation(360.0), 0.0);
+        assert_eq!(fold_orientation(540.0), 180.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clear_until")]
+    fn invalid_clear_until_panics() {
+        BodyBlockage::new(95.0, 6.0, 45.0, 130.0);
+    }
+
+    #[test]
+    fn custom_profile_respected() {
+        let b = BodyBlockage::new(45.0, 10.0, 50.0, 120.0);
+        assert_eq!(b.attenuation_db(45.0), 0.0);
+        assert!((b.attenuation_db(90.0) - 10.0).abs() < 1e-9);
+        assert_eq!(b.attenuation_db(120.0), 50.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! UHF channel plans and the frequency-hopping schedule.
+//!
+//! The EPC C1G2 standard mandates frequency hopping in FCC regions to
+//! mitigate frequency-selective fading and co-channel interference. The
+//! paper's measurements (Figure 5) show the Impinj R420 hopping among
+//! **10 channels** with a dwell time of roughly **0.2 s**; the full FCC plan
+//! has 50 channels at 500 kHz spacing in 902–928 MHz.
+
+use crate::units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// A set of equally spaced carrier channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    first_channel: Hertz,
+    spacing: Hertz,
+    count: usize,
+}
+
+impl ChannelPlan {
+    /// Creates a plan of `count` channels starting at `first_channel` with
+    /// `spacing` between adjacent channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or spacing/first channel are non-positive.
+    pub fn new(first_channel: Hertz, spacing: Hertz, count: usize) -> Self {
+        assert!(count > 0, "a channel plan needs at least one channel");
+        assert!(first_channel.0 > 0.0, "first channel must be positive");
+        assert!(spacing.0 >= 0.0, "spacing must be non-negative");
+        ChannelPlan {
+            first_channel,
+            spacing,
+            count,
+        }
+    }
+
+    /// The 10-channel plan observed in the paper's measurements (Figure 5):
+    /// ten 500 kHz channels spread over the 902–928 MHz band.
+    pub fn us_10() -> Self {
+        // Spread 10 channels evenly across the FCC band, centred usage.
+        ChannelPlan::new(Hertz::from_mhz(903.25), Hertz::from_mhz(2.5), 10)
+    }
+
+    /// The full 50-channel FCC plan: 902.75–927.25 MHz at 500 kHz spacing.
+    pub fn fcc_50() -> Self {
+        ChannelPlan::new(Hertz::from_mhz(902.75), Hertz::from_mhz(0.5), 50)
+    }
+
+    /// The ETSI EN 302 208 European plan: four 200 kHz channels at
+    /// 865.7 / 866.3 / 866.9 / 867.5 MHz. The paper notes regional
+    /// regulations differ (Section IV-A.3); European readers hop (or
+    /// listen-before-talk) over these four channels.
+    pub fn etsi_4() -> Self {
+        ChannelPlan::new(Hertz::from_mhz(865.7), Hertz::from_mhz(0.6), 4)
+    }
+
+    /// A single fixed channel (not FCC-legal for continuous waves, but
+    /// useful for controlled experiments).
+    pub fn fixed(freq: Hertz) -> Self {
+        ChannelPlan::new(freq, Hertz(0.0), 1)
+    }
+
+    /// Number of channels in the plan.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the plan is empty (never true — plans have ≥ 1 channel).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Carrier frequency of channel `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn frequency(&self, index: usize) -> Hertz {
+        assert!(
+            index < self.count,
+            "channel index {index} out of range for {}-channel plan",
+            self.count
+        );
+        Hertz(self.first_channel.0 + self.spacing.0 * index as f64)
+    }
+
+    /// Wavelength of channel `index` in metres.
+    pub fn wavelength_m(&self, index: usize) -> f64 {
+        self.frequency(index).wavelength_m()
+    }
+}
+
+/// A deterministic pseudo-random hop sequence over a [`ChannelPlan`].
+///
+/// FCC rules require a pseudo-random sequence visiting every channel before
+/// repeating; we use a fixed permutation generated from a seed via a simple
+/// multiplicative scheme so the sequence is reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopSequence {
+    order: Vec<usize>,
+    dwell_s: f64,
+}
+
+impl HopSequence {
+    /// Builds a hop sequence for `plan` with the given dwell time per
+    /// channel, shuffled deterministically by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell_s` is not positive.
+    pub fn new(plan: &ChannelPlan, dwell_s: f64, seed: u64) -> Self {
+        assert!(dwell_s > 0.0, "dwell time must be positive");
+        let n = plan.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with a splitmix64 stream: deterministic, seedable,
+        // and dependency-free.
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        HopSequence { order, dwell_s }
+    }
+
+    /// The paper's observed configuration: 10 channels, 0.2 s dwell.
+    pub fn paper_default(seed: u64) -> Self {
+        HopSequence::new(&ChannelPlan::us_10(), 0.2, seed)
+    }
+
+    /// Dwell time per channel in seconds.
+    pub fn dwell_s(&self) -> f64 {
+        self.dwell_s
+    }
+
+    /// Channel index active at time `t` (seconds, from 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    pub fn channel_at(&self, t: f64) -> usize {
+        assert!(t >= 0.0, "time must be non-negative");
+        let slot = (t / self.dwell_s) as usize;
+        self.order[slot % self.order.len()]
+    }
+
+    /// Time of the next hop boundary strictly after `t`.
+    pub fn next_hop_after(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "time must be non-negative");
+        ((t / self.dwell_s).floor() + 1.0) * self.dwell_s
+    }
+
+    /// The visit order of channel indices within one period.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us10_spans_band() {
+        let plan = ChannelPlan::us_10();
+        assert_eq!(plan.len(), 10);
+        assert!(plan.frequency(0).as_mhz() >= 902.0);
+        assert!(plan.frequency(9).as_mhz() <= 928.0);
+    }
+
+    #[test]
+    fn fcc50_matches_regulation() {
+        let plan = ChannelPlan::fcc_50();
+        assert_eq!(plan.len(), 50);
+        assert!((plan.frequency(0).as_mhz() - 902.75).abs() < 1e-9);
+        assert!((plan.frequency(49).as_mhz() - 927.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn etsi4_matches_regulation() {
+        let plan = ChannelPlan::etsi_4();
+        assert_eq!(plan.len(), 4);
+        assert!((plan.frequency(0).as_mhz() - 865.7).abs() < 1e-9);
+        assert!((plan.frequency(3).as_mhz() - 867.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavelengths_differ_across_channels() {
+        let plan = ChannelPlan::us_10();
+        // The wavelength difference across the band is what causes phase
+        // discontinuities at hops (Figure 4 of the paper).
+        let l0 = plan.wavelength_m(0);
+        let l9 = plan.wavelength_m(9);
+        assert!(l0 > l9);
+        assert!((l0 - l9) > 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_channel_panics() {
+        ChannelPlan::us_10().frequency(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_plan_panics() {
+        ChannelPlan::new(Hertz::from_mhz(915.0), Hertz(0.0), 0);
+    }
+
+    #[test]
+    fn fixed_plan_single_channel() {
+        let plan = ChannelPlan::fixed(Hertz::from_mhz(915.0));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.frequency(0), Hertz::from_mhz(915.0));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn hop_sequence_is_a_permutation() {
+        let seq = HopSequence::paper_default(42);
+        let mut seen = seq.order().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hop_sequence_is_deterministic_per_seed() {
+        let a = HopSequence::paper_default(7);
+        let b = HopSequence::paper_default(7);
+        let c = HopSequence::paper_default(8);
+        assert_eq!(a.order(), b.order());
+        assert_ne!(a.order(), c.order());
+    }
+
+    #[test]
+    fn channel_at_respects_dwell() {
+        let seq = HopSequence::paper_default(1);
+        assert_eq!(seq.channel_at(0.0), seq.order()[0]);
+        assert_eq!(seq.channel_at(0.19), seq.order()[0]);
+        assert_eq!(seq.channel_at(0.21), seq.order()[1]);
+        // Wraps after a full period (10 × 0.2 s = 2 s).
+        assert_eq!(seq.channel_at(2.05), seq.order()[0]);
+    }
+
+    #[test]
+    fn next_hop_boundary() {
+        let seq = HopSequence::paper_default(1);
+        assert!((seq.next_hop_after(0.0) - 0.2).abs() < 1e-12);
+        assert!((seq.next_hop_after(0.35) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        HopSequence::paper_default(1).channel_at(-1.0);
+    }
+
+    #[test]
+    fn paper_default_dwell_is_200ms() {
+        assert_eq!(HopSequence::paper_default(0).dwell_s(), 0.2);
+    }
+}

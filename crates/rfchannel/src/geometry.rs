@@ -1,0 +1,158 @@
+//! 3-D geometry primitives for antenna/tag placement.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A point or vector in 3-D space, in metres.
+///
+/// The coordinate convention throughout the workspace: `x` points from the
+/// antenna into the room (range axis), `y` is lateral, `z` is height above
+/// the floor.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_rfchannel::geometry::Vec3;
+///
+/// let antenna = Vec3::new(0.0, 0.0, 1.0);
+/// let tag = Vec3::new(4.0, 0.0, 1.2);
+/// assert!((antenna.distance_to(tag) - 4.005).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Range axis (metres).
+    pub x: f64,
+    /// Lateral axis (metres).
+    pub y: f64,
+    /// Height axis (metres).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin / zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Distance to another point.
+    pub fn distance_to(self, other: Vec3) -> f64 {
+        (other - self).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Returns the unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is (near-)zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 1e-12, "cannot normalise a zero vector");
+        self * (1.0 / n)
+    }
+
+    /// Angle in radians between this vector and another, in `[0, π]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector is (near-)zero.
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let denom = self.norm() * other.norm();
+        assert!(denom > 1e-12, "angle with a zero vector is undefined");
+        (self.dot(other) / denom).clamp(-1.0, 1.0).acos()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345_triangle() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.distance_to(b), 5.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vec3::new(2.0, -3.0, 6.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalizing_zero_panics() {
+        Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn angle_between_axes_is_right_angle() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert!((x.angle_to(y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(x.angle_to(x).abs() < 1e-6);
+        assert!((x.angle_to(-x) - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a.dot(b), -1.0 + 1.0 + 6.0);
+    }
+}

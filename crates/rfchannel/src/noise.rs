@@ -1,0 +1,107 @@
+//! Noise sampling helpers (Gaussian via Box–Muller, seeded and
+//! reproducible).
+
+use rand::Rng;
+
+/// Draws one sample from a zero-mean Gaussian with standard deviation
+/// `sigma` using the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "standard deviation must be non-negative");
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    // Box–Muller: u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a Rician-distributed amplitude with K-factor `k_linear`
+/// (ratio of specular to scattered power) and total mean power 1.
+///
+/// Used for per-channel static multipath gains: large K ≈ strong
+/// line-of-sight, K → 0 degenerates to Rayleigh.
+///
+/// # Panics
+///
+/// Panics if `k_linear` is negative.
+pub fn rician_amplitude<R: Rng + ?Sized>(rng: &mut R, k_linear: f64) -> f64 {
+    assert!(k_linear >= 0.0, "Rician K-factor must be non-negative");
+    let specular = (k_linear / (k_linear + 1.0)).sqrt();
+    let sigma = (1.0 / (2.0 * (k_linear + 1.0))).sqrt();
+    let re = specular + gaussian(rng, sigma);
+    let im = gaussian(rng, sigma);
+    re.hypot(im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exactly_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(gaussian(&mut rng, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        gaussian(&mut rng, -1.0);
+    }
+
+    #[test]
+    fn rician_mean_power_is_unity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for k in [0.0, 1.0, 10.0, 100.0] {
+            let n = 50_000;
+            let p: f64 = (0..n)
+                .map(|_| {
+                    let a = rician_amplitude(&mut rng, k);
+                    a * a
+                })
+                .sum::<f64>()
+                / n as f64;
+            assert!((p - 1.0).abs() < 0.05, "K={k}: power {p}");
+        }
+    }
+
+    #[test]
+    fn high_k_concentrates_near_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..1000).map(|_| rician_amplitude(&mut rng, 1000.0)).collect();
+        for a in samples {
+            assert!((a - 1.0).abs() < 0.2, "amplitude {a} too spread for K=1000");
+        }
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(gaussian(&mut a, 1.0), gaussian(&mut b, 1.0));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Assembly of physical-layer observations: phase (Eq. 1), RSSI and
+//! Doppler (Eq. 2) as a commodity reader would report them.
+
+use crate::fading::ChannelGain;
+use crate::link::{LinkBudget, LinkConfig};
+use crate::noise::gaussian;
+use crate::units::Dbm;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Measurement non-idealities of the reader's low-level reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementNoise {
+    /// Phase measurement noise, radians (std of Gaussian).
+    pub phase_noise_rad: f64,
+    /// Phase quantisation step, radians (Impinj reports 2π/4096).
+    pub phase_step_rad: f64,
+    /// RSSI quantisation step, dB (Impinj reports 0.5 dBm steps).
+    pub rssi_step_db: f64,
+    /// Doppler estimate noise at the reference SNR, Hz.
+    pub doppler_noise_hz: f64,
+    /// Reference SNR for the Doppler noise figure, dB.
+    pub doppler_ref_snr_db: f64,
+}
+
+impl MeasurementNoise {
+    /// Calibrated defaults for the Impinj R420's low-level data.
+    pub fn paper_default() -> Self {
+        MeasurementNoise {
+            phase_noise_rad: 0.1,
+            phase_step_rad: 2.0 * std::f64::consts::PI / 4096.0,
+            rssi_step_db: 0.5,
+            doppler_noise_hz: 1.2,
+            doppler_ref_snr_db: 40.0,
+        }
+    }
+
+    /// An idealised noiseless reader (useful in unit tests).
+    pub fn noiseless() -> Self {
+        MeasurementNoise {
+            phase_noise_rad: 0.0,
+            phase_step_rad: 0.0,
+            rssi_step_db: 0.0,
+            doppler_noise_hz: 0.0,
+            doppler_ref_snr_db: 40.0,
+        }
+    }
+}
+
+impl Default for MeasurementNoise {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One physical-layer observation of a tag, as reported by the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhyObservation {
+    /// Reported phase in `[0, 2π)` (Eq. 1, noisy and quantised).
+    pub phase_rad: f64,
+    /// Reported RSSI (quantised).
+    pub rssi: Dbm,
+    /// Reported Doppler frequency shift, Hz (Eq. 2, noisy).
+    pub doppler_hz: f64,
+}
+
+/// Computes the ideal backscatter phase of Eq. (1):
+/// `θ = (2π/λ · 2d + c) mod 2π`.
+///
+/// # Panics
+///
+/// Panics if `lambda_m` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_rfchannel::observation::ideal_phase;
+/// let theta = ideal_phase(2.0, 0.32, 0.0);
+/// assert!((0.0..2.0 * std::f64::consts::PI).contains(&theta));
+/// ```
+pub fn ideal_phase(distance_m: f64, lambda_m: f64, offset_rad: f64) -> f64 {
+    assert!(lambda_m > 0.0, "wavelength must be positive");
+    let theta = 4.0 * std::f64::consts::PI * distance_m / lambda_m + offset_rad;
+    theta.rem_euclid(2.0 * std::f64::consts::PI)
+}
+
+/// Per-channel constant reader circuit offset (the `c` of Eq. 1 beyond the
+/// multipath contribution): deterministic in `(seed, channel)`.
+pub fn reader_phase_offset(seed: u64, channel: usize) -> f64 {
+    let mut z = seed ^ (channel as u64 + 1).wrapping_mul(0xD1B54A32D192ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) * 2.0 * std::f64::consts::PI
+}
+
+/// Builds the full reader-visible observation of a tag read.
+///
+/// * `distance_m` — current antenna↔tag distance (breathing modulates this);
+/// * `radial_velocity_mps` — rate of change of that distance (for Doppler);
+/// * `lambda_m` — wavelength of the active channel;
+/// * `gain` — static per-(channel, tag) fading gain;
+/// * `reader_offset_rad` — per-channel circuit phase offset;
+/// * `budget` — evaluated link budget (for RSSI and SNR-scaled Doppler
+///   noise).
+#[allow(clippy::too_many_arguments)]
+pub fn observe<R: Rng + ?Sized>(
+    rng: &mut R,
+    noise: &MeasurementNoise,
+    _config: &LinkConfig,
+    budget: &LinkBudget,
+    distance_m: f64,
+    radial_velocity_mps: f64,
+    lambda_m: f64,
+    gain: ChannelGain,
+    reader_offset_rad: f64,
+) -> PhyObservation {
+    // Phase: geometry + constant offsets + noise, then quantisation.
+    let offset = reader_offset_rad + gain.phase;
+    let mut theta = ideal_phase(distance_m, lambda_m, offset);
+    theta += gaussian(rng, noise.phase_noise_rad);
+    if noise.phase_step_rad > 0.0 {
+        theta = (theta / noise.phase_step_rad).round() * noise.phase_step_rad;
+    }
+    let theta = theta.rem_euclid(2.0 * std::f64::consts::PI);
+
+    // RSSI: budget power, quantised.
+    let rssi = if noise.rssi_step_db > 0.0 {
+        budget.rx_power.quantized(noise.rssi_step_db)
+    } else {
+        budget.rx_power
+    };
+
+    // Doppler (Eq. 2 inverted): the true shift of a backscatter link is
+    // f = 2v/λ; the estimate from the tiny intra-packet phase rotation is
+    // noisy, with noise growing as SNR drops — this is exactly why the
+    // paper finds Doppler "not reliable in practice" (Section IV-A).
+    let true_doppler = -2.0 * radial_velocity_mps / lambda_m;
+    let sigma = noise.doppler_noise_hz
+        * 10f64.powf((noise.doppler_ref_snr_db - budget.snr.0) / 20.0);
+    let doppler_hz = true_doppler + gaussian(rng, sigma);
+
+    PhyObservation {
+        phase_rad: theta,
+        rssi,
+        doppler_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const LAMBDA: f64 = 0.3276;
+
+    fn setup() -> (LinkConfig, LinkBudget) {
+        let cfg = LinkConfig::paper_default();
+        let budget = LinkBudget::evaluate(&cfg, 2.0, LAMBDA, 8.5, 0.0, 0.0);
+        (cfg, budget)
+    }
+
+    fn unity_gain() -> ChannelGain {
+        ChannelGain {
+            amplitude: 1.0,
+            phase: 0.0,
+        }
+    }
+
+    #[test]
+    fn ideal_phase_period_is_half_wavelength() {
+        let t1 = ideal_phase(2.0, LAMBDA, 0.0);
+        let t2 = ideal_phase(2.0 + LAMBDA / 2.0, LAMBDA, 0.0);
+        assert!((t1 - t2).abs() < 1e-9, "phase should repeat every λ/2");
+    }
+
+    #[test]
+    fn ideal_phase_slope_matches_eq1() {
+        // dθ/dd = 4π/λ.
+        let d = 3.0;
+        let dd = 1e-4;
+        let t1 = ideal_phase(d, LAMBDA, 0.0);
+        let t2 = ideal_phase(d + dd, LAMBDA, 0.0);
+        let slope = (t2 - t1) / dd;
+        assert!((slope - 4.0 * std::f64::consts::PI / LAMBDA).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reader_offset_is_deterministic_and_channel_dependent() {
+        assert_eq!(reader_phase_offset(1, 0), reader_phase_offset(1, 0));
+        assert_ne!(reader_phase_offset(1, 0), reader_phase_offset(1, 1));
+        assert_ne!(reader_phase_offset(1, 0), reader_phase_offset(2, 0));
+        for ch in 0..50 {
+            let c = reader_phase_offset(7, ch);
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&c));
+        }
+    }
+
+    #[test]
+    fn noiseless_observation_is_exact() {
+        let (cfg, budget) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let obs = observe(
+            &mut rng,
+            &MeasurementNoise::noiseless(),
+            &cfg,
+            &budget,
+            2.0,
+            0.0,
+            LAMBDA,
+            unity_gain(),
+            0.0,
+        );
+        assert!((obs.phase_rad - ideal_phase(2.0, LAMBDA, 0.0)).abs() < 1e-12);
+        assert_eq!(obs.rssi, budget.rx_power);
+        assert_eq!(obs.doppler_hz, 0.0);
+    }
+
+    #[test]
+    fn phase_is_quantised_to_reader_step() {
+        let (cfg, budget) = setup();
+        let noise = MeasurementNoise::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let obs = observe(
+                &mut rng, &noise, &cfg, &budget, 2.0, 0.0, LAMBDA, unity_gain(), 0.0,
+            );
+            let steps = obs.phase_rad / noise.phase_step_rad;
+            assert!((steps - steps.round()).abs() < 1e-6, "unquantised phase");
+        }
+    }
+
+    #[test]
+    fn rssi_is_quantised_to_half_db() {
+        let (cfg, budget) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let obs = observe(
+            &mut rng,
+            &MeasurementNoise::paper_default(),
+            &cfg,
+            &budget,
+            2.0,
+            0.0,
+            LAMBDA,
+            unity_gain(),
+            0.0,
+        );
+        let steps = obs.rssi.0 / 0.5;
+        assert!((steps - steps.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doppler_tracks_radial_velocity_on_average() {
+        let (cfg, budget) = setup();
+        let noise = MeasurementNoise::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = -0.01; // 1 cm/s toward the antenna
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                observe(&mut rng, &noise, &cfg, &budget, 2.0, v, LAMBDA, unity_gain(), 0.0)
+                    .doppler_hz
+            })
+            .sum::<f64>()
+            / n as f64;
+        let expected = -2.0 * v / LAMBDA;
+        assert!((mean - expected).abs() < 0.05, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn doppler_noise_grows_at_low_snr() {
+        let cfg = LinkConfig::paper_default();
+        let near = LinkBudget::evaluate(&cfg, 1.0, LAMBDA, 8.5, 0.0, 0.0);
+        let far = LinkBudget::evaluate(&cfg, 6.0, LAMBDA, 8.5, 0.0, 0.0);
+        let noise = MeasurementNoise::paper_default();
+        let spread = |budget: &LinkBudget, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| {
+                    observe(&mut rng, &noise, &cfg, budget, 2.0, 0.0, LAMBDA, unity_gain(), 0.0)
+                        .doppler_hz
+                })
+                .collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        assert!(spread(&far, 4) > 2.0 * spread(&near, 5));
+    }
+
+    #[test]
+    fn phase_stays_in_principal_range() {
+        let (cfg, budget) = setup();
+        let noise = MeasurementNoise::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for i in 0..200 {
+            let d = 1.0 + i as f64 * 0.05;
+            let obs = observe(
+                &mut rng, &noise, &cfg, &budget, d, 0.0, LAMBDA, unity_gain(), 1.0,
+            );
+            assert!(
+                (0.0..2.0 * std::f64::consts::PI).contains(&obs.phase_rad),
+                "phase {} out of range",
+                obs.phase_rad
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Two-ray ground-reflection propagation.
+//!
+//! Indoor UHF links see at least one strong floor reflection. The two-ray
+//! model superposes the direct ray with a ground bounce; their interference
+//! makes path loss oscillate with distance (and antenna/tag heights)
+//! instead of following the smooth free-space curve. The reader can be
+//! configured with either model; `repro`'s quick sweeps use free space
+//! (plus stochastic fading) while the two-ray model grounds a sensitivity
+//! ablation.
+
+use crate::link::free_space_path_loss_db;
+
+/// Path loss in dB of a two-ray link.
+///
+/// * `ground_distance_m` — horizontal transmitter→receiver separation;
+/// * `h_tx_m`, `h_rx_m` — antenna heights above the reflecting floor;
+/// * `lambda_m` — wavelength;
+/// * `reflection_coeff` — floor reflection magnitude `Γ ∈ [0, 1]`
+///   (typical indoor floors ≈ 0.3–0.7; the reflected ray also picks up the
+///   conventional π phase shift).
+///
+/// # Panics
+///
+/// Panics if the geometry is degenerate (non-positive distance/heights),
+/// `lambda_m` is not positive, or `reflection_coeff` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_rfchannel::tworay::two_ray_path_loss_db;
+///
+/// // With Γ = 0 the model reduces to free space.
+/// let loss = two_ray_path_loss_db(4.0, 1.0, 1.0, 0.3276, 0.0);
+/// let fspl = tagbreathe_rfchannel::link::free_space_path_loss_db(4.0, 0.3276);
+/// assert!((loss - fspl).abs() < 1e-9);
+/// ```
+pub fn two_ray_path_loss_db(
+    ground_distance_m: f64,
+    h_tx_m: f64,
+    h_rx_m: f64,
+    lambda_m: f64,
+    reflection_coeff: f64,
+) -> f64 {
+    assert!(ground_distance_m > 0.0, "distance must be positive");
+    assert!(h_tx_m > 0.0 && h_rx_m > 0.0, "heights must be positive");
+    assert!(lambda_m > 0.0, "wavelength must be positive");
+    assert!(
+        (0.0..=1.0).contains(&reflection_coeff),
+        "reflection coefficient must be in [0, 1]"
+    );
+    let dh = h_tx_m - h_rx_m;
+    let sh = h_tx_m + h_rx_m;
+    let d_direct = (ground_distance_m * ground_distance_m + dh * dh).sqrt();
+    let d_reflect = (ground_distance_m * ground_distance_m + sh * sh).sqrt();
+    let k = 2.0 * std::f64::consts::PI / lambda_m;
+    // Complex sum of the two rays, amplitudes ∝ 1/d, reflected ray negated
+    // (π phase shift at grazing reflection).
+    let (re_d, im_d) = ((k * d_direct).cos() / d_direct, -(k * d_direct).sin() / d_direct);
+    let (re_r, im_r) = (
+        -reflection_coeff * (k * d_reflect).cos() / d_reflect,
+        reflection_coeff * (k * d_reflect).sin() / d_reflect,
+    );
+    let magnitude = ((re_d + re_r).powi(2) + (im_d + im_r).powi(2)).sqrt();
+    // Normalise so Γ = 0 reproduces free-space loss exactly.
+    let free_space_field = 1.0 / d_direct;
+    free_space_path_loss_db(d_direct, lambda_m) - 20.0 * (magnitude / free_space_field).log10()
+}
+
+/// The crossover distance `4 h_tx h_rx / λ` beyond which the two-ray model
+/// transitions to its asymptotic 40 log₁₀ d regime.
+pub fn crossover_distance_m(h_tx_m: f64, h_rx_m: f64, lambda_m: f64) -> f64 {
+    assert!(lambda_m > 0.0, "wavelength must be positive");
+    4.0 * h_tx_m * h_rx_m / lambda_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.3276;
+
+    #[test]
+    fn zero_reflection_equals_free_space() {
+        for d in [1.0, 2.0, 5.0, 10.0] {
+            let loss = two_ray_path_loss_db(d, 1.0, 1.0, LAMBDA, 0.0);
+            let fspl = free_space_path_loss_db(d, LAMBDA);
+            assert!((loss - fspl).abs() < 1e-9, "at {d} m");
+        }
+    }
+
+    #[test]
+    fn interference_oscillates_around_free_space() {
+        // With a strong reflection, loss both exceeds and falls below the
+        // free-space value across distances.
+        let mut above = 0;
+        let mut below = 0;
+        for i in 0..200 {
+            let d = 1.0 + i as f64 * 0.025;
+            let loss = two_ray_path_loss_db(d, 1.0, 1.0, LAMBDA, 0.6);
+            let fspl = free_space_path_loss_db(d, LAMBDA);
+            if loss > fspl + 0.5 {
+                above += 1;
+            }
+            if loss < fspl - 0.5 {
+                below += 1;
+            }
+        }
+        assert!(above > 10 && below > 10, "above {above}, below {below}");
+    }
+
+    #[test]
+    fn fade_depth_bounded_by_reflection_strength() {
+        // Γ = 0.3 cannot deepen a fade beyond 20·log10(1 − 0.3) ≈ −3.1 dB
+        // of field cancellation (plus the path-length imbalance, small at
+        // short range).
+        for i in 0..400 {
+            let d = 1.0 + i as f64 * 0.01;
+            let loss = two_ray_path_loss_db(d, 1.0, 1.0, LAMBDA, 0.3);
+            let fspl = free_space_path_loss_db(d, LAMBDA);
+            assert!(loss - fspl < 3.5, "fade {:.2} dB at {d} m", loss - fspl);
+        }
+    }
+
+    #[test]
+    fn crossover_distance_formula() {
+        let d = crossover_distance_m(1.0, 1.0, LAMBDA);
+        assert!((d - 4.0 / LAMBDA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beyond_crossover_loss_grows_steeper() {
+        // Far past crossover the two-ray asymptote is 40 log d: doubling
+        // distance adds ~12 dB, vs 6 dB in free space.
+        let d0 = 4.0 * crossover_distance_m(1.0, 1.0, LAMBDA);
+        let l1 = two_ray_path_loss_db(d0, 1.0, 1.0, LAMBDA, 1.0);
+        let l2 = two_ray_path_loss_db(2.0 * d0, 1.0, 1.0, LAMBDA, 1.0);
+        assert!(
+            l2 - l1 > 9.0,
+            "only {:.1} dB per doubling past crossover",
+            l2 - l1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reflection coefficient")]
+    fn invalid_gamma_panics() {
+        two_ray_path_loss_db(4.0, 1.0, 1.0, LAMBDA, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "heights")]
+    fn zero_height_panics() {
+        two_ray_path_loss_db(4.0, 0.0, 1.0, LAMBDA, 0.5);
+    }
+}

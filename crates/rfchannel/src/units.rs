@@ -1,0 +1,184 @@
+//! Physical-unit newtypes (C-NEWTYPE): frequencies and power levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// A carrier frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_rfchannel::units::Hertz;
+///
+/// let f = Hertz::from_mhz(915.0);
+/// assert!((f.wavelength_m() - 0.3276).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Hertz(pub f64);
+
+impl Hertz {
+    /// Creates a frequency from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    /// This frequency expressed in megahertz.
+    pub fn as_mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Free-space wavelength λ = c / f in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not positive.
+    pub fn wavelength_m(self) -> f64 {
+        assert!(self.0 > 0.0, "wavelength of a non-positive frequency");
+        SPEED_OF_LIGHT / self.0
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} MHz", self.as_mhz())
+    }
+}
+
+/// A power level in dBm (decibels relative to 1 mW).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+impl Dbm {
+    /// Converts to linear milliwatts.
+    pub fn as_milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Creates a power level from linear milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is not positive.
+    pub fn from_milliwatts(mw: f64) -> Self {
+        assert!(mw > 0.0, "dBm of a non-positive power");
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// Quantises to a step (e.g. the Impinj reader reports RSSI in 0.5 dBm
+    /// steps).
+    pub fn quantized(self, step_db: f64) -> Dbm {
+        assert!(step_db > 0.0, "quantisation step must be positive");
+        Dbm((self.0 / step_db).round() * step_db)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, gain: Db) -> Dbm {
+        Dbm(self.0 + gain.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, loss: Db) -> Dbm {
+        Dbm(self.0 - loss.0)
+    }
+}
+
+impl Sub<Dbm> for Dbm {
+    type Output = Db;
+    fn sub(self, other: Dbm) -> Db {
+        Db(self.0 - other.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+/// A relative gain or loss in decibels.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, o: Db) -> Db {
+        Db(self.0 + o.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, o: Db) -> Db {
+        Db(self.0 - o.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_at_915_mhz() {
+        let lambda = Hertz::from_mhz(915.0).wavelength_m();
+        assert!((lambda - 0.32764).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mhz_round_trip() {
+        assert_eq!(Hertz::from_mhz(902.75).as_mhz(), 902.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive frequency")]
+    fn zero_frequency_wavelength_panics() {
+        Hertz(0.0).wavelength_m();
+    }
+
+    #[test]
+    fn dbm_milliwatt_round_trip() {
+        assert!((Dbm(30.0).as_milliwatts() - 1000.0).abs() < 1e-9);
+        assert!((Dbm::from_milliwatts(1.0).0 - 0.0).abs() < 1e-12);
+        assert!((Dbm::from_milliwatts(Dbm(-17.3).as_milliwatts()).0 + 17.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_arithmetic_with_db() {
+        let p = Dbm(30.0) + Db(8.5) - Db(31.7);
+        assert!((p.0 - 6.8).abs() < 1e-12);
+        let diff = Dbm(-40.0) - Dbm(-70.0);
+        assert_eq!(diff, Db(30.0));
+    }
+
+    #[test]
+    fn rssi_quantization_half_db() {
+        assert_eq!(Dbm(-53.26).quantized(0.5), Dbm(-53.5));
+        assert_eq!(Dbm(-53.24).quantized(0.5), Dbm(-53.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Hertz::from_mhz(915.0).to_string(), "915.000 MHz");
+        assert_eq!(Dbm(-53.5).to_string(), "-53.5 dBm");
+        assert_eq!(Db(3.0).to_string(), "3.0 dB");
+    }
+
+    #[test]
+    fn db_arithmetic() {
+        assert_eq!(Db(3.0) + Db(4.0), Db(7.0));
+        assert_eq!(Db(3.0) - Db(4.0), Db(-1.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-modal enhancement: corroborating the phase-based estimate with
+//! RSSI and Doppler.
+//!
+//! Section IV-D.2 of the paper: "One possible enhancement is to fuse the
+//! RSSI and Doppler frequency shift with the phase values to improve the
+//! monitoring accuracy." Phase remains the primary estimator; the coarser
+//! observables act as independent witnesses. An RSSI-derived rate that
+//! matches the phase rate (or its bias-point-doubled harmonic) corroborates
+//! it; a Doppler-derived rate adds a third, weaker vote. The combined
+//! agreement level lets an application decide whether to display, flag or
+//! suppress an estimate.
+
+use crate::baseline::{doppler_rates, rssi_rates};
+use crate::config::PipelineConfig;
+use crate::monitor::BreathMonitor;
+use epcgen2::mapping::IdentityResolver;
+use epcgen2::report::TagReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How strongly the secondary observables support the phase estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Agreement {
+    /// No secondary estimate was available to compare.
+    Unverified,
+    /// Secondary estimates exist but disagree with the phase rate.
+    Contradicted,
+    /// At least one secondary estimate matches (directly or as the
+    /// 2× bias-point harmonic for RSSI).
+    Corroborated,
+}
+
+/// A phase estimate with its multi-modal verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnhancedEstimate {
+    /// The primary (phase-pipeline) rate, bpm.
+    pub phase_bpm: f64,
+    /// The RSSI-derived rate, if one was produced.
+    pub rssi_bpm: Option<f64>,
+    /// The Doppler-derived rate, if one was produced.
+    pub doppler_bpm: Option<f64>,
+    /// Combined verdict.
+    pub agreement: Agreement,
+}
+
+/// Relative tolerance for two rates to "match".
+const MATCH_TOLERANCE: f64 = 0.2;
+
+fn rates_match(a: f64, b: f64) -> bool {
+    if a <= 0.0 || b <= 0.0 {
+        return false;
+    }
+    (a - b).abs() / a < MATCH_TOLERANCE
+}
+
+/// Runs the phase pipeline plus both baselines and cross-validates.
+///
+/// Users whose phase analysis fails are absent from the result (there is
+/// nothing to corroborate).
+pub fn enhanced_estimates<R: IdentityResolver>(
+    reports: &[TagReport],
+    resolver: &R,
+    config: &PipelineConfig,
+) -> BTreeMap<u64, EnhancedEstimate> {
+    let monitor = BreathMonitor::new(config.clone()).expect("validated configuration");
+    let analysis = monitor.analyze(reports, resolver);
+    let rssi = rssi_rates(reports, resolver, config);
+    let doppler = doppler_rates(reports, resolver, config);
+
+    analysis
+        .successes()
+        .filter_map(|(id, user)| {
+            let phase_bpm = user.mean_rate_bpm()?;
+            let rssi_bpm = rssi.get(&id).copied().flatten();
+            let doppler_bpm = doppler.get(&id).copied().flatten();
+            let agreement = judge(phase_bpm, rssi_bpm, doppler_bpm);
+            Some((
+                id,
+                EnhancedEstimate {
+                    phase_bpm,
+                    rssi_bpm,
+                    doppler_bpm,
+                    agreement,
+                },
+            ))
+        })
+        .collect()
+}
+
+fn judge(phase: f64, rssi: Option<f64>, doppler: Option<f64>) -> Agreement {
+    let mut any = false;
+    let mut supported = false;
+    if let Some(r) = rssi {
+        any = true;
+        // RSSI may lock onto the 2× harmonic depending on the multipath
+        // bias point — both count as support.
+        supported |= rates_match(phase, r) || rates_match(2.0 * phase, r);
+    }
+    if let Some(d) = doppler {
+        any = true;
+        supported |= rates_match(phase, d);
+    }
+    if !any {
+        Agreement::Unverified
+    } else if supported {
+        Agreement::Corroborated
+    } else {
+        Agreement::Contradicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breathing::{Scenario, Subject};
+    use epcgen2::mapping::EmbeddedIdentity;
+    use epcgen2::reader::Reader;
+    use epcgen2::world::ScenarioWorld;
+
+    #[test]
+    fn judge_logic() {
+        assert_eq!(judge(10.0, None, None), Agreement::Unverified);
+        assert_eq!(judge(10.0, Some(10.5), None), Agreement::Corroborated);
+        assert_eq!(judge(10.0, Some(20.3), None), Agreement::Corroborated); // harmonic
+        assert_eq!(judge(10.0, Some(34.0), None), Agreement::Contradicted);
+        assert_eq!(judge(10.0, None, Some(10.8)), Agreement::Corroborated);
+        assert_eq!(judge(10.0, Some(34.0), Some(10.8)), Agreement::Corroborated);
+        assert_eq!(judge(10.0, Some(34.0), Some(27.0)), Agreement::Contradicted);
+    }
+
+    #[test]
+    fn rates_match_tolerance() {
+        assert!(rates_match(10.0, 11.0));
+        assert!(!rates_match(10.0, 13.0));
+        assert!(!rates_match(0.0, 10.0));
+        assert!(!rates_match(10.0, -1.0));
+    }
+
+    #[test]
+    fn strong_scenario_is_corroborated_or_unverified() {
+        let scenario = Scenario::builder().subject(Subject::paper_default(1, 1.5)).build();
+        let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 90.0);
+        let cfg = PipelineConfig::paper_default();
+        let out = enhanced_estimates(&reports, &EmbeddedIdentity::new([1]), &cfg);
+        let e = out[&1];
+        assert!((e.phase_bpm - 10.0).abs() < 1.0, "phase {}", e.phase_bpm);
+        // At close range RSSI usually produces a supporting estimate.
+        assert_ne!(e.agreement, Agreement::Contradicted, "{e:?}");
+    }
+
+    #[test]
+    fn empty_reports_produce_empty_map() {
+        let cfg = PipelineConfig::paper_default();
+        let out = enhanced_estimates(&[], &EmbeddedIdentity::new([1]), &cfg);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn agreement_ordering() {
+        assert!(Agreement::Unverified < Agreement::Contradicted);
+        assert!(Agreement::Contradicted < Agreement::Corroborated);
+    }
+}

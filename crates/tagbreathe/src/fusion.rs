@@ -1,0 +1,305 @@
+//! Multi-tag low-level sensor fusion: Eqs. (6)–(7) of the paper.
+//!
+//! Rather than extracting a breathing signal per tag and fusing the
+//! *results*, TagBreathe fuses the **raw displacement increments** of all of
+//! a user's tags before extraction (Section IV-C): the n streams reinforce
+//! each other (the three tags move in phase when the user breathes), which
+//! both strengthens weak signals and does the expensive extraction once
+//! instead of n times.
+//!
+//! Mechanically: increments from all tags falling into the same Δt-wide
+//! time bin are summed (Eq. 6), and the binned stream is integrated into a
+//! displacement trajectory sampled at Δt (Eq. 7).
+
+use crate::series::TimeSeries;
+use dsp::resample::Sample;
+
+/// Fuses per-tag displacement-increment streams into one uniformly sampled
+/// displacement trajectory.
+///
+/// * `streams` — one increment stream per tag (from
+///   [`crate::preprocess::displacement_increments`]);
+/// * `bin_s` — the fusion interval Δt;
+/// * `span_s` — optional forced coverage `[start, start+span)`; by default
+///   the data's extent is used.
+///
+/// Returns `None` when every stream is empty.
+///
+/// # Panics
+///
+/// Panics if `bin_s` is not positive.
+pub fn fuse_displacement(
+    streams: &[Vec<Sample>],
+    bin_s: f64,
+    span_s: Option<f64>,
+) -> Option<TimeSeries> {
+    assert!(bin_s > 0.0, "fusion bin width must be positive");
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    for s in streams.iter().flatten() {
+        t_min = t_min.min(s.time);
+        t_max = t_max.max(s.time);
+    }
+    if !t_min.is_finite() {
+        return None;
+    }
+    let span = span_s.unwrap_or(t_max - t_min);
+    let n = ((span / bin_s).ceil() as usize).max(1);
+
+    // Eq. (6): sum every tag's increments per bin.
+    let mut bins = vec![0.0; n];
+    for s in streams.iter().flatten() {
+        let idx = ((s.time - t_min) / bin_s) as usize;
+        if idx < n {
+            bins[idx] += s.value;
+        }
+    }
+
+    // Eq. (7): integrate the fused increments.
+    let mut acc = 0.0;
+    let trajectory: Vec<f64> = bins
+        .iter()
+        .map(|&b| {
+            acc += b;
+            acc
+        })
+        .collect();
+    Some(TimeSeries::new(t_min, bin_s, trajectory).expect("validated bin width"))
+}
+
+/// Fuses per-tag displacement **tracks** (levels from
+/// [`crate::preprocess::displacement_track`]) into one uniformly sampled
+/// trajectory.
+///
+/// Each tag's samples are averaged per Δt bin; empty bins are filled by
+/// linear interpolation (edges held); the per-tag grids are then summed —
+/// the level-domain analogue of Eq. (6).
+///
+/// Returns `None` when every stream is empty.
+///
+/// # Panics
+///
+/// Panics if `bin_s` is not positive.
+pub fn fuse_level_tracks(streams: &[Vec<Sample>], bin_s: f64) -> Option<TimeSeries> {
+    assert!(bin_s > 0.0, "fusion bin width must be positive");
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    for s in streams.iter().flatten() {
+        t_min = t_min.min(s.time);
+        t_max = t_max.max(s.time);
+    }
+    if !t_min.is_finite() {
+        return None;
+    }
+    let n = (((t_max - t_min) / bin_s).ceil() as usize).max(1);
+    let mut fused = vec![0.0; n];
+    for stream in streams {
+        if stream.is_empty() {
+            continue;
+        }
+        let mut sums = vec![0.0; n];
+        let mut counts = vec![0usize; n];
+        for s in stream {
+            let idx = (((s.time - t_min) / bin_s) as usize).min(n - 1);
+            sums[idx] += s.value;
+            counts[idx] += 1;
+        }
+        let filled = fill_gaps(&sums, &counts);
+        for (f, v) in fused.iter_mut().zip(&filled) {
+            *f += v;
+        }
+    }
+    Some(TimeSeries::new(t_min, bin_s, fused).expect("validated bin width"))
+}
+
+/// Bin means with empty bins filled by linear interpolation between the
+/// nearest occupied neighbours (edges held flat). All-empty input yields
+/// zeros.
+fn fill_gaps(sums: &[f64], counts: &[usize]) -> Vec<f64> {
+    let n = sums.len();
+    let mut out = vec![0.0; n];
+    let occupied: Vec<usize> = (0..n).filter(|&i| counts[i] > 0).collect();
+    if occupied.is_empty() {
+        return out;
+    }
+    for &i in &occupied {
+        out[i] = sums[i] / counts[i] as f64;
+    }
+    // Leading edge: hold the first occupied value.
+    for i in 0..occupied[0] {
+        out[i] = out[occupied[0]];
+    }
+    // Trailing edge.
+    for i in occupied[occupied.len() - 1] + 1..n {
+        out[i] = out[occupied[occupied.len() - 1]];
+    }
+    // Interior gaps: linear interpolation.
+    for pair in occupied.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if b > a + 1 {
+            let va = out[a];
+            let vb = out[b];
+            for i in a + 1..b {
+                let alpha = (i - a) as f64 / (b - a) as f64;
+                out[i] = va + alpha * (vb - va);
+            }
+        }
+    }
+    out
+}
+
+/// Decision-level fusion helper for the ablation study: the *alternative*
+/// the paper rejects — estimate a rate per tag, then combine the per-tag
+/// estimates (median). Returns `None` when no estimates are available.
+pub fn fuse_rates_median(rates_bpm: &[Option<f64>]) -> Option<f64> {
+    let mut xs: Vec<f64> = rates_bpm.iter().flatten().copied().collect();
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = xs.len();
+    Some(if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_integration() {
+        let stream = vec![
+            Sample::new(0.0, 1.0),
+            Sample::new(0.3, 1.0),
+            Sample::new(0.7, -1.0),
+        ];
+        let ts = fuse_displacement(&[stream], 0.5, None).unwrap();
+        // Bins: [0,0.5): 2.0, [0.5,1.0): wait, span = 0.7 → 2 bins.
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.values()[0], 2.0);
+        assert_eq!(ts.values()[1], 1.0); // 2.0 + (−1.0)
+        assert_eq!(ts.dt_s(), 0.5);
+        assert_eq!(ts.start_s(), 0.0);
+    }
+
+    #[test]
+    fn in_phase_streams_reinforce() {
+        // Three tags observing the same motion: the fused trajectory is 3×
+        // a single tag's.
+        let one: Vec<Sample> = (0..20).map(|i| Sample::new(i as f64 * 0.1, 0.5)).collect();
+        let fused = fuse_displacement(&[one.clone(), one.clone(), one.clone()], 0.25, None).unwrap();
+        let single = fuse_displacement(&[one], 0.25, None).unwrap();
+        for (f, s) in fused.values().iter().zip(single.values()) {
+            assert!((f - 3.0 * s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uncorrelated_noise_partially_cancels() {
+        // Antiphase noise on two tags cancels in the fused stream.
+        let a: Vec<Sample> = (0..100).map(|i| Sample::new(i as f64 * 0.05, 1.0)).collect();
+        let b: Vec<Sample> = (0..100).map(|i| Sample::new(i as f64 * 0.05, -1.0)).collect();
+        let fused = fuse_displacement(&[a, b], 0.2, None).unwrap();
+        for v in fused.values() {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_empty_returns_none() {
+        assert!(fuse_displacement(&[vec![], vec![]], 0.1, None).is_none());
+        assert!(fuse_displacement(&[], 0.1, None).is_none());
+    }
+
+    #[test]
+    fn forced_span_pads_with_flat_trajectory() {
+        let stream = vec![Sample::new(0.0, 1.0)];
+        let ts = fuse_displacement(&[stream], 0.5, Some(2.0)).unwrap();
+        assert_eq!(ts.len(), 4);
+        // After the single increment, the trajectory holds its value.
+        assert_eq!(ts.values(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn misaligned_streams_share_bins() {
+        let a = vec![Sample::new(0.02, 1.0)];
+        let b = vec![Sample::new(0.08, 2.0)];
+        let ts = fuse_displacement(&[a, b], 0.1, None).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.values()[0], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_panics() {
+        fuse_displacement(&[], 0.0, None);
+    }
+
+    #[test]
+    fn level_fusion_bins_and_sums() {
+        let a = vec![Sample::new(0.0, 1.0), Sample::new(0.1, 3.0), Sample::new(0.6, 5.0)];
+        let b = vec![Sample::new(0.05, 10.0), Sample::new(0.55, 20.0)];
+        let ts = fuse_level_tracks(&[a, b], 0.5).unwrap();
+        assert_eq!(ts.len(), 2);
+        // Stream a: bin0 mean (1+3)/2 = 2, bin1 = 5. Stream b: bin0 = 10,
+        // bin1 = 20. Sum: [12, 25].
+        assert_eq!(ts.values(), &[12.0, 25.0]);
+    }
+
+    #[test]
+    fn level_fusion_fills_interior_gaps_linearly() {
+        let a = vec![Sample::new(0.0, 0.0), Sample::new(1.0, 4.0)];
+        let ts = fuse_level_tracks(&[a], 0.25).unwrap();
+        // Occupied bins 0 and 3 (sample at 1.0 clamps into the last bin);
+        // bins 1 and 2 interpolate.
+        assert_eq!(ts.len(), 4);
+        let v = ts.values();
+        assert_eq!(v[0], 0.0);
+        assert!(v[1] > 0.0 && v[1] < v[2]);
+        assert_eq!(v[3], 4.0);
+    }
+
+    #[test]
+    fn level_fusion_holds_edges() {
+        let a = vec![Sample::new(1.0, 7.0), Sample::new(1.1, 7.0), Sample::new(2.9, 7.0)];
+        let ts = fuse_level_tracks(&[a], 0.5).unwrap();
+        assert!(ts.values().iter().all(|&v| (v - 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn level_fusion_empty_inputs() {
+        assert!(fuse_level_tracks(&[], 0.5).is_none());
+        assert!(fuse_level_tracks(&[vec![], vec![]], 0.5).is_none());
+        // One empty stream alongside one occupied stream is fine.
+        let a = vec![Sample::new(0.0, 1.0), Sample::new(0.9, 1.0)];
+        let ts = fuse_level_tracks(&[a, vec![]], 0.5).unwrap();
+        assert_eq!(ts.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn level_fusion_zero_bin_panics() {
+        fuse_level_tracks(&[], 0.0);
+    }
+
+    #[test]
+    fn fill_gaps_all_empty_is_zeros() {
+        assert_eq!(fill_gaps(&[0.0; 4], &[0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn median_rate_fusion() {
+        assert_eq!(fuse_rates_median(&[Some(10.0), Some(12.0), Some(11.0)]), Some(11.0));
+        assert_eq!(fuse_rates_median(&[Some(10.0), None, Some(12.0)]), Some(11.0));
+        assert_eq!(fuse_rates_median(&[None, None]), None);
+        assert_eq!(fuse_rates_median(&[]), None);
+        // An outlier tag does not drag the median far.
+        assert_eq!(
+            fuse_rates_median(&[Some(10.0), Some(10.5), Some(40.0)]),
+            Some(10.5)
+        );
+    }
+}

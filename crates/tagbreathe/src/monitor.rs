@@ -1,0 +1,445 @@
+//! The top-level batch API: reports in, per-user breathing estimates out.
+//!
+//! This composes the full TagBreathe workflow of Figure 10: demultiplex the
+//! low-level data by user ID (Section IV-C), select the best antenna per
+//! user (Section IV-D.3), preprocess each tag's phase stream into
+//! displacement increments (Eqs. 3–4), fuse the user's tags (Eqs. 6–7),
+//! extract the breath signal (low-pass, Section IV-B) and estimate rates
+//! (Eq. 5).
+
+use crate::config::PipelineConfig;
+use crate::demux::demux;
+use crate::extract::{extract_breath_signal, ExtractError};
+use crate::fusion::fuse_displacement;
+use crate::preprocess::displacement_increments;
+use crate::rate::{estimate_rate, RateEstimate};
+use crate::series::TimeSeries;
+use epcgen2::mapping::IdentityResolver;
+use epcgen2::report::TagReport;
+use std::collections::BTreeMap;
+
+/// Why a user could not be analysed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisFailure {
+    /// No reports resolved to this user at all.
+    NoData,
+    /// Too few usable readings to extract a signal (e.g. blocked
+    /// line-of-sight, Section VI-B.4: TagBreathe "does not report"
+    /// in such cases rather than guessing).
+    InsufficientData(String),
+    /// The displacement trajectory spans far more than breathing can —
+    /// the subject is walking or otherwise in gross motion, and any rate
+    /// estimate would be meaningless.
+    GrossMotion {
+        /// Observed trajectory range, metres (includes the per-channel
+        /// preprocessing gain).
+        range_m: f64,
+    },
+}
+
+impl std::fmt::Display for AnalysisFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisFailure::NoData => write!(f, "no reports for this user"),
+            AnalysisFailure::InsufficientData(what) => {
+                write!(f, "insufficient data: {what}")
+            }
+            AnalysisFailure::GrossMotion { range_m } => {
+                write!(f, "gross motion detected: trajectory spans {range_m:.2} m")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisFailure {}
+
+/// Analysis output for one user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserAnalysis {
+    /// Antenna port whose data was used.
+    pub antenna_port: u8,
+    /// Number of low-level reports consumed.
+    pub report_count: usize,
+    /// Fused displacement trajectory (Eq. 7), metres.
+    pub displacement: TimeSeries,
+    /// Extracted breath signal (Figure 8).
+    pub breath_signal: TimeSeries,
+    /// Rate estimate (zero-crossing, Eq. 5).
+    pub rate: RateEstimate,
+}
+
+impl UserAnalysis {
+    /// Mean breathing rate over the window, bpm.
+    pub fn mean_rate_bpm(&self) -> Option<f64> {
+        self.rate.mean_bpm
+    }
+}
+
+/// Result of a batch analysis: per-user outcomes plus stream statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Per-user outcomes keyed by user ID.
+    pub users: BTreeMap<u64, Result<UserAnalysis, AnalysisFailure>>,
+    /// Reports that resolved to no monitored user (item tags etc.).
+    pub unknown_reports: usize,
+}
+
+impl AnalysisReport {
+    /// The successfully analysed users.
+    pub fn successes(&self) -> impl Iterator<Item = (u64, &UserAnalysis)> {
+        self.users
+            .iter()
+            .filter_map(|(&id, r)| r.as_ref().ok().map(|a| (id, a)))
+    }
+
+    /// A human-readable multi-line summary: one line per user plus a
+    /// footer for unrelated tags — what a host application would log.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (id, result) in &self.users {
+            match result {
+                Ok(a) => {
+                    let _ = match a.mean_rate_bpm() {
+                        Some(bpm) => writeln!(
+                            out,
+                            "user {id}: {bpm:.1} bpm (antenna {}, {} reads)",
+                            a.antenna_port, a.report_count
+                        ),
+                        None => writeln!(
+                            out,
+                            "user {id}: signal present, rate indeterminate (antenna {}, {} reads)",
+                            a.antenna_port, a.report_count
+                        ),
+                    };
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "user {id}: {e}");
+                }
+            }
+        }
+        if self.unknown_reports > 0 {
+            let _ = writeln!(out, "({} reports from unrelated tags)", self.unknown_reports);
+        }
+        out
+    }
+}
+
+/// The batch breath monitor.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe::{BreathMonitor, PipelineConfig};
+/// use epcgen2::mapping::EmbeddedIdentity;
+///
+/// let monitor = BreathMonitor::new(PipelineConfig::paper_default())?;
+/// let resolver = EmbeddedIdentity::new([1]);
+/// let report = monitor.analyze(&[], &resolver);
+/// assert_eq!(report.users.len(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BreathMonitor {
+    config: PipelineConfig,
+}
+
+impl BreathMonitor {
+    /// Creates a monitor after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration validation error, if any.
+    pub fn new(config: PipelineConfig) -> Result<Self, crate::config::InvalidConfigError> {
+        config.validate()?;
+        Ok(BreathMonitor { config })
+    }
+
+    /// A monitor with the paper's default configuration.
+    pub fn paper_default() -> Self {
+        BreathMonitor::new(PipelineConfig::paper_default()).expect("paper defaults are valid")
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Analyses a batch of low-level reports.
+    pub fn analyze<R: IdentityResolver>(
+        &self,
+        reports: &[TagReport],
+        resolver: &R,
+    ) -> AnalysisReport {
+        let (users, unknown_reports) = demux(reports, resolver);
+        let analysed = users
+            .into_iter()
+            .map(|(id, streams)| (id, self.analyze_user(&streams)))
+            .collect();
+        AnalysisReport {
+            users: analysed,
+            unknown_reports,
+        }
+    }
+
+    fn analyze_user(
+        &self,
+        streams: &crate::demux::UserStreams,
+    ) -> Result<UserAnalysis, AnalysisFailure> {
+        let Some(port) = streams.best_antenna() else {
+            return Err(AnalysisFailure::NoData);
+        };
+        // Under MergeAll every (port, tag) stream contributes; under the
+        // paper's BestPort rule only the optimal port's streams do.
+        let tag_streams: Vec<&crate::demux::TagStream> = match self.config.antenna {
+            crate::config::AntennaStrategy::BestPort => {
+                streams.streams_for_antenna(port).into_values().collect()
+            }
+            crate::config::AntennaStrategy::MergeAll => {
+                streams.iter().map(|(_, s)| s).collect()
+            }
+        };
+        let mut report_count = 0usize;
+        let displacement = match self.config.preprocess {
+            crate::config::PreprocessKind::IncrementBinning => {
+                let increments: Vec<_> = tag_streams
+                    .iter()
+                    .map(|s| {
+                        report_count += s.len();
+                        displacement_increments(
+                            s.reports(),
+                            &self.config.plan,
+                            self.config.max_phase_gap_s,
+                        )
+                    })
+                    .collect();
+                fuse_displacement(&increments, self.config.fusion_bin_s, None)
+            }
+            crate::config::PreprocessKind::ChannelTrackMerge => {
+                let tracks: Vec<_> = tag_streams
+                    .iter()
+                    .map(|s| {
+                        report_count += s.len();
+                        crate::preprocess::displacement_track(
+                            s.reports(),
+                            &self.config.plan,
+                            self.config.max_phase_gap_s,
+                        )
+                    })
+                    .collect();
+                crate::fusion::fuse_level_tracks(&tracks, self.config.fusion_bin_s)
+            }
+        }
+        .ok_or_else(|| AnalysisFailure::InsufficientData("no displacement data".into()))?;
+        let displacement = match self.config.despike_median {
+            Some(width) => {
+                let cleaned = dsp::filter::median_filter(displacement.values(), width);
+                displacement.with_values(cleaned)
+            }
+            None => displacement,
+        };
+        // Gross-motion gate: a walking subject's trajectory spans metres
+        // where breathing spans decimetres (Section VI-B.4's "does not
+        // report" philosophy applied to locomotion).
+        let range_m = {
+            let v = displacement.values();
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        if range_m > self.config.gross_motion_limit_m {
+            return Err(AnalysisFailure::GrossMotion { range_m });
+        }
+        let breath_signal = extract_breath_signal(&displacement, &self.config).map_err(|e| {
+            match e {
+                ExtractError::TooShort { .. } => AnalysisFailure::InsufficientData(e.to_string()),
+                ExtractError::FilterDesign(what) => AnalysisFailure::InsufficientData(what),
+            }
+        })?;
+        let rate = estimate_rate(&breath_signal, &self.config);
+        Ok(UserAnalysis {
+            antenna_port: port,
+            report_count,
+            displacement,
+            breath_signal,
+            rate,
+        })
+    }
+}
+
+impl Default for BreathMonitor {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breathing::{Scenario, Subject, Waveform, Posture, TagSite};
+    use epcgen2::mapping::EmbeddedIdentity;
+    use epcgen2::reader::Reader;
+    use epcgen2::world::ScenarioWorld;
+    use rfchannel::geometry::Vec3;
+
+    fn capture(scenario: Scenario, secs: f64) -> Vec<TagReport> {
+        Reader::paper_default().run(&ScenarioWorld::new(scenario), secs)
+    }
+
+    #[test]
+    fn end_to_end_single_user_rate() {
+        // The headline behaviour: a user at 2 m breathing 10 bpm is
+        // estimated within ~1 bpm (the paper reports <1 bpm mean error).
+        let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+        let reports = capture(scenario, 60.0);
+        let monitor = BreathMonitor::paper_default();
+        let out = monitor.analyze(&reports, &EmbeddedIdentity::new([1]));
+        let analysis = out.users[&1].as_ref().expect("analysis succeeds");
+        let bpm = analysis.mean_rate_bpm().expect("rate available");
+        assert!((bpm - 10.0).abs() < 1.0, "estimated {bpm} bpm");
+        assert_eq!(analysis.antenna_port, 1);
+        assert!(analysis.report_count > 1000);
+    }
+
+    #[test]
+    fn end_to_end_multi_user_separation() {
+        // Two users with different rates are estimated independently —
+        // the collision-arbitration benefit of Section VI-B.2.
+        let scenario = Scenario::builder()
+            .users_side_by_side(2, 3.0, &[8.0, 16.0])
+            .build();
+        let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+        let rates: Vec<f64> = scenario.subjects().iter().map(|s| s.nominal_rate_bpm()).collect();
+        let reports = capture(scenario, 90.0);
+        let monitor = BreathMonitor::paper_default();
+        let out = monitor.analyze(&reports, &EmbeddedIdentity::new(ids.clone()));
+        for (id, want) in ids.iter().zip(&rates) {
+            let analysis = out.users[id].as_ref().expect("per-user analysis");
+            let got = analysis.mean_rate_bpm().expect("rate");
+            assert!((got - want).abs() < 1.5, "user {id}: want {want}, got {got}");
+        }
+    }
+
+    #[test]
+    fn blocked_user_reports_failure_not_garbage() {
+        let antenna = Vec3::new(0.0, 0.0, 1.0);
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 4.0).facing_away_from(antenna, 170.0))
+            .build();
+        let reports = capture(scenario, 30.0);
+        let monitor = BreathMonitor::paper_default();
+        let out = monitor.analyze(&reports, &EmbeddedIdentity::new([1]));
+        match out.users.get(&1) {
+            None => {}                       // no reads at all — user absent
+            Some(Err(_)) => {}               // present but insufficient
+            Some(Ok(a)) => panic!("analysed a blocked user: {:?}", a.mean_rate_bpm()),
+        }
+    }
+
+    #[test]
+    fn item_tags_are_counted_as_unknown() {
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 2.0))
+            .contending_items(10)
+            .build();
+        let reports = capture(scenario, 10.0);
+        let monitor = BreathMonitor::paper_default();
+        let out = monitor.analyze(&reports, &EmbeddedIdentity::new([1]));
+        assert!(out.unknown_reports > 0, "contending tags should be read too");
+        assert_eq!(out.successes().count(), 1);
+    }
+
+    #[test]
+    fn realistic_waveform_is_tracked() {
+        let subject = Subject::new(
+            1,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Posture::Sitting,
+            Waveform::realistic(14.0, 9),
+            TagSite::ALL.to_vec(),
+        );
+        let reports = capture(Scenario::builder().subject(subject).build(), 90.0);
+        let monitor = BreathMonitor::paper_default();
+        let out = monitor.analyze(&reports, &EmbeddedIdentity::new([1]));
+        let bpm = out.users[&1].as_ref().unwrap().mean_rate_bpm().unwrap();
+        assert!((bpm - 14.0).abs() < 2.0, "estimated {bpm} bpm");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let out = BreathMonitor::paper_default().analyze(&[], &EmbeddedIdentity::new([1]));
+        assert!(out.users.is_empty());
+        assert_eq!(out.unknown_reports, 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.cutoff_hz = -1.0;
+        assert!(BreathMonitor::new(cfg).is_err());
+    }
+
+    #[test]
+    fn failure_display_strings() {
+        assert!(AnalysisFailure::NoData.to_string().contains("no reports"));
+        assert!(AnalysisFailure::InsufficientData("x".into())
+            .to_string()
+            .contains("insufficient"));
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use breathing::{Scenario, Subject};
+    use epcgen2::mapping::EmbeddedIdentity;
+    use epcgen2::reader::Reader;
+    use epcgen2::world::ScenarioWorld;
+
+    #[test]
+    fn summary_lists_users_and_unknowns() {
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 2.0))
+            .contending_items(5)
+            .build();
+        let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 40.0);
+        let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+        let text = analysis.summary();
+        assert!(text.contains("user 1:"), "{text}");
+        assert!(text.contains("bpm"), "{text}");
+        assert!(text.contains("unrelated tags"), "{text}");
+    }
+
+    #[test]
+    fn summary_reports_failures_in_words() {
+        let mut report = AnalysisReport {
+            users: std::collections::BTreeMap::new(),
+            unknown_reports: 0,
+        };
+        report.users.insert(9, Err(AnalysisFailure::NoData));
+        report
+            .users
+            .insert(10, Err(AnalysisFailure::GrossMotion { range_m: 5.0 }));
+        let text = report.summary();
+        assert!(text.contains("user 9: no reports"), "{text}");
+        assert!(text.contains("gross motion"), "{text}");
+    }
+
+    #[test]
+    fn despike_config_path_works_end_to_end() {
+        let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+        let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 60.0);
+        let mut cfg = PipelineConfig::paper_default();
+        cfg.despike_median = Some(5);
+        let bpm = BreathMonitor::new(cfg)
+            .unwrap()
+            .analyze(&reports, &EmbeddedIdentity::new([1]))
+            .users[&1]
+            .as_ref()
+            .unwrap()
+            .mean_rate_bpm()
+            .unwrap();
+        assert!((bpm - 10.0).abs() < 1.0, "despiked estimate {bpm}");
+    }
+}

@@ -1,0 +1,430 @@
+//! Phase preprocessing: Eqs. (3)–(4) of the paper.
+//!
+//! Raw phase is useless across channel hops — wavelength and circuit offset
+//! change per channel (Figure 4). So readings are first **grouped by
+//! channel index**, then each consecutive same-channel pair yields a
+//! displacement increment
+//!
+//! ```text
+//! Δd = λ/(4π) · wrap(θ_{i+1} − θ_i)        (Eq. 3)
+//! ```
+//!
+//! where the wrap into `(−π, π]` is valid because the tag moves far less
+//! than λ/4 between readings. Increments telescope within a channel, so
+//! integrating them (Eq. 4) reconstructs body displacement without hop
+//! discontinuities (Figure 6).
+
+use dsp::phase::wrap_to_pi;
+use dsp::resample::Sample;
+use epcgen2::report::TagReport;
+use rfchannel::channel_plan::ChannelPlan;
+use std::collections::HashMap;
+
+/// Maximum plausible torso speed for a monitored (seated/standing/lying)
+/// subject, m/s. Same-channel displacement increments implying a faster
+/// motion are treated as corrupted readings and the offending sample is
+/// dropped (decoder glitches produce uniformly random phase values whose
+/// increments can reach λ/4 ≈ 8 cm).
+const MAX_PLAUSIBLE_SPEED_MPS: f64 = 0.06;
+
+/// Floor on the outlier bound so high-rate readings (tiny dt) keep their
+/// legitimate noise.
+const OUTLIER_FLOOR_M: f64 = 0.01;
+
+fn increment_is_plausible(dd: f64, dt: f64) -> bool {
+    dd.abs() <= (MAX_PLAUSIBLE_SPEED_MPS * dt).max(OUTLIER_FLOOR_M)
+}
+
+/// Computes displacement increments from one tag's time-ordered reports.
+///
+/// Each returned [`Sample`] carries the time of the later reading of the
+/// pair and the displacement increment in metres. Pairs further apart than
+/// `max_gap_s` are discarded (a subject may have walked between reads).
+///
+/// # Panics
+///
+/// Panics if a report's channel index is outside `plan` or `max_gap_s` is
+/// not positive.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe::preprocess::displacement_increments;
+/// use rfchannel::channel_plan::ChannelPlan;
+/// use epcgen2::report::TagReport;
+/// use epcgen2::epc::Epc96;
+///
+/// let plan = ChannelPlan::us_10();
+/// let lambda = plan.wavelength_m(0);
+/// // Two same-channel readings; phase grows by 0.1 rad → the tag moved
+/// // away by λ/(4π) × 0.1.
+/// let mk = |t: f64, phase: f64| TagReport {
+///     time_s: t, epc: Epc96::monitor(1, 0), antenna_port: 1,
+///     channel_index: 0, phase_rad: phase, rssi_dbm: -50.0, doppler_hz: 0.0,
+/// };
+/// let inc = displacement_increments(&[mk(0.0, 1.0), mk(0.1, 1.1)], &plan, 5.0);
+/// assert_eq!(inc.len(), 1);
+/// assert!((inc[0].value - lambda / (4.0 * std::f64::consts::PI) * 0.1).abs() < 1e-9);
+/// ```
+pub fn displacement_increments(
+    reports: &[TagReport],
+    plan: &ChannelPlan,
+    max_gap_s: f64,
+) -> Vec<Sample> {
+    assert!(max_gap_s > 0.0, "max gap must be positive");
+    // Last (time, phase) seen per channel.
+    let mut last: HashMap<u16, (f64, f64)> = HashMap::new();
+    let mut out = Vec::new();
+    for r in reports {
+        let channel = r.channel_index as usize;
+        assert!(
+            channel < plan.len(),
+            "report on channel {channel} outside the {}-channel plan",
+            plan.len()
+        );
+        let lambda = plan.wavelength_m(channel);
+        if let Some(&(t_prev, theta_prev)) = last.get(&r.channel_index) {
+            let dt = r.time_s - t_prev;
+            if dt > 0.0 && dt <= max_gap_s {
+                let dtheta = wrap_to_pi(r.phase_rad - theta_prev);
+                let dd = lambda / (4.0 * std::f64::consts::PI) * dtheta;
+                if !increment_is_plausible(dd, dt) {
+                    // Corrupted reading: skip it without making it the new
+                    // reference, so the next good reading pairs with the
+                    // previous good one.
+                    continue;
+                }
+                out.push(Sample::new(r.time_s, dd));
+            }
+        }
+        last.insert(r.channel_index, (r.time_s, r.phase_rad));
+    }
+    out
+}
+
+/// Computes a merged per-channel displacement **track** (levels, not
+/// increments) from one tag's time-ordered reports.
+///
+/// Motivation: at low per-tag read rates (heavy contention, grazing
+/// orientation) the same-channel revisit interval approaches the breathing
+/// period, and Eq. (3) increments lump most of a breath into single
+/// samples — the binned-increment trajectory is a sum of per-channel
+/// sample-and-holds whose hold time smears fast breathing away. Keeping
+/// each channel's *unwrapped displacement track* instead, centring each
+/// contiguous segment (removing the unknown per-channel constant of
+/// Eq. 1), and merging all channels' samples in time order yields a series
+/// that carries the full breathing amplitude at every read instant, at the
+/// tag's aggregate read rate.
+///
+/// Segments are broken at gaps larger than `max_gap_s`.
+///
+/// # Panics
+///
+/// Same conditions as [`displacement_increments`].
+pub fn displacement_track(
+    reports: &[TagReport],
+    plan: &ChannelPlan,
+    max_gap_s: f64,
+) -> Vec<Sample> {
+    assert!(max_gap_s > 0.0, "max gap must be positive");
+    // Per channel: (last_time, last_phase, cum_displacement, segment).
+    struct ChannelState {
+        last_t: f64,
+        last_theta: f64,
+        cum: f64,
+        segment: Vec<Sample>,
+    }
+    let mut states: HashMap<u16, ChannelState> = HashMap::new();
+    let mut out: Vec<Sample> = Vec::new();
+    let flush = |segment: &mut Vec<Sample>, out: &mut Vec<Sample>| {
+        if segment.len() >= 2 {
+            let mean = segment.iter().map(|s| s.value).sum::<f64>() / segment.len() as f64;
+            out.extend(segment.iter().map(|s| Sample::new(s.time, s.value - mean)));
+        }
+        segment.clear();
+    };
+    for r in reports {
+        let channel = r.channel_index as usize;
+        assert!(
+            channel < plan.len(),
+            "report on channel {channel} outside the {}-channel plan",
+            plan.len()
+        );
+        let lambda = plan.wavelength_m(channel);
+        match states.get_mut(&r.channel_index) {
+            Some(st) => {
+                let dt = r.time_s - st.last_t;
+                if dt > 0.0 && dt <= max_gap_s {
+                    let dtheta = wrap_to_pi(r.phase_rad - st.last_theta);
+                    let dd = lambda / (4.0 * std::f64::consts::PI) * dtheta;
+                    if !increment_is_plausible(dd, dt) {
+                        continue; // corrupted reading: drop, keep reference
+                    }
+                    st.cum += dd;
+                    st.segment.push(Sample::new(r.time_s, st.cum));
+                } else {
+                    flush(&mut st.segment, &mut out);
+                    st.cum = 0.0;
+                    st.segment.push(Sample::new(r.time_s, 0.0));
+                }
+                st.last_t = r.time_s;
+                st.last_theta = r.phase_rad;
+            }
+            None => {
+                states.insert(
+                    r.channel_index,
+                    ChannelState {
+                        last_t: r.time_s,
+                        last_theta: r.phase_rad,
+                        cum: 0.0,
+                        segment: vec![Sample::new(r.time_s, 0.0)],
+                    },
+                );
+            }
+        }
+    }
+    for st in states.values_mut() {
+        flush(&mut st.segment, &mut out);
+    }
+    out.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Integrates displacement increments into a cumulative displacement track
+/// (Eq. 4), for single-tag analysis and for reproducing Figure 6.
+///
+/// Returns `(times, cumulative_displacement_m)`.
+pub fn integrate_displacement(increments: &[Sample]) -> (Vec<f64>, Vec<f64>) {
+    let mut times = Vec::with_capacity(increments.len());
+    let mut cum = Vec::with_capacity(increments.len());
+    let mut acc = 0.0;
+    for s in increments {
+        acc += s.value;
+        times.push(s.time);
+        cum.push(acc);
+    }
+    (times, cum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epcgen2::epc::Epc96;
+    use std::f64::consts::PI;
+
+    fn plan() -> ChannelPlan {
+        ChannelPlan::us_10()
+    }
+
+    fn mk(t: f64, channel: u16, phase: f64) -> TagReport {
+        TagReport {
+            time_s: t,
+            epc: Epc96::monitor(1, 0),
+            antenna_port: 1,
+            channel_index: channel,
+            phase_rad: phase.rem_euclid(2.0 * PI),
+            rssi_dbm: -50.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    /// Synthesises reports of a tag at distance `d(t)` using Eq. (1) with a
+    /// per-channel offset, hopping every 0.2 s.
+    fn synthesize(d: impl Fn(f64) -> f64, duration: f64, rate_hz: f64) -> Vec<TagReport> {
+        let plan = plan();
+        let n = (duration * rate_hz) as usize;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / rate_hz;
+                let ch = ((t / 0.2) as usize) % plan.len();
+                let lambda = plan.wavelength_m(ch);
+                let offset = ch as f64 * 1.234; // arbitrary per-channel c
+                let theta = 4.0 * PI * d(t) / lambda + offset;
+                mk(t, ch as u16, theta)
+            })
+            .collect()
+    }
+
+    // NOTE on scale: the paper groups readings *per channel* (Section
+    // IV-A.3), so every channel independently telescopes the trajectory
+    // over its own visits, and the summed increments carry a gain of
+    // roughly the number of active channels. The gain is harmless — the
+    // paper normalises the displacement (Figure 6) and zero-crossing rate
+    // estimation is amplitude-invariant — so these tests assert *shape*
+    // (and gain bounds), not absolute scale.
+
+    #[test]
+    fn recovers_linear_motion_with_per_channel_gain() {
+        // Tag receding at 2 mm/s for 10 s over a 10-channel plan: total
+        // integrated displacement ≈ gain × 2 cm with gain in (5, 10].
+        let v = 0.002;
+        let reports = synthesize(|t| 3.0 + v * t, 10.0, 64.0);
+        let inc = displacement_increments(&reports, &plan(), 5.0);
+        let total: f64 = inc.iter().map(|s| s.value).sum();
+        let gain = total / (v * 10.0);
+        assert!((5.0..=10.5).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn recovers_sinusoidal_breathing_without_hop_artifacts() {
+        // 5 mm amplitude, 10 bpm breathing on top of 3 m standoff: the
+        // reconstructed trajectory must correlate strongly with the true
+        // motion despite the hopping (Figure 6 vs Figure 4).
+        // Each channel holds its last phase for up to one hop period
+        // (~2 s), so the per-channel-summed trajectory lags the motion by
+        // up to a second; correlate against time-shifted truth.
+        let d = |t: f64| 3.0 + 0.005 * (2.0 * PI * (10.0 / 60.0) * t).sin();
+        let reports = synthesize(d, 30.0, 64.0);
+        let inc = displacement_increments(&reports, &plan(), 5.0);
+        let (times, cum) = integrate_displacement(&inc);
+        let mut best = f64::MIN;
+        for shift_ms in (0..2000).step_by(100) {
+            let lag = shift_ms as f64 / 1000.0;
+            let truth: Vec<f64> = times.iter().map(|&t| d(t - lag)).collect();
+            best = best.max(dsp::stats::pearson(&cum, &truth).unwrap());
+        }
+        assert!(best > 0.95, "best lagged correlation {best}");
+    }
+
+    #[test]
+    fn phase_wrap_does_not_break_tracking() {
+        // Move the tag enough that the raw phase wraps several times; the
+        // wrapped differencing must keep tracking (monotone growth, gain
+        // within the per-channel bound).
+        let d = |t: f64| 3.0 + 0.02 * t; // 2 cm/s, wraps every ~4 s per channel
+        let reports = synthesize(d, 20.0, 64.0);
+        let inc = displacement_increments(&reports, &plan(), 5.0);
+        let total: f64 = inc.iter().map(|s| s.value).sum();
+        let gain = total / 0.4;
+        assert!((5.0..=10.5).contains(&gain), "gain {gain}");
+        let (_, cum) = integrate_displacement(&inc);
+        // Trajectory must be (weakly) monotone: no wrap-induced jumps back.
+        for pair in cum.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-6, "tracking jumped backwards");
+        }
+    }
+
+    #[test]
+    fn channel_offsets_cancel() {
+        // A static tag must show (near-)zero displacement even though every
+        // hop changes the raw phase discontinuously (Figure 4 vs Figure 6).
+        let reports = synthesize(|_| 3.0, 10.0, 64.0);
+        let inc = displacement_increments(&reports, &plan(), 5.0);
+        let total: f64 = inc.iter().map(|s| s.value).sum();
+        assert!(total.abs() < 1e-9, "static tag drifted {total}");
+    }
+
+    #[test]
+    fn cross_channel_pairs_are_never_differenced() {
+        // Alternate channels every reading: no same-channel consecutive
+        // pair within the gap, except pairs 2 apart (same channel) — those
+        // ARE valid and used. Verify no increment mixes wavelengths by
+        // checking a static tag stays static despite huge offsets.
+        let plan = plan();
+        let reports: Vec<TagReport> = (0..100)
+            .map(|i| {
+                let t = i as f64 * 0.01;
+                let ch = (i % 2) as u16;
+                let lambda = plan.wavelength_m(ch as usize);
+                let offset = if ch == 0 { 0.0 } else { 3.0 };
+                mk(t, ch, 4.0 * PI * 2.0 / lambda + offset)
+            })
+            .collect();
+        let inc = displacement_increments(&reports, &plan, 5.0);
+        assert!(!inc.is_empty());
+        for s in &inc {
+            assert!(s.value.abs() < 1e-9, "cross-channel leak: {}", s.value);
+        }
+    }
+
+    #[test]
+    fn gaps_beyond_max_are_dropped() {
+        let reports = vec![mk(0.0, 0, 1.0), mk(10.0, 0, 1.2)];
+        assert!(displacement_increments(&reports, &plan(), 5.0).is_empty());
+        assert_eq!(displacement_increments(&reports, &plan(), 15.0).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(displacement_increments(&[], &plan(), 5.0).is_empty());
+        let (t, c) = integrate_displacement(&[]);
+        assert!(t.is_empty() && c.is_empty());
+    }
+
+    #[test]
+    fn integration_is_cumulative() {
+        let inc = vec![
+            Sample::new(0.0, 1.0),
+            Sample::new(1.0, -0.5),
+            Sample::new(2.0, 0.25),
+        ];
+        let (_, cum) = integrate_displacement(&inc);
+        assert_eq!(cum, vec![1.0, 0.5, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_plan_channel_panics() {
+        displacement_increments(&[mk(0.0, 99, 1.0)], &plan(), 5.0);
+    }
+
+    #[test]
+    fn track_recovers_full_amplitude_at_low_read_rates() {
+        // Sparse 4 Hz sampling of 18 bpm breathing (period 3.3 s): the
+        // per-channel revisit interval (~2.5 s) smears increments, but the
+        // merged track must retain the breathing amplitude.
+        let amp = 0.005;
+        let freq = 18.0 / 60.0;
+        let d = move |t: f64| 3.0 + amp * (2.0 * PI * freq * t).sin();
+        let reports = synthesize(d, 60.0, 4.0);
+        let track = displacement_track(&reports, &plan(), 5.0);
+        assert!(track.len() > 100, "only {} samples", track.len());
+        let values: Vec<f64> = track.iter().map(|s| s.value).collect();
+        let rms = (values.iter().map(|x| x * x).sum::<f64>() / values.len() as f64).sqrt();
+        // A full-amplitude sine has RMS amp/√2 ≈ 3.5 mm.
+        assert!(rms > 0.5 * amp / 2f64.sqrt(), "track RMS {rms}");
+    }
+
+    #[test]
+    fn track_of_static_tag_is_flat() {
+        let reports = synthesize(|_| 3.0, 20.0, 32.0);
+        let track = displacement_track(&reports, &plan(), 5.0);
+        for s in &track {
+            assert!(s.value.abs() < 1e-9, "static tag track moved {}", s.value);
+        }
+    }
+
+    #[test]
+    fn track_is_time_sorted_and_segment_centered() {
+        let d = |t: f64| 3.0 + 0.005 * (2.0 * PI * 0.2 * t).sin();
+        let reports = synthesize(d, 30.0, 64.0);
+        let track = displacement_track(&reports, &plan(), 5.0);
+        for pair in track.windows(2) {
+            assert!(pair[1].time >= pair[0].time);
+        }
+        let mean = track.iter().map(|s| s.value).sum::<f64>() / track.len() as f64;
+        assert!(mean.abs() < 1e-3, "track mean {mean}");
+    }
+
+    #[test]
+    fn track_correlates_with_true_motion() {
+        let d = |t: f64| 3.0 + 0.005 * (2.0 * PI * 0.25 * t).sin();
+        let reports = synthesize(d, 40.0, 64.0);
+        let track = displacement_track(&reports, &plan(), 5.0);
+        let values: Vec<f64> = track.iter().map(|s| s.value).collect();
+        let truth: Vec<f64> = track.iter().map(|s| d(s.time)).collect();
+        let corr = dsp::stats::pearson(&values, &truth).unwrap();
+        assert!(corr > 0.95, "correlation {corr}");
+    }
+
+    #[test]
+    fn track_empty_input() {
+        assert!(displacement_track(&[], &plan(), 5.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_gap_panics() {
+        displacement_increments(&[], &plan(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text rendering of breathing signals and vitals — the simulation
+//! counterpart of the paper's real-time visualisation (Figure 11 shows the
+//! prototype plotting extracted breathing signals live).
+
+use crate::monitor::UserAnalysis;
+use crate::series::TimeSeries;
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a signal as a unicode sparkline of at most `width` characters
+/// (the signal is decimated by taking per-bucket means).
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe::render::sparkline;
+/// use tagbreathe::TimeSeries;
+///
+/// let ts = TimeSeries::new(0.0, 1.0, vec![0.0, 1.0, 0.0, -1.0]).unwrap();
+/// let line = sparkline(&ts, 4);
+/// assert_eq!(line.chars().count(), 4);
+/// ```
+pub fn sparkline(signal: &TimeSeries, width: usize) -> String {
+    if signal.is_empty() || width == 0 {
+        return String::new();
+    }
+    let values = signal.values();
+    let buckets = width.min(values.len());
+    let per = values.len() as f64 / buckets as f64;
+    let means: Vec<f64> = (0..buckets)
+        .map(|b| {
+            let lo = (b as f64 * per) as usize;
+            let hi = (((b + 1) as f64 * per) as usize).max(lo + 1).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    let min = means.iter().cloned().fold(f64::MAX, f64::min);
+    let max = means.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    means
+        .into_iter()
+        .map(|m| {
+            let idx = (((m - min) / span) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders a one-line vitals summary for a user analysis.
+pub fn vitals_line(user_id: u64, analysis: &UserAnalysis, width: usize) -> String {
+    let rate = analysis
+        .mean_rate_bpm()
+        .map(|bpm| format!("{bpm:5.1} bpm"))
+        .unwrap_or_else(|| "  --  bpm".to_string());
+    format!(
+        "user {user_id:>3} | {rate} | ant {} | {} reads | {}",
+        analysis.antenna_port,
+        analysis.report_count,
+        sparkline(&analysis.breath_signal, width)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(0.0, 0.1, values).unwrap()
+    }
+
+    #[test]
+    fn sparkline_length_is_bounded_by_width() {
+        let ts = series((0..100).map(|i| (i as f64 * 0.3).sin()).collect());
+        assert_eq!(sparkline(&ts, 40).chars().count(), 40);
+        assert_eq!(sparkline(&ts, 200).chars().count(), 100);
+    }
+
+    #[test]
+    fn sparkline_extremes_use_extreme_bars() {
+        let ts = series(vec![0.0, 1.0, 0.0, 1.0]);
+        let line = sparkline(&ts, 4);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars[0], BARS[0]);
+        assert_eq!(chars[1], BARS[7]);
+    }
+
+    #[test]
+    fn sparkline_of_constant_signal_is_uniform() {
+        let ts = series(vec![3.0; 20]);
+        let line = sparkline(&ts, 10);
+        let first = line.chars().next().unwrap();
+        assert!(line.chars().all(|c| c == first));
+    }
+
+    #[test]
+    fn sparkline_empty_cases() {
+        let ts = series(vec![]);
+        assert_eq!(sparkline(&ts, 10), "");
+        let ts = series(vec![1.0]);
+        assert_eq!(sparkline(&ts, 0), "");
+    }
+
+    #[test]
+    fn sine_sparkline_oscillates() {
+        let ts = series((0..64).map(|i| (i as f64 / 64.0 * 12.56).sin()).collect());
+        let line = sparkline(&ts, 32);
+        // Both high and low bars appear.
+        assert!(line.contains(BARS[0]) || line.contains(BARS[1]));
+        assert!(line.contains(BARS[7]) || line.contains(BARS[6]));
+    }
+}

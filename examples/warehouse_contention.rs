@@ -1,0 +1,51 @@
+//! Warehouse: breath monitoring while 30 item-labelling tags contend for
+//! the channel.
+//!
+//! RFID deployments rarely contain only the monitoring tags: inventory
+//! labels share the same reader. The EPC Gen2 Q algorithm arbitrates all
+//! of them, so the monitoring tags' read rate drops as contention grows
+//! (paper Figure 14). This example sweeps the number of contending tags
+//! and shows the accuracy staying useful while per-tag read rates fall.
+//!
+//! ```text
+//! cargo run --example warehouse_contention --release
+//! ```
+
+use tagbreathe_suite::prelude::*;
+
+fn main() {
+    println!("contending  reads/s(worn)  reads/s(items)  est_bpm  accuracy");
+    for contending in [0usize, 10, 20, 30] {
+        let worker = Subject::paper_default(1, 2.0);
+        let scenario = Scenario::builder()
+            .subject(worker)
+            .contending_items(contending)
+            .build();
+        let world = ScenarioWorld::new(scenario);
+        let reports = Reader::paper_default().run(&world, 90.0);
+
+        // Identity separation: worn tags carry user ID 1; item tags are
+        // "unknown" to the resolver and excluded from analysis.
+        let resolver = EmbeddedIdentity::new([1]);
+        let worn = reports
+            .iter()
+            .filter(|r| matches!(resolver.resolve(r.epc), TagIdentity::Monitor { .. }))
+            .count();
+        let items = reports.len() - worn;
+
+        let analysis = BreathMonitor::paper_default().analyze(&reports, &resolver);
+        let (est, acc) = analysis.users[&1]
+            .as_ref()
+            .ok()
+            .and_then(|a| a.mean_rate_bpm())
+            .map(|bpm| (format!("{bpm:.2}"), format!("{:.1}%", accuracy(bpm, 10.0) * 100.0)))
+            .unwrap_or(("-".into(), "-".into()));
+
+        println!(
+            "{contending:>10}  {:>13.1}  {:>14.1}  {est:>7}  {acc:>8}",
+            worn as f64 / 90.0,
+            items as f64 / 90.0,
+        );
+    }
+    println!("\n(the paper reports ≥91% accuracy with 30 contending tags — Figure 14)");
+}

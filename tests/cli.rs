@@ -1,0 +1,128 @@
+//! Integration tests of the `tagbreathe-cli` binary: the
+//! simulate → analyze round trip a downstream user would run.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tagbreathe-cli"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("simulate"));
+    assert!(text.contains("analyze"));
+    assert!(text.contains("live"));
+}
+
+#[test]
+fn no_arguments_is_an_error_with_usage() {
+    let out = cli().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulate"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = cli().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_then_analyze_round_trip() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("tagbreathe_cli_test_{}.csv", std::process::id()));
+    let trace_str = trace.to_str().unwrap();
+
+    let out = cli()
+        .args([
+            "simulate", "--users", "2", "--distance", "3", "--rates", "10,15", "--duration",
+            "60", "--seed", "7", "--out", trace_str,
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    let out = cli().args(["analyze", trace_str]).output().expect("analyze runs");
+    assert!(
+        out.status.success(),
+        "analyze failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Both users estimated near their metronome rates.
+    assert!(text.contains("2 user(s)"), "{text}");
+    let found_10 = text.contains("10.0 bpm") || text.contains(" 9.9 bpm") || text.contains("10.1 bpm");
+    let found_15 = text.contains("15.0 bpm") || text.contains("14.9 bpm") || text.contains("15.1 bpm");
+    assert!(found_10, "user at 10 bpm not found:\n{text}");
+    assert!(found_15, "user at 15 bpm not found:\n{text}");
+    assert!(text.contains("pattern"), "{text}");
+    assert!(text.contains("quality"), "{text}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn simulate_validates_inputs() {
+    let out = cli()
+        .args(["simulate", "--users", "0", "--out", "/tmp/never.csv"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let out = cli()
+        .args(["simulate", "--rates", "99", "--out", "/tmp/never.csv"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let out = cli().args(["simulate"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn analyze_rejects_missing_and_empty_traces() {
+    let out = cli()
+        .args(["analyze", "/nonexistent/trace.csv"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+
+    let dir = std::env::temp_dir();
+    let empty = dir.join(format!("tagbreathe_cli_empty_{}.csv", std::process::id()));
+    std::fs::write(
+        &empty,
+        "time_s,epc,antenna_port,channel_index,phase_rad,rssi_dbm,doppler_hz\n",
+    )
+    .unwrap();
+    let out = cli()
+        .args(["analyze", empty.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    std::fs::remove_file(&empty).ok();
+}
+
+#[test]
+fn live_dashboard_emits_snapshots() {
+    let out = cli()
+        .args(["live", "--rate", "12", "--duration", "45", "--seed", "3"])
+        .output()
+        .expect("live runs");
+    assert!(
+        out.status.success(),
+        "live failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Snapshots at t=5..45 plus a final sparkline.
+    assert!(text.matches("t=").count() >= 5, "{text}");
+    assert!(text.contains("breath:"), "{text}");
+}

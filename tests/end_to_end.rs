@@ -1,0 +1,276 @@
+//! Full-stack integration tests: breathing kinematics → RF channel →
+//! EPC Gen2 MAC → low-level reports → TagBreathe pipeline → rates.
+
+use tagbreathe_suite::prelude::*;
+
+fn capture(scenario: &Scenario, seed: u64, secs: f64) -> Vec<TagReport> {
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_seed(seed),
+        vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+    )
+    .unwrap();
+    reader.run(&ScenarioWorld::new(scenario.clone()), secs)
+}
+
+fn estimate(scenario: &Scenario, reports: &[TagReport]) -> Vec<Option<f64>> {
+    let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+    let analysis = BreathMonitor::paper_default().analyze(reports, &EmbeddedIdentity::new(ids.clone()));
+    ids.iter()
+        .map(|id| {
+            analysis
+                .users
+                .get(id)
+                .and_then(|r| r.as_ref().ok())
+                .and_then(|a| a.mean_rate_bpm())
+        })
+        .collect()
+}
+
+#[test]
+fn rates_recovered_across_breathing_band() {
+    // The paper's Table I range: 5–20 bpm, all within ~1 bpm at 3 m.
+    for (i, bpm) in [5.0, 10.0, 15.0, 20.0].into_iter().enumerate() {
+        let subject = Subject::new(
+            1,
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Posture::Sitting,
+            Waveform::Sinusoid { rate_bpm: bpm },
+            TagSite::ALL.to_vec(),
+        );
+        let scenario = Scenario::builder().subject(subject).build();
+        let reports = capture(&scenario, 100 + i as u64, 90.0);
+        let got = estimate(&scenario, &reports)[0].expect("estimate");
+        assert!((got - bpm).abs() < 1.0, "true {bpm}: got {got}");
+    }
+}
+
+#[test]
+fn distance_degrades_but_does_not_break() {
+    let mut accuracies = Vec::new();
+    for (i, d) in [1.0, 4.0, 6.0].into_iter().enumerate() {
+        let scenario = Scenario::builder().subject(Subject::paper_default(1, d)).build();
+        let reports = capture(&scenario, 200 + i as u64, 90.0);
+        let got = estimate(&scenario, &reports)[0];
+        let acc = got.map(|bpm| accuracy(bpm, 10.0)).unwrap_or(0.0);
+        accuracies.push(acc);
+    }
+    assert!(accuracies[0] > 0.95, "1 m accuracy {}", accuracies[0]);
+    assert!(accuracies[2] > 0.80, "6 m accuracy {}", accuracies[2]);
+}
+
+#[test]
+fn four_users_with_distinct_rates_are_separated() {
+    let rates = [6.0, 10.0, 14.0, 18.0];
+    let scenario = Scenario::builder()
+        .users_side_by_side(4, 4.0, &rates)
+        .build();
+    let reports = capture(&scenario, 300, 120.0);
+    let got = estimate(&scenario, &reports);
+    for (want, est) in rates.iter().zip(&got) {
+        let est = est.expect("every user estimated");
+        assert!((est - want).abs() < 1.5, "want {want}, got {est}");
+    }
+}
+
+#[test]
+fn contending_tags_slow_but_do_not_corrupt() {
+    let base = Subject::paper_default(1, 2.0);
+    let clean = Scenario::builder().subject(base.clone()).build();
+    let busy = Scenario::builder()
+        .subject(base)
+        .contending_items(30)
+        .build();
+    let clean_reports = capture(&clean, 400, 90.0);
+    let busy_reports = capture(&busy, 401, 90.0);
+    // Read rate on the worn tags must drop under contention...
+    let worn = |rs: &[TagReport]| rs.iter().filter(|r| r.epc.user_id() == 1).count();
+    assert!(worn(&busy_reports) < worn(&clean_reports) / 2);
+    // ...while the estimate stays close.
+    let bpm = estimate(&busy, &busy_reports)[0].expect("estimate under contention");
+    assert!((bpm - 10.0).abs() < 2.0, "got {bpm}");
+}
+
+#[test]
+fn orientation_beyond_ninety_degrees_blocks_monitoring() {
+    let antenna = Vec3::new(0.0, 0.0, 1.0);
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 4.0).facing_away_from(antenna, 160.0))
+        .build();
+    let reports = capture(&scenario, 500, 30.0);
+    assert!(
+        reports.is_empty() || estimate(&scenario, &reports)[0].is_none(),
+        "a fully shadowed user must not be monitored"
+    );
+}
+
+#[test]
+fn postures_all_work() {
+    for (i, posture) in [Posture::Sitting, Posture::Standing, Posture::Lying]
+        .into_iter()
+        .enumerate()
+    {
+        let subject = Subject::new(
+            1,
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            posture,
+            Waveform::Sinusoid { rate_bpm: 12.0 },
+            TagSite::ALL.to_vec(),
+        );
+        let scenario = Scenario::builder().subject(subject).build();
+        let reports = capture(&scenario, 600 + i as u64, 90.0);
+        let bpm = estimate(&scenario, &reports)[0].expect("estimate");
+        assert!((bpm - 12.0).abs() < 1.2, "{posture:?}: got {bpm}");
+    }
+}
+
+#[test]
+fn fir_filter_configuration_is_equivalent_end_to_end() {
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let reports = capture(&scenario, 700, 90.0);
+    let mut cfg = PipelineConfig::paper_default();
+    cfg.filter = FilterKind::Fir { taps: 129 };
+    let analysis = BreathMonitor::new(cfg)
+        .unwrap()
+        .analyze(&reports, &EmbeddedIdentity::new([1]));
+    let bpm = analysis.users[&1]
+        .as_ref()
+        .ok()
+        .and_then(|a| a.mean_rate_bpm())
+        .expect("FIR estimate");
+    assert!((bpm - 10.0).abs() < 1.0, "FIR path got {bpm}");
+}
+
+#[test]
+fn lower_tx_power_shrinks_range() {
+    // Table I sweeps 15–30 dBm: at 15 dBm a 4 m user becomes unreadable.
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 4.0)).build();
+    let mut config = ReaderConfig::paper_default().with_seed(800);
+    config.link = LinkConfig::paper_default().with_tx_power(rfchannel::units::Dbm(15.0));
+    let reader = Reader::new(
+        config,
+        vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+    )
+    .unwrap();
+    let weak = reader.run(&ScenarioWorld::new(scenario.clone()), 20.0);
+    let strong = capture(&scenario, 800, 20.0);
+    assert!(
+        weak.len() < strong.len() / 10,
+        "15 dBm: {} reads vs 30 dBm: {}",
+        weak.len(),
+        strong.len()
+    );
+}
+
+#[test]
+fn opposing_antennas_cover_back_to_back_users() {
+    // The paper: "a commodity reader can connect multiple antennas to
+    // ensure line-of-sight paths to the tags". Two users stand back to
+    // back; each blocks one antenna's path with their body, so neither is
+    // monitorable from a single port — but the round-robin pair covers
+    // both, and per-user antenna selection picks the right port for each.
+    let east = Antenna::new(
+        Vec3::new(6.0, 0.0, 1.0),
+        Vec3::new(-1.0, 0.0, 0.0),
+        8.5,
+        65.0,
+        25.0,
+    );
+    let west = Antenna::paper_default(Vec3::new(-2.0, 0.0, 1.0));
+    let reader = Reader::new(ReaderConfig::paper_default().with_seed(950), vec![west, east]).unwrap();
+
+    // User 1 at x=2 faces west (toward the west antenna); user 2 at x=2.6
+    // faces east. Each has their back to the other antenna.
+    let user1 = Subject::new(
+        1,
+        Vec3::new(2.0, 0.0, 0.0),
+        Vec3::new(-1.0, 0.0, 0.0),
+        Posture::Standing,
+        Waveform::Sinusoid { rate_bpm: 9.0 },
+        TagSite::ALL.to_vec(),
+    );
+    let user2 = Subject::new(
+        2,
+        Vec3::new(2.6, 0.0, 0.0),
+        Vec3::new(1.0, 0.0, 0.0),
+        Posture::Standing,
+        Waveform::Sinusoid { rate_bpm: 15.0 },
+        TagSite::ALL.to_vec(),
+    );
+    let scenario = Scenario::builder().subject(user1).subject(user2).build();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 120.0);
+
+    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1, 2]));
+    let a1 = analysis.users[&1].as_ref().expect("user 1 covered");
+    let a2 = analysis.users[&2].as_ref().expect("user 2 covered");
+    // Each user is served by a different port.
+    assert_ne!(a1.antenna_port, a2.antenna_port, "both users on one port");
+    let bpm1 = a1.mean_rate_bpm().expect("rate 1");
+    let bpm2 = a2.mean_rate_bpm().expect("rate 2");
+    assert!((bpm1 - 9.0).abs() < 1.5, "user 1: {bpm1}");
+    assert!((bpm2 - 15.0).abs() < 1.5, "user 2: {bpm2}");
+}
+
+#[test]
+fn multi_antenna_selects_a_working_port() {
+    // Antenna 1 is aimed away from the user; antenna 2 covers them. The
+    // per-user antenna-selection rule must pick port 2.
+    let mut cfg = ReaderConfig::paper_default().with_seed(900);
+    cfg.dwell_s = 0.2;
+    let away = Antenna::new(
+        Vec3::new(0.0, -3.0, 1.0),
+        Vec3::new(0.0, -1.0, 0.0),
+        8.5,
+        65.0,
+        25.0,
+    );
+    let covering = Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0));
+    let reader = Reader::new(cfg, vec![away, covering]).unwrap();
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 90.0);
+    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+    let user = analysis.users[&1].as_ref().expect("analysable");
+    assert_eq!(user.antenna_port, 2, "picked the wrong antenna");
+    let bpm = user.mean_rate_bpm().expect("rate");
+    assert!((bpm - 10.0).abs() < 1.5, "got {bpm}");
+}
+
+#[test]
+fn merge_all_antennas_strategy_works_with_split_coverage() {
+    use tagbreathe_suite::tagbreathe::AntennaStrategy;
+    // Two side-facing antennas each see the user obliquely; merging the
+    // two half-rate streams must recover the rate as well as the best
+    // single port does.
+    let left = Antenna::new(
+        Vec3::new(0.0, -1.5, 1.0),
+        Vec3::new(1.0, 0.5, 0.0),
+        8.5,
+        65.0,
+        25.0,
+    );
+    let right = Antenna::new(
+        Vec3::new(0.0, 1.5, 1.0),
+        Vec3::new(1.0, -0.5, 0.0),
+        8.5,
+        65.0,
+        25.0,
+    );
+    let reader = Reader::new(ReaderConfig::paper_default().with_seed(1000), vec![left, right]).unwrap();
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.5)).build();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 90.0);
+
+    let mut merge_cfg = PipelineConfig::paper_default();
+    merge_cfg.antenna = AntennaStrategy::MergeAll;
+    let merged = BreathMonitor::new(merge_cfg)
+        .unwrap()
+        .analyze(&reports, &EmbeddedIdentity::new([1]));
+    let merged_user = merged.users[&1].as_ref().expect("merged analysable");
+    let merged_bpm = merged_user.mean_rate_bpm().expect("merged rate");
+    assert!((merged_bpm - 10.0).abs() < 1.0, "merged {merged_bpm}");
+
+    let best = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+    let best_user = best.users[&1].as_ref().expect("best-port analysable");
+    // Merging consumes reports from both ports.
+    assert!(merged_user.report_count > best_user.report_count);
+}

@@ -1,0 +1,197 @@
+//! Failure-injection tests: the pipeline must degrade gracefully — never
+//! panic, and either keep estimating correctly or abstain — under corrupted
+//! report streams and non-respiratory motion.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tagbreathe_suite::breathing::BodyMotion;
+use tagbreathe_suite::prelude::*;
+
+fn capture(secs: f64, seed: u64) -> Vec<TagReport> {
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_seed(seed),
+        vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+    )
+    .unwrap();
+    reader.run(&ScenarioWorld::new(scenario), secs)
+}
+
+fn estimate(reports: &[TagReport]) -> Option<f64> {
+    BreathMonitor::paper_default()
+        .analyze(reports, &EmbeddedIdentity::new([1]))
+        .users
+        .get(&1)
+        .and_then(|r| r.as_ref().ok())
+        .and_then(|a| a.mean_rate_bpm())
+}
+
+#[test]
+fn survives_random_report_loss() {
+    let reports = capture(90.0, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for keep_fraction in [0.8, 0.5, 0.3] {
+        let thinned: Vec<TagReport> = reports
+            .iter()
+            .filter(|_| rng.gen::<f64>() < keep_fraction)
+            .copied()
+            .collect();
+        let bpm = estimate(&thinned);
+        if let Some(bpm) = bpm {
+            assert!(
+                (bpm - 10.0).abs() < 2.5,
+                "keep {keep_fraction}: estimated {bpm}"
+            );
+        }
+        // None (abstention) is acceptable at heavy loss; garbage is not.
+    }
+}
+
+#[test]
+fn survives_duplicated_reports() {
+    let reports = capture(60.0, 2);
+    let mut doubled = Vec::with_capacity(reports.len() * 2);
+    for r in &reports {
+        doubled.push(*r);
+        doubled.push(*r); // exact duplicate (same timestamp)
+    }
+    let bpm = estimate(&doubled).expect("duplicates must not break analysis");
+    assert!((bpm - 10.0).abs() < 1.5, "estimated {bpm}");
+}
+
+#[test]
+fn survives_out_of_order_delivery() {
+    let reports = capture(60.0, 3);
+    let mut shuffled = reports.clone();
+    shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(7));
+    let a = estimate(&reports).expect("baseline");
+    let b = estimate(&shuffled).expect("shuffled");
+    assert!((a - b).abs() < 1e-9, "order dependence: {a} vs {b}");
+}
+
+#[test]
+fn survives_corrupted_phase_values() {
+    // 5% of reports get a uniformly random phase (decoder glitches).
+    let mut reports = capture(90.0, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for r in reports.iter_mut() {
+        if rng.gen::<f64>() < 0.05 {
+            r.phase_rad = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+        }
+    }
+    let bpm = estimate(&reports).expect("corruption-tolerant");
+    assert!((bpm - 10.0).abs() < 2.5, "estimated {bpm}");
+}
+
+#[test]
+fn survives_alien_epcs_in_stream() {
+    // Tags from a neighbouring deployment appear mid-stream.
+    let mut reports = capture(60.0, 5);
+    let alien: Vec<TagReport> = (0..500)
+        .map(|i| TagReport {
+            time_s: i as f64 * 0.1,
+            epc: Epc96::monitor(0xBAD0_BEEF, i),
+            antenna_port: 1,
+            channel_index: (i % 10) as u16,
+            phase_rad: 1.0,
+            rssi_dbm: -60.0,
+            doppler_hz: 0.0,
+        })
+        .collect();
+    reports.extend(alien);
+    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+    assert_eq!(analysis.unknown_reports, 500);
+    let bpm = analysis.users[&1].as_ref().unwrap().mean_rate_bpm().unwrap();
+    assert!((bpm - 10.0).abs() < 1.5, "estimated {bpm}");
+}
+
+#[test]
+fn sway_below_breathing_band_is_tolerated() {
+    let subject = Subject::paper_default(1, 2.0).with_motion(BodyMotion::Sway {
+        amplitude_m: 0.01,
+        period_s: 25.0, // 0.04 Hz, below the band
+    });
+    let scenario = Scenario::builder().subject(subject).build();
+    let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 90.0);
+    let bpm = estimate(&reports).expect("sway-tolerant");
+    assert!((bpm - 10.0).abs() < 2.0, "estimated {bpm} under sway");
+}
+
+#[test]
+fn fidgeting_degrades_quality_grade() {
+    use tagbreathe_suite::tagbreathe::quality::{assess, QualityThresholds};
+
+    let run = |motion: BodyMotion, seed: u64| {
+        let subject = Subject::paper_default(1, 2.0).with_motion(motion);
+        let scenario = Scenario::builder().subject(subject).build();
+        let reader = Reader::new(
+            ReaderConfig::paper_default().with_seed(seed),
+            vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+        )
+        .unwrap();
+        let reports = reader.run(&ScenarioWorld::new(scenario), 60.0);
+        BreathMonitor::paper_default()
+            .analyze(&reports, &EmbeddedIdentity::new([1]))
+            .users
+            .remove(&1)
+            .and_then(Result::ok)
+            .map(|a| assess(&a, &QualityThresholds::default_thresholds()))
+    };
+    let still = run(BodyMotion::Still, 21).expect("still analysable");
+    let fidgety = run(
+        BodyMotion::Fidget {
+            amplitude_m: 0.04,
+            rate_per_min: 8.0,
+            seed: 3,
+        },
+        21,
+    );
+    // Fidgeting must not crash; when analysable, its quality must not
+    // exceed the still subject's.
+    if let Some(q) = fidgety {
+        assert!(
+            q.confidence <= still.confidence,
+            "fidgeting graded {q:?} above still {still:?}"
+        );
+    }
+}
+
+#[test]
+fn walking_subject_is_flagged_as_gross_motion() {
+    use tagbreathe_suite::tagbreathe::AnalysisFailure;
+    // Slow walk toward the antenna: the tag stays in the beam for the
+    // whole capture but the trajectory spans metres.
+    let subject = Subject::paper_default(1, 5.0).with_motion(BodyMotion::Walk {
+        speed_mps: 0.03,
+    });
+    let scenario = Scenario::builder().subject(subject).build();
+    let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 60.0);
+    assert!(!reports.is_empty(), "walker left the beam entirely");
+    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+    match &analysis.users[&1] {
+        Err(AnalysisFailure::GrossMotion { range_m }) => {
+            assert!(*range_m > 1.0, "range {range_m}");
+        }
+        other => panic!("walking subject not flagged: {other:?}"),
+    }
+}
+
+#[test]
+fn stationary_subject_is_not_flagged_as_gross_motion() {
+    use tagbreathe_suite::tagbreathe::AnalysisFailure;
+    let reports = capture(60.0, 7);
+    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+    assert!(
+        !matches!(analysis.users[&1], Err(AnalysisFailure::GrossMotion { .. })),
+        "false gross-motion alarm"
+    );
+}
+
+#[test]
+fn empty_and_single_report_streams() {
+    assert!(estimate(&[]).is_none());
+    let one = capture(1.0, 6).into_iter().take(1).collect::<Vec<_>>();
+    assert!(estimate(&one).is_none());
+}

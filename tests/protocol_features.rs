@@ -1,0 +1,191 @@
+//! Integration tests of the Gen2 protocol features through the full stack:
+//! Select filtering, sessions, EPC commissioning, and regional channel
+//! plans.
+
+use tagbreathe_suite::epcgen2::select::SelectMask;
+use tagbreathe_suite::epcgen2::session::Session;
+use tagbreathe_suite::epcgen2::writer::{commission, CommissionPlan, WriteConfig};
+use tagbreathe_suite::prelude::*;
+use tagbreathe_suite::rfchannel::channel_plan::ChannelPlan;
+
+fn antenna() -> Antenna {
+    Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))
+}
+
+#[test]
+fn select_restores_accuracy_under_extreme_contention() {
+    // 60 contending tags — beyond the paper's sweep. Select on the user's
+    // EPC prefix keeps the monitoring tags at full rate.
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 2.0))
+        .contending_items(60)
+        .build();
+    let world = ScenarioWorld::new(scenario);
+
+    let with_select = Reader::new(
+        ReaderConfig::paper_default().with_select(SelectMask::for_user(1)),
+        vec![antenna()],
+    )
+    .unwrap()
+    .run(&world, 60.0);
+    let without = Reader::paper_default().run(&world, 60.0);
+
+    let worn = |rs: &[TagReport]| rs.iter().filter(|r| r.epc.user_id() == 1).count();
+    assert!(worn(&with_select) > 3 * worn(&without));
+
+    let monitor = BreathMonitor::paper_default();
+    let bpm = monitor
+        .analyze(&with_select, &EmbeddedIdentity::new([1]))
+        .users[&1]
+        .as_ref()
+        .unwrap()
+        .mean_rate_bpm()
+        .unwrap();
+    assert!((bpm - 10.0).abs() < 1.0, "selected estimate {bpm}");
+}
+
+#[test]
+fn s1_session_breaks_breath_monitoring() {
+    // The ablation's point as a hard invariant: S1 flag persistence
+    // reduces per-tag rates below the breathing Nyquist rate, so the
+    // pipeline must abstain or fail — silently wrong answers are the one
+    // forbidden outcome.
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+    let world = ScenarioWorld::new(scenario);
+    let reports = Reader::new(
+        ReaderConfig::paper_default().with_session(Session::S1 { persistence_s: 5.0 }),
+        vec![antenna()],
+    )
+    .unwrap()
+    .run(&world, 60.0);
+    // ~0.2 reads/s/tag: far below the 1.34 Hz Nyquist rate for 40 bpm.
+    assert!(reports.len() < 60, "{} reads", reports.len());
+    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
+    match analysis.users.get(&1) {
+        None | Some(Err(_)) => {} // abstained, as required
+        Some(Ok(a)) => {
+            // If anything was produced, it must carry almost no crossings —
+            // a visibly unusable estimate rather than a confident wrong one.
+            assert!(
+                a.rate.instantaneous.len() < 3,
+                "confident estimate from starved data: {:?}",
+                a.mean_rate_bpm()
+            );
+        }
+    }
+}
+
+#[test]
+fn commissioning_fallback_flows_into_the_pipeline() {
+    // Some writes fail; the commissioning report's fallback table must
+    // resolve those tags so monitoring still covers them. Simulate by
+    // resolving a captured stream through (embedded ∪ fallback).
+    let mut plan = CommissionPlan::new();
+    let factory = [
+        Epc96::monitor(0xFAC7_0000_0000_0001, 100),
+        Epc96::monitor(0xFAC7_0000_0000_0002, 200),
+        Epc96::monitor(0xFAC7_0000_0000_0003, 300),
+    ];
+    plan.add_user(factory, 1);
+    let config = WriteConfig {
+        word_success_probability: 0.5, // hostile: many writes fail
+        max_retries: 2,
+    };
+    let report = commission(&plan, &config, 7);
+    assert_eq!(report.written() + report.failed(), 3);
+    // Every failed tag is covered by the fallback.
+    assert_eq!(report.fallback.len(), report.failed());
+}
+
+#[test]
+fn etsi_channel_plan_works_end_to_end() {
+    // European 4-channel plan: fewer channels means fewer per-channel
+    // groups; the pipeline must be configured with the same plan.
+    let mut reader_cfg = ReaderConfig::paper_default();
+    reader_cfg.plan = ChannelPlan::etsi_4();
+    let reader = Reader::new(reader_cfg, vec![antenna()]).unwrap();
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 60.0);
+    assert!(reports.iter().all(|r| (r.channel_index as usize) < 4));
+
+    let mut pipeline_cfg = PipelineConfig::paper_default();
+    pipeline_cfg.plan = ChannelPlan::etsi_4();
+    let monitor = BreathMonitor::new(pipeline_cfg).unwrap();
+    let bpm = monitor
+        .analyze(&reports, &EmbeddedIdentity::new([1]))
+        .users[&1]
+        .as_ref()
+        .unwrap()
+        .mean_rate_bpm()
+        .unwrap();
+    assert!((bpm - 10.0).abs() < 1.0, "ETSI estimate {bpm}");
+}
+
+#[test]
+fn fixed_channel_plan_works_end_to_end() {
+    // The paper notes a fixed channel is not FCC-legal but is the simplest
+    // configuration conceptually — no hop discontinuities at all.
+    let mut reader_cfg = ReaderConfig::paper_default();
+    reader_cfg.plan = ChannelPlan::fixed(tagbreathe_suite::rfchannel::units::Hertz::from_mhz(915.0));
+    let reader = Reader::new(reader_cfg, vec![antenna()]).unwrap();
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 60.0);
+    assert!(reports.iter().all(|r| r.channel_index == 0));
+
+    let mut pipeline_cfg = PipelineConfig::paper_default();
+    pipeline_cfg.plan = ChannelPlan::fixed(tagbreathe_suite::rfchannel::units::Hertz::from_mhz(915.0));
+    let monitor = BreathMonitor::new(pipeline_cfg).unwrap();
+    let bpm = monitor
+        .analyze(&reports, &EmbeddedIdentity::new([1]))
+        .users[&1]
+        .as_ref()
+        .unwrap()
+        .mean_rate_bpm()
+        .unwrap();
+    assert!((bpm - 10.0).abs() < 1.0, "fixed-channel estimate {bpm}");
+}
+
+#[test]
+fn select_prefix_covers_multiple_users_but_not_items() {
+    // Allocate all monitor users under the 32-bit-zero prefix; items use
+    // user_id = u64::MAX and must be excluded.
+    let scenario = Scenario::builder()
+        .users_side_by_side(2, 3.0, &[10.0, 14.0])
+        .contending_items(20)
+        .build();
+    let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_select(SelectMask::for_user_prefix(0, 32)),
+        vec![antenna()],
+    )
+    .unwrap();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 60.0);
+    assert!(!reports.is_empty());
+    assert!(reports.iter().all(|r| r.epc.user_id() != u64::MAX));
+    let monitor = BreathMonitor::paper_default();
+    let analysis = monitor.analyze(&reports, &EmbeddedIdentity::new(ids.clone()));
+    for id in ids {
+        assert!(analysis.users[&id].is_ok(), "user {id} lost under Select");
+    }
+}
+
+#[test]
+fn two_ray_propagation_works_end_to_end() {
+    use tagbreathe_suite::rfchannel::link::Propagation;
+    let mut cfg = ReaderConfig::paper_default().with_seed(42);
+    cfg.propagation = Propagation::TwoRay {
+        reflection_coeff: 0.5,
+    };
+    let reader = Reader::new(cfg, vec![antenna()]).unwrap();
+    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let reports = reader.run(&ScenarioWorld::new(scenario), 90.0);
+    assert!(!reports.is_empty());
+    let bpm = BreathMonitor::paper_default()
+        .analyze(&reports, &EmbeddedIdentity::new([1]))
+        .users[&1]
+        .as_ref()
+        .unwrap()
+        .mean_rate_bpm()
+        .unwrap();
+    assert!((bpm - 10.0).abs() < 1.0, "two-ray estimate {bpm}");
+}
