@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the tagbreathe workspace. Fully offline: no network,
+# no external tools beyond the pinned Rust toolchain.
+#
+# Steps (fail-fast, in order):
+#   1. formatting         cargo fmt --check
+#   2. clippy, zero-warn  cargo clippy --workspace --all-targets -- -D warnings
+#   3. release build      cargo build --release
+#   4. test suite         cargo test -q
+#   5. workspace lint     cargo run -p tagbreathe-lint -- check
+#
+# Step 5 is the in-tree ratchet linter (crates/lint): it fails on any
+# violation beyond lint-baseline.txt AND on any uncommitted slack (a
+# burn-down that forgot `-- check --update-baseline`).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p tagbreathe-lint -- check"
+cargo run -q -p tagbreathe-lint -- check
+
+echo "ci: all green"

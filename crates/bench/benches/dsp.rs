@@ -1,11 +1,11 @@
 //! Micro-benchmarks of the DSP substrate: the per-window costs of the
 //! extraction pipeline's inner loops.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsp::fft::{fft_real, power_spectrum};
 use dsp::filter::{FftLowPass, FirFilter};
 use dsp::spectrum::dominant_frequency;
 use dsp::zero_crossing::find_zero_crossings;
+use tagbreathe_bench::microbench::{bb, bench};
 
 fn breathing_window(n: usize) -> Vec<f64> {
     (0..n)
@@ -17,45 +17,42 @@ fn breathing_window(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
+fn bench_fft() {
     for &n in &[256usize, 1024, 4096] {
         let signal = breathing_window(n);
-        group.bench_with_input(BenchmarkId::new("fft_real", n), &signal, |b, s| {
-            b.iter(|| fft_real(black_box(s)))
-        });
-        group.bench_with_input(BenchmarkId::new("power_spectrum", n), &signal, |b, s| {
-            b.iter(|| power_spectrum(black_box(s)))
+        bench(&format!("fft/fft_real/{n}"), || fft_real(bb(&signal)));
+        bench(&format!("fft/power_spectrum/{n}"), || {
+            power_spectrum(bb(&signal))
         });
     }
-    group.finish();
 }
 
-fn bench_filters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("filters");
+fn bench_filters() {
     let signal = breathing_window(1024);
-    let fft = FftLowPass::breathing_band(16.0).unwrap();
-    group.bench_function("fft_lowpass_1024", |b| {
-        b.iter(|| fft.filter(black_box(&signal)))
-    });
-    let fir = FirFilter::low_pass(0.67, 16.0, 129).unwrap();
-    group.bench_function("fir_129taps_1024", |b| {
-        b.iter(|| fir.filter(black_box(&signal)))
-    });
-    group.finish();
+    let fft = match FftLowPass::breathing_band(16.0) {
+        Ok(f) => f,
+        Err(e) => panic!("breathing_band filter: {e}"),
+    };
+    bench("filters/fft_lowpass_1024", || fft.filter(bb(&signal)));
+    let fir = match FirFilter::low_pass(0.67, 16.0, 129) {
+        Ok(f) => f,
+        Err(e) => panic!("fir low_pass: {e}"),
+    };
+    bench("filters/fir_129taps_1024", || fir.filter(bb(&signal)));
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
+fn bench_analysis() {
     let signal = breathing_window(1024);
-    group.bench_function("zero_crossings_1024", |b| {
-        b.iter(|| find_zero_crossings(black_box(&signal), 0.0, 1.0 / 16.0, 0.1))
+    bench("analysis/zero_crossings_1024", || {
+        find_zero_crossings(bb(&signal), 0.0, 1.0 / 16.0, 0.1)
     });
-    group.bench_function("dominant_frequency_1024", |b| {
-        b.iter(|| dominant_frequency(black_box(&signal), 16.0, 0.05, 0.67))
+    bench("analysis/dominant_frequency_1024", || {
+        dominant_frequency(bb(&signal), 16.0, 0.05, 0.67)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_filters, bench_analysis);
-criterion_main!(benches);
+fn main() {
+    bench_fft();
+    bench_filters();
+    bench_analysis();
+}

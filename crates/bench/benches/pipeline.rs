@@ -3,13 +3,13 @@
 //! Section V prototype.
 
 use breathing::Scenario;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use epcgen2::mapping::EmbeddedIdentity;
 use epcgen2::reader::Reader;
 use epcgen2::report::TagReport;
 use epcgen2::world::ScenarioWorld;
 use tagbreathe::preprocess::displacement_increments;
 use tagbreathe::{BreathMonitor, PipelineConfig};
+use tagbreathe_bench::microbench::{bb, bench};
 
 fn capture_users(n: usize, secs: f64) -> (Vec<u64>, Vec<TagReport>) {
     let scenario = Scenario::builder()
@@ -20,93 +20,89 @@ fn capture_users(n: usize, secs: f64) -> (Vec<u64>, Vec<TagReport>) {
     (ids, reports)
 }
 
-fn bench_full_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_analysis_25s_window");
+fn bench_full_analysis() {
     for &n in &[1usize, 2, 4] {
         let (ids, reports) = capture_users(n, 25.0);
         let monitor = BreathMonitor::paper_default();
         let resolver = EmbeddedIdentity::new(ids);
-        group.bench_with_input(BenchmarkId::new("users", n), &reports, |b, r| {
-            b.iter(|| monitor.analyze(black_box(r), &resolver))
+        bench(&format!("full_analysis_25s_window/users/{n}"), || {
+            monitor.analyze(bb(&reports), &resolver)
         });
     }
-    group.finish();
 }
 
-fn bench_preprocess(c: &mut Criterion) {
+fn bench_preprocess() {
     let (_, reports) = capture_users(1, 25.0);
     let plan = PipelineConfig::paper_default().plan;
-    c.bench_function("displacement_increments_25s", |b| {
-        b.iter(|| displacement_increments(black_box(&reports), &plan, 5.0))
+    bench("displacement_increments_25s", || {
+        displacement_increments(bb(&reports), &plan, 5.0)
     });
 }
 
-fn bench_streaming_push(c: &mut Criterion) {
+fn bench_streaming_push() {
     let (ids, reports) = capture_users(1, 30.0);
-    c.bench_function("streaming_30s_5s_cadence", |b| {
-        b.iter(|| {
-            let mut sm = tagbreathe::StreamingMonitor::new(
-                PipelineConfig::paper_default(),
-                EmbeddedIdentity::new(ids.clone()),
-                25.0,
-                5.0,
-            )
-            .unwrap();
-            sm.push(black_box(reports.iter().copied()))
-        })
+    bench("streaming_30s_5s_cadence", || {
+        let mut sm = match tagbreathe::StreamingMonitor::new(
+            PipelineConfig::paper_default(),
+            EmbeddedIdentity::new(ids.clone()),
+            25.0,
+            5.0,
+        ) {
+            Ok(sm) => sm,
+            Err(e) => panic!("streaming monitor: {e}"),
+        };
+        sm.push(bb(reports.iter().copied()))
     });
 }
 
-fn bench_preprocess_variants(c: &mut Criterion) {
+fn bench_preprocess_variants() {
     let (ids, reports) = capture_users(1, 25.0);
     let resolver = EmbeddedIdentity::new(ids);
-    let mut group = c.benchmark_group("preprocess_variant_25s");
     for (label, kind) in [
         ("increments", tagbreathe::PreprocessKind::IncrementBinning),
         ("track_merge", tagbreathe::PreprocessKind::ChannelTrackMerge),
     ] {
         let mut cfg = PipelineConfig::paper_default();
         cfg.preprocess = kind;
-        let monitor = BreathMonitor::new(cfg).unwrap();
-        group.bench_with_input(BenchmarkId::new("kind", label), &reports, |b, r| {
-            b.iter(|| monitor.analyze(black_box(r), &resolver))
+        let monitor = match BreathMonitor::new(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("monitor config: {e}"),
+        };
+        bench(&format!("preprocess_variant_25s/kind/{label}"), || {
+            monitor.analyze(bb(&reports), &resolver)
         });
     }
-    group.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions() {
     let (ids, reports) = capture_users(1, 60.0);
     let resolver = EmbeddedIdentity::new(ids);
     let monitor = BreathMonitor::paper_default();
     let analysis = monitor.analyze(&reports, &resolver);
-    let user = analysis.users.values().next().unwrap().as_ref().unwrap();
-    c.bench_function("pattern_analysis_60s", |b| {
-        b.iter(|| {
-            tagbreathe::patterns::analyze_pattern(
-                black_box(&user.breath_signal),
-                black_box(&user.rate),
-            )
-        })
+    let user = match analysis.users.values().next() {
+        Some(Ok(u)) => u,
+        other => panic!("expected one analysed user, got {other:?}"),
+    };
+    bench("pattern_analysis_60s", || {
+        tagbreathe::patterns::analyze_pattern(bb(&user.breath_signal), bb(&user.rate))
     });
-    c.bench_function("apnea_detection_60s", |b| {
-        let cfg = tagbreathe::ApneaConfig::default_config();
-        b.iter(|| tagbreathe::detect_apnea(black_box(&user.breath_signal), &cfg))
+    let cfg = tagbreathe::ApneaConfig::default_config();
+    bench("apnea_detection_60s", || {
+        tagbreathe::detect_apnea(bb(&user.breath_signal), &cfg)
     });
-    c.bench_function("llrp_encode_decode_60s", |b| {
-        b.iter(|| {
-            let bytes = epcgen2::llrp::encode_ro_access_report(black_box(&reports), 1);
-            epcgen2::llrp::decode_ro_access_report(&bytes).unwrap()
-        })
+    bench("llrp_encode_decode_60s", || {
+        let bytes = epcgen2::llrp::encode_ro_access_report(bb(&reports), 1);
+        match epcgen2::llrp::decode_ro_access_report(&bytes) {
+            Ok(d) => d,
+            Err(e) => panic!("llrp round-trip: {e}"),
+        }
     });
 }
 
-criterion_group!(
-    benches,
-    bench_full_analysis,
-    bench_preprocess,
-    bench_streaming_push,
-    bench_preprocess_variants,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_full_analysis();
+    bench_preprocess();
+    bench_streaming_push();
+    bench_preprocess_variants();
+    bench_extensions();
+}

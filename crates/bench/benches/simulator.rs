@@ -2,16 +2,14 @@
 //! experiment harness's wall-clock time.
 
 use breathing::Scenario;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use epcgen2::inventory::{run_round, Participant, SlotTiming};
 use epcgen2::q_algorithm::QState;
 use epcgen2::reader::Reader;
 use epcgen2::world::ScenarioWorld;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use prng::Xoshiro256;
+use tagbreathe_bench::microbench::{bb, bench};
 
-fn bench_inventory_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("inventory_round");
+fn bench_inventory_round() {
     for &n in &[1usize, 12, 33] {
         let participants: Vec<Participant> = (0..n)
             .map(|i| Participant {
@@ -19,19 +17,16 @@ fn bench_inventory_round(c: &mut Criterion) {
                 read_probability: 0.8,
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("tags", n), &participants, |b, p| {
-            let mut rng = ChaCha8Rng::seed_from_u64(1);
-            let mut q = QState::standard_default();
-            let timing = SlotTiming::paper_default();
-            b.iter(|| run_round(&mut rng, &mut q, black_box(p), &timing))
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut q = QState::standard_default();
+        let timing = SlotTiming::paper_default();
+        bench(&format!("inventory_round/tags/{n}"), || {
+            run_round(&mut rng, &mut q, bb(&participants), &timing)
         });
     }
-    group.finish();
 }
 
-fn bench_capture(c: &mut Criterion) {
-    let mut group = c.benchmark_group("capture_10s");
-    group.sample_size(10);
+fn bench_capture() {
     for &(users, items) in &[(1usize, 0usize), (4, 0), (1, 30)] {
         let scenario = Scenario::builder()
             .users_side_by_side(users, 4.0, &[10.0, 12.0, 15.0, 8.0])
@@ -39,14 +34,14 @@ fn bench_capture(c: &mut Criterion) {
             .build();
         let world = ScenarioWorld::new(scenario);
         let reader = Reader::paper_default();
-        group.bench_with_input(
-            BenchmarkId::new("users_items", format!("{users}u_{items}i")),
-            &world,
-            |b, w| b.iter(|| reader.run(black_box(w), 10.0)),
+        bench(
+            &format!("capture_10s/users_items/{users}u_{items}i"),
+            || reader.run(bb(&world), 10.0),
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_inventory_round, bench_capture);
-criterion_main!(benches);
+fn main() {
+    bench_inventory_round();
+    bench_capture();
+}

@@ -139,14 +139,10 @@ pub fn ablate_estimator(setup: TrialSetup) -> Table {
             if let Some(bpm) = user.mean_rate_bpm() {
                 zc_err.push((bpm - truth).abs());
             }
-            if let Some(bpm) =
-                tagbreathe::rate::estimate_rate_fft_peak(&user.breath_signal, &cfg)
-            {
+            if let Some(bpm) = tagbreathe::rate::estimate_rate_fft_peak(&user.breath_signal, &cfg) {
                 fft_err.push((bpm - truth).abs());
             }
-            if let Some(bpm) =
-                tagbreathe::rate::estimate_rate_autocorr(&user.breath_signal, &cfg)
-            {
+            if let Some(bpm) = tagbreathe::rate::estimate_rate_autocorr(&user.breath_signal, &cfg) {
                 ac_err.push((bpm - truth).abs());
             }
         }
@@ -194,7 +190,9 @@ pub fn ablate_primitive(setup: TrialSetup) -> Table {
             rssi_n += 1;
         }
         rssi.push(acc_of(r, truth));
-        let d = doppler_rates(&reports, &resolver, &cfg).remove(&1).flatten();
+        let d = doppler_rates(&reports, &resolver, &cfg)
+            .remove(&1)
+            .flatten();
         if d.is_some() {
             doppler_n += 1;
         }
@@ -226,7 +224,11 @@ pub fn ablate_tags(setup: TrialSetup) -> Table {
         for trial in 0..setup.trials {
             let truth = RATE_CYCLE_BPM[trial % RATE_CYCLE_BPM.len()];
             let scenario = single_user(5.0, 0.0, n, Posture::Sitting, truth);
-            let reports = capture(&scenario, (80_000 + n * 300 + trial) as u64, setup.duration_s);
+            let reports = capture(
+                &scenario,
+                (80_000 + n * 300 + trial) as u64,
+                setup.duration_s,
+            );
             accs.push(acc_of(analyze_rate(&monitor, &reports), truth));
         }
         t.row(&[n.to_string(), fmt(mean(&accs), 3), setup.trials.to_string()]);
@@ -244,7 +246,10 @@ pub fn ablate_preprocess(setup: TrialSetup) -> Table {
         &["strategy", "facing_2m_accuracy", "grazing_90deg_accuracy"],
     );
     for (label, kind) in [
-        ("increment binning (paper)", PreprocessKind::IncrementBinning),
+        (
+            "increment binning (paper)",
+            PreprocessKind::IncrementBinning,
+        ),
         ("channel-track merge", PreprocessKind::ChannelTrackMerge),
     ] {
         let mut cfg = PipelineConfig::paper_default();
@@ -344,7 +349,9 @@ pub fn ablate_power(setup: TrialSetup) -> Table {
         }
         t.row(&[fmt(power, 0), fmt(mean(&rates), 1), fmt(mean(&accs), 3)]);
     }
-    t.note("the forward link powers the tag: accuracy holds until reads collapse, then fails cleanly");
+    t.note(
+        "the forward link powers the tag: accuracy holds until reads collapse, then fails cleanly",
+    );
     t
 }
 
@@ -487,7 +494,10 @@ mod tests {
         let doppler: f64 = t.rows()[2][1].parse().unwrap();
         assert!(phase > 0.9, "phase accuracy {phase}");
         assert!(phase >= rssi - 0.02, "phase {phase} vs rssi {rssi}");
-        assert!(phase >= doppler - 0.02, "phase {phase} vs doppler {doppler}");
+        assert!(
+            phase >= doppler - 0.02,
+            "phase {phase} vs doppler {doppler}"
+        );
     }
 
     #[test]

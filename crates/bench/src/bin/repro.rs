@@ -26,13 +26,13 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    if ids.iter().any(|&id| id == "list") {
+    if ids.contains(&"list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
         }
         return;
     }
-    let run_ids: Vec<&str> = if ids.iter().any(|&id| id == "all") {
+    let run_ids: Vec<&str> = if ids.contains(&"all") {
         EXPERIMENT_IDS.to_vec()
     } else {
         ids
@@ -41,14 +41,21 @@ fn main() {
         usage();
         std::process::exit(2);
     }
-    let mode = if full { "full (100 trials × 120 s)" } else { "quick (10 trials × 60 s)" };
+    let mode = if full {
+        "full (100 trials × 120 s)"
+    } else {
+        "quick (10 trials × 60 s)"
+    };
     eprintln!("# TagBreathe reproduction — {mode}");
     for id in run_ids {
         let started = std::time::Instant::now();
         match run_experiment(id, setup, series) {
             Ok(table) => {
                 println!("{}", table.render());
-                eprintln!("# {id} finished in {:.1} s", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "# {id} finished in {:.1} s",
+                    started.elapsed().as_secs_f64()
+                );
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -81,7 +81,9 @@ pub fn fig2(seed: u64, series: bool) -> Table {
         "rssi_resolution_db".into(),
         "0.5 (reader quantisation)".into(),
     ]);
-    t.note("expect swing of a few dB, quantised to 0.5 dB steps, with breathing-periodic structure");
+    t.note(
+        "expect swing of a few dB, quantised to 0.5 dB steps, with breathing-periodic structure",
+    );
     if series {
         push_series(
             &mut t,
@@ -233,7 +235,10 @@ pub fn fig7(seed: u64, series: bool) -> Table {
     t.row(&["window_s".into(), fmt(disp.duration_s(), 1)]);
     t.row(&[
         "fft_resolution_bpm".into(),
-        fmt(dsp::spectrum::fft_resolution_hz(disp.duration_s()) * 60.0, 2),
+        fmt(
+            dsp::spectrum::fft_resolution_hz(disp.duration_s()) * 60.0,
+            2,
+        ),
     ]);
     match peak {
         Some(p) => {

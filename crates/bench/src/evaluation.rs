@@ -1,8 +1,6 @@
 //! Section VI evaluation figures: Figures 12–17 and Table I.
 
-use crate::harness::{
-    capture, mean, scenario_accuracies, single_user, TrialSetup, RATE_CYCLE_BPM,
-};
+use crate::harness::{capture, mean, scenario_accuracies, single_user, TrialSetup, RATE_CYCLE_BPM};
 use crate::table::{fmt, Table};
 use breathing::{Posture, Scenario};
 use epcgen2::report::TagReport;
@@ -130,9 +128,7 @@ pub fn fig15(setup: TrialSetup) -> Table {
             let reports = capture(&scenario, seed, setup.duration_s);
             rates.push(reports.len() as f64 / setup.duration_s);
             if !reports.is_empty() {
-                rssis.push(
-                    reports.iter().map(|r| r.rssi_dbm).sum::<f64>() / reports.len() as f64,
-                );
+                rssis.push(reports.iter().map(|r| r.rssi_dbm).sum::<f64>() / reports.len() as f64);
             }
         }
         t.row(&[

@@ -17,6 +17,7 @@ pub mod ablation;
 pub mod characterization;
 pub mod evaluation;
 pub mod harness;
+pub mod microbench;
 pub mod table;
 
 pub use harness::TrialSetup;

@@ -1,0 +1,98 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds without network access, so Criterion is not
+//! available. This module provides the small subset the bench targets
+//! need: warmed-up, repeated timing of a closure with median/min/mean
+//! reporting. It is intentionally simple — no statistical outlier
+//! rejection — but deterministic in structure and dependency-free.
+//!
+//! Bench binaries (`cargo bench -p tagbreathe-bench`) print one line per
+//! benchmark:
+//!
+//! ```text
+//! fft/fft_real/1024            median   12.3 µs   (min 11.9 µs, mean 12.8 µs, 200 iters)
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so bench targets write `microbench::black_box` without
+/// importing `std::hint` themselves.
+pub use std::hint::black_box as bb;
+
+/// Runs `f` repeatedly and reports timing under `name`.
+///
+/// Performs a short calibration pass to pick an iteration count that
+/// gives samples of at least ~1 ms, then takes `samples` timed samples
+/// and prints the median / min / mean.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: how many calls fit in ~1 ms?
+    let mut iters_per_sample: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+            break;
+        }
+        iters_per_sample = iters_per_sample.saturating_mul(2);
+    }
+
+    // Warm-up sample, then timed samples.
+    for _ in 0..iters_per_sample {
+        black_box(f());
+    }
+    let samples: usize = 20;
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / f64::from(iters_per_sample));
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns[0];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<44} median {:>10}   (min {}, mean {}, {} iters/sample)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        iters_per_sample,
+    );
+}
+
+/// Formats a nanosecond figure with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_does_not_panic() {
+        bench("selftest/noop", || 1 + 1);
+    }
+
+    #[test]
+    fn formats_adaptive_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

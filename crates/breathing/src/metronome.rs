@@ -1,8 +1,6 @@
 //! Ground-truth bookkeeping: the simulated counterpart of the metronome
 //! mobile application the paper uses to pace volunteers.
 
-use serde::{Deserialize, Serialize};
-
 /// A metronome schedule: the true breathing rate over time.
 ///
 /// Supports the paper's constant-rate trials and stepped schedules for
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(stepped.rate_at(30.0), 10.0);
 /// assert_eq!(stepped.rate_at(90.0), 20.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metronome {
     segments: Vec<(f64, f64)>, // (duration_s, rate_bpm)
 }

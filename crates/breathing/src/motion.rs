@@ -6,13 +6,11 @@
 //! simulator can inject them and the test suite verifies the pipeline
 //! degrades gracefully rather than silently reporting wrong rates.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use prng::Rng;
+use prng::Xoshiro256;
 
 /// A model of non-respiratory torso motion along the facing direction.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BodyMotion {
     /// No extraneous motion (the paper's seated, metronome-paced trials).
     #[default]
@@ -63,7 +61,10 @@ impl BodyMotion {
                 amplitude_m * (2.0 * std::f64::consts::PI * t / period_s).sin()
             }
             BodyMotion::Walk { speed_mps } => {
-                assert!(speed_mps != 0.0, "walking speed must be non-zero");
+                assert!(
+                    !dsp::stats::approx_zero(speed_mps),
+                    "walking speed must be non-zero"
+                );
                 speed_mps * t
             }
             BodyMotion::Fidget {
@@ -84,15 +85,16 @@ impl BodyMotion {
                     if s < 0 {
                         continue;
                     }
-                    let mut rng =
-                        ChaCha8Rng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    let mut rng = Xoshiro256::seed_from_u64(
+                        seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
                     // Not every slot fires (p = 0.7), keeping arrivals irregular.
-                    if rng.gen::<f64>() > 0.7 {
+                    if rng.gen_f64() > 0.7 {
                         continue;
                     }
-                    let centre = s as f64 * interval + rng.gen::<f64>() * interval;
-                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-                    let width = 0.8 + rng.gen::<f64>() * 0.7;
+                    let centre = s as f64 * interval + rng.gen_f64() * interval;
+                    let sign = if rng.gen_bool() { 1.0 } else { -1.0 };
+                    let width = 0.8 + rng.gen_f64() * 0.7;
                     let x = (t - centre) / width;
                     total += sign * amplitude_m * (-0.5 * x * x).exp();
                 }

@@ -9,10 +9,9 @@ use crate::motion::BodyMotion;
 use crate::subject::{Posture, Subject, TagSite};
 use crate::waveform::Waveform;
 use rfchannel::geometry::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A demographic profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Demographic {
     /// Newborn / infant: 30–60 bpm at rest, small chest excursion, lying.
     Infant,
@@ -110,7 +109,9 @@ mod tests {
 
     #[test]
     fn infants_breathe_faster_and_shallower_than_adults() {
-        assert!(Demographic::Infant.typical_rate_bpm() > 2.0 * Demographic::Adult.typical_rate_bpm());
+        assert!(
+            Demographic::Infant.typical_rate_bpm() > 2.0 * Demographic::Adult.typical_rate_bpm()
+        );
         assert!(Demographic::Infant.amplitude_m() < Demographic::Adult.amplitude_m());
         assert_eq!(Demographic::Infant.posture(), Posture::Lying);
     }

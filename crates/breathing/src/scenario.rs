@@ -4,11 +4,10 @@
 use crate::subject::{Posture, Subject, TagSite};
 use crate::waveform::Waveform;
 use rfchannel::geometry::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// An RFID-labelled inanimate item ("contending tag", Section VI-B.3):
 /// contends for MAC slots but does not breathe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ItemTag {
     /// Position in the room.
     pub position: Vec3,
@@ -29,7 +28,7 @@ pub struct ItemTag {
 ///     .build();
 /// assert_eq!(scenario.subjects().len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     subjects: Vec<Subject>,
     items: Vec<ItemTag>,
@@ -44,7 +43,9 @@ impl Scenario {
     /// The paper's default single-user scenario: one subject sitting 4 m
     /// away, facing the antenna, 3 tags, 10 bpm.
     pub fn paper_default() -> Self {
-        Scenario::builder().subject(Subject::paper_default(1, 4.0)).build()
+        Scenario::builder()
+            .subject(Subject::paper_default(1, 4.0))
+            .build()
     }
 
     /// Monitored subjects.
@@ -86,7 +87,12 @@ impl ScenarioBuilder {
     /// # Panics
     ///
     /// Panics if `n == 0` or `rates_bpm` is empty.
-    pub fn users_side_by_side(&mut self, n: usize, distance_m: f64, rates_bpm: &[f64]) -> &mut Self {
+    pub fn users_side_by_side(
+        &mut self,
+        n: usize,
+        distance_m: f64,
+        rates_bpm: &[f64],
+    ) -> &mut Self {
         assert!(n > 0, "need at least one user");
         assert!(!rates_bpm.is_empty(), "need at least one breathing rate");
         let spacing = 0.6;
@@ -160,7 +166,10 @@ mod tests {
             assert!((pair[1] - pair[0] - 0.6).abs() < 1e-9);
         }
         // All at the same range.
-        assert!(s.subjects().iter().all(|u| (u.torso().x - 4.0).abs() < 1e-9));
+        assert!(s
+            .subjects()
+            .iter()
+            .all(|u| (u.torso().x - 4.0).abs() < 1e-9));
     }
 
     #[test]

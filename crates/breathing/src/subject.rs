@@ -10,11 +10,10 @@
 use crate::motion::BodyMotion;
 use crate::waveform::Waveform;
 use rfchannel::geometry::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// Where on the torso a tag is attached (the paper places three tags per
 /// user: chest, in-between, lower abdomen).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TagSite {
     /// On the chest (sternum height).
     Chest,
@@ -40,7 +39,7 @@ impl TagSite {
 }
 
 /// How a subject is positioned (Table I: sitting, standing, lying).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Posture {
     /// Seated (the paper's default).
     #[default]
@@ -82,7 +81,7 @@ impl Posture {
 }
 
 /// A monitored user wearing one or more tags.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subject {
     user_id: u64,
     torso: Vec3,
@@ -235,8 +234,7 @@ impl Subject {
             "subject {} wears no tag at {site:?}",
             self.user_id
         );
-        let rest = self.torso + Vec3::new(0.0, 0.0, site.height_offset_m())
-            + self.facing * 0.10; // tags sit on the front of the torso
+        let rest = self.torso + Vec3::new(0.0, 0.0, site.height_offset_m()) + self.facing * 0.10; // tags sit on the front of the torso
         let amp = self.amplitude_m * self.posture.site_amplitude_factor(site);
         rest + self.facing * (amp * self.waveform.excursion(t) + self.motion.offset_m(t))
     }

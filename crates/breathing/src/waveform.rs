@@ -5,15 +5,13 @@
 //! `-1` full exhalation. Subjects scale it by a per-placement amplitude
 //! (millimetres) to obtain physical tag displacement.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use prng::Xoshiro256;
 use std::f64::consts::PI;
 
-use rand::Rng;
+use prng::Rng;
 
 /// A breathing excursion pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Waveform {
     /// A pure sinusoid at a fixed rate (breaths per minute).
     Sinusoid {
@@ -189,8 +187,8 @@ fn jittered_phase(t: f64, period: f64, jitter: f64, seed: u64) -> (f64, usize) {
 
 /// Deterministic per-cycle jitter in roughly [-1, 1].
 fn cycle_jitter(seed: u64, k: usize) -> f64 {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    rng.gen::<f64>() * 2.0 - 1.0
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    rng.gen_f64() * 2.0 - 1.0
 }
 
 /// The asymmetric single-cycle shape: inhale (0–0.4), exhale (0.4–0.85),

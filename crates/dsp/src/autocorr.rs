@@ -11,6 +11,7 @@
 ///
 /// Returns an empty vector for signals shorter than 2 samples or with zero
 /// variance.
+#[must_use]
 pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
     let n = signal.len();
     if n < 2 {
@@ -59,7 +60,7 @@ pub fn dominant_frequency_autocorr(
     f_min: f64,
     f_max: f64,
 ) -> Option<f64> {
-    if !(sample_rate > 0.0) || f_max <= f_min || f_min <= 0.0 {
+    if sample_rate.is_nan() || sample_rate <= 0.0 || f_max <= f_min || f_min <= 0.0 {
         return None;
     }
     let lag_min = (sample_rate / f_max).floor().max(1.0) as usize;
@@ -72,10 +73,11 @@ pub fn dominant_frequency_autocorr(
     // The highest local maximum in the admissible lag range.
     let mut best: Option<(usize, f64)> = None;
     for lag in lag_min.max(1)..=hi {
-        if r[lag] >= r[lag - 1] && r[lag] >= r[lag + 1] {
-            if best.map(|(_, v)| r[lag] > v).unwrap_or(true) {
-                best = Some((lag, r[lag]));
-            }
+        if r[lag] >= r[lag - 1]
+            && r[lag] >= r[lag + 1]
+            && best.map(|(_, v)| r[lag] > v).unwrap_or(true)
+        {
+            best = Some((lag, r[lag]));
         }
     }
     let (lag, value) = best?;
@@ -99,7 +101,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
+            .collect()
     }
 
     #[test]

@@ -89,18 +89,21 @@ impl Complex {
 
     /// Returns the magnitude `|z|`.
     #[inline]
+    #[must_use]
     pub fn abs(self) -> f64 {
         self.re.hypot(self.im)
     }
 
     /// Returns the squared magnitude `|z|²`, cheaper than [`Complex::abs`].
     #[inline]
+    #[must_use]
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
 
     /// Returns the argument (phase angle) in `(-π, π]`.
     #[inline]
+    #[must_use]
     pub fn arg(self) -> f64 {
         self.im.atan2(self.re)
     }

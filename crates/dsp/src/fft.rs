@@ -118,6 +118,7 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 /// # Panics
 ///
 /// Panics if `spectrum.len()` is not a power of two or `out_len` exceeds it.
+#[must_use]
 pub fn ifft_real(spectrum: &[Complex], out_len: usize) -> Vec<f64> {
     assert!(
         out_len <= spectrum.len(),
@@ -132,6 +133,7 @@ pub fn ifft_real(spectrum: &[Complex], out_len: usize) -> Vec<f64> {
 
 /// Power spectrum (squared magnitudes) of the non-negative-frequency half of
 /// a real signal's FFT, `n/2 + 1` bins.
+#[must_use]
 pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
     let spectrum = fft_real(signal);
     let half = spectrum.len() / 2;
@@ -147,6 +149,7 @@ pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
 /// use tagbreathe_dsp::fft::bin_frequency;
 /// assert_eq!(bin_frequency(8, 64.0, 1024), 0.5);
 /// ```
+#[must_use]
 pub fn bin_frequency(k: usize, sample_rate: f64, n: usize) -> f64 {
     k as f64 * sample_rate / n as f64
 }
@@ -234,8 +237,7 @@ mod tests {
         let signal: Vec<f64> = (0..64).map(|i| ((i * i) % 13) as f64 / 13.0).collect();
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
         let spec = fft_real(&signal);
-        let freq_energy: f64 =
-            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
         assert_close(time_energy, freq_energy, 1e-9);
     }
 

@@ -87,11 +87,13 @@ impl FftLowPass {
     }
 
     /// The configured cutoff frequency in hertz.
+    #[must_use]
     pub fn cutoff_hz(&self) -> f64 {
         self.cutoff_hz
     }
 
     /// The configured sample rate in hertz.
+    #[must_use]
     pub fn sample_rate(&self) -> f64 {
         self.sample_rate
     }
@@ -101,6 +103,7 @@ impl FftLowPass {
     /// The signal is zero-padded to a power of two internally; the mean is
     /// removed before filtering and *not* restored, so the output is a
     /// zero-centred band-limited signal suitable for zero-crossing analysis.
+    #[must_use]
     pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
         if signal.is_empty() {
             return Vec::new();
@@ -186,17 +189,20 @@ impl FftBandPass {
     }
 
     /// Lower band edge, Hz.
+    #[must_use]
     pub fn low_hz(&self) -> f64 {
         self.low_hz
     }
 
     /// Upper band edge, Hz.
+    #[must_use]
     pub fn high_hz(&self) -> f64 {
         self.high_hz
     }
 
     /// Filters a signal, returning a zero-mean band-limited copy of the
     /// same length.
+    #[must_use]
     pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
         if signal.is_empty() {
             return Vec::new();
@@ -227,6 +233,8 @@ mod tests {
     use super::*;
     use std::f64::consts::PI;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn tone(freq: f64, sample_rate: f64, n: usize) -> Vec<f64> {
         (0..n)
             .map(|i| (2.0 * PI * freq * i as f64 / sample_rate).sin())
@@ -234,9 +242,9 @@ mod tests {
     }
 
     #[test]
-    fn band_pass_rejects_both_edges() {
+    fn band_pass_rejects_both_edges() -> TestResult {
         let sr = 16.0;
-        let bp = FftBandPass::breathing_band(sr).unwrap();
+        let bp = FftBandPass::breathing_band(sr)?;
         let n = 2048;
         // In-band 0.25 Hz + sway at 0.03 Hz + noise at 3 Hz.
         let breath = tone(0.25, sr, n);
@@ -254,33 +262,37 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         assert!(err < 0.05, "residual {err}");
+        Ok(())
     }
 
     #[test]
-    fn band_pass_validation() {
+    fn band_pass_validation() -> TestResult {
         assert!(FftBandPass::new(-0.1, 0.5, 16.0).is_err());
         assert!(FftBandPass::new(0.5, 0.5, 16.0).is_err());
         assert!(FftBandPass::new(0.1, 9.0, 16.0).is_err());
         assert!(FftBandPass::new(0.1, 0.5, 0.0).is_err());
-        let bp = FftBandPass::breathing_band(16.0).unwrap();
+        let bp = FftBandPass::breathing_band(16.0)?;
         assert_eq!(bp.low_hz(), 0.05);
         assert_eq!(bp.high_hz(), 0.67);
+        Ok(())
     }
 
     #[test]
-    fn band_pass_empty_input() {
-        let bp = FftBandPass::breathing_band(16.0).unwrap();
+    fn band_pass_empty_input() -> TestResult {
+        let bp = FftBandPass::breathing_band(16.0)?;
         assert!(bp.filter(&[]).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn band_pass_output_is_zero_mean() {
+    fn band_pass_output_is_zero_mean() -> TestResult {
         let sr = 16.0;
-        let bp = FftBandPass::breathing_band(sr).unwrap();
+        let bp = FftBandPass::breathing_band(sr)?;
         let signal: Vec<f64> = tone(0.2, sr, 1024).iter().map(|x| x + 5.0).collect();
         let out = bp.filter(&signal);
         let mean = out.iter().sum::<f64>() / out.len() as f64;
         assert!(mean.abs() < 1e-6);
+        Ok(())
     }
 
     #[test]
@@ -300,9 +312,9 @@ mod tests {
     }
 
     #[test]
-    fn passes_in_band_tone() {
+    fn passes_in_band_tone() -> TestResult {
         let sr = 64.0;
-        let filter = FftLowPass::breathing_band(sr).unwrap();
+        let filter = FftLowPass::breathing_band(sr)?;
         let signal = tone(0.25, sr, 2048); // 15 bpm, in band
         let out = filter.filter(&signal);
         let in_energy: f64 = signal.iter().map(|x| x * x).sum();
@@ -311,22 +323,24 @@ mod tests {
             out_energy > 0.95 * in_energy,
             "in-band tone attenuated: {out_energy} vs {in_energy}"
         );
+        Ok(())
     }
 
     #[test]
-    fn rejects_out_of_band_tone() {
+    fn rejects_out_of_band_tone() -> TestResult {
         let sr = 64.0;
-        let filter = FftLowPass::breathing_band(sr).unwrap();
+        let filter = FftLowPass::breathing_band(sr)?;
         let signal = tone(5.0, sr, 2048);
         let out = filter.filter(&signal);
         let out_energy: f64 = out.iter().map(|x| x * x).sum();
         assert!(out_energy < 1e-9, "out-of-band energy leaked: {out_energy}");
+        Ok(())
     }
 
     #[test]
-    fn separates_mixture() {
+    fn separates_mixture() -> TestResult {
         let sr = 64.0;
-        let filter = FftLowPass::breathing_band(sr).unwrap();
+        let filter = FftLowPass::breathing_band(sr)?;
         let n = 2048;
         let breath = tone(0.25, sr, n);
         let noise = tone(7.3, sr, n);
@@ -340,36 +354,41 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         assert!(err < 0.01, "residual error {err}");
+        Ok(())
     }
 
     #[test]
-    fn removes_dc_offset() {
+    fn removes_dc_offset() -> TestResult {
         let sr = 64.0;
-        let filter = FftLowPass::breathing_band(sr).unwrap();
+        let filter = FftLowPass::breathing_band(sr)?;
         let signal: Vec<f64> = tone(0.2, sr, 1024).iter().map(|x| x + 10.0).collect();
         let out = filter.filter(&signal);
         let mean = out.iter().sum::<f64>() / out.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean} not removed");
+        Ok(())
     }
 
     #[test]
-    fn empty_input_gives_empty_output() {
-        let filter = FftLowPass::breathing_band(64.0).unwrap();
+    fn empty_input_gives_empty_output() -> TestResult {
+        let filter = FftLowPass::breathing_band(64.0)?;
         assert!(filter.filter(&[]).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn output_length_matches_input_length() {
-        let filter = FftLowPass::breathing_band(64.0).unwrap();
+    fn output_length_matches_input_length() -> TestResult {
+        let filter = FftLowPass::breathing_band(64.0)?;
         for len in [1, 7, 100, 1000, 1024] {
             assert_eq!(filter.filter(&vec![1.0; len]).len(), len);
         }
+        Ok(())
     }
 
     #[test]
-    fn accessors_round_trip() {
-        let f = FftLowPass::new(0.5, 32.0).unwrap();
+    fn accessors_round_trip() -> TestResult {
+        let f = FftLowPass::new(0.5, 32.0)?;
         assert_eq!(f.cutoff_hz(), 0.5);
         assert_eq!(f.sample_rate(), 32.0);
+        Ok(())
     }
 }

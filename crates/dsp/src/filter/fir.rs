@@ -100,7 +100,7 @@ impl FirFilter {
                 what: "filter must have at least one tap",
             });
         }
-        let n = if num_taps % 2 == 0 {
+        let n = if num_taps.is_multiple_of(2) {
             num_taps + 1
         } else {
             num_taps
@@ -147,12 +147,7 @@ impl FirFilter {
         }
         let hi = FirFilter::low_pass(high_hz, sample_rate, num_taps)?;
         let lo = FirFilter::low_pass(low_hz, sample_rate, num_taps)?;
-        let taps = hi
-            .taps
-            .iter()
-            .zip(&lo.taps)
-            .map(|(a, b)| a - b)
-            .collect();
+        let taps = hi.taps.iter().zip(&lo.taps).map(|(a, b)| a - b).collect();
         Ok(FirFilter { taps })
     }
 
@@ -168,6 +163,7 @@ impl FirFilter {
 
     /// Filters `signal`, compensating the group delay; output has the same
     /// length as the input. Edges are handled by reflecting the signal.
+    #[must_use]
     pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
         let n = signal.len();
         if n == 0 {
@@ -191,6 +187,7 @@ impl FirFilter {
     }
 
     /// Frequency response magnitude at `freq_hz` for a given sample rate.
+    #[must_use]
     pub fn magnitude_at(&self, freq_hz: f64, sample_rate: f64) -> f64 {
         let omega = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
         let (mut re, mut im) = (0.0, 0.0);
@@ -222,8 +219,12 @@ mod tests {
     use super::*;
     use std::f64::consts::PI;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
+            .collect()
     }
 
     #[test]
@@ -236,40 +237,44 @@ mod tests {
     }
 
     #[test]
-    fn even_tap_count_rounds_up_to_odd() {
-        let f = FirFilter::low_pass(0.67, 64.0, 64).unwrap();
+    fn even_tap_count_rounds_up_to_odd() -> TestResult {
+        let f = FirFilter::low_pass(0.67, 64.0, 64)?;
         assert_eq!(f.taps().len(), 65);
+        Ok(())
     }
 
     #[test]
-    fn unity_dc_gain() {
-        let f = FirFilter::low_pass(0.67, 64.0, 129).unwrap();
+    fn unity_dc_gain() -> TestResult {
+        let f = FirFilter::low_pass(0.67, 64.0, 129)?;
         let sum: f64 = f.taps().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
         assert!((f.magnitude_at(0.0, 64.0) - 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn taps_are_symmetric() {
-        let f = FirFilter::low_pass(0.5, 32.0, 33).unwrap();
+    fn taps_are_symmetric() -> TestResult {
+        let f = FirFilter::low_pass(0.5, 32.0, 33)?;
         let t = f.taps();
         for i in 0..t.len() {
             assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]
-    fn passes_low_frequency_rejects_high() {
-        let f = FirFilter::low_pass(0.67, 64.0, 257).unwrap();
+    fn passes_low_frequency_rejects_high() -> TestResult {
+        let f = FirFilter::low_pass(0.67, 64.0, 257)?;
         assert!(f.magnitude_at(0.2, 64.0) > 0.95);
         assert!(f.magnitude_at(5.0, 64.0) < 0.01);
+        Ok(())
     }
 
     #[test]
-    fn filters_mixture_close_to_clean_tone() {
+    fn filters_mixture_close_to_clean_tone() -> TestResult {
         let sr = 64.0;
         let n = 2048;
-        let f = FirFilter::low_pass(0.67, sr, 257).unwrap();
+        let f = FirFilter::low_pass(0.67, sr, 257)?;
         let breath = tone(0.25, sr, n);
         let mixed: Vec<f64> = breath
             .iter()
@@ -285,25 +290,28 @@ mod tests {
             .sum::<f64>()
             / (n - 600) as f64;
         assert!(err < 0.01, "residual {err}");
+        Ok(())
     }
 
     #[test]
-    fn group_delay_is_compensated() {
+    fn group_delay_is_compensated() -> TestResult {
         // A slow ramp should pass through essentially unchanged (no shift).
-        let f = FirFilter::low_pass(1.0, 64.0, 65).unwrap();
+        let f = FirFilter::low_pass(1.0, 64.0, 65)?;
         let ramp: Vec<f64> = (0..512).map(|i| i as f64 * 0.01).collect();
         let out = f.filter(&ramp);
         for i in 100..400 {
             assert!((out[i] - ramp[i]).abs() < 0.01, "shifted at {i}");
         }
+        Ok(())
     }
 
     #[test]
-    fn output_length_matches_input() {
-        let f = FirFilter::low_pass(0.67, 64.0, 65).unwrap();
+    fn output_length_matches_input() -> TestResult {
+        let f = FirFilter::low_pass(0.67, 64.0, 65)?;
         for len in [0usize, 1, 10, 100] {
             assert_eq!(f.filter(&vec![0.5; len]).len(), len);
         }
+        Ok(())
     }
 
     #[test]
@@ -316,19 +324,21 @@ mod tests {
     }
 
     #[test]
-    fn from_taps_identity_filter() {
-        let f = FirFilter::from_taps(vec![1.0]).unwrap();
+    fn from_taps_identity_filter() -> TestResult {
+        let f = FirFilter::from_taps(vec![1.0])?;
         let signal = vec![1.0, -2.0, 3.0];
         assert_eq!(f.filter(&signal), signal);
+        Ok(())
     }
 
     #[test]
-    fn band_pass_passes_band_and_rejects_edges() {
+    fn band_pass_passes_band_and_rejects_edges() -> TestResult {
         let sr = 16.0;
-        let bp = FirFilter::band_pass(0.05, 0.67, sr, 513).unwrap();
+        let bp = FirFilter::band_pass(0.05, 0.67, sr, 513)?;
         assert!(bp.magnitude_at(0.25, sr) > 0.9, "in-band");
         assert!(bp.magnitude_at(0.01, sr) < 0.2, "below band");
         assert!(bp.magnitude_at(3.0, sr) < 0.05, "above band");
+        Ok(())
     }
 
     #[test]
@@ -339,13 +349,12 @@ mod tests {
     }
 
     #[test]
-    fn window_choice_changes_stopband() {
+    fn window_choice_changes_stopband() -> TestResult {
         let sr = 64.0;
-        let rect =
-            FirFilter::low_pass_with_window(0.67, sr, 129, Window::Rectangular).unwrap();
-        let blackman =
-            FirFilter::low_pass_with_window(0.67, sr, 129, Window::Blackman).unwrap();
+        let rect = FirFilter::low_pass_with_window(0.67, sr, 129, Window::Rectangular)?;
+        let blackman = FirFilter::low_pass_with_window(0.67, sr, 129, Window::Blackman)?;
         // Blackman should have a deeper stopband than rectangular.
         assert!(blackman.magnitude_at(3.0, sr) < rect.magnitude_at(3.0, sr));
+        Ok(())
     }
 }

@@ -24,8 +24,12 @@
 /// assert_eq!(clean[3], 4.0);
 /// assert_eq!(clean[1], 1.0);
 /// ```
+#[must_use]
 pub fn median_filter(signal: &[f64], width: usize) -> Vec<f64> {
-    assert!(width % 2 == 1 && width > 0, "median width must be odd and positive");
+    assert!(
+        width % 2 == 1 && width > 0,
+        "median width must be odd and positive"
+    );
     if width == 1 || signal.len() < 3 {
         return signal.to_vec();
     }
@@ -102,6 +106,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "odd")]
     fn even_width_panics() {
-        median_filter(&[1.0, 2.0, 3.0], 4);
+        let _ = median_filter(&[1.0, 2.0, 3.0], 4);
     }
 }

@@ -13,4 +13,4 @@ mod moving;
 pub use fft_filter::{FftBandPass, FftLowPass};
 pub use fir::FirFilter;
 pub use median::median_filter;
-pub use moving::{detrend_mean, detrend_linear, MovingAverage};
+pub use moving::{detrend_linear, detrend_mean, MovingAverage};

@@ -43,6 +43,7 @@ impl MovingAverage {
     }
 
     /// Pushes a sample and returns the current mean of the window.
+    #[must_use]
     pub fn push(&mut self, x: f64) -> f64 {
         if self.window.len() == self.capacity {
             if let Some(old) = self.window.pop_front() {
@@ -80,6 +81,7 @@ impl MovingAverage {
     }
 
     /// Applies an equivalent centred smoothing pass over a whole slice.
+    #[must_use]
     pub fn smooth(width: usize, signal: &[f64]) -> Vec<f64> {
         if signal.is_empty() || width <= 1 {
             return signal.to_vec();
@@ -97,6 +99,7 @@ impl MovingAverage {
 }
 
 /// Subtracts the mean from a signal, returning a zero-mean copy.
+#[must_use]
 pub fn detrend_mean(signal: &[f64]) -> Vec<f64> {
     if signal.is_empty() {
         return Vec::new();
@@ -110,6 +113,7 @@ pub fn detrend_mean(signal: &[f64]) -> Vec<f64> {
 /// Useful when a user slowly drifts toward/away from the antenna during a
 /// measurement window: the drift appears as a ramp in integrated displacement
 /// and would otherwise bias zero-crossing detection.
+#[must_use]
 pub fn detrend_linear(signal: &[f64]) -> Vec<f64> {
     let n = signal.len();
     if n < 2 {
@@ -153,8 +157,8 @@ mod tests {
     #[test]
     fn full_window_evicts_oldest() {
         let mut ma = MovingAverage::new(2).unwrap();
-        ma.push(1.0);
-        ma.push(2.0);
+        let _ = ma.push(1.0);
+        let _ = ma.push(2.0);
         assert_eq!(ma.push(3.0), 2.5); // window [2, 3]
         assert_eq!(ma.len(), 2);
     }
@@ -169,7 +173,7 @@ mod tests {
     #[test]
     fn clear_resets_state() {
         let mut ma = MovingAverage::new(3).unwrap();
-        ma.push(5.0);
+        let _ = ma.push(5.0);
         ma.clear();
         assert!(ma.mean().is_none());
         assert_eq!(ma.push(1.0), 1.0);
@@ -183,7 +187,9 @@ mod tests {
 
     #[test]
     fn smooth_reduces_variance_of_noise() {
-        let s: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let smoothed = MovingAverage::smooth(10, &s);
         let var_in: f64 = s.iter().map(|x| x * x).sum();
         let var_out: f64 = smoothed.iter().map(|x| x * x).sum();

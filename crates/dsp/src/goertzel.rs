@@ -26,6 +26,7 @@
 /// let off_peak = goertzel_power(&signal, 1.5, sr);
 /// assert!(on_peak > 100.0 * off_peak);
 /// ```
+#[must_use]
 pub fn goertzel_power(signal: &[f64], freq_hz: f64, sample_rate: f64) -> f64 {
     assert!(sample_rate > 0.0, "sample rate must be positive");
     assert!(
@@ -77,7 +78,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
+            .collect()
     }
 
     #[test]
@@ -87,7 +90,10 @@ mod tests {
         let g = goertzel_power(&signal, 0.25, sr);
         let spec = crate::fft::fft_real(&signal);
         let fft_power = spec[16].norm_sqr();
-        assert!((g - fft_power).abs() / fft_power < 1e-9, "{g} vs {fft_power}");
+        assert!(
+            (g - fft_power).abs() / fft_power < 1e-9,
+            "{g} vs {fft_power}"
+        );
     }
 
     #[test]
@@ -122,7 +128,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "Nyquist")]
     fn above_nyquist_panics() {
-        goertzel_power(&[1.0, 2.0], 10.0, 16.0);
+        let _ = goertzel_power(&[1.0, 2.0], 10.0, 16.0);
     }
 
     #[test]

@@ -48,8 +48,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod complex;
 pub mod autocorr;
+mod complex;
 pub mod fft;
 pub mod filter;
 pub mod goertzel;

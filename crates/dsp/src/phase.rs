@@ -17,11 +17,15 @@ use std::f64::consts::PI;
 /// assert!((wrap_to_2pi(-PI / 2.0) - 1.5 * PI).abs() < 1e-12);
 /// assert!((wrap_to_2pi(5.0 * PI) - PI).abs() < 1e-12);
 /// ```
+#[must_use]
 pub fn wrap_to_2pi(theta: f64) -> f64 {
     let tau = 2.0 * PI;
     let r = theta % tau;
-    if r < 0.0 {
-        r + tau
+    let r = if r < 0.0 { r + tau } else { r };
+    // `r + tau` can round up to exactly tau for tiny negative inputs
+    // (|r| below half an ulp of tau); keep the result inside [0, 2π).
+    if r >= tau {
+        0.0
     } else {
         r
     }
@@ -39,6 +43,7 @@ pub fn wrap_to_2pi(theta: f64) -> f64 {
 /// use std::f64::consts::PI;
 /// assert!((wrap_to_pi(1.9 * PI) - (-0.1 * PI)).abs() < 1e-12);
 /// ```
+#[must_use]
 pub fn wrap_to_pi(delta: f64) -> f64 {
     let tau = 2.0 * PI;
     let mut d = delta % tau;
@@ -52,21 +57,36 @@ pub fn wrap_to_pi(delta: f64) -> f64 {
 
 /// Unwraps a sequence of wrapped phase samples into a continuous sequence.
 ///
-/// Consecutive jumps larger than π are interpreted as wraps.
+/// Consecutive jumps strictly larger than π are interpreted as wraps; a
+/// jump of exactly ±π is ambiguous and left as-is.
+///
+/// Non-finite samples (NaN/±∞ from a corrupted reading) are replaced by
+/// the last finite unwrapped value (0 if there is none yet) and excluded
+/// from the wrap tracking, so a single bad reading cannot poison the
+/// displacement integrated from this sequence (Eq. 4).
+#[must_use]
 pub fn unwrap(phases: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(phases.len());
     let mut offset = 0.0;
     let tau = 2.0 * PI;
-    for (i, &p) in phases.iter().enumerate() {
-        if i > 0 {
-            let delta = p - phases[i - 1];
+    let mut prev: Option<f64> = None; // last finite raw sample
+    let mut held = 0.0; // last emitted value
+    for &p in phases {
+        if !p.is_finite() {
+            out.push(held);
+            continue;
+        }
+        if let Some(q) = prev {
+            let delta = p - q;
             if delta > PI {
                 offset -= tau;
             } else if delta < -PI {
                 offset += tau;
             }
         }
-        out.push(p + offset);
+        held = p + offset;
+        out.push(held);
+        prev = Some(p);
     }
     out
 }
@@ -131,5 +151,73 @@ mod tests {
     fn unwrap_empty_and_single() {
         assert!(unwrap(&[]).is_empty());
         assert_eq!(unwrap(&[1.5]), vec![1.5]);
+    }
+
+    #[test]
+    fn wrap_boundaries_are_exact() {
+        // (-π, π]: +π maps to itself, -π maps to +π (the half-open edge).
+        assert_eq!(wrap_to_pi(PI), PI);
+        assert_eq!(wrap_to_pi(-PI), PI);
+        // [0, 2π): both edges of the reader's phase range.
+        assert_eq!(wrap_to_2pi(0.0), 0.0);
+        assert_eq!(wrap_to_2pi(2.0 * PI), 0.0);
+        assert!(wrap_to_2pi(-f64::EPSILON) < 2.0 * PI);
+    }
+
+    #[test]
+    fn unwrap_jump_of_exactly_pi_is_ambiguous_and_kept() {
+        // A +π step is not strictly greater than π, so it is not treated
+        // as a wrap — the minimal-rotation rule has no unique answer there.
+        assert_eq!(unwrap(&[0.0, PI]), vec![0.0, PI]);
+        assert_eq!(unwrap(&[PI, 0.0]), vec![PI, 0.0]);
+    }
+
+    #[test]
+    fn oscillation_straddling_the_wrap_boundary() {
+        // A tag breathing right at the 2π seam: readings alternate between
+        // just below 2π and just above 0. The unwrapped deltas must stay
+        // small (the ±0.04 rad breathing motion), never jump by ~2π.
+        let seam = 2.0 * PI - 0.02;
+        let wrapped: Vec<f64> = (0..40)
+            .map(|i| wrap_to_2pi(seam + 0.04 * ((i % 2) as f64)))
+            .collect();
+        let unwrapped = unwrap(&wrapped);
+        for pair in unwrapped.windows(2) {
+            assert!(
+                (pair[1] - pair[0]).abs() < 0.05,
+                "delta {} across the seam",
+                pair[1] - pair[0]
+            );
+        }
+        // Integrated displacement (sum of deltas) stays bounded by one step.
+        let net = unwrapped[unwrapped.len() - 1] - unwrapped[0];
+        assert!(net.abs() < 0.05, "net drift {net}");
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_poison_the_unwrapped_series() {
+        let mut wrapped: Vec<f64> = (0..100).map(|i| wrap_to_2pi(i as f64 * 0.2)).collect();
+        wrapped[30] = f64::NAN;
+        wrapped[31] = f64::INFINITY;
+        wrapped[60] = f64::NEG_INFINITY;
+        let unwrapped = unwrap(&wrapped);
+        assert_eq!(unwrapped.len(), wrapped.len());
+        // Every output is finite, so any cumulative sum over it is finite.
+        assert!(unwrapped.iter().all(|v| v.is_finite()));
+        // Bad samples hold the last good value.
+        assert_eq!(unwrapped[30], unwrapped[29]);
+        assert_eq!(unwrapped[31], unwrapped[29]);
+        // After the glitch the ramp is tracked again: deltas return to 0.2.
+        let d = unwrapped[80] - unwrapped[79];
+        assert!((d - 0.2).abs() < 1e-9, "post-glitch delta {d}");
+    }
+
+    #[test]
+    fn leading_non_finite_samples_yield_zeros() {
+        let unwrapped = unwrap(&[f64::NAN, f64::INFINITY, 1.0, 1.2]);
+        assert_eq!(unwrapped[0], 0.0);
+        assert_eq!(unwrapped[1], 0.0);
+        assert_eq!(unwrapped[2], 1.0);
+        assert!((unwrapped[3] - 1.2).abs() < 1e-12);
     }
 }

@@ -71,10 +71,7 @@ impl std::error::Error for ResampleError {}
 /// assert_eq!(values, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
 /// # Ok::<(), tagbreathe_dsp::resample::ResampleError>(())
 /// ```
-pub fn resample_linear(
-    series: &[Sample],
-    rate_hz: f64,
-) -> Result<(f64, Vec<f64>), ResampleError> {
+pub fn resample_linear(series: &[Sample], rate_hz: f64) -> Result<(f64, Vec<f64>), ResampleError> {
     if series.len() < 2 {
         return Err(ResampleError::TooFewSamples);
     }
@@ -253,9 +250,7 @@ mod tests {
 
     #[test]
     fn mean_rate_of_regular_series() {
-        let series: Vec<Sample> = (0..65)
-            .map(|i| Sample::new(i as f64 / 64.0, 0.0))
-            .collect();
+        let series: Vec<Sample> = (0..65).map(|i| Sample::new(i as f64 / 64.0, 0.0)).collect();
         let r = mean_rate(&series).unwrap();
         assert!((r - 64.0).abs() < 1e-9);
     }

@@ -44,7 +44,7 @@ pub fn dominant_frequency(
     f_min: f64,
     f_max: f64,
 ) -> Option<SpectralPeak> {
-    if signal.len() < 4 || !(sample_rate > 0.0) || f_max <= f_min {
+    if signal.len() < 4 || sample_rate.is_nan() || sample_rate <= 0.0 || f_max <= f_min {
         return None;
     }
     let mut windowed = signal.to_vec();
@@ -100,6 +100,7 @@ pub fn dominant_frequency(
 /// // The paper's 25 s window gives 0.04 Hz = 2.4 breaths/minute.
 /// assert!((fft_resolution_hz(25.0) - 0.04).abs() < 1e-12);
 /// ```
+#[must_use]
 pub fn fft_resolution_hz(seconds: f64) -> f64 {
     1.0 / seconds
 }
@@ -109,6 +110,8 @@ mod tests {
     use super::*;
     use std::f64::consts::PI;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn tone(freq: f64, sr: f64, secs: f64) -> Vec<f64> {
         (0..(sr * secs) as usize)
             .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
@@ -116,18 +119,19 @@ mod tests {
     }
 
     #[test]
-    fn finds_exact_bin_tone() {
+    fn finds_exact_bin_tone() -> TestResult {
         let sr = 64.0;
         let signal = tone(0.25, sr, 32.0); // 2048 samples, exact bin
-        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).ok_or("unexpected None")?;
         assert!((peak.frequency_hz - 0.25).abs() < 0.005);
+        Ok(())
     }
 
     #[test]
-    fn interpolation_beats_bin_resolution() {
+    fn interpolation_beats_bin_resolution() -> TestResult {
         let sr = 64.0;
         let signal = tone(0.21, sr, 25.0); // off-bin tone, 25 s window
-        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).ok_or("unexpected None")?;
         // Raw resolution is 1/25 = 0.04 Hz; interpolation should do better
         // than half a bin.
         assert!(
@@ -135,10 +139,11 @@ mod tests {
             "got {}",
             peak.frequency_hz
         );
+        Ok(())
     }
 
     #[test]
-    fn respects_search_range() {
+    fn respects_search_range() -> TestResult {
         let sr = 64.0;
         // Strong 5 Hz tone plus weak 0.3 Hz tone.
         let n = 2048;
@@ -148,16 +153,18 @@ mod tests {
                 3.0 * (2.0 * PI * 5.0 * t).sin() + 0.3 * (2.0 * PI * 0.3 * t).sin()
             })
             .collect();
-        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).ok_or("unexpected None")?;
         assert!((peak.frequency_hz - 0.3).abs() < 0.02);
+        Ok(())
     }
 
     #[test]
-    fn dc_is_excluded() {
+    fn dc_is_excluded() -> TestResult {
         let sr = 64.0;
         let signal: Vec<f64> = tone(0.2, sr, 20.0).iter().map(|x| x + 100.0).collect();
-        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).unwrap();
+        let peak = dominant_frequency(&signal, sr, 0.05, 1.0).ok_or("unexpected None")?;
         assert!((peak.frequency_hz - 0.2).abs() < 0.02);
+        Ok(())
     }
 
     #[test]
@@ -177,17 +184,18 @@ mod tests {
     }
 
     #[test]
-    fn breathing_rates_recoverable_across_band() {
+    fn breathing_rates_recoverable_across_band() -> TestResult {
         let sr = 64.0;
         for bpm in [6.0, 10.0, 15.0, 20.0, 30.0] {
             let f = bpm / 60.0;
             let signal = tone(f, sr, 60.0);
-            let peak = dominant_frequency(&signal, sr, 0.05, 0.7).unwrap();
+            let peak = dominant_frequency(&signal, sr, 0.05, 0.7).ok_or("unexpected None")?;
             assert!(
                 (peak.frequency_hz * 60.0 - bpm).abs() < 0.5,
                 "bpm {bpm}: got {}",
                 peak.frequency_hz * 60.0
             );
         }
+        Ok(())
     }
 }

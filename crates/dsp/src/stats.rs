@@ -1,5 +1,23 @@
 //! Small statistics helpers shared across the workspace.
 
+/// Default absolute tolerance for float comparisons across the
+/// workspace. Signals here are metre-scale displacements and
+/// radian-scale phases, so anything below this is numerical dust.
+pub const EPSILON: f64 = 1e-9;
+
+/// Absolute-tolerance equality: `|a - b| <= eps`. `NaN` never compares
+/// equal to anything (including itself), matching IEEE semantics.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Whether `x` lies within [`EPSILON`] of zero.
+#[must_use]
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= EPSILON
+}
+
 /// Arithmetic mean; `None` for an empty slice.
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
@@ -68,6 +86,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
 ///
 /// This mirrors the paper's "we normalize the displacement values"
 /// (Figure 6).
+#[must_use]
 pub fn normalize_peak(xs: &[f64]) -> Vec<f64> {
     let Some(m) = mean(xs) else { return Vec::new() };
     let centred: Vec<f64> = xs.iter().map(|x| x - m).collect();
@@ -81,6 +100,7 @@ pub fn normalize_peak(xs: &[f64]) -> Vec<f64> {
 
 /// Normalises a signal to zero mean and unit standard deviation (z-score).
 /// A constant signal normalises to all zeros.
+#[must_use]
 pub fn normalize_zscore(xs: &[f64]) -> Vec<f64> {
     let Some(m) = mean(xs) else { return Vec::new() };
     let sd = std_dev(xs).unwrap_or(0.0);
@@ -116,6 +136,19 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    #[test]
+    fn approx_helpers() {
+        assert!(approx_eq(0.1 + 0.2, 0.3, 1e-12));
+        assert!(!approx_eq(0.1, 0.2, 1e-3));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(-1e-12));
+        assert!(!approx_zero(1e-6));
+        assert!(!approx_zero(f64::NAN));
+    }
 
     #[test]
     fn mean_variance_std() {
@@ -177,20 +210,24 @@ mod tests {
     }
 
     #[test]
-    fn zscore_has_unit_std() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+    fn zscore_has_unit_std() -> TestResult {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+            .collect();
         let z = normalize_zscore(&xs);
-        assert!((std_dev(&z).unwrap() - 1.0).abs() < 1e-9);
-        assert!(mean(&z).unwrap().abs() < 1e-9);
+        assert!((std_dev(&z).ok_or("unexpected None")? - 1.0).abs() < 1e-9);
+        assert!(mean(&z).ok_or("unexpected None")?.abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn pearson_perfect_correlation() {
+    fn pearson_perfect_correlation() -> TestResult {
         let a = [1.0, 2.0, 3.0];
         let b = [2.0, 4.0, 6.0];
         let c = [-1.0, -2.0, -3.0];
-        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
-        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &b).ok_or("unexpected None")? - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c).ok_or("unexpected None")? + 1.0).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]

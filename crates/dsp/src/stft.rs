@@ -24,6 +24,7 @@ impl Spectrogram {
     }
 
     /// Frequency resolution per bin, Hz.
+    #[must_use]
     pub fn bin_width_hz(&self) -> f64 {
         self.bin_width_hz
     }
@@ -125,8 +126,10 @@ mod tests {
     use super::*;
     use std::f64::consts::PI;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn tracks_a_frequency_step() {
+    fn tracks_a_frequency_step() -> TestResult {
         // 0.15 Hz for 100 s then 0.35 Hz for 100 s at 16 Hz sampling.
         let sr = 16.0;
         let signal: Vec<f64> = (0..(200.0 * sr) as usize)
@@ -136,24 +139,26 @@ mod tests {
                 (2.0 * PI * f * t).sin()
             })
             .collect();
-        let sg = stft(&signal, sr, 0.0, 40.0, 10.0).unwrap();
+        let sg = stft(&signal, sr, 0.0, 40.0, 10.0).ok_or("unexpected None")?;
         let track = sg.peak_track(0.05, 0.67);
         assert!(sg.len() > 10);
         // Early frames near 0.15 Hz, late frames near 0.35 Hz.
-        let early = track[1].unwrap();
-        let late = track[track.len() - 2].unwrap();
+        let early = track[1].ok_or("unexpected None")?;
+        let late = track[track.len() - 2].ok_or("unexpected None")?;
         assert!((early - 0.15).abs() < 0.04, "early {early}");
         assert!((late - 0.35).abs() < 0.04, "late {late}");
+        Ok(())
     }
 
     #[test]
-    fn frame_times_advance_by_hop() {
+    fn frame_times_advance_by_hop() -> TestResult {
         let sr = 16.0;
         let signal = vec![0.0; (100.0 * sr) as usize];
-        let sg = stft(&signal, sr, 5.0, 20.0, 5.0).unwrap();
+        let sg = stft(&signal, sr, 5.0, 20.0, 5.0).ok_or("unexpected None")?;
         let times = sg.frame_times();
         assert!((times[1] - times[0] - 5.0).abs() < 0.1);
         assert!(times[0] >= 5.0);
+        Ok(())
     }
 
     #[test]
@@ -165,21 +170,23 @@ mod tests {
     }
 
     #[test]
-    fn silent_frames_have_no_peak() {
+    fn silent_frames_have_no_peak() -> TestResult {
         let sr = 16.0;
         let signal = vec![0.0; (60.0 * sr) as usize];
-        let sg = stft(&signal, sr, 0.0, 20.0, 10.0).unwrap();
+        let sg = stft(&signal, sr, 0.0, 20.0, 10.0).ok_or("unexpected None")?;
         assert!(sg.peak_track(0.05, 0.67).iter().all(Option::is_none));
         assert!(!sg.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn bin_width_matches_fft_length() {
+    fn bin_width_matches_fft_length() -> TestResult {
         let sr = 16.0;
         let signal = vec![0.0; 1000];
-        let sg = stft(&signal, sr, 0.0, 20.0, 10.0).unwrap();
+        let sg = stft(&signal, sr, 0.0, 20.0, 10.0).ok_or("unexpected None")?;
         // 320-sample window → 512-point FFT → 0.03125 Hz bins.
         assert!((sg.bin_width_hz() - sr / 512.0).abs() < 1e-12);
         assert_eq!(sg.frame(0).len(), 257);
+        Ok(())
     }
 }

@@ -24,6 +24,7 @@ impl Window {
     /// # Panics
     ///
     /// Panics if `i >= n`.
+    #[must_use]
     pub fn value(self, i: usize, n: usize) -> f64 {
         assert!(i < n, "window index {i} out of range for length {n}");
         if n == 1 {
@@ -35,9 +36,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
         }
     }
 
@@ -51,6 +50,7 @@ impl Window {
     /// assert!((w[2] - 1.0).abs() < 1e-12); // peak at the centre
     /// assert!(w[0].abs() < 1e-12);
     /// ```
+    #[must_use]
     pub fn coefficients(self, n: usize) -> Vec<f64> {
         (0..n).map(|i| self.value(i, n)).collect()
     }
@@ -136,6 +136,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_index_panics() {
-        Window::Hann.value(5, 5);
+        let _ = Window::Hann.value(5, 5);
     }
 }

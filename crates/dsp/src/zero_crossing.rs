@@ -74,7 +74,10 @@ pub fn find_zero_crossings(
                 // the previous polarity and here; interpolate linearly.
                 let (t, dir) =
                     interpolate_crossing(signal, last_idx_before_cross, i, start_time, dt, p);
-                out.push(ZeroCrossing { time: t, direction: dir });
+                out.push(ZeroCrossing {
+                    time: t,
+                    direction: dir,
+                });
                 polarity = Some(p);
             }
             _ => {}
@@ -95,8 +98,8 @@ fn interpolate_crossing(
     // Scan for the sample pair that actually straddles zero.
     let mut a = from;
     for i in from..to {
-        let crosses = (signal[i] <= 0.0 && signal[i + 1] > 0.0)
-            || (signal[i] >= 0.0 && signal[i + 1] < 0.0);
+        let crosses =
+            (signal[i] <= 0.0 && signal[i + 1] > 0.0) || (signal[i] >= 0.0 && signal[i + 1] < 0.0);
         if crosses {
             a = i;
             break;
@@ -143,7 +146,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn sine(freq: f64, sr: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / sr).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
+            .collect()
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! possible, [`MappingTable`](crate::mapping::MappingTable) provides the
 //! fallback the paper describes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -22,9 +21,7 @@ use std::str::FromStr;
 /// assert_eq!(epc.user_id(), 0xDEAD_BEEF);
 /// assert_eq!(epc.tag_id(), 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Epc96 {
     user: u64,
     tag: u32,

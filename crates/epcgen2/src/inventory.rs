@@ -9,8 +9,7 @@
 //! from the MAC instead of being assumed.
 
 use crate::q_algorithm::QState;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use prng::Rng;
 
 /// Airtime of each slot type, microseconds.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// reads per second (12 tags → ≈13 Hz each, 33 tags → ≈7 Hz each), which
 /// is what keeps the multi-user and contending-tag experiments
 /// (Figures 13–14) above the breathing Nyquist rate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlotTiming {
     /// Per-round overhead (Query, reporting, PLL settling), µs.
     pub round_overhead_us: u64,
@@ -131,7 +130,9 @@ pub fn run_round<R: Rng + ?Sized>(
     let mut events = Vec::new();
     let mut clock = timing.round_overhead_us;
     for s in 0..slots {
-        let here: Vec<usize> = (0..participants.len()).filter(|&i| slot_of[i] == s).collect();
+        let here: Vec<usize> = (0..participants.len())
+            .filter(|&i| slot_of[i] == s)
+            .collect();
         let (event, dur) = match here.len() {
             0 => {
                 q.on_empty();
@@ -140,7 +141,7 @@ pub fn run_round<R: Rng + ?Sized>(
             1 => {
                 q.on_single();
                 let p = &participants[here[0]];
-                if rng.gen::<f64>() < p.read_probability {
+                if rng.gen_f64() < p.read_probability {
                     (
                         SlotEvent::Read {
                             tag_index: p.tag_index,
@@ -173,8 +174,7 @@ pub fn run_round<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use prng::Xoshiro256;
 
     fn perfect(n: usize) -> Vec<Participant> {
         (0..n)
@@ -187,18 +187,21 @@ mod tests {
 
     #[test]
     fn single_tag_with_q0_reads_every_round() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let mut q = QState::new(0.0, 0.2);
         let timing = SlotTiming::paper_default();
         let out = run_round(&mut rng, &mut q, &perfect(1), &timing);
         assert_eq!(out.reads().count(), 1);
-        assert_eq!(out.duration_us, timing.round_overhead_us + timing.success_us);
+        assert_eq!(
+            out.duration_us,
+            timing.round_overhead_us + timing.success_us
+        );
     }
 
     #[test]
     fn single_tag_rate_is_near_64_hz() {
         // The paper's initial experiment observes ~64 reads/s for one tag.
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
         let mut q = QState::standard_default();
         let timing = SlotTiming::paper_default();
         let mut reads = 0u32;
@@ -219,7 +222,7 @@ mod tests {
     fn capacity_is_shared_among_tags() {
         let timing = SlotTiming::paper_default();
         let rate_for = |n: usize, seed: u64| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
             let mut q = QState::standard_default();
             let mut reads = vec![0u32; n];
             let mut elapsed_us = 0u64;
@@ -248,10 +251,10 @@ mod tests {
     #[test]
     fn thirty_three_tags_still_all_read() {
         // Figure 14's worst case: 3 monitor tags + 30 contending tags.
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256::seed_from_u64(4);
         let mut q = QState::standard_default();
         let timing = SlotTiming::paper_default();
-        let mut reads = vec![0u32; 33];
+        let mut reads = [0u32; 33];
         let mut elapsed_us = 0u64;
         while elapsed_us < 30_000_000 {
             let out = run_round(&mut rng, &mut q, &perfect(33), &timing);
@@ -269,20 +272,28 @@ mod tests {
 
     #[test]
     fn weak_link_yields_failed_slots_not_reads() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256::seed_from_u64(5);
         let mut q = QState::new(0.0, 0.2);
         let participants = [Participant {
             tag_index: 0,
             read_probability: 0.0,
         }];
-        let out = run_round(&mut rng, &mut q, &participants, &SlotTiming::paper_default());
+        let out = run_round(
+            &mut rng,
+            &mut q,
+            &participants,
+            &SlotTiming::paper_default(),
+        );
         assert_eq!(out.reads().count(), 0);
-        assert!(matches!(out.events[0].1, SlotEvent::Failed { tag_index: 0 }));
+        assert!(matches!(
+            out.events[0].1,
+            SlotEvent::Failed { tag_index: 0 }
+        ));
     }
 
     #[test]
     fn empty_round_runs_slots_of_empties() {
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Xoshiro256::seed_from_u64(6);
         let mut q = QState::new(2.0, 0.2);
         let out = run_round(&mut rng, &mut q, &[], &SlotTiming::paper_default());
         assert_eq!(out.events.len(), 4);
@@ -293,7 +304,7 @@ mod tests {
 
     #[test]
     fn event_offsets_are_monotonic_and_within_duration() {
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Xoshiro256::seed_from_u64(7);
         let mut q = QState::standard_default();
         let out = run_round(&mut rng, &mut q, &perfect(8), &SlotTiming::paper_default());
         let mut last = 0;
@@ -307,7 +318,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_probability_panics() {
-        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut rng = Xoshiro256::seed_from_u64(8);
         let mut q = QState::standard_default();
         run_round(
             &mut rng,

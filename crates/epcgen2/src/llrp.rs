@@ -177,12 +177,9 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<TagReport>, LlrpError> {
         }
         let ver_type = u16::from_be_bytes([bytes[at], bytes[at + 1]]);
         let msg_type = ver_type & 0x03FF;
-        let length = u32::from_be_bytes([
-            bytes[at + 2],
-            bytes[at + 3],
-            bytes[at + 4],
-            bytes[at + 5],
-        ]) as usize;
+        let length =
+            u32::from_be_bytes([bytes[at + 2], bytes[at + 3], bytes[at + 4], bytes[at + 5]])
+                as usize;
         if length < 10 || at + length > bytes.len() {
             return Err(LlrpError::BadLength);
         }
@@ -269,18 +266,10 @@ fn decode_tag_report_data(body: &[u8]) -> Result<TagReport, LlrpError> {
             // TLV parameter.
             let (t, l) = read_tlv_header(body, at)?;
             if t == PARAM_CUSTOM && l >= 4 + 10 {
-                let vendor = u32::from_be_bytes([
-                    body[at + 4],
-                    body[at + 5],
-                    body[at + 6],
-                    body[at + 7],
-                ]);
-                let subtype = u32::from_be_bytes([
-                    body[at + 8],
-                    body[at + 9],
-                    body[at + 10],
-                    body[at + 11],
-                ]);
+                let vendor =
+                    u32::from_be_bytes([body[at + 4], body[at + 5], body[at + 6], body[at + 7]]);
+                let subtype =
+                    u32::from_be_bytes([body[at + 8], body[at + 9], body[at + 10], body[at + 11]]);
                 let value = u16::from_be_bytes([body[at + 12], body[at + 13]]);
                 if vendor == IMPINJ_VENDOR_ID {
                     match subtype {
@@ -348,14 +337,23 @@ mod tests {
         let ver_type = u16::from_be_bytes([bytes[0], bytes[1]]);
         assert_eq!((ver_type >> 10) & 0x7, 1, "version");
         assert_eq!(ver_type & 0x3FF, 61, "RO_ACCESS_REPORT type");
-        assert_eq!(u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]), 10);
-        assert_eq!(u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]), 7);
+        assert_eq!(
+            u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]),
+            10
+        );
+        assert_eq!(
+            u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]),
+            7
+        );
     }
 
     #[test]
     fn truncated_and_corrupt_inputs_are_rejected() {
         let bytes = encode_ro_access_report(&[sample(1.0, 1, 0)], 1);
-        assert_eq!(decode_ro_access_report(&bytes[..5]), Err(LlrpError::Truncated));
+        assert_eq!(
+            decode_ro_access_report(&bytes[..5]),
+            Err(LlrpError::Truncated)
+        );
         let mut short = bytes.clone();
         short.truncate(bytes.len() - 3);
         assert!(decode_ro_access_report(&short).is_err());
@@ -461,6 +459,8 @@ mod tests {
     fn errors_display() {
         assert!(LlrpError::Truncated.to_string().contains("truncated"));
         assert!(LlrpError::BadLength.to_string().contains("length"));
-        assert!(LlrpError::Unsupported("x").to_string().contains("unsupported"));
+        assert!(LlrpError::Unsupported("x")
+            .to_string()
+            .contains("unsupported"));
     }
 }

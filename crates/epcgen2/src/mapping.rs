@@ -6,11 +6,10 @@
 //! provided behind one trait so the pipeline is agnostic.
 
 use crate::epc::Epc96;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A resolved tag identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TagIdentity {
     /// A breath-monitoring tag worn by a user.
     Monitor {
@@ -32,7 +31,7 @@ pub trait IdentityResolver {
 /// Resolver for overwritten EPCs: the identity is embedded in the EPC
 /// itself (Figure 9). A set of known user IDs distinguishes monitoring tags
 /// from unrelated tags that happen to be in range.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EmbeddedIdentity {
     known_users: Vec<u64>,
 }
@@ -60,7 +59,7 @@ impl IdentityResolver for EmbeddedIdentity {
 }
 
 /// Fallback resolver: an explicit factory-EPC → identity table.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappingTable {
     entries: HashMap<Epc96, (u64, u32)>,
 }

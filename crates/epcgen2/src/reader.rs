@@ -15,19 +15,17 @@ use crate::report::TagReport;
 use crate::select::SelectMask;
 use crate::session::{FlagTracker, Session};
 use crate::world::TagWorld;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use prng::Xoshiro256;
 use rfchannel::antenna::Antenna;
 use rfchannel::channel_plan::{ChannelPlan, HopSequence};
 use rfchannel::fading::FadingTable;
 use rfchannel::geometry::Vec3;
 use rfchannel::link::{LinkBudget, LinkConfig, Propagation};
-use rfchannel::tworay::two_ray_path_loss_db;
 use rfchannel::observation::{observe, reader_phase_offset, MeasurementNoise};
-use serde::{Deserialize, Serialize};
+use rfchannel::tworay::two_ray_path_loss_db;
 
 /// Reader configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReaderConfig {
     /// Radio link constants (transmit power etc.).
     pub link: LinkConfig,
@@ -133,7 +131,7 @@ impl Reader {
                 what: "the R420 supports at most 4 antenna ports",
             });
         }
-        if !(config.dwell_s > 0.0) {
+        if config.dwell_s.is_nan() || config.dwell_s <= 0.0 {
             return Err(ReaderSetupError {
                 what: "dwell time must be positive",
             });
@@ -181,7 +179,7 @@ impl Reader {
         let cfg = &self.config;
         let hop = HopSequence::new(&cfg.plan, cfg.dwell_s, cfg.seed);
         let mut fading = FadingTable::office(cfg.seed.wrapping_add(1));
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(2));
+        let mut rng = Xoshiro256::seed_from_u64(cfg.seed.wrapping_add(2));
         let mut q = QState::standard_default();
         let mut flags = FlagTracker::new();
         let mut reports = Vec::new();
@@ -208,7 +206,8 @@ impl Reader {
                     continue;
                 }
                 let pos = world.position(idx, t);
-                let budget = self.budget_for(world, idx, pos, antenna, channel, lambda, &mut fading, t);
+                let budget =
+                    self.budget_for(world, idx, pos, antenna, channel, lambda, &mut fading, t);
                 if budget.powered {
                     let p = budget.read_probability(&cfg.link);
                     participants.push(Participant {
@@ -234,7 +233,14 @@ impl Reader {
                 let lambda_e = cfg.plan.wavelength_m(channel_e);
                 let pos_e = world.position(tag_index, te);
                 let budget_e = self.budget_for(
-                    world, tag_index, pos_e, antenna, channel_e, lambda_e, &mut fading, te,
+                    world,
+                    tag_index,
+                    pos_e,
+                    antenna,
+                    channel_e,
+                    lambda_e,
+                    &mut fading,
+                    te,
                 );
                 let distance = antenna.distance_to(pos_e);
                 let radial = (pos_e - antenna.position()).normalized();
@@ -242,14 +248,7 @@ impl Reader {
                 let gain = fading.gain(channel_e, Self::fading_key(world.epc(tag_index)));
                 let offset_rad = reader_phase_offset(cfg.seed, channel_e);
                 let obs = observe(
-                    &mut rng,
-                    &cfg.noise,
-                    &cfg.link,
-                    &budget_e,
-                    distance,
-                    v_radial,
-                    lambda_e,
-                    gain,
+                    &mut rng, &cfg.noise, &cfg.link, &budget_e, distance, v_radial, lambda_e, gain,
                     offset_rad,
                 );
                 reports.push(TagReport {
@@ -290,9 +289,7 @@ impl Reader {
         // only, leaving the calibrated read probabilities intact.
         let ripple_db = fading.ripple(channel, key).gain_db(distance, lambda);
         let path_loss_db = match self.config.propagation {
-            Propagation::FreeSpace => {
-                rfchannel::link::free_space_path_loss_db(distance, lambda)
-            }
+            Propagation::FreeSpace => rfchannel::link::free_space_path_loss_db(distance, lambda),
             Propagation::TwoRay { reflection_coeff } => {
                 let a = antenna.position();
                 let ground = ((pos.x - a.x).powi(2) + (pos.y - a.y).powi(2))
@@ -453,9 +450,7 @@ mod tests {
         assert!(Reader::new(ReaderConfig::paper_default(), too_many).is_err());
         let mut bad_dwell = ReaderConfig::paper_default();
         bad_dwell.dwell_s = 0.0;
-        assert!(
-            Reader::new(bad_dwell, vec![Antenna::paper_default(Vec3::ZERO)]).is_err()
-        );
+        assert!(Reader::new(bad_dwell, vec![Antenna::paper_default(Vec3::ZERO)]).is_err());
     }
 
     #[test]
@@ -533,8 +528,9 @@ mod tests {
     #[test]
     fn invalid_s1_persistence_rejected() {
         use crate::session::Session;
-        let cfg = ReaderConfig::paper_default()
-            .with_session(Session::S1 { persistence_s: 99.0 });
+        let cfg = ReaderConfig::paper_default().with_session(Session::S1 {
+            persistence_s: 99.0,
+        });
         assert!(Reader::new(cfg, vec![Antenna::paper_default(Vec3::ZERO)]).is_err());
     }
 }

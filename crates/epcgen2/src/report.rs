@@ -9,11 +9,10 @@
 //! replayed.
 
 use crate::epc::Epc96;
-use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 /// One low-level read report.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TagReport {
     /// Timestamp of the read, seconds since the start of the trace.
     pub time_s: f64,
@@ -121,10 +120,9 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<TagReport>, TraceError> {
                 .trim()
                 .parse()
                 .map_err(|e| TraceError::Parse(lineno, format!("bad EPC: {e}")))?,
-            antenna_port: fields[2]
-                .trim()
-                .parse()
-                .map_err(|_| TraceError::Parse(lineno, format!("bad antenna port: {:?}", fields[2])))?,
+            antenna_port: fields[2].trim().parse().map_err(|_| {
+                TraceError::Parse(lineno, format!("bad antenna port: {:?}", fields[2]))
+            })?,
             channel_index: fields[3]
                 .trim()
                 .parse()
@@ -208,7 +206,10 @@ mod tests {
 
     #[test]
     fn read_skips_blank_lines() {
-        let data = format!("{CSV_HEADER}\n\n0.5,{},1,0,0.5,-40.0,0.0\n\n", Epc96::monitor(2, 1));
+        let data = format!(
+            "{CSV_HEADER}\n\n0.5,{},1,0,0.5,-40.0,0.0\n\n",
+            Epc96::monitor(2, 1)
+        );
         let parsed = read_csv(data.as_bytes()).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].epc.user_id(), 2);

@@ -9,12 +9,11 @@
 //! quantifies the gain).
 
 use crate::epc::Epc96;
-use serde::{Deserialize, Serialize};
 
 /// A Select mask over EPC memory: `mask` compared against the EPC starting
 /// at `bit_offset` (bit 0 = MSB of the 96-bit EPC, matching C1G2's
 /// MSB-first addressing of the EPC field).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectMask {
     bit_offset: u16,
     mask_bits: Vec<bool>,
@@ -53,7 +52,10 @@ impl SelectMask {
     ///
     /// Panics if `prefix_bits > 64`.
     pub fn for_user_prefix(prefix: u64, prefix_bits: u16) -> Self {
-        assert!(prefix_bits > 0 && prefix_bits <= 64, "prefix must be 1–64 bits");
+        assert!(
+            prefix_bits > 0 && prefix_bits <= 64,
+            "prefix must be 1–64 bits"
+        );
         let bits = (0..prefix_bits)
             .map(|i| (prefix >> (63 - i)) & 1 == 1)
             .collect();

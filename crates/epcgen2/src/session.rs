@@ -9,13 +9,13 @@
 //! conveyor-belt inventory, fatal for breath sampling (the
 //! `repro ablate-session` ablation shows the collapse).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An inventory session configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Session {
     /// Flag resets every round: tags participate continuously.
+    #[default]
     S0,
     /// Flag persists: a read tag is silent for `persistence_s` seconds.
     S1 {
@@ -50,12 +50,6 @@ impl Session {
     }
 }
 
-impl Default for Session {
-    fn default() -> Self {
-        Session::S0
-    }
-}
-
 /// Tracks per-tag inventoried flags over time.
 #[derive(Debug, Clone, Default)]
 pub struct FlagTracker {
@@ -71,7 +65,10 @@ impl FlagTracker {
 
     /// Whether `tag` may participate in a round starting at `t`.
     pub fn participates(&self, tag: usize, t: f64) -> bool {
-        self.silenced_until.get(&tag).map(|&u| t >= u).unwrap_or(true)
+        self.silenced_until
+            .get(&tag)
+            .map(|&u| t >= u)
+            .unwrap_or(true)
     }
 
     /// Records that `tag` was read at `t` under `session`.

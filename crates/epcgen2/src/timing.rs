@@ -11,10 +11,9 @@
 //! instead of hand-picked constants.
 
 use crate::inventory::SlotTiming;
-use serde::{Deserialize, Serialize};
 
 /// A Gen2 air-interface profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkProfile {
     /// Reader data-0 symbol length, µs (C1G2 allows 6.25–25).
     pub tari_us: f64,
@@ -144,9 +143,7 @@ mod tests {
         let derived = LinkProfile::dense_reader_m4().slot_timing();
         let calibrated = SlotTiming::paper_default();
         assert_eq!(derived.round_overhead_us, calibrated.round_overhead_us);
-        let close = |a: u64, b: u64, tol: f64| {
-            (a as f64 - b as f64).abs() / b as f64 <= tol
-        };
+        let close = |a: u64, b: u64, tol: f64| (a as f64 - b as f64).abs() / b as f64 <= tol;
         assert!(
             close(derived.success_us, calibrated.success_us, 0.5),
             "success {} vs {}",
@@ -173,7 +170,10 @@ mod tests {
 
     #[test]
     fn slot_ordering_invariants() {
-        for p in [LinkProfile::dense_reader_m4(), LinkProfile::max_throughput_fm0()] {
+        for p in [
+            LinkProfile::dense_reader_m4(),
+            LinkProfile::max_throughput_fm0(),
+        ] {
             let t = p.slot_timing();
             assert!(t.empty_us < t.collision_us);
             assert!(t.collision_us < t.success_us);
@@ -209,8 +209,8 @@ mod tests {
         // single-tag rate through the actual MAC.
         use crate::inventory::{run_round, Participant};
         use crate::q_algorithm::QState;
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        use prng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let mut q = QState::standard_default();
         let timing = LinkProfile::dense_reader_m4().slot_timing();
         let participants = [Participant {

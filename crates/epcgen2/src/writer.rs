@@ -11,13 +11,11 @@
 
 use crate::epc::Epc96;
 use crate::mapping::MappingTable;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use prng::Rng;
+use prng::Xoshiro256;
 
 /// Commissioning parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WriteConfig {
     /// Per-word write success probability (depends on range; near-field
     /// commissioning is ≈ 0.95+ per word).
@@ -55,7 +53,7 @@ impl Default for WriteConfig {
 }
 
 /// Outcome of commissioning one tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteOutcome {
     /// EPC written and verified by read-back.
     Written {
@@ -67,7 +65,7 @@ pub enum WriteOutcome {
 }
 
 /// A commissioning plan: factory EPC → desired monitor identity.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommissionPlan {
     entries: Vec<(Epc96, u64, u32)>,
 }
@@ -148,14 +146,14 @@ impl CommissionReport {
 /// Panics if `config` is invalid.
 pub fn commission(plan: &CommissionPlan, config: &WriteConfig, seed: u64) -> CommissionReport {
     config.validate().expect("valid write configuration");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut outcomes = Vec::with_capacity(plan.entries.len());
     let mut fallback = MappingTable::new();
     for &(factory, user_id, tag_id) in &plan.entries {
         let mut outcome = WriteOutcome::Failed;
         for attempt in 1..=config.max_retries.max(1) {
             // Six word writes must all succeed, then the read-back verify.
-            let ok = (0..6).all(|_| rng.gen::<f64>() < config.word_success_probability);
+            let ok = (0..6).all(|_| rng.gen_f64() < config.word_success_probability);
             if ok {
                 outcome = WriteOutcome::Written { attempts: attempt };
                 break;

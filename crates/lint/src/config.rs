@@ -1,0 +1,160 @@
+//! Hand-parsed configuration (`lint.toml` at the workspace root).
+//!
+//! The workspace is zero-external-dependency, so no TOML crate: this
+//! parses the small INI-style subset the lint engine needs — `[section]`
+//! headers and `key = "value"` pairs, `#` comments, blank lines. Unknown
+//! keys are rejected so typos fail loudly instead of silently disabling
+//! a rule.
+
+use crate::report::Severity;
+use std::collections::BTreeMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Per-rule severity overrides (rule id → severity).
+    pub severity: BTreeMap<String, Severity>,
+    /// Crates whose code is held to library standards (the `lib-panic`
+    /// rule applies only to these).
+    pub lib_crates: Vec<String>,
+    /// Directory names pruned from the workspace walk.
+    pub skip_dirs: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            severity: BTreeMap::new(),
+            lib_crates: ["dsp", "rfchannel", "breathing", "epcgen2", "tagbreathe"]
+                .map(String::from)
+                .to_vec(),
+            skip_dirs: ["target", ".git", "fixtures"].map(String::from).to_vec(),
+        }
+    }
+}
+
+/// A config-file problem, with the 1-indexed line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses configuration text. See the module docs for the grammar.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "severity" && section != "engine" {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown section [{section}]"),
+                    });
+                }
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: "expected `key = \"value\"`".to_string(),
+            })?;
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            match section.as_str() {
+                "severity" => {
+                    let sev = Severity::parse(value).ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "invalid severity {value:?} (expected error, warn or off)"
+                        ),
+                    })?;
+                    config.severity.insert(key.to_string(), sev);
+                }
+                "engine" => match key {
+                    "lib-crates" => config.lib_crates = split_list(value),
+                    "skip-dirs" => config.skip_dirs = split_list(value),
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown engine key {key:?}"),
+                        })
+                    }
+                },
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "key outside any [section]".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Severity for a rule, falling back to the rule's default.
+    pub fn severity_for(&self, rule: &str, default: Severity) -> Severity {
+        self.severity.get(rule).copied().unwrap_or(default)
+    }
+}
+
+fn split_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_overrides() {
+        let cfg = Config::parse(
+            "# comment\n\n[severity]\nfloat-eq = \"warn\"\n[engine]\nlib-crates = \"dsp, tagbreathe\"\n",
+        )
+        .expect("valid config");
+        assert_eq!(
+            cfg.severity_for("float-eq", Severity::Error),
+            Severity::Warn
+        );
+        assert_eq!(cfg.lib_crates, vec!["dsp", "tagbreathe"]);
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let err = Config::parse("[rulez]\n").expect_err("must fail");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn invalid_severity_rejected() {
+        assert!(Config::parse("[severity]\nfloat-eq = \"fatal\"\n").is_err());
+    }
+
+    #[test]
+    fn default_used_when_not_overridden() {
+        let cfg = Config::parse("").expect("empty config");
+        assert_eq!(
+            cfg.severity_for("float-eq", Severity::Error),
+            Severity::Error
+        );
+        assert!(cfg.lib_crates.contains(&"dsp".to_string()));
+    }
+}

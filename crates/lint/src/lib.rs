@@ -1,0 +1,30 @@
+//! `tagbreathe-lint` — zero-dependency static analysis for the
+//! TagBreathe workspace.
+//!
+//! The pipeline's maths (phase unwrapping Eq. 3, displacement
+//! integration Eq. 4, zero-crossing rates Eq. 5) silently corrupts on
+//! float-equality compares, truncating `as` casts and panicking call
+//! sites. This crate enforces those correctness conventions statically,
+//! with nothing but `std`:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (comments, raw strings, char
+//!   vs. lifetime disambiguation) producing a line-annotated token
+//!   stream;
+//! * [`rules`] — token-pattern rules with per-rule severity;
+//! * [`baseline`] — the ratchet: existing debt is frozen in
+//!   `lint-baseline.txt`, any *new* violation fails the build, and
+//!   burn-downs re-freeze at the lower count;
+//! * [`config`] — a hand-parsed `lint.toml` (severity overrides, library
+//!   crate list, walk exclusions);
+//! * [`engine`] — workspace walking and check orchestration.
+//!
+//! Run it as `cargo run -p tagbreathe-lint -- check` (see `ci.sh`).
+
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod walk;

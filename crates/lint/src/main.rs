@@ -1,0 +1,136 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! tagbreathe-lint check  [--root DIR] [--update-baseline]
+//! tagbreathe-lint report [--root DIR]
+//! tagbreathe-lint rules
+//! ```
+//!
+//! `check` exits non-zero iff an error-severity rule found more
+//! violations in some file than the ratchet baseline allows.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tagbreathe_lint::engine::{check, load_config, regressed_violations, scan, BASELINE_FILE};
+use tagbreathe_lint::{baseline, rules};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut update_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "report" | "rules" if command.is_none() => {
+                command = Some(args[i].clone());
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            "--update-baseline" => update_baseline = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(command) = command else {
+        return usage("missing command");
+    };
+
+    match command.as_str() {
+        "rules" => {
+            for rule in rules::all_rules() {
+                println!(
+                    "{:<18} {:<6} {}",
+                    rule.id(),
+                    rule.default_severity().to_string(),
+                    rule.description()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            let config = match load_config(&root) {
+                Ok(c) => c,
+                Err(e) => return fail(&e),
+            };
+            let outcome = match scan(&root, &config) {
+                Ok(o) => o,
+                Err(e) => return fail(&format!("scan failed: {e}")),
+            };
+            for v in &outcome.violations {
+                println!("{v}");
+            }
+            println!(
+                "{} violations in {} files scanned",
+                outcome.violations.len(),
+                outcome.files_scanned
+            );
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let result = match check(&root) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            if update_baseline {
+                let text = baseline::render(&result.outcome.enforced_counts);
+                if let Err(e) = std::fs::write(root.join(BASELINE_FILE), text) {
+                    return fail(&format!("writing {BASELINE_FILE}: {e}"));
+                }
+                println!(
+                    "lint: baseline refrozen at {} violations across {} (rule, file) pairs",
+                    result.outcome.enforced.len(),
+                    result.outcome.enforced_counts.len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            if !result.passed() {
+                eprintln!("lint: NEW violations beyond the ratchet baseline:\n");
+                for v in regressed_violations(&result.outcome, &result.regressions) {
+                    eprintln!("  {v}");
+                }
+                eprintln!();
+                for r in &result.regressions {
+                    eprintln!(
+                        "  {}: {} has {} (baseline allows {})",
+                        r.rule, r.path, r.actual, r.allowed
+                    );
+                }
+                eprintln!(
+                    "\nFix the new violations, or (after review) refreeze with:\n  cargo run -p tagbreathe-lint -- check --update-baseline"
+                );
+                return ExitCode::FAILURE;
+            }
+            if !result.slack.is_empty() {
+                println!(
+                    "lint: debt shrank in {} (rule, file) pairs — tighten the ratchet with --update-baseline",
+                    result.slack.len()
+                );
+            }
+            println!(
+                "lint: OK — {} tracked violations within baseline, {} files scanned",
+                result.outcome.enforced.len(),
+                result.outcome.files_scanned
+            );
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("command validated above"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "tagbreathe-lint: {problem}\n\nusage:\n  tagbreathe-lint check  [--root DIR] [--update-baseline]\n  tagbreathe-lint report [--root DIR]\n  tagbreathe-lint rules"
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("tagbreathe-lint: {message}");
+    ExitCode::FAILURE
+}

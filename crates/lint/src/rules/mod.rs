@@ -1,0 +1,85 @@
+//! The rule registry.
+//!
+//! Each rule is a token-stream pattern matcher over one [`SourceFile`].
+//! Rules are deliberately syntactic — no type inference — so every rule
+//! documents the heuristic it uses and relies on the ratchet baseline to
+//! absorb pre-existing (reviewed) findings.
+
+mod allow_audit;
+mod float_eq;
+mod lossy_cast;
+mod must_use;
+mod panics;
+mod todo_tracker;
+
+use crate::report::{Severity, Violation};
+use crate::source::SourceFile;
+
+pub use allow_audit::AllowAudit;
+pub use float_eq::FloatEq;
+pub use lossy_cast::LossyCast;
+pub use must_use::MissingMustUse;
+pub use panics::LibPanic;
+pub use todo_tracker::TodoTracker;
+
+/// Facts shared by all rules for a scan.
+#[derive(Debug, Clone)]
+pub struct RuleCtx {
+    /// Crates held to library standards (no panicking call sites).
+    pub lib_crates: Vec<String>,
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable identifier used in the baseline and config.
+    fn id(&self) -> &'static str;
+    /// One-line description for `tagbreathe-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Enforcement level when not overridden in `lint.toml`.
+    fn default_severity(&self) -> Severity;
+    /// Scans one file.
+    fn check(&self, file: &SourceFile, ctx: &RuleCtx) -> Vec<Violation>;
+}
+
+/// All shipped rules, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(FloatEq),
+        Box::new(LibPanic),
+        Box::new(LossyCast),
+        Box::new(AllowAudit),
+        Box::new(MissingMustUse),
+        Box::new(TodoTracker),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Runs one rule over inline source text at a given pseudo-path.
+    pub fn run(rule: &dyn Rule, rel_path: &str, source: &str) -> Vec<Violation> {
+        let file = SourceFile::parse(rel_path, source);
+        let ctx = RuleCtx {
+            lib_crates: ["dsp", "rfchannel", "breathing", "epcgen2", "tagbreathe"]
+                .map(String::from)
+                .to_vec(),
+        };
+        rule.check(&file, &ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let rules = all_rules();
+        let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate rule id");
+    }
+}

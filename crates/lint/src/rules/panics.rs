@@ -1,0 +1,107 @@
+//! `lib-panic` — panicking call sites in library crates.
+//!
+//! A production breathing monitor must degrade gracefully; `unwrap()` on
+//! a malformed report stream takes the whole pipeline down. This rule
+//! counts `.unwrap()`, `.expect(…)`, `panic!(…)` and `unreachable!(…)`
+//! in the configured library crates' `src/` trees — *including* their
+//! `#[cfg(test)]` modules, because test code that panics on `Err` hides
+//! the error context that a `Result`-returning test would print, and
+//! because keeping the count visible pressures the whole file toward
+//! fallible flows. The ratchet baseline absorbs the frozen debt.
+
+use super::{Rule, RuleCtx};
+use crate::report::{Severity, Violation};
+use crate::source::SourceFile;
+
+pub struct LibPanic;
+
+impl Rule for LibPanic {
+    fn id(&self) -> &'static str {
+        "lib-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap()/expect()/panic!/unreachable! in library crates"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &RuleCtx) -> Vec<Violation> {
+        if !ctx.lib_crates.contains(&file.crate_name) || file.test_only {
+            return Vec::new();
+        }
+        let code = file.code_tokens();
+        let mut out = Vec::new();
+        for i in 0..code.len() {
+            // `.unwrap(` / `.expect(`
+            if i + 2 < code.len() && code[i].kind.is_punct(".") {
+                if let Some(name) = code[i + 1].kind.ident() {
+                    if (name == "unwrap" || name == "expect") && code[i + 2].kind.is_punct("(") {
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel_path.clone(),
+                            line: code[i + 1].line,
+                            message: format!("call to .{name}() — prefer a Result/Option flow"),
+                        });
+                    }
+                }
+            }
+            // `panic!` / `unreachable!`
+            if i + 1 < code.len() && code[i + 1].kind.is_punct("!") {
+                if let Some(name) = code[i].kind.ident() {
+                    if name == "panic" || name == "unreachable" {
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: file.rel_path.clone(),
+                            line: code[i].line,
+                            message: format!("{name}! in library code"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run;
+    use super::*;
+
+    #[test]
+    fn flags_all_four_forms() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"b\");\n    if a == 0 { panic!(\"zero\") }\n    if b == 1 { unreachable!() }\n    a\n}\n";
+        let v = run(&LibPanic, "crates/dsp/src/x.rs", src);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn counts_test_modules_inside_lib_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { Some(1).unwrap(); }\n}\n";
+        assert_eq!(run(&LibPanic, "crates/dsp/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn ignores_non_library_crates_and_test_files() {
+        let src = "fn f() { Some(1).unwrap(); }";
+        assert!(run(&LibPanic, "crates/lint/src/x.rs", src).is_empty());
+        assert!(run(&LibPanic, "crates/dsp/tests/t.rs", src).is_empty());
+        assert!(run(&LibPanic, "src/bin/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ignores_identifiers_that_merely_contain_the_names() {
+        let src = "fn f(x: Result<u8, u8>) -> u8 { x.unwrap_or(3) }";
+        assert!(run(&LibPanic, "crates/dsp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ignores_mentions_in_strings_and_comments() {
+        let src = "// never unwrap() here\nfn f() -> &'static str { \"panic!\" }\n";
+        assert!(run(&LibPanic, "crates/dsp/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! `todo-comment` — TODO / FIXME tracker.
+//!
+//! Severity `warn` by default: the findings are inventory, not failures.
+//! The per-file counts still live in the baseline, so `report` output
+//! and the baseline diff show where deferred work accumulates.
+
+use super::{Rule, RuleCtx};
+use crate::lexer::TokenKind;
+use crate::report::{Severity, Violation};
+use crate::source::SourceFile;
+
+pub struct TodoTracker;
+
+impl Rule for TodoTracker {
+    fn id(&self) -> &'static str {
+        "todo-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "TODO / FIXME markers in comments"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &RuleCtx) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for t in &file.tokens {
+            let TokenKind::Comment(text) = &t.kind else {
+                continue;
+            };
+            for marker in ["TODO", "FIXME"] {
+                if let Some(pos) = text.find(marker) {
+                    let rest: String = text[pos..].chars().take(60).collect();
+                    out.push(Violation {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        message: rest.trim_end().to_string(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run;
+    use super::*;
+
+    #[test]
+    fn finds_todo_and_fixme_in_line_and_block_comments() {
+        let src = "// TODO: faster kernel\nfn f() {}\n/* FIXME handle NaN */\n";
+        let v = run(&TodoTracker, "crates/dsp/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.starts_with("TODO"));
+        assert!(v[1].message.starts_with("FIXME"));
+    }
+
+    #[test]
+    fn ignores_markers_in_code_and_strings() {
+        let src = "fn todo_list() -> &'static str { \"TODO\" }\n";
+        assert!(run(&TodoTracker, "crates/dsp/src/x.rs", src).is_empty());
+    }
+}

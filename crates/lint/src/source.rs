@@ -1,0 +1,216 @@
+//! A lexed source file plus the file-level facts rules need: which crate
+//! it belongs to, whether it is test-only code, and which line ranges sit
+//! inside `#[cfg(test)]` modules.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed workspace source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Workspace crate the file belongs to (directory under `crates/`),
+    /// or `"suite"` for the root package.
+    pub crate_name: String,
+    /// Whole file is test/bench/example code (under `tests/`, `benches/`
+    /// or `examples/`).
+    pub test_only: bool,
+    /// Token stream including comments.
+    pub tokens: Vec<Token>,
+    /// Inclusive line ranges covered by `#[cfg(test)] mod … { … }`.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `source` found at `rel_path` (workspace-relative).
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let rel_path = rel_path.replace('\\', "/");
+        let tokens = lex(source);
+        let test_ranges = find_test_ranges(&tokens);
+        let crate_name = classify_crate(&rel_path);
+        let test_only = is_test_only_path(&rel_path);
+        SourceFile {
+            rel_path,
+            crate_name,
+            test_only,
+            tokens,
+            test_ranges,
+        }
+    }
+
+    /// Whether the given 1-indexed line is test code: either the whole
+    /// file is test-only, or the line falls in a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_only
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Tokens with comments filtered out — most rules want code only.
+    pub fn code_tokens(&self) -> Vec<&Token> {
+        self.tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+            .collect()
+    }
+}
+
+/// Maps a workspace-relative path to its crate name.
+fn classify_crate(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        "suite".to_string()
+    }
+}
+
+/// Test-only file classes: integration tests, benches and examples — both
+/// at the workspace root and inside member crates.
+fn is_test_only_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// Finds `#[cfg(test)] mod name { … }` spans by token pattern + brace
+/// matching. Attributes between the cfg and the `mod` keyword (e.g.
+/// `#[allow(…)]`) are skipped.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if is_cfg_test_attr(&code, i) {
+            let start_line = code[i].line;
+            // Skip this attribute (7 tokens: # [ cfg ( test ) ]) and any
+            // further attributes, then expect `mod ident {`.
+            let mut j = i + 7;
+            while j < code.len() && code[j].kind.is_punct("#") {
+                j = skip_attribute(&code, j);
+            }
+            if j + 2 < code.len()
+                && code[j].kind.is_ident("mod")
+                && matches!(code[j + 1].kind, TokenKind::Ident(_))
+                && code[j + 2].kind.is_punct("{")
+            {
+                if let Some(end) = matching_brace(&code, j + 2) {
+                    ranges.push((start_line, code[end].line));
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Is `# [ cfg ( test ) ]` at `i`?
+fn is_cfg_test_attr(code: &[&Token], i: usize) -> bool {
+    i + 6 < code.len()
+        && code[i].kind.is_punct("#")
+        && code[i + 1].kind.is_punct("[")
+        && code[i + 2].kind.is_ident("cfg")
+        && code[i + 3].kind.is_punct("(")
+        && code[i + 4].kind.is_ident("test")
+        && code[i + 5].kind.is_punct(")")
+        && code[i + 6].kind.is_punct("]")
+}
+
+/// Given `#` at `i`, returns the index just past the attribute's `]`.
+pub fn skip_attribute(code: &[&Token], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    if j >= code.len() || !code[j].kind.is_punct("[") {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < code.len() {
+        if code[j].kind.is_punct("[") {
+            depth += 1;
+        } else if code[j].kind.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn matching_brace(code: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.kind.is_punct("{") {
+            depth += 1;
+        } else if t.kind.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(classify_crate("crates/dsp/src/phase.rs"), "dsp");
+        assert_eq!(classify_crate("src/lib.rs"), "suite");
+        assert_eq!(classify_crate("tests/cli.rs"), "suite");
+    }
+
+    #[test]
+    fn test_only_paths() {
+        assert!(is_test_only_path("tests/cli.rs"));
+        assert!(is_test_only_path("crates/bench/benches/dsp.rs"));
+        assert!(is_test_only_path("examples/quickstart.rs"));
+        assert!(!is_test_only_path("crates/dsp/src/phase.rs"));
+    }
+
+    #[test]
+    fn cfg_test_module_span_detected() {
+        let src = "\
+pub fn prod() -> f64 { 0.0 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t() {
+        assert!(prod() == 0.0);
+    }
+}
+";
+        let f = SourceFile::parse("crates/dsp/src/x.rs", src);
+        assert!(!f.is_test_line(1), "production line misclassified");
+        assert!(f.is_test_line(9), "test body not detected");
+    }
+
+    #[test]
+    fn attributes_between_cfg_and_mod_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(clippy::float_cmp)]\nmod tests { fn f() {} }\n";
+        let f = SourceFile::parse("crates/dsp/src/x.rs", src);
+        assert!(f.is_test_line(3));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_break_span_matching() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}}}{{{\";\n    fn f() {}\n}\npub fn after() {}\n";
+        let f = SourceFile::parse("crates/dsp/src/x.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+}

@@ -1,0 +1,57 @@
+//! Workspace discovery: every `.rs` file under the root, minus pruned
+//! directories (`target`, `.git`, test fixtures).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Recursively collects workspace-relative paths of `.rs` files under
+/// `root`, skipping directories whose *name* appears in `skip_dirs`.
+/// Results are sorted for deterministic scans.
+pub fn rust_files(root: &Path, skip_dirs: &[String]) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    visit(root, root, skip_dirs, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(root: &Path, dir: &Path, skip_dirs: &[String], out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if skip_dirs.iter().any(|s| s.as_str() == name) || name.starts_with('.') {
+                continue;
+            }
+            visit(root, &path, skip_dirs, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_target() {
+        // The lint crate's own directory is a convenient real tree.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root, &["target".to_string()]).expect("walk");
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(names.iter().any(|n| n == "src/walk.rs"), "{names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("target/")));
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "walk output must be sorted");
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration tests: the lint engine run over this very workspace.
+//!
+//! * the shipped tree must have no violations beyond the ratchet
+//!   baseline (this is what keeps `ci.sh` green);
+//! * a fixture with fresh violations must make `check` fail — proving
+//!   the ratchet actually bites;
+//! * the real `tagbreathe-lint` binary must exit 0 on the shipped tree
+//!   and non-zero on a tree with a new violation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tagbreathe_lint::engine;
+use tagbreathe_lint::report::Severity;
+use tagbreathe_lint::rules::{all_rules, RuleCtx};
+use tagbreathe_lint::source::SourceFile;
+
+/// The workspace root, two levels above this crate.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn shipped_tree_has_no_regressions_beyond_baseline() {
+    let result = engine::check(&workspace_root()).expect("check runs");
+    assert!(
+        result.passed(),
+        "new lint violations beyond lint-baseline.txt:\n{:#?}",
+        result.regressions
+    );
+}
+
+#[test]
+fn shipped_tree_scan_covers_the_whole_workspace() {
+    let config = engine::load_config(&workspace_root()).expect("config loads");
+    let outcome = engine::scan(&workspace_root(), &config).expect("scan runs");
+    // The workspace has ~100 source files; a broken walker returning a
+    // handful would make the ratchet trivially green.
+    assert!(
+        outcome.files_scanned > 80,
+        "only {} files scanned — walker broken?",
+        outcome.files_scanned
+    );
+}
+
+#[test]
+fn baseline_has_no_slack_left_uncommitted() {
+    // The checked-in baseline must stay tight: if a burn-down shrank the
+    // real counts, --update-baseline must be re-run before committing.
+    let result = engine::check(&workspace_root()).expect("check runs");
+    assert!(
+        result.slack.is_empty(),
+        "baseline is looser than reality — run `cargo run -p tagbreathe-lint -- check --update-baseline`:\n{:#?}",
+        result.slack
+    );
+}
+
+/// A fixture file exercising every error-severity rule at least once.
+const VIOLATING_FIXTURE: &str = r#"
+pub fn compare(x: f64) -> bool {
+    x == 0.3
+}
+
+pub fn take(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+#[allow(dead_code)]
+fn silenced() {}
+
+pub fn pure_energy(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+"#;
+
+#[test]
+fn fixture_triggers_every_error_rule() {
+    let file = SourceFile::parse("crates/dsp/src/fixture.rs", VIOLATING_FIXTURE);
+    let ctx = RuleCtx {
+        lib_crates: vec!["dsp".to_string()],
+    };
+    let fired: Vec<&str> = all_rules()
+        .iter()
+        .filter(|r| r.default_severity() == Severity::Error)
+        .filter(|r| !r.check(&file, &ctx).is_empty())
+        .map(|r| r.id())
+        .collect();
+    assert_eq!(
+        fired,
+        vec![
+            "float-eq",
+            "lib-panic",
+            "lossy-cast",
+            "allow-attr",
+            "missing-must-use"
+        ]
+    );
+}
+
+/// Builds a throwaway mini-workspace containing one freshly violating
+/// file and no baseline allowance for it.
+fn scratch_tree(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tagbreathe-lint-test-{}-{name}",
+        std::process::id()
+    ));
+    let src_dir = dir.join("crates/dsp/src");
+    fs::create_dir_all(&src_dir).expect("mkdir scratch tree");
+    fs::write(src_dir.join("bad.rs"), VIOLATING_FIXTURE).expect("write fixture");
+    fs::write(dir.join("lint-baseline.txt"), "").expect("write empty baseline");
+    dir
+}
+
+#[test]
+fn check_fails_on_new_violation_and_engine_agrees() {
+    let dir = scratch_tree("engine");
+    let result = engine::check(&dir).expect("check runs on scratch tree");
+    assert!(!result.passed(), "fresh violations must fail the ratchet");
+    assert!(
+        result.regressions.iter().any(|r| r.rule == "lib-panic"),
+        "{:#?}",
+        result.regressions
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_exits_nonzero_on_new_violation_and_zero_on_shipped_tree() {
+    let binary = env!("CARGO_BIN_EXE_tagbreathe-lint");
+
+    let dir = scratch_tree("binary");
+    let bad = Command::new(binary)
+        .args(["check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run lint binary on scratch tree");
+    assert!(
+        !bad.status.success(),
+        "binary must exit non-zero on a new violation; stdout: {}",
+        String::from_utf8_lossy(&bad.stdout)
+    );
+    fs::remove_dir_all(&dir).ok();
+
+    let good = Command::new(binary)
+        .args(["check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run lint binary on workspace");
+    assert!(
+        good.status.success(),
+        "binary must exit zero on the shipped tree; stderr: {}",
+        String::from_utf8_lossy(&good.stderr)
+    );
+}
+
+#[test]
+fn update_baseline_refreezes_scratch_tree() {
+    let binary = env!("CARGO_BIN_EXE_tagbreathe-lint");
+    let dir = scratch_tree("refreeze");
+    let update = Command::new(binary)
+        .args(["check", "--update-baseline", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run --update-baseline");
+    assert!(update.status.success());
+    // After refreezing, the same tree passes.
+    let again = Command::new(binary)
+        .args(["check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run check after refreeze");
+    assert!(
+        again.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&again.stderr)
+    );
+    let text = fs::read_to_string(dir.join("lint-baseline.txt")).expect("baseline written");
+    assert!(text.contains("lib-panic"), "{text}");
+    fs::remove_dir_all(&dir).ok();
+}

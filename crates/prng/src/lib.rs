@@ -1,0 +1,211 @@
+//! Vendored deterministic pseudo-random number generation.
+//!
+//! The workspace builds in environments with no network access, so it
+//! cannot depend on the `rand` ecosystem. This crate provides the small
+//! slice of functionality the simulator actually needs: a fast,
+//! high-quality, seedable generator ([`Xoshiro256`], the xoshiro256++
+//! algorithm of Blackman & Vigna) behind a minimal [`Rng`] trait with
+//! uniform floats, bools, integer ranges and Fisher–Yates shuffling.
+//!
+//! Determinism is a feature, not an accident: every simulation,
+//! experiment table and test in this repository threads an explicit
+//! `u64` seed through [`Xoshiro256::seed_from_u64`], so runs are exactly
+//! reproducible across machines and releases.
+
+use std::ops::Range;
+
+/// SplitMix64 step — used to expand a 64-bit seed into generator state.
+///
+/// This is the standard seeding recipe recommended by the xoshiro
+/// authors: it guarantees the expanded state is never all-zero and
+/// decorrelates nearby seeds.
+#[must_use]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Minimal random-number-generator interface.
+///
+/// Only `next_u64` is required; everything else is derived. Generic
+/// consumers should accept `R: Rng + ?Sized` so both concrete
+/// generators and trait objects work.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits — the mantissa width of an f64.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `bool`.
+    fn gen_bool(&mut self) -> bool {
+        // The top bit is the best-mixed bit of xoshiro256++ output.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = (range.end - range.start) as u64;
+        // Rejection zone below 2^64 mod span keeps the draw unbiased.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            if (m as u64) >= zone {
+                return range.start + (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// xoshiro256++ — 256 bits of state, period 2^256 − 1, passes BigCrush.
+///
+/// Drop-in replacement for the `rand_chacha::ChaCha8Rng` the seed code
+/// used: statistically strong, deterministic, and an order of magnitude
+/// faster, at the cost of not being cryptographically secure (which
+/// nothing in this workspace requires).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool()).count();
+        assert!((4500..5500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn range_covers_all_values_without_bias() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[rng.gen_range(0..7)] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!((9000..11000).contains(&c), "value {v} drawn {c} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        rng.gen_range(3..3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn rng_trait_works_through_mutable_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_f64()
+        }
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let x = draw(&mut rng);
+        let y = draw(&mut &mut rng);
+        assert_ne!(x, y);
+    }
+}

@@ -6,7 +6,6 @@
 
 use crate::geometry::Vec3;
 use crate::units::Db;
-use serde::{Deserialize, Serialize};
 
 /// A directional reader antenna.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let off_axis = ant.gain_toward(Vec3::new(0.5, 4.0, 1.0));
 /// assert!(on_axis > off_axis);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Antenna {
     position: Vec3,
     boresight: Vec3,
@@ -53,7 +52,10 @@ impl Antenna {
             beamwidth_deg > 0.0 && beamwidth_deg <= 360.0,
             "beamwidth must be in (0, 360] degrees"
         );
-        assert!(front_to_back_db >= 0.0, "front-to-back ratio must be non-negative");
+        assert!(
+            front_to_back_db >= 0.0,
+            "front-to-back ratio must be non-negative"
+        );
         Antenna {
             position,
             boresight: boresight.normalized(),
@@ -139,8 +141,8 @@ mod tests {
     fn gain_decreases_monotonically_off_axis() {
         let a = ant();
         let mut last = f64::MAX;
-        for deg in [0.0, 10.0, 20.0, 40.0, 60.0, 90.0] {
-            let theta = (deg as f64).to_radians();
+        for deg in [0.0f64, 10.0, 20.0, 40.0, 60.0, 90.0] {
+            let theta = deg.to_radians();
             let p = Vec3::new(5.0 * theta.cos(), 5.0 * theta.sin(), 1.0);
             let g = a.gain_toward(p).0;
             assert!(g <= last + 1e-9, "gain increased at {deg}°");

@@ -8,14 +8,12 @@
 //! orientation-dependent attenuation that is mild in the front half-plane
 //! and severe once the tag moves behind the body.
 
-use serde::{Deserialize, Serialize};
-
 /// Orientation-dependent body attenuation model.
 ///
 /// `orientation_deg` is the angle between the user's facing direction and
 /// the direction from the user toward the antenna: 0° = facing the antenna
 /// (tags have a clear line of sight), 180° = back turned.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BodyBlockage {
     /// Orientation below which the body adds no attenuation (degrees).
     clear_until_deg: f64,

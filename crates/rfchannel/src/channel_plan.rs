@@ -7,10 +7,9 @@
 //! has 50 channels at 500 kHz spacing in 902–928 MHz.
 
 use crate::units::Hertz;
-use serde::{Deserialize, Serialize};
 
 /// A set of equally spaced carrier channels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelPlan {
     first_channel: Hertz,
     spacing: Hertz,
@@ -96,7 +95,7 @@ impl ChannelPlan {
 /// FCC rules require a pseudo-random sequence visiting every channel before
 /// repeating; we use a fixed permutation generated from a seed via a simple
 /// multiplicative scheme so the sequence is reproducible.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HopSequence {
     order: Vec<usize>,
     dwell_s: f64,

@@ -8,8 +8,7 @@
 //! per simulation from a Rician distribution and cache it.
 
 use crate::noise::{gaussian, rician_amplitude};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use prng::Xoshiro256;
 use std::collections::HashMap;
 
 /// A static complex channel gain: amplitude (linear) and phase (radians).
@@ -76,7 +75,7 @@ impl FadingTable {
             let mix = seed
                 ^ (channel as u64).wrapping_mul(0x9E3779B97F4A7C15)
                 ^ tag_key.wrapping_mul(0xC2B2AE3D27D4EB4F);
-            let mut rng = ChaCha8Rng::seed_from_u64(mix);
+            let mut rng = Xoshiro256::seed_from_u64(mix);
             ChannelGain {
                 amplitude: rician_amplitude(&mut rng, k),
                 // Multipath excess phase is uniform; model it as wrapped
@@ -98,17 +97,15 @@ impl FadingTable {
 
     /// Distance-sensitive ripple parameters for `(channel, tag_key)`.
     pub fn ripple(&self, channel: usize, tag_key: u64) -> Ripple {
-        let mix = self
-            .seed
-            .wrapping_mul(0x2545F4914F6CDD1D)
+        let mix = self.seed.wrapping_mul(0x2545F4914F6CDD1D)
             ^ (channel as u64).wrapping_mul(0x9E3779B97F4A7C15)
             ^ tag_key.wrapping_mul(0xFF51AFD7ED558CCD);
-        let mut rng = ChaCha8Rng::seed_from_u64(mix);
-        use rand::Rng;
+        let mut rng = Xoshiro256::seed_from_u64(mix);
+        use prng::Rng;
         Ripple {
-            depth_db: 1.5 + 2.0 * rng.gen::<f64>(),
-            spatial_factor: 1.5 + 1.0 * rng.gen::<f64>(),
-            phase: rng.gen::<f64>() * 2.0 * std::f64::consts::PI,
+            depth_db: 1.5 + 2.0 * rng.gen_f64(),
+            spatial_factor: 1.5 + 1.0 * rng.gen_f64(),
+            phase: rng.gen_f64() * 2.0 * std::f64::consts::PI,
         }
     }
 }
@@ -213,7 +210,12 @@ mod tests {
         // Over a 5 mm excursion the gain must move by a visible fraction
         // of a dB somewhere in the breathing cycle.
         let g: Vec<f64> = (0..100)
-            .map(|i| r.gain_db(4.0 + 0.005 * (i as f64 / 100.0 * 6.28).sin(), lambda))
+            .map(|i| {
+                r.gain_db(
+                    4.0 + 0.005 * (i as f64 / 100.0 * std::f64::consts::TAU).sin(),
+                    lambda,
+                )
+            })
             .collect();
         let max = g.iter().cloned().fold(f64::MIN, f64::max);
         let min = g.iter().cloned().fold(f64::MAX, f64::min);

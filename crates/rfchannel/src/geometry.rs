@@ -1,6 +1,5 @@
 //! 3-D geometry primitives for antenna/tag placement.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Mul, Neg, Sub};
 
 /// A point or vector in 3-D space, in metres.
@@ -18,7 +17,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// let tag = Vec3::new(4.0, 0.0, 1.2);
 /// assert!((antenna.distance_to(tag) - 4.005).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// Range axis (metres).
     pub x: f64,

@@ -8,11 +8,10 @@
 //! per-channel fading.
 
 use crate::units::{Db, Dbm};
-use serde::{Deserialize, Serialize};
 
 /// Constants of the radio link, calibrated to the paper's hardware
 /// (Impinj R420 at 30 dBm, 8.5 dBic panel antenna, Alien 9640 tags).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Reader transmit power (paper default 30 dBm; Table I range 15–30).
     pub tx_power: Dbm,
@@ -85,7 +84,7 @@ pub fn free_space_path_loss_db(d: f64, lambda: f64) -> f64 {
 }
 
 /// Which propagation model supplies the one-way path loss.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Propagation {
     /// Free-space path loss (the default; stochastic fading covers
     /// multipath).
@@ -181,16 +180,16 @@ impl LinkBudget {
         fading_db: f64,
         reverse_ripple_db: f64,
     ) -> LinkBudget {
-        let one_way = reader_gain_dbi + config.tag_gain_dbi - path_loss_db - blockage_db
+        let one_way = reader_gain_dbi + config.tag_gain_dbi
+            - path_loss_db
+            - blockage_db
             - config.polarization_loss_db
             + fading_db;
         let tag_power = config.tx_power + Db(one_way);
         let forward_margin = tag_power - config.tag_sensitivity;
-        let rx_power =
-            tag_power + Db(one_way - config.backscatter_loss_db + reverse_ripple_db);
+        let rx_power = tag_power + Db(one_way - config.backscatter_loss_db + reverse_ripple_db);
         let snr = rx_power - config.noise_floor;
-        let powered =
-            tag_power >= config.tag_sensitivity && rx_power >= config.reader_sensitivity;
+        let powered = tag_power >= config.tag_sensitivity && rx_power >= config.reader_sensitivity;
         LinkBudget {
             tag_power,
             forward_margin,
@@ -208,8 +207,7 @@ impl LinkBudget {
         if !self.powered {
             return 0.0;
         }
-        let x = (self.forward_margin.0 - config.detection_midpoint_db)
-            / config.detection_scale_db;
+        let x = (self.forward_margin.0 - config.detection_midpoint_db) / config.detection_scale_db;
         1.0 / (1.0 + (-x).exp())
     }
 }
@@ -241,7 +239,11 @@ mod tests {
     fn four_metre_facing_link_matches_calibration() {
         let b = budget(4.0, 0.0);
         // Tag power ≈ -6.2 dBm, margin ≈ 7.8 dB, p ≈ 0.78.
-        assert!((b.tag_power.0 + 6.2).abs() < 0.2, "tag power {}", b.tag_power);
+        assert!(
+            (b.tag_power.0 + 6.2).abs() < 0.2,
+            "tag power {}",
+            b.tag_power
+        );
         assert!((b.forward_margin.0 - 7.8).abs() < 0.2);
         let p = b.read_probability(&LinkConfig::paper_default());
         assert!((p - 0.78).abs() < 0.03, "p = {p}");
@@ -329,14 +331,7 @@ mod tests {
 
     #[test]
     fn fading_shifts_margin() {
-        let faded = LinkBudget::evaluate(
-            &LinkConfig::paper_default(),
-            4.0,
-            LAMBDA,
-            8.5,
-            0.0,
-            -3.0,
-        );
+        let faded = LinkBudget::evaluate(&LinkConfig::paper_default(), 4.0, LAMBDA, 8.5, 0.0, -3.0);
         let clear = budget(4.0, 0.0);
         assert!((clear.forward_margin.0 - faded.forward_margin.0 - 3.0).abs() < 1e-9);
         // Fading applies twice in the reverse direction.

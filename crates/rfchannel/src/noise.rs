@@ -1,7 +1,8 @@
 //! Noise sampling helpers (Gaussian via Box–Muller, seeded and
 //! reproducible).
 
-use rand::Rng;
+use dsp::stats::approx_zero;
+use prng::Rng;
 
 /// Draws one sample from a zero-mean Gaussian with standard deviation
 /// `sigma` using the Box–Muller transform.
@@ -11,12 +12,12 @@ use rand::Rng;
 /// Panics if `sigma` is negative.
 pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
     assert!(sigma >= 0.0, "standard deviation must be non-negative");
-    if sigma == 0.0 {
+    if approx_zero(sigma) {
         return 0.0;
     }
     // Box–Muller: u1 in (0, 1] to avoid ln(0).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2 = rng.gen_f64();
     let mag = (-2.0 * u1.ln()).sqrt();
     sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
 }
@@ -42,12 +43,11 @@ pub fn rician_amplitude<R: Rng + ?Sized>(rng: &mut R, k_linear: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use prng::Xoshiro256;
 
     #[test]
     fn gaussian_moments() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         let n = 100_000;
         let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -58,7 +58,7 @@ mod tests {
 
     #[test]
     fn zero_sigma_is_exactly_zero() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
         for _ in 0..10 {
             assert_eq!(gaussian(&mut rng, 0.0), 0.0);
         }
@@ -67,13 +67,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_sigma_panics() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
         gaussian(&mut rng, -1.0);
     }
 
     #[test]
     fn rician_mean_power_is_unity() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256::seed_from_u64(4);
         for k in [0.0, 1.0, 10.0, 100.0] {
             let n = 50_000;
             let p: f64 = (0..n)
@@ -89,8 +89,10 @@ mod tests {
 
     #[test]
     fn high_k_concentrates_near_one() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let samples: Vec<f64> = (0..1000).map(|_| rician_amplitude(&mut rng, 1000.0)).collect();
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let samples: Vec<f64> = (0..1000)
+            .map(|_| rician_amplitude(&mut rng, 1000.0))
+            .collect();
         for a in samples {
             assert!((a - 1.0).abs() < 0.2, "amplitude {a} too spread for K=1000");
         }
@@ -98,8 +100,8 @@ mod tests {
 
     #[test]
     fn reproducible_with_same_seed() {
-        let mut a = ChaCha8Rng::seed_from_u64(9);
-        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut a = Xoshiro256::seed_from_u64(9);
+        let mut b = Xoshiro256::seed_from_u64(9);
         for _ in 0..100 {
             assert_eq!(gaussian(&mut a, 1.0), gaussian(&mut b, 1.0));
         }

@@ -5,11 +5,10 @@ use crate::fading::ChannelGain;
 use crate::link::{LinkBudget, LinkConfig};
 use crate::noise::gaussian;
 use crate::units::Dbm;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use prng::Rng;
 
 /// Measurement non-idealities of the reader's low-level reports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasurementNoise {
     /// Phase measurement noise, radians (std of Gaussian).
     pub phase_noise_rad: f64,
@@ -54,7 +53,7 @@ impl Default for MeasurementNoise {
 }
 
 /// One physical-layer observation of a tag, as reported by the reader.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhyObservation {
     /// Reported phase in `[0, 2π)` (Eq. 1, noisy and quantised).
     pub phase_rad: f64,
@@ -136,8 +135,8 @@ pub fn observe<R: Rng + ?Sized>(
     // noisy, with noise growing as SNR drops — this is exactly why the
     // paper finds Doppler "not reliable in practice" (Section IV-A).
     let true_doppler = -2.0 * radial_velocity_mps / lambda_m;
-    let sigma = noise.doppler_noise_hz
-        * 10f64.powf((noise.doppler_ref_snr_db - budget.snr.0) / 20.0);
+    let sigma =
+        noise.doppler_noise_hz * 10f64.powf((noise.doppler_ref_snr_db - budget.snr.0) / 20.0);
     let doppler_hz = true_doppler + gaussian(rng, sigma);
 
     PhyObservation {
@@ -151,8 +150,7 @@ pub fn observe<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::link::LinkConfig;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use prng::Xoshiro256;
 
     const LAMBDA: f64 = 0.3276;
 
@@ -201,7 +199,7 @@ mod tests {
     #[test]
     fn noiseless_observation_is_exact() {
         let (cfg, budget) = setup();
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = Xoshiro256::seed_from_u64(0);
         let obs = observe(
             &mut rng,
             &MeasurementNoise::noiseless(),
@@ -222,10 +220,18 @@ mod tests {
     fn phase_is_quantised_to_reader_step() {
         let (cfg, budget) = setup();
         let noise = MeasurementNoise::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256::seed_from_u64(1);
         for _ in 0..50 {
             let obs = observe(
-                &mut rng, &noise, &cfg, &budget, 2.0, 0.0, LAMBDA, unity_gain(), 0.0,
+                &mut rng,
+                &noise,
+                &cfg,
+                &budget,
+                2.0,
+                0.0,
+                LAMBDA,
+                unity_gain(),
+                0.0,
             );
             let steps = obs.phase_rad / noise.phase_step_rad;
             assert!((steps - steps.round()).abs() < 1e-6, "unquantised phase");
@@ -235,7 +241,7 @@ mod tests {
     #[test]
     fn rssi_is_quantised_to_half_db() {
         let (cfg, budget) = setup();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256::seed_from_u64(2);
         let obs = observe(
             &mut rng,
             &MeasurementNoise::paper_default(),
@@ -255,13 +261,23 @@ mod tests {
     fn doppler_tracks_radial_velocity_on_average() {
         let (cfg, budget) = setup();
         let noise = MeasurementNoise::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
         let v = -0.01; // 1 cm/s toward the antenna
         let n = 20_000;
         let mean: f64 = (0..n)
             .map(|_| {
-                observe(&mut rng, &noise, &cfg, &budget, 2.0, v, LAMBDA, unity_gain(), 0.0)
-                    .doppler_hz
+                observe(
+                    &mut rng,
+                    &noise,
+                    &cfg,
+                    &budget,
+                    2.0,
+                    v,
+                    LAMBDA,
+                    unity_gain(),
+                    0.0,
+                )
+                .doppler_hz
             })
             .sum::<f64>()
             / n as f64;
@@ -276,11 +292,21 @@ mod tests {
         let far = LinkBudget::evaluate(&cfg, 6.0, LAMBDA, 8.5, 0.0, 0.0);
         let noise = MeasurementNoise::paper_default();
         let spread = |budget: &LinkBudget, seed| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut rng = Xoshiro256::seed_from_u64(seed);
             let xs: Vec<f64> = (0..2000)
                 .map(|_| {
-                    observe(&mut rng, &noise, &cfg, budget, 2.0, 0.0, LAMBDA, unity_gain(), 0.0)
-                        .doppler_hz
+                    observe(
+                        &mut rng,
+                        &noise,
+                        &cfg,
+                        budget,
+                        2.0,
+                        0.0,
+                        LAMBDA,
+                        unity_gain(),
+                        0.0,
+                    )
+                    .doppler_hz
                 })
                 .collect();
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -293,11 +319,19 @@ mod tests {
     fn phase_stays_in_principal_range() {
         let (cfg, budget) = setup();
         let noise = MeasurementNoise::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Xoshiro256::seed_from_u64(6);
         for i in 0..200 {
             let d = 1.0 + i as f64 * 0.05;
             let obs = observe(
-                &mut rng, &noise, &cfg, &budget, d, 0.0, LAMBDA, unity_gain(), 1.0,
+                &mut rng,
+                &noise,
+                &cfg,
+                &budget,
+                d,
+                0.0,
+                LAMBDA,
+                unity_gain(),
+                1.0,
             );
             assert!(
                 (0.0..2.0 * std::f64::consts::PI).contains(&obs.phase_rad),

@@ -55,7 +55,10 @@ pub fn two_ray_path_loss_db(
     let k = 2.0 * std::f64::consts::PI / lambda_m;
     // Complex sum of the two rays, amplitudes ∝ 1/d, reflected ray negated
     // (π phase shift at grazing reflection).
-    let (re_d, im_d) = ((k * d_direct).cos() / d_direct, -(k * d_direct).sin() / d_direct);
+    let (re_d, im_d) = (
+        (k * d_direct).cos() / d_direct,
+        -(k * d_direct).sin() / d_direct,
+    );
     let (re_r, im_r) = (
         -reflection_coeff * (k * d_reflect).cos() / d_reflect,
         reflection_coeff * (k * d_reflect).sin() / d_reflect,

@@ -1,6 +1,5 @@
 //! Physical-unit newtypes (C-NEWTYPE): frequencies and power levels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -17,7 +16,7 @@ pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
 /// let f = Hertz::from_mhz(915.0);
 /// assert!((f.wavelength_m() - 0.3276).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Hertz(pub f64);
 
 impl Hertz {
@@ -49,7 +48,7 @@ impl fmt::Display for Hertz {
 }
 
 /// A power level in dBm (decibels relative to 1 mW).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dbm(pub f64);
 
 impl Dbm {
@@ -104,7 +103,7 @@ impl fmt::Display for Dbm {
 }
 
 /// A relative gain or loss in decibels.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Db(pub f64);
 
 impl Add for Db {

@@ -7,10 +7,9 @@
 //! whole-capture effort.
 
 use crate::series::TimeSeries;
-use serde::{Deserialize, Serialize};
 
 /// A detected apnea episode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApneaEpisode {
     /// Episode start, seconds.
     pub start_s: f64,
@@ -26,7 +25,7 @@ impl ApneaEpisode {
 }
 
 /// Apnea detector configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApneaConfig {
     /// RMS window, seconds.
     pub window_s: f64,
@@ -54,13 +53,13 @@ impl ApneaConfig {
     /// Returns a message for non-positive windows/durations or a threshold
     /// outside `(0, 1)`.
     pub fn validate(&self) -> Result<(), &'static str> {
-        if !(self.window_s > 0.0) {
+        if self.window_s.is_nan() || self.window_s <= 0.0 {
             return Err("apnea RMS window must be positive");
         }
         if !(self.threshold_fraction > 0.0 && self.threshold_fraction < 1.0) {
             return Err("apnea threshold must be in (0, 1)");
         }
-        if !(self.min_duration_s >= 0.0) {
+        if self.min_duration_s.is_nan() || self.min_duration_s < 0.0 {
             return Err("minimum episode duration must be non-negative");
         }
         Ok(())
@@ -222,7 +221,11 @@ mod tests {
                 let apnea = (20.0..30.0).contains(&t)
                     || (50.0..60.0).contains(&t)
                     || (80.0..90.0).contains(&t);
-                if apnea { 0.0 } else { (2.0 * PI * 0.3 * t).sin() }
+                if apnea {
+                    0.0
+                } else {
+                    (2.0 * PI * 0.3 * t).sin()
+                }
             })
             .collect();
         let s = TimeSeries::new(0.0, dt, values).unwrap();

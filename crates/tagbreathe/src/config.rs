@@ -1,11 +1,10 @@
 //! Pipeline configuration.
 
 use rfchannel::channel_plan::ChannelPlan;
-use serde::{Deserialize, Serialize};
 
 /// Which low-pass filter extracts the breathing band (Section IV-B: the
 /// FFT filter is primary; an FIR filter "can also be adopted").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FilterKind {
     /// FFT → zero high bins → IFFT (the paper's method).
     #[default]
@@ -18,7 +17,7 @@ pub enum FilterKind {
 }
 
 /// How phase readings become a displacement trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PreprocessKind {
     /// The paper's method (Eqs. 3–4 + 6–7): per-channel consecutive-pair
     /// increments, binned and integrated.
@@ -32,7 +31,7 @@ pub enum PreprocessKind {
 }
 
 /// How multiple antenna ports' data is used per user (Section IV-D.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AntennaStrategy {
     /// The paper's rule: score ports by read rate and RSSI, extract from
     /// the optimal port only.
@@ -49,7 +48,7 @@ pub enum AntennaStrategy {
 ///
 /// Defaults follow the paper: 0.67 Hz cutoff (40 bpm), M = 7 buffered zero
 /// crossings (3 breaths), the 10-channel hop plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Channel plan in use (for per-channel wavelengths in Eq. 3).
     pub plan: ChannelPlan,
@@ -168,7 +167,7 @@ impl PipelineConfig {
                 });
             }
         }
-        if !(self.gross_motion_limit_m > 0.0) {
+        if self.gross_motion_limit_m.is_nan() || self.gross_motion_limit_m <= 0.0 {
             return Err(InvalidConfigError {
                 what: "gross-motion limit must be positive",
             });

@@ -100,13 +100,11 @@ impl UserStreams {
 
     /// The optimal antenna for this user per the paper's quality rule.
     pub fn best_antenna(&self) -> Option<u8> {
-        self.antenna_ports()
-            .into_iter()
-            .max_by(|&a, &b| {
-                let qa = self.antenna_quality(a);
-                let qb = self.antenna_quality(b);
-                qa.partial_cmp(&qb).unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.antenna_ports().into_iter().max_by(|&a, &b| {
+            let qa = self.antenna_quality(a);
+            let qb = self.antenna_quality(b);
+            qa.partial_cmp(&qb).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Total reports across all streams.
@@ -143,8 +141,11 @@ pub fn demux<R: IdentityResolver>(
     }
     for streams in users.values_mut() {
         for s in streams.streams.values_mut() {
-            s.reports
-                .sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap_or(std::cmp::Ordering::Equal));
+            s.reports.sort_by(|a, b| {
+                a.time_s
+                    .partial_cmp(&b.time_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
         }
     }
     (users, unknown)

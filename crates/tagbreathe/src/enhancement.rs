@@ -15,11 +15,10 @@ use crate::config::PipelineConfig;
 use crate::monitor::BreathMonitor;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How strongly the secondary observables support the phase estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Agreement {
     /// No secondary estimate was available to compare.
     Unverified,
@@ -31,7 +30,7 @@ pub enum Agreement {
 }
 
 /// A phase estimate with its multi-modal verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnhancedEstimate {
     /// The primary (phase-pipeline) rate, bpm.
     pub phase_bpm: f64,
@@ -138,7 +137,9 @@ mod tests {
 
     #[test]
     fn strong_scenario_is_corroborated_or_unverified() {
-        let scenario = Scenario::builder().subject(Subject::paper_default(1, 1.5)).build();
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 1.5))
+            .build();
         let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 90.0);
         let cfg = PipelineConfig::paper_default();
         let out = enhanced_estimates(&reports, &EmbeddedIdentity::new([1]), &cfg);

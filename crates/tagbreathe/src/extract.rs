@@ -121,8 +121,11 @@ mod tests {
         assert!(mean.abs() < 1e-4, "mean {mean}");
         // Ends should not ramp away (drift removed).
         let head: f64 = breath.values()[..32].iter().map(|x| x.abs()).sum::<f64>() / 32.0;
-        let tail: f64 =
-            breath.values()[breath.len() - 32..].iter().map(|x| x.abs()).sum::<f64>() / 32.0;
+        let tail: f64 = breath.values()[breath.len() - 32..]
+            .iter()
+            .map(|x| x.abs())
+            .sum::<f64>()
+            / 32.0;
         assert!(tail < 3.0 * head + 0.01);
     }
 

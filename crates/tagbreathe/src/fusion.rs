@@ -64,7 +64,10 @@ pub fn fuse_displacement(
             acc
         })
         .collect();
-    Some(TimeSeries::new(t_min, bin_s, trajectory).expect("validated bin width"))
+    // `bin_s` was validated positive above and `t_min` finite, so this
+    // only fails on pathological (non-finite) sample times — propagate as
+    // "no fusable data" rather than panicking.
+    TimeSeries::new(t_min, bin_s, trajectory).ok()
 }
 
 /// Fuses per-tag displacement **tracks** (levels from
@@ -109,7 +112,7 @@ pub fn fuse_level_tracks(streams: &[Vec<Sample>], bin_s: f64) -> Option<TimeSeri
             *f += v;
         }
     }
-    Some(TimeSeries::new(t_min, bin_s, fused).expect("validated bin width"))
+    TimeSeries::new(t_min, bin_s, fused).ok()
 }
 
 /// Bin means with empty bins filled by linear interpolation between the
@@ -139,9 +142,9 @@ fn fill_gaps(sums: &[f64], counts: &[usize]) -> Vec<f64> {
         if b > a + 1 {
             let va = out[a];
             let vb = out[b];
-            for i in a + 1..b {
-                let alpha = (i - a) as f64 / (b - a) as f64;
-                out[i] = va + alpha * (vb - va);
+            for (off, o) in out[a + 1..b].iter_mut().enumerate() {
+                let alpha = (off + 1) as f64 / (b - a) as f64;
+                *o = va + alpha * (vb - va);
             }
         }
     }
@@ -169,43 +172,61 @@ pub fn fuse_rates_median(rates_bpm: &[Option<f64>]) -> Option<f64> {
 mod tests {
     use super::*;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    /// `Option → Result` bridge so tests can use `?` instead of `unwrap`.
+    fn fused(ts: Option<TimeSeries>) -> Result<TimeSeries, Box<dyn std::error::Error>> {
+        ts.ok_or_else(|| "expected a fused series".into())
+    }
+
     #[test]
-    fn single_stream_integration() {
+    fn single_stream_integration() -> TestResult {
         let stream = vec![
             Sample::new(0.0, 1.0),
             Sample::new(0.3, 1.0),
             Sample::new(0.7, -1.0),
         ];
-        let ts = fuse_displacement(&[stream], 0.5, None).unwrap();
+        let ts = fused(fuse_displacement(&[stream], 0.5, None))?;
         // Bins: [0,0.5): 2.0, [0.5,1.0): wait, span = 0.7 → 2 bins.
         assert_eq!(ts.len(), 2);
         assert_eq!(ts.values()[0], 2.0);
         assert_eq!(ts.values()[1], 1.0); // 2.0 + (−1.0)
         assert_eq!(ts.dt_s(), 0.5);
         assert_eq!(ts.start_s(), 0.0);
+        Ok(())
     }
 
     #[test]
-    fn in_phase_streams_reinforce() {
+    fn in_phase_streams_reinforce() -> TestResult {
         // Three tags observing the same motion: the fused trajectory is 3×
         // a single tag's.
         let one: Vec<Sample> = (0..20).map(|i| Sample::new(i as f64 * 0.1, 0.5)).collect();
-        let fused = fuse_displacement(&[one.clone(), one.clone(), one.clone()], 0.25, None).unwrap();
-        let single = fuse_displacement(&[one], 0.25, None).unwrap();
-        for (f, s) in fused.values().iter().zip(single.values()) {
+        let triple = fused(fuse_displacement(
+            &[one.clone(), one.clone(), one.clone()],
+            0.25,
+            None,
+        ))?;
+        let single = fused(fuse_displacement(&[one], 0.25, None))?;
+        for (f, s) in triple.values().iter().zip(single.values()) {
             assert!((f - 3.0 * s).abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]
-    fn uncorrelated_noise_partially_cancels() {
+    fn uncorrelated_noise_partially_cancels() -> TestResult {
         // Antiphase noise on two tags cancels in the fused stream.
-        let a: Vec<Sample> = (0..100).map(|i| Sample::new(i as f64 * 0.05, 1.0)).collect();
-        let b: Vec<Sample> = (0..100).map(|i| Sample::new(i as f64 * 0.05, -1.0)).collect();
-        let fused = fuse_displacement(&[a, b], 0.2, None).unwrap();
-        for v in fused.values() {
+        let a: Vec<Sample> = (0..100)
+            .map(|i| Sample::new(i as f64 * 0.05, 1.0))
+            .collect();
+        let b: Vec<Sample> = (0..100)
+            .map(|i| Sample::new(i as f64 * 0.05, -1.0))
+            .collect();
+        let cancelled = fused(fuse_displacement(&[a, b], 0.2, None))?;
+        for v in cancelled.values() {
             assert!(v.abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]
@@ -215,21 +236,23 @@ mod tests {
     }
 
     #[test]
-    fn forced_span_pads_with_flat_trajectory() {
+    fn forced_span_pads_with_flat_trajectory() -> TestResult {
         let stream = vec![Sample::new(0.0, 1.0)];
-        let ts = fuse_displacement(&[stream], 0.5, Some(2.0)).unwrap();
+        let ts = fused(fuse_displacement(&[stream], 0.5, Some(2.0)))?;
         assert_eq!(ts.len(), 4);
         // After the single increment, the trajectory holds its value.
         assert_eq!(ts.values(), &[1.0, 1.0, 1.0, 1.0]);
+        Ok(())
     }
 
     #[test]
-    fn misaligned_streams_share_bins() {
+    fn misaligned_streams_share_bins() -> TestResult {
         let a = vec![Sample::new(0.02, 1.0)];
         let b = vec![Sample::new(0.08, 2.0)];
-        let ts = fuse_displacement(&[a, b], 0.1, None).unwrap();
+        let ts = fused(fuse_displacement(&[a, b], 0.1, None))?;
         assert_eq!(ts.len(), 1);
         assert_eq!(ts.values()[0], 3.0);
+        Ok(())
     }
 
     #[test]
@@ -239,20 +262,25 @@ mod tests {
     }
 
     #[test]
-    fn level_fusion_bins_and_sums() {
-        let a = vec![Sample::new(0.0, 1.0), Sample::new(0.1, 3.0), Sample::new(0.6, 5.0)];
+    fn level_fusion_bins_and_sums() -> TestResult {
+        let a = vec![
+            Sample::new(0.0, 1.0),
+            Sample::new(0.1, 3.0),
+            Sample::new(0.6, 5.0),
+        ];
         let b = vec![Sample::new(0.05, 10.0), Sample::new(0.55, 20.0)];
-        let ts = fuse_level_tracks(&[a, b], 0.5).unwrap();
+        let ts = fused(fuse_level_tracks(&[a, b], 0.5))?;
         assert_eq!(ts.len(), 2);
         // Stream a: bin0 mean (1+3)/2 = 2, bin1 = 5. Stream b: bin0 = 10,
         // bin1 = 20. Sum: [12, 25].
         assert_eq!(ts.values(), &[12.0, 25.0]);
+        Ok(())
     }
 
     #[test]
-    fn level_fusion_fills_interior_gaps_linearly() {
+    fn level_fusion_fills_interior_gaps_linearly() -> TestResult {
         let a = vec![Sample::new(0.0, 0.0), Sample::new(1.0, 4.0)];
-        let ts = fuse_level_tracks(&[a], 0.25).unwrap();
+        let ts = fused(fuse_level_tracks(&[a], 0.25))?;
         // Occupied bins 0 and 3 (sample at 1.0 clamps into the last bin);
         // bins 1 and 2 interpolate.
         assert_eq!(ts.len(), 4);
@@ -260,23 +288,30 @@ mod tests {
         assert_eq!(v[0], 0.0);
         assert!(v[1] > 0.0 && v[1] < v[2]);
         assert_eq!(v[3], 4.0);
+        Ok(())
     }
 
     #[test]
-    fn level_fusion_holds_edges() {
-        let a = vec![Sample::new(1.0, 7.0), Sample::new(1.1, 7.0), Sample::new(2.9, 7.0)];
-        let ts = fuse_level_tracks(&[a], 0.5).unwrap();
+    fn level_fusion_holds_edges() -> TestResult {
+        let a = vec![
+            Sample::new(1.0, 7.0),
+            Sample::new(1.1, 7.0),
+            Sample::new(2.9, 7.0),
+        ];
+        let ts = fused(fuse_level_tracks(&[a], 0.5))?;
         assert!(ts.values().iter().all(|&v| (v - 7.0).abs() < 1e-12));
+        Ok(())
     }
 
     #[test]
-    fn level_fusion_empty_inputs() {
+    fn level_fusion_empty_inputs() -> TestResult {
         assert!(fuse_level_tracks(&[], 0.5).is_none());
         assert!(fuse_level_tracks(&[vec![], vec![]], 0.5).is_none());
         // One empty stream alongside one occupied stream is fine.
         let a = vec![Sample::new(0.0, 1.0), Sample::new(0.9, 1.0)];
-        let ts = fuse_level_tracks(&[a, vec![]], 0.5).unwrap();
+        let ts = fused(fuse_level_tracks(&[a, vec![]], 0.5))?;
         assert_eq!(ts.values(), &[1.0, 1.0]);
+        Ok(())
     }
 
     #[test]
@@ -292,8 +327,14 @@ mod tests {
 
     #[test]
     fn median_rate_fusion() {
-        assert_eq!(fuse_rates_median(&[Some(10.0), Some(12.0), Some(11.0)]), Some(11.0));
-        assert_eq!(fuse_rates_median(&[Some(10.0), None, Some(12.0)]), Some(11.0));
+        assert_eq!(
+            fuse_rates_median(&[Some(10.0), Some(12.0), Some(11.0)]),
+            Some(11.0)
+        );
+        assert_eq!(
+            fuse_rates_median(&[Some(10.0), None, Some(12.0)]),
+            Some(11.0)
+        );
         assert_eq!(fuse_rates_median(&[None, None]), None);
         assert_eq!(fuse_rates_median(&[]), None);
         // An outlier tag does not drag the median far.

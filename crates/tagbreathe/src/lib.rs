@@ -55,10 +55,10 @@ pub mod fusion;
 pub mod monitor;
 pub mod patterns;
 pub mod pipeline;
-pub mod quality;
 pub mod preprocess;
-pub mod render;
+pub mod quality;
 pub mod rate;
+pub mod render;
 pub mod series;
 
 pub use apnea::{detect_apnea, ApneaConfig, ApneaEpisode};
@@ -66,8 +66,8 @@ pub use config::{AntennaStrategy, FilterKind, PipelineConfig, PreprocessKind};
 pub use enhancement::{enhanced_estimates, Agreement, EnhancedEstimate};
 pub use epcgen2::report::TagReport;
 pub use monitor::{AnalysisFailure, AnalysisReport, BreathMonitor, UserAnalysis};
-pub use pipeline::{RateSnapshot, StreamingMonitor};
 pub use patterns::{analyze_pattern, Breath, PatternAnalysis, PatternClass};
+pub use pipeline::{RateSnapshot, StreamingMonitor};
 pub use quality::{assess, Confidence, QualityReport, QualityThresholds};
 pub use rate::{RateEstimate, RatePoint};
 pub use series::TimeSeries;

@@ -10,10 +10,9 @@
 use crate::rate::RateEstimate;
 use crate::series::TimeSeries;
 use dsp::zero_crossing::{find_zero_crossings, CrossingDirection};
-use serde::{Deserialize, Serialize};
 
 /// One segmented breath.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Breath {
     /// Start of inhalation (rising zero crossing), seconds.
     pub start_s: f64,
@@ -35,7 +34,7 @@ impl Breath {
 }
 
 /// A qualitative classification of the observed pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatternClass {
     /// Consistent rate and depth.
     Regular,
@@ -49,7 +48,7 @@ pub enum PatternClass {
 }
 
 /// The full pattern analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternAnalysis {
     /// Segmented breaths in time order.
     pub breaths: Vec<Breath>,
@@ -71,7 +70,8 @@ pub struct PatternAnalysis {
 pub fn analyze_pattern(signal: &TimeSeries, rate: &RateEstimate) -> PatternAnalysis {
     let _ = rate; // crossing context reserved for future refinement
     let hysteresis = dsp::stats::rms(signal.values()).unwrap_or(0.0) * 0.3;
-    let crossings = find_zero_crossings(signal.values(), signal.start_s(), signal.dt_s(), hysteresis);
+    let crossings =
+        find_zero_crossings(signal.values(), signal.start_s(), signal.dt_s(), hysteresis);
     let rising: Vec<f64> = crossings
         .iter()
         .filter(|c| c.direction == CrossingDirection::Rising)
@@ -81,7 +81,9 @@ pub fn analyze_pattern(signal: &TimeSeries, rate: &RateEstimate) -> PatternAnaly
     let mut breaths = Vec::new();
     for pair in rising.windows(2) {
         let (start, end) = (pair[0], pair[1]);
-        let i0 = ((start - signal.start_s()) / signal.dt_s()).floor().max(0.0) as usize;
+        let i0 = ((start - signal.start_s()) / signal.dt_s())
+            .floor()
+            .max(0.0) as usize;
         let i1 = (((end - signal.start_s()) / signal.dt_s()).ceil() as usize).min(signal.len());
         if i1 <= i0 + 2 {
             continue;
@@ -176,13 +178,22 @@ mod tests {
         let mut values = Vec::new();
         for i in 0..(120.0 / dt) as usize {
             let t = i as f64 * dt;
-            let f = if (t / 15.0) as usize % 2 == 0 { 8.0 } else { 20.0 } / 60.0;
+            let f = if ((t / 15.0) as usize).is_multiple_of(2) {
+                8.0
+            } else {
+                20.0
+            } / 60.0;
             phase += 2.0 * PI * f * dt;
             values.push(phase.sin());
         }
         let s = TimeSeries::new(0.0, dt, values).unwrap();
         let p = analyze(&s);
-        assert_eq!(p.class, PatternClass::IrregularRate, "rate CV {}", p.rate_cv);
+        assert_eq!(
+            p.class,
+            PatternClass::IrregularRate,
+            "rate CV {}",
+            p.rate_cv
+        );
     }
 
     #[test]

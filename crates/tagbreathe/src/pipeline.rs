@@ -9,7 +9,7 @@
 //!   they arrive; a sliding window (default 25 s, the paper's analysis
 //!   window) is re-analysed at a fixed cadence;
 //! * [`spawn_pipelined`] — the ingest / analysis stages decoupled by
-//!   crossbeam channels onto a worker thread, so a slow analysis never
+//!   `std::sync::mpsc` channels onto a worker thread, so a slow analysis never
 //!   back-pressures the reader.
 
 use crate::config::PipelineConfig;
@@ -17,6 +17,7 @@ use crate::monitor::BreathMonitor;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
 use std::thread;
 
 /// A point-in-time estimate of every monitored user's breathing rate.
@@ -78,7 +79,8 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         let monitor = BreathMonitor::new(config)?;
         // Reuse the config error type for the window constraints: they are
         // configuration of the same pipeline.
-        if !(window_s > 0.0) || !(update_every_s > 0.0) {
+        if window_s.is_nan() || window_s <= 0.0 || update_every_s.is_nan() || update_every_s <= 0.0
+        {
             return Err(validate_window_error());
         }
         Ok(StreamingMonitor {
@@ -164,8 +166,8 @@ fn validate_window_error() -> crate::config::InvalidConfigError {
 /// ingest channel; the worker drains, emits a final snapshot and exits.
 #[derive(Debug)]
 pub struct PipelinedHandle {
-    ingest: Option<crossbeam::channel::Sender<TagReport>>,
-    snapshots: crossbeam::channel::Receiver<RateSnapshot>,
+    ingest: Option<mpsc::Sender<TagReport>>,
+    snapshots: mpsc::Receiver<RateSnapshot>,
     worker: Option<thread::JoinHandle<()>>,
 }
 
@@ -222,8 +224,8 @@ where
     R: IdentityResolver + Send + 'static,
 {
     let mut streaming = StreamingMonitor::new(config, resolver, window_s, update_every_s)?;
-    let (tx, rx) = crossbeam::channel::unbounded::<TagReport>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<RateSnapshot>();
+    let (tx, rx) = mpsc::channel::<TagReport>();
+    let (out_tx, out_rx) = mpsc::channel::<RateSnapshot>();
     let worker = thread::spawn(move || {
         for report in rx.iter() {
             for snap in streaming.push(std::iter::once(report)) {
@@ -250,33 +252,37 @@ mod tests {
     use epcgen2::reader::Reader;
     use epcgen2::world::ScenarioWorld;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     fn capture(secs: f64) -> Vec<TagReport> {
-        let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, 2.0))
+            .build();
         Reader::paper_default().run(&ScenarioWorld::new(scenario), secs)
     }
 
     #[test]
-    fn streaming_emits_snapshots_at_cadence() {
+    fn streaming_emits_snapshots_at_cadence() -> TestResult {
         let reports = capture(60.0);
         let mut sm = StreamingMonitor::new(
             PipelineConfig::paper_default(),
             EmbeddedIdentity::new([1]),
             25.0,
             10.0,
-        )
-        .unwrap();
+        )?;
         let snaps = sm.push(reports);
         // 60 s at a 10 s cadence → snapshots at 10,20,...,60 (first few may
         // lack data but still emit).
         assert!((5..=7).contains(&snaps.len()), "{} snapshots", snaps.len());
         // Later snapshots (full window) should estimate ~10 bpm.
-        let last = snaps.last().unwrap();
-        let bpm = last.rates_bpm.get(&1).copied().expect("user tracked");
+        let last = snaps.last().ok_or("no snapshots")?;
+        let bpm = last.rates_bpm.get(&1).copied().ok_or("user not tracked")?;
         assert!((bpm - 10.0).abs() < 1.5, "streaming estimate {bpm}");
+        Ok(())
     }
 
     #[test]
-    fn window_eviction_bounds_memory() {
+    fn window_eviction_bounds_memory() -> TestResult {
         let reports = capture(60.0);
         let n = reports.len();
         let mut sm = StreamingMonitor::new(
@@ -284,15 +290,15 @@ mod tests {
             EmbeddedIdentity::new([1]),
             10.0,
             5.0,
-        )
-        .unwrap();
+        )?;
         sm.push(reports);
         // Buffer holds at most ~10 s of ~64 Hz data, far less than all 60 s.
         assert!(sm.buffered() < n / 3, "buffered {} of {n}", sm.buffered());
+        Ok(())
     }
 
     #[test]
-    fn effort_collapses_during_streamed_apnea() {
+    fn effort_collapses_during_streamed_apnea() -> TestResult {
         use breathing::{Posture, TagSite, Waveform};
         use rfchannel::geometry::Vec3;
         let subject = breathing::Subject::new(
@@ -314,8 +320,7 @@ mod tests {
             EmbeddedIdentity::new([1]),
             15.0,
             5.0,
-        )
-        .unwrap();
+        )?;
         let snaps = sm.push(reports);
         // Snapshot at t=40 covers breathing (25-40); t=60 covers apnea
         // (45-60).
@@ -325,25 +330,26 @@ mod tests {
                 .filter(|s| (s.time_s - t).abs() < 2.5)
                 .find_map(|s| s.effort_rms.get(&1).copied())
         };
-        let breathing = effort_at(40.0).expect("breathing-window effort");
+        let breathing = effort_at(40.0).ok_or("no breathing-window effort")?;
         let apnea = effort_at(60.0).unwrap_or(0.0);
         assert!(
             apnea < breathing * 0.5,
             "apnea effort {apnea:.2e} vs breathing {breathing:.2e}"
         );
+        Ok(())
     }
 
     #[test]
-    fn snapshot_now_on_empty_monitor() {
+    fn snapshot_now_on_empty_monitor() -> TestResult {
         let mut sm = StreamingMonitor::new(
             PipelineConfig::paper_default(),
             EmbeddedIdentity::new([1]),
             25.0,
             5.0,
-        )
-        .unwrap();
+        )?;
         let snap = sm.snapshot_now();
         assert!(snap.rates_bpm.is_empty());
+        Ok(())
     }
 
     #[test]
@@ -365,37 +371,37 @@ mod tests {
     }
 
     #[test]
-    fn pipelined_mode_matches_streaming_results() {
+    fn pipelined_mode_matches_streaming_results() -> TestResult {
         let reports = capture(40.0);
         let handle = spawn_pipelined(
             PipelineConfig::paper_default(),
             EmbeddedIdentity::new([1]),
             25.0,
             10.0,
-        )
-        .unwrap();
+        )?;
         for r in &reports {
             assert!(handle.send(*r));
         }
         let snaps = handle.finish();
         assert!(!snaps.is_empty());
-        let last = snaps.last().unwrap();
-        if let Some(&bpm) = last.rates_bpm.get(&1) {
-            assert!((bpm - 10.0).abs() < 1.5, "pipelined estimate {bpm}");
-        } else {
-            panic!("no rate in final snapshot");
-        }
+        let last = snaps.last().ok_or("no snapshots")?;
+        let bpm = last
+            .rates_bpm
+            .get(&1)
+            .copied()
+            .ok_or("no rate in final snapshot")?;
+        assert!((bpm - 10.0).abs() < 1.5, "pipelined estimate {bpm}");
+        Ok(())
     }
 
     #[test]
-    fn pipelined_send_after_finish_is_false() {
+    fn pipelined_send_after_finish_is_false() -> TestResult {
         let handle = spawn_pipelined(
             PipelineConfig::paper_default(),
             EmbeddedIdentity::new([1]),
             25.0,
             10.0,
-        )
-        .unwrap();
+        )?;
         let report = capture(1.0)[0];
         assert!(handle.send(report));
         let _ = handle.finish();
@@ -405,8 +411,8 @@ mod tests {
             EmbeddedIdentity::new([1]),
             25.0,
             10.0,
-        )
-        .unwrap();
+        )?;
         drop(h2);
+        Ok(())
     }
 }

@@ -186,7 +186,11 @@ pub fn displacement_track(
     for st in states.values_mut() {
         flush(&mut st.segment, &mut out);
     }
-    out.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 

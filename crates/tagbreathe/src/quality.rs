@@ -9,10 +9,9 @@
 
 use crate::monitor::UserAnalysis;
 use dsp::goertzel::goertzel_power;
-use serde::{Deserialize, Serialize};
 
 /// Confidence grade of an estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Confidence {
     /// Estimate should not be trusted (and arguably not displayed).
     Low,
@@ -23,7 +22,7 @@ pub enum Confidence {
 }
 
 /// A per-user quality report.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityReport {
     /// Mean low-level read rate backing the estimate, Hz.
     pub read_rate_hz: f64,
@@ -37,7 +36,7 @@ pub struct QualityReport {
 }
 
 /// Thresholds for grading (exposed so deployments can tune them).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityThresholds {
     /// Minimum read rate for `High`, Hz.
     pub high_read_rate_hz: f64,
@@ -128,7 +127,12 @@ fn band_snr(analysis: &UserAnalysis) -> f64 {
 }
 
 fn rate_cv(analysis: &UserAnalysis) -> f64 {
-    let rates: Vec<f64> = analysis.rate.instantaneous.iter().map(|p| p.rate_bpm).collect();
+    let rates: Vec<f64> = analysis
+        .rate
+        .instantaneous
+        .iter()
+        .map(|p| p.rate_bpm)
+        .collect();
     match (dsp::stats::mean(&rates), dsp::stats::std_dev(&rates)) {
         (Some(m), Some(s)) if m > f64::EPSILON => s / m,
         _ => f64::INFINITY,

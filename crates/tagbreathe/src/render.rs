@@ -30,7 +30,9 @@ pub fn sparkline(signal: &TimeSeries, width: usize) -> String {
     let means: Vec<f64> = (0..buckets)
         .map(|b| {
             let lo = (b as f64 * per) as usize;
-            let hi = (((b + 1) as f64 * per) as usize).max(lo + 1).min(values.len());
+            let hi = (((b + 1) as f64 * per) as usize)
+                .max(lo + 1)
+                .min(values.len());
             values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect();

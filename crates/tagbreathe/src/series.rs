@@ -1,8 +1,6 @@
 //! Uniformly sampled time series — the common currency between pipeline
 //! stages.
 
-use serde::{Deserialize, Serialize};
-
 /// A uniformly sampled scalar time series.
 ///
 /// # Examples
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ts.time_at(2), 11.0);
 /// assert_eq!(ts.duration_s(), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     start_s: f64,
     dt_s: f64,

@@ -40,7 +40,10 @@ fn main() {
     let global_rms = rms(signal.values());
     let threshold = 0.35 * global_rms;
 
-    println!("scanning {:.0} s of breath signal, {window_s:.0} s RMS window", signal.duration_s());
+    println!(
+        "scanning {:.0} s of breath signal, {window_s:.0} s RMS window",
+        signal.duration_s()
+    );
     println!("global effort RMS: {global_rms:.2e} m — alarm below {threshold:.2e} m\n");
 
     let mut in_apnea = false;
@@ -57,13 +60,21 @@ fn main() {
         if low && !in_apnea {
             println!(
                 "t={t:>5.1}s  ALARM: no breathing effort (RMS {effort:.2e})   [ground truth: {}]",
-                if truly_breathing { "breathing" } else { "apnea" }
+                if truly_breathing {
+                    "breathing"
+                } else {
+                    "apnea"
+                }
             );
             in_apnea = true;
         } else if !low && in_apnea {
             println!(
                 "t={t:>5.1}s  clear: breathing resumed (RMS {effort:.2e})    [ground truth: {}]",
-                if truly_breathing { "breathing" } else { "apnea" }
+                if truly_breathing {
+                    "breathing"
+                } else {
+                    "apnea"
+                }
             );
             in_apnea = false;
         }

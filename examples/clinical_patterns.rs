@@ -17,10 +17,7 @@ use tagbreathe_suite::tagbreathe::{detect_apnea, enhanced_estimates, ApneaConfig
 
 fn main() {
     let patients = [
-        (
-            "regular (12 bpm)",
-            Waveform::Sinusoid { rate_bpm: 12.0 },
-        ),
+        ("regular (12 bpm)", Waveform::Sinusoid { rate_bpm: 12.0 }),
         (
             "Cheyne-Stokes (18 bpm bursts, 60 s cycle)",
             Waveform::CheyneStokes {

@@ -53,7 +53,8 @@ fn main() {
 
     // Final accuracy scorecard against the metronome ground truth.
     println!("\nfinal window accuracy (Eq. 8):");
-    let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new(ids.clone()));
+    let analysis =
+        BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new(ids.clone()));
     for (i, (id, subject)) in ids.iter().zip(scenario.subjects()).enumerate() {
         let line = analysis.users[id]
             .as_ref()

@@ -12,7 +12,9 @@ use tagbreathe_suite::prelude::*;
 
 fn main() {
     // 1. A subject wearing three tags (chest / middle / abdomen), 4 m out.
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 4.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 4.0))
+        .build();
 
     // 2. Capture 60 seconds of low-level data with the simulated Impinj
     //    R420 (frequency hopping, Q-algorithm MAC, phase/RSSI/Doppler).
@@ -33,10 +35,7 @@ fn main() {
         Ok(user) => {
             println!("antenna port used : {}", user.antenna_port);
             println!("reports consumed  : {}", user.report_count);
-            println!(
-                "zero crossings    : {}",
-                user.rate.crossing_times.len()
-            );
+            println!("zero crossings    : {}", user.rate.crossing_times.len());
             let bpm = user.mean_rate_bpm().expect("rate available");
             println!("estimated rate    : {bpm:.2} bpm (true: 10.00 bpm)");
             println!("accuracy (Eq. 8)  : {:.1}%", accuracy(bpm, 10.0) * 100.0);

@@ -19,7 +19,9 @@ use tagbreathe_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Capture a 45 s session.
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.0))
+        .build();
     let world = ScenarioWorld::new(scenario);
     let reports = Reader::paper_default().run(&world, 45.0);
     println!("captured {} reports", reports.len());

@@ -38,7 +38,12 @@ fn main() {
             .as_ref()
             .ok()
             .and_then(|a| a.mean_rate_bpm())
-            .map(|bpm| (format!("{bpm:.2}"), format!("{:.1}%", accuracy(bpm, 10.0) * 100.0)))
+            .map(|bpm| {
+                (
+                    format!("{bpm:.2}"),
+                    format!("{:.1}%", accuracy(bpm, 10.0) * 100.0),
+                )
+            })
             .unwrap_or(("-".into(), "-".into()));
 
         println!(

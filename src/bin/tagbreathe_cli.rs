@@ -136,9 +136,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => vec![10.0],
     };
-    let out = flags
-        .get("out")
-        .ok_or("simulate requires --out FILE.csv")?;
+    let out = flags.get("out").ok_or("simulate requires --out FILE.csv")?;
 
     let scenario = build_scenario(users, distance, &rates, items)?;
     let reports = capture(&scenario, seed, duration);
@@ -202,7 +200,10 @@ fn analyze(args: &[String]) -> Result<(), String> {
         }
     }
     if analysis.unknown_reports > 0 {
-        println!("({} reports from unrelated tags ignored)", analysis.unknown_reports);
+        println!(
+            "({} reports from unrelated tags ignored)",
+            analysis.unknown_reports
+        );
     }
     Ok(())
 }

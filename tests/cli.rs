@@ -39,8 +39,19 @@ fn simulate_then_analyze_round_trip() {
 
     let out = cli()
         .args([
-            "simulate", "--users", "2", "--distance", "3", "--rates", "10,15", "--duration",
-            "60", "--seed", "7", "--out", trace_str,
+            "simulate",
+            "--users",
+            "2",
+            "--distance",
+            "3",
+            "--rates",
+            "10,15",
+            "--duration",
+            "60",
+            "--seed",
+            "7",
+            "--out",
+            trace_str,
         ])
         .output()
         .expect("simulate runs");
@@ -51,7 +62,10 @@ fn simulate_then_analyze_round_trip() {
     );
     assert!(trace.exists());
 
-    let out = cli().args(["analyze", trace_str]).output().expect("analyze runs");
+    let out = cli()
+        .args(["analyze", trace_str])
+        .output()
+        .expect("analyze runs");
     assert!(
         out.status.success(),
         "analyze failed: {}",
@@ -60,8 +74,10 @@ fn simulate_then_analyze_round_trip() {
     let text = String::from_utf8_lossy(&out.stdout);
     // Both users estimated near their metronome rates.
     assert!(text.contains("2 user(s)"), "{text}");
-    let found_10 = text.contains("10.0 bpm") || text.contains(" 9.9 bpm") || text.contains("10.1 bpm");
-    let found_15 = text.contains("15.0 bpm") || text.contains("14.9 bpm") || text.contains("15.1 bpm");
+    let found_10 =
+        text.contains("10.0 bpm") || text.contains(" 9.9 bpm") || text.contains("10.1 bpm");
+    let found_15 =
+        text.contains("15.0 bpm") || text.contains("14.9 bpm") || text.contains("15.1 bpm");
     assert!(found_10, "user at 10 bpm not found:\n{text}");
     assert!(found_15, "user at 15 bpm not found:\n{text}");
     assert!(text.contains("pattern"), "{text}");

@@ -14,7 +14,8 @@ fn capture(scenario: &Scenario, seed: u64, secs: f64) -> Vec<TagReport> {
 
 fn estimate(scenario: &Scenario, reports: &[TagReport]) -> Vec<Option<f64>> {
     let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
-    let analysis = BreathMonitor::paper_default().analyze(reports, &EmbeddedIdentity::new(ids.clone()));
+    let analysis =
+        BreathMonitor::paper_default().analyze(reports, &EmbeddedIdentity::new(ids.clone()));
     ids.iter()
         .map(|id| {
             analysis
@@ -49,7 +50,9 @@ fn rates_recovered_across_breathing_band() {
 fn distance_degrades_but_does_not_break() {
     let mut accuracies = Vec::new();
     for (i, d) in [1.0, 4.0, 6.0].into_iter().enumerate() {
-        let scenario = Scenario::builder().subject(Subject::paper_default(1, d)).build();
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, d))
+            .build();
         let reports = capture(&scenario, 200 + i as u64, 90.0);
         let got = estimate(&scenario, &reports)[0];
         let acc = got.map(|bpm| accuracy(bpm, 10.0)).unwrap_or(0.0);
@@ -127,7 +130,9 @@ fn postures_all_work() {
 
 #[test]
 fn fir_filter_configuration_is_equivalent_end_to_end() {
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.0))
+        .build();
     let reports = capture(&scenario, 700, 90.0);
     let mut cfg = PipelineConfig::paper_default();
     cfg.filter = FilterKind::Fir { taps: 129 };
@@ -145,7 +150,9 @@ fn fir_filter_configuration_is_equivalent_end_to_end() {
 #[test]
 fn lower_tx_power_shrinks_range() {
     // Table I sweeps 15–30 dBm: at 15 dBm a 4 m user becomes unreadable.
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 4.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 4.0))
+        .build();
     let mut config = ReaderConfig::paper_default().with_seed(800);
     config.link = LinkConfig::paper_default().with_tx_power(rfchannel::units::Dbm(15.0));
     let reader = Reader::new(
@@ -178,7 +185,11 @@ fn opposing_antennas_cover_back_to_back_users() {
         25.0,
     );
     let west = Antenna::paper_default(Vec3::new(-2.0, 0.0, 1.0));
-    let reader = Reader::new(ReaderConfig::paper_default().with_seed(950), vec![west, east]).unwrap();
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_seed(950),
+        vec![west, east],
+    )
+    .unwrap();
 
     // User 1 at x=2 faces west (toward the west antenna); user 2 at x=2.6
     // faces east. Each has their back to the other antenna.
@@ -227,7 +238,9 @@ fn multi_antenna_selects_a_working_port() {
     );
     let covering = Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0));
     let reader = Reader::new(cfg, vec![away, covering]).unwrap();
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.0))
+        .build();
     let reports = reader.run(&ScenarioWorld::new(scenario), 90.0);
     let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
     let user = analysis.users[&1].as_ref().expect("analysable");
@@ -256,8 +269,14 @@ fn merge_all_antennas_strategy_works_with_split_coverage() {
         65.0,
         25.0,
     );
-    let reader = Reader::new(ReaderConfig::paper_default().with_seed(1000), vec![left, right]).unwrap();
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.5)).build();
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_seed(1000),
+        vec![left, right],
+    )
+    .unwrap();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.5))
+        .build();
     let reports = reader.run(&ScenarioWorld::new(scenario), 90.0);
 
     let mut merge_cfg = PipelineConfig::paper_default();

@@ -2,15 +2,15 @@
 //! panic, and either keep estimating correctly or abstain — under corrupted
 //! report streams and non-respiratory motion.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use prng::Rng;
+use prng::Xoshiro256;
 use tagbreathe_suite::breathing::BodyMotion;
 use tagbreathe_suite::prelude::*;
 
 fn capture(secs: f64, seed: u64) -> Vec<TagReport> {
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 2.0))
+        .build();
     let reader = Reader::new(
         ReaderConfig::paper_default().with_seed(seed),
         vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
@@ -31,11 +31,11 @@ fn estimate(reports: &[TagReport]) -> Option<f64> {
 #[test]
 fn survives_random_report_loss() {
     let reports = capture(90.0, 1);
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut rng = Xoshiro256::seed_from_u64(42);
     for keep_fraction in [0.8, 0.5, 0.3] {
         let thinned: Vec<TagReport> = reports
             .iter()
-            .filter(|_| rng.gen::<f64>() < keep_fraction)
+            .filter(|_| rng.gen_f64() < keep_fraction)
             .copied()
             .collect();
         let bpm = estimate(&thinned);
@@ -65,7 +65,7 @@ fn survives_duplicated_reports() {
 fn survives_out_of_order_delivery() {
     let reports = capture(60.0, 3);
     let mut shuffled = reports.clone();
-    shuffled.shuffle(&mut ChaCha8Rng::seed_from_u64(7));
+    Xoshiro256::seed_from_u64(7).shuffle(&mut shuffled);
     let a = estimate(&reports).expect("baseline");
     let b = estimate(&shuffled).expect("shuffled");
     assert!((a - b).abs() < 1e-9, "order dependence: {a} vs {b}");
@@ -75,10 +75,10 @@ fn survives_out_of_order_delivery() {
 fn survives_corrupted_phase_values() {
     // 5% of reports get a uniformly random phase (decoder glitches).
     let mut reports = capture(90.0, 4);
-    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut rng = Xoshiro256::seed_from_u64(11);
     for r in reports.iter_mut() {
-        if rng.gen::<f64>() < 0.05 {
-            r.phase_rad = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+        if rng.gen_f64() < 0.05 {
+            r.phase_rad = rng.gen_f64() * 2.0 * std::f64::consts::PI;
         }
     }
     let bpm = estimate(&reports).expect("corruption-tolerant");
@@ -103,7 +103,11 @@ fn survives_alien_epcs_in_stream() {
     reports.extend(alien);
     let analysis = BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
     assert_eq!(analysis.unknown_reports, 500);
-    let bpm = analysis.users[&1].as_ref().unwrap().mean_rate_bpm().unwrap();
+    let bpm = analysis.users[&1]
+        .as_ref()
+        .unwrap()
+        .mean_rate_bpm()
+        .unwrap();
     assert!((bpm - 10.0).abs() < 1.5, "estimated {bpm}");
 }
 
@@ -163,9 +167,7 @@ fn walking_subject_is_flagged_as_gross_motion() {
     use tagbreathe_suite::tagbreathe::AnalysisFailure;
     // Slow walk toward the antenna: the tag stays in the beam for the
     // whole capture but the trajectory spans metres.
-    let subject = Subject::paper_default(1, 5.0).with_motion(BodyMotion::Walk {
-        speed_mps: 0.03,
-    });
+    let subject = Subject::paper_default(1, 5.0).with_motion(BodyMotion::Walk { speed_mps: 0.03 });
     let scenario = Scenario::builder().subject(subject).build();
     let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 60.0);
     assert!(!reports.is_empty(), "walker left the beam entirely");

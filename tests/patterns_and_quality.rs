@@ -115,7 +115,9 @@ fn breath_depth_scales_with_physical_amplitude() {
 #[test]
 fn quality_grade_tracks_distance() {
     let grade = |d: f64| {
-        let scenario = Scenario::builder().subject(Subject::paper_default(1, d)).build();
+        let scenario = Scenario::builder()
+            .subject(Subject::paper_default(1, d))
+            .build();
         let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 60.0);
         BreathMonitor::paper_default()
             .analyze(&reports, &EmbeddedIdentity::new([1]))
@@ -155,8 +157,14 @@ fn demographic_presets_are_monitorable_end_to_end() {
             .unwrap()
             .mean_rate_bpm()
             .unwrap();
-        assert!((bpm - truth).abs() < 2.0, "{demo:?}: true {truth}, got {bpm}");
-        assert!(demo.rate_is_normal(bpm), "{demo:?}: {bpm} outside normal range");
+        assert!(
+            (bpm - truth).abs() < 2.0,
+            "{demo:?}: true {truth}, got {bpm}"
+        );
+        assert!(
+            demo.rate_is_normal(bpm),
+            "{demo:?}: {bpm} outside normal range"
+        );
     }
 }
 
@@ -177,10 +185,10 @@ fn infant_monitoring_needs_a_wider_band() {
     .run(&ScenarioWorld::new(scenario), 120.0);
     let mut cfg = PipelineConfig::paper_default();
     cfg.cutoff_hz = 1.5; // 90 bpm ceiling for neonates
-    // At 40 bpm the breath period (1.5 s) is shorter than the channel
-    // revisit interval (2 s), so the increment path aliases; the
-    // channel-track-merge preprocessing keeps full amplitude at every
-    // read instant instead.
+                         // At 40 bpm the breath period (1.5 s) is shorter than the channel
+                         // revisit interval (2 s), so the increment path aliases; the
+                         // channel-track-merge preprocessing keeps full amplitude at every
+                         // read instant instead.
     cfg.preprocess = tagbreathe_suite::tagbreathe::PreprocessKind::ChannelTrackMerge;
     let bpm = BreathMonitor::new(cfg)
         .unwrap()

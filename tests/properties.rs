@@ -1,255 +1,322 @@
 //! Property-based tests of cross-crate invariants.
+//!
+//! Formerly `proptest`-driven; now dependency-free deterministic sweeps.
+//! Each property draws its cases from a seeded [`prng::Xoshiro256`]
+//! stream, so every run exercises the same (broad) slice of the input
+//! space and failures are exactly reproducible. Helper `uniform` maps
+//! the generator onto an arbitrary closed range.
 
 use dsp::phase::{wrap_to_2pi, wrap_to_pi};
-use proptest::prelude::*;
+use prng::{Rng, Xoshiro256};
 use tagbreathe_suite::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Number of cases per property — matches the old proptest budget.
+const CASES: usize = 64;
 
-    /// EPC encode/parse round-trips for arbitrary identities.
-    #[test]
-    fn epc_roundtrip(user in any::<u64>(), tag in any::<u32>()) {
+/// Uniform draw in `[lo, hi)`.
+fn uniform(rng: &mut Xoshiro256, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen_f64()
+}
+
+/// EPC encode/parse round-trips for arbitrary identities.
+#[test]
+fn epc_roundtrip() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE9C0);
+    for _ in 0..CASES {
+        let user = rng.next_u64();
+        let tag = rng.next_u64() as u32;
         let epc = Epc96::monitor(user, tag);
-        let parsed: Epc96 = epc.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, epc);
-        prop_assert_eq!(Epc96::from_bytes(epc.to_bytes()), epc);
+        let parsed: Epc96 = epc.to_string().parse().expect("EPC text round-trip");
+        assert_eq!(parsed, epc);
+        assert_eq!(Epc96::from_bytes(epc.to_bytes()), epc);
     }
+}
 
-    /// Wrapping identities hold for arbitrary angles.
-    #[test]
-    fn phase_wrapping_invariants(theta in -1e4f64..1e4) {
+/// Wrapping identities hold for arbitrary angles.
+#[test]
+fn phase_wrapping_invariants() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9A5E);
+    for _ in 0..CASES {
+        let theta = uniform(&mut rng, -1e4, 1e4);
         let w = wrap_to_2pi(theta);
-        prop_assert!((0.0..2.0 * std::f64::consts::PI).contains(&w));
+        assert!((0.0..2.0 * std::f64::consts::PI).contains(&w));
         let d = wrap_to_pi(theta);
-        prop_assert!(d > -std::f64::consts::PI - 1e-9);
-        prop_assert!(d <= std::f64::consts::PI + 1e-9);
+        assert!(d > -std::f64::consts::PI - 1e-9);
+        assert!(d <= std::f64::consts::PI + 1e-9);
         // Both agree with theta modulo 2π.
         let tau = 2.0 * std::f64::consts::PI;
-        prop_assert!(((w - theta) / tau - ((w - theta) / tau).round()).abs() < 1e-6);
-        prop_assert!(((d - theta) / tau - ((d - theta) / tau).round()).abs() < 1e-6);
+        assert!(((w - theta) / tau - ((w - theta) / tau).round()).abs() < 1e-6);
+        assert!(((d - theta) / tau - ((d - theta) / tau).round()).abs() < 1e-6);
     }
+}
 
-    /// The accuracy metric (Eq. 8) is 1 iff exact, symmetric in error sign,
-    /// and decreasing in |error|.
-    #[test]
-    fn accuracy_metric_properties(r in 1.0f64..40.0, err in 0.0f64..20.0) {
-        prop_assert!((accuracy(r, r) - 1.0).abs() < 1e-12);
+/// The accuracy metric (Eq. 8) is 1 iff exact, symmetric in error sign,
+/// and decreasing in |error|.
+#[test]
+fn accuracy_metric_properties() {
+    let mut rng = Xoshiro256::seed_from_u64(0xACC);
+    for _ in 0..CASES {
+        let r = uniform(&mut rng, 1.0, 40.0);
+        let err = uniform(&mut rng, 0.0, 20.0);
+        assert!((accuracy(r, r) - 1.0).abs() < 1e-12);
         let over = accuracy(r + err, r);
         let under = accuracy(r - err, r);
-        prop_assert!((over - under).abs() < 1e-9);
-        prop_assert!(over <= 1.0 + 1e-12);
+        assert!((over - under).abs() < 1e-9);
+        assert!(over <= 1.0 + 1e-12);
         let worse = accuracy(r + err + 1.0, r);
-        prop_assert!(worse <= over);
+        assert!(worse <= over);
     }
+}
 
-    /// The link budget is monotone: more distance or blockage never helps.
-    #[test]
-    fn link_budget_monotonicity(
-        d in 0.5f64..10.0,
-        extra in 0.1f64..3.0,
-        blockage in 0.0f64..20.0,
-    ) {
+/// The link budget is monotone: more distance or blockage never helps.
+#[test]
+fn link_budget_monotonicity() {
+    let mut rng = Xoshiro256::seed_from_u64(0x117);
+    for _ in 0..CASES {
+        let d = uniform(&mut rng, 0.5, 10.0);
+        let extra = uniform(&mut rng, 0.1, 3.0);
+        let blockage = uniform(&mut rng, 0.0, 20.0);
         let cfg = LinkConfig::paper_default();
         let near = LinkBudget::evaluate(&cfg, d, 0.3276, 8.5, blockage, 0.0);
         let far = LinkBudget::evaluate(&cfg, d + extra, 0.3276, 8.5, blockage, 0.0);
-        prop_assert!(far.forward_margin <= near.forward_margin);
-        prop_assert!(far.read_probability(&cfg) <= near.read_probability(&cfg) + 1e-12);
+        assert!(far.forward_margin <= near.forward_margin);
+        assert!(far.read_probability(&cfg) <= near.read_probability(&cfg) + 1e-12);
         let blocked = LinkBudget::evaluate(&cfg, d, 0.3276, 8.5, blockage + 5.0, 0.0);
-        prop_assert!(blocked.forward_margin < near.forward_margin);
+        assert!(blocked.forward_margin < near.forward_margin);
     }
+}
 
-    /// Phase of Eq. 1 stays in the principal range and is λ/2-periodic in
-    /// distance.
-    #[test]
-    fn phase_model_periodicity(d in 0.1f64..20.0, offset in 0.0f64..6.28) {
+/// Phase of Eq. 1 stays in the principal range and is λ/2-periodic in
+/// distance.
+#[test]
+fn phase_model_periodicity() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9E2);
+    for _ in 0..CASES {
+        let d = uniform(&mut rng, 0.1, 20.0);
+        let offset = uniform(&mut rng, 0.0, std::f64::consts::TAU);
         let lambda = 0.3276;
         let p = rfchannel::observation::ideal_phase(d, lambda, offset);
-        prop_assert!((0.0..2.0 * std::f64::consts::PI).contains(&p));
+        assert!((0.0..2.0 * std::f64::consts::PI).contains(&p));
         let q = rfchannel::observation::ideal_phase(d + lambda / 2.0, lambda, offset);
-        prop_assert!((p - q).abs() < 1e-6 || (p - q).abs() > 2.0 * std::f64::consts::PI - 1e-6);
+        assert!((p - q).abs() < 1e-6 || (p - q).abs() > 2.0 * std::f64::consts::PI - 1e-6);
     }
+}
 
-    /// Waveform excursions stay in [-1, 1] for any time and rate.
-    #[test]
-    fn waveform_bounds(t in 0.0f64..1e4, rate in 1.0f64..40.0, seed in any::<u64>()) {
+/// Waveform excursions stay in [-1, 1] for any time and rate.
+#[test]
+fn waveform_bounds() {
+    let mut rng = Xoshiro256::seed_from_u64(0x3AFE);
+    for _ in 0..CASES {
+        let t = uniform(&mut rng, 0.0, 1e4);
+        let rate = uniform(&mut rng, 1.0, 40.0);
+        let seed = rng.next_u64();
         let w = Waveform::realistic(rate, seed);
         let x = w.excursion(t);
-        prop_assert!((-1.001..=1.001).contains(&x));
+        assert!((-1.001..=1.001).contains(&x));
         let s = Waveform::Sinusoid { rate_bpm: rate };
-        prop_assert!(s.excursion(t).abs() <= 1.0 + 1e-12);
+        assert!(s.excursion(t).abs() <= 1.0 + 1e-12);
     }
+}
 
-    /// Q adaptation never leaves [0, 15].
-    #[test]
-    fn q_state_bounds(ops in proptest::collection::vec(0u8..3, 0..200)) {
+/// Q adaptation never leaves [0, 15].
+#[test]
+fn q_state_bounds() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0B5);
+    for _ in 0..CASES {
         let mut q = epcgen2::q_algorithm::QState::standard_default();
-        for op in ops {
-            match op {
+        let ops = rng.gen_range(0..200);
+        for _ in 0..ops {
+            match rng.gen_range(0..3) {
                 0 => q.on_empty(),
                 1 => q.on_single(),
                 _ => q.on_collision(),
             }
-            prop_assert!((0.0..=15.0).contains(&q.qfp()));
-            prop_assert!(q.current_q() <= 15);
+            assert!((0.0..=15.0).contains(&q.qfp()));
+            assert!(q.current_q() <= 15);
         }
     }
+}
 
-    /// Fusion is linear: scaling every increment scales the trajectory.
-    #[test]
-    fn fusion_linearity(values in proptest::collection::vec(-1.0f64..1.0, 2..50), k in 0.1f64..5.0) {
-        use dsp::resample::Sample;
-        use tagbreathe::fusion::fuse_displacement;
+/// Fusion is linear: scaling every increment scales the trajectory.
+#[test]
+fn fusion_linearity() {
+    use dsp::resample::Sample;
+    use tagbreathe::fusion::fuse_displacement;
+    let mut rng = Xoshiro256::seed_from_u64(0xF051);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..50);
+        let values: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1.0, 1.0)).collect();
+        let k = uniform(&mut rng, 0.1, 5.0);
         let stream: Vec<Sample> = values
             .iter()
             .enumerate()
             .map(|(i, &v)| Sample::new(i as f64 * 0.05, v))
             .collect();
-        let scaled: Vec<Sample> = stream.iter().map(|s| Sample::new(s.time, s.value * k)).collect();
-        let a = fuse_displacement(&[stream], 0.25, None).unwrap();
-        let b = fuse_displacement(&[scaled], 0.25, None).unwrap();
+        let scaled: Vec<Sample> = stream
+            .iter()
+            .map(|s| Sample::new(s.time, s.value * k))
+            .collect();
+        let a = fuse_displacement(&[stream], 0.25, None).expect("fuse unscaled");
+        let b = fuse_displacement(&[scaled], 0.25, None).expect("fuse scaled");
         for (x, y) in a.values().iter().zip(b.values()) {
-            prop_assert!((x * k - y).abs() < 1e-9);
+            assert!((x * k - y).abs() < 1e-9);
         }
     }
+}
 
-    /// The FFT low-pass never increases signal energy.
-    #[test]
-    fn lowpass_is_contractive(values in proptest::collection::vec(-10.0f64..10.0, 64..256)) {
-        use dsp::filter::FftLowPass;
-        let f = FftLowPass::breathing_band(16.0).unwrap();
+/// The FFT low-pass never increases signal energy.
+#[test]
+fn lowpass_is_contractive() {
+    use dsp::filter::FftLowPass;
+    let mut rng = Xoshiro256::seed_from_u64(0x10F);
+    for _ in 0..CASES {
+        let n = rng.gen_range(64..256);
+        let values: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -10.0, 10.0)).collect();
+        let f = FftLowPass::breathing_band(16.0).expect("breathing band");
         let out = f.filter(&values);
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let in_energy: f64 = values.iter().map(|x| (x - mean) * (x - mean)).sum();
         let out_energy: f64 = out.iter().map(|x| x * x).sum();
-        prop_assert!(out_energy <= in_energy * (1.0 + 1e-9));
+        assert!(out_energy <= in_energy * (1.0 + 1e-9));
     }
+}
 
-    /// Hop sequences are permutations for any seed.
-    #[test]
-    fn hop_sequence_permutation(seed in any::<u64>()) {
+/// Hop sequences are permutations for any seed.
+#[test]
+fn hop_sequence_permutation() {
+    let mut rng = Xoshiro256::seed_from_u64(0x40B);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let seq = rfchannel::channel_plan::HopSequence::paper_default(seed);
         let mut order = seq.order().to_vec();
         order.sort_unstable();
-        prop_assert_eq!(order, (0..10).collect::<Vec<_>>());
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
+}
 
-    /// MAC conservation: in any inventory round, every participant appears
-    /// at most once as Read/Failed, never both, and slot-event offsets are
-    /// consistent with the declared duration.
-    #[test]
-    fn inventory_round_conservation(
-        n in 0usize..40,
-        p in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
-        use epcgen2::inventory::{run_round, Participant, SlotEvent, SlotTiming};
-        use epcgen2::q_algorithm::QState;
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+/// MAC conservation: in any inventory round, every participant appears
+/// at most once as Read/Failed, never both, and slot-event offsets are
+/// consistent with the declared duration.
+#[test]
+fn inventory_round_conservation() {
+    use epcgen2::inventory::{run_round, Participant, SlotEvent, SlotTiming};
+    use epcgen2::q_algorithm::QState;
+    let mut rng = Xoshiro256::seed_from_u64(0x1C0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..40);
+        let p = rng.gen_f64();
+        let seed = rng.next_u64();
+        let mut round_rng = Xoshiro256::seed_from_u64(seed);
         let mut q = QState::standard_default();
         let participants: Vec<Participant> = (0..n)
-            .map(|i| Participant { tag_index: i, read_probability: p })
+            .map(|i| Participant {
+                tag_index: i,
+                read_probability: p,
+            })
             .collect();
-        let out = run_round(&mut rng, &mut q, &participants, &SlotTiming::paper_default());
+        let out = run_round(
+            &mut round_rng,
+            &mut q,
+            &participants,
+            &SlotTiming::paper_default(),
+        );
         let mut seen = std::collections::HashSet::new();
         let mut last_offset = 0u64;
         for &(offset, event) in &out.events {
-            prop_assert!(offset >= last_offset);
-            prop_assert!(offset < out.duration_us);
+            assert!(offset >= last_offset);
+            assert!(offset < out.duration_us);
             last_offset = offset;
             match event {
                 SlotEvent::Read { tag_index } | SlotEvent::Failed { tag_index } => {
-                    prop_assert!(tag_index < n, "phantom tag {tag_index}");
-                    prop_assert!(seen.insert(tag_index), "tag {tag_index} singulated twice");
+                    assert!(tag_index < n, "phantom tag {tag_index}");
+                    assert!(seen.insert(tag_index), "tag {tag_index} singulated twice");
                 }
                 _ => {}
             }
         }
-        // With p = 1, reads + collided tags = n; never more reads than tags.
-        prop_assert!(out.reads().count() <= n);
-    }
-
-    /// Select masks match exactly the EPCs they were built from.
-    #[test]
-    fn select_mask_soundness(user in any::<u64>(), tag in any::<u32>(), other in any::<u64>()) {
-        use epcgen2::select::SelectMask;
-        let mask = SelectMask::for_user(user);
-        prop_assert!(mask.matches(Epc96::monitor(user, tag)));
-        if other != user {
-            prop_assert!(!mask.matches(Epc96::monitor(other, tag)));
-        }
-    }
-
-    /// LLRP encode/decode round-trips arbitrary reports to within wire
-    /// resolution.
-    #[test]
-    fn llrp_roundtrip(
-        t in 0.0f64..1e5,
-        user in any::<u64>(),
-        tag in any::<u32>(),
-        port in 1u8..=4,
-        channel in 0u16..50,
-        phase in 0.0f64..6.28,
-        rssi in -90.0f64..-20.0,
-        doppler in -100.0f64..100.0,
-    ) {
-        use epcgen2::llrp::{decode_ro_access_report, encode_ro_access_report};
-        let report = TagReport {
-            time_s: t,
-            epc: Epc96::monitor(user, tag),
-            antenna_port: port,
-            channel_index: channel,
-            phase_rad: phase,
-            rssi_dbm: rssi,
-            doppler_hz: doppler,
-        };
-        let decoded = decode_ro_access_report(&encode_ro_access_report(&[report], 1)).unwrap();
-        prop_assert_eq!(decoded.len(), 1);
-        let d = decoded[0];
-        prop_assert_eq!(d.epc, report.epc);
-        prop_assert_eq!(d.antenna_port, report.antenna_port);
-        prop_assert_eq!(d.channel_index, report.channel_index);
-        prop_assert!((d.time_s - report.time_s).abs() < 1e-6);
-        prop_assert!((d.phase_rad - report.phase_rad).abs() <= 2.0 * std::f64::consts::PI / 4096.0);
-        prop_assert!((d.rssi_dbm - report.rssi_dbm).abs() <= 0.005 + 1e-9);
-        prop_assert!((d.doppler_hz - report.doppler_hz).abs() <= 1.0 / 32.0 + 1e-9);
-    }
-
-    /// Gen2 link profiles always derive ordered slot timings.
-    #[test]
-    fn link_profile_timing_ordering(
-        tari in 6.25f64..=25.0,
-        blf in 40.0f64..=640.0,
-        m_idx in 0usize..4,
-    ) {
-        use epcgen2::timing::LinkProfile;
-        let profile = LinkProfile {
-            tari_us: tari,
-            blf_khz: blf,
-            miller_m: [1u8, 2, 4, 8][m_idx],
-            round_overhead_us: 1_000,
-        };
-        let t = profile.slot_timing();
-        prop_assert!(t.empty_us < t.collision_us);
-        prop_assert!(t.collision_us < t.success_us);
-        prop_assert!(t.failed_us <= t.success_us);
+        // Never more reads than tags.
+        assert!(out.reads().count() <= n);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+/// Select masks match exactly the EPCs they were built from.
+#[test]
+fn select_mask_soundness() {
+    use epcgen2::select::SelectMask;
+    let mut rng = Xoshiro256::seed_from_u64(0x5E1);
+    for _ in 0..CASES {
+        let user = rng.next_u64();
+        let tag = rng.next_u64() as u32;
+        let other = rng.next_u64();
+        let mask = SelectMask::for_user(user);
+        assert!(mask.matches(Epc96::monitor(user, tag)));
+        if other != user {
+            assert!(!mask.matches(Epc96::monitor(other, tag)));
+        }
+    }
+}
 
-    /// Whole-pipeline robustness: arbitrary (valid) single-user scenarios
-    /// never panic, and when an estimate is produced it lies in the
-    /// physically configured band.
-    #[test]
-    fn pipeline_never_panics_and_estimates_are_plausible(
-        distance in 1.0f64..6.0,
-        rate in 6.0f64..20.0,
-        n_tags in 1usize..=3,
-        seed in 0u64..1000,
-    ) {
+/// LLRP encode/decode round-trips arbitrary reports to within wire
+/// resolution.
+#[test]
+fn llrp_roundtrip() {
+    use epcgen2::llrp::{decode_ro_access_report, encode_ro_access_report};
+    let mut rng = Xoshiro256::seed_from_u64(0x11F);
+    for _ in 0..CASES {
+        let report = TagReport {
+            time_s: uniform(&mut rng, 0.0, 1e5),
+            epc: Epc96::monitor(rng.next_u64(), rng.next_u64() as u32),
+            antenna_port: rng.gen_range(1..5) as u8,
+            channel_index: rng.gen_range(0..50) as u16,
+            phase_rad: uniform(&mut rng, 0.0, std::f64::consts::TAU),
+            rssi_dbm: uniform(&mut rng, -90.0, -20.0),
+            doppler_hz: uniform(&mut rng, -100.0, 100.0),
+        };
+        let decoded =
+            decode_ro_access_report(&encode_ro_access_report(&[report], 1)).expect("LLRP decode");
+        assert_eq!(decoded.len(), 1);
+        let d = decoded[0];
+        assert_eq!(d.epc, report.epc);
+        assert_eq!(d.antenna_port, report.antenna_port);
+        assert_eq!(d.channel_index, report.channel_index);
+        assert!((d.time_s - report.time_s).abs() < 1e-6);
+        assert!((d.phase_rad - report.phase_rad).abs() <= 2.0 * std::f64::consts::PI / 4096.0);
+        assert!((d.rssi_dbm - report.rssi_dbm).abs() <= 0.005 + 1e-9);
+        assert!((d.doppler_hz - report.doppler_hz).abs() <= 1.0 / 32.0 + 1e-9);
+    }
+}
+
+/// Gen2 link profiles always derive ordered slot timings.
+#[test]
+fn link_profile_timing_ordering() {
+    use epcgen2::timing::LinkProfile;
+    let mut rng = Xoshiro256::seed_from_u64(0x717);
+    for _ in 0..CASES {
+        let profile = LinkProfile {
+            tari_us: uniform(&mut rng, 6.25, 25.0),
+            blf_khz: uniform(&mut rng, 40.0, 640.0),
+            miller_m: [1u8, 2, 4, 8][rng.gen_range(0..4)],
+            round_overhead_us: 1_000,
+        };
+        let t = profile.slot_timing();
+        assert!(t.empty_us < t.collision_us);
+        assert!(t.collision_us < t.success_us);
+        assert!(t.failed_us <= t.success_us);
+    }
+}
+
+/// Whole-pipeline robustness: arbitrary (valid) single-user scenarios
+/// never panic, and when an estimate is produced it lies in the
+/// physically configured band.
+#[test]
+fn pipeline_never_panics_and_estimates_are_plausible() {
+    let mut rng = Xoshiro256::seed_from_u64(0x919);
+    // The heavy whole-pipeline sweep keeps the old 6-case budget.
+    for _ in 0..6 {
+        let distance = uniform(&mut rng, 1.0, 6.0);
+        let rate = uniform(&mut rng, 6.0, 20.0);
+        let n_tags = rng.gen_range(1..4);
+        let seed = rng.gen_range(0..1000) as u64;
         let sites = TagSite::ALL[..n_tags].to_vec();
         let subject = Subject::new(
             1,
@@ -263,13 +330,14 @@ proptest! {
         let reader = Reader::new(
             ReaderConfig::paper_default().with_seed(seed),
             vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
-        ).unwrap();
+        )
+        .expect("reader config");
         let reports = reader.run(&ScenarioWorld::new(scenario), 40.0);
-        let analysis = BreathMonitor::paper_default()
-            .analyze(&reports, &EmbeddedIdentity::new([1]));
+        let analysis =
+            BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new([1]));
         if let Some(Ok(user)) = analysis.users.get(&1).map(|r| r.as_ref()) {
             if let Some(bpm) = user.mean_rate_bpm() {
-                prop_assert!(bpm > 0.0 && bpm < 45.0, "estimate {bpm} out of band");
+                assert!(bpm > 0.0 && bpm < 45.0, "estimate {bpm} out of band");
             }
         }
     }

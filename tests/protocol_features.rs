@@ -50,7 +50,9 @@ fn s1_session_breaks_breath_monitoring() {
     // reduces per-tag rates below the breathing Nyquist rate, so the
     // pipeline must abstain or fail — silently wrong answers are the one
     // forbidden outcome.
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 2.0))
+        .build();
     let world = ScenarioWorld::new(scenario);
     let reports = Reader::new(
         ReaderConfig::paper_default().with_session(Session::S1 { persistence_s: 5.0 }),
@@ -104,16 +106,16 @@ fn etsi_channel_plan_works_end_to_end() {
     let mut reader_cfg = ReaderConfig::paper_default();
     reader_cfg.plan = ChannelPlan::etsi_4();
     let reader = Reader::new(reader_cfg, vec![antenna()]).unwrap();
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 2.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 2.0))
+        .build();
     let reports = reader.run(&ScenarioWorld::new(scenario), 60.0);
     assert!(reports.iter().all(|r| (r.channel_index as usize) < 4));
 
     let mut pipeline_cfg = PipelineConfig::paper_default();
     pipeline_cfg.plan = ChannelPlan::etsi_4();
     let monitor = BreathMonitor::new(pipeline_cfg).unwrap();
-    let bpm = monitor
-        .analyze(&reports, &EmbeddedIdentity::new([1]))
-        .users[&1]
+    let bpm = monitor.analyze(&reports, &EmbeddedIdentity::new([1])).users[&1]
         .as_ref()
         .unwrap()
         .mean_rate_bpm()
@@ -126,18 +128,20 @@ fn fixed_channel_plan_works_end_to_end() {
     // The paper notes a fixed channel is not FCC-legal but is the simplest
     // configuration conceptually — no hop discontinuities at all.
     let mut reader_cfg = ReaderConfig::paper_default();
-    reader_cfg.plan = ChannelPlan::fixed(tagbreathe_suite::rfchannel::units::Hertz::from_mhz(915.0));
+    reader_cfg.plan =
+        ChannelPlan::fixed(tagbreathe_suite::rfchannel::units::Hertz::from_mhz(915.0));
     let reader = Reader::new(reader_cfg, vec![antenna()]).unwrap();
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.0))
+        .build();
     let reports = reader.run(&ScenarioWorld::new(scenario), 60.0);
     assert!(reports.iter().all(|r| r.channel_index == 0));
 
     let mut pipeline_cfg = PipelineConfig::paper_default();
-    pipeline_cfg.plan = ChannelPlan::fixed(tagbreathe_suite::rfchannel::units::Hertz::from_mhz(915.0));
+    pipeline_cfg.plan =
+        ChannelPlan::fixed(tagbreathe_suite::rfchannel::units::Hertz::from_mhz(915.0));
     let monitor = BreathMonitor::new(pipeline_cfg).unwrap();
-    let bpm = monitor
-        .analyze(&reports, &EmbeddedIdentity::new([1]))
-        .users[&1]
+    let bpm = monitor.analyze(&reports, &EmbeddedIdentity::new([1])).users[&1]
         .as_ref()
         .unwrap()
         .mean_rate_bpm()
@@ -177,7 +181,9 @@ fn two_ray_propagation_works_end_to_end() {
         reflection_coeff: 0.5,
     };
     let reader = Reader::new(cfg, vec![antenna()]).unwrap();
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.0))
+        .build();
     let reports = reader.run(&ScenarioWorld::new(scenario), 90.0);
     assert!(!reports.is_empty());
     let bpm = BreathMonitor::paper_default()

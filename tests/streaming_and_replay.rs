@@ -5,7 +5,9 @@ use epcgen2::report::{read_csv, write_csv};
 use tagbreathe_suite::prelude::*;
 
 fn capture(secs: f64, seed: u64) -> Vec<TagReport> {
-    let scenario = Scenario::builder().subject(Subject::paper_default(1, 3.0)).build();
+    let scenario = Scenario::builder()
+        .subject(Subject::paper_default(1, 3.0))
+        .build();
     let reader = Reader::new(
         ReaderConfig::paper_default().with_seed(seed),
         vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
@@ -62,11 +64,18 @@ fn pipelined_thread_produces_live_estimates() {
     }
     let snaps = handle.finish();
     assert!(snaps.len() >= 3, "only {} snapshots", snaps.len());
-    let with_rates = snaps.iter().filter(|s| s.rates_bpm.contains_key(&1)).count();
+    let with_rates = snaps
+        .iter()
+        .filter(|s| s.rates_bpm.contains_key(&1))
+        .count();
     assert!(with_rates >= 2, "only {with_rates} snapshots carried rates");
     for s in &snaps {
         if let Some(&bpm) = s.rates_bpm.get(&1) {
-            assert!((bpm - 10.0).abs() < 3.0, "live estimate {bpm} at t={}", s.time_s);
+            assert!(
+                (bpm - 10.0).abs() < 3.0,
+                "live estimate {bpm} at t={}",
+                s.time_s
+            );
         }
     }
 }
@@ -103,7 +112,11 @@ fn mapping_table_fallback_matches_embedded_identity() {
         }
     }
     let mapped = monitor.analyze(&reports, &table);
-    let a = embedded.users[&1].as_ref().unwrap().mean_rate_bpm().unwrap();
+    let a = embedded.users[&1]
+        .as_ref()
+        .unwrap()
+        .mean_rate_bpm()
+        .unwrap();
     let b = mapped.users[&1].as_ref().unwrap().mean_rate_bpm().unwrap();
     assert_eq!(a, b, "resolvers disagreed");
 }
