@@ -7,11 +7,16 @@
 #   2. clippy, zero-warn  cargo clippy --workspace --all-targets -- -D warnings
 #   3. release build      cargo build --release
 #   4. test suite         cargo test -q
-#   5. workspace lint     cargo run -p tagbreathe-lint -- check
+#   5. equivalence suite  cargo test -q --release --test equivalence
+#   6. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke
+#   7. workspace lint     cargo run -p tagbreathe-lint -- check
 #
-# Step 5 is the in-tree ratchet linter (crates/lint): it fails on any
-# violation beyond lint-baseline.txt AND on any uncommitted slack (a
-# burn-down that forgot `-- check --update-baseline`).
+# Step 5 pins the batch/streaming agreement of the shared operator graph
+# (0.1 bpm); step 6 is the streaming-vs-recompute microbench in its
+# one-iteration smoke mode. Step 7 is the in-tree ratchet linter
+# (crates/lint): it fails on any violation beyond lint-baseline.txt AND on
+# any uncommitted slack (a burn-down that forgot
+# `-- check --update-baseline`).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,6 +31,12 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -q --release --test equivalence"
+cargo test -q --release --test equivalence
+
+echo "==> stream_bench --smoke"
+cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --smoke --out /tmp/BENCH_streaming_smoke.json
 
 echo "==> cargo run -p tagbreathe-lint -- check"
 cargo run -q -p tagbreathe-lint -- check

@@ -1,0 +1,41 @@
+//! Streaming-vs-recompute microbenchmark driver.
+//!
+//! ```text
+//! stream_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! Sweeps reports/sec of the incremental `StreamingMonitor` against the
+//! buffer-and-reanalyze baseline over 1 / 10 / 100 users and 12.5 / 25 /
+//! 50 s windows, prints a summary table and writes machine-readable JSON
+//! to `BENCH_streaming.json` (or `--out PATH`). `--smoke` runs a single
+//! tiny point for CI.
+
+use tagbreathe_bench::streaming::{render, run, to_json, StreamBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_streaming.json".to_string());
+    let config = if smoke {
+        StreamBenchConfig::smoke()
+    } else {
+        StreamBenchConfig::quick()
+    };
+    eprintln!(
+        "# stream_bench — users {:?}, windows {:?} s, {} s traces",
+        config.users, config.windows_s, config.duration_s
+    );
+    let points = run(&config);
+    print!("{}", render(&points));
+    let json = to_json(&config, &points);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+}

@@ -18,6 +18,7 @@ pub mod characterization;
 pub mod evaluation;
 pub mod harness;
 pub mod microbench;
+pub mod streaming;
 pub mod table;
 
 pub use harness::TrialSetup;

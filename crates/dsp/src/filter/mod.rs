@@ -9,8 +9,10 @@ mod fft_filter;
 mod fir;
 mod median;
 mod moving;
+mod streaming;
 
 pub use fft_filter::{FftBandPass, FftLowPass};
-pub use fir::FirFilter;
+pub use fir::{FirDesignError, FirFilter};
 pub use median::median_filter;
 pub use moving::{detrend_linear, detrend_mean, MovingAverage};
+pub use streaming::{Biquad, BiquadDesignError, FirStream};

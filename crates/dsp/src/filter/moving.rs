@@ -141,42 +141,48 @@ pub fn detrend_linear(signal: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
     fn zero_capacity_is_rejected() {
         assert!(MovingAverage::new(0).is_err());
     }
 
     #[test]
-    fn warmup_averages_partial_window() {
-        let mut ma = MovingAverage::new(4).unwrap();
+    fn warmup_averages_partial_window() -> TestResult {
+        let mut ma = MovingAverage::new(4)?;
         assert_eq!(ma.push(2.0), 2.0);
         assert_eq!(ma.push(4.0), 3.0);
         assert_eq!(ma.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn full_window_evicts_oldest() {
-        let mut ma = MovingAverage::new(2).unwrap();
+    fn full_window_evicts_oldest() -> TestResult {
+        let mut ma = MovingAverage::new(2)?;
         let _ = ma.push(1.0);
         let _ = ma.push(2.0);
         assert_eq!(ma.push(3.0), 2.5); // window [2, 3]
         assert_eq!(ma.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn mean_is_none_when_empty() {
-        let ma = MovingAverage::new(3).unwrap();
+    fn mean_is_none_when_empty() -> TestResult {
+        let ma = MovingAverage::new(3)?;
         assert!(ma.mean().is_none());
         assert!(ma.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn clear_resets_state() {
-        let mut ma = MovingAverage::new(3).unwrap();
+    fn clear_resets_state() -> TestResult {
+        let mut ma = MovingAverage::new(3)?;
         let _ = ma.push(5.0);
         ma.clear();
         assert!(ma.mean().is_none());
         assert_eq!(ma.push(1.0), 1.0);
+        Ok(())
     }
 
     #[test]

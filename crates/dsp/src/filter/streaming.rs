@@ -1,0 +1,403 @@
+//! Streaming (sample-at-a-time) filter state objects.
+//!
+//! The batch filters in this module's siblings ([`FirFilter`],
+//! [`FftLowPass`](crate::filter::FftLowPass)) operate on a whole recorded
+//! window at once and can therefore be zero-phase. Real-time pipelines push
+//! one sample per tag read and need per-stream *state* instead: a delay line
+//! for FIR convolution and two memory cells for a biquad section. Both
+//! operators here are causal — their output lags the input by the filter's
+//! group delay, which callers compensate for when aligning timestamps
+//! (see [`FirStream::group_delay`]).
+//!
+//! [`FirFilter`]: crate::filter::FirFilter
+
+use std::collections::VecDeque;
+
+use super::fir::{FirDesignError, FirFilter};
+
+/// Causal streaming form of [`FirFilter`]: a tap vector plus a ring-buffer
+/// delay line.
+///
+/// Unlike [`FirFilter::filter`], which centres the kernel on each sample
+/// (zero phase), pushing through `FirStream` delays the signal by
+/// [`group_delay`](FirStream::group_delay) samples — the unavoidable latency
+/// of a causal linear-phase filter. Samples before the first push are treated
+/// as zero, so the first `taps.len()` outputs contain the warm-up transient.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::filter::{FirFilter, FirStream};
+///
+/// let fir = FirFilter::low_pass(0.67, 64.0, 65)?;
+/// let mut stream = FirStream::new(&fir);
+/// let mut last = 0.0;
+/// for _ in 0..512 {
+///     last = stream.push(1.0);
+/// }
+/// assert!((last - 1.0).abs() < 1e-9); // unity DC gain after warm-up
+/// # Ok::<(), tagbreathe_dsp::filter::FirDesignError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirStream {
+    taps: Vec<f64>,
+    /// `delay[0]` is the newest sample, `delay[j]` is `x[n − j]`.
+    delay: VecDeque<f64>,
+}
+
+impl FirStream {
+    /// Creates a streaming filter sharing the taps of a designed batch
+    /// filter.
+    #[must_use]
+    pub fn new(filter: &FirFilter) -> Self {
+        FirStream {
+            taps: filter.taps().to_vec(),
+            delay: VecDeque::with_capacity(filter.taps().len()),
+        }
+    }
+
+    /// Creates a streaming filter from explicit tap coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, FirDesignError> {
+        FirFilter::from_taps(taps).map(|f| Self::new(&f))
+    }
+
+    /// Pushes one input sample and returns the filtered output sample
+    /// (delayed by [`group_delay`](FirStream::group_delay) samples).
+    #[must_use]
+    pub fn push(&mut self, x: f64) -> f64 {
+        if self.delay.len() == self.taps.len() {
+            self.delay.pop_back();
+        }
+        self.delay.push_front(x);
+        self.taps
+            .iter()
+            .zip(self.delay.iter())
+            .map(|(tap, sample)| tap * sample)
+            .sum()
+    }
+
+    /// The latency of the causal filter in samples (half the filter order).
+    pub fn group_delay(&self) -> usize {
+        self.taps.len() / 2
+    }
+
+    /// Number of taps in the kernel.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the kernel is empty (never true for a constructed filter).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Clears the delay line, restarting the warm-up transient.
+    pub fn reset(&mut self) {
+        self.delay.clear();
+    }
+}
+
+/// Error from invalid biquad design parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiquadDesignError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for BiquadDesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid biquad design parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for BiquadDesignError {}
+
+/// A second-order IIR section (biquad) in direct form II transposed — the
+/// cheap incremental alternative to the FIR delay line: two state cells and
+/// five multiplies per sample regardless of how sharp the response is.
+///
+/// Coefficients follow the Audio-EQ-Cookbook bilinear-transform designs.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::filter::Biquad;
+///
+/// let mut lp = Biquad::low_pass(0.67, 16.0, Biquad::BUTTERWORTH_Q)?;
+/// let mut last = 0.0;
+/// for _ in 0..200 {
+///     last = lp.push(1.0);
+/// }
+/// assert!((last - 1.0).abs() < 1e-6); // settles to unity DC gain
+/// # Ok::<(), tagbreathe_dsp::filter::BiquadDesignError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    z1: f64,
+    z2: f64,
+}
+
+impl Biquad {
+    /// Q of a second-order Butterworth (maximally flat) response.
+    pub const BUTTERWORTH_Q: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+    /// Designs a low-pass biquad with cutoff `cutoff_hz` at `sample_rate_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < cutoff_hz < sample_rate_hz / 2` and
+    /// `q > 0`, all finite.
+    pub fn low_pass(
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+        q: f64,
+    ) -> Result<Self, BiquadDesignError> {
+        let (cos_w, alpha) = Self::prototype(cutoff_hz, sample_rate_hz, q)?;
+        let b1 = 1.0 - cos_w;
+        let b0 = b1 / 2.0;
+        Ok(Self::normalise(b0, b1, b0, cos_w, alpha))
+    }
+
+    /// Designs a high-pass biquad with cutoff `cutoff_hz` at `sample_rate_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Biquad::low_pass`].
+    pub fn high_pass(
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+        q: f64,
+    ) -> Result<Self, BiquadDesignError> {
+        let (cos_w, alpha) = Self::prototype(cutoff_hz, sample_rate_hz, q)?;
+        let b1 = -(1.0 + cos_w);
+        let b0 = -b1 / 2.0;
+        Ok(Self::normalise(b0, b1, b0, cos_w, alpha))
+    }
+
+    /// Creates a biquad from explicit normalised coefficients
+    /// (`a0` already divided out): `y = b0·x + b1·x₁ + b2·x₂ − a1·y₁ − a2·y₂`.
+    #[must_use]
+    pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Biquad {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    fn prototype(
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+        q: f64,
+    ) -> Result<(f64, f64), BiquadDesignError> {
+        if !(cutoff_hz.is_finite() && cutoff_hz > 0.0) {
+            return Err(BiquadDesignError {
+                what: "cutoff frequency must be positive and finite",
+            });
+        }
+        if !(sample_rate_hz.is_finite() && sample_rate_hz > 0.0) {
+            return Err(BiquadDesignError {
+                what: "sample rate must be positive and finite",
+            });
+        }
+        if cutoff_hz >= sample_rate_hz / 2.0 {
+            return Err(BiquadDesignError {
+                what: "cutoff frequency must stay below the Nyquist frequency",
+            });
+        }
+        if !(q.is_finite() && q > 0.0) {
+            return Err(BiquadDesignError {
+                what: "quality factor must be positive and finite",
+            });
+        }
+        let w0 = 2.0 * std::f64::consts::PI * cutoff_hz / sample_rate_hz;
+        let (sin_w, cos_w) = w0.sin_cos();
+        Ok((cos_w, sin_w / (2.0 * q)))
+    }
+
+    fn normalise(b0: f64, b1: f64, b2: f64, cos_w: f64, alpha: f64) -> Self {
+        let a0 = 1.0 + alpha;
+        Biquad {
+            b0: b0 / a0,
+            b1: b1 / a0,
+            b2: b2 / a0,
+            a1: -2.0 * cos_w / a0,
+            a2: (1.0 - alpha) / a0,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    /// Pushes one input sample and returns the filtered output sample.
+    #[must_use]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.z1;
+        self.z1 = self.b1 * x - self.a1 * y + self.z2;
+        self.z2 = self.b2 * x - self.a2 * y;
+        y
+    }
+
+    /// Frequency response magnitude at `freq_hz` for a given sample rate.
+    #[must_use]
+    pub fn magnitude_at(&self, freq_hz: f64, sample_rate_hz: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * freq_hz / sample_rate_hz;
+        let num = Self::response(self.b0, self.b1, self.b2, w);
+        let den = Self::response(1.0, self.a1, self.a2, w);
+        num / den
+    }
+
+    /// |c0 + c1·e^{−jw} + c2·e^{−2jw}|
+    fn response(c0: f64, c1: f64, c2: f64, w: f64) -> f64 {
+        let re = c0 + c1 * w.cos() + c2 * (2.0 * w).cos();
+        let im = -(c1 * w.sin() + c2 * (2.0 * w).sin());
+        re.hypot(im)
+    }
+
+    /// Clears the filter memory.
+    pub fn reset(&mut self) {
+        self.z1 = 0.0;
+        self.z2 = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn tone(freq: f64, sr: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sr).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fir_stream_matches_batch_convolution_with_delay() -> TestResult {
+        // Pushing x through the causal stream reproduces the batch output
+        // shifted by the group delay (away from the edges where the batch
+        // filter reflects and the stream zero-pads).
+        let sr = 64.0;
+        let fir = FirFilter::low_pass(0.67, sr, 65)?;
+        let signal = tone(0.25, sr, 1024);
+        let batch = fir.filter(&signal);
+        let mut stream = FirStream::new(&fir);
+        let streamed: Vec<f64> = signal.iter().map(|&x| stream.push(x)).collect();
+        let d = stream.group_delay();
+        for i in 100..(signal.len() - d) {
+            let err = (streamed[i + d] - batch[i]).abs();
+            assert!(err < 1e-9, "mismatch at {i}: {err}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn fir_stream_warm_up_assumes_zero_history() -> TestResult {
+        let mut stream = FirStream::from_taps(vec![0.5, 0.5])?;
+        assert!((stream.push(2.0) - 1.0).abs() < 1e-12);
+        assert!((stream.push(2.0) - 2.0).abs() < 1e-12);
+        Ok(())
+    }
+
+    #[test]
+    fn fir_stream_reset_restarts_transient() -> TestResult {
+        let mut stream = FirStream::from_taps(vec![0.5, 0.5])?;
+        let _ = stream.push(2.0);
+        let _ = stream.push(2.0);
+        stream.reset();
+        assert!((stream.push(2.0) - 1.0).abs() < 1e-12);
+        Ok(())
+    }
+
+    #[test]
+    fn fir_stream_rejects_empty_taps() {
+        assert!(FirStream::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn biquad_rejects_bad_parameters() {
+        assert!(Biquad::low_pass(0.0, 16.0, 0.7).is_err());
+        assert!(Biquad::low_pass(8.0, 16.0, 0.7).is_err());
+        assert!(Biquad::low_pass(0.67, 0.0, 0.7).is_err());
+        assert!(Biquad::low_pass(0.67, 16.0, 0.0).is_err());
+        assert!(Biquad::high_pass(f64::NAN, 16.0, 0.7).is_err());
+    }
+
+    #[test]
+    fn biquad_low_pass_frequency_response() -> TestResult {
+        let lp = Biquad::low_pass(0.67, 16.0, Biquad::BUTTERWORTH_Q)?;
+        assert!((lp.magnitude_at(0.0, 16.0) - 1.0).abs() < 1e-12, "DC gain");
+        assert!(lp.magnitude_at(0.1, 16.0) > 0.95, "passband");
+        // Butterworth: −3 dB at cutoff.
+        let at_cutoff = lp.magnitude_at(0.67, 16.0);
+        assert!((at_cutoff - Biquad::BUTTERWORTH_Q).abs() < 1e-3);
+        assert!(lp.magnitude_at(5.0, 16.0) < 0.02, "stopband");
+        Ok(())
+    }
+
+    #[test]
+    fn biquad_high_pass_frequency_response() -> TestResult {
+        let hp = Biquad::high_pass(0.05, 16.0, Biquad::BUTTERWORTH_Q)?;
+        assert!(hp.magnitude_at(0.0, 16.0) < 1e-12, "DC reject");
+        assert!(hp.magnitude_at(1.0, 16.0) > 0.95, "passband");
+        Ok(())
+    }
+
+    #[test]
+    fn biquad_attenuates_out_of_band_tone() -> TestResult {
+        let sr = 16.0;
+        let mut lp = Biquad::low_pass(0.67, sr, Biquad::BUTTERWORTH_Q)?;
+        let fast = tone(4.0, sr, 512);
+        let out: Vec<f64> = fast.iter().map(|&x| lp.push(x)).collect();
+        let energy_in: f64 = fast.iter().map(|x| x * x).sum();
+        let energy_out: f64 = out[64..].iter().map(|x| x * x).sum();
+        assert!(energy_out < energy_in * 0.01, "leaked {energy_out}");
+        Ok(())
+    }
+
+    #[test]
+    fn biquad_passes_breathing_band_tone() -> TestResult {
+        let sr = 16.0;
+        let mut lp = Biquad::low_pass(0.67, sr, Biquad::BUTTERWORTH_Q)?;
+        let slow = tone(0.2, sr, 2048);
+        let out: Vec<f64> = slow.iter().map(|&x| lp.push(x)).collect();
+        let energy_in: f64 = slow[256..].iter().map(|x| x * x).sum();
+        let energy_out: f64 = out[256..].iter().map(|x| x * x).sum();
+        assert!(
+            energy_out > energy_in * 0.9,
+            "attenuated to {energy_out} of {energy_in}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn biquad_reset_clears_memory() -> TestResult {
+        let mut lp = Biquad::low_pass(1.0, 16.0, Biquad::BUTTERWORTH_Q)?;
+        let first = lp.push(1.0);
+        let _ = lp.push(1.0);
+        lp.reset();
+        assert!((lp.push(1.0) - first).abs() < 1e-15);
+        Ok(())
+    }
+
+    #[test]
+    fn from_coefficients_identity_passthrough() {
+        let mut id = Biquad::from_coefficients(1.0, 0.0, 0.0, 0.0, 0.0);
+        for x in [1.0, -2.0, 0.5] {
+            assert!((id.push(x) - x).abs() < 1e-15);
+        }
+    }
+}

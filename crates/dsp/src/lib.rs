@@ -14,7 +14,11 @@
 //!   ([`filter::FftLowPass`], cutoff 0.67 Hz) — or the windowed-sinc FIR
 //!   alternative ([`filter::FirFilter`]) — for breath-signal extraction;
 //! * zero-crossing detection ([`zero_crossing`]) for the instantaneous rate
-//!   of Eq. (5);
+//!   of Eq. (5) — batch scans and the incremental
+//!   [`zero_crossing::ZeroCrossingStream`] /
+//!   [`zero_crossing::CrossingRateEstimator`] share one state machine;
+//! * the push-based [`stream::Operator`] layer with causal filter state
+//!   ([`filter::FirStream`], [`filter::Biquad`]) for real-time pipelines;
 //! * spectral-peak estimation ([`spectrum`]) as the coarser FFT-peak
 //!   baseline the paper discusses (resolution `1/w`).
 //!
@@ -58,6 +62,7 @@ pub mod resample;
 pub mod spectrum;
 pub mod stats;
 pub mod stft;
+pub mod stream;
 pub mod window;
 pub mod zero_crossing;
 

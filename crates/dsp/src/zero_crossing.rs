@@ -4,6 +4,13 @@
 //! of zero crossings of the extracted (low-pass-filtered, zero-mean)
 //! breathing signal (Eq. 5). Each breath contributes two crossings, so
 //! `M` buffered crossings span `(M − 1)/2` breaths.
+//!
+//! The core is the incremental [`ZeroCrossingStream`]: push `(time, value)`
+//! samples one at a time and receive crossings as they are confirmed. The
+//! batch [`find_zero_crossings`] is a thin driver over it, so both the
+//! recorded-trace and the real-time paths share one state machine.
+
+use std::collections::VecDeque;
 
 /// Direction of a zero crossing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,12 +30,143 @@ pub struct ZeroCrossing {
     pub direction: CrossingDirection,
 }
 
+/// Incremental zero-crossing detector with hysteresis.
+///
+/// State per stream: the last confirmed polarity plus the short run of
+/// samples since the last confirmed sample (the confirmed sample itself and
+/// any in-band samples after it). On a polarity flip the crossing is located
+/// by scanning that run for the first adjacent pair straddling zero and
+/// interpolating linearly — exactly what the batch scan does, so driving
+/// this operator over a slice reproduces [`find_zero_crossings`].
+///
+/// The buffered run is bounded by the longest stay inside the hysteresis
+/// band, which for a band-limited breathing signal is a handful of samples.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::zero_crossing::{CrossingDirection, ZeroCrossingStream};
+///
+/// let mut zc = ZeroCrossingStream::new(0.0);
+/// assert!(zc.push(0.0, -1.0).is_none());
+/// let c = zc.push(0.5, 1.0).expect("crossing");
+/// assert_eq!(c.direction, CrossingDirection::Rising);
+/// assert!((c.time - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZeroCrossingStream {
+    hysteresis: f64,
+    /// Last confirmed polarity (+1 / −1), `None` until the signal exceeds
+    /// the hysteresis band the first time.
+    polarity: Option<i8>,
+    /// The last confirmed sample followed by every in-band sample since,
+    /// as `(time, value)`. Empty until the first confirmed sample.
+    pending: Vec<(f64, f64)>,
+}
+
+impl ZeroCrossingStream {
+    /// Creates a detector. `hysteresis` suppresses chatter: after a crossing
+    /// the signal must exceed `±hysteresis` before another crossing is
+    /// accepted. Pass `0.0` for plain sign-change detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis` is negative.
+    #[must_use]
+    pub fn new(hysteresis: f64) -> Self {
+        assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+        ZeroCrossingStream {
+            hysteresis,
+            polarity: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Pushes one `(time, value)` sample; returns a crossing when this
+    /// sample confirms a polarity flip.
+    pub fn push(&mut self, time: f64, value: f64) -> Option<ZeroCrossing> {
+        let confirmed = if value > self.hysteresis {
+            Some(1i8)
+        } else if value < -self.hysteresis {
+            Some(-1i8)
+        } else {
+            None
+        };
+        let Some(p) = confirmed else {
+            // In-band sample: remember it (it may hold the true sign change)
+            // but only once a confirmed sample anchors the run.
+            if !self.pending.is_empty() {
+                self.pending.push((time, value));
+            }
+            return None;
+        };
+        let crossing = match self.polarity {
+            Some(prev) if prev != p => {
+                self.pending.push((time, value));
+                Some(interpolate_pending(&self.pending, p))
+            }
+            _ => None,
+        };
+        self.polarity = Some(p);
+        self.pending.clear();
+        self.pending.push((time, value));
+        crossing
+    }
+
+    /// Number of samples currently buffered while waiting for a confirmed
+    /// polarity.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Resets to the initial (no polarity seen) state.
+    pub fn reset(&mut self) {
+        self.polarity = None;
+        self.pending.clear();
+    }
+}
+
+/// Locates the crossing inside a pending run ending in a confirmed flip:
+/// first adjacent pair straddling zero, else the last pair, interpolated
+/// linearly between the pair's timestamps.
+fn interpolate_pending(pending: &[(f64, f64)], new_polarity: i8) -> ZeroCrossing {
+    debug_assert!(pending.len() >= 2);
+    let mut a = 0;
+    for i in 0..pending.len() - 1 {
+        let ya = pending[i].1;
+        let yb = pending[i + 1].1;
+        let crosses = (ya <= 0.0 && yb > 0.0) || (ya >= 0.0 && yb < 0.0);
+        a = i;
+        if crosses {
+            break;
+        }
+    }
+    let (ta, ya) = pending[a];
+    let (tb, yb) = pending[a + 1];
+    let frac = if (yb - ya).abs() > f64::EPSILON {
+        (-ya / (yb - ya)).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
+    let direction = if new_polarity > 0 {
+        CrossingDirection::Rising
+    } else {
+        CrossingDirection::Falling
+    };
+    ZeroCrossing {
+        time: ta + frac * (tb - ta),
+        direction,
+    }
+}
+
 /// Detects zero crossings in a uniformly sampled signal.
 ///
 /// `start_time` is the time of `signal[0]` and `dt` the sample spacing.
 /// `hysteresis` suppresses chatter: after a crossing the signal must exceed
 /// `±hysteresis` before another crossing is accepted. Pass `0.0` for plain
 /// sign-change detection.
+///
+/// This is the batch driver over [`ZeroCrossingStream`].
 ///
 /// # Panics
 ///
@@ -52,75 +190,12 @@ pub fn find_zero_crossings(
     hysteresis: f64,
 ) -> Vec<ZeroCrossing> {
     assert!(dt > 0.0, "sample spacing must be positive");
-    assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
-    let mut out = Vec::new();
-    // State: last confirmed polarity (+1 / -1), None until signal exceeds
-    // the hysteresis band the first time.
-    let mut polarity: Option<i8> = None;
-    let mut last_idx_before_cross = 0usize;
-    for (i, &x) in signal.iter().enumerate() {
-        let p = if x > hysteresis {
-            Some(1i8)
-        } else if x < -hysteresis {
-            Some(-1i8)
-        } else {
-            None
-        };
-        let Some(p) = p else { continue };
-        match polarity {
-            None => polarity = Some(p),
-            Some(prev) if prev != p => {
-                // Find the actual sign change between the last sample with
-                // the previous polarity and here; interpolate linearly.
-                let (t, dir) =
-                    interpolate_crossing(signal, last_idx_before_cross, i, start_time, dt, p);
-                out.push(ZeroCrossing {
-                    time: t,
-                    direction: dir,
-                });
-                polarity = Some(p);
-            }
-            _ => {}
-        }
-        last_idx_before_cross = i;
-    }
-    out
-}
-
-fn interpolate_crossing(
-    signal: &[f64],
-    from: usize,
-    to: usize,
-    start_time: f64,
-    dt: f64,
-    new_polarity: i8,
-) -> (f64, CrossingDirection) {
-    // Scan for the sample pair that actually straddles zero.
-    let mut a = from;
-    for i in from..to {
-        let crosses =
-            (signal[i] <= 0.0 && signal[i + 1] > 0.0) || (signal[i] >= 0.0 && signal[i + 1] < 0.0);
-        if crosses {
-            a = i;
-            break;
-        }
-        a = i;
-    }
-    let b = a + 1;
-    let ya = signal[a];
-    let yb = signal[b.min(signal.len() - 1)];
-    let frac = if (yb - ya).abs() > f64::EPSILON {
-        (-ya / (yb - ya)).clamp(0.0, 1.0)
-    } else {
-        0.5
-    };
-    let t = start_time + (a as f64 + frac) * dt;
-    let dir = if new_polarity > 0 {
-        CrossingDirection::Rising
-    } else {
-        CrossingDirection::Falling
-    };
-    (t, dir)
+    let mut stream = ZeroCrossingStream::new(hysteresis);
+    signal
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &x)| stream.push(start_time + i as f64 * dt, x))
+        .collect()
 }
 
 /// Computes a rate in hertz from `M` buffered crossing times per Eq. (5):
@@ -140,10 +215,87 @@ pub fn rate_from_crossings(crossing_times: &[f64]) -> Option<f64> {
     Some((m - 1) as f64 / (2.0 * span))
 }
 
+/// Incremental Eq. (5) rate estimator: a ring buffer of the last `M`
+/// crossing times. Pushing the `M`-th and every later crossing yields an
+/// instantaneous rate over the trailing `M`-crossing window.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_dsp::zero_crossing::CrossingRateEstimator;
+///
+/// // Crossings every 2.5 s (a 0.2 Hz breath) with the paper's M = 7.
+/// let mut est = CrossingRateEstimator::new(7);
+/// let mut last = None;
+/// for i in 0..10 {
+///     if let Some(hz) = est.push(f64::from(i) * 2.5) {
+///         last = Some(hz);
+///     }
+/// }
+/// let hz = last.expect("buffer filled");
+/// assert!((hz - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossingRateEstimator {
+    m: usize,
+    times: VecDeque<f64>,
+}
+
+impl CrossingRateEstimator {
+    /// Creates an estimator buffering `m` crossings (the paper uses 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` (no span to divide by).
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "rate estimation needs at least two crossings");
+        CrossingRateEstimator {
+            m,
+            times: VecDeque::with_capacity(m),
+        }
+    }
+
+    /// Pushes a crossing timestamp; returns the trailing-window rate in Hz
+    /// once `m` crossings are buffered (and `None` for degenerate spans).
+    pub fn push(&mut self, time_s: f64) -> Option<f64> {
+        if self.times.len() == self.m {
+            self.times.pop_front();
+        }
+        self.times.push_back(time_s);
+        if self.times.len() < self.m {
+            return None;
+        }
+        rate_from_crossings(self.times.make_contiguous())
+    }
+
+    /// Number of crossings currently buffered.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no crossings have been buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The configured buffer length `M`.
+    pub fn window(&self) -> usize {
+        self.m
+    }
+
+    /// Clears the buffered crossings.
+    pub fn reset(&mut self) {
+        self.times.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::f64::consts::PI;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     fn sine(freq: f64, sr: f64, n: usize) -> Vec<f64> {
         (0..n)
@@ -203,11 +355,12 @@ mod tests {
     }
 
     #[test]
-    fn rate_from_crossings_matches_eq5() {
+    fn rate_from_crossings_matches_eq5() -> TestResult {
         // 7 crossings of a 0.2 Hz signal: crossings every 2.5 s.
         let times: Vec<f64> = (0..7).map(|i| i as f64 * 2.5).collect();
-        let f = rate_from_crossings(&times).unwrap();
+        let f = rate_from_crossings(&times).ok_or("no rate")?;
         assert!((f - 0.2).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
@@ -230,14 +383,104 @@ mod tests {
     }
 
     #[test]
-    fn recovered_rate_of_filtered_sine() {
+    fn recovered_rate_of_filtered_sine() -> TestResult {
         let sr = 64.0;
         let freq = 10.0 / 60.0; // 10 bpm
         let signal = sine(freq, sr, (60.0 * sr) as usize);
         let c = find_zero_crossings(&signal, 0.0, 1.0 / sr, 0.0);
         let times: Vec<f64> = c.iter().rev().take(7).map(|z| z.time).collect();
         let times: Vec<f64> = times.into_iter().rev().collect();
-        let f = rate_from_crossings(&times).unwrap();
+        let f = rate_from_crossings(&times).ok_or("no rate")?;
         assert!((f * 60.0 - 10.0).abs() < 0.1, "got {} bpm", f * 60.0);
+        Ok(())
+    }
+
+    #[test]
+    fn stream_push_matches_batch_driver() {
+        // Irregular-looking signal exercising in-band runs and both
+        // directions; the operator and the driver must agree exactly.
+        let signal: Vec<f64> = (0..400)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                (2.0 * PI * 0.23 * t).sin() + 0.3 * (2.0 * PI * 1.7 * t).sin()
+            })
+            .collect();
+        for hysteresis in [0.0, 0.1, 0.4] {
+            let batch = find_zero_crossings(&signal, 5.0, 0.05, hysteresis);
+            let mut zc = ZeroCrossingStream::new(hysteresis);
+            let streamed: Vec<ZeroCrossing> = signal
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &x)| zc.push(5.0 + i as f64 * 0.05, x))
+                .collect();
+            assert_eq!(batch, streamed, "hysteresis {hysteresis}");
+        }
+    }
+
+    #[test]
+    fn stream_locates_crossing_inside_in_band_run() -> TestResult {
+        // −1, (in-band) −0.05, 0.05, then confirmed 1: the true sign change
+        // is between the two in-band samples, not at the confirmed pair.
+        let mut zc = ZeroCrossingStream::new(0.5);
+        assert!(zc.push(0.0, -1.0).is_none());
+        assert!(zc.push(1.0, -0.05).is_none());
+        assert!(zc.push(2.0, 0.05).is_none());
+        let c = zc.push(3.0, 1.0).ok_or("crossing not confirmed")?;
+        assert_eq!(c.direction, CrossingDirection::Rising);
+        assert!((c.time - 1.5).abs() < 1e-12, "got {}", c.time);
+        Ok(())
+    }
+
+    #[test]
+    fn stream_reset_forgets_polarity() {
+        let mut zc = ZeroCrossingStream::new(0.0);
+        assert!(zc.push(0.0, -1.0).is_none());
+        zc.reset();
+        // Without the remembered negative polarity this is a first sample,
+        // not a crossing.
+        assert!(zc.push(1.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn estimator_emits_after_m_crossings() -> TestResult {
+        let mut est = CrossingRateEstimator::new(4);
+        assert!(est.push(0.0).is_none());
+        assert!(est.push(1.0).is_none());
+        assert!(est.push(2.0).is_none());
+        let hz = est.push(3.0).ok_or("buffer full, rate expected")?;
+        // 4 crossings over 3 s → (4−1)/(2·3) = 0.5 Hz.
+        assert!((hz - 0.5).abs() < 1e-12);
+        // Sliding: next crossing drops t=0.
+        let hz = est.push(4.0).ok_or("rate expected")?;
+        assert!((hz - 0.5).abs() < 1e-12);
+        assert_eq!(est.len(), 4);
+        Ok(())
+    }
+
+    #[test]
+    fn estimator_matches_batch_instantaneous_loop() {
+        // The estimator over a crossing list reproduces the windowed
+        // rate_from_crossings sweep used by the batch rate stage.
+        let times: Vec<f64> = (0..20).map(|i| 2.0 + i as f64 * 1.7).collect();
+        let m = 7;
+        let batch: Vec<f64> = ((m - 1)..times.len())
+            .filter_map(|i| rate_from_crossings(&times[i + 1 - m..=i]))
+            .collect();
+        let mut est = CrossingRateEstimator::new(m);
+        let streamed: Vec<f64> = times.iter().filter_map(|&t| est.push(t)).collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn estimator_degenerate_span_yields_none() {
+        let mut est = CrossingRateEstimator::new(2);
+        assert!(est.push(1.0).is_none());
+        assert!(est.push(1.0).is_none(), "zero span must not divide");
+    }
+
+    #[test]
+    #[should_panic(expected = "two crossings")]
+    fn estimator_rejects_tiny_window() {
+        let _ = CrossingRateEstimator::new(1);
     }
 }

@@ -37,7 +37,7 @@ impl TagStream {
         if self.reports.len() < 2 {
             return None;
         }
-        let span = self.reports.last().unwrap().time_s - self.reports[0].time_s;
+        let span = self.reports.last()?.time_s - self.reports.first()?.time_s;
         if span <= 0.0 {
             return None;
         }
@@ -113,6 +113,53 @@ impl UserStreams {
     }
 }
 
+/// Resolves one report to its monitored `(user_id, tag_id)` identity, or
+/// `None` for unrelated tags — the single classification rule shared by the
+/// batch [`demux`] and the incremental [`StreamDemux`].
+pub fn classify<R: IdentityResolver>(resolver: &R, report: &TagReport) -> Option<(u64, u32)> {
+    match resolver.resolve(report.epc) {
+        TagIdentity::Monitor { user_id, tag_id } => Some((user_id, tag_id)),
+        TagIdentity::Unknown => None,
+    }
+}
+
+/// Incremental report classifier: [`classify`] plus a running count of
+/// unrelated-tag reports, for the streaming pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct StreamDemux<R> {
+    resolver: R,
+    unknown: usize,
+}
+
+impl<R: IdentityResolver> StreamDemux<R> {
+    /// Wraps a resolver.
+    pub fn new(resolver: R) -> Self {
+        StreamDemux {
+            resolver,
+            unknown: 0,
+        }
+    }
+
+    /// Classifies one report; unknown tags are counted and return `None`.
+    pub fn push(&mut self, report: &TagReport) -> Option<(u64, u32)> {
+        let identity = classify(&self.resolver, report);
+        if identity.is_none() {
+            self.unknown += 1;
+        }
+        identity
+    }
+
+    /// Reports seen so far that resolved to no monitored identity.
+    pub fn unknown_reports(&self) -> usize {
+        self.unknown
+    }
+
+    /// The wrapped resolver.
+    pub fn resolver(&self) -> &R {
+        &self.resolver
+    }
+}
+
 /// Demultiplexes a report stream by resolved identity.
 ///
 /// Reports resolving to [`TagIdentity::Unknown`] (item tags, other users'
@@ -125,8 +172,8 @@ pub fn demux<R: IdentityResolver>(
     let mut users: BTreeMap<u64, UserStreams> = BTreeMap::new();
     let mut unknown = 0usize;
     for r in reports {
-        match resolver.resolve(r.epc) {
-            TagIdentity::Monitor { user_id, tag_id } => {
+        match classify(resolver, r) {
+            Some((user_id, tag_id)) => {
                 users
                     .entry(user_id)
                     .or_default()
@@ -136,7 +183,7 @@ pub fn demux<R: IdentityResolver>(
                     .reports
                     .push(*r);
             }
-            TagIdentity::Unknown => unknown += 1,
+            None => unknown += 1,
         }
     }
     for streams in users.values_mut() {
@@ -241,6 +288,15 @@ mod tests {
     fn best_antenna_none_for_unseen_user() {
         let (users, _) = demux(&[], &EmbeddedIdentity::new([1]));
         assert!(users.is_empty());
+    }
+
+    #[test]
+    fn stream_demux_counts_unknowns_and_classifies() {
+        let mut sd = StreamDemux::new(EmbeddedIdentity::new([1]));
+        assert_eq!(sd.push(&report(0.0, 1, 2, 1, -50.0)), Some((1, 2)));
+        assert_eq!(sd.push(&report(0.1, 7, 0, 1, -50.0)), None);
+        assert_eq!(sd.push(&report(0.2, 1, 0, 1, -50.0)), Some((1, 0)));
+        assert_eq!(sd.unknown_reports(), 1);
     }
 
     #[test]

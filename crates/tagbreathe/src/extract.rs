@@ -80,9 +80,16 @@ pub fn extract_breath_signal(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::series::InvalidSeriesError;
     use std::f64::consts::PI;
 
-    fn displacement_with_noise(rate_bpm: f64, noise_amp: f64, secs: f64) -> TimeSeries {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn displacement_with_noise(
+        rate_bpm: f64,
+        noise_amp: f64,
+        secs: f64,
+    ) -> Result<TimeSeries, InvalidSeriesError> {
         let dt = 1.0 / 16.0;
         let n = (secs / dt) as usize;
         let f = rate_bpm / 60.0;
@@ -94,29 +101,30 @@ mod tests {
                     + 0.001 * t // slow drift
             })
             .collect();
-        TimeSeries::new(0.0, dt, values).unwrap()
+        TimeSeries::new(0.0, dt, values)
     }
 
     #[test]
-    fn extracts_clean_breathing_tone() {
+    fn extracts_clean_breathing_tone() -> TestResult {
         let cfg = PipelineConfig::paper_default();
-        let disp = displacement_with_noise(12.0, 0.004, 60.0);
-        let breath = extract_breath_signal(&disp, &cfg).unwrap();
+        let disp = displacement_with_noise(12.0, 0.004, 60.0)?;
+        let breath = extract_breath_signal(&disp, &cfg)?;
         assert_eq!(breath.len(), disp.len());
         // The extracted signal should correlate strongly with the clean
         // 12 bpm tone.
         let clean: Vec<f64> = (0..disp.len())
             .map(|i| (2.0 * PI * 0.2 * (i as f64 / 16.0)).sin())
             .collect();
-        let corr = dsp::stats::pearson(breath.values(), &clean).unwrap();
+        let corr = dsp::stats::pearson(breath.values(), &clean).ok_or("no correlation")?;
         assert!(corr > 0.95, "correlation {corr}");
+        Ok(())
     }
 
     #[test]
-    fn removes_drift() {
+    fn removes_drift() -> TestResult {
         let cfg = PipelineConfig::paper_default();
-        let disp = displacement_with_noise(10.0, 0.0, 60.0);
-        let breath = extract_breath_signal(&disp, &cfg).unwrap();
+        let disp = displacement_with_noise(10.0, 0.0, 60.0)?;
+        let breath = extract_breath_signal(&disp, &cfg)?;
         let mean: f64 = breath.values().iter().sum::<f64>() / breath.len() as f64;
         assert!(mean.abs() < 1e-4, "mean {mean}");
         // Ends should not ramp away (drift removed).
@@ -127,46 +135,52 @@ mod tests {
             .sum::<f64>()
             / 32.0;
         assert!(tail < 3.0 * head + 0.01);
+        Ok(())
     }
 
     #[test]
-    fn fir_variant_also_works() {
+    fn fir_variant_also_works() -> TestResult {
         let mut cfg = PipelineConfig::paper_default();
         cfg.filter = FilterKind::Fir { taps: 129 };
-        let disp = displacement_with_noise(12.0, 0.004, 60.0);
-        let breath = extract_breath_signal(&disp, &cfg).unwrap();
+        let disp = displacement_with_noise(12.0, 0.004, 60.0)?;
+        let breath = extract_breath_signal(&disp, &cfg)?;
         let clean: Vec<f64> = (0..disp.len())
             .map(|i| (2.0 * PI * 0.2 * (i as f64 / 16.0)).sin())
             .collect();
         // Skip FIR edge transients.
-        let corr = dsp::stats::pearson(&breath.values()[100..860], &clean[100..860]).unwrap();
+        let corr = dsp::stats::pearson(&breath.values()[100..860], &clean[100..860])
+            .ok_or("no correlation")?;
         assert!(corr > 0.9, "correlation {corr}");
+        Ok(())
     }
 
     #[test]
-    fn too_short_input_is_rejected() {
+    fn too_short_input_is_rejected() -> TestResult {
         let cfg = PipelineConfig::paper_default();
-        let disp = TimeSeries::new(0.0, 1.0 / 16.0, vec![0.0; 10]).unwrap();
+        let disp = TimeSeries::new(0.0, 1.0 / 16.0, vec![0.0; 10])?;
         let err = extract_breath_signal(&disp, &cfg).unwrap_err();
         assert_eq!(err, ExtractError::TooShort { have: 10, need: 64 });
         assert!(err.to_string().contains("too short"));
+        Ok(())
     }
 
     #[test]
-    fn incompatible_cutoff_is_reported() {
+    fn incompatible_cutoff_is_reported() -> TestResult {
         let mut cfg = PipelineConfig::paper_default();
         cfg.cutoff_hz = 20.0; // above the 8 Hz Nyquist of 16 Hz bins
-        let disp = displacement_with_noise(10.0, 0.0, 30.0);
+        let disp = displacement_with_noise(10.0, 0.0, 30.0)?;
         let err = extract_breath_signal(&disp, &cfg).unwrap_err();
         assert!(matches!(err, ExtractError::FilterDesign(_)));
+        Ok(())
     }
 
     #[test]
-    fn output_preserves_time_base() {
+    fn output_preserves_time_base() -> TestResult {
         let cfg = PipelineConfig::paper_default();
-        let disp = displacement_with_noise(10.0, 0.001, 30.0);
-        let breath = extract_breath_signal(&disp, &cfg).unwrap();
+        let disp = displacement_with_noise(10.0, 0.001, 30.0)?;
+        let breath = extract_breath_signal(&disp, &cfg)?;
         assert_eq!(breath.start_s(), disp.start_s());
         assert_eq!(breath.dt_s(), disp.dt_s());
+        Ok(())
     }
 }

@@ -10,9 +10,16 @@
 //! Mechanically: increments from all tags falling into the same Δt-wide
 //! time bin are summed (Eq. 6), and the binned stream is integrated into a
 //! displacement trajectory sampled at Δt (Eq. 7).
+//!
+//! The incremental form is [`FusionAccumulator`]: push increments one at a
+//! time, take a trajectory snapshot whenever needed, and evict bins that
+//! fell out of the analysis window. For in-order streams a full-trace
+//! snapshot reproduces [`fuse_displacement`] bin for bin (the grid anchors
+//! at the first increment, which is then the batch `t_min`).
 
 use crate::series::TimeSeries;
 use dsp::resample::Sample;
+use std::collections::VecDeque;
 
 /// Fuses per-tag displacement-increment streams into one uniformly sampled
 /// displacement trajectory.
@@ -149,6 +156,140 @@ fn fill_gaps(sums: &[f64], counts: &[usize]) -> Vec<f64> {
         }
     }
     out
+}
+
+/// Incremental Δt-binned fusion accumulator — the streaming form of
+/// [`fuse_displacement`] (Eqs. 6–7).
+///
+/// All of a user's selected tag streams push their increments into one
+/// accumulator; each increment lands in the bin
+/// `⌊(t − anchor) / Δt⌋` where `anchor` is the time of the first pushed
+/// increment. Bins are a deque indexed relative to a moving `base`, so
+/// out-of-order increments before the anchor extend the front rather than
+/// panicking, and [`FusionAccumulator::evict_before`] pops aged bins from
+/// the front in O(evicted).
+///
+/// A [`trajectory`](FusionAccumulator::trajectory) snapshot integrates the
+/// retained bins (Eq. 7) in O(bins) — independent of how many reports were
+/// pushed — and for in-order full traces equals the batch
+/// [`fuse_displacement`] output exactly (same grid, same `ceil(span/Δt)`
+/// bin count, same drop of a final increment landing exactly on the span
+/// boundary).
+#[derive(Debug, Clone)]
+pub struct FusionAccumulator {
+    bin_s: f64,
+    /// Time of the first pushed increment; the bin grid is anchored here.
+    anchor_s: Option<f64>,
+    /// Absolute bin index of `bins[0]` relative to the anchor.
+    base: i64,
+    bins: VecDeque<f64>,
+    /// Largest increment time seen (never evicted; bounds the snapshot).
+    t_max: f64,
+}
+
+impl FusionAccumulator {
+    /// Creates an accumulator with fusion interval `bin_s` (Δt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_s` is not positive.
+    #[must_use]
+    pub fn new(bin_s: f64) -> Self {
+        assert!(bin_s > 0.0, "fusion bin width must be positive");
+        FusionAccumulator {
+            bin_s,
+            anchor_s: None,
+            base: 0,
+            bins: VecDeque::new(),
+            t_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one displacement increment to its Δt bin (Eq. 6).
+    pub fn push(&mut self, sample: Sample) {
+        let anchor = match self.anchor_s {
+            Some(a) => a,
+            None => {
+                self.anchor_s = Some(sample.time);
+                sample.time
+            }
+        };
+        let idx = ((sample.time - anchor) / self.bin_s).floor() as i64;
+        if self.bins.is_empty() {
+            self.base = idx;
+            self.bins.push_back(0.0);
+        }
+        while idx < self.base {
+            self.bins.push_front(0.0);
+            self.base -= 1;
+        }
+        while idx - self.base >= self.bins.len() as i64 {
+            self.bins.push_back(0.0);
+        }
+        // Bounded by the loops above; u64→usize cannot truncate here.
+        let offset = usize::try_from(idx - self.base).unwrap_or(0);
+        if let Some(bin) = self.bins.get_mut(offset) {
+            *bin += sample.value;
+        }
+        if sample.time > self.t_max {
+            self.t_max = sample.time;
+        }
+    }
+
+    /// Drops bins lying entirely before `cutoff_s`, advancing the window.
+    pub fn evict_before(&mut self, cutoff_s: f64) {
+        let Some(anchor) = self.anchor_s else { return };
+        while !self.bins.is_empty() && anchor + (self.base + 1) as f64 * self.bin_s <= cutoff_s {
+            self.bins.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Integrates the retained bins into a displacement trajectory
+    /// (Eq. 7). Returns `None` until an increment has been pushed or when
+    /// every bin has been evicted.
+    #[must_use]
+    pub fn trajectory(&self) -> Option<TimeSeries> {
+        let anchor = self.anchor_s?;
+        if self.bins.is_empty() {
+            return None;
+        }
+        let start = anchor + self.base as f64 * self.bin_s;
+        // Mirror the batch bin count: ceil(span/Δt) with a 1 floor, so an
+        // increment landing exactly on the span boundary is dropped just
+        // like fuse_displacement drops idx == n.
+        let span = self.t_max - start;
+        if span < 0.0 {
+            return None;
+        }
+        let n = (((span / self.bin_s).ceil() as usize).max(1)).min(self.bins.len());
+        let mut acc = 0.0;
+        let trajectory: Vec<f64> = self
+            .bins
+            .iter()
+            .take(n)
+            .map(|&b| {
+                acc += b;
+                acc
+            })
+            .collect();
+        TimeSeries::new(start, self.bin_s, trajectory).ok()
+    }
+
+    /// Number of bins currently retained.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether no bins are retained.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The fusion interval Δt.
+    pub fn bin_s(&self) -> f64 {
+        self.bin_s
+    }
 }
 
 /// Decision-level fusion helper for the ablation study: the *alternative*
@@ -323,6 +464,105 @@ mod tests {
     #[test]
     fn fill_gaps_all_empty_is_zeros() {
         assert_eq!(fill_gaps(&[0.0; 4], &[0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_on_in_order_streams() -> TestResult {
+        // Interleave three tags' increments in time order (as the stream
+        // demux delivers them) and compare with the batch path.
+        let streams: Vec<Vec<Sample>> = (0..3)
+            .map(|tag| {
+                (0..200)
+                    .map(|i| {
+                        let t = 0.37 + i as f64 * 0.11;
+                        Sample::new(t, ((i + tag) as f64 * 0.7).sin() * 0.001)
+                    })
+                    .collect()
+            })
+            .collect();
+        let batch = fused(fuse_displacement(&streams, 1.0 / 16.0, None))?;
+
+        let mut interleaved: Vec<Sample> = streams.iter().flatten().copied().collect();
+        interleaved.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut acc = FusionAccumulator::new(1.0 / 16.0);
+        for s in interleaved {
+            acc.push(s);
+        }
+        let streamed = fused(acc.trajectory())?;
+
+        assert_eq!(batch.len(), streamed.len());
+        assert!((batch.start_s() - streamed.start_s()).abs() < 1e-12);
+        for (a, b) in batch.values().iter().zip(streamed.values()) {
+            assert!((a - b).abs() < 1e-12, "bin mismatch {a} vs {b}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn accumulator_single_sample() -> TestResult {
+        let mut acc = FusionAccumulator::new(0.5);
+        assert!(acc.trajectory().is_none());
+        acc.push(Sample::new(3.0, 1.0));
+        let ts = fused(acc.trajectory())?;
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.values()[0], 1.0);
+        assert_eq!(ts.start_s(), 3.0);
+        Ok(())
+    }
+
+    #[test]
+    fn accumulator_accepts_out_of_order_before_anchor() -> TestResult {
+        let mut acc = FusionAccumulator::new(0.5);
+        acc.push(Sample::new(2.0, 1.0));
+        // Late increment from before the anchor extends the grid backwards.
+        acc.push(Sample::new(0.9, 2.0));
+        // And a later one keeps t_max off the grid boundary so no bin is
+        // span-clipped.
+        acc.push(Sample::new(2.2, 4.0));
+        let ts = fused(acc.trajectory())?;
+        assert!(ts.start_s() < 1.0);
+        let total: f64 = ts.values().last().copied().unwrap_or(0.0);
+        assert_eq!(total, 7.0, "all increments integrated");
+        Ok(())
+    }
+
+    #[test]
+    fn accumulator_eviction_drops_old_bins_only() -> TestResult {
+        let mut acc = FusionAccumulator::new(0.5);
+        for i in 0..40 {
+            acc.push(Sample::new(i as f64 * 0.5, 1.0));
+        }
+        let before = acc.len();
+        acc.evict_before(10.0);
+        assert!(acc.len() < before, "eviction freed bins");
+        assert!(acc.len() <= 21, "retained {}", acc.len());
+        let ts = fused(acc.trajectory())?;
+        assert!(ts.start_s() >= 9.5);
+        // The retained trajectory still integrates the retained increments.
+        assert!(ts.values().iter().all(|v| v.is_finite()));
+        Ok(())
+    }
+
+    #[test]
+    fn accumulator_eviction_of_everything_yields_none() {
+        let mut acc = FusionAccumulator::new(0.5);
+        acc.push(Sample::new(0.0, 1.0));
+        acc.evict_before(100.0);
+        assert!(acc.is_empty());
+        assert!(acc.trajectory().is_none());
+        // The grid survives: a new push re-seeds cleanly.
+        acc.push(Sample::new(101.0, 2.0));
+        assert_eq!(acc.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn accumulator_zero_bin_panics() {
+        let _ = FusionAccumulator::new(0.0);
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! 5. **Estimate** ([`rate`]) breathing rates from zero crossings
 //!    (Eq. 5, M = 7).
 //!
-//! [`BreathMonitor`] is the batch entry point; [`pipeline`] provides the
-//! real-time streaming and multi-threaded pipelined modes;
+//! Stages 2–3 are stateful incremental operators wired into one per-user
+//! graph ([`operators::UserStreamState`]); [`BreathMonitor`] (batch) and
+//! [`pipeline::StreamingMonitor`] (real time, plus the multi-threaded
+//! pipelined mode) are thin drivers over that same graph, so both paths
+//! share a single implementation of the paper's math.
 //! [`baseline`] holds the RSSI/Doppler comparison estimators.
 //!
 //! # Examples
@@ -53,6 +56,7 @@ pub mod enhancement;
 pub mod extract;
 pub mod fusion;
 pub mod monitor;
+pub mod operators;
 pub mod patterns;
 pub mod pipeline;
 pub mod preprocess;
@@ -66,6 +70,7 @@ pub use config::{AntennaStrategy, FilterKind, PipelineConfig, PreprocessKind};
 pub use enhancement::{enhanced_estimates, Agreement, EnhancedEstimate};
 pub use epcgen2::report::TagReport;
 pub use monitor::{AnalysisFailure, AnalysisReport, BreathMonitor, UserAnalysis};
+pub use operators::{UserSnapshot, UserStreamState};
 pub use patterns::{analyze_pattern, Breath, PatternAnalysis, PatternClass};
 pub use pipeline::{RateSnapshot, StreamingMonitor};
 pub use quality::{assess, Confidence, QualityReport, QualityThresholds};

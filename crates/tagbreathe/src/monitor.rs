@@ -10,8 +10,7 @@
 use crate::config::PipelineConfig;
 use crate::demux::demux;
 use crate::extract::{extract_breath_signal, ExtractError};
-use crate::fusion::fuse_displacement;
-use crate::preprocess::displacement_increments;
+use crate::operators::UserStreamState;
 use crate::rate::{estimate_rate, RateEstimate};
 use crate::series::TimeSeries;
 use epcgen2::mapping::IdentityResolver;
@@ -192,86 +191,80 @@ impl BreathMonitor {
         }
     }
 
+    /// Batch driver over the shared operator graph: fold the user's
+    /// reports, in global time order, through a [`UserStreamState`] and
+    /// analyse its single snapshot.
     fn analyze_user(
         &self,
         streams: &crate::demux::UserStreams,
     ) -> Result<UserAnalysis, AnalysisFailure> {
-        let Some(port) = streams.best_antenna() else {
+        let mut ordered: Vec<(u32, &TagReport)> = streams
+            .iter()
+            .flat_map(|(&(_, tag), s)| s.reports().iter().map(move |r| (tag, r)))
+            .collect();
+        ordered.sort_by(|a, b| {
+            a.1.time_s
+                .partial_cmp(&b.1.time_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut state = UserStreamState::new();
+        for (tag, report) in ordered {
+            state.push(tag, report, &self.config);
+        }
+        if state.is_empty() {
             return Err(AnalysisFailure::NoData);
-        };
-        // Under MergeAll every (port, tag) stream contributes; under the
-        // paper's BestPort rule only the optimal port's streams do.
-        let tag_streams: Vec<&crate::demux::TagStream> = match self.config.antenna {
-            crate::config::AntennaStrategy::BestPort => {
-                streams.streams_for_antenna(port).into_values().collect()
-            }
-            crate::config::AntennaStrategy::MergeAll => streams.iter().map(|(_, s)| s).collect(),
-        };
-        let mut report_count = 0usize;
-        let displacement = match self.config.preprocess {
-            crate::config::PreprocessKind::IncrementBinning => {
-                let increments: Vec<_> = tag_streams
-                    .iter()
-                    .map(|s| {
-                        report_count += s.len();
-                        displacement_increments(
-                            s.reports(),
-                            &self.config.plan,
-                            self.config.max_phase_gap_s,
-                        )
-                    })
-                    .collect();
-                fuse_displacement(&increments, self.config.fusion_bin_s, None)
-            }
-            crate::config::PreprocessKind::ChannelTrackMerge => {
-                let tracks: Vec<_> = tag_streams
-                    .iter()
-                    .map(|s| {
-                        report_count += s.len();
-                        crate::preprocess::displacement_track(
-                            s.reports(),
-                            &self.config.plan,
-                            self.config.max_phase_gap_s,
-                        )
-                    })
-                    .collect();
-                crate::fusion::fuse_level_tracks(&tracks, self.config.fusion_bin_s)
-            }
         }
-        .ok_or_else(|| AnalysisFailure::InsufficientData("no displacement data".into()))?;
-        let displacement = match self.config.despike_median {
-            Some(width) => {
-                let cleaned = dsp::filter::median_filter(displacement.values(), width);
-                displacement.with_values(cleaned)
-            }
-            None => displacement,
-        };
-        // Gross-motion gate: a walking subject's trajectory spans metres
-        // where breathing spans decimetres (Section VI-B.4's "does not
-        // report" philosophy applied to locomotion).
-        let range_m = {
-            let v = displacement.values();
-            let max = v.iter().cloned().fold(f64::MIN, f64::max);
-            let min = v.iter().cloned().fold(f64::MAX, f64::min);
-            max - min
-        };
-        if range_m > self.config.gross_motion_limit_m {
-            return Err(AnalysisFailure::GrossMotion { range_m });
-        }
-        let breath_signal =
-            extract_breath_signal(&displacement, &self.config).map_err(|e| match e {
-                ExtractError::TooShort { .. } => AnalysisFailure::InsufficientData(e.to_string()),
-                ExtractError::FilterDesign(what) => AnalysisFailure::InsufficientData(what),
-            })?;
-        let rate = estimate_rate(&breath_signal, &self.config);
-        Ok(UserAnalysis {
-            antenna_port: port,
-            report_count,
-            displacement,
-            breath_signal,
-            rate,
-        })
+        let snap = state
+            .snapshot(&self.config)
+            .ok_or_else(|| AnalysisFailure::InsufficientData("no displacement data".into()))?;
+        analyze_displacement(
+            &self.config,
+            snap.antenna_port,
+            snap.report_count,
+            snap.displacement,
+        )
     }
+}
+
+/// The analysis tail shared by the batch and streaming drivers: despike →
+/// gross-motion gate → breath-signal extraction → rate estimation.
+pub(crate) fn analyze_displacement(
+    config: &PipelineConfig,
+    antenna_port: u8,
+    report_count: usize,
+    displacement: TimeSeries,
+) -> Result<UserAnalysis, AnalysisFailure> {
+    let displacement = match config.despike_median {
+        Some(width) => {
+            let cleaned = dsp::filter::median_filter(displacement.values(), width);
+            displacement.with_values(cleaned)
+        }
+        None => displacement,
+    };
+    // Gross-motion gate: a walking subject's trajectory spans metres
+    // where breathing spans decimetres (Section VI-B.4's "does not
+    // report" philosophy applied to locomotion).
+    let range_m = {
+        let v = displacement.values();
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    if range_m > config.gross_motion_limit_m {
+        return Err(AnalysisFailure::GrossMotion { range_m });
+    }
+    let breath_signal = extract_breath_signal(&displacement, config).map_err(|e| match e {
+        ExtractError::TooShort { .. } => AnalysisFailure::InsufficientData(e.to_string()),
+        ExtractError::FilterDesign(what) => AnalysisFailure::InsufficientData(what),
+    })?;
+    let rate = estimate_rate(&breath_signal, config);
+    Ok(UserAnalysis {
+        antenna_port,
+        report_count,
+        displacement,
+        breath_signal,
+        rate,
+    })
 }
 
 impl Default for BreathMonitor {

@@ -6,17 +6,23 @@
 //! provided:
 //!
 //! * [`StreamingMonitor`] — single-threaded incremental: push reports as
-//!   they arrive; a sliding window (default 25 s, the paper's analysis
-//!   window) is re-analysed at a fixed cadence;
+//!   they arrive into the per-user operator graph
+//!   ([`crate::operators::UserStreamState`], the same graph the batch
+//!   [`crate::monitor::BreathMonitor`] drives); a sliding window (default
+//!   25 s, the paper's analysis window) is snapshotted at a fixed cadence.
+//!   Per-report cost is amortised O(1) — no window re-preprocessing — and
+//!   memory is bounded by window contents, not stream length;
 //! * [`spawn_pipelined`] — the ingest / analysis stages decoupled by
 //!   `std::sync::mpsc` channels onto a worker thread, so a slow analysis never
 //!   back-pressures the reader.
 
 use crate::config::PipelineConfig;
-use crate::monitor::BreathMonitor;
+use crate::demux::StreamDemux;
+use crate::monitor::analyze_displacement;
+use crate::operators::UserStreamState;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::thread;
 
@@ -54,17 +60,19 @@ pub struct RateSnapshot {
 /// ```
 #[derive(Debug)]
 pub struct StreamingMonitor<R> {
-    monitor: BreathMonitor,
-    resolver: R,
+    config: PipelineConfig,
+    demux: StreamDemux<R>,
+    users: BTreeMap<u64, UserStreamState>,
     window_s: f64,
     update_every_s: f64,
-    buffer: VecDeque<TagReport>,
+    watermark_s: f64,
     next_update_s: f64,
+    last_evict_s: f64,
 }
 
 impl<R: IdentityResolver> StreamingMonitor<R> {
     /// Creates a streaming monitor with an analysis window of `window_s`
-    /// seconds, re-analysed every `update_every_s` seconds of stream time.
+    /// seconds, snapshotted every `update_every_s` seconds of stream time.
     ///
     /// # Errors
     ///
@@ -76,7 +84,7 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         window_s: f64,
         update_every_s: f64,
     ) -> Result<Self, crate::config::InvalidConfigError> {
-        let monitor = BreathMonitor::new(config)?;
+        config.validate()?;
         // Reuse the config error type for the window constraints: they are
         // configuration of the same pipeline.
         if window_s.is_nan() || window_s <= 0.0 || update_every_s.is_nan() || update_every_s <= 0.0
@@ -84,29 +92,45 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
             return Err(validate_window_error());
         }
         Ok(StreamingMonitor {
-            monitor,
-            resolver,
+            config,
+            demux: StreamDemux::new(resolver),
+            users: BTreeMap::new(),
             window_s,
             update_every_s,
-            buffer: VecDeque::new(),
+            watermark_s: 0.0,
             next_update_s: update_every_s,
+            last_evict_s: 0.0,
         })
     }
 
     /// Pushes a batch of reports (in time order) and returns any snapshots
     /// that became due.
+    ///
+    /// Each report is routed straight into its user's operator graph —
+    /// amortised O(1) work per report; snapshots cost O(window), never
+    /// O(stream).
     pub fn push<I>(&mut self, reports: I) -> Vec<RateSnapshot>
     where
         I: IntoIterator<Item = TagReport>,
     {
         let mut snapshots = Vec::new();
         for r in reports {
-            let now = r.time_s;
-            self.buffer.push_back(r);
-            while snapshots_due(now, self.next_update_s) {
-                self.evict_before(now - self.window_s);
+            self.watermark_s = self.watermark_s.max(r.time_s);
+            if let Some((user_id, tag_id)) = self.demux.push(&r) {
+                self.users
+                    .entry(user_id)
+                    .or_default()
+                    .push(tag_id, &r, &self.config);
+            }
+            while self.watermark_s >= self.next_update_s {
+                self.evict();
                 snapshots.push(self.snapshot(self.next_update_s));
                 self.next_update_s += self.update_every_s;
+            }
+            // Keep state bounded even when the snapshot cadence is long
+            // relative to the window.
+            if self.watermark_s - self.last_evict_s >= self.window_s.min(self.update_every_s) {
+                self.evict();
             }
         }
         snapshots
@@ -114,43 +138,69 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
 
     /// Forces an immediate snapshot over the current window.
     pub fn snapshot_now(&mut self) -> RateSnapshot {
-        let now = self.buffer.back().map(|r| r.time_s).unwrap_or(0.0);
-        self.evict_before(now - self.window_s);
-        self.snapshot(now)
+        self.evict();
+        self.snapshot(self.watermark_s)
     }
 
-    /// Number of reports currently buffered.
+    /// Retained state cells across all users — tag slots, per-channel
+    /// phase references, buffered track samples and fusion bins. Bounded
+    /// by window contents (plus the gap horizon), not stream length.
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.users.values().map(UserStreamState::state_cells).sum()
     }
 
-    fn evict_before(&mut self, cutoff: f64) {
-        while self.buffer.front().is_some_and(|r| r.time_s < cutoff) {
-            self.buffer.pop_front();
+    /// Number of users currently holding state.
+    pub fn tracked_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of `(antenna_port, tag_id)` slots currently holding state
+    /// across all users.
+    pub fn tracked_tags(&self) -> usize {
+        self.users.values().map(UserStreamState::tag_count).sum()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    fn evict(&mut self) {
+        for state in self.users.values_mut() {
+            state.evict(self.watermark_s, self.window_s, &self.config);
         }
+        self.users.retain(|_, s| !s.is_empty());
+        self.last_evict_s = self.watermark_s;
     }
 
     fn snapshot(&self, time_s: f64) -> RateSnapshot {
-        let window: Vec<TagReport> = self.buffer.iter().copied().collect();
-        let analysis = self.monitor.analyze(&window, &self.resolver);
-        let rates_bpm = analysis
-            .successes()
-            .filter_map(|(id, a)| a.mean_rate_bpm().map(|r| (id, r)))
-            .collect();
-        let effort_rms = analysis
-            .successes()
-            .filter_map(|(id, a)| dsp::stats::rms(a.breath_signal.values()).map(|e| (id, e)))
-            .collect();
+        let mut rates_bpm = BTreeMap::new();
+        let mut effort_rms = BTreeMap::new();
+        for (&id, state) in &self.users {
+            let Some(snap) = state.snapshot(&self.config) else {
+                continue;
+            };
+            let Ok(analysis) = analyze_displacement(
+                &self.config,
+                snap.antenna_port,
+                snap.report_count,
+                snap.displacement,
+            ) else {
+                continue;
+            };
+            if let Some(bpm) = analysis.mean_rate_bpm() {
+                rates_bpm.insert(id, bpm);
+            }
+            if let Some(effort) = dsp::stats::rms(analysis.breath_signal.values()) {
+                effort_rms.insert(id, effort);
+            }
+        }
         RateSnapshot {
             time_s,
             rates_bpm,
             effort_rms,
         }
     }
-}
-
-fn snapshots_due(now: f64, next: f64) -> bool {
-    now >= next
 }
 
 fn validate_window_error() -> crate::config::InvalidConfigError {

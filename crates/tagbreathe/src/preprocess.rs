@@ -13,6 +13,14 @@
 //! than λ/4 between readings. Increments telescope within a channel, so
 //! integrating them (Eq. 4) reconstructs body displacement without hop
 //! discontinuities (Figure 6).
+//!
+//! The per-channel state machines live in the incremental operators
+//! [`PhaseUnwrapper`] (Eq. 3 increments) and [`TrackAccumulator`] (merged
+//! per-channel level tracks). The batch functions
+//! [`displacement_increments`] / [`displacement_track`] are thin drivers
+//! over them, so the recorded-trace and real-time paths share one
+//! implementation; the operators additionally support stale-state eviction
+//! for bounded-memory streaming.
 
 use dsp::phase::wrap_to_pi;
 use dsp::resample::Sample;
@@ -35,11 +43,102 @@ fn increment_is_plausible(dd: f64, dt: f64) -> bool {
     dd.abs() <= (MAX_PLAUSIBLE_SPEED_MPS * dt).max(OUTLIER_FLOOR_M)
 }
 
+/// Incremental Eq. (3) phase unwrapper for **one tag's** report stream:
+/// per-channel last `(time, phase)` references that pair each reading with
+/// the previous same-channel reading.
+///
+/// Push a [`TagReport`], get the displacement increment it completes (or
+/// `None` — first visit on a channel, a gap beyond `max_gap_s`, an
+/// out-of-order pair, or a corrupted reading).
+///
+/// Reports on channels outside the plan are ignored (the batch driver
+/// [`displacement_increments`] asserts on them instead, preserving its
+/// documented contract).
+///
+/// State is one `(f64, f64)` pair per *recently seen* channel;
+/// [`PhaseUnwrapper::evict_stale`] drops references older than the gap so a
+/// silent tag's state cannot outlive its ability to produce increments.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseUnwrapper {
+    /// Last (time, phase) seen per channel.
+    last: HashMap<u16, (f64, f64)>,
+}
+
+impl PhaseUnwrapper {
+    /// Creates an unwrapper with no channel references.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes one report; returns the Eq. (3) increment it completes, if
+    /// any. Mirrors the batch semantics exactly:
+    ///
+    /// * first same-channel visit → reference stored, no output;
+    /// * `0 < dt ≤ max_gap_s` and plausible → increment emitted, reference
+    ///   updated;
+    /// * implausible increment → dropped **without** updating the reference
+    ///   (the next good reading pairs with the previous good one);
+    /// * `dt ≤ 0` or `dt > max_gap_s` → no output, reference updated.
+    pub fn push(
+        &mut self,
+        report: &TagReport,
+        plan: &ChannelPlan,
+        max_gap_s: f64,
+    ) -> Option<Sample> {
+        let channel = report.channel_index as usize;
+        if channel >= plan.len() {
+            return None;
+        }
+        let lambda = plan.wavelength_m(channel);
+        let mut emitted = None;
+        if let Some(&(t_prev, theta_prev)) = self.last.get(&report.channel_index) {
+            let dt = report.time_s - t_prev;
+            if dt > 0.0 && dt <= max_gap_s {
+                let dtheta = wrap_to_pi(report.phase_rad - theta_prev);
+                let dd = lambda / (4.0 * std::f64::consts::PI) * dtheta;
+                if !increment_is_plausible(dd, dt) {
+                    return None;
+                }
+                emitted = Some(Sample::new(report.time_s, dd));
+            }
+        }
+        self.last
+            .insert(report.channel_index, (report.time_s, report.phase_rad));
+        emitted
+    }
+
+    /// Drops per-channel references older than `max_gap_s` before
+    /// `watermark_s` (the largest time seen by the pipeline).
+    ///
+    /// For in-order streams this never changes future emissions: a reading
+    /// at `t ≥ watermark` paired with a reference older than
+    /// `watermark − max_gap_s` would exceed the gap and be discarded anyway.
+    /// Only out-of-order readings that jump behind the watermark can observe
+    /// the difference.
+    pub fn evict_stale(&mut self, watermark_s: f64, max_gap_s: f64) {
+        self.last
+            .retain(|_, &mut (t, _)| watermark_s - t <= max_gap_s);
+    }
+
+    /// Number of channels currently holding a reference.
+    pub fn tracked_channels(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Whether no channel references are held.
+    pub fn is_empty(&self) -> bool {
+        self.last.is_empty()
+    }
+}
+
 /// Computes displacement increments from one tag's time-ordered reports.
 ///
 /// Each returned [`Sample`] carries the time of the later reading of the
 /// pair and the displacement increment in metres. Pairs further apart than
 /// `max_gap_s` are discarded (a subject may have walked between reads).
+///
+/// This is the batch driver over [`PhaseUnwrapper`].
 ///
 /// # Panics
 ///
@@ -72,34 +171,189 @@ pub fn displacement_increments(
     max_gap_s: f64,
 ) -> Vec<Sample> {
     assert!(max_gap_s > 0.0, "max gap must be positive");
-    // Last (time, phase) seen per channel.
-    let mut last: HashMap<u16, (f64, f64)> = HashMap::new();
-    let mut out = Vec::new();
-    for r in reports {
-        let channel = r.channel_index as usize;
-        assert!(
-            channel < plan.len(),
-            "report on channel {channel} outside the {}-channel plan",
-            plan.len()
-        );
+    let mut unwrapper = PhaseUnwrapper::new();
+    reports
+        .iter()
+        .filter_map(|r| {
+            let channel = r.channel_index as usize;
+            assert!(
+                channel < plan.len(),
+                "report on channel {channel} outside the {}-channel plan",
+                plan.len()
+            );
+            unwrapper.push(r, plan, max_gap_s)
+        })
+        .collect()
+}
+
+/// Per-channel unwrapped-track state used by [`TrackAccumulator`].
+#[derive(Debug, Clone)]
+struct ChannelTrack {
+    last_t: f64,
+    last_theta: f64,
+    cum: f64,
+    segment: Vec<Sample>,
+}
+
+/// Incremental merged-track accumulator for **one tag's** report stream —
+/// the streaming form of [`displacement_track`].
+///
+/// Each channel accumulates an unwrapped displacement track; contiguous
+/// segments are closed (mean-centred, removing the unknown per-channel
+/// constant of Eq. 1) when a gap larger than `max_gap_s` breaks them, and a
+/// snapshot merges closed segments with the centred still-open segments in
+/// time order.
+///
+/// [`TrackAccumulator::evict_before`] trims samples that fell out of the
+/// analysis window and [`TrackAccumulator::evict_stale`] closes and drops
+/// channel state for channels silent past the gap, bounding memory to the
+/// window contents.
+#[derive(Debug, Clone, Default)]
+pub struct TrackAccumulator {
+    channels: HashMap<u16, ChannelTrack>,
+    /// Mean-centred samples of already-closed segments.
+    closed: Vec<Sample>,
+}
+
+/// Centres a segment and appends it to `out`; segments shorter than two
+/// samples carry no motion information and are dropped.
+fn flush_segment(segment: &mut Vec<Sample>, out: &mut Vec<Sample>) {
+    if segment.len() >= 2 {
+        let mean = segment.iter().map(|s| s.value).sum::<f64>() / segment.len() as f64;
+        out.extend(segment.iter().map(|s| Sample::new(s.time, s.value - mean)));
+    }
+    segment.clear();
+}
+
+impl TrackAccumulator {
+    /// Creates an accumulator with no channel state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes one report, extending (or breaking) its channel's track.
+    /// Reports on channels outside the plan are ignored (the batch driver
+    /// asserts instead).
+    pub fn push(&mut self, report: &TagReport, plan: &ChannelPlan, max_gap_s: f64) {
+        let channel = report.channel_index as usize;
+        if channel >= plan.len() {
+            return;
+        }
         let lambda = plan.wavelength_m(channel);
-        if let Some(&(t_prev, theta_prev)) = last.get(&r.channel_index) {
-            let dt = r.time_s - t_prev;
-            if dt > 0.0 && dt <= max_gap_s {
-                let dtheta = wrap_to_pi(r.phase_rad - theta_prev);
-                let dd = lambda / (4.0 * std::f64::consts::PI) * dtheta;
-                if !increment_is_plausible(dd, dt) {
-                    // Corrupted reading: skip it without making it the new
-                    // reference, so the next good reading pairs with the
-                    // previous good one.
-                    continue;
+        match self.channels.get_mut(&report.channel_index) {
+            Some(st) => {
+                let dt = report.time_s - st.last_t;
+                if dt > 0.0 && dt <= max_gap_s {
+                    let dtheta = wrap_to_pi(report.phase_rad - st.last_theta);
+                    let dd = lambda / (4.0 * std::f64::consts::PI) * dtheta;
+                    if !increment_is_plausible(dd, dt) {
+                        return; // corrupted reading: drop, keep reference
+                    }
+                    st.cum += dd;
+                    st.segment.push(Sample::new(report.time_s, st.cum));
+                } else {
+                    flush_segment(&mut st.segment, &mut self.closed);
+                    st.cum = 0.0;
+                    st.segment.push(Sample::new(report.time_s, 0.0));
                 }
-                out.push(Sample::new(r.time_s, dd));
+                st.last_t = report.time_s;
+                st.last_theta = report.phase_rad;
+            }
+            None => {
+                self.channels.insert(
+                    report.channel_index,
+                    ChannelTrack {
+                        last_t: report.time_s,
+                        last_theta: report.phase_rad,
+                        cum: 0.0,
+                        segment: vec![Sample::new(report.time_s, 0.0)],
+                    },
+                );
             }
         }
-        last.insert(r.channel_index, (r.time_s, r.phase_rad));
     }
-    out
+
+    /// Snapshot of the merged track: closed segments plus the centred
+    /// contents of every open segment, sorted by time. Matches what the
+    /// batch [`displacement_track`] returns for the same pushed reports.
+    #[must_use]
+    pub fn merged(&self) -> Vec<Sample> {
+        let mut out = self.closed.clone();
+        for st in self.channels.values() {
+            let mut open = st.segment.clone();
+            flush_segment(&mut open, &mut out);
+        }
+        out.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// Consumes the accumulator, flushing open segments — the tail of the
+    /// batch driver.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<Sample> {
+        let mut out = std::mem::take(&mut self.closed);
+        for st in self.channels.values_mut() {
+            flush_segment(&mut st.segment, &mut out);
+        }
+        out.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    /// Drops samples (closed and in open segments) before `cutoff_s`.
+    ///
+    /// Note that trimming an open segment shifts the mean it will be
+    /// centred with — the usual windowing effect, identical to running the
+    /// batch function over only the windowed reports.
+    pub fn evict_before(&mut self, cutoff_s: f64) {
+        self.closed.retain(|s| s.time >= cutoff_s);
+        for st in self.channels.values_mut() {
+            st.segment.retain(|s| s.time >= cutoff_s);
+        }
+    }
+
+    /// Closes and drops state of channels silent for more than `max_gap_s`
+    /// before `watermark_s`. The next reading on such a channel would have
+    /// broken the segment anyway, so in-order emissions are unchanged.
+    pub fn evict_stale(&mut self, watermark_s: f64, max_gap_s: f64) {
+        let closed = &mut self.closed;
+        self.channels.retain(|_, st| {
+            if watermark_s - st.last_t > max_gap_s {
+                flush_segment(&mut st.segment, closed);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Number of channels currently holding track state.
+    pub fn tracked_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total buffered samples (closed plus open segments).
+    pub fn sample_count(&self) -> usize {
+        self.closed.len()
+            + self
+                .channels
+                .values()
+                .map(|st| st.segment.len())
+                .sum::<usize>()
+    }
+
+    /// Whether the accumulator holds no state at all.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty() && self.closed.is_empty()
+    }
 }
 
 /// Computes a merged per-channel displacement **track** (levels, not
@@ -118,6 +372,8 @@ pub fn displacement_increments(
 ///
 /// Segments are broken at gaps larger than `max_gap_s`.
 ///
+/// This is the batch driver over [`TrackAccumulator`].
+///
 /// # Panics
 ///
 /// Same conditions as [`displacement_increments`].
@@ -127,22 +383,7 @@ pub fn displacement_track(
     max_gap_s: f64,
 ) -> Vec<Sample> {
     assert!(max_gap_s > 0.0, "max gap must be positive");
-    // Per channel: (last_time, last_phase, cum_displacement, segment).
-    struct ChannelState {
-        last_t: f64,
-        last_theta: f64,
-        cum: f64,
-        segment: Vec<Sample>,
-    }
-    let mut states: HashMap<u16, ChannelState> = HashMap::new();
-    let mut out: Vec<Sample> = Vec::new();
-    let flush = |segment: &mut Vec<Sample>, out: &mut Vec<Sample>| {
-        if segment.len() >= 2 {
-            let mean = segment.iter().map(|s| s.value).sum::<f64>() / segment.len() as f64;
-            out.extend(segment.iter().map(|s| Sample::new(s.time, s.value - mean)));
-        }
-        segment.clear();
-    };
+    let mut acc = TrackAccumulator::new();
     for r in reports {
         let channel = r.channel_index as usize;
         assert!(
@@ -150,48 +391,9 @@ pub fn displacement_track(
             "report on channel {channel} outside the {}-channel plan",
             plan.len()
         );
-        let lambda = plan.wavelength_m(channel);
-        match states.get_mut(&r.channel_index) {
-            Some(st) => {
-                let dt = r.time_s - st.last_t;
-                if dt > 0.0 && dt <= max_gap_s {
-                    let dtheta = wrap_to_pi(r.phase_rad - st.last_theta);
-                    let dd = lambda / (4.0 * std::f64::consts::PI) * dtheta;
-                    if !increment_is_plausible(dd, dt) {
-                        continue; // corrupted reading: drop, keep reference
-                    }
-                    st.cum += dd;
-                    st.segment.push(Sample::new(r.time_s, st.cum));
-                } else {
-                    flush(&mut st.segment, &mut out);
-                    st.cum = 0.0;
-                    st.segment.push(Sample::new(r.time_s, 0.0));
-                }
-                st.last_t = r.time_s;
-                st.last_theta = r.phase_rad;
-            }
-            None => {
-                states.insert(
-                    r.channel_index,
-                    ChannelState {
-                        last_t: r.time_s,
-                        last_theta: r.phase_rad,
-                        cum: 0.0,
-                        segment: vec![Sample::new(r.time_s, 0.0)],
-                    },
-                );
-            }
-        }
+        acc.push(r, plan, max_gap_s);
     }
-    for st in states.values_mut() {
-        flush(&mut st.segment, &mut out);
-    }
-    out.sort_by(|a, b| {
-        a.time
-            .partial_cmp(&b.time)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    out
+    acc.finish()
 }
 
 /// Integrates displacement increments into a cumulative displacement track
@@ -215,6 +417,8 @@ mod tests {
     use super::*;
     use epcgen2::epc::Epc96;
     use std::f64::consts::PI;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
 
     fn plan() -> ChannelPlan {
         ChannelPlan::us_10()
@@ -285,7 +489,7 @@ mod tests {
         for shift_ms in (0..2000).step_by(100) {
             let lag = shift_ms as f64 / 1000.0;
             let truth: Vec<f64> = times.iter().map(|&t| d(t - lag)).collect();
-            best = best.max(dsp::stats::pearson(&cum, &truth).unwrap());
+            best = best.max(dsp::stats::pearson(&cum, &truth).unwrap_or(f64::MIN));
         }
         assert!(best > 0.95, "best lagged correlation {best}");
     }
@@ -411,14 +615,15 @@ mod tests {
     }
 
     #[test]
-    fn track_correlates_with_true_motion() {
+    fn track_correlates_with_true_motion() -> TestResult {
         let d = |t: f64| 3.0 + 0.005 * (2.0 * PI * 0.25 * t).sin();
         let reports = synthesize(d, 40.0, 64.0);
         let track = displacement_track(&reports, &plan(), 5.0);
         let values: Vec<f64> = track.iter().map(|s| s.value).collect();
         let truth: Vec<f64> = track.iter().map(|s| d(s.time)).collect();
-        let corr = dsp::stats::pearson(&values, &truth).unwrap();
+        let corr = dsp::stats::pearson(&values, &truth).ok_or("degenerate correlation")?;
         assert!(corr > 0.95, "correlation {corr}");
+        Ok(())
     }
 
     #[test]
@@ -430,5 +635,98 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_gap_panics() {
         displacement_increments(&[], &plan(), 0.0);
+    }
+
+    #[test]
+    fn unwrapper_push_matches_batch_driver() {
+        let d = |t: f64| 3.0 + 0.004 * (2.0 * PI * 0.2 * t).sin();
+        let reports = synthesize(d, 20.0, 32.0);
+        let batch = displacement_increments(&reports, &plan(), 5.0);
+        let mut unwrapper = PhaseUnwrapper::new();
+        let streamed: Vec<Sample> = reports
+            .iter()
+            .filter_map(|r| unwrapper.push(r, &plan(), 5.0))
+            .collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn unwrapper_ignores_out_of_plan_channels() {
+        let mut unwrapper = PhaseUnwrapper::new();
+        assert!(unwrapper.push(&mk(0.0, 99, 1.0), &plan(), 5.0).is_none());
+        assert!(unwrapper.is_empty(), "out-of-plan report stored state");
+    }
+
+    #[test]
+    fn unwrapper_out_of_order_pair_emits_nothing_but_moves_reference() {
+        let mut unwrapper = PhaseUnwrapper::new();
+        assert!(unwrapper.push(&mk(1.0, 0, 1.0), &plan(), 5.0).is_none());
+        // Jump backwards: dt < 0 → no increment, reference moves to t=0.5.
+        assert!(unwrapper.push(&mk(0.5, 0, 1.2), &plan(), 5.0).is_none());
+        // Now a reading at t=0.6 pairs with the t=0.5 reference.
+        assert!(unwrapper.push(&mk(0.6, 0, 1.25), &plan(), 5.0).is_some());
+    }
+
+    #[test]
+    fn unwrapper_evicts_stale_channels() {
+        let mut unwrapper = PhaseUnwrapper::new();
+        let _ = unwrapper.push(&mk(0.0, 0, 1.0), &plan(), 5.0);
+        let _ = unwrapper.push(&mk(4.0, 1, 1.0), &plan(), 5.0);
+        assert_eq!(unwrapper.tracked_channels(), 2);
+        unwrapper.evict_stale(4.5, 5.0);
+        assert_eq!(unwrapper.tracked_channels(), 2, "both within the gap");
+        unwrapper.evict_stale(6.0, 5.0);
+        assert_eq!(unwrapper.tracked_channels(), 1, "channel 0 is stale");
+        unwrapper.evict_stale(20.0, 5.0);
+        assert!(unwrapper.is_empty());
+    }
+
+    #[test]
+    fn track_accumulator_merged_matches_batch_driver() {
+        let d = |t: f64| 3.0 + 0.004 * (2.0 * PI * 0.25 * t).sin();
+        let reports = synthesize(d, 30.0, 8.0);
+        let batch = displacement_track(&reports, &plan(), 5.0);
+        let mut acc = TrackAccumulator::new();
+        for r in &reports {
+            acc.push(r, &plan(), 5.0);
+        }
+        let merged = acc.merged();
+        assert_eq!(batch.len(), merged.len());
+        for (a, b) in batch.iter().zip(&merged) {
+            assert!((a.time - b.time).abs() < 1e-12);
+            assert!((a.value - b.value).abs() < 1e-12);
+        }
+        // merged() is a non-destructive snapshot; finish() agrees.
+        let finished = acc.finish();
+        assert_eq!(merged.len(), finished.len());
+    }
+
+    #[test]
+    fn track_accumulator_eviction_bounds_samples() {
+        let d = |t: f64| 3.0 + 0.004 * (2.0 * PI * 0.25 * t).sin();
+        let reports = synthesize(d, 60.0, 16.0);
+        let mut acc = TrackAccumulator::new();
+        let mut peak = 0;
+        for r in &reports {
+            acc.push(r, &plan(), 5.0);
+            acc.evict_before(r.time_s - 10.0);
+            peak = peak.max(acc.sample_count());
+        }
+        // 16 Hz × 10 s window → ~160 in-window samples; bounded well below
+        // the 960 pushed.
+        assert!(peak < 200, "peak buffered samples {peak}");
+    }
+
+    #[test]
+    fn track_accumulator_evict_stale_closes_segments() {
+        let mut acc = TrackAccumulator::new();
+        for i in 0..4 {
+            acc.push(&mk(f64::from(i) * 0.5, 0, 1.0), &plan(), 5.0);
+        }
+        assert_eq!(acc.tracked_channels(), 1);
+        acc.evict_stale(20.0, 5.0);
+        assert_eq!(acc.tracked_channels(), 0, "silent channel dropped");
+        // The open segment was centred into the closed pool, not lost.
+        assert_eq!(acc.merged().len(), 4);
     }
 }

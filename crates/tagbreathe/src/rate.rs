@@ -10,7 +10,7 @@ use crate::config::PipelineConfig;
 use crate::series::TimeSeries;
 use dsp::spectrum::dominant_frequency;
 use dsp::stats::rms;
-use dsp::zero_crossing::{find_zero_crossings, rate_from_crossings};
+use dsp::zero_crossing::{find_zero_crossings, rate_from_crossings, CrossingRateEstimator};
 
 /// One instantaneous rate estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,14 +52,16 @@ pub fn estimate_rate(signal: &TimeSeries, config: &PipelineConfig) -> RateEstima
         find_zero_crossings(signal.values(), signal.start_s(), signal.dt_s(), hysteresis);
     let times: Vec<f64> = crossings.iter().map(|c| c.time).collect();
 
+    // Drive the Eq. (5) sliding M-crossing buffer through the same
+    // incremental estimator the real-time path uses.
     let m = config.zero_crossing_buffer;
     let mut instantaneous = Vec::new();
-    if times.len() >= m {
-        for i in (m - 1)..times.len() {
-            let window = &times[i + 1 - m..=i];
-            if let Some(hz) = rate_from_crossings(window) {
+    if m >= 2 {
+        let mut estimator = CrossingRateEstimator::new(m);
+        for &t in &times {
+            if let Some(hz) = estimator.push(t) {
                 instantaneous.push(RatePoint {
-                    time_s: times[i],
+                    time_s: t,
                     rate_bpm: hz * 60.0,
                 });
             }

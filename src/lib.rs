@@ -45,6 +45,7 @@ pub mod prelude {
     pub use rfchannel::link::{LinkBudget, LinkConfig};
     pub use tagbreathe::pipeline::{spawn_pipelined, StreamingMonitor};
     pub use tagbreathe::{
-        AnalysisFailure, BreathMonitor, FilterKind, PipelineConfig, RateSnapshot, TimeSeries,
+        AnalysisFailure, AntennaStrategy, BreathMonitor, FilterKind, PipelineConfig,
+        PreprocessKind, RateSnapshot, TimeSeries, UserStreamState,
     };
 }
