@@ -7,16 +7,20 @@
 #   2. clippy, zero-warn  cargo clippy --workspace --all-targets -- -D warnings
 #   3. release build      cargo build --release
 #   4. test suite         cargo test -q
-#   5. equivalence suite  cargo test -q --release --test equivalence
-#   6. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke
-#   7. workspace lint     cargo run -p tagbreathe-lint -- check
+#   5. rustdoc, zero-warn RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+#   6. equivalence suite  cargo test -q --release --test equivalence
+#   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke
+#   8. workspace lint     cargo run -p tagbreathe-lint -- check
 #
-# Step 5 pins the batch/streaming agreement of the shared operator graph
-# (0.1 bpm); step 6 is the streaming-vs-recompute microbench in its
-# one-iteration smoke mode. Step 7 is the in-tree ratchet linter
-# (crates/lint): it fails on any violation beyond lint-baseline.txt AND on
-# any uncommitted slack (a burn-down that forgot
-# `-- check --update-baseline`).
+# Step 5 keeps the API docs buildable (broken intra-doc links are
+# errors). Step 6 pins the batch/streaming agreement of the shared
+# operator graph (0.1 bpm); step 7 is the streaming-vs-recompute
+# microbench in its one-iteration smoke mode, and also asserts the
+# instrumented metrics sidecar is written and non-empty (stream_bench
+# itself validates the JSON before writing). Step 8 is the in-tree
+# ratchet linter (crates/lint): it fails on any violation beyond
+# lint-baseline.txt AND on any uncommitted slack (a burn-down that
+# forgot `-- check --update-baseline`).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -32,11 +36,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo test -q --release --test equivalence"
 cargo test -q --release --test equivalence
 
 echo "==> stream_bench --smoke"
 cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --smoke --out /tmp/BENCH_streaming_smoke.json
+test -s /tmp/BENCH_streaming_smoke.metrics.json \
+    || { echo "ci: metrics sidecar missing or empty" >&2; exit 1; }
 
 echo "==> cargo run -p tagbreathe-lint -- check"
 cargo run -q -p tagbreathe-lint -- check

@@ -8,9 +8,11 @@
 //! buffer-and-reanalyze baseline over 1 / 10 / 100 users and 12.5 / 25 /
 //! 50 s windows, prints a summary table and writes machine-readable JSON
 //! to `BENCH_streaming.json` (or `--out PATH`). `--smoke` runs a single
-//! tiny point for CI.
+//! tiny point for CI. A metrics sidecar (`<out stem>.metrics.json`) with
+//! the instrumented replay's full registry dump is written next to the
+//! main output.
 
-use tagbreathe_bench::streaming::{render, run, to_json, StreamBenchConfig};
+use tagbreathe_bench::streaming::{metrics_sidecar, render, run, to_json, StreamBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,4 +40,19 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("# wrote {out_path}");
+
+    let metrics = metrics_sidecar(&config);
+    if let Err(e) = obs::json::validate(&metrics) {
+        eprintln!("error: metrics sidecar is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    let metrics_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.metrics.json"),
+        None => format!("{out_path}.metrics.json"),
+    };
+    if let Err(e) = std::fs::write(&metrics_path, &metrics) {
+        eprintln!("error: could not write {metrics_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {metrics_path}");
 }

@@ -268,6 +268,36 @@ pub fn run(config: &StreamBenchConfig) -> Vec<BenchPoint> {
     points
 }
 
+/// Replays the smallest sweep point through a fully-instrumented
+/// [`StreamingMonitor`] and returns the metrics registry as JSON — the
+/// BENCH sidecar proving the instrumentation fires on real traffic.
+#[must_use]
+pub fn metrics_sidecar(config: &StreamBenchConfig) -> String {
+    use std::sync::Arc;
+
+    let plan = PipelineConfig::paper_default().plan;
+    let n_users = config.users.iter().copied().min().unwrap_or(1);
+    let window_s = config
+        .windows_s
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(25.0);
+    let trace = synthetic_trace(n_users, config.duration_s, &plan);
+    let registry = Arc::new(obs::Registry::new());
+    let mut sm = StreamingMonitor::new(
+        PipelineConfig::paper_default(),
+        EmbeddedIdentity::new(user_ids(n_users)),
+        window_s,
+        config.cadence_s,
+    )
+    .expect("valid streaming config")
+    .with_recorder(obs::SharedRecorder::new(registry.clone()));
+    sm.push(trace);
+    sm.snapshot_now();
+    registry.render_json()
+}
+
 /// Renders the sweep as machine-readable JSON (hand-rolled: the workspace
 /// is dependency-free).
 #[must_use]

@@ -37,6 +37,7 @@ pub mod epc;
 pub mod inventory;
 pub mod llrp;
 pub mod mapping;
+pub mod metrics;
 pub mod q_algorithm;
 pub mod reader;
 pub mod report;

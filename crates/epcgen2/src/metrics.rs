@@ -1,0 +1,23 @@
+//! Canonical metric names emitted by the reader simulator.
+//!
+//! Same convention as `tagbreathe::metrics`: one constant per metric,
+//! Prometheus-style names, documented next to the MAC behaviour it counts.
+//! See `docs/METRICS.md` for the full reference table.
+
+/// Counter: inventory rounds driven by [`crate::reader::Reader`].
+pub const INVENTORY_ROUNDS: &str = "epcgen2_inventory_rounds_total";
+
+/// Counter: slots in which no tag replied.
+pub const SLOTS_EMPTY: &str = "epcgen2_slots_empty_total";
+
+/// Counter: slots in which two or more tags collided.
+pub const SLOTS_COLLISION: &str = "epcgen2_slots_collision_total";
+
+/// Counter: successful singulations that produced a low-level report.
+pub const READS: &str = "epcgen2_reads_total";
+
+/// Counter: singleton slots whose exchange failed on the weak link.
+pub const READ_FAILURES: &str = "epcgen2_read_failures_total";
+
+/// Histogram: powered tags participating per inventory round.
+pub const ROUND_PARTICIPANTS: &str = "epcgen2_round_participants";

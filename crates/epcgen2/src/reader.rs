@@ -10,11 +10,13 @@
 //! grants, exactly the data quality the real system sees.
 
 use crate::inventory::{run_round, Participant, SlotEvent, SlotTiming};
+use crate::metrics;
 use crate::q_algorithm::QState;
 use crate::report::TagReport;
 use crate::select::SelectMask;
 use crate::session::{FlagTracker, Session};
 use crate::world::TagWorld;
+use obs::{NoopRecorder, Recorder};
 use prng::Xoshiro256;
 use rfchannel::antenna::Antenna;
 use rfchannel::channel_plan::{ChannelPlan, HopSequence};
@@ -175,7 +177,25 @@ impl Reader {
     ///
     /// Panics if `duration_s` is not positive.
     pub fn run<W: TagWorld>(&self, world: &W, duration_s: f64) -> Vec<TagReport> {
+        self.run_observed(world, duration_s, &NoopRecorder)
+    }
+
+    /// [`Reader::run`] with MAC metrics: inventory rounds, per-round
+    /// participant counts, and empty / collision / read / failed slot
+    /// tallies. The report stream is identical to `run`'s — the recorder
+    /// only observes, it never perturbs the simulation's randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive.
+    pub fn run_observed<W: TagWorld>(
+        &self,
+        world: &W,
+        duration_s: f64,
+        rec: &dyn Recorder,
+    ) -> Vec<TagReport> {
         assert!(duration_s > 0.0, "duration must be positive");
+        let on = rec.enabled();
         let cfg = &self.config;
         let hop = HopSequence::new(&cfg.plan, cfg.dwell_s, cfg.seed);
         let mut fading = FadingTable::office(cfg.seed.wrapping_add(1));
@@ -218,6 +238,18 @@ impl Reader {
             }
 
             let outcome = run_round(&mut rng, &mut q, &participants, &cfg.timing);
+            if on {
+                rec.count(metrics::INVENTORY_ROUNDS, 1);
+                rec.record(metrics::ROUND_PARTICIPANTS, participants.len() as u64);
+                for &(_, event) in &outcome.events {
+                    match event {
+                        SlotEvent::Empty => rec.count(metrics::SLOTS_EMPTY, 1),
+                        SlotEvent::Collision => rec.count(metrics::SLOTS_COLLISION, 1),
+                        SlotEvent::Read { .. } => rec.count(metrics::READS, 1),
+                        SlotEvent::Failed { .. } => rec.count(metrics::READ_FAILURES, 1),
+                    }
+                }
+            }
             for &(offset_us, event) in &outcome.events {
                 let SlotEvent::Read { tag_index } = event else {
                     continue;

@@ -38,8 +38,8 @@ pub enum TokenKind {
     Str,
     /// Char or byte literal (contents dropped).
     Char,
-    /// Punctuation — single char or one of the two-char operators in
-    /// [`TWO_CHAR_OPS`] (e.g. `==`, `->`, `::`).
+    /// Punctuation — single char or one of the recognised two-char
+    /// operators (e.g. `==`, `->`, `::`).
     Punct(&'static str),
     /// A comment, with its full text (including delimiters).
     Comment(String),

@@ -1,0 +1,218 @@
+//! `doc-comment` — public API without rustdoc in library crates.
+//!
+//! Every `pub fn` and `pub struct` in a library crate is part of the
+//! workspace's public surface and must carry a doc comment (`///`,
+//! `/** … */`) or an explicit `#[doc = …]` attribute. The rule scans the
+//! full token stream (comments retained) so doc comments interleaved
+//! with attributes are found; `pub(crate)` / `pub(super)` items are
+//! internal and exempt, as is anything inside `#[cfg(test)]` modules.
+
+use super::{Rule, RuleCtx};
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Severity, Violation};
+use crate::source::SourceFile;
+
+pub struct DocComment;
+
+impl Rule for DocComment {
+    fn id(&self) -> &'static str {
+        "doc-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "pub fn / pub struct in a library crate without a doc comment"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &RuleCtx) -> Vec<Violation> {
+        if !ctx.lib_crates.contains(&file.crate_name) || file.test_only {
+            return Vec::new();
+        }
+        let tokens: Vec<&Token> = file.tokens.iter().collect();
+        let mut out = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if !t.kind.is_ident("pub") || file.is_test_line(t.line) {
+                continue;
+            }
+            let Some((kind, name)) = declared_item(&tokens, i) else {
+                continue;
+            };
+            if !has_doc(&tokens, i) {
+                out.push(Violation {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!("pub {kind} {name} has no doc comment"),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// If the `pub` at `i` introduces a `fn` or `struct`, returns the item
+/// kind and name. Skips comments and fn qualifiers (`const`, `unsafe`,
+/// `async`, `extern "…"`); rejects restricted visibility (`pub(…)`).
+fn declared_item<'a>(tokens: &[&'a Token], i: usize) -> Option<(&'static str, &'a str)> {
+    let mut j = next_code(tokens, i + 1)?;
+    if tokens[j].kind.is_punct("(") {
+        return None; // pub(crate) / pub(super) — not public API
+    }
+    loop {
+        match &tokens[j].kind {
+            TokenKind::Ident(s)
+                if matches!(s.as_str(), "const" | "unsafe" | "async" | "extern") =>
+            {
+                j = next_code(tokens, j + 1)?;
+            }
+            TokenKind::Str => {
+                j = next_code(tokens, j + 1)?; // extern "C"
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[j].kind {
+        TokenKind::Ident(s) if s == "fn" => "fn",
+        TokenKind::Ident(s) if s == "struct" => "struct",
+        _ => return None,
+    };
+    let name_idx = next_code(tokens, j + 1)?;
+    let name = tokens[name_idx].kind.ident()?;
+    Some((kind, name))
+}
+
+/// Index of the first non-comment token at or after `i`.
+fn next_code(tokens: &[&Token], i: usize) -> Option<usize> {
+    (i..tokens.len()).find(|&j| !matches!(tokens[j].kind, TokenKind::Comment(_)))
+}
+
+/// Walks backwards from the `pub` at `i` over attribute groups and plain
+/// comments; true once a doc comment or `#[doc…]` attribute is found.
+fn has_doc(tokens: &[&Token], i: usize) -> bool {
+    let mut end = i; // exclusive end of the region above the item
+    while end > 0 {
+        let prev = end - 1;
+        match &tokens[prev].kind {
+            TokenKind::Comment(text) => {
+                if text.starts_with("///") || text.starts_with("/**") {
+                    return true;
+                }
+                end = prev; // plain comment — keep looking above it
+            }
+            TokenKind::Punct("]") => {
+                // Match the attribute's `[` backwards, then expect `#`.
+                let Some(open) = matching_open(tokens, prev) else {
+                    return false;
+                };
+                if open == 0 || !tokens[open - 1].kind.is_punct("#") {
+                    return false;
+                }
+                if tokens[open..prev].iter().any(|t| t.kind.is_ident("doc")) {
+                    return true;
+                }
+                end = open - 1;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Index of the `[` matching the `]` at `close`, scanning backwards.
+fn matching_open(tokens: &[&Token], close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        if tokens[j].kind.is_punct("]") {
+            depth += 1;
+        } else if tokens[j].kind.is_punct("[") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run;
+    use super::*;
+
+    #[test]
+    fn flags_undocumented_fn_and_struct() {
+        let src = "pub fn naked() {}\npub struct Bare { pub x: f64 }\n";
+        let v = run(&DocComment, "crates/dsp/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("fn naked"));
+        assert!(v[1].message.contains("struct Bare"));
+    }
+
+    #[test]
+    fn doc_comment_forms_satisfy_the_rule() {
+        let src = "\
+/// Line docs.
+pub fn a() {}
+
+/** Block docs. */
+pub struct B;
+
+#[doc = \"attribute docs\"]
+pub fn c() {}
+";
+        assert!(run(&DocComment, "crates/dsp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn docs_survive_interleaved_attributes_and_plain_comments() {
+        let src = "\
+/// Documented.
+#[must_use]
+#[allow(dead_code)]
+pub fn a() -> f64 { 0.0 }
+
+/// Documented too.
+// implementation note
+pub struct S;
+";
+        assert!(run(&DocComment, "crates/dsp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn qualified_fns_are_still_matched() {
+        let src = "pub const fn c() {}\npub unsafe fn u() {}\npub async fn a() {}\n";
+        assert_eq!(run(&DocComment, "crates/dsp/src/x.rs", src).len(), 3);
+        let documented = "/// Docs.\npub const unsafe fn both() {}\n";
+        assert!(run(&DocComment, "crates/dsp/src/x.rs", documented).is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_and_other_items_are_exempt() {
+        let src = "\
+pub(crate) fn internal() {}
+pub(super) struct Up;
+pub mod sub {}
+pub use std::fmt;
+pub const MAX: usize = 4;
+";
+        assert!(run(&DocComment, "crates/dsp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_lib_crates_tests_and_cfg_test_mods_are_exempt() {
+        let src = "pub fn naked() {}\n";
+        assert!(run(&DocComment, "crates/bench/src/x.rs", src).is_empty());
+        assert!(run(&DocComment, "tests/x.rs", src).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n";
+        assert!(run(&DocComment, "crates/dsp/src/x.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn attribute_without_doc_does_not_count() {
+        let src = "#[must_use]\npub fn a() -> f64 { 0.0 }\n";
+        assert_eq!(run(&DocComment, "crates/dsp/src/x.rs", src).len(), 1);
+    }
+}

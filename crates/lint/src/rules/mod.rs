@@ -6,6 +6,7 @@
 //! absorb pre-existing (reviewed) findings.
 
 mod allow_audit;
+mod doc_comment;
 mod float_eq;
 mod lossy_cast;
 mod must_use;
@@ -16,6 +17,7 @@ use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
 pub use allow_audit::AllowAudit;
+pub use doc_comment::DocComment;
 pub use float_eq::FloatEq;
 pub use lossy_cast::LossyCast;
 pub use must_use::MissingMustUse;
@@ -49,6 +51,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LossyCast),
         Box::new(AllowAudit),
         Box::new(MissingMustUse),
+        Box::new(DocComment),
         Box::new(TodoTracker),
     ]
 }
@@ -61,9 +64,16 @@ pub(crate) mod testutil {
     pub fn run(rule: &dyn Rule, rel_path: &str, source: &str) -> Vec<Violation> {
         let file = SourceFile::parse(rel_path, source);
         let ctx = RuleCtx {
-            lib_crates: ["dsp", "rfchannel", "breathing", "epcgen2", "tagbreathe"]
-                .map(String::from)
-                .to_vec(),
+            lib_crates: [
+                "dsp",
+                "rfchannel",
+                "breathing",
+                "epcgen2",
+                "tagbreathe",
+                "obs",
+            ]
+            .map(String::from)
+            .to_vec(),
         };
         rule.check(&file, &ctx)
     }

@@ -100,7 +100,8 @@ fn fixture_triggers_every_error_rule() {
             "lib-panic",
             "lossy-cast",
             "allow-attr",
-            "missing-must-use"
+            "missing-must-use",
+            "doc-comment"
         ]
     );
 }

@@ -1,0 +1,227 @@
+//! Fixed log-bucket histogram over `u64` values.
+//!
+//! [`LogHistogram`] buckets by the position of the highest set bit: bucket
+//! 0 holds zeros, bucket `k` (1 ≤ k ≤ 63) holds values in
+//! `[2^(k-1), 2^k)`, and the last bucket overflows — values at or above
+//! `2^63`. The record path is pure integer work (`leading_zeros`, a
+//! saturating add and an array increment), so it is safe to call from
+//! latency-sensitive pipeline stages: no floats, no allocation, no
+//! branching on data-dependent bucket counts.
+//!
+//! Quantiles read from the bucket boundaries are approximate — accurate to
+//! within one power of two — which is exactly the resolution stage-latency
+//! monitoring needs.
+
+/// Number of buckets: one for zero, one per highest-bit position up to
+/// `2^62..2^63`, and one overflow bucket for values `>= 2^63`.
+pub const BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram with running count / sum / min / max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Bucket index of `value`: 0 for zero, otherwise one plus the
+    /// position of the highest set bit. Always `< BUCKETS`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `index`, or `None` for the
+    /// overflow bucket (and any out-of-range index).
+    #[must_use]
+    pub fn bucket_upper_bound(index: usize) -> Option<u64> {
+        if index + 1 < BUCKETS {
+            Some((1u64 << index) - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observation. Count and sum saturate rather than wrap.
+    pub fn record(&mut self, value: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let idx = Self::bucket_index(value).min(BUCKETS - 1);
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket observation counts (see [`LogHistogram::bucket_index`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile `q` (clamped to 0–1): the upper bound of the
+    /// first bucket at which the cumulative count reaches `q` of the
+    /// total, clamped to the observed maximum. `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= target {
+                let bound = Self::bucket_upper_bound(idx).unwrap_or(self.max);
+                return Some(bound.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn max_value_lands_in_overflow_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(h.buckets()[BUCKETS - 1], 1);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert!(LogHistogram::bucket_upper_bound(BUCKETS - 1).is_none());
+    }
+
+    #[test]
+    fn overflow_bucket_starts_at_two_to_the_sixty_three() {
+        // 2^63 - 1 is the last finite bucket; 2^63 overflows.
+        assert_eq!(LogHistogram::bucket_index((1u64 << 63) - 1), BUCKETS - 2);
+        assert_eq!(LogHistogram::bucket_index(1u64 << 63), BUCKETS - 1);
+        assert_eq!(
+            LogHistogram::bucket_upper_bound(BUCKETS - 2),
+            Some((1u64 << 63) - 1)
+        );
+    }
+
+    #[test]
+    fn power_of_two_boundaries() {
+        // Each bucket k >= 1 covers [2^(k-1), 2^k).
+        for k in 0..63u32 {
+            let lo = 1u64 << k;
+            let hi = (1u64 << (k + 1)) - 1;
+            assert_eq!(LogHistogram::bucket_index(lo), (k + 1) as usize);
+            assert_eq!(LogHistogram::bucket_index(hi), (k + 1) as usize);
+        }
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_is_within_one_power_of_two() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap_or(0);
+        // Median 30 lives in bucket [16, 31].
+        assert!((16..=31).contains(&p50), "p50 {p50}");
+        let p100 = h.quantile(1.0).unwrap_or(0);
+        assert_eq!(p100, 1000, "p100 clamps to observed max");
+        // Out-of-range q clamps rather than panicking.
+        assert!(h.quantile(7.0).is_some());
+        assert!(h.quantile(-1.0).is_some());
+    }
+}

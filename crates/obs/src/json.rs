@@ -1,0 +1,270 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The workspace is zero-external-dependency, so the BENCH sidecar and
+//! registry dumps are emitted by hand-rolled writers. This module closes
+//! the loop: [`validate`] parses a string as one JSON value (RFC 8259
+//! grammar, no semantic interpretation) so producers and CI can assert the
+//! emitted text actually parses without pulling in a JSON crate.
+
+/// Maximum nesting depth accepted before bailing out (guards the
+/// recursive-descent parser's stack).
+const MAX_DEPTH: usize = 128;
+
+/// Why a text failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Validates that `text` is exactly one well-formed JSON value (with
+/// optional surrounding whitespace).
+///
+/// # Errors
+///
+/// Returns the first syntax error found.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_obs::json::validate;
+///
+/// assert!(validate("{\"a\": [1, 2.5e3, null]}").is_ok());
+/// assert!(validate("{\"a\": }").is_err());
+/// ```
+pub fn validate(text: &str) -> Result<(), JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after the value"));
+    }
+    Ok(())
+}
+
+fn err(offset: usize, what: &'static str) -> JsonError {
+    JsonError { offset, what }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, "nesting too deep"));
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos, depth),
+        Some(b'[') => array(bytes, pos, depth),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        Some(_) => Err(err(*pos, "expected a JSON value")),
+        None => Err(err(*pos, "unexpected end of input")),
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected a string key"));
+        }
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':' after key"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), JsonError> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // consume opening quote
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !matches!(
+                                bytes.get(*pos),
+                                Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                            ) {
+                                return Err(err(*pos, "bad unicode escape"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(err(*pos, "bad escape sequence")),
+                }
+            }
+            Some(b) if *b < 0x20 => return Err(err(*pos, "raw control character in string")),
+            Some(_) => *pos += 1,
+            None => return Err(err(*pos, "unterminated string")),
+        }
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &[u8]) -> Result<(), JsonError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(err(*pos, "bad literal"))
+    }
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => digits(bytes, pos),
+        _ => return Err(err(*pos, "expected a digit")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(err(*pos, "expected a digit after '.'"));
+        }
+        digits(bytes, pos);
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return Err(err(*pos, "expected a digit in exponent"));
+        }
+        digits(bytes, pos);
+    }
+    Ok(())
+}
+
+fn digits(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for text in [
+            "null",
+            "true",
+            "  false  ",
+            "0",
+            "-12.5e-3",
+            "\"a \\\"quoted\\\" string\\n\"",
+            "[]",
+            "[1, [2, [3]], {\"k\": null}]",
+            "{\"a\": 1, \"b\": {\"c\": [true, \"x\"]}}",
+        ] {
+            assert!(validate(text).is_ok(), "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for text in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1,]",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "{} extra",
+            "{1: 2}",
+        ] {
+            assert!(validate(text).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset_and_displays() {
+        let err = validate("[1, oops]").err();
+        assert_eq!(err.as_ref().map(|e| e.offset), Some(4));
+        assert!(err.is_some_and(|e| e.to_string().contains("byte 4")));
+    }
+
+    #[test]
+    fn depth_limit_guards_the_stack() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(validate(&deep).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # tagbreathe-obs
+//!
+//! Zero-dependency observability for the TagBreathe pipeline: counters,
+//! gauges, fixed log-bucket histograms and span-style stage timers behind
+//! the cheap [`Recorder`] trait.
+//!
+//! The design centre is the **disabled path**: every instrumented pipeline
+//! stage takes a `&dyn Recorder` (defaulting to [`NoopRecorder`]) and gates
+//! all non-trivial metric work behind [`Recorder::enabled`], so monitoring
+//! costs approximately one virtual call per report when nothing is
+//! listening — the streaming ingest hot path stays amortised O(1) with no
+//! clock reads, no allocation and no floating-point work.
+//!
+//! When something *is* listening, the concrete sink is [`Registry`]: a
+//! thread-safe store keyed by `(name, label)` that exposes a
+//! Prometheus-style plain-text rendering
+//! ([`Registry::render_prometheus`]) and a JSON dump
+//! ([`Registry::render_json`]) for machine consumption (the `stream_bench`
+//! metrics sidecar, the `tagbreathe-cli metrics` subcommand).
+//!
+//! * [`recorder`] — the [`Recorder`] trait, [`NoopRecorder`], and the
+//!   cloneable [`SharedRecorder`] handle long-lived stages store;
+//! * [`registry`] — the recording [`Registry`] and its renderings;
+//! * [`histogram`] — [`LogHistogram`], 64 power-of-two buckets plus an
+//!   overflow bucket, integers only on the record path;
+//! * [`span`] — [`StageTimer`], a drop guard that reads the clock only
+//!   when the recorder is enabled;
+//! * [`json`] — a minimal JSON well-formedness checker so dependants can
+//!   assert that emitted dumps parse without an external JSON crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tagbreathe_obs::{Recorder, Registry, SharedRecorder};
+//!
+//! let registry = Arc::new(Registry::new());
+//! let rec = SharedRecorder::new(registry.clone());
+//!
+//! // Instrumented code sees only `&dyn Recorder`.
+//! rec.count("demo_reports_total", 3);
+//! rec.gauge("demo_backlog", 1.5);
+//! rec.record("demo_latency_ns", 1200);
+//!
+//! assert_eq!(registry.counter("demo_reports_total"), 3);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("demo_reports_total 3"));
+//! tagbreathe_obs::json::validate(&registry.render_json())?;
+//! # Ok::<(), tagbreathe_obs::json::JsonError>(())
+//! ```
+//!
+//! And the disabled path — the default for every instrumented API:
+//!
+//! ```
+//! use tagbreathe_obs::{NoopRecorder, Recorder};
+//!
+//! let rec = NoopRecorder;
+//! assert!(!rec.enabled());
+//! rec.count("never_stored", 1); // free: no state, no clock, no floats
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod histogram;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use histogram::LogHistogram;
+pub use recorder::{Label, NoopRecorder, Recorder, SharedRecorder};
+pub use registry::{MetricsSnapshot, Registry};
+pub use span::StageTimer;

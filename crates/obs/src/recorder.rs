@@ -1,0 +1,194 @@
+//! The [`Recorder`] trait and its no-op / shared implementations.
+//!
+//! Instrumented pipeline code never names a concrete sink: it takes
+//! `&dyn Recorder` and calls [`Recorder::count`] / [`Recorder::gauge`] /
+//! [`Recorder::observe`]. The two shipped implementations are
+//! [`NoopRecorder`] (the default everywhere — `enabled()` is `false`, so
+//! instrumentation costs one virtual call) and
+//! [`crate::registry::Registry`] (records everything). [`SharedRecorder`]
+//! is the cloneable, thread-safe handle long-lived stages store, so a
+//! `StreamingMonitor`-style owner stays `Send + Debug` without generic
+//! plumbing.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One metric label dimension — e.g. `port="2"` on the per-antenna
+/// link-quality gauges. Values are integers so labelled hot-path metrics
+/// stay float-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label {
+    /// Label name, e.g. `"port"`.
+    pub name: &'static str,
+    /// Label value.
+    pub value: u64,
+}
+
+impl Label {
+    /// Creates a label.
+    #[must_use]
+    pub fn new(name: &'static str, value: u64) -> Self {
+        Label { name, value }
+    }
+
+    /// The conventional antenna-port label.
+    #[must_use]
+    pub fn port(port: u8) -> Self {
+        Label::new("port", u64::from(port))
+    }
+}
+
+/// A metric sink.
+///
+/// Implementations must be cheap and non-blocking enough to call from the
+/// streaming ingest path; instrumented code additionally gates any metric
+/// *computation* (clock reads, length sums, EWMA updates) behind
+/// [`Recorder::enabled`] so a disabled recorder costs ~0.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder stores anything at all. Instrumented code
+    /// checks this once per unit of work and skips metric derivation when
+    /// `false`.
+    fn enabled(&self) -> bool;
+
+    /// Adds `delta` to the (optionally labelled) counter `name`.
+    fn add(&self, name: &'static str, label: Option<Label>, delta: u64);
+
+    /// Sets the (optionally labelled) gauge `name` to `value`.
+    fn set_gauge(&self, name: &'static str, label: Option<Label>, value: f64);
+
+    /// Records one observation of `value` into the (optionally labelled)
+    /// histogram `name`.
+    fn observe(&self, name: &'static str, label: Option<Label>, value: u64);
+
+    /// Convenience: unlabelled counter add.
+    fn count(&self, name: &'static str, delta: u64) {
+        self.add(name, None, delta);
+    }
+
+    /// Convenience: unlabelled gauge set.
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.set_gauge(name, None, value);
+    }
+
+    /// Convenience: unlabelled histogram observation.
+    fn record(&self, name: &'static str, value: u64) {
+        self.observe(name, None, value);
+    }
+}
+
+/// The do-nothing recorder: `enabled()` is `false` and every sink method
+/// is empty. This is the default for every instrumented API, making
+/// observability free until a caller opts in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn add(&self, _name: &'static str, _label: Option<Label>, _delta: u64) {}
+
+    fn set_gauge(&self, _name: &'static str, _label: Option<Label>, _value: f64) {}
+
+    fn observe(&self, _name: &'static str, _label: Option<Label>, _value: u64) {}
+}
+
+/// A cloneable, thread-safe recorder handle.
+///
+/// The no-op default allocates nothing, so storing a `SharedRecorder`
+/// field in a pipeline struct is free until a registry is attached.
+#[derive(Clone, Default)]
+pub struct SharedRecorder {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl SharedRecorder {
+    /// A handle that records nothing (the default).
+    #[must_use]
+    pub fn noop() -> Self {
+        SharedRecorder { inner: None }
+    }
+
+    /// Wraps a concrete recorder. `Arc<Registry>` coerces directly:
+    /// `SharedRecorder::new(registry.clone())`.
+    #[must_use]
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        SharedRecorder {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Borrows the underlying recorder as a trait object.
+    #[must_use]
+    pub fn as_dyn(&self) -> &dyn Recorder {
+        match &self.inner {
+            Some(recorder) => recorder.as_ref(),
+            None => &NoopRecorder,
+        }
+    }
+}
+
+impl fmt::Debug for SharedRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedRecorder")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Recorder for SharedRecorder {
+    fn enabled(&self) -> bool {
+        self.as_dyn().enabled()
+    }
+
+    fn add(&self, name: &'static str, label: Option<Label>, delta: u64) {
+        self.as_dyn().add(name, label, delta);
+    }
+
+    fn set_gauge(&self, name: &'static str, label: Option<Label>, value: f64) {
+        self.as_dyn().set_gauge(name, label, value);
+    }
+
+    fn observe(&self, name: &'static str, label: Option<Label>, value: u64) {
+        self.as_dyn().observe(name, label, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn noop_is_disabled_and_stateless() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.count("x", 1);
+        rec.gauge("y", 2.0);
+        rec.record("z", 3);
+    }
+
+    #[test]
+    fn shared_default_is_noop() {
+        let rec = SharedRecorder::default();
+        assert!(!rec.enabled());
+        assert!(format!("{rec:?}").contains("enabled: false"));
+    }
+
+    #[test]
+    fn shared_delegates_to_registry() {
+        let registry = Arc::new(Registry::new());
+        let rec = SharedRecorder::new(registry.clone());
+        assert!(rec.enabled());
+        rec.count("hits_total", 2);
+        rec.add("hits_total", Some(Label::port(3)), 5);
+        assert_eq!(registry.counter("hits_total"), 7);
+    }
+
+    #[test]
+    fn labels_order_and_compare() {
+        assert_eq!(Label::port(1), Label::new("port", 1));
+        assert!(Label::new("port", 1) < Label::new("port", 2));
+    }
+}

@@ -1,0 +1,107 @@
+//! Span-style stage timers.
+//!
+//! [`StageTimer`] is a drop guard: construct it at the top of a pipeline
+//! stage and the elapsed wall time lands in the named histogram when it
+//! goes out of scope. The clock is read only when the recorder is enabled,
+//! so a timer on the no-op path costs one branch.
+
+use crate::recorder::Recorder;
+use std::fmt;
+use std::time::Instant;
+
+/// Times a stage and records elapsed nanoseconds into histogram `name`
+/// on drop.
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe_obs::{Registry, StageTimer};
+///
+/// let registry = Registry::new();
+/// {
+///     let _timer = StageTimer::start(&registry, "demo_stage_ns");
+///     // ... stage work ...
+/// }
+/// let h = registry.histogram("demo_stage_ns").expect("recorded");
+/// assert_eq!(h.count(), 1);
+/// ```
+pub struct StageTimer<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Starts a timer for histogram `name`. When `recorder` is disabled
+    /// the clock is never read and drop records nothing.
+    #[must_use]
+    pub fn start(recorder: &'a dyn Recorder, name: &'static str) -> Self {
+        let start = if recorder.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        StageTimer {
+            recorder,
+            name,
+            start,
+        }
+    }
+
+    /// Whether the timer is live (the recorder was enabled at start).
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.record(self.name, ns);
+        }
+    }
+}
+
+impl fmt::Debug for StageTimer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageTimer")
+            .field("name", &self.name)
+            .field("running", &self.is_running())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NoopRecorder;
+    use crate::registry::Registry;
+
+    #[test]
+    fn disabled_timer_records_nothing_and_reads_no_clock() {
+        let rec = NoopRecorder;
+        let timer = StageTimer::start(&rec, "t_ns");
+        assert!(!timer.is_running());
+        drop(timer);
+    }
+
+    #[test]
+    fn enabled_timer_records_one_observation() {
+        let registry = Registry::new();
+        {
+            let timer = StageTimer::start(&registry, "t_ns");
+            assert!(timer.is_running());
+        }
+        let count = registry.histogram("t_ns").map(|h| h.count());
+        assert_eq!(count, Some(1));
+    }
+
+    #[test]
+    fn debug_prints_name() {
+        let registry = Registry::new();
+        let timer = StageTimer::start(&registry, "t_ns");
+        assert!(format!("{timer:?}").contains("t_ns"));
+    }
+}

@@ -6,8 +6,10 @@
 //! geographically distributed — keeps per-antenna streams so the best
 //! antenna can be selected per user (Section IV-D.3).
 
+use crate::metrics;
 use epcgen2::mapping::{IdentityResolver, TagIdentity};
 use epcgen2::report::TagReport;
+use obs::{Label, Recorder};
 use std::collections::BTreeMap;
 
 /// Reports of one tag seen by one antenna, in time order.
@@ -198,6 +200,109 @@ pub fn demux<R: IdentityResolver>(
     (users, unknown)
 }
 
+/// EWMA smoothing factor of [`LinkQualityTracker`]: heavy smoothing so the
+/// gauges reflect link trend, not per-slot jitter.
+const LINK_EWMA_ALPHA: f64 = 0.05;
+
+/// Per-antenna-port link state held by [`LinkQualityTracker`].
+#[derive(Debug, Clone, Copy)]
+struct PortLink {
+    ewma_rssi_dbm: f64,
+    ewma_gap_s: Option<f64>,
+    last_t_s: f64,
+    reads: u64,
+}
+
+/// Running link-quality statistics per antenna port: an RSSI EWMA and a
+/// smoothed read rate, published as `port`-labelled gauges.
+///
+/// This is the observability twin of the paper's antenna-quality rule
+/// (Section IV-D.3): the same two signals — signal strength and sampling
+/// rate — but exported continuously per port instead of reduced to one
+/// selection decision per user.
+#[derive(Debug, Clone, Default)]
+pub struct LinkQualityTracker {
+    ports: BTreeMap<u8, PortLink>,
+}
+
+impl LinkQualityTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one report into its port's EWMAs. Reports must arrive in
+    /// roughly increasing time order (non-positive gaps extend no rate).
+    pub fn observe(&mut self, report: &TagReport) {
+        match self.ports.get_mut(&report.antenna_port) {
+            Some(link) => {
+                link.ewma_rssi_dbm += LINK_EWMA_ALPHA * (report.rssi_dbm - link.ewma_rssi_dbm);
+                let gap = report.time_s - link.last_t_s;
+                if gap > 0.0 {
+                    link.ewma_gap_s = Some(match link.ewma_gap_s {
+                        Some(g) => g + LINK_EWMA_ALPHA * (gap - g),
+                        None => gap,
+                    });
+                    link.last_t_s = report.time_s;
+                }
+                link.reads += 1;
+            }
+            None => {
+                self.ports.insert(
+                    report.antenna_port,
+                    PortLink {
+                        ewma_rssi_dbm: report.rssi_dbm,
+                        ewma_gap_s: None,
+                        last_t_s: report.time_s,
+                        reads: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Smoothed RSSI of a port, dBm. `None` before its first report.
+    #[must_use]
+    pub fn rssi_ewma_dbm(&self, port: u8) -> Option<f64> {
+        self.ports.get(&port).map(|l| l.ewma_rssi_dbm)
+    }
+
+    /// Smoothed read rate of a port, Hz (reciprocal of the EWMA inter-read
+    /// gap). `None` before the second report.
+    #[must_use]
+    pub fn read_rate_hz(&self, port: u8) -> Option<f64> {
+        self.ports
+            .get(&port)
+            .and_then(|l| l.ewma_gap_s)
+            .map(|g| 1.0 / g)
+    }
+
+    /// Total reports folded in for a port.
+    #[must_use]
+    pub fn reads(&self, port: u8) -> u64 {
+        self.ports.get(&port).map_or(0, |l| l.reads)
+    }
+
+    /// Ports observed so far, ascending.
+    #[must_use]
+    pub fn ports(&self) -> Vec<u8> {
+        self.ports.keys().copied().collect()
+    }
+
+    /// Publishes the per-port gauges
+    /// ([`metrics::PORT_RSSI_EWMA_DBM`], [`metrics::PORT_READ_RATE_HZ`]).
+    pub fn publish(&self, rec: &dyn Recorder) {
+        for (&port, link) in &self.ports {
+            let label = Some(Label::port(port));
+            rec.set_gauge(metrics::PORT_RSSI_EWMA_DBM, label, link.ewma_rssi_dbm);
+            if let Some(gap) = link.ewma_gap_s {
+                rec.set_gauge(metrics::PORT_READ_RATE_HZ, label, 1.0 / gap);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +402,38 @@ mod tests {
         assert_eq!(sd.push(&report(0.1, 7, 0, 1, -50.0)), None);
         assert_eq!(sd.push(&report(0.2, 1, 0, 1, -50.0)), Some((1, 0)));
         assert_eq!(sd.unknown_reports(), 1);
+    }
+
+    #[test]
+    fn link_quality_tracks_rssi_and_rate_per_port() {
+        let mut lq = LinkQualityTracker::new();
+        assert!(lq.rssi_ewma_dbm(1).is_none());
+        // Steady 10 Hz on port 1 at -50 dBm; sparse port 2.
+        for i in 0..50 {
+            lq.observe(&report(i as f64 * 0.1, 1, 0, 1, -50.0));
+        }
+        lq.observe(&report(0.0, 1, 0, 2, -70.0));
+        lq.observe(&report(1.0, 1, 0, 2, -70.0));
+        let rssi1 = lq.rssi_ewma_dbm(1).unwrap_or(0.0);
+        assert!((rssi1 + 50.0).abs() < 1e-9, "rssi {rssi1}");
+        let rate1 = lq.read_rate_hz(1).unwrap_or(0.0);
+        assert!((rate1 - 10.0).abs() < 1e-6, "rate {rate1}");
+        assert_eq!(lq.read_rate_hz(2), Some(1.0));
+        assert_eq!(lq.reads(1), 50);
+        assert_eq!(lq.ports(), vec![1, 2]);
+    }
+
+    #[test]
+    fn link_quality_publishes_labelled_gauges() {
+        let registry = obs::Registry::new();
+        let mut lq = LinkQualityTracker::new();
+        lq.observe(&report(0.0, 1, 0, 3, -42.0));
+        lq.observe(&report(0.5, 1, 0, 3, -42.0));
+        lq.publish(&registry);
+        let rssi = registry.labeled_gauge(metrics::PORT_RSSI_EWMA_DBM, Some(Label::port(3)));
+        assert_eq!(rssi, Some(-42.0));
+        let rate = registry.labeled_gauge(metrics::PORT_READ_RATE_HZ, Some(Label::port(3)));
+        assert_eq!(rate, Some(2.0));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod demux;
 pub mod enhancement;
 pub mod extract;
 pub mod fusion;
+pub mod metrics;
 pub mod monitor;
 pub mod operators;
 pub mod patterns;
@@ -67,12 +68,13 @@ pub mod series;
 
 pub use apnea::{detect_apnea, ApneaConfig, ApneaEpisode};
 pub use config::{AntennaStrategy, FilterKind, PipelineConfig, PreprocessKind};
+pub use demux::LinkQualityTracker;
 pub use enhancement::{enhanced_estimates, Agreement, EnhancedEstimate};
 pub use epcgen2::report::TagReport;
 pub use monitor::{AnalysisFailure, AnalysisReport, BreathMonitor, UserAnalysis};
 pub use operators::{UserSnapshot, UserStreamState};
 pub use patterns::{analyze_pattern, Breath, PatternAnalysis, PatternClass};
 pub use pipeline::{RateSnapshot, StreamingMonitor};
-pub use quality::{assess, Confidence, QualityReport, QualityThresholds};
+pub use quality::{assess, assess_observed, Confidence, QualityReport, QualityThresholds};
 pub use rate::{RateEstimate, RatePoint};
 pub use series::TimeSeries;

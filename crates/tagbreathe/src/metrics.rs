@@ -1,0 +1,92 @@
+//! Canonical metric names emitted by the pipeline.
+//!
+//! Every instrumented call site in this crate names its metric through one
+//! of these constants, so the full surface is greppable in one place and
+//! documented next to the paper stage it measures. The rendered forms
+//! (Prometheus text, JSON dump) use these strings verbatim; see
+//! `docs/METRICS.md` for the reference table with types and labels.
+//!
+//! Naming follows Prometheus conventions: counters end in `_total`,
+//! histograms carry their unit suffix (`_ns`, `_milli`), gauges are bare.
+
+/// Counter: reports accepted by the streaming ingest (after watermark
+/// admission, before demux).
+pub const REPORTS_INGESTED: &str = "tagbreathe_reports_ingested_total";
+
+/// Counter: reports whose EPC did not decode as a monitor tag and were
+/// dropped by the demultiplexer.
+pub const REPORTS_UNKNOWN: &str = "tagbreathe_reports_unknown_total";
+
+/// Counter: reports pushed into a per-user operator graph.
+pub const GRAPH_REPORTS: &str = "tagbreathe_graph_reports_total";
+
+/// Counter: phase increments produced by the Eq. (3) unwrapper — one per
+/// report that extended an in-plan, in-gap channel reference.
+pub const PHASE_INCREMENTS: &str = "tagbreathe_phase_increments_total";
+
+/// Counter: reports the unwrapper consumed without emitting an increment
+/// (out-of-plan channel, first read of a reference, or a gap restart).
+pub const PHASE_REJECTS: &str = "tagbreathe_phase_rejects_total";
+
+/// Counter: per-channel level-track samples buffered by the
+/// `ChannelTrackMerge` preprocessor.
+pub const TRACK_SAMPLES: &str = "tagbreathe_track_samples_total";
+
+/// Counter: Δt fusion bins newly created by Eq. (6)/(7) accumulation.
+pub const FUSION_BINS_CREATED: &str = "tagbreathe_fusion_bins_created_total";
+
+/// Counter: fusion bins dropped behind the sliding analysis window.
+pub const FUSION_BINS_EVICTED: &str = "tagbreathe_fusion_bins_evicted_total";
+
+/// Counter: `(antenna_port, tag_id)` slots evicted after falling silent
+/// past the window / phase-gap horizon.
+pub const TAGS_EVICTED: &str = "tagbreathe_tags_evicted_total";
+
+/// Counter: displacement snapshots taken at the streaming cadence.
+pub const SNAPSHOTS: &str = "tagbreathe_snapshots_total";
+
+/// Counter: breathing-rate estimates that reached the output stream.
+pub const RATES_REPORTED: &str = "tagbreathe_rates_reported_total";
+
+/// Counter: analysis attempts that ended in a failure
+/// (no data / insufficient data / gross motion).
+pub const ANALYSIS_FAILURES: &str = "tagbreathe_analysis_failures_total";
+
+/// Histogram (ns): wall time of one cadence snapshot across all users.
+pub const SNAPSHOT_LATENCY_NS: &str = "tagbreathe_snapshot_latency_ns";
+
+/// Histogram (ns): wall time of one opportunistic eviction sweep.
+pub const EVICT_LATENCY_NS: &str = "tagbreathe_evict_latency_ns";
+
+/// Histogram (ns): batch-path stage timer around demultiplexing.
+pub const STAGE_DEMUX_NS: &str = "tagbreathe_stage_demux_ns";
+
+/// Histogram (ns): batch-path stage timer around the operator-graph fold.
+pub const STAGE_FOLD_NS: &str = "tagbreathe_stage_fold_ns";
+
+/// Histogram (ns): batch-path stage timer around the analysis tail
+/// (despike → gross-motion gate → extraction → rate).
+pub const STAGE_ANALYZE_NS: &str = "tagbreathe_stage_analyze_ns";
+
+/// Gauge: users currently holding operator-graph state.
+pub const USERS_TRACKED: &str = "tagbreathe_users_tracked";
+
+/// Gauge: total retained state cells across all users (the bounded-memory
+/// quantity `StreamingMonitor::buffered` reports).
+pub const STATE_CELLS: &str = "tagbreathe_state_cells";
+
+/// Gauge, labelled `port`: EWMA of report RSSI per antenna port, dBm.
+pub const PORT_RSSI_EWMA_DBM: &str = "tagbreathe_port_rssi_ewma_dbm";
+
+/// Gauge, labelled `port`: EWMA read rate per antenna port, Hz
+/// (reciprocal of the smoothed inter-read gap).
+pub const PORT_READ_RATE_HZ: &str = "tagbreathe_port_read_rate_hz";
+
+/// Counter, labelled `grade` (0 = low, 1 = medium, 2 = high): confidence
+/// grades assigned by the quality assessor.
+pub const QUALITY_GRADES: &str = "tagbreathe_quality_grades_total";
+
+/// Histogram (dimensionless × 1000): breathing-band SNR of assessed
+/// estimates, scaled by 1000 so the integer-valued histogram keeps three
+/// decimal places.
+pub const QUALITY_BAND_SNR_MILLI: &str = "tagbreathe_quality_band_snr_milli";

@@ -10,11 +10,13 @@
 use crate::config::PipelineConfig;
 use crate::demux::demux;
 use crate::extract::{extract_breath_signal, ExtractError};
+use crate::metrics;
 use crate::operators::UserStreamState;
 use crate::rate::{estimate_rate, RateEstimate};
 use crate::series::TimeSeries;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
+use obs::{NoopRecorder, Recorder, StageTimer};
 use std::collections::BTreeMap;
 
 /// Why a user could not be analysed.
@@ -180,11 +182,46 @@ impl BreathMonitor {
         reports: &[TagReport],
         resolver: &R,
     ) -> AnalysisReport {
-        let (users, unknown_reports) = demux(reports, resolver);
-        let analysed = users
+        self.analyze_observed(reports, resolver, &NoopRecorder)
+    }
+
+    /// [`BreathMonitor::analyze`] with per-stage metrics: demux / fold /
+    /// analysis-tail stage timers plus ingest, failure and rate counters.
+    /// Output is identical to `analyze` — the recorder only observes.
+    pub fn analyze_observed<R: IdentityResolver>(
+        &self,
+        reports: &[TagReport],
+        resolver: &R,
+        rec: &dyn Recorder,
+    ) -> AnalysisReport {
+        let on = rec.enabled();
+        if on {
+            rec.count(metrics::REPORTS_INGESTED, reports.len() as u64);
+        }
+        let (users, unknown_reports) = {
+            let _timer = StageTimer::start(rec, metrics::STAGE_DEMUX_NS);
+            demux(reports, resolver)
+        };
+        if on && unknown_reports > 0 {
+            rec.count(metrics::REPORTS_UNKNOWN, unknown_reports as u64);
+        }
+        let analysed: BTreeMap<u64, Result<UserAnalysis, AnalysisFailure>> = users
             .into_iter()
-            .map(|(id, streams)| (id, self.analyze_user(&streams)))
+            .map(|(id, streams)| (id, self.analyze_user(&streams, rec)))
             .collect();
+        if on {
+            let failures = analysed.values().filter(|r| r.is_err()).count();
+            if failures > 0 {
+                rec.count(metrics::ANALYSIS_FAILURES, failures as u64);
+            }
+            let rates = analysed
+                .values()
+                .filter(|r| matches!(r, Ok(a) if a.mean_rate_bpm().is_some()))
+                .count();
+            if rates > 0 {
+                rec.count(metrics::RATES_REPORTED, rates as u64);
+            }
+        }
         AnalysisReport {
             users: analysed,
             unknown_reports,
@@ -197,26 +234,31 @@ impl BreathMonitor {
     fn analyze_user(
         &self,
         streams: &crate::demux::UserStreams,
+        rec: &dyn Recorder,
     ) -> Result<UserAnalysis, AnalysisFailure> {
-        let mut ordered: Vec<(u32, &TagReport)> = streams
-            .iter()
-            .flat_map(|(&(_, tag), s)| s.reports().iter().map(move |r| (tag, r)))
-            .collect();
-        ordered.sort_by(|a, b| {
-            a.1.time_s
-                .partial_cmp(&b.1.time_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut state = UserStreamState::new();
-        for (tag, report) in ordered {
-            state.push(tag, report, &self.config);
-        }
-        if state.is_empty() {
-            return Err(AnalysisFailure::NoData);
-        }
-        let snap = state
-            .snapshot(&self.config)
-            .ok_or_else(|| AnalysisFailure::InsufficientData("no displacement data".into()))?;
+        let snap = {
+            let _timer = StageTimer::start(rec, metrics::STAGE_FOLD_NS);
+            let mut ordered: Vec<(u32, &TagReport)> = streams
+                .iter()
+                .flat_map(|(&(_, tag), s)| s.reports().iter().map(move |r| (tag, r)))
+                .collect();
+            ordered.sort_by(|a, b| {
+                a.1.time_s
+                    .partial_cmp(&b.1.time_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut state = UserStreamState::new();
+            for (tag, report) in ordered {
+                state.push_observed(tag, report, &self.config, rec);
+            }
+            if state.is_empty() {
+                return Err(AnalysisFailure::NoData);
+            }
+            state
+                .snapshot(&self.config)
+                .ok_or_else(|| AnalysisFailure::InsufficientData("no displacement data".into()))?
+        };
+        let _timer = StageTimer::start(rec, metrics::STAGE_ANALYZE_NS);
         analyze_displacement(
             &self.config,
             snap.antenna_port,

@@ -21,12 +21,45 @@
 //! lives in Δt-binned accumulators. [`UserStreamState::evict`] trims
 //! everything behind the analysis window and drops tags silent past the
 //! phase gap, so memory is bounded by window contents — not stream length.
+//!
+//! Instrumentation: the `*_observed` variants take an [`obs::Recorder`]
+//! and count graph pushes, phase-unwrap accepts/rejects, fusion-bin churn
+//! and evictions; the plain methods delegate with a no-op recorder.
+//!
+//! # Examples
+//!
+//! Push one tag's phase readings through a user's graph and snapshot the
+//! fused displacement trajectory:
+//!
+//! ```
+//! use tagbreathe::operators::UserStreamState;
+//! use tagbreathe::PipelineConfig;
+//! use epcgen2::report::TagReport;
+//! use epcgen2::epc::Epc96;
+//!
+//! let config = PipelineConfig::paper_default();
+//! let mut state = UserStreamState::new();
+//! let mk = |t: f64, phase: f64| TagReport {
+//!     time_s: t, epc: Epc96::monitor(1, 7), antenna_port: 1,
+//!     channel_index: 0, phase_rad: phase, rssi_dbm: -50.0, doppler_hz: 0.0,
+//! };
+//! for i in 0..40 {
+//!     // Slow phase drift — a tag drifting away from the antenna.
+//!     state.push(7, &mk(f64::from(i) * 0.1, 1.0 + 0.02 * f64::from(i)), &config);
+//! }
+//! assert_eq!(state.tag_count(), 1);
+//! let snap = state.snapshot(&config).expect("one well-read tag suffices");
+//! assert_eq!(snap.antenna_port, 1);
+//! assert!(!snap.displacement.is_empty());
+//! ```
 
 use crate::config::{AntennaStrategy, PipelineConfig, PreprocessKind};
 use crate::fusion::{fuse_level_tracks, FusionAccumulator};
+use crate::metrics;
 use crate::preprocess::{PhaseUnwrapper, TrackAccumulator};
 use crate::series::TimeSeries;
 use epcgen2::report::TagReport;
+use obs::{NoopRecorder, Recorder};
 use std::collections::BTreeMap;
 
 /// Running read statistics of one `(antenna_port, tag_id)` stream — the
@@ -160,6 +193,24 @@ impl UserStreamState {
     /// Reports whose channel lies outside the configured plan still update
     /// the tag statistics but produce no displacement.
     pub fn push(&mut self, tag_id: u32, report: &TagReport, config: &PipelineConfig) {
+        self.push_observed(tag_id, report, config, &NoopRecorder);
+    }
+
+    /// [`UserStreamState::push`] with per-stage metrics: graph reports,
+    /// Eq. (3) increments vs. rejects, track samples and newly-created
+    /// fusion bins. With a disabled recorder this is exactly `push` plus
+    /// one `enabled()` check.
+    pub fn push_observed(
+        &mut self,
+        tag_id: u32,
+        report: &TagReport,
+        config: &PipelineConfig,
+        rec: &dyn Recorder,
+    ) {
+        let on = rec.enabled();
+        if on {
+            rec.count(metrics::GRAPH_REPORTS, 1);
+        }
         let state = self
             .tags
             .entry((report.antenna_port, tag_id))
@@ -177,11 +228,26 @@ impl UserStreamState {
                             .merged
                             .get_or_insert_with(|| FusionAccumulator::new(config.fusion_bin_s)),
                     };
-                    acc.push(sample);
+                    if on {
+                        let bins_before = acc.len();
+                        acc.push(sample);
+                        rec.count(metrics::PHASE_INCREMENTS, 1);
+                        let created = acc.len().saturating_sub(bins_before);
+                        if created > 0 {
+                            rec.count(metrics::FUSION_BINS_CREATED, created as u64);
+                        }
+                    } else {
+                        acc.push(sample);
+                    }
+                } else if on {
+                    rec.count(metrics::PHASE_REJECTS, 1);
                 }
             }
             Preprocessor::Tracks(tracks) => {
                 tracks.push(report, &config.plan, config.max_phase_gap_s);
+                if on {
+                    rec.count(metrics::TRACK_SAMPLES, 1);
+                }
             }
         }
     }
@@ -258,6 +324,24 @@ impl UserStreamState {
     /// references silent past `max_phase_gap_s`, and whole tags unseen for
     /// longer than both.
     pub fn evict(&mut self, watermark_s: f64, window_s: f64, config: &PipelineConfig) {
+        self.evict_observed(watermark_s, window_s, config, &NoopRecorder);
+    }
+
+    /// [`UserStreamState::evict`] with metrics: counts fusion bins and
+    /// whole-tag slots dropped by this sweep.
+    pub fn evict_observed(
+        &mut self,
+        watermark_s: f64,
+        window_s: f64,
+        config: &PipelineConfig,
+        rec: &dyn Recorder,
+    ) {
+        let on = rec.enabled();
+        let (bins_before, tags_before) = if on {
+            (self.fusion_bin_count(), self.tags.len())
+        } else {
+            (0, 0)
+        };
         let cutoff = watermark_s - window_s;
         for acc in self.per_port.values_mut() {
             acc.evict_before(cutoff);
@@ -278,6 +362,25 @@ impl UserStreamState {
             }
             watermark_s - tag.stat.last_seen_s() <= horizon
         });
+        if on {
+            let bins_evicted = bins_before.saturating_sub(self.fusion_bin_count());
+            if bins_evicted > 0 {
+                rec.count(metrics::FUSION_BINS_EVICTED, bins_evicted as u64);
+            }
+            let tags_evicted = tags_before.saturating_sub(self.tags.len());
+            if tags_evicted > 0 {
+                rec.count(metrics::TAGS_EVICTED, tags_evicted as u64);
+            }
+        }
+    }
+
+    /// Number of live Δt fusion bins across all accumulators.
+    fn fusion_bin_count(&self) -> usize {
+        self.per_port
+            .values()
+            .map(FusionAccumulator::len)
+            .sum::<usize>()
+            + self.merged.as_ref().map_or(0, FusionAccumulator::len)
     }
 
     /// Number of `(antenna_port, tag_id)` keys currently holding state.
@@ -304,13 +407,7 @@ impl UserStreamState {
                 }
             })
             .sum();
-        let fusion_cells: usize = self
-            .per_port
-            .values()
-            .map(FusionAccumulator::len)
-            .sum::<usize>()
-            + self.merged.as_ref().map_or(0, FusionAccumulator::len);
-        tag_cells + fusion_cells
+        tag_cells + self.fusion_bin_count()
     }
 }
 

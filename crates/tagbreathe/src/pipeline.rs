@@ -17,14 +17,17 @@
 //!   back-pressures the reader.
 
 use crate::config::PipelineConfig;
-use crate::demux::StreamDemux;
+use crate::demux::{LinkQualityTracker, StreamDemux};
+use crate::metrics;
 use crate::monitor::analyze_displacement;
 use crate::operators::UserStreamState;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
+use obs::{Recorder, SharedRecorder};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
 
 /// A point-in-time estimate of every monitored user's breathing rate.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +71,11 @@ pub struct StreamingMonitor<R> {
     watermark_s: f64,
     next_update_s: f64,
     last_evict_s: f64,
+    recorder: SharedRecorder,
+    /// Cached `recorder.enabled()` so the per-report no-op path pays one
+    /// boolean test instead of a virtual call per metric site.
+    recording: bool,
+    link_quality: LinkQualityTracker,
 }
 
 impl<R: IdentityResolver> StreamingMonitor<R> {
@@ -100,7 +108,54 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
             watermark_s: 0.0,
             next_update_s: update_every_s,
             last_evict_s: 0.0,
+            recorder: SharedRecorder::noop(),
+            recording: false,
+            link_quality: LinkQualityTracker::new(),
         })
+    }
+
+    /// Attaches a metric sink (builder style). With the default no-op
+    /// handle every instrumentation site reduces to one cached boolean
+    /// test, so streaming cost is unchanged; with a registry attached the
+    /// monitor emits the `tagbreathe_*` counters, gauges and latency
+    /// histograms listed in [`crate::metrics`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use obs::{Registry, SharedRecorder};
+    /// use tagbreathe::pipeline::StreamingMonitor;
+    /// use tagbreathe::PipelineConfig;
+    /// use epcgen2::mapping::EmbeddedIdentity;
+    ///
+    /// let registry = Arc::new(Registry::new());
+    /// let sm = StreamingMonitor::new(
+    ///     PipelineConfig::paper_default(),
+    ///     EmbeddedIdentity::new([1]),
+    ///     25.0,
+    ///     5.0,
+    /// )?
+    /// .with_recorder(SharedRecorder::new(registry.clone()));
+    /// # let _ = sm;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recording = recorder.enabled();
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder handle (no-op by default).
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
+    }
+
+    /// Per-antenna-port link statistics (populated only while a recorder
+    /// is attached).
+    pub fn link_quality(&self) -> &LinkQualityTracker {
+        &self.link_quality
     }
 
     /// Pushes a batch of reports (in time order) and returns any snapshots
@@ -116,15 +171,28 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         let mut snapshots = Vec::new();
         for r in reports {
             self.watermark_s = self.watermark_s.max(r.time_s);
-            if let Some((user_id, tag_id)) = self.demux.push(&r) {
-                self.users
-                    .entry(user_id)
-                    .or_default()
-                    .push(tag_id, &r, &self.config);
+            if self.recording {
+                self.recorder.count(metrics::REPORTS_INGESTED, 1);
+                self.link_quality.observe(&r);
+            }
+            match self.demux.push(&r) {
+                Some((user_id, tag_id)) => {
+                    self.users.entry(user_id).or_default().push_observed(
+                        tag_id,
+                        &r,
+                        &self.config,
+                        self.recorder.as_dyn(),
+                    );
+                }
+                None => {
+                    if self.recording {
+                        self.recorder.count(metrics::REPORTS_UNKNOWN, 1);
+                    }
+                }
             }
             while self.watermark_s >= self.next_update_s {
                 self.evict();
-                snapshots.push(self.snapshot(self.next_update_s));
+                snapshots.push(self.snapshot_observed(self.next_update_s));
                 self.next_update_s += self.update_every_s;
             }
             // Keep state bounded even when the snapshot cadence is long
@@ -139,7 +207,7 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     /// Forces an immediate snapshot over the current window.
     pub fn snapshot_now(&mut self) -> RateSnapshot {
         self.evict();
-        self.snapshot(self.watermark_s)
+        self.snapshot_observed(self.watermark_s)
     }
 
     /// Retained state cells across all users — tag slots, per-channel
@@ -166,11 +234,49 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     }
 
     fn evict(&mut self) {
+        let start = if self.recording {
+            Some(Instant::now())
+        } else {
+            None
+        };
         for state in self.users.values_mut() {
-            state.evict(self.watermark_s, self.window_s, &self.config);
+            state.evict_observed(
+                self.watermark_s,
+                self.window_s,
+                &self.config,
+                self.recorder.as_dyn(),
+            );
         }
         self.users.retain(|_, s| !s.is_empty());
         self.last_evict_s = self.watermark_s;
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.record(metrics::EVICT_LATENCY_NS, ns);
+        }
+    }
+
+    /// [`StreamingMonitor::snapshot`] plus bookkeeping metrics. The
+    /// snapshot computation itself is untouched, so recorded and no-op
+    /// runs produce identical output streams.
+    fn snapshot_observed(&self, time_s: f64) -> RateSnapshot {
+        if !self.recording {
+            return self.snapshot(time_s);
+        }
+        let start = Instant::now();
+        let snap = self.snapshot(time_s);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let rec = self.recorder.as_dyn();
+        rec.record(metrics::SNAPSHOT_LATENCY_NS, ns);
+        rec.count(metrics::SNAPSHOTS, 1);
+        rec.count(metrics::RATES_REPORTED, snap.rates_bpm.len() as u64);
+        let failures = self.users.len().saturating_sub(snap.rates_bpm.len());
+        if failures > 0 {
+            rec.count(metrics::ANALYSIS_FAILURES, failures as u64);
+        }
+        rec.gauge(metrics::USERS_TRACKED, self.users.len() as f64);
+        rec.gauge(metrics::STATE_CELLS, self.buffered() as f64);
+        self.link_quality.publish(rec);
+        snap
     }
 
     fn snapshot(&self, time_s: f64) -> RateSnapshot {

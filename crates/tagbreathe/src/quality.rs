@@ -7,8 +7,10 @@
 //! band stands out of the residual spectrum, and how self-consistent the
 //! rate track is.
 
+use crate::metrics;
 use crate::monitor::UserAnalysis;
 use dsp::goertzel::goertzel_power;
+use obs::{Label, Recorder};
 
 /// Confidence grade of an estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -97,6 +99,32 @@ pub fn assess(analysis: &UserAnalysis, thresholds: &QualityThresholds) -> Qualit
         rate_stability_cv,
         confidence,
     }
+}
+
+/// [`assess`] with metrics: a `grade`-labelled confidence counter
+/// (0 = low, 1 = medium, 2 = high) and a band-SNR histogram in
+/// thousandths. The returned report is identical to [`assess`]'s.
+pub fn assess_observed(
+    analysis: &UserAnalysis,
+    thresholds: &QualityThresholds,
+    rec: &dyn Recorder,
+) -> QualityReport {
+    let report = assess(analysis, thresholds);
+    if rec.enabled() {
+        let grade = match report.confidence {
+            Confidence::Low => 0,
+            Confidence::Medium => 1,
+            Confidence::High => 2,
+        };
+        rec.add(metrics::QUALITY_GRADES, Some(Label::new("grade", grade)), 1);
+        if report.band_snr.is_finite() && report.band_snr >= 0.0 {
+            // Clamp far below u64::MAX so the float→integer conversion
+            // stays exact and lossless for any realistic SNR.
+            let milli = (report.band_snr * 1000.0).round().min(1e15) as u64;
+            rec.record(metrics::QUALITY_BAND_SNR_MILLI, milli);
+        }
+    }
+    report
 }
 
 /// Power at the estimated rate vs mean power across the breathing band.

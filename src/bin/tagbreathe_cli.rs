@@ -6,6 +6,7 @@
 //!                         --duration 60 --seed 1 --items 0 --out trace.csv
 //! tagbreathe-cli analyze trace.csv
 //! tagbreathe-cli live --rate 12 --duration 60
+//! tagbreathe-cli metrics --users 2 --duration 30 --format prom
 //! tagbreathe-cli help
 //! ```
 
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "simulate" => simulate(&args[1..]),
         "analyze" => analyze(&args[1..]),
         "live" => live(&args[1..]),
+        "metrics" => metrics(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -56,6 +58,11 @@ fn usage() {
     eprintln!();
     eprintln!("  live [--rate BPM] [--users N] [--duration S] [--seed X]");
     eprintln!("      simulate and stream a live vitals dashboard");
+    eprintln!();
+    eprintln!("  metrics [--users N] [--rate BPM] [--duration S] [--seed X]");
+    eprintln!("          [--format prom|json]");
+    eprintln!("      replay a simulated session with full instrumentation and");
+    eprintln!("      print the pipeline + reader metrics");
 }
 
 /// Parses `--key value` flags into a map; returns leftover positionals.
@@ -204,6 +211,69 @@ fn analyze(args: &[String]) -> Result<(), String> {
             "({} reports from unrelated tags ignored)",
             analysis.unknown_reports
         );
+    }
+    Ok(())
+}
+
+fn metrics(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use tagbreathe_suite::obs::{Registry, SharedRecorder};
+    use tagbreathe_suite::tagbreathe::quality::assess_observed;
+
+    let (flags, _) = parse_flags(args)?;
+    let users = get_usize(&flags, "users", 1)?;
+    let rate = get_f64(&flags, "rate", 12.0)?;
+    let duration = get_f64(&flags, "duration", 30.0)?;
+    let seed = get_usize(&flags, "seed", 0)? as u64;
+    let format = flags.get("format").map(String::as_str).unwrap_or("prom");
+    if !matches!(format, "prom" | "json") {
+        return Err(format!("--format must be prom or json, got {format:?}"));
+    }
+
+    let scenario = build_scenario(users, 3.0, &[rate], 0)?;
+    let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+    let registry = Arc::new(Registry::new());
+
+    // Reader-sim metrics: rounds, slot outcomes, reports.
+    let reader = Reader::new(
+        ReaderConfig::paper_default().with_seed(seed),
+        vec![Antenna::paper_default(Vec3::new(0.0, 0.0, 1.0))],
+    )
+    .expect("default reader is valid");
+    let reports = reader.run_observed(
+        &ScenarioWorld::new(scenario.clone()),
+        duration,
+        registry.as_ref(),
+    );
+
+    // Streaming pipeline metrics: ingest, stages, link quality.
+    let mut sm = StreamingMonitor::new(
+        PipelineConfig::paper_default(),
+        EmbeddedIdentity::new(ids.clone()),
+        25.0,
+        5.0,
+    )
+    .map_err(|e| e.to_string())?
+    .with_recorder(SharedRecorder::new(registry.clone()));
+    let _ = sm.push(reports.iter().copied());
+
+    // Batch stage timers + per-estimate quality metrics.
+    let analysis = BreathMonitor::paper_default().analyze_observed(
+        &reports,
+        &EmbeddedIdentity::new(ids),
+        registry.as_ref(),
+    );
+    for (_, user) in analysis.successes() {
+        assess_observed(
+            user,
+            &QualityThresholds::default_thresholds(),
+            registry.as_ref(),
+        );
+    }
+
+    match format {
+        "json" => println!("{}", registry.render_json()),
+        _ => print!("{}", registry.render_prometheus()),
     }
     Ok(())
 }

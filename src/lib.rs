@@ -10,7 +10,9 @@
 //! * [`breathing`] — breathing-subject kinematics and scenarios;
 //! * [`epcgen2`] — the EPC C1G2 MAC + reader simulator;
 //! * [`tagbreathe`] — the paper's pipeline: preprocessing, fusion,
-//!   extraction, rate estimation, streaming.
+//!   extraction, rate estimation, streaming;
+//! * [`obs`] — counters, gauges, histograms and stage timers behind the
+//!   zero-cost [`obs::Recorder`] trait.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 pub use breathing;
 pub use dsp;
 pub use epcgen2;
+pub use obs;
 pub use rfchannel;
 pub use tagbreathe;
 
@@ -40,6 +43,7 @@ pub mod prelude {
     pub use epcgen2::report::TagReport;
     pub use epcgen2::world::{ScenarioWorld, TagWorld};
     pub use epcgen2::Epc96;
+    pub use obs::{NoopRecorder, Recorder, Registry, SharedRecorder, StageTimer};
     pub use rfchannel::antenna::Antenna;
     pub use rfchannel::geometry::Vec3;
     pub use rfchannel::link::{LinkBudget, LinkConfig};
