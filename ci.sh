@@ -9,15 +9,16 @@
 #   4. test suite         cargo test -q
 #   5. rustdoc, zero-warn RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 #   6. equivalence suite  cargo test -q --release --test equivalence
-#   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke
+#   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace
 #   8. workspace lint     cargo run -p tagbreathe-lint -- check
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
 # operator graph (0.1 bpm); step 7 is the streaming-vs-recompute
 # microbench in its one-iteration smoke mode, and also asserts the
-# instrumented metrics sidecar is written and non-empty (stream_bench
-# itself validates the JSON before writing). Step 8 is the in-tree
+# instrumented metrics sidecar and the flight-recorder Chrome-trace
+# sidecar are written and non-empty (stream_bench itself validates both
+# JSON documents before writing). Step 8 is the in-tree
 # ratchet linter (crates/lint): it fails on any violation beyond
 # lint-baseline.txt AND on any uncommitted slack (a burn-down that
 # forgot `-- check --update-baseline`).
@@ -42,10 +43,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test -q --release --test equivalence"
 cargo test -q --release --test equivalence
 
-echo "==> stream_bench --smoke"
-cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --smoke --out /tmp/BENCH_streaming_smoke.json
+echo "==> stream_bench --smoke --trace"
+cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace --out /tmp/BENCH_streaming_smoke.json
 test -s /tmp/BENCH_streaming_smoke.metrics.json \
     || { echo "ci: metrics sidecar missing or empty" >&2; exit 1; }
+test -s /tmp/BENCH_streaming_smoke.trace.json \
+    || { echo "ci: chrome-trace sidecar missing or empty" >&2; exit 1; }
 
 echo "==> cargo run -p tagbreathe-lint -- check"
 cargo run -q -p tagbreathe-lint -- check

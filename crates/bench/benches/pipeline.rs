@@ -88,7 +88,10 @@ fn bench_extensions() {
     });
     let cfg = tagbreathe::ApneaConfig::default_config();
     bench("apnea_detection_60s", || {
-        tagbreathe::detect_apnea(bb(&user.breath_signal), &cfg)
+        match tagbreathe::detect_apnea(bb(&user.breath_signal), &cfg) {
+            Ok(episodes) => episodes,
+            Err(e) => panic!("apnea config: {e}"),
+        }
     });
     bench("llrp_encode_decode_60s", || {
         let bytes = epcgen2::llrp::encode_ro_access_report(bb(&reports), 1);

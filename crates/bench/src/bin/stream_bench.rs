@@ -1,7 +1,7 @@
 //! Streaming-vs-recompute microbenchmark driver.
 //!
 //! ```text
-//! stream_bench [--smoke] [--out PATH]
+//! stream_bench [--smoke] [--trace] [--out PATH]
 //! ```
 //!
 //! Sweeps reports/sec of the incremental `StreamingMonitor` against the
@@ -10,13 +10,18 @@
 //! to `BENCH_streaming.json` (or `--out PATH`). `--smoke` runs a single
 //! tiny point for CI. A metrics sidecar (`<out stem>.metrics.json`) with
 //! the instrumented replay's full registry dump is written next to the
-//! main output.
+//! main output. `--trace` additionally replays the smallest point with a
+//! flight recorder attached and writes the session as self-validated
+//! Chrome trace-event JSON (`<out stem>.trace.json`).
 
-use tagbreathe_bench::streaming::{metrics_sidecar, render, run, to_json, StreamBenchConfig};
+use tagbreathe_bench::streaming::{
+    metrics_sidecar, render, run, to_json, trace_sidecar, StreamBenchConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let with_trace = args.iter().any(|a| a == "--trace");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -55,4 +60,21 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("# wrote {metrics_path}");
+
+    if with_trace {
+        let (chrome, dropped) = trace_sidecar(&config);
+        if let Err(e) = obs::json::validate(&chrome) {
+            eprintln!("error: trace sidecar is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+        let trace_path = match out_path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.trace.json"),
+            None => format!("{out_path}.trace.json"),
+        };
+        if let Err(e) = std::fs::write(&trace_path, &chrome) {
+            eprintln!("error: could not write {trace_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# wrote {trace_path} ({dropped} events dropped by the ring)");
+    }
 }

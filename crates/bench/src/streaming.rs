@@ -298,6 +298,40 @@ pub fn metrics_sidecar(config: &StreamBenchConfig) -> String {
     registry.render_json()
 }
 
+/// Replays the smallest sweep point with a flight recorder attached and
+/// returns the session as Chrome trace-event JSON — the `--trace` sidecar
+/// proving the tracing layer records real traffic. The tuple's second
+/// element is the number of events the ring dropped (0 for the smoke
+/// sweep's ring size).
+#[must_use]
+pub fn trace_sidecar(config: &StreamBenchConfig) -> (String, u64) {
+    use std::sync::Arc;
+
+    let plan = PipelineConfig::paper_default().plan;
+    let n_users = config.users.iter().copied().min().unwrap_or(1);
+    let window_s = config
+        .windows_s
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(25.0);
+    let trace = synthetic_trace(n_users, config.duration_s, &plan);
+    let ring = Arc::new(
+        obs::trace::FlightRecorder::with_capacity(1 << 16).expect("positive ring capacity"),
+    );
+    let mut sm = StreamingMonitor::new(
+        PipelineConfig::paper_default(),
+        EmbeddedIdentity::new(user_ids(n_users)),
+        window_s,
+        config.cadence_s,
+    )
+    .expect("valid streaming config")
+    .with_tracer(obs::SharedTracer::new(ring.clone()));
+    sm.push(trace);
+    sm.snapshot_now();
+    (obs::trace::chrome_trace(&ring.snapshot()), ring.dropped())
+}
+
 /// Renders the sweep as machine-readable JSON (hand-rolled: the workspace
 /// is dependency-free).
 #[must_use]
@@ -392,6 +426,20 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         let table = render(&points);
         assert!(table.contains("speedup"));
+    }
+
+    #[test]
+    fn trace_sidecar_is_valid_chrome_json() {
+        let cfg = StreamBenchConfig {
+            users: vec![1],
+            windows_s: vec![10.0],
+            duration_s: 12.0,
+            cadence_s: 5.0,
+        };
+        let (chrome, dropped) = trace_sidecar(&cfg);
+        obs::json::validate(&chrome).expect("trace sidecar parses");
+        assert!(chrome.contains("\"traceEvents\""));
+        assert_eq!(dropped, 0, "smoke ring should not overflow");
     }
 
     #[test]

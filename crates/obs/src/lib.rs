@@ -25,6 +25,9 @@
 //!   overflow bucket, integers only on the record path;
 //! * [`span`] — [`StageTimer`], a drop guard that reads the clock only
 //!   when the recorder is enabled;
+//! * [`trace`] — the flight recorder: typed [`trace::TraceEvent`]s behind
+//!   the [`Tracer`] trait, retained in a fixed-capacity overwrite-oldest
+//!   ring ([`FlightRecorder`]) and exportable as Chrome trace-event JSON;
 //! * [`json`] — a minimal JSON well-formedness checker so dependants can
 //!   assert that emitted dumps parse without an external JSON crate.
 //!
@@ -68,8 +71,10 @@ pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use histogram::LogHistogram;
 pub use recorder::{Label, NoopRecorder, Recorder, SharedRecorder};
 pub use registry::{MetricsSnapshot, Registry};
 pub use span::StageTimer;
+pub use trace::{FlightRecorder, NoopTracer, SharedTracer, TraceEvent, TraceSpan, Tracer};

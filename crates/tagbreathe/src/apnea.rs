@@ -7,6 +7,7 @@
 //! whole-capture effort.
 
 use crate::series::TimeSeries;
+use obs::trace::{NoopTracer, TraceEvent, Tracer};
 
 /// A detected apnea episode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,12 +78,45 @@ impl Default for ApneaConfig {
 /// Returns episodes in time order. A capture that is entirely apnea (or
 /// entirely noise-free silence) yields one episode spanning it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config` is invalid (use [`ApneaConfig::validate`] first for
-/// a fallible path).
-pub fn detect_apnea(signal: &TimeSeries, config: &ApneaConfig) -> Vec<ApneaEpisode> {
-    config.validate().expect("valid apnea configuration");
+/// Returns the [`ApneaConfig::validate`] message if `config` is invalid.
+pub fn detect_apnea(
+    signal: &TimeSeries,
+    config: &ApneaConfig,
+) -> Result<Vec<ApneaEpisode>, &'static str> {
+    detect_apnea_traced(signal, config, 0, &NoopTracer)
+}
+
+/// [`detect_apnea`] plus one `apnea_episode` instant [`TraceEvent`] per
+/// detected episode (keyed by `user_id`, start/end seconds in the payload
+/// slots) — the detection itself is identical.
+///
+/// # Errors
+///
+/// Returns the [`ApneaConfig::validate`] message if `config` is invalid.
+pub fn detect_apnea_traced(
+    signal: &TimeSeries,
+    config: &ApneaConfig,
+    user_id: u64,
+    tracer: &dyn Tracer,
+) -> Result<Vec<ApneaEpisode>, &'static str> {
+    config.validate()?;
+    let episodes = detect_validated(signal, config);
+    if tracer.enabled() {
+        for e in &episodes {
+            tracer.emit(
+                TraceEvent::instant("apnea_episode", e.start_s)
+                    .with_user(user_id)
+                    .with_values(e.start_s, e.end_s),
+            );
+        }
+    }
+    Ok(episodes)
+}
+
+/// The detection body, assuming a validated configuration.
+fn detect_validated(signal: &TimeSeries, config: &ApneaConfig) -> Vec<ApneaEpisode> {
     let n = signal.len();
     let win = ((config.window_s / signal.dt_s()) as usize).max(1);
     if n < win * 2 {
@@ -100,9 +134,11 @@ pub fn detect_apnea(signal: &TimeSeries, config: &ApneaConfig) -> Vec<ApneaEpiso
 
     // Sliding RMS via prefix sums of squares.
     let mut prefix = Vec::with_capacity(n + 1);
+    let mut sum = 0.0;
     prefix.push(0.0);
     for &x in values {
-        prefix.push(prefix.last().unwrap() + x * x);
+        sum += x * x;
+        prefix.push(sum);
     }
     let rms_at = |i: usize| {
         let lo = i.saturating_sub(win / 2);
@@ -148,8 +184,10 @@ mod tests {
     use super::*;
     use std::f64::consts::PI;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     /// 0–30 s breathing, 30–45 s apnea, 45–90 s breathing.
-    fn apnea_signal() -> TimeSeries {
+    fn apnea_signal() -> Option<TimeSeries> {
         let dt = 1.0 / 16.0;
         let n = (90.0 / dt) as usize;
         let values: Vec<f64> = (0..n)
@@ -162,39 +200,43 @@ mod tests {
                 }
             })
             .collect();
-        TimeSeries::new(0.0, dt, values).unwrap()
+        TimeSeries::new(0.0, dt, values).ok()
     }
 
     #[test]
-    fn detects_single_episode_with_correct_bounds() {
-        let episodes = detect_apnea(&apnea_signal(), &ApneaConfig::default_config());
+    fn detects_single_episode_with_correct_bounds() -> TestResult {
+        let signal = apnea_signal().ok_or("signal")?;
+        let episodes = detect_apnea(&signal, &ApneaConfig::default_config())?;
         assert_eq!(episodes.len(), 1, "{episodes:?}");
-        let e = episodes[0];
+        let e = *episodes.first().ok_or("no episode")?;
         assert!((e.start_s - 30.0).abs() < 3.0, "start {}", e.start_s);
         assert!((e.end_s - 45.0).abs() < 3.0, "end {}", e.end_s);
         assert!(e.duration_s() > 8.0);
+        Ok(())
     }
 
     #[test]
-    fn continuous_breathing_has_no_episodes() {
+    fn continuous_breathing_has_no_episodes() -> TestResult {
         let dt = 1.0 / 16.0;
         let values: Vec<f64> = (0..(90.0 / dt) as usize)
             .map(|i| (2.0 * PI * 0.2 * i as f64 * dt).sin())
             .collect();
-        let s = TimeSeries::new(0.0, dt, values).unwrap();
-        assert!(detect_apnea(&s, &ApneaConfig::default_config()).is_empty());
+        let s = TimeSeries::new(0.0, dt, values)?;
+        assert!(detect_apnea(&s, &ApneaConfig::default_config())?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn all_flat_signal_is_one_long_episode() {
-        let s = TimeSeries::new(0.0, 1.0 / 16.0, vec![0.0; 1600]).unwrap();
-        let episodes = detect_apnea(&s, &ApneaConfig::default_config());
+    fn all_flat_signal_is_one_long_episode() -> TestResult {
+        let s = TimeSeries::new(0.0, 1.0 / 16.0, vec![0.0; 1600])?;
+        let episodes = detect_apnea(&s, &ApneaConfig::default_config())?;
         assert_eq!(episodes.len(), 1);
-        assert!(episodes[0].duration_s() > 90.0);
+        assert!(episodes.first().ok_or("no episode")?.duration_s() > 90.0);
+        Ok(())
     }
 
     #[test]
-    fn short_pauses_are_filtered_by_min_duration() {
+    fn short_pauses_are_filtered_by_min_duration() -> TestResult {
         // A 2 s dip must not be reported with min_duration 5 s.
         let dt = 1.0 / 16.0;
         let values: Vec<f64> = (0..(60.0 / dt) as usize)
@@ -207,12 +249,13 @@ mod tests {
                 }
             })
             .collect();
-        let s = TimeSeries::new(0.0, dt, values).unwrap();
-        assert!(detect_apnea(&s, &ApneaConfig::default_config()).is_empty());
+        let s = TimeSeries::new(0.0, dt, values)?;
+        assert!(detect_apnea(&s, &ApneaConfig::default_config())?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn repeated_episodes_are_all_found() {
+    fn repeated_episodes_are_all_found() -> TestResult {
         // Apnea at 20–30, 50–60, 80–90 within 100 s.
         let dt = 1.0 / 16.0;
         let values: Vec<f64> = (0..(100.0 / dt) as usize)
@@ -228,15 +271,17 @@ mod tests {
                 }
             })
             .collect();
-        let s = TimeSeries::new(0.0, dt, values).unwrap();
-        let episodes = detect_apnea(&s, &ApneaConfig::default_config());
+        let s = TimeSeries::new(0.0, dt, values)?;
+        let episodes = detect_apnea(&s, &ApneaConfig::default_config())?;
         assert_eq!(episodes.len(), 3, "{episodes:?}");
+        Ok(())
     }
 
     #[test]
-    fn too_short_signal_yields_nothing() {
-        let s = TimeSeries::new(0.0, 1.0 / 16.0, vec![1.0; 10]).unwrap();
-        assert!(detect_apnea(&s, &ApneaConfig::default_config()).is_empty());
+    fn too_short_signal_yields_nothing() -> TestResult {
+        let s = TimeSeries::new(0.0, 1.0 / 16.0, vec![1.0; 10])?;
+        assert!(detect_apnea(&s, &ApneaConfig::default_config())?.is_empty());
+        Ok(())
     }
 
     #[test]
@@ -254,11 +299,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "valid apnea configuration")]
-    fn invalid_config_panics_in_detect() {
-        let s = apnea_signal();
+    fn invalid_config_is_an_error_in_detect() -> TestResult {
+        let s = apnea_signal().ok_or("signal")?;
         let mut c = ApneaConfig::default_config();
         c.threshold_fraction = 0.0;
-        detect_apnea(&s, &c);
+        assert!(detect_apnea(&s, &c).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn traced_detection_emits_episode_instants() -> TestResult {
+        let ring = obs::trace::FlightRecorder::with_capacity(8)?;
+        let signal = apnea_signal().ok_or("signal")?;
+        let episodes = detect_apnea_traced(&signal, &ApneaConfig::default_config(), 3, &ring)?;
+        let events = ring.snapshot();
+        assert_eq!(events.len(), episodes.len());
+        let e = events.first().copied().ok_or("no event")?;
+        assert_eq!(e.name, "apnea_episode");
+        assert_eq!(e.user, 3);
+        assert!((e.value_a - 30.0).abs() < 3.0, "start {}", e.value_a);
+        Ok(())
     }
 }

@@ -211,6 +211,21 @@ struct PortLink {
     ewma_gap_s: Option<f64>,
     last_t_s: f64,
     reads: u64,
+    channel: u16,
+}
+
+/// A frequency-hop observed on one antenna port: the regulatory channel
+/// changed between consecutive reads. Returned by
+/// [`LinkQualityTracker::observe`] so the caller can trace hop seams —
+/// the moments the Eq. (3) per-channel unwrapping must restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelHop {
+    /// Antenna port the hop was seen on.
+    pub port: u8,
+    /// Channel of the previous read.
+    pub from: u16,
+    /// Channel of this read.
+    pub to: u16,
 }
 
 /// Running link-quality statistics per antenna port: an RSSI EWMA and a
@@ -234,7 +249,10 @@ impl LinkQualityTracker {
 
     /// Folds one report into its port's EWMAs. Reports must arrive in
     /// roughly increasing time order (non-positive gaps extend no rate).
-    pub fn observe(&mut self, report: &TagReport) {
+    ///
+    /// Returns the [`ChannelHop`] this read completed, if the port's
+    /// channel changed since its previous read.
+    pub fn observe(&mut self, report: &TagReport) -> Option<ChannelHop> {
         match self.ports.get_mut(&report.antenna_port) {
             Some(link) => {
                 link.ewma_rssi_dbm += LINK_EWMA_ALPHA * (report.rssi_dbm - link.ewma_rssi_dbm);
@@ -247,6 +265,13 @@ impl LinkQualityTracker {
                     link.last_t_s = report.time_s;
                 }
                 link.reads += 1;
+                let from = link.channel;
+                link.channel = report.channel_index;
+                (from != report.channel_index).then_some(ChannelHop {
+                    port: report.antenna_port,
+                    from,
+                    to: report.channel_index,
+                })
             }
             None => {
                 self.ports.insert(
@@ -256,8 +281,10 @@ impl LinkQualityTracker {
                         ewma_gap_s: None,
                         last_t_s: report.time_s,
                         reads: 1,
+                        channel: report.channel_index,
                     },
                 );
+                None
             }
         }
     }
@@ -421,6 +448,25 @@ mod tests {
         assert_eq!(lq.read_rate_hz(2), Some(1.0));
         assert_eq!(lq.reads(1), 50);
         assert_eq!(lq.ports(), vec![1, 2]);
+    }
+
+    #[test]
+    fn link_quality_reports_channel_hops() {
+        let mut lq = LinkQualityTracker::new();
+        let mut r = report(0.0, 1, 0, 1, -50.0);
+        assert_eq!(lq.observe(&r), None, "first read is no hop");
+        r.time_s = 0.1;
+        r.channel_index = 7;
+        assert_eq!(
+            lq.observe(&r),
+            Some(ChannelHop {
+                port: 1,
+                from: 0,
+                to: 7
+            })
+        );
+        r.time_s = 0.2;
+        assert_eq!(lq.observe(&r), None, "same channel is no hop");
     }
 
     #[test]

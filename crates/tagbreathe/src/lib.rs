@@ -22,7 +22,9 @@
 //! [`pipeline::StreamingMonitor`] (real time, plus the multi-threaded
 //! pipelined mode) are thin drivers over that same graph, so both paths
 //! share a single implementation of the paper's math.
-//! [`baseline`] holds the RSSI/Doppler comparison estimators.
+//! [`baseline`] holds the RSSI/Doppler comparison estimators, and
+//! [`flight`] turns the observability layer's flight recorder into
+//! anomaly-triggered, replayable diagnostic bundles.
 //!
 //! # Examples
 //!
@@ -54,6 +56,7 @@ pub mod config;
 pub mod demux;
 pub mod enhancement;
 pub mod extract;
+pub mod flight;
 pub mod fusion;
 pub mod metrics;
 pub mod monitor;
@@ -66,15 +69,20 @@ pub mod rate;
 pub mod render;
 pub mod series;
 
-pub use apnea::{detect_apnea, ApneaConfig, ApneaEpisode};
+pub use apnea::{detect_apnea, detect_apnea_traced, ApneaConfig, ApneaEpisode};
 pub use config::{AntennaStrategy, FilterKind, PipelineConfig, PreprocessKind};
-pub use demux::LinkQualityTracker;
+pub use demux::{ChannelHop, LinkQualityTracker};
 pub use enhancement::{enhanced_estimates, Agreement, EnhancedEstimate};
 pub use epcgen2::report::TagReport;
+pub use flight::{
+    Anomaly, AnomalyDetector, AnomalyKind, DiagnosticBundle, FlightDiagnostics, TriggerConfig,
+};
 pub use monitor::{AnalysisFailure, AnalysisReport, BreathMonitor, UserAnalysis};
 pub use operators::{UserSnapshot, UserStreamState};
 pub use patterns::{analyze_pattern, Breath, PatternAnalysis, PatternClass};
 pub use pipeline::{RateSnapshot, StreamingMonitor};
-pub use quality::{assess, assess_observed, Confidence, QualityReport, QualityThresholds};
+pub use quality::{
+    assess, assess_observed, assess_traced, Confidence, QualityReport, QualityThresholds,
+};
 pub use rate::{RateEstimate, RatePoint};
 pub use series::TimeSeries;

@@ -86,6 +86,15 @@ pub const PORT_READ_RATE_HZ: &str = "tagbreathe_port_read_rate_hz";
 /// grades assigned by the quality assessor.
 pub const QUALITY_GRADES: &str = "tagbreathe_quality_grades_total";
 
+/// Counter: anomaly-triggered diagnostic bundles captured from the flight
+/// recorder (see [`crate::flight`]).
+pub const TRACE_DUMPS: &str = "tagbreathe_trace_dumps_total";
+
+/// Counter: trace events overwritten (lost) in the flight-recorder ring
+/// since the last publish — non-zero means the ring is shorter than the
+/// diagnostic window being asked of it.
+pub const TRACE_DROPPED_EVENTS: &str = "tagbreathe_trace_dropped_events_total";
+
 /// Histogram (dimensionless × 1000): breathing-band SNR of assessed
 /// estimates, scaled by 1000 so the integer-valued histogram keeps three
 /// decimal places.

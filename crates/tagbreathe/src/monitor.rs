@@ -16,6 +16,7 @@ use crate::rate::{estimate_rate, RateEstimate};
 use crate::series::TimeSeries;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
+use obs::trace::{NoopTracer, TraceEvent, TraceSpan, Tracer};
 use obs::{NoopRecorder, Recorder, StageTimer};
 use std::collections::BTreeMap;
 
@@ -194,12 +195,34 @@ impl BreathMonitor {
         resolver: &R,
         rec: &dyn Recorder,
     ) -> AnalysisReport {
+        self.analyze_traced(reports, resolver, rec, &NoopTracer)
+    }
+
+    /// [`BreathMonitor::analyze_observed`] plus flight-recorder events:
+    /// `demux` / `fold` / `analyze` spans, per-report phase accept /
+    /// reject instants from the operator graph, and one `rate` instant
+    /// per estimated user. Output is identical to `analyze` — recorder
+    /// and tracer only observe.
+    pub fn analyze_traced<R: IdentityResolver>(
+        &self,
+        reports: &[TagReport],
+        resolver: &R,
+        rec: &dyn Recorder,
+        tracer: &dyn Tracer,
+    ) -> AnalysisReport {
         let on = rec.enabled();
+        let tracing = tracer.enabled();
+        let watermark = if tracing {
+            reports.iter().fold(0.0f64, |m, r| m.max(r.time_s))
+        } else {
+            0.0
+        };
         if on {
             rec.count(metrics::REPORTS_INGESTED, reports.len() as u64);
         }
         let (users, unknown_reports) = {
             let _timer = StageTimer::start(rec, metrics::STAGE_DEMUX_NS);
+            let _span = TraceSpan::start(tracer, "demux", watermark);
             demux(reports, resolver)
         };
         if on && unknown_reports > 0 {
@@ -207,7 +230,7 @@ impl BreathMonitor {
         }
         let analysed: BTreeMap<u64, Result<UserAnalysis, AnalysisFailure>> = users
             .into_iter()
-            .map(|(id, streams)| (id, self.analyze_user(&streams, rec)))
+            .map(|(id, streams)| (id, self.analyze_user(id, &streams, rec, tracer)))
             .collect();
         if on {
             let failures = analysed.values().filter(|r| r.is_err()).count();
@@ -222,6 +245,20 @@ impl BreathMonitor {
                 rec.count(metrics::RATES_REPORTED, rates as u64);
             }
         }
+        if tracing {
+            for (&id, result) in &analysed {
+                if let Ok(a) = result {
+                    if let Some(bpm) = a.mean_rate_bpm() {
+                        tracer.emit(
+                            TraceEvent::instant("rate", watermark)
+                                .with_user(id)
+                                .with_port(a.antenna_port)
+                                .with_values(bpm, a.rate.instantaneous.len() as f64),
+                        );
+                    }
+                }
+            }
+        }
         AnalysisReport {
             users: analysed,
             unknown_reports,
@@ -233,8 +270,10 @@ impl BreathMonitor {
     /// analyse its single snapshot.
     fn analyze_user(
         &self,
+        user_id: u64,
         streams: &crate::demux::UserStreams,
         rec: &dyn Recorder,
+        tracer: &dyn Tracer,
     ) -> Result<UserAnalysis, AnalysisFailure> {
         let snap = {
             let _timer = StageTimer::start(rec, metrics::STAGE_FOLD_NS);
@@ -247,9 +286,11 @@ impl BreathMonitor {
                     .partial_cmp(&b.1.time_s)
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
+            let fold_t = ordered.last().map_or(0.0, |(_, r)| r.time_s);
+            let _span = TraceSpan::start(tracer, "fold", fold_t);
             let mut state = UserStreamState::new();
             for (tag, report) in ordered {
-                state.push_observed(tag, report, &self.config, rec);
+                state.push_traced(user_id, tag, report, &self.config, rec, tracer);
             }
             if state.is_empty() {
                 return Err(AnalysisFailure::NoData);
@@ -259,6 +300,12 @@ impl BreathMonitor {
                 .ok_or_else(|| AnalysisFailure::InsufficientData("no displacement data".into()))?
         };
         let _timer = StageTimer::start(rec, metrics::STAGE_ANALYZE_NS);
+        let analyze_t = if snap.displacement.is_empty() {
+            0.0
+        } else {
+            snap.displacement.time_at(snap.displacement.len() - 1)
+        };
+        let _span = TraceSpan::start(tracer, "analyze", analyze_t);
         analyze_displacement(
             &self.config,
             snap.antenna_port,

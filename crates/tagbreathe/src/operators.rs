@@ -59,6 +59,7 @@ use crate::metrics;
 use crate::preprocess::{PhaseUnwrapper, TrackAccumulator};
 use crate::series::TimeSeries;
 use epcgen2::report::TagReport;
+use obs::trace::{NoopTracer, TraceEvent, Tracer};
 use obs::{NoopRecorder, Recorder};
 use std::collections::BTreeMap;
 
@@ -207,7 +208,34 @@ impl UserStreamState {
         config: &PipelineConfig,
         rec: &dyn Recorder,
     ) {
+        self.push_traced(0, tag_id, report, config, rec, &NoopTracer);
+    }
+
+    /// [`UserStreamState::push_observed`] plus flight-recorder events:
+    /// every phase accept / reject and track sample becomes an instant
+    /// [`TraceEvent`] keyed by `user_id` / `tag_id` / antenna port /
+    /// channel. `user_id` only labels the events (the graph itself is
+    /// already per-user); with a disabled tracer this is exactly
+    /// `push_observed` plus one `enabled()` check.
+    pub fn push_traced(
+        &mut self,
+        user_id: u64,
+        tag_id: u32,
+        report: &TagReport,
+        config: &PipelineConfig,
+        rec: &dyn Recorder,
+        tracer: &dyn Tracer,
+    ) {
         let on = rec.enabled();
+        let tracing = tracer.enabled();
+        let event = |name: &'static str, a: f64, b: f64| {
+            TraceEvent::instant(name, report.time_s)
+                .with_user(user_id)
+                .with_tag(tag_id)
+                .with_port(report.antenna_port)
+                .with_channel(report.channel_index)
+                .with_values(a, b)
+        };
         if on {
             rec.count(metrics::GRAPH_REPORTS, 1);
         }
@@ -228,25 +256,38 @@ impl UserStreamState {
                             .merged
                             .get_or_insert_with(|| FusionAccumulator::new(config.fusion_bin_s)),
                     };
-                    if on {
+                    if on || tracing {
                         let bins_before = acc.len();
                         acc.push(sample);
-                        rec.count(metrics::PHASE_INCREMENTS, 1);
                         let created = acc.len().saturating_sub(bins_before);
-                        if created > 0 {
-                            rec.count(metrics::FUSION_BINS_CREATED, created as u64);
+                        if on {
+                            rec.count(metrics::PHASE_INCREMENTS, 1);
+                            if created > 0 {
+                                rec.count(metrics::FUSION_BINS_CREATED, created as u64);
+                            }
+                        }
+                        if tracing {
+                            tracer.emit(event("phase_accept", sample.value, created as f64));
                         }
                     } else {
                         acc.push(sample);
                     }
-                } else if on {
-                    rec.count(metrics::PHASE_REJECTS, 1);
+                } else {
+                    if on {
+                        rec.count(metrics::PHASE_REJECTS, 1);
+                    }
+                    if tracing {
+                        tracer.emit(event("phase_reject", report.phase_rad, 0.0));
+                    }
                 }
             }
             Preprocessor::Tracks(tracks) => {
                 tracks.push(report, &config.plan, config.max_phase_gap_s);
                 if on {
                     rec.count(metrics::TRACK_SAMPLES, 1);
+                }
+                if tracing {
+                    tracer.emit(event("track_sample", report.phase_rad, 0.0));
                 }
             }
         }

@@ -124,6 +124,38 @@ pub fn analyze_pattern(signal: &TimeSeries, rate: &RateEstimate) -> PatternAnaly
     }
 }
 
+/// [`analyze_pattern`] plus one `pattern` instant
+/// [`obs::trace::TraceEvent`] (class code in `value_a` — 0 regular,
+/// 1 irregular rate, 2 irregular depth, 3 indeterminate — breath count in
+/// `value_b`, keyed by `user_id`). The analysis itself is identical.
+pub fn analyze_pattern_traced(
+    signal: &TimeSeries,
+    rate: &RateEstimate,
+    user_id: u64,
+    tracer: &dyn obs::trace::Tracer,
+) -> PatternAnalysis {
+    let analysis = analyze_pattern(signal, rate);
+    if tracer.enabled() {
+        let class = match analysis.class {
+            PatternClass::Regular => 0.0,
+            PatternClass::IrregularRate => 1.0,
+            PatternClass::IrregularDepth => 2.0,
+            PatternClass::Indeterminate => 3.0,
+        };
+        let t = if signal.is_empty() {
+            0.0
+        } else {
+            signal.time_at(signal.len() - 1)
+        };
+        tracer.emit(
+            obs::trace::TraceEvent::instant("pattern", t)
+                .with_user(user_id)
+                .with_values(class, analysis.breaths.len() as f64),
+        );
+    }
+    analysis
+}
+
 fn coefficient_of_variation(xs: &[f64]) -> f64 {
     match (dsp::stats::mean(xs), dsp::stats::std_dev(xs)) {
         (Some(m), Some(s)) if m.abs() > f64::EPSILON => s / m.abs(),

@@ -23,6 +23,7 @@ use crate::monitor::analyze_displacement;
 use crate::operators::UserStreamState;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
+use obs::trace::{SharedTracer, TraceEvent, TraceSpan, Tracer};
 use obs::{Recorder, SharedRecorder};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -76,6 +77,9 @@ pub struct StreamingMonitor<R> {
     /// boolean test instead of a virtual call per metric site.
     recording: bool,
     link_quality: LinkQualityTracker,
+    tracer: SharedTracer,
+    /// Cached `tracer.enabled()`, same role as `recording`.
+    tracing: bool,
 }
 
 impl<R: IdentityResolver> StreamingMonitor<R> {
@@ -111,6 +115,8 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
             recorder: SharedRecorder::noop(),
             recording: false,
             link_quality: LinkQualityTracker::new(),
+            tracer: SharedTracer::noop(),
+            tracing: false,
         })
     }
 
@@ -152,6 +158,46 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         &self.recorder
     }
 
+    /// Attaches a flight-recorder tracer (builder style). With the default
+    /// no-op handle every emit site reduces to one cached boolean test;
+    /// with a tracer attached the monitor emits per-read provenance
+    /// events, channel-hop / phase accept-reject instants, per-user rate
+    /// instants and snapshot / evict spans into the ring. The estimate
+    /// stream is bit-identical either way (pinned by
+    /// `tests/observability.rs`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use obs::trace::{FlightRecorder, SharedTracer};
+    /// use tagbreathe::pipeline::StreamingMonitor;
+    /// use tagbreathe::PipelineConfig;
+    /// use epcgen2::mapping::EmbeddedIdentity;
+    ///
+    /// let ring = Arc::new(FlightRecorder::with_capacity(4096)?);
+    /// let sm = StreamingMonitor::new(
+    ///     PipelineConfig::paper_default(),
+    ///     EmbeddedIdentity::new([1]),
+    ///     25.0,
+    ///     5.0,
+    /// )?
+    /// .with_tracer(SharedTracer::new(ring.clone()));
+    /// # let _ = sm;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracing = tracer.enabled();
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer handle (no-op by default).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
+    }
+
     /// Per-antenna-port link statistics (populated only while a recorder
     /// is attached).
     pub fn link_quality(&self) -> &LinkQualityTracker {
@@ -173,20 +219,52 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
             self.watermark_s = self.watermark_s.max(r.time_s);
             if self.recording {
                 self.recorder.count(metrics::REPORTS_INGESTED, 1);
-                self.link_quality.observe(&r);
+            }
+            if self.recording || self.tracing {
+                let hop = self.link_quality.observe(&r);
+                if self.tracing {
+                    if let Some(hop) = hop {
+                        self.tracer.emit(
+                            TraceEvent::instant("channel_hop", r.time_s)
+                                .with_port(hop.port)
+                                .with_channel(hop.to)
+                                .with_values(f64::from(hop.from), f64::from(hop.to)),
+                        );
+                    }
+                }
             }
             match self.demux.push(&r) {
                 Some((user_id, tag_id)) => {
-                    self.users.entry(user_id).or_default().push_observed(
+                    if self.tracing {
+                        self.tracer.emit(TraceEvent::read(
+                            r.time_s,
+                            user_id,
+                            tag_id,
+                            r.antenna_port,
+                            r.channel_index,
+                            r.phase_rad,
+                            r.rssi_dbm,
+                        ));
+                    }
+                    self.users.entry(user_id).or_default().push_traced(
+                        user_id,
                         tag_id,
                         &r,
                         &self.config,
                         self.recorder.as_dyn(),
+                        self.tracer.as_dyn(),
                     );
                 }
                 None => {
                     if self.recording {
                         self.recorder.count(metrics::REPORTS_UNKNOWN, 1);
+                    }
+                    if self.tracing {
+                        self.tracer.emit(
+                            TraceEvent::instant("unknown_report", r.time_s)
+                                .with_port(r.antenna_port)
+                                .with_channel(r.channel_index),
+                        );
                     }
                 }
             }
@@ -234,6 +312,10 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     }
 
     fn evict(&mut self) {
+        // A cheap clone of the handle so the span guard's borrow does not
+        // conflict with the mutable sweep below.
+        let tracer = self.tracer.clone();
+        let _span = TraceSpan::start(tracer.as_dyn(), "evict", self.watermark_s);
         let start = if self.recording {
             Some(Instant::now())
         } else {
@@ -255,27 +337,46 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         }
     }
 
-    /// [`StreamingMonitor::snapshot`] plus bookkeeping metrics. The
-    /// snapshot computation itself is untouched, so recorded and no-op
-    /// runs produce identical output streams.
+    /// [`StreamingMonitor::snapshot`] plus bookkeeping metrics and trace
+    /// events (a `snapshot` span and one `rate` instant per estimated
+    /// user). The snapshot computation itself is untouched, so recorded,
+    /// traced and no-op runs produce identical output streams.
     fn snapshot_observed(&self, time_s: f64) -> RateSnapshot {
-        if !self.recording {
+        if !self.recording && !self.tracing {
             return self.snapshot(time_s);
         }
-        let start = Instant::now();
-        let snap = self.snapshot(time_s);
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let rec = self.recorder.as_dyn();
-        rec.record(metrics::SNAPSHOT_LATENCY_NS, ns);
-        rec.count(metrics::SNAPSHOTS, 1);
-        rec.count(metrics::RATES_REPORTED, snap.rates_bpm.len() as u64);
-        let failures = self.users.len().saturating_sub(snap.rates_bpm.len());
-        if failures > 0 {
-            rec.count(metrics::ANALYSIS_FAILURES, failures as u64);
+        let snap = {
+            let _span = TraceSpan::start(self.tracer.as_dyn(), "snapshot", time_s);
+            if self.recording {
+                let start = Instant::now();
+                let snap = self.snapshot(time_s);
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let rec = self.recorder.as_dyn();
+                rec.record(metrics::SNAPSHOT_LATENCY_NS, ns);
+                rec.count(metrics::SNAPSHOTS, 1);
+                rec.count(metrics::RATES_REPORTED, snap.rates_bpm.len() as u64);
+                let failures = self.users.len().saturating_sub(snap.rates_bpm.len());
+                if failures > 0 {
+                    rec.count(metrics::ANALYSIS_FAILURES, failures as u64);
+                }
+                rec.gauge(metrics::USERS_TRACKED, self.users.len() as f64);
+                rec.gauge(metrics::STATE_CELLS, self.buffered() as f64);
+                self.link_quality.publish(rec);
+                snap
+            } else {
+                self.snapshot(time_s)
+            }
+        };
+        if self.tracing {
+            for (&user, &bpm) in &snap.rates_bpm {
+                let effort = snap.effort_rms.get(&user).copied().unwrap_or(0.0);
+                self.tracer.emit(
+                    TraceEvent::instant("rate", time_s)
+                        .with_user(user)
+                        .with_values(bpm, effort),
+                );
+            }
         }
-        rec.gauge(metrics::USERS_TRACKED, self.users.len() as f64);
-        rec.gauge(metrics::STATE_CELLS, self.buffered() as f64);
-        self.link_quality.publish(rec);
         snap
     }
 

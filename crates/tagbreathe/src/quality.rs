@@ -10,6 +10,7 @@
 use crate::metrics;
 use crate::monitor::UserAnalysis;
 use dsp::goertzel::goertzel_power;
+use obs::trace::{TraceEvent, Tracer};
 use obs::{Label, Recorder};
 
 /// Confidence grade of an estimate.
@@ -127,6 +128,40 @@ pub fn assess_observed(
     report
 }
 
+/// [`assess_observed`] plus one `quality_grade` instant [`TraceEvent`]
+/// keyed by `user_id` (grade code in `value_a`, band SNR in `value_b`,
+/// timestamped at the end of the assessed window). The returned report is
+/// identical to [`assess`]'s.
+pub fn assess_traced(
+    user_id: u64,
+    analysis: &UserAnalysis,
+    thresholds: &QualityThresholds,
+    rec: &dyn Recorder,
+    tracer: &dyn Tracer,
+) -> QualityReport {
+    let report = assess_observed(analysis, thresholds, rec);
+    if tracer.enabled() {
+        let grade = match report.confidence {
+            Confidence::Low => 0.0,
+            Confidence::Medium => 1.0,
+            Confidence::High => 2.0,
+        };
+        let signal = &analysis.breath_signal;
+        let t = if signal.is_empty() {
+            0.0
+        } else {
+            signal.time_at(signal.len() - 1)
+        };
+        tracer.emit(
+            TraceEvent::instant("quality_grade", t)
+                .with_user(user_id)
+                .with_port(analysis.antenna_port)
+                .with_values(grade, report.band_snr),
+        );
+    }
+    report
+}
+
 /// Power at the estimated rate vs mean power across the breathing band.
 fn band_snr(analysis: &UserAnalysis) -> f64 {
     let Some(bpm) = analysis.rate.mean_bpm else {
@@ -190,20 +225,24 @@ mod tests {
             .and_then(Result::ok)
     }
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn close_facing_user_grades_high() {
-        let a = analysis_at(2.0, 0.0).expect("analysable");
+    fn close_facing_user_grades_high() -> TestResult {
+        let a = analysis_at(2.0, 0.0).ok_or("not analysable")?;
         let q = assess(&a, &QualityThresholds::default_thresholds());
         assert_eq!(q.confidence, Confidence::High, "{q:?}");
         assert!(q.read_rate_hz > 50.0);
         assert!(q.band_snr > 5.0);
+        Ok(())
     }
 
     #[test]
-    fn grazing_user_grades_below_high() {
-        let a = analysis_at(4.0, 90.0).expect("analysable");
+    fn grazing_user_grades_below_high() -> TestResult {
+        let a = analysis_at(4.0, 90.0).ok_or("not analysable")?;
         let q = assess(&a, &QualityThresholds::default_thresholds());
         assert!(q.confidence < Confidence::High, "{q:?}");
+        Ok(())
     }
 
     #[test]
@@ -213,11 +252,32 @@ mod tests {
     }
 
     #[test]
-    fn quality_metrics_are_finite_for_normal_data() {
-        let a = analysis_at(3.0, 0.0).expect("analysable");
+    fn quality_metrics_are_finite_for_normal_data() -> TestResult {
+        let a = analysis_at(3.0, 0.0).ok_or("not analysable")?;
         let q = assess(&a, &QualityThresholds::default_thresholds());
         assert!(q.read_rate_hz.is_finite());
         assert!(q.band_snr.is_finite());
         assert!(q.rate_stability_cv.is_finite());
+        Ok(())
+    }
+
+    #[test]
+    fn assess_traced_emits_a_quality_instant() -> TestResult {
+        let ring = obs::trace::FlightRecorder::with_capacity(8)?;
+        let a = analysis_at(2.0, 0.0).ok_or("not analysable")?;
+        let q = assess_traced(
+            1,
+            &a,
+            &QualityThresholds::default_thresholds(),
+            &obs::NoopRecorder,
+            &ring,
+        );
+        assert_eq!(q, assess(&a, &QualityThresholds::default_thresholds()));
+        let events = ring.snapshot();
+        let e = events.first().copied().ok_or("no event")?;
+        assert_eq!(e.name, "quality_grade");
+        assert_eq!(e.user, 1);
+        assert_eq!(e.value_a, 2.0, "high grade encodes as 2");
+        Ok(())
     }
 }

@@ -67,7 +67,8 @@ fn main() {
             pattern.rate_cv,
             pattern.depth_cv
         );
-        let episodes = detect_apnea(&user.breath_signal, &ApneaConfig::default_config());
+        let episodes =
+            detect_apnea(&user.breath_signal, &ApneaConfig::default_config()).unwrap_or_default();
         println!(
             "   apnea       : {} episode(s){}",
             episodes.len(),

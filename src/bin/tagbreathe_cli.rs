@@ -7,6 +7,7 @@
 //! tagbreathe-cli analyze trace.csv
 //! tagbreathe-cli live --rate 12 --duration 60
 //! tagbreathe-cli metrics --users 2 --duration 30 --format prom
+//! tagbreathe-cli trace --rate 12 --duration 60 --out session.trace.json
 //! tagbreathe-cli help
 //! ```
 
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "analyze" => analyze(&args[1..]),
         "live" => live(&args[1..]),
         "metrics" => metrics(&args[1..]),
+        "trace" => trace(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -63,6 +65,12 @@ fn usage() {
     eprintln!("          [--format prom|json]");
     eprintln!("      replay a simulated session with full instrumentation and");
     eprintln!("      print the pipeline + reader metrics");
+    eprintln!();
+    eprintln!("  trace [--users N] [--rate BPM] [--duration S] [--seed X]");
+    eprintln!("        [--waveform sine|apnea] [--ring EVENTS] [--window S]");
+    eprintln!("        [--jump BPM] --out TRACE.json [--bundle BUNDLE.json]");
+    eprintln!("      stream a simulated session through the flight recorder,");
+    eprintln!("      export the Chrome trace, and dump any anomaly bundle");
 }
 
 /// Parses `--key value` flags into a map; returns leftover positionals.
@@ -227,6 +235,7 @@ fn metrics(args: &[String]) -> Result<(), String> {
     let seed = get_usize(&flags, "seed", 0)? as u64;
     let format = flags.get("format").map(String::as_str).unwrap_or("prom");
     if !matches!(format, "prom" | "json") {
+        usage();
         return Err(format!("--format must be prom or json, got {format:?}"));
     }
 
@@ -274,6 +283,119 @@ fn metrics(args: &[String]) -> Result<(), String> {
     match format {
         "json" => println!("{}", registry.render_json()),
         _ => print!("{}", registry.render_prometheus()),
+    }
+    Ok(())
+}
+
+fn trace(args: &[String]) -> Result<(), String> {
+    use tagbreathe_suite::obs::trace::chrome_trace;
+    use tagbreathe_suite::obs::{json, Registry};
+    use tagbreathe_suite::tagbreathe::flight::{FlightDiagnostics, TriggerConfig};
+    use tagbreathe_suite::tagbreathe::patterns::analyze_pattern_traced;
+    use tagbreathe_suite::tagbreathe::quality::{assess_traced, QualityThresholds};
+    use tagbreathe_suite::tagbreathe::{detect_apnea_traced, ApneaConfig};
+
+    let (flags, _) = parse_flags(args)?;
+    let users = get_usize(&flags, "users", 1)?;
+    let rate = get_f64(&flags, "rate", 12.0)?;
+    let duration = get_f64(&flags, "duration", 60.0)?;
+    let seed = get_usize(&flags, "seed", 0)? as u64;
+    let ring = get_usize(&flags, "ring", 65_536)?;
+    let window = get_f64(&flags, "window", 30.0)?;
+    let jump = get_f64(&flags, "jump", 6.0)?;
+    let waveform = flags.get("waveform").map(String::as_str).unwrap_or("sine");
+    let out = flags.get("out").ok_or("trace requires --out TRACE.json")?;
+
+    let scenario = match waveform {
+        "sine" => build_scenario(users, 3.0, &[rate], 0)?,
+        "apnea" => Scenario::builder()
+            .subject(Subject::new(
+                1,
+                Vec3::new(2.5, 0.0, 0.0),
+                Vec3::new(-1.0, 0.0, 0.0),
+                Posture::Lying,
+                Waveform::WithApnea {
+                    rate_bpm: rate,
+                    breathe_s: 30.0,
+                    apnea_s: 15.0,
+                },
+                TagSite::ALL.to_vec(),
+            ))
+            .build(),
+        other => {
+            usage();
+            return Err(format!("--waveform must be sine or apnea, got {other:?}"));
+        }
+    };
+    let ids: Vec<u64> = scenario.subjects().iter().map(|s| s.user_id()).collect();
+    let reports = capture(&scenario, seed, duration);
+
+    let mut config = TriggerConfig::default_config();
+    config.rate_jump_bpm = jump;
+    config.bundle_window_s = window;
+    let mut flight = FlightDiagnostics::new(ring, config).map_err(String::from)?;
+    let registry = Registry::new();
+
+    let mut sm = StreamingMonitor::new(
+        PipelineConfig::paper_default(),
+        EmbeddedIdentity::new(ids.clone()),
+        25.0,
+        5.0,
+    )
+    .map_err(|e| e.to_string())?
+    .with_tracer(flight.tracer());
+    for snap in sm.push(reports.iter().copied()) {
+        flight.scan(&snap, &registry);
+    }
+
+    // Batch pass feeds the quality / apnea / pattern triggers.
+    let tracer = flight.tracer();
+    let analysis =
+        BreathMonitor::paper_default().analyze(&reports, &EmbeddedIdentity::new(ids.clone()));
+    for (id, user) in analysis.successes() {
+        let quality = assess_traced(
+            id,
+            user,
+            &QualityThresholds::default_thresholds(),
+            &registry,
+            tracer.as_dyn(),
+        );
+        flight.scan_quality(id, duration, &quality, &registry);
+        let episodes = detect_apnea_traced(
+            &user.breath_signal,
+            &ApneaConfig::default_config(),
+            id,
+            tracer.as_dyn(),
+        )?;
+        flight.scan_apnea(id, &episodes, &registry);
+        analyze_pattern_traced(&user.breath_signal, &user.rate, id, tracer.as_dyn());
+    }
+
+    let events = flight.ring().snapshot();
+    let chrome = chrome_trace(&events);
+    json::validate(&chrome).map_err(|e| format!("chrome trace failed validation: {e}"))?;
+    std::fs::write(out, &chrome).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!(
+        "wrote {} events ({} dropped) to {out}",
+        events.len(),
+        flight.ring().dropped()
+    );
+
+    let bundles = flight.take_bundles();
+    eprintln!("anomalies: {} bundle(s) captured", bundles.len());
+    for b in &bundles {
+        eprintln!("  - {}", b.anomaly);
+    }
+    if let Some(path) = flags.get("bundle") {
+        let bundle = bundles.last().ok_or("no anomaly fired; nothing to dump")?;
+        let text = bundle.to_json();
+        json::validate(&text).map_err(|e| format!("bundle failed validation: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote bundle ({} events, {} replayable reads) to {path}",
+            bundle.events.len(),
+            bundle.reports().len()
+        );
     }
     Ok(())
 }

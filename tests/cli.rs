@@ -127,6 +127,75 @@ fn analyze_rejects_missing_and_empty_traces() {
 }
 
 #[test]
+fn metrics_rejects_unknown_format_with_usage() {
+    let out = cli()
+        .args(["metrics", "--duration", "10", "--format", "xml"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--format must be prom or json"), "{text}");
+    // The usage banner accompanies the error so the fix is discoverable.
+    assert!(text.contains("metrics [--users N]"), "{text}");
+}
+
+#[test]
+fn trace_writes_validated_chrome_trace_and_bundle() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let trace = dir.join(format!("tagbreathe_cli_trace_{pid}.json"));
+    let bundle = dir.join(format!("tagbreathe_cli_bundle_{pid}.json"));
+    let out = cli()
+        .args([
+            "trace",
+            "--rate",
+            "15",
+            "--duration",
+            "90",
+            "--seed",
+            "5",
+            "--waveform",
+            "apnea",
+            "--out",
+            trace.to_str().unwrap(),
+            "--bundle",
+            bundle.to_str().unwrap(),
+        ])
+        .output()
+        .expect("trace runs");
+    assert!(
+        out.status.success(),
+        "trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bundle(s) captured"), "{stderr}");
+
+    let chrome = std::fs::read_to_string(&trace).expect("trace written");
+    tagbreathe_suite::obs::json::validate(&chrome).expect("chrome trace is valid JSON");
+    assert!(chrome.contains("\"traceEvents\""));
+    let dump = std::fs::read_to_string(&bundle).expect("bundle written");
+    tagbreathe_suite::obs::json::validate(&dump).expect("bundle is valid JSON");
+    assert!(dump.contains("\"anomaly\""), "{dump}");
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&bundle).ok();
+}
+
+#[test]
+fn trace_requires_out_and_validates_waveform() {
+    let out = cli().args(["trace"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+    let out = cli()
+        .args(["trace", "--waveform", "square", "--out", "/tmp/never.json"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sine or apnea"));
+}
+
+#[test]
 fn live_dashboard_emits_snapshots() {
     let out = cli()
         .args(["live", "--rate", "12", "--duration", "45", "--seed", "3"])

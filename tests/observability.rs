@@ -170,6 +170,49 @@ fn recording_never_perturbs_batch_or_reader_output() {
 }
 
 #[test]
+fn tracing_never_perturbs_streaming_output() {
+    use tagbreathe_suite::obs::trace::FlightRecorder;
+    use tagbreathe_suite::obs::SharedTracer;
+
+    let (reports, ids) = capture(45.0);
+    let make = || {
+        StreamingMonitor::new(
+            PipelineConfig::paper_default(),
+            EmbeddedIdentity::new(ids.clone()),
+            20.0,
+            5.0,
+        )
+        .expect("valid config")
+    };
+
+    let ring = Arc::new(FlightRecorder::with_capacity(1 << 16).expect("capacity"));
+    let mut plain = make();
+    let mut traced = make().with_tracer(SharedTracer::new(ring.clone()));
+
+    let plain_snaps = plain.push(reports.iter().copied());
+    let traced_snaps = traced.push(reports.iter().copied());
+
+    // Bit-identical estimates: PartialEq over the f64 rate maps.
+    assert_eq!(plain_snaps, traced_snaps);
+    assert_eq!(plain.snapshot_now(), traced.snapshot_now());
+    assert!(
+        plain_snaps.iter().any(|s| !s.rates_bpm.is_empty()),
+        "trace produced no rates at all — vacuous equality"
+    );
+    // The flight recorder actually saw the session: reads, accepted phase
+    // samples, rate instants.
+    let events = ring.snapshot();
+    assert!(!events.is_empty(), "tracer recorded nothing");
+    for name in ["read", "phase_accept", "rate", "snapshot"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "no {name:?} events in {} recorded",
+            events.len()
+        );
+    }
+}
+
+#[test]
 fn noop_monitor_reports_disabled_recorder_and_empty_link_quality() {
     let sm = StreamingMonitor::new(
         PipelineConfig::paper_default(),

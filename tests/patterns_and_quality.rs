@@ -73,7 +73,8 @@ fn apnea_episodes_detected_end_to_end() {
         3,
     )
     .unwrap();
-    let episodes = detect_apnea(&user.breath_signal, &ApneaConfig::default_config());
+    let episodes =
+        detect_apnea(&user.breath_signal, &ApneaConfig::default_config()).expect("valid config");
     // Three apnea windows fall inside the capture (30-45, 75-90, 120-135).
     assert!(
         (2..=4).contains(&episodes.len()),
