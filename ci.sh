@@ -10,7 +10,7 @@
 #   5. rustdoc, zero-warn RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 #   6. equivalence suite  cargo test -q --release --test equivalence
 #   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace
-#   8. workspace lint     cargo run -p tagbreathe-lint -- check
+#   8. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
@@ -21,7 +21,9 @@
 # JSON documents before writing). Step 8 is the in-tree
 # ratchet linter (crates/lint): it fails on any violation beyond
 # lint-baseline.txt AND on any uncommitted slack (a burn-down that
-# forgot `-- check --update-baseline`).
+# forgot `-- check --update-baseline`). It also emits the full report as
+# SARIF 2.1.0 (lint.sarif), re-validated with the linter's own in-tree
+# JSON validator (`validate-json`, backed by tagbreathe_obs::json).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,7 +52,10 @@ test -s /tmp/BENCH_streaming_smoke.metrics.json \
 test -s /tmp/BENCH_streaming_smoke.trace.json \
     || { echo "ci: chrome-trace sidecar missing or empty" >&2; exit 1; }
 
-echo "==> cargo run -p tagbreathe-lint -- check"
-cargo run -q -p tagbreathe-lint -- check
+echo "==> cargo run -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif"
+cargo run -q -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif
+test -s /tmp/tagbreathe-lint.sarif \
+    || { echo "ci: SARIF report missing or empty" >&2; exit 1; }
+cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-lint.sarif
 
 echo "ci: all green"

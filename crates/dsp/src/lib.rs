@@ -63,6 +63,7 @@ pub mod spectrum;
 pub mod stats;
 pub mod stft;
 pub mod stream;
+pub mod units;
 pub mod window;
 pub mod zero_crossing;
 

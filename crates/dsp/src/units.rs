@@ -1,0 +1,43 @@
+//! Breathing-rate unit conversions.
+//!
+//! The pipeline's spectral stages work in hertz while every clinical
+//! quantity (Table I of the paper, the evaluation plots, the monitor
+//! output) is in breaths per minute. The factor is trivially 60, but
+//! spelling the conversion as a named function makes the unit change
+//! visible at every Hz↔bpm seam — and lets the `unit-dataflow` lint
+//! (declared in `lint.toml` under `[units] conversions`) type-check the
+//! flows: `hz_to_bpm(x_bpm)` is a compile-gated lint error, `x_hz * 60.0`
+//! is an invisible one.
+
+/// Seconds per minute — the Hz↔bpm conversion factor.
+const SECONDS_PER_MINUTE: f64 = 60.0;
+
+/// Converts a frequency in hertz to breaths per minute.
+#[must_use]
+pub fn hz_to_bpm(hz: f64) -> f64 {
+    hz * SECONDS_PER_MINUTE
+}
+
+/// Converts a breathing rate in breaths per minute to hertz.
+#[must_use]
+pub fn bpm_to_hz(bpm: f64) -> f64 {
+    bpm / SECONDS_PER_MINUTE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_bpm_is_a_fifth_of_a_hertz() {
+        assert!((hz_to_bpm(0.2) - 12.0).abs() < 1e-12);
+        assert!((bpm_to_hz(12.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for bpm in [6.0, 10.0, 18.5, 40.0] {
+            assert!((hz_to_bpm(bpm_to_hz(bpm)) - bpm).abs() < 1e-12);
+        }
+    }
+}

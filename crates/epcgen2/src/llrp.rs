@@ -314,10 +314,10 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_preserves_fields_to_wire_resolution() {
+    fn round_trip_preserves_fields_to_wire_resolution() -> Result<(), LlrpError> {
         let reports = vec![sample(1.234567, 1, 0), sample(1.250001, 1, 2)];
         let bytes = encode_ro_access_report(&reports, 42);
-        let decoded = decode_ro_access_report(&bytes).unwrap();
+        let decoded = decode_ro_access_report(&bytes)?;
         assert_eq!(decoded.len(), 2);
         for (a, b) in reports.iter().zip(&decoded) {
             assert_eq!(a.epc, b.epc);
@@ -328,6 +328,7 @@ mod tests {
             assert!((a.rssi_dbm - b.rssi_dbm).abs() < 0.01);
             assert!((a.doppler_hz - b.doppler_hz).abs() <= 1.0 / 16.0);
         }
+        Ok(())
     }
 
     #[test]
@@ -369,7 +370,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_top_level_parameters_are_skipped() {
+    fn unknown_top_level_parameters_are_skipped() -> Result<(), LlrpError> {
         let report = sample(2.0, 3, 1);
         let mut bytes = encode_ro_access_report(&[report], 1);
         // Append an unknown TLV (type 500, empty body) and fix the length.
@@ -377,25 +378,27 @@ mod tests {
         bytes.extend_from_slice(&4u16.to_be_bytes());
         let len = bytes.len() as u32;
         bytes[2..6].copy_from_slice(&len.to_be_bytes());
-        let decoded = decode_ro_access_report(&bytes).unwrap();
+        let decoded = decode_ro_access_report(&bytes)?;
         assert_eq!(decoded.len(), 1);
         assert_eq!(decoded[0].epc, report.epc);
+        Ok(())
     }
 
     #[test]
-    fn phase_quantisation_is_within_one_unit() {
+    fn phase_quantisation_is_within_one_unit() -> Result<(), LlrpError> {
         for k in 0..32 {
             let mut r = sample(1.0, 1, 0);
             r.phase_rad = k as f64 * 0.196;
-            let decoded = decode_ro_access_report(&encode_ro_access_report(&[r], 1)).unwrap();
+            let decoded = decode_ro_access_report(&encode_ro_access_report(&[r], 1))?;
             let err = (decoded[0].phase_rad - r.phase_rad).abs();
             let unit = 2.0 * std::f64::consts::PI / 4096.0;
             assert!(err <= unit, "phase error {err}");
         }
+        Ok(())
     }
 
     #[test]
-    fn pipeline_agrees_between_csv_and_llrp_transport() {
+    fn pipeline_agrees_between_csv_and_llrp_transport() -> Result<(), LlrpError> {
         // Encode a simulated capture through LLRP, decode it, and check the
         // analysis matches the direct path bit-for-bit within wire
         // resolution.
@@ -406,7 +409,7 @@ mod tests {
         let world = ScenarioWorld::new(Scenario::paper_default());
         let reports = Reader::paper_default().run(&world, 30.0);
         let bytes = encode_ro_access_report(&reports, 1);
-        let decoded = decode_ro_access_report(&bytes).unwrap();
+        let decoded = decode_ro_access_report(&bytes)?;
         assert_eq!(decoded.len(), reports.len());
         // Spot-check stream identity resolution still works.
         let resolver = EmbeddedIdentity::new([1]);
@@ -417,20 +420,22 @@ mod tests {
                 crate::mapping::TagIdentity::Monitor { .. }
             ));
         }
+        Ok(())
     }
 
     #[test]
-    fn negative_doppler_and_rssi_survive() {
+    fn negative_doppler_and_rssi_survive() -> Result<(), LlrpError> {
         let mut r = sample(1.0, 1, 0);
         r.doppler_hz = -7.8125; // exactly -125/16
         r.rssi_dbm = -61.37;
-        let decoded = decode_ro_access_report(&encode_ro_access_report(&[r], 1)).unwrap();
+        let decoded = decode_ro_access_report(&encode_ro_access_report(&[r], 1))?;
         assert!((decoded[0].doppler_hz - r.doppler_hz).abs() < 1e-9);
         assert!((decoded[0].rssi_dbm - r.rssi_dbm).abs() < 0.01);
+        Ok(())
     }
 
     #[test]
-    fn stream_with_keepalives_decodes_all_reports() {
+    fn stream_with_keepalives_decodes_all_reports() -> Result<(), LlrpError> {
         let batch1 = vec![sample(1.0, 1, 0), sample(1.1, 1, 1)];
         let batch2 = vec![sample(2.0, 1, 2)];
         let mut stream = Vec::new();
@@ -438,9 +443,10 @@ mod tests {
         stream.extend(encode_ro_access_report(&batch1, 2));
         stream.extend(encode_keepalive(3));
         stream.extend(encode_ro_access_report(&batch2, 4));
-        let decoded = decode_stream(&stream).unwrap();
+        let decoded = decode_stream(&stream)?;
         assert_eq!(decoded.len(), 3);
         assert_eq!(decoded[2].epc, batch2[0].epc);
+        Ok(())
     }
 
     #[test]

@@ -163,24 +163,26 @@ mod tests {
     }
 
     #[test]
-    fn csv_round_trip() {
+    fn csv_round_trip() -> Result<(), Box<dyn std::error::Error>> {
         let reports = sample_reports();
         let mut buf = Vec::new();
-        write_csv(&mut buf, &reports).unwrap();
-        let parsed = read_csv(buf.as_slice()).unwrap();
+        write_csv(&mut buf, &reports)?;
+        let parsed = read_csv(buf.as_slice())?;
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].epc, reports[0].epc);
         assert!((parsed[0].phase_rad - reports[0].phase_rad).abs() < 1e-6);
         assert!((parsed[1].rssi_dbm - reports[1].rssi_dbm).abs() < 1e-2);
         assert_eq!(parsed[1].channel_index, 3);
+        Ok(())
     }
 
     #[test]
-    fn csv_has_header() {
+    fn csv_has_header() -> Result<(), Box<dyn std::error::Error>> {
         let mut buf = Vec::new();
-        write_csv(&mut buf, &[]).unwrap();
-        let s = String::from_utf8(buf).unwrap();
+        write_csv(&mut buf, &[])?;
+        let s = String::from_utf8(buf)?;
         assert!(s.starts_with("time_s,epc,"));
+        Ok(())
     }
 
     #[test]
@@ -205,14 +207,15 @@ mod tests {
     }
 
     #[test]
-    fn read_skips_blank_lines() {
+    fn read_skips_blank_lines() -> Result<(), Box<dyn std::error::Error>> {
         let data = format!(
             "{CSV_HEADER}\n\n0.5,{},1,0,0.5,-40.0,0.0\n\n",
             Epc96::monitor(2, 1)
         );
-        let parsed = read_csv(data.as_bytes()).unwrap();
+        let parsed = read_csv(data.as_bytes())?;
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].epc.user_id(), 2);
+        Ok(())
     }
 
     #[test]

@@ -111,10 +111,11 @@ mod tests {
     }
 
     #[test]
-    fn round_trip() {
+    fn round_trip() -> Result<(), String> {
         let c = counts(&[("lib-panic", "crates/dsp/src/fft.rs", 3)]);
-        let parsed = parse(&render(&c)).expect("round-trip");
+        let parsed = parse(&render(&c))?;
         assert_eq!(parsed, c);
+        Ok(())
     }
 
     #[test]

@@ -9,6 +9,63 @@
 use crate::report::Severity;
 use std::collections::BTreeMap;
 
+/// A declared unit-conversion function: calling `name(x)` takes a value
+/// in `from` units and yields one in `to` units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conversion {
+    /// Function name, e.g. `hz_to_bpm`.
+    pub name: String,
+    /// Unit of the argument.
+    pub from: String,
+    /// Unit of the result.
+    pub to: String,
+}
+
+/// Physical-units configuration for the `unit-dataflow` rule
+/// (`[units]` in `lint.toml`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitsConfig {
+    /// Recognised unit suffixes, without the underscore: an identifier
+    /// `rate_hz` (or a call to a fn named `…_hz`) carries unit `hz`.
+    pub suffixes: Vec<String>,
+    /// Declared conversion functions.
+    pub conversions: Vec<Conversion>,
+}
+
+impl Default for UnitsConfig {
+    fn default() -> Self {
+        UnitsConfig {
+            suffixes: ["rad", "hz", "bpm", "m", "s", "dbm"]
+                .map(String::from)
+                .to_vec(),
+            conversions: Vec::new(),
+        }
+    }
+}
+
+impl UnitsConfig {
+    /// The unit carried by an identifier, by suffix convention. The whole
+    /// name matching a multi-letter suffix also counts (`hz` alone is in
+    /// Hz, but a variable named `m` is not in metres — single letters are
+    /// too common as ordinary names). Longest suffix wins (`_dbm` before
+    /// `_m`).
+    pub fn unit_of_name(&self, name: &str) -> Option<&str> {
+        let mut best: Option<&str> = None;
+        for s in &self.suffixes {
+            let hit = (name == s && s.len() >= 2) || name.ends_with(&format!("_{s}"));
+            if hit && best.is_none_or(|b| s.len() > b.len()) {
+                best = Some(s);
+            }
+        }
+        best
+    }
+
+    /// The conversion declared for a function name, if any.
+    pub fn conversion_for(&self, fn_name: &str) -> Option<&Conversion> {
+        self.conversions.iter().find(|c| c.name == fn_name)
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -19,6 +76,8 @@ pub struct Config {
     pub lib_crates: Vec<String>,
     /// Directory names pruned from the workspace walk.
     pub skip_dirs: Vec<String>,
+    /// Physical-units checking configuration.
+    pub units: UnitsConfig,
 }
 
 impl Default for Config {
@@ -29,6 +88,7 @@ impl Default for Config {
                 .map(String::from)
                 .to_vec(),
             skip_dirs: ["target", ".git", "fixtures"].map(String::from).to_vec(),
+            units: UnitsConfig::default(),
         }
     }
 }
@@ -61,7 +121,7 @@ impl Config {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if section != "severity" && section != "engine" {
+                if section != "severity" && section != "engine" && section != "units" {
                     return Err(ConfigError {
                         line: lineno,
                         message: format!("unknown section [{section}]"),
@@ -95,6 +155,18 @@ impl Config {
                         })
                     }
                 },
+                "units" => match key {
+                    "suffixes" => config.units.suffixes = split_list(value),
+                    "conversions" => {
+                        config.units.conversions = parse_conversions(value, lineno)?;
+                    }
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown units key {key:?}"),
+                        })
+                    }
+                },
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -120,21 +192,52 @@ fn split_list(value: &str) -> Vec<String> {
         .collect()
 }
 
+/// Parses `name: from -> to` conversion entries, comma-separated.
+fn parse_conversions(value: &str, lineno: usize) -> Result<Vec<Conversion>, ConfigError> {
+    let mut out = Vec::new();
+    for entry in value.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let parsed = entry.split_once(':').and_then(|(name, rest)| {
+            let (from, to) = rest.split_once("->")?;
+            Some(Conversion {
+                name: name.trim().to_string(),
+                from: from.trim().to_string(),
+                to: to.trim().to_string(),
+            })
+        });
+        match parsed {
+            Some(c) if !c.name.is_empty() && !c.from.is_empty() && !c.to.is_empty() => {
+                out.push(c);
+            }
+            _ => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("invalid conversion {entry:?} (expected `name: from -> to`)"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parses_sections_and_overrides() {
+    fn parses_sections_and_overrides() -> Result<(), ConfigError> {
         let cfg = Config::parse(
             "# comment\n\n[severity]\nfloat-eq = \"warn\"\n[engine]\nlib-crates = \"dsp, tagbreathe\"\n",
-        )
-        .expect("valid config");
+        )?;
         assert_eq!(
             cfg.severity_for("float-eq", Severity::Error),
             Severity::Warn
         );
         assert_eq!(cfg.lib_crates, vec!["dsp", "tagbreathe"]);
+        Ok(())
     }
 
     #[test]
@@ -149,12 +252,13 @@ mod tests {
     }
 
     #[test]
-    fn default_used_when_not_overridden() {
-        let cfg = Config::parse("").expect("empty config");
+    fn default_used_when_not_overridden() -> Result<(), ConfigError> {
+        let cfg = Config::parse("")?;
         assert_eq!(
             cfg.severity_for("float-eq", Severity::Error),
             Severity::Error
         );
         assert!(cfg.lib_crates.contains(&"dsp".to_string()));
+        Ok(())
     }
 }

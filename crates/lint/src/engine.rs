@@ -1,10 +1,13 @@
 //! Scan orchestration: walk the workspace, lex every file, run every
-//! enabled rule, and reconcile the results against the ratchet baseline.
+//! enabled per-file rule, parse the files into the workspace model for
+//! the semantic rules, and reconcile the results against the ratchet
+//! baseline.
 
 use crate::baseline::{self, Counts, Regression};
+use crate::callgraph::Workspace;
 use crate::config::Config;
 use crate::report::{count_by_rule_and_file, Severity, Violation};
-use crate::rules::{all_rules, RuleCtx};
+use crate::rules::{all_rules, semantic_rules, RuleCtx};
 use crate::source::SourceFile;
 use crate::walk::rust_files;
 use std::fs;
@@ -43,6 +46,7 @@ pub fn scan(root: &Path, config: &Config) -> io::Result<ScanOutcome> {
     let mut enforced = Vec::new();
     let files = rust_files(root, &config.skip_dirs)?;
     let files_scanned = files.len();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let text = fs::read_to_string(root.join(rel))?;
         let file = SourceFile::parse(&rel.to_string_lossy(), &text);
@@ -57,7 +61,23 @@ pub fn scan(root: &Path, config: &Config) -> io::Result<ScanOutcome> {
             }
             violations.extend(found);
         }
+        sources.push(file);
     }
+    // Semantic rules run once over the whole parsed workspace.
+    let ws = Workspace::build(&sources, &config.lib_crates, &config.units);
+    for rule in semantic_rules() {
+        let severity = config.severity_for(rule.id(), rule.default_severity());
+        if severity == Severity::Off {
+            continue;
+        }
+        let found = rule.check(&ws);
+        if severity == Severity::Error {
+            enforced.extend(found.iter().cloned());
+        }
+        violations.extend(found);
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    enforced.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     let enforced_counts = count_by_rule_and_file(&enforced);
     Ok(ScanOutcome {
         violations,

@@ -10,7 +10,13 @@
 //! * [`lexer`] — a hand-rolled Rust lexer (comments, raw strings, char
 //!   vs. lifetime disambiguation) producing a line-annotated token
 //!   stream;
-//! * [`rules`] — token-pattern rules with per-rule severity;
+//! * [`parser`] — a tolerant Rust-subset parser producing an item model
+//!   (fn signatures, impls, use-trees, statement/expression bodies);
+//! * [`callgraph`] — a workspace model + heuristic call graph feeding the
+//!   semantic rules (panic reachability, unit dataflow, lock discipline);
+//! * [`rules`] — token-pattern and semantic rules with per-rule severity;
+//! * [`sarif`] — a SARIF 2.1.0 emitter for editor/CI integration,
+//!   self-validated with the in-tree `tagbreathe_obs::json` checker;
 //! * [`baseline`] — the ratchet: existing debt is frozen in
 //!   `lint-baseline.txt`, any *new* violation fails the build, and
 //!   burn-downs re-freeze at the lower count;
@@ -21,10 +27,13 @@
 //! Run it as `cargo run -p tagbreathe-lint -- check` (see `ci.sh`).
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 pub mod walk;

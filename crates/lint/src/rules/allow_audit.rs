@@ -10,6 +10,7 @@ use crate::lexer::TokenKind;
 use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
+/// See the module docs.
 pub struct AllowAudit;
 
 impl Rule for AllowAudit {

@@ -12,6 +12,7 @@ use crate::lexer::{Token, TokenKind};
 use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
+/// See the module docs.
 pub struct DocComment;
 
 impl Rule for DocComment {

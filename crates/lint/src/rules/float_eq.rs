@@ -15,6 +15,7 @@ use crate::lexer::TokenKind;
 use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
+/// See the module docs.
 pub struct FloatEq;
 
 impl Rule for FloatEq {

@@ -20,6 +20,7 @@ use crate::source::SourceFile;
 /// Cast targets considered narrowing in this workspace.
 const NARROW_TARGETS: &[&str] = &["f32", "u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// See the module docs.
 pub struct LossyCast;
 
 impl Rule for LossyCast {

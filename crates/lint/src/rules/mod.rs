@@ -8,21 +8,28 @@
 mod allow_audit;
 mod doc_comment;
 mod float_eq;
+mod lock_discipline;
 mod lossy_cast;
 mod must_use;
+mod panic_reach;
 mod panics;
 mod todo_tracker;
+mod unit_flow;
 
+use crate::callgraph::Workspace;
 use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
 pub use allow_audit::AllowAudit;
 pub use doc_comment::DocComment;
 pub use float_eq::FloatEq;
+pub use lock_discipline::LockDiscipline;
 pub use lossy_cast::LossyCast;
 pub use must_use::MissingMustUse;
+pub use panic_reach::PanicReach;
 pub use panics::LibPanic;
 pub use todo_tracker::TodoTracker;
+pub use unit_flow::UnitDataflow;
 
 /// Facts shared by all rules for a scan.
 #[derive(Debug, Clone)]
@@ -56,6 +63,28 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
+/// A semantic rule: runs once over the whole parsed workspace (item
+/// model + call graph) instead of per file.
+pub trait SemanticRule {
+    /// Stable identifier used in the baseline and config.
+    fn id(&self) -> &'static str;
+    /// One-line description for `tagbreathe-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Enforcement level when not overridden in `lint.toml`.
+    fn default_severity(&self) -> Severity;
+    /// Scans the workspace.
+    fn check(&self, ws: &Workspace) -> Vec<Violation>;
+}
+
+/// All shipped semantic rules, in reporting order.
+pub fn semantic_rules() -> Vec<Box<dyn SemanticRule>> {
+    vec![
+        Box::new(PanicReach),
+        Box::new(UnitDataflow),
+        Box::new(LockDiscipline),
+    ]
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
@@ -85,8 +114,8 @@ mod tests {
 
     #[test]
     fn rule_ids_are_unique() {
-        let rules = all_rules();
-        let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        let mut ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+        ids.extend(semantic_rules().iter().map(|r| r.id()));
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();

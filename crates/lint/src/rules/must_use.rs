@@ -15,6 +15,7 @@ use crate::source::SourceFile;
 /// Return types that must not be silently discarded.
 const TRACKED_RETURNS: &[&str] = &["f64", "Vec<f64>"];
 
+/// See the module docs.
 pub struct MissingMustUse;
 
 impl Rule for MissingMustUse {

@@ -1,0 +1,232 @@
+//! `panic-reach` — flags every `pub` function in a lib crate whose
+//! transitive call closure reaches a panic source.
+//!
+//! Panic sources are `.unwrap()` / `.expect(…)` calls, `panic!` /
+//! `unreachable!` invocations, and slice/array indexing (`x[i]`) in
+//! non-test lib-crate code. Reachability is propagated over the
+//! heuristic call graph (see [`crate::callgraph`] for the resolution
+//! rules — unresolvable calls are leaves, so the analysis
+//! under-approximates through dynamic dispatch and std combinators).
+//! Each diagnostic carries the *shortest witness call path* from the
+//! public entry point to the concrete panic site.
+
+use crate::callgraph::Workspace;
+use crate::parser::Expr;
+use crate::report::{Severity, Violation};
+use crate::rules::SemanticRule;
+use std::collections::VecDeque;
+
+/// See the module docs.
+pub struct PanicReach;
+
+/// How a function panics directly.
+#[derive(Debug, Clone, Copy)]
+struct PanicSite {
+    what: &'static str,
+    line: u32,
+}
+
+impl SemanticRule for PanicReach {
+    fn id(&self) -> &'static str {
+        "panic-reach"
+    }
+
+    fn description(&self) -> &'static str {
+        "pub lib-crate fn whose call closure reaches unwrap/expect/panic!/unreachable!/indexing"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let n = ws.graph.nodes.len();
+        // 1. Direct panic sites, in non-test lib-crate code only.
+        let mut direct: Vec<Option<PanicSite>> = vec![None; n];
+        for (i, slot) in direct.iter_mut().enumerate() {
+            let node = &ws.graph.nodes[i];
+            if node.is_test || !ws.in_lib_crate(i) {
+                continue;
+            }
+            *slot = first_panic_site(ws, i);
+        }
+        // 2. Multi-source BFS over reverse edges: for every function, the
+        // next hop on a shortest path toward a panicking callee.
+        let rev = ws.graph.reverse_edges();
+        let mut dist = vec![usize::MAX; n];
+        let mut next: Vec<Option<usize>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        for (i, site) in direct.iter().enumerate() {
+            if site.is_some() {
+                dist[i] = 0;
+                queue.push_back(i);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &caller in &rev[v] {
+                if dist[caller] == usize::MAX {
+                    dist[caller] = dist[v] + 1;
+                    next[caller] = Some(v);
+                    queue.push_back(caller);
+                }
+            }
+        }
+        // 3. Flag public, non-test lib-crate functions that reach a site.
+        let mut violations = Vec::new();
+        for (i, &d) in dist.iter().enumerate().take(n) {
+            let node = &ws.graph.nodes[i];
+            let item = ws.item(i);
+            if !item.is_pub || node.is_test || !ws.in_lib_crate(i) || d == usize::MAX {
+                continue;
+            }
+            // Witness path: this fn → … → the direct panicker.
+            let mut path = vec![i];
+            let mut cur = i;
+            while let Some(hop) = next[cur] {
+                path.push(hop);
+                cur = hop;
+            }
+            let site = direct[cur].unwrap_or(PanicSite {
+                what: "panic",
+                line: ws.item(cur).line,
+            });
+            let chain: Vec<String> = path.iter().map(|&p| ws.label(p)).collect();
+            let message = format!(
+                "pub fn `{}` can panic: {} ({} at {}:{})",
+                ws.label(i),
+                chain.join(" -> "),
+                site.what,
+                ws.path_of(cur),
+                site.line,
+            );
+            violations.push(Violation {
+                rule: self.id(),
+                path: ws.path_of(i).to_string(),
+                line: item.line,
+                message,
+            });
+        }
+        violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        violations
+    }
+}
+
+/// The first direct panic site in a function body, in source order.
+fn first_panic_site(ws: &Workspace, node: usize) -> Option<PanicSite> {
+    let item = ws.item(node);
+    let body = item.body.as_ref()?;
+    let mut found: Option<PanicSite> = None;
+    body.visit(&mut |e| {
+        let site = match e {
+            Expr::MethodCall { method, .. } if method == "unwrap" => Some(PanicSite {
+                what: "`.unwrap()`",
+                line: e.line(),
+            }),
+            Expr::MethodCall { method, .. } if method == "expect" => Some(PanicSite {
+                what: "`.expect(…)`",
+                line: e.line(),
+            }),
+            Expr::Macro { name, .. } if macro_panics(name) => Some(PanicSite {
+                what: "panic macro",
+                line: e.line(),
+            }),
+            Expr::Index { .. } => Some(PanicSite {
+                what: "slice indexing",
+                line: e.line(),
+            }),
+            _ => None,
+        };
+        if let Some(s) = site {
+            let better = found.is_none_or(|f| s.line < f.line);
+            if better {
+                found = Some(s);
+            }
+        }
+    });
+    found
+}
+
+/// Is this macro name (possibly path-qualified) a panicking macro?
+fn macro_panics(name: &str) -> bool {
+    let last = name.rsplit("::").next().unwrap_or(name);
+    last == "panic" || last == "unreachable"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UnitsConfig;
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
+        let ws = Workspace::build(
+            &sources,
+            &["dsp".to_string(), "tagbreathe".to_string()],
+            &UnitsConfig::default(),
+        );
+        PanicReach.check(&ws)
+    }
+
+    #[test]
+    fn direct_unwrap_in_pub_fn_is_flagged_with_site() {
+        let v = run(&[(
+            "crates/dsp/src/a.rs",
+            "pub fn f(o: Option<f64>) -> f64 { o.unwrap() }\n",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`.unwrap()`"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("crates/dsp/src/a.rs:1"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn transitive_reach_prints_witness_path() {
+        let v = run(&[(
+            "crates/dsp/src/a.rs",
+            "pub fn entry(xs: &[f64]) -> f64 { middle(xs) }\n\
+             fn middle(xs: &[f64]) -> f64 { leaf(xs) }\n\
+             fn leaf(xs: &[f64]) -> f64 { xs[0] }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("entry -> middle -> leaf"),
+            "witness path missing: {}",
+            v[0].message
+        );
+        assert!(v[0].message.contains("slice indexing"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn private_and_test_and_result_fns_are_not_flagged() {
+        let v = run(&[(
+            "crates/dsp/src/a.rs",
+            "fn private(o: Option<f64>) -> f64 { o.unwrap() }\n\
+             pub fn safe(o: Option<f64>) -> Option<f64> { o.map(|x| x + 1.0) }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { super::safe(None).unwrap(); }\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_lib_crates_are_exempt() {
+        let v = run(&[(
+            "crates/bench/src/a.rs",
+            "pub fn f(o: Option<f64>) -> f64 { o.unwrap() }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panic_macro_counts() {
+        let v = run(&[(
+            "crates/tagbreathe/src/a.rs",
+            "pub fn f(x: f64) -> f64 {\n  if x < 0.0 { panic!(\"negative\"); }\n  x\n}\n",
+        )]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("panic macro"), "{}", v[0].message);
+    }
+}

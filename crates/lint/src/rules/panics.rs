@@ -13,6 +13,7 @@ use super::{Rule, RuleCtx};
 use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
+/// See the module docs.
 pub struct LibPanic;
 
 impl Rule for LibPanic {

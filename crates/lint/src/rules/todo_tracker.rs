@@ -9,6 +9,7 @@ use crate::lexer::TokenKind;
 use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
+/// See the module docs.
 pub struct TodoTracker;
 
 impl Rule for TodoTracker {

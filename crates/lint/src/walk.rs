@@ -40,10 +40,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn finds_own_sources_and_skips_target() {
+    fn finds_own_sources_and_skips_target() -> std::io::Result<()> {
         // The lint crate's own directory is a convenient real tree.
         let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-        let files = rust_files(root, &["target".to_string()]).expect("walk");
+        let files = rust_files(root, &["target".to_string()])?;
         let names: Vec<String> = files
             .iter()
             .map(|p| p.to_string_lossy().replace('\\', "/"))
@@ -53,5 +53,6 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted, "walk output must be sorted");
+        Ok(())
     }
 }

@@ -1,0 +1,7 @@
+//! Fixture: a file with no violations at all.
+
+/// Doubles a sample.
+#[must_use]
+pub fn double(x: f64) -> f64 {
+    2.0 * x
+}

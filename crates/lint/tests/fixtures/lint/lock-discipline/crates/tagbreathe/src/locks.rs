@@ -1,0 +1,30 @@
+//! Fixture: guards held across locking calls, and a double-lock.
+
+use std::sync::Mutex;
+
+/// Shared state with two independent locks.
+pub struct Shared {
+    counter: Mutex<u64>,
+    journal: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    fn log(&self, v: u64) {
+        let mut journal = self.journal.lock().unwrap();
+        journal.push(v);
+    }
+
+    /// Logs while still holding the counter lock.
+    pub fn bump(&self) {
+        let mut counter = self.counter.lock().unwrap();
+        *counter += 1;
+        self.log(*counter);
+    }
+
+    /// Locks the same mutex twice on one path.
+    pub fn stuck(&self) -> u64 {
+        let a = self.counter.lock().unwrap();
+        let b = self.counter.lock().unwrap();
+        *a + *b
+    }
+}

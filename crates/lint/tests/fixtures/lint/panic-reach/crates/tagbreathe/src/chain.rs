@@ -1,0 +1,14 @@
+//! Fixture: panic reachable only through a private call chain.
+
+/// Entry point; panics transitively when `xs` is empty.
+pub fn entry(xs: &[f64]) -> f64 {
+    middle(xs)
+}
+
+fn middle(xs: &[f64]) -> f64 {
+    leaf(xs)
+}
+
+fn leaf(xs: &[f64]) -> f64 {
+    xs[0]
+}

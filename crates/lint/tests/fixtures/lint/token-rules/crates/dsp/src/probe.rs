@@ -1,0 +1,11 @@
+//! Fixture: one violation for each per-token rule.
+
+#[allow(dead_code)]
+pub fn undocumented(x: Option<f64>) -> f64 {
+    // TODO tune this threshold
+    let v = x.unwrap();
+    if v == 0.5 {
+        return 0.0;
+    }
+    f64::from(v as f32)
+}

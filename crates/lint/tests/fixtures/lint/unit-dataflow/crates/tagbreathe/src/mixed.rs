@@ -1,0 +1,20 @@
+//! Fixture: physical-unit mix-ups.
+
+/// Adds two rates that are in different units.
+pub fn drift(rate_hz: f64, rate_bpm: f64) -> f64 {
+    rate_hz + rate_bpm
+}
+
+/// Feeds a conversion function the unit it produces.
+pub fn wrong_conversion(rate_bpm: f64) -> f64 {
+    hz_to_bpm(rate_bpm)
+}
+
+/// Declared (by name suffix) to return Hz, but returns a bpm value.
+pub fn rate_hz(rate_bpm: f64) -> f64 {
+    rate_bpm
+}
+
+fn hz_to_bpm(hz: f64) -> f64 {
+    hz * 60.0
+}

@@ -1,0 +1,95 @@
+//! Golden-file diagnostic tests.
+//!
+//! Each directory under `tests/fixtures/lint/` is a miniature workspace
+//! (`crates/<name>/src/*.rs`, optional `lint.toml`) with known
+//! violations. The rendered report must match the case's `expected.txt`
+//! byte for byte, so any change to a rule's detection logic or message
+//! wording shows up as a reviewable diff against the corpus.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use tagbreathe_lint::engine::{load_config, scan};
+
+/// Renders a fixture workspace's report exactly as the golden files
+/// store it: one `path:line: [rule] message` line per violation, sorted
+/// (scan output is already ordered by path, line, rule).
+fn rendered(root: &Path) -> Result<String, String> {
+    let config = load_config(root)?;
+    let outcome = scan(root, &config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for v in &outcome.violations {
+        writeln!(out, "{v}").map_err(|e| e.to_string())?;
+    }
+    Ok(out)
+}
+
+#[test]
+fn fixtures_match_expected_reports() -> Result<(), String> {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint");
+    let mut cases = Vec::new();
+    for entry in fs::read_dir(&base).map_err(|e| e.to_string())? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        if entry.path().is_dir() {
+            cases.push(entry.path());
+        }
+    }
+    cases.sort();
+    assert!(
+        cases.len() >= 5,
+        "fixture corpus went missing: found {} cases",
+        cases.len()
+    );
+    let mut failures = String::new();
+    for case in &cases {
+        let expected = fs::read_to_string(case.join("expected.txt"))
+            .map_err(|e| format!("{}: {e}", case.display()))?;
+        let actual = rendered(case)?;
+        if actual != expected {
+            let _ = writeln!(
+                failures,
+                "== {} ==\n--- expected ---\n{expected}--- actual ---\n{actual}",
+                case.display()
+            );
+        }
+    }
+    assert!(failures.is_empty(), "golden mismatches:\n{failures}");
+    Ok(())
+}
+
+/// The corpus must collectively exercise every rule the engine ships,
+/// so a new rule cannot land without a golden example (the `clean`
+/// case covers the zero-violation path).
+#[test]
+fn corpus_covers_every_rule() -> Result<(), String> {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint");
+    let mut seen = std::collections::BTreeSet::new();
+    for entry in fs::read_dir(&base).map_err(|e| e.to_string())? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let expected =
+            fs::read_to_string(entry.path().join("expected.txt")).map_err(|e| e.to_string())?;
+        for line in expected.lines() {
+            if let Some(rule) = line.split('[').nth(1).and_then(|r| r.split(']').next()) {
+                seen.insert(rule.to_string());
+            }
+        }
+    }
+    for rule in tagbreathe_lint::rules::all_rules() {
+        assert!(
+            seen.contains(rule.id()),
+            "no golden fixture exercises rule `{}`",
+            rule.id()
+        );
+    }
+    for rule in tagbreathe_lint::rules::semantic_rules() {
+        assert!(
+            seen.contains(rule.id()),
+            "no golden fixture exercises semantic rule `{}`",
+            rule.id()
+        );
+    }
+    Ok(())
+}

@@ -106,6 +106,50 @@ fn fixture_triggers_every_error_rule() {
     );
 }
 
+#[test]
+fn semantic_error_rules_are_registered() {
+    let ids: Vec<&str> = tagbreathe_lint::rules::semantic_rules()
+        .iter()
+        .map(|r| r.id())
+        .collect();
+    assert_eq!(ids, vec!["panic-reach", "unit-dataflow", "lock-discipline"]);
+    for rule in tagbreathe_lint::rules::semantic_rules() {
+        assert_eq!(rule.default_severity(), Severity::Error, "{}", rule.id());
+    }
+}
+
+#[test]
+fn declared_conversions_exist_in_the_workspace() {
+    // Every conversion declared in lint.toml must be a real function —
+    // otherwise the unit checker trusts a conversion nobody wrote.
+    let root = workspace_root();
+    let config = engine::load_config(&root).expect("config loads");
+    assert!(
+        !config.units.conversions.is_empty(),
+        "workspace lint.toml must declare unit conversions"
+    );
+    let files =
+        tagbreathe_lint::walk::rust_files(&root, &config.skip_dirs).expect("walk workspace");
+    let mut all_text = String::new();
+    for rel in &files {
+        all_text.push_str(&fs::read_to_string(root.join(rel)).expect("read source"));
+    }
+    for c in &config.units.conversions {
+        assert!(
+            all_text.contains(&format!("fn {}(", c.name)),
+            "conversion `{}` declared in lint.toml but not defined anywhere",
+            c.name
+        );
+        assert!(
+            config.units.suffixes.contains(&c.from) && config.units.suffixes.contains(&c.to),
+            "conversion `{}` uses undeclared unit suffixes ({} -> {})",
+            c.name,
+            c.from,
+            c.to
+        );
+    }
+}
+
 /// Builds a throwaway mini-workspace containing one freshly violating
 /// file and no baseline allowance for it.
 fn scratch_tree(name: &str) -> PathBuf {

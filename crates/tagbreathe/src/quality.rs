@@ -10,6 +10,7 @@
 use crate::metrics;
 use crate::monitor::UserAnalysis;
 use dsp::goertzel::goertzel_power;
+use dsp::units::bpm_to_hz;
 use obs::trace::{TraceEvent, Tracer};
 use obs::{Label, Recorder};
 
@@ -169,15 +170,16 @@ fn band_snr(analysis: &UserAnalysis) -> f64 {
     };
     let signal = analysis.breath_signal.values();
     let sr = analysis.breath_signal.sample_rate_hz();
-    if signal.len() < 16 || !(0.03..sr / 2.0).contains(&(bpm / 60.0)) {
+    let rate_hz = bpm_to_hz(bpm);
+    if signal.len() < 16 || !(0.03..sr / 2.0).contains(&rate_hz) {
         return 0.0;
     }
-    let peak = goertzel_power(signal, bpm / 60.0, sr);
+    let peak = goertzel_power(signal, rate_hz, sr);
     // Sample the band away from the peak.
     let mut background = Vec::new();
     let mut f = 0.08f64;
     while f < 0.66 {
-        if (f - bpm / 60.0).abs() > 0.05 && f < sr / 2.0 {
+        if (f - rate_hz).abs() > 0.05 && f < sr / 2.0 {
             background.push(goertzel_power(signal, f, sr));
         }
         f += 0.04;

@@ -10,6 +10,7 @@ use crate::config::PipelineConfig;
 use crate::series::TimeSeries;
 use dsp::spectrum::dominant_frequency;
 use dsp::stats::rms;
+use dsp::units::hz_to_bpm;
 use dsp::zero_crossing::{find_zero_crossings, rate_from_crossings, CrossingRateEstimator};
 
 /// One instantaneous rate estimate.
@@ -62,7 +63,7 @@ pub fn estimate_rate(signal: &TimeSeries, config: &PipelineConfig) -> RateEstima
             if let Some(hz) = estimator.push(t) {
                 instantaneous.push(RatePoint {
                     time_s: t,
-                    rate_bpm: hz * 60.0,
+                    rate_bpm: hz_to_bpm(hz),
                 });
             }
         }
@@ -83,7 +84,7 @@ pub fn estimate_rate(signal: &TimeSeries, config: &PipelineConfig) -> RateEstima
             0.5 * (rates[n / 2 - 1] + rates[n / 2])
         })
     } else {
-        rate_from_crossings(&times).map(|hz| hz * 60.0)
+        rate_from_crossings(&times).map(hz_to_bpm)
     };
 
     RateEstimate {
@@ -102,7 +103,7 @@ pub fn estimate_rate_fft_peak(signal: &TimeSeries, config: &PipelineConfig) -> O
         config.band_min_hz,
         config.cutoff_hz,
     )
-    .map(|p| p.frequency_hz * 60.0)
+    .map(|p| hz_to_bpm(p.frequency_hz))
 }
 
 /// The autocorrelation estimator: the lag of the first significant
@@ -116,7 +117,7 @@ pub fn estimate_rate_autocorr(signal: &TimeSeries, config: &PipelineConfig) -> O
         config.band_min_hz,
         config.cutoff_hz,
     )
-    .map(|hz| hz * 60.0)
+    .map(hz_to_bpm)
 }
 
 /// A breathing-rate *track* over time via the short-time Fourier
@@ -144,7 +145,7 @@ pub fn rate_track_stft(
         .filter_map(|(f, &t)| {
             f.map(|hz| RatePoint {
                 time_s: t,
-                rate_bpm: hz * 60.0,
+                rate_bpm: hz_to_bpm(hz),
             })
         })
         .collect()
