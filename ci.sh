@@ -11,6 +11,7 @@
 #   6. equivalence suite  cargo test -q --release --test equivalence
 #   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace
 #   8. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
+#   9. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 4
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
@@ -24,6 +25,12 @@
 # forgot `-- check --update-baseline`). It also emits the full report as
 # SARIF 2.1.0 (lint.sarif), re-validated with the linter's own in-tree
 # JSON validator (`validate-json`, backed by tagbreathe_obs::json).
+# Step 9 is the machine-readable hot-path cost inventory: it fails if a
+# `[hotpath]` root no longer resolves or the per-report path grows past
+# the site budget, and its JSON is re-validated like the SARIF. Steps 8
+# and 9 together must finish inside the lint wall-clock budget below —
+# the linter re-parses the workspace per invocation, so a runaway pass
+# shows up here before it slows every pre-commit hook.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,9 +60,25 @@ test -s /tmp/BENCH_streaming_smoke.trace.json \
     || { echo "ci: chrome-trace sidecar missing or empty" >&2; exit 1; }
 
 echo "==> cargo run -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif"
+lint_started_s=$SECONDS
 cargo run -q -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif
 test -s /tmp/tagbreathe-lint.sarif \
     || { echo "ci: SARIF report missing or empty" >&2; exit 1; }
 cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-lint.sarif
+
+echo "==> cargo run -p tagbreathe-lint -- hotpath --max-sites 4"
+cargo run -q -p tagbreathe-lint -- hotpath --max-sites 4 --out /tmp/tagbreathe-hotpath.json
+test -s /tmp/tagbreathe-hotpath.json \
+    || { echo "ci: hot-path report missing or empty" >&2; exit 1; }
+cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-hotpath.json
+
+# Lint wall-clock budget: both semantic runs (check + hotpath), binaries
+# already built, must stay interactive. 60 s is ~10x current cost.
+lint_elapsed_s=$((SECONDS - lint_started_s))
+if [ "$lint_elapsed_s" -gt 60 ]; then
+    echo "ci: lint passes took ${lint_elapsed_s}s — over the 60 s budget" >&2
+    exit 1
+fi
+echo "ci: lint passes took ${lint_elapsed_s}s (budget 60 s)"
 
 echo "ci: all green"

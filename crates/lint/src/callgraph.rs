@@ -18,7 +18,7 @@
 //!
 //! Unresolvable calls produce no edge; rules treat them as leaves.
 
-use crate::config::UnitsConfig;
+use crate::config::{Config, HotPathConfig, NanGuardConfig, ShardConfig, UnitsConfig};
 use crate::parser::{base_type_name, parse_file, Expr, FnItem, ParsedFile, Stmt};
 use crate::source::SourceFile;
 use std::collections::{BTreeMap, HashMap};
@@ -45,6 +45,14 @@ pub struct Workspace {
     pub lib_crates: Vec<String>,
     /// Physical-units configuration from `lint.toml`.
     pub units: UnitsConfig,
+    /// Hot-path cost configuration from `lint.toml`.
+    pub hotpath: HotPathConfig,
+    /// Shard-safety configuration from `lint.toml`.
+    pub shard: ShardConfig,
+    /// Declared lock-acquisition order from `lint.toml` (coarsest first).
+    pub lock_order: Vec<String>,
+    /// NaN-guard configuration from `lint.toml`.
+    pub nanguard: NanGuardConfig,
     /// The call graph over every function in `files`.
     pub graph: CallGraph,
 }
@@ -77,7 +85,7 @@ pub struct CallGraph {
 
 impl Workspace {
     /// Builds the workspace model and call graph from lexed files.
-    pub fn build(sources: &[SourceFile], lib_crates: &[String], units: &UnitsConfig) -> Workspace {
+    pub fn build(sources: &[SourceFile], config: &Config) -> Workspace {
         let files: Vec<AnalyzedFile> = sources
             .iter()
             .map(|sf| AnalyzedFile {
@@ -90,8 +98,12 @@ impl Workspace {
         let graph = CallGraph::build(&files);
         Workspace {
             files,
-            lib_crates: lib_crates.to_vec(),
-            units: units.clone(),
+            lib_crates: config.lib_crates.clone(),
+            units: config.units.clone(),
+            hotpath: config.hotpath.clone(),
+            shard: config.shard.clone(),
+            lock_order: config.lock_order.clone(),
+            nanguard: config.nanguard.clone(),
             graph,
         }
     }
@@ -119,6 +131,61 @@ impl Workspace {
             Some(t) => format!("{t}::{}", n.name),
             None => n.name.clone(),
         }
+    }
+
+    /// All non-test nodes matching a `Type::name` label (exact) or a bare
+    /// name (free functions and methods of any type). Used to resolve
+    /// configured function names (`[hotpath] roots`, allow lists).
+    pub fn nodes_labelled(&self, wanted: &str) -> Vec<usize> {
+        (0..self.graph.nodes.len())
+            .filter(|&i| !self.graph.nodes[i].is_test)
+            .filter(|&i| {
+                if wanted.contains("::") {
+                    self.label(i) == wanted
+                } else {
+                    self.graph.nodes[i].name == wanted
+                }
+            })
+            .collect()
+    }
+
+    /// All non-test `type` aliases of the workspace, name → aliased type
+    /// text. Duplicate names keep the first definition.
+    pub fn alias_map(&self) -> HashMap<&str, &str> {
+        let mut map = HashMap::new();
+        for file in &self.files {
+            for a in &file.parsed.aliases {
+                if !a.is_test && !file.test_only {
+                    map.entry(a.name.as_str()).or_insert(a.ty.as_str());
+                }
+            }
+        }
+        map
+    }
+
+    /// Flat type text with `type` aliases substituted (transitively, to a
+    /// small depth so cycles terminate) — so rules inspecting field types
+    /// see `Vec < … TagState … >` where the source says `TagSlab`.
+    pub fn expand_aliases(&self, ty: &str, aliases: &HashMap<&str, &str>) -> String {
+        let mut current = ty.to_string();
+        for _ in 0..4 {
+            let mut changed = false;
+            let expanded: Vec<&str> = current
+                .split_whitespace()
+                .map(|w| match aliases.get(w) {
+                    Some(rhs) => {
+                        changed = true;
+                        *rhs
+                    }
+                    None => w,
+                })
+                .collect();
+            current = expanded.join(" ");
+            if !changed {
+                break;
+            }
+        }
+        current
     }
 }
 
@@ -399,18 +466,17 @@ fn prefer(candidates: Option<&Vec<usize>>, node: &FnNode, nodes: &[FnNode]) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::UnitsConfig;
 
     fn ws(files: &[(&str, &str)]) -> Workspace {
         let sources: Vec<SourceFile> = files
             .iter()
             .map(|(path, text)| SourceFile::parse(path, text))
             .collect();
-        Workspace::build(
-            &sources,
-            &["dsp".to_string(), "tagbreathe".to_string()],
-            &UnitsConfig::default(),
-        )
+        let config = Config {
+            lib_crates: vec!["dsp".to_string(), "tagbreathe".to_string()],
+            ..Config::default()
+        };
+        Workspace::build(&sources, &config)
     }
 
     fn node(ws: &Workspace, name: &str) -> usize {

@@ -66,6 +66,36 @@ impl UnitsConfig {
     }
 }
 
+/// Hot-path cost configuration for the `hot-path-cost` rule
+/// (`[hotpath]` in `lint.toml`). Empty roots disable the rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPathConfig {
+    /// Ingest-root functions, as `Type::name` labels or bare free-fn
+    /// names. The rule walks their transitive call closure.
+    pub roots: Vec<String>,
+    /// Functions (same label syntax) the walk does not descend into —
+    /// reviewed cold seams such as snapshot or eviction cadence code.
+    pub allow: Vec<String>,
+}
+
+/// Shard-safety configuration for the `shard-safety` rule
+/// (`[shard]` in `lint.toml`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Root state types whose reachable field closure must stay free of
+    /// single-threaded shared-ownership types (`Rc`, `RefCell`, …).
+    pub roots: Vec<String>,
+}
+
+/// NaN-guard configuration for the `nan-guard` rule
+/// (`[nanguard]` in `lint.toml`). Empty paths disable the rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NanGuardConfig {
+    /// Workspace-relative path prefixes the float-dataflow pass covers
+    /// (signal-processing code where a NaN corrupts fusion weights).
+    pub paths: Vec<String>,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -78,6 +108,15 @@ pub struct Config {
     pub skip_dirs: Vec<String>,
     /// Physical-units checking configuration.
     pub units: UnitsConfig,
+    /// Hot-path cost roots and allow list.
+    pub hotpath: HotPathConfig,
+    /// Shard-safety root state types.
+    pub shard: ShardConfig,
+    /// Declared lock-acquisition order (`[locks] order`), coarsest lock
+    /// first. Empty means no ordering is enforced.
+    pub lock_order: Vec<String>,
+    /// NaN-guard covered paths.
+    pub nanguard: NanGuardConfig,
 }
 
 impl Default for Config {
@@ -89,6 +128,10 @@ impl Default for Config {
                 .to_vec(),
             skip_dirs: ["target", ".git", "fixtures"].map(String::from).to_vec(),
             units: UnitsConfig::default(),
+            hotpath: HotPathConfig::default(),
+            shard: ShardConfig::default(),
+            lock_order: Vec::new(),
+            nanguard: NanGuardConfig::default(),
         }
     }
 }
@@ -121,7 +164,10 @@ impl Config {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if section != "severity" && section != "engine" && section != "units" {
+                let known = [
+                    "severity", "engine", "units", "hotpath", "shard", "locks", "nanguard",
+                ];
+                if !known.contains(&section.as_str()) {
                     return Err(ConfigError {
                         line: lineno,
                         message: format!("unknown section [{section}]"),
@@ -164,6 +210,43 @@ impl Config {
                         return Err(ConfigError {
                             line: lineno,
                             message: format!("unknown units key {key:?}"),
+                        })
+                    }
+                },
+                "hotpath" => match key {
+                    "roots" => config.hotpath.roots = split_list(value),
+                    "allow" => config.hotpath.allow = split_list(value),
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown hotpath key {key:?}"),
+                        })
+                    }
+                },
+                "shard" => match key {
+                    "roots" => config.shard.roots = split_list(value),
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown shard key {key:?}"),
+                        })
+                    }
+                },
+                "locks" => match key {
+                    "order" => config.lock_order = split_list(value),
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown locks key {key:?}"),
+                        })
+                    }
+                },
+                "nanguard" => match key {
+                    "paths" => config.nanguard.paths = split_list(value),
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown nanguard key {key:?}"),
                         })
                     }
                 },
@@ -238,6 +321,28 @@ mod tests {
         );
         assert_eq!(cfg.lib_crates, vec!["dsp", "tagbreathe"]);
         Ok(())
+    }
+
+    #[test]
+    fn parses_semantic_pass_sections() -> Result<(), ConfigError> {
+        let cfg = Config::parse(
+            "[hotpath]\nroots = \"UserStreamState::push, ingest\"\nallow = \"snapshot\"\n\
+             [shard]\nroots = \"UserStreamState\"\n\
+             [locks]\norder = \"registry, ring\"\n\
+             [nanguard]\npaths = \"crates/dsp, crates/tagbreathe/src/quality.rs\"\n",
+        )?;
+        assert_eq!(cfg.hotpath.roots, vec!["UserStreamState::push", "ingest"]);
+        assert_eq!(cfg.hotpath.allow, vec!["snapshot"]);
+        assert_eq!(cfg.shard.roots, vec!["UserStreamState"]);
+        assert_eq!(cfg.lock_order, vec!["registry", "ring"]);
+        assert_eq!(cfg.nanguard.paths.len(), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn unknown_keys_in_new_sections_rejected() {
+        assert!(Config::parse("[hotpath]\nrootz = \"x\"\n").is_err());
+        assert!(Config::parse("[locks]\nordering = \"x\"\n").is_err());
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub fn scan(root: &Path, config: &Config) -> io::Result<ScanOutcome> {
         sources.push(file);
     }
     // Semantic rules run once over the whole parsed workspace.
-    let ws = Workspace::build(&sources, &config.lib_crates, &config.units);
+    let ws = Workspace::build(&sources, config);
     for rule in semantic_rules() {
         let severity = config.severity_for(rule.id(), rule.default_severity());
         if severity == Severity::Off {
@@ -85,6 +85,23 @@ pub fn scan(root: &Path, config: &Config) -> io::Result<ScanOutcome> {
         enforced_counts,
         files_scanned,
     })
+}
+
+/// Parses the whole workspace into the semantic model without running
+/// any rules — used by the `hotpath` CLI report, which wants the raw
+/// [`crate::hotpath::inventory`] rather than violations.
+///
+/// # Errors
+///
+/// Returns an I/O error if the tree cannot be walked or a file read.
+pub fn load_workspace(root: &Path, config: &Config) -> io::Result<Workspace> {
+    let files = rust_files(root, &config.skip_dirs)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))?;
+        sources.push(SourceFile::parse(&rel.to_string_lossy(), &text));
+    }
+    Ok(Workspace::build(&sources, config))
 }
 
 /// Loads `lint.toml` from the root (defaults if absent).

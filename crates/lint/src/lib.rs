@@ -13,7 +13,10 @@
 //! * [`parser`] — a tolerant Rust-subset parser producing an item model
 //!   (fn signatures, impls, use-trees, statement/expression bodies);
 //! * [`callgraph`] — a workspace model + heuristic call graph feeding the
-//!   semantic rules (panic reachability, unit dataflow, lock discipline);
+//!   semantic rules (panic reachability, unit dataflow, lock discipline,
+//!   hot-path cost, shard safety, NaN guarding);
+//! * [`hotpath`] — the hot-path cost inventory behind the
+//!   `hot-path-cost` rule and the `hotpath` CLI report;
 //! * [`rules`] — token-pattern and semantic rules with per-rule severity;
 //! * [`sarif`] — a SARIF 2.1.0 emitter for editor/CI integration,
 //!   self-validated with the in-tree `tagbreathe_obs::json` checker;
@@ -30,6 +33,7 @@ pub mod baseline;
 pub mod callgraph;
 pub mod config;
 pub mod engine;
+pub mod hotpath;
 pub mod lexer;
 pub mod parser;
 pub mod report;

@@ -28,6 +28,66 @@ pub struct ParsedFile {
     pub fns: Vec<FnItem>,
     /// Flattened `use` paths (`use a::{b, c}` yields `a::b` and `a::c`).
     pub uses: Vec<Vec<String>>,
+    /// All `struct`/`enum`/`union` definitions, in source order.
+    pub types: Vec<TypeItem>,
+    /// All `static` items, in source order.
+    pub statics: Vec<StaticItem>,
+    /// All `type` aliases (including associated types), in source order.
+    pub aliases: Vec<AliasItem>,
+}
+
+/// One parsed `type Name = …;` alias.
+#[derive(Debug)]
+pub struct AliasItem {
+    /// Alias name.
+    pub name: String,
+    /// Aliased type as space-joined token text.
+    pub ty: String,
+    /// 1-indexed line of the `type` keyword.
+    pub line: u32,
+    /// Lies in test code (`#[cfg(test)]` module or test-only path).
+    pub is_test: bool,
+}
+
+/// One field (or enum-variant payload) of a type definition.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name; tuple fields use their index text, enum tuple-variant
+    /// payloads use the variant name.
+    pub name: String,
+    /// Type as space-joined token text, e.g. `BTreeMap < u8 , TagState >`.
+    pub ty: String,
+    /// 1-indexed line of the field.
+    pub line: u32,
+}
+
+/// One parsed `struct`/`enum`/`union` definition.
+#[derive(Debug)]
+pub struct TypeItem {
+    /// Type name.
+    pub name: String,
+    /// `pub` without a restriction.
+    pub is_pub: bool,
+    /// 1-indexed line of the defining keyword.
+    pub line: u32,
+    /// Fields with their flat type text (enum variants contribute their
+    /// payload types).
+    pub fields: Vec<FieldItem>,
+    /// Lies in test code (`#[cfg(test)]` module or test-only path).
+    pub is_test: bool,
+}
+
+/// One parsed `static` item.
+#[derive(Debug)]
+pub struct StaticItem {
+    /// Item name.
+    pub name: String,
+    /// Declared with `static mut`.
+    pub is_mut: bool,
+    /// 1-indexed line of the `static` keyword.
+    pub line: u32,
+    /// Lies in test code (`#[cfg(test)]` module or test-only path).
+    pub is_test: bool,
 }
 
 /// One function parameter.
@@ -337,6 +397,15 @@ pub fn parse_file(file: &SourceFile) -> ParsedFile {
     for f in &mut out.fns {
         f.is_test = file.test_only || file.is_test_line(f.line);
     }
+    for t in &mut out.types {
+        t.is_test = file.test_only || file.is_test_line(t.line);
+    }
+    for s in &mut out.statics {
+        s.is_test = file.test_only || file.is_test_line(s.line);
+    }
+    for a in &mut out.aliases {
+        a.is_test = file.test_only || file.is_test_line(a.line);
+    }
     out
 }
 
@@ -559,18 +628,42 @@ impl Parser<'_> {
         } else if self.at_ident("use") {
             self.parse_use();
         } else if self.at_ident("struct") || self.at_ident("enum") || self.at_ident("union") {
-            // Skip the definition: either `… { … }` or `…;`.
-            while let Some(k) = self.peek() {
-                if k.is_punct("{") {
-                    self.skip_braces();
-                    return;
-                }
-                if k.is_punct(";") {
-                    self.bump();
-                    return;
-                }
+            self.parse_type_def(is_pub);
+        } else if self.at_ident("static") {
+            let line = self.line();
+            self.bump();
+            let is_mut = self.eat_ident("mut");
+            if let Some(name) = self.ident_text() {
                 self.bump();
+                self.out.statics.push(StaticItem {
+                    name,
+                    is_mut,
+                    line,
+                    is_test: false,
+                });
             }
+            self.skip_to_semi();
+        } else if self.at_ident("type") {
+            let line = self.line();
+            self.bump();
+            if let Some(name) = self.ident_text() {
+                self.bump();
+                if self.at_punct("<") {
+                    self.skip_angles();
+                }
+                // Trait-declaration associated types (`type Output;`)
+                // have no right-hand side and are not aliases.
+                if self.eat_punct("=") {
+                    let ty = self.type_text_until(&[";"]);
+                    self.out.aliases.push(AliasItem {
+                        name,
+                        ty,
+                        line,
+                        is_test: false,
+                    });
+                }
+            }
+            self.skip_to_semi();
         } else if self
             .peek()
             .is_some_and(|k| ITEM_KEYWORDS.iter().any(|kw| k.is_ident(kw)))
@@ -751,6 +844,172 @@ impl Parser<'_> {
         }
         if !flushed && !prefix.is_empty() {
             self.out.uses.push(prefix);
+        }
+    }
+
+    /// Parses a `struct` / `enum` / `union` definition into a
+    /// [`TypeItem`]. Field types are kept as flat token text so the
+    /// shard-safety rule can walk the field-type closure; generics and
+    /// `where` clauses are skipped.
+    fn parse_type_def(&mut self, is_pub: bool) {
+        let line = self.line();
+        let is_enum = self.at_ident("enum");
+        self.bump(); // `struct` / `enum` / `union`
+        let Some(name) = self.ident_text() else {
+            return;
+        };
+        self.bump();
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        // Skip any `where` clause tokens up to the body or `;`. A `(`
+        // before `where` opens a tuple struct; inside a `where` clause it
+        // belongs to an `Fn(…)` bound and is skipped balanced.
+        let mut in_where = false;
+        while let Some(k) = self.peek() {
+            if k.is_punct("{") || k.is_punct(";") {
+                break;
+            }
+            if k.is_punct("(") {
+                if in_where {
+                    self.skip_parens();
+                    continue;
+                }
+                break;
+            }
+            if k.is_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            if k.is_ident("where") {
+                in_where = true;
+            }
+            self.bump();
+        }
+        let mut fields = Vec::new();
+        if self.at_punct("(") {
+            // Tuple struct: fields named by index.
+            self.bump();
+            self.parse_tuple_fields(&mut fields, None);
+            self.skip_to_semi();
+        } else if self.at_punct("{") {
+            self.bump();
+            if is_enum {
+                self.parse_enum_variants(&mut fields);
+            } else {
+                self.parse_named_fields(&mut fields, None);
+            }
+            self.eat_punct("}");
+        } else {
+            self.eat_punct(";"); // unit struct
+        }
+        self.out.types.push(TypeItem {
+            name,
+            is_pub,
+            line,
+            fields,
+            is_test: false,
+        });
+    }
+
+    /// Parses `name: Type` fields until `}`; the cursor is just past `{`.
+    /// Enum struct-variants pass the variant name as `prefix`.
+    fn parse_named_fields(&mut self, fields: &mut Vec<FieldItem>, prefix: Option<&str>) {
+        while let Some(k) = self.peek() {
+            if k.is_punct("}") {
+                return; // caller eats the brace
+            }
+            self.skip_attributes();
+            if self.eat_ident("pub") && self.at_punct("(") {
+                self.skip_parens();
+            }
+            let line = self.line();
+            let Some(field) = self.ident_text() else {
+                self.bump(); // resync on anything unexpected
+                continue;
+            };
+            self.bump();
+            if !self.eat_punct(":") {
+                continue;
+            }
+            let ty = self.type_text_until(&["}"]);
+            if !ty.is_empty() {
+                let name = match prefix {
+                    Some(p) => format!("{p}.{field}"),
+                    None => field,
+                };
+                fields.push(FieldItem { name, ty, line });
+            }
+            self.eat_punct(",");
+        }
+    }
+
+    /// Parses tuple-field types until `)`; the cursor is just past `(`.
+    /// Fields are named by index, or `variant.index` inside an enum.
+    fn parse_tuple_fields(&mut self, fields: &mut Vec<FieldItem>, variant: Option<&str>) {
+        let mut index = 0usize;
+        loop {
+            if self.eat_punct(")") || self.peek().is_none() {
+                return;
+            }
+            let line = self.line();
+            self.skip_attributes();
+            if self.eat_ident("pub") && self.at_punct("(") {
+                self.skip_parens();
+            }
+            let ty = self.type_text_until(&[]);
+            if !ty.is_empty() {
+                let name = match variant {
+                    Some(v) => format!("{v}.{index}"),
+                    None => index.to_string(),
+                };
+                fields.push(FieldItem { name, ty, line });
+                index += 1;
+            }
+            if !self.eat_punct(",") && !self.at_punct(")") {
+                self.bump(); // resync
+            }
+        }
+    }
+
+    /// Parses enum variants until `}`, flattening every variant payload
+    /// into the shared field list; the cursor is just past `{`.
+    fn parse_enum_variants(&mut self, fields: &mut Vec<FieldItem>) {
+        while let Some(k) = self.peek() {
+            if k.is_punct("}") {
+                return; // caller eats the brace
+            }
+            self.skip_attributes();
+            let Some(variant) = self.ident_text() else {
+                self.bump();
+                continue;
+            };
+            self.bump();
+            if self.at_punct("(") {
+                self.bump();
+                self.parse_tuple_fields(fields, Some(&variant));
+            } else if self.at_punct("{") {
+                self.bump();
+                self.parse_named_fields(fields, Some(&variant));
+                self.eat_punct("}");
+            } else if self.eat_punct("=") {
+                // Explicit discriminant: skip the expression.
+                let mut depth = 0usize;
+                while let Some(k) = self.peek() {
+                    if k.is_punct("(") || k.is_punct("[") || k.is_punct("{") {
+                        depth += 1;
+                    } else if k.is_punct(")") || k.is_punct("]") || k.is_punct("}") {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if k.is_punct(",") && depth == 0 {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            self.eat_punct(",");
         }
     }
 
@@ -1870,5 +2129,86 @@ mod tests {
         );
         assert!(call_names(find(&pf, "f").unwrap_or(&pf.fns[0])).contains(&"fallback".to_string()));
         assert!(call_names(find(&pf, "g").unwrap_or(&pf.fns[0])).contains(&"keep".to_string()));
+    }
+
+    #[test]
+    fn struct_fields_are_captured() {
+        let pf = parse(
+            "pub struct S {\n  pub a: BTreeMap<(u8, u32), TagState>,\n  b: Rc<RefCell<f64>>,\n}\n\
+             struct T(u8, Vec<f64>);\nstruct Unit;\n",
+        );
+        assert_eq!(pf.types.len(), 3);
+        let s = &pf.types[0];
+        assert!(s.is_pub);
+        assert_eq!(s.name, "S");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "a");
+        assert!(s.fields[0].ty.contains("TagState"), "{}", s.fields[0].ty);
+        assert!(s.fields[1].ty.contains("RefCell"), "{}", s.fields[1].ty);
+        let t = &pf.types[1];
+        assert_eq!(t.fields.len(), 2);
+        assert_eq!(t.fields[1].name, "1");
+        assert!(t.fields[1].ty.contains("Vec"), "{}", t.fields[1].ty);
+        assert!(pf.types[2].fields.is_empty());
+    }
+
+    #[test]
+    fn enum_variant_payloads_become_fields() {
+        let pf = parse(
+            "enum E {\n  A,\n  B(Rc<f64>, u8),\n  C { x: Cell<u32> },\n  D = 4,\n}\n\
+             fn after() {}\n",
+        );
+        assert_eq!(pf.types.len(), 1);
+        let e = &pf.types[0];
+        assert_eq!(e.name, "E");
+        let names: Vec<&str> = e.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["B.0", "B.1", "C.x"]);
+        assert!(e.fields[0].ty.contains("Rc"), "{}", e.fields[0].ty);
+        assert!(e.fields[2].ty.contains("Cell"), "{}", e.fields[2].ty);
+        // The parser resynchronised: the following fn is still seen.
+        assert!(find(&pf, "after").is_some());
+    }
+
+    #[test]
+    fn statics_are_captured_with_mutability() {
+        let pf = parse(
+            "static COUNT: u64 = 0;\npub static mut SCRATCH: [f64; 8] = [0.0; 8];\nfn f() {}\n",
+        );
+        assert_eq!(pf.statics.len(), 2);
+        assert_eq!(pf.statics[0].name, "COUNT");
+        assert!(!pf.statics[0].is_mut);
+        assert_eq!(pf.statics[1].name, "SCRATCH");
+        assert!(pf.statics[1].is_mut);
+        assert!(find(&pf, "f").is_some());
+    }
+
+    #[test]
+    fn generic_struct_with_where_clause_parses() {
+        let pf = parse("struct G<T: Clone> where T: Default {\n  inner: Vec<T>,\n}\nfn g() {}\n");
+        assert_eq!(pf.types.len(), 1);
+        assert_eq!(pf.types[0].fields.len(), 1);
+        assert_eq!(pf.types[0].fields[0].name, "inner");
+        assert!(find(&pf, "g").is_some());
+    }
+
+    #[test]
+    fn type_aliases_are_captured() {
+        let pf = parse(
+            "type Slab = Vec<((u8, u32), TagState)>;\n\
+             pub type Pair<T> = (T, T);\n\
+             trait Tr { type Output; }\n\
+             fn f() {}\n",
+        );
+        assert_eq!(pf.aliases.len(), 2, "{:?}", pf.aliases);
+        assert_eq!(pf.aliases[0].name, "Slab");
+        assert!(
+            pf.aliases[0].ty.contains("Vec") && pf.aliases[0].ty.contains("TagState"),
+            "{}",
+            pf.aliases[0].ty
+        );
+        assert_eq!(pf.aliases[1].name, "Pair");
+        // The bodiless associated type is not an alias, and items after
+        // the alias still parse.
+        assert!(find(&pf, "f").is_some());
     }
 }

@@ -1,0 +1,123 @@
+//! `hot-path-cost` — heap allocations and keyed lookups reachable from
+//! the configured ingest roots.
+//!
+//! The slab/SoA refactor needs the per-report path allocation-free and
+//! map-lookup-light; this rule turns [`crate::hotpath::inventory`] into
+//! ratcheted violations so new cost can never sneak onto the hot path
+//! unnoticed, and existing cost burns down monotonically. Each finding
+//! carries the witness call chain from its root, like `panic-reach`.
+//!
+//! A configured root that matches no workspace function is itself a
+//! violation (reported against `lint.toml`), so a rename cannot silently
+//! disable the pass.
+
+use crate::callgraph::Workspace;
+use crate::hotpath;
+use crate::report::{Severity, Violation};
+use crate::rules::SemanticRule;
+
+/// See the module docs.
+pub struct HotPathCost;
+
+impl SemanticRule for HotPathCost {
+    fn id(&self) -> &'static str {
+        "hot-path-cost"
+    }
+
+    fn description(&self) -> &'static str {
+        "heap allocation or keyed map lookup reachable from a hot ingest root"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let inv = hotpath::inventory(ws);
+        let mut violations = Vec::new();
+        for root in &inv.unmatched_roots {
+            violations.push(Violation {
+                rule: "hot-path-cost",
+                path: "lint.toml".to_string(),
+                line: 1,
+                message: format!("[hotpath] root `{root}` matches no workspace function"),
+            });
+        }
+        for site in &inv.sites {
+            violations.push(Violation {
+                rule: "hot-path-cost",
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "{} `{}` on hot path: {}",
+                    site.kind.human(),
+                    site.what,
+                    site.witness.join(" -> ")
+                ),
+            });
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, HotPathConfig};
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)], roots: &[&str]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
+        let config = Config {
+            lib_crates: vec!["tagbreathe".to_string()],
+            hotpath: HotPathConfig {
+                roots: roots.iter().map(|s| s.to_string()).collect(),
+                allow: Vec::new(),
+            },
+            ..Config::default()
+        };
+        let ws = Workspace::build(&sources, &config);
+        HotPathCost.check(&ws)
+    }
+
+    #[test]
+    fn no_roots_means_no_findings() {
+        let v = run(
+            &[(
+                "crates/tagbreathe/src/a.rs",
+                "pub fn f() { let _v: Vec<f64> = Vec::new(); }\n",
+            )],
+            &[],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn alloc_reachable_from_root_is_flagged_with_chain() {
+        let v = run(
+            &[(
+                "crates/tagbreathe/src/a.rs",
+                "struct S;\nimpl S {\n  pub fn push(&self) { self.inner(); }\n  fn inner(&self) { let _s = \"x\".to_string(); }\n}\n",
+            )],
+            &["S::push"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("S::push -> S::inner"),
+            "{}",
+            v[0].message
+        );
+        assert!(v[0].message.contains(".to_string()"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unmatched_root_is_a_config_violation() {
+        let v = run(
+            &[("crates/tagbreathe/src/a.rs", "pub fn f() {}\n")],
+            &["Ghost::push"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].path, "lint.toml");
+        assert!(v[0].message.contains("Ghost::push"), "{}", v[0].message);
+    }
+}

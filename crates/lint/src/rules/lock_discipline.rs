@@ -1,13 +1,19 @@
 //! `lock-discipline` — deadlock-prone use of `std::sync` guards.
 //!
-//! Two patterns are flagged, in non-test lib-crate code:
+//! Three patterns are flagged, in non-test lib-crate code:
 //!
 //! 1. **double-lock**: re-acquiring (`.lock()` / `.read()` / `.write()`)
 //!    a lock whose guard is still live on the same path — with `std::sync`
 //!    primitives that self-deadlocks (two `.read()`s are allowed);
 //! 2. **held-across-lock**: calling a function that (transitively)
 //!    acquires some lock while a guard is held — the classic ordering-
-//!    deadlock setup.
+//!    deadlock setup;
+//! 3. **order violation**: with a lock order declared in `lint.toml`
+//!    (`[locks] order = "coarse, …, fine"`, matched against the last
+//!    segment of each lock's access path), directly acquiring an
+//!    earlier-ranked lock while holding a later-ranked one. Locks not
+//!    named in the order are unconstrained, so adopting an order adds
+//!    no noise for unrelated guards.
 //!
 //! A lock is identified by the *access path* of the receiver
 //! (`self.ring`, `state`, …); receivers that are call results
@@ -70,6 +76,7 @@ impl SemanticRule for LockDiscipline {
             let Some(body) = &item.body else { continue };
             let mut checker = FnChecker {
                 locking_names: &locking_names,
+                lock_order: &ws.lock_order,
                 path: ws.path_of(i),
                 out: &mut violations,
             };
@@ -91,6 +98,7 @@ struct Guard {
 
 struct FnChecker<'a> {
     locking_names: &'a BTreeSet<&'a str>,
+    lock_order: &'a [String],
     path: &'a str,
     out: &'a mut Vec<Violation>,
 }
@@ -169,6 +177,7 @@ impl FnChecker<'_> {
                                 );
                             }
                         }
+                        self.check_order(&key, *line, guards);
                         return Some((key, method.clone(), *line));
                     }
                 }
@@ -269,6 +278,33 @@ impl FnChecker<'_> {
         }
     }
 
+    /// Pattern 3: acquiring `key` must respect the declared lock order
+    /// relative to every held guard. Unranked locks are unconstrained.
+    fn check_order(&mut self, key: &str, line: u32, guards: &[Guard]) {
+        let Some(new_rank) = rank_of(self.lock_order, key) else {
+            return;
+        };
+        for g in guards.iter() {
+            if g.key == key {
+                continue;
+            }
+            let Some(held_rank) = rank_of(self.lock_order, &g.key) else {
+                continue;
+            };
+            if new_rank < held_rank {
+                let (held_key, held_line) = (&g.key, g.line);
+                self.emit(
+                    line,
+                    format!(
+                        "acquiring `{key}` while `{held_key}` (line {held_line}) is held \
+                         violates the declared lock order ({})",
+                        self.lock_order.join(" before ")
+                    ),
+                );
+            }
+        }
+    }
+
     fn flag_locking_call(&mut self, callee: &str, line: u32, guards: &[Guard]) {
         if let Some(g) = guards.last() {
             let (key, held) = (&g.key, g.line);
@@ -311,6 +347,13 @@ fn guard_passthrough(method: &str) -> bool {
     matches!(method, "unwrap" | "expect" | "unwrap_or_else")
 }
 
+/// Position of a lock key in the declared order, matching the last
+/// segment of the access path (`self.ring` matches a declared `ring`).
+fn rank_of(order: &[String], key: &str) -> Option<usize> {
+    let last = key.rsplit('.').next().unwrap_or(key);
+    order.iter().position(|o| o == last)
+}
+
 /// Stable key for a lock access path: `self.ring`, `state`, `m`. Call
 /// results and indexed elements have no stable key (→ exempt).
 fn key_of(e: &Expr) -> Option<String> {
@@ -339,16 +382,21 @@ fn dropped_binding(e: &Expr) -> Option<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::UnitsConfig;
+    use crate::config::Config;
     use crate::source::SourceFile;
 
     fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        run_ordered(files, &[])
+    }
+
+    fn run_ordered(files: &[(&str, &str)], order: &[&str]) -> Vec<Violation> {
         let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
-        let ws = Workspace::build(
-            &sources,
-            &["dsp".to_string(), "obs".to_string()],
-            &UnitsConfig::default(),
-        );
+        let config = Config {
+            lib_crates: vec!["dsp".to_string(), "obs".to_string()],
+            lock_order: order.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        };
+        let ws = Workspace::build(&sources, &config);
         LockDiscipline.check(&ws)
     }
 
@@ -420,6 +468,46 @@ mod tests {
             "pub fn f() {\n  let out = std::io::stdout().lock();\n  let _ = out;\n}\n",
         )]);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn declared_order_violation_is_flagged() {
+        let src = "pub struct S { registry: std::sync::Mutex<i32>, ring: std::sync::Mutex<i32> }\n\
+             impl S {\n\
+               pub fn bad(&self) {\n    let g = self.ring.lock().unwrap();\n    let h = self.registry.lock().unwrap();\n    let _ = (g, h);\n  }\n\
+             }\n";
+        let v = run_ordered(&[("crates/obs/src/a.rs", src)], &["registry", "ring"]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("declared lock order"),
+            "{}",
+            v[0].message
+        );
+        assert!(
+            v[0].message.contains("registry before ring"),
+            "{}",
+            v[0].message
+        );
+        // Without a declared order the same code is silent (pattern 3 is
+        // opt-in) — but pattern 2 still sees nothing here since no call.
+        let silent = run(&[("crates/obs/src/a.rs", src)]);
+        assert!(silent.is_empty(), "{silent:?}");
+    }
+
+    #[test]
+    fn declared_order_respected_and_unranked_locks_unconstrained() {
+        let ok = run_ordered(
+            &[(
+                "crates/obs/src/a.rs",
+                "pub struct S { registry: std::sync::Mutex<i32>, ring: std::sync::Mutex<i32>, misc: std::sync::Mutex<i32> }\n\
+                 impl S {\n\
+                   pub fn good(&self) {\n    let g = self.registry.lock().unwrap();\n    let h = self.ring.lock().unwrap();\n    let _ = (g, h);\n  }\n\
+                   pub fn unranked(&self) {\n    let g = self.ring.lock().unwrap();\n    let h = self.misc.lock().unwrap();\n    let _ = (g, h);\n  }\n\
+                 }\n",
+            )],
+            &["registry", "ring"],
+        );
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

@@ -8,11 +8,14 @@
 mod allow_audit;
 mod doc_comment;
 mod float_eq;
+mod hot_path;
 mod lock_discipline;
 mod lossy_cast;
 mod must_use;
+mod nan_guard;
 mod panic_reach;
 mod panics;
+mod shard_safety;
 mod todo_tracker;
 mod unit_flow;
 
@@ -23,11 +26,14 @@ use crate::source::SourceFile;
 pub use allow_audit::AllowAudit;
 pub use doc_comment::DocComment;
 pub use float_eq::FloatEq;
+pub use hot_path::HotPathCost;
 pub use lock_discipline::LockDiscipline;
 pub use lossy_cast::LossyCast;
 pub use must_use::MissingMustUse;
+pub use nan_guard::NanGuard;
 pub use panic_reach::PanicReach;
 pub use panics::LibPanic;
+pub use shard_safety::ShardSafety;
 pub use todo_tracker::TodoTracker;
 pub use unit_flow::UnitDataflow;
 
@@ -82,6 +88,9 @@ pub fn semantic_rules() -> Vec<Box<dyn SemanticRule>> {
         Box::new(PanicReach),
         Box::new(UnitDataflow),
         Box::new(LockDiscipline),
+        Box::new(HotPathCost),
+        Box::new(ShardSafety),
+        Box::new(NanGuard),
     ]
 }
 

@@ -1,0 +1,309 @@
+//! `nan-guard` — unguarded float operations on signal-derived values.
+//!
+//! A NaN born in `dsp` or the quality/fusion layers silently poisons the
+//! Eq. 8 fusion weights (NaN propagates through every sum and compare
+//! downstream), so inside the `[nanguard] paths` prefixes this rule
+//! flags, per function:
+//!
+//! * **division** whose divisor is a plain variable or field that the
+//!   function never guards, and division by `x.len()` when `x` is not
+//!   emptiness-checked;
+//! * **`sqrt` / `ln` / `log10` / `log2` / `asin` / `acos`** on an
+//!   unguarded variable or field (negative or out-of-domain input yields
+//!   NaN).
+//!
+//! "Guarded" is purely local and syntactic: the name appears in any
+//! comparison (`d > 0.0`, `n != 0`), or as receiver of `abs`, `max`,
+//! `min`, `clamp`, `is_finite`, `is_nan`, `is_empty`, or the function
+//! early-returns on it some other recognisable way. `SCREAMING_CASE`
+//! names are treated as checked constants. The heuristic
+//! under-approximates guards, so the baseline absorbs reviewed sites.
+
+use crate::callgraph::Workspace;
+use crate::parser::{Block, Expr};
+use crate::report::{Severity, Violation};
+use crate::rules::SemanticRule;
+use std::collections::BTreeSet;
+
+/// See the module docs.
+pub struct NanGuard;
+
+/// Methods whose mathematical domain excludes part of the float line.
+const DOMAIN_METHODS: &[&str] = &["sqrt", "ln", "log10", "log2", "asin", "acos"];
+
+/// Comparison operators that establish a guard on their operand names.
+const CMP_OPS: &[&str] = &["<", "<=", ">", ">=", "==", "!="];
+
+/// Receiver methods that establish a guard on the receiver name.
+const GUARD_METHODS: &[&str] = &[
+    "abs",
+    "max",
+    "min",
+    "clamp",
+    "is_finite",
+    "is_nan",
+    "is_empty",
+    "signum",
+];
+
+impl SemanticRule for NanGuard {
+    fn id(&self) -> &'static str {
+        "nan-guard"
+    }
+
+    fn description(&self) -> &'static str {
+        "unguarded division or domain-limited float op on a signal-derived value"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for i in 0..ws.graph.nodes.len() {
+            let node = &ws.graph.nodes[i];
+            let path = ws.path_of(i);
+            if node.is_test
+                || !ws
+                    .nanguard
+                    .paths
+                    .iter()
+                    .any(|p| path.starts_with(p.as_str()))
+            {
+                continue;
+            }
+            let item = ws.item(i);
+            let Some(body) = &item.body else { continue };
+            let guarded = guarded_names(body);
+            body.visit(&mut |e| check_site(e, &guarded, path, &mut violations));
+        }
+        violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        violations
+    }
+}
+
+/// Names the function guards somewhere in its body (flow-insensitive).
+fn guarded_names(body: &Block) -> BTreeSet<String> {
+    let mut guarded = BTreeSet::new();
+    body.visit(&mut |e| match e {
+        Expr::Binary { op, lhs, rhs, .. } if CMP_OPS.contains(op) => {
+            collect_names(lhs, &mut guarded);
+            collect_names(rhs, &mut guarded);
+        }
+        Expr::MethodCall { recv, method, .. } if GUARD_METHODS.contains(&method.as_str()) => {
+            if let Some(name) = value_name(recv) {
+                guarded.insert(name);
+            }
+        }
+        Expr::Match { scrutinee, .. } => {
+            // Matching on a value (e.g. `match n { 0 => …, _ => … }`)
+            // counts as inspecting it.
+            if let Some(name) = value_name(scrutinee) {
+                guarded.insert(name);
+            }
+        }
+        _ => {}
+    });
+    guarded
+}
+
+/// Every plain variable/field name inside a guard expression.
+fn collect_names(e: &Expr, out: &mut BTreeSet<String>) {
+    e.visit(&mut |sub| {
+        if let Some(name) = value_name(sub) {
+            out.insert(name);
+        }
+    });
+}
+
+/// The stable name of a plain value: a single-segment path, a field
+/// access chain's full dotted form, or `x.len`.
+fn value_name(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => Some(segs[0].clone()),
+        Expr::Field { base, name, .. } => Some(format!("{}.{name}", value_name(base)?)),
+        Expr::Unary { expr, .. } | Expr::Try { expr, .. } | Expr::Cast { expr, .. } => {
+            value_name(expr)
+        }
+        Expr::MethodCall {
+            recv, method, args, ..
+        } if method == "len" && args.is_empty() => Some(format!("{}.len", value_name(recv)?)),
+        _ => None,
+    }
+}
+
+/// Checks one expression for an unguarded division or domain op.
+fn check_site(e: &Expr, guarded: &BTreeSet<String>, path: &str, out: &mut Vec<Violation>) {
+    match e {
+        Expr::Binary {
+            op: "/", rhs, line, ..
+        } => {
+            if let Some(name) = flaggable_name(rhs, guarded) {
+                out.push(Violation {
+                    rule: "nan-guard",
+                    path: path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "division by `{name}` without a zero/emptiness guard — a NaN here \
+                         corrupts the downstream fusion weights"
+                    ),
+                });
+            }
+        }
+        Expr::MethodCall {
+            recv,
+            method,
+            args,
+            line,
+        } if DOMAIN_METHODS.contains(&method.as_str()) && args.is_empty() => {
+            if let Some(name) = flaggable_name(recv, guarded) {
+                out.push(Violation {
+                    rule: "nan-guard",
+                    path: path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "`.{method}()` on unguarded `{name}` — out-of-domain input yields NaN"
+                    ),
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The name to flag, when the operand is a plain unguarded value.
+/// Literals, guarded names, checked constants and compound expressions
+/// are exempt (compound divisors are beyond a syntactic rule).
+fn flaggable_name(e: &Expr, guarded: &BTreeSet<String>) -> Option<String> {
+    let name = value_name(e)?;
+    let is_const = name
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+    if is_const || guarded.contains(&name) {
+        return None;
+    }
+    // `x.len` divisors are fine when `x` was emptiness/length-checked.
+    if let Some(base) = name.strip_suffix(".len") {
+        if guarded.contains(base) {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, NanGuardConfig};
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)], paths: &[&str]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
+        let config = Config {
+            lib_crates: vec!["dsp".to_string(), "tagbreathe".to_string()],
+            nanguard: NanGuardConfig {
+                paths: paths.iter().map(|s| s.to_string()).collect(),
+            },
+            ..Config::default()
+        };
+        let ws = Workspace::build(&sources, &config);
+        NanGuard.check(&ws)
+    }
+
+    #[test]
+    fn unguarded_division_is_flagged() {
+        let v = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "pub fn f(total: f64, n: f64) -> f64 { total / n }\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`n`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn compared_divisor_is_guarded() {
+        let v = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "pub fn f(total: f64, n: f64) -> f64 {\n  if n <= 0.0 { return 0.0; }\n  total / n\n}\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sqrt_on_unguarded_value_is_flagged_but_abs_guards() {
+        let bad = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "pub fn f(variance: f64) -> f64 { variance.sqrt() }\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("sqrt"), "{}", bad[0].message);
+        let ok = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "pub fn f(variance: f64) -> f64 { variance.abs().sqrt() }\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn len_divisor_needs_emptiness_check() {
+        let bad = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "pub fn mean(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() / xs.len() as f64 }\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        let ok = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "pub fn mean(xs: &[f64]) -> f64 {\n  if xs.is_empty() { return 0.0; }\n  xs.iter().sum::<f64>() / xs.len() as f64\n}\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn paths_outside_config_and_tests_are_exempt() {
+        let v = run(
+            &[
+                (
+                    "crates/rfchannel/src/a.rs",
+                    "pub fn f(a: f64, b: f64) -> f64 { a / b }\n",
+                ),
+                (
+                    "crates/dsp/tests/t.rs",
+                    "fn f(a: f64, b: f64) -> f64 { a / b }\n",
+                ),
+            ],
+            &["crates/dsp"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn literal_and_constant_divisors_are_exempt() {
+        let v = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "const SCALE: f64 = 4.0;\npub fn f(a: f64) -> f64 { a / 2.0 + a / SCALE }\n",
+            )],
+            &["crates/dsp"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -155,16 +155,16 @@ fn macro_panics(name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::UnitsConfig;
+    use crate::config::Config;
     use crate::source::SourceFile;
 
     fn run(files: &[(&str, &str)]) -> Vec<Violation> {
         let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
-        let ws = Workspace::build(
-            &sources,
-            &["dsp".to_string(), "tagbreathe".to_string()],
-            &UnitsConfig::default(),
-        );
+        let config = Config {
+            lib_crates: vec!["dsp".to_string(), "tagbreathe".to_string()],
+            ..Config::default()
+        };
+        let ws = Workspace::build(&sources, &config);
         PanicReach.check(&ws)
     }
 

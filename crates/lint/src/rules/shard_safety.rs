@@ -1,0 +1,344 @@
+//! `shard-safety` — state that defeats hash-partitioning users across
+//! worker shards.
+//!
+//! The planned fleet engine moves each `UserStreamState` onto one of N
+//! workers, which is only sound if (1) no mutable global aliases state
+//! across shards, (2) the lib-crate public API does not hand out
+//! single-threaded shared-ownership handles, and (3) nothing reachable
+//! from a shard-root type holds a non-`Send`-pattern type. Three
+//! syntactic checks, all in non-test lib-crate code:
+//!
+//! 1. **mutable statics**: any `static mut` item;
+//! 2. **escaping interior mutability**: `Rc`/`RefCell`/`Cell`/
+//!    `UnsafeCell` or raw pointers in a `pub fn` signature;
+//! 3. **root closure**: the field-type closure of each `[shard] roots`
+//!    type (following capitalised words through generics, so
+//!    `BTreeMap<(u8, u32), TagState>` reaches `TagState`) must be free
+//!    of those same types — findings carry the type-path witness.
+//!
+//! Like `hot-path-cost`, a root type that matches nothing is reported
+//! against `lint.toml` so renames fail loudly.
+
+use crate::callgraph::Workspace;
+use crate::report::{Severity, Violation};
+use crate::rules::SemanticRule;
+use std::collections::{BTreeMap, VecDeque};
+
+/// See the module docs.
+pub struct ShardSafety;
+
+/// Type names that are single-threaded shared ownership / interior
+/// mutability — the non-`Send` pattern the fleet engine must not see.
+const UNSEND_TYPES: &[&str] = &["Rc", "RefCell", "Cell", "UnsafeCell"];
+
+impl SemanticRule for ShardSafety {
+    fn id(&self) -> &'static str {
+        "shard-safety"
+    }
+
+    fn description(&self) -> &'static str {
+        "mutable static, or single-threaded shared state in pub APIs / shard-root closure"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        check_statics(ws, &mut violations);
+        check_pub_signatures(ws, &mut violations);
+        check_root_closure(ws, &mut violations);
+        violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        violations
+    }
+}
+
+fn emit(out: &mut Vec<Violation>, path: &str, line: u32, message: String) {
+    out.push(Violation {
+        rule: "shard-safety",
+        path: path.to_string(),
+        line,
+        message,
+    });
+}
+
+/// Rule 1: `static mut` in non-test lib-crate code.
+fn check_statics(ws: &Workspace, out: &mut Vec<Violation>) {
+    for file in &ws.files {
+        if !ws.lib_crates.contains(&file.crate_name) || file.test_only {
+            continue;
+        }
+        for s in &file.parsed.statics {
+            if s.is_mut && !s.is_test {
+                emit(
+                    out,
+                    &file.rel_path,
+                    s.line,
+                    format!(
+                        "mutable static `{}` — globals alias state across worker shards",
+                        s.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 2: non-`Send`-pattern types in pub fn signatures of lib crates.
+fn check_pub_signatures(ws: &Workspace, out: &mut Vec<Violation>) {
+    let aliases = ws.alias_map();
+    for i in 0..ws.graph.nodes.len() {
+        let node = &ws.graph.nodes[i];
+        if node.is_test || !ws.in_lib_crate(i) {
+            continue;
+        }
+        let item = ws.item(i);
+        if !item.is_pub {
+            continue;
+        }
+        let label = ws.label(i);
+        for p in &item.params {
+            if let Some(bad) = unsend_word(&ws.expand_aliases(&p.ty, &aliases)) {
+                emit(
+                    out,
+                    ws.path_of(i),
+                    item.line,
+                    format!(
+                        "pub fn `{label}` takes `{bad}` — single-threaded shared ownership \
+                         escaping the crate API"
+                    ),
+                );
+            }
+        }
+        if let Some(ret) = &item.ret_type {
+            if let Some(bad) = unsend_word(&ws.expand_aliases(ret, &aliases)) {
+                emit(
+                    out,
+                    ws.path_of(i),
+                    item.line,
+                    format!(
+                        "pub fn `{label}` returns `{bad}` — single-threaded shared ownership \
+                         escaping the crate API"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3: field-type closure of the configured shard roots.
+fn check_root_closure(ws: &Workspace, out: &mut Vec<Violation>) {
+    // Index workspace-defined types by name (non-test definitions only).
+    let mut index: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (ti, t) in file.parsed.types.iter().enumerate() {
+            if !t.is_test && !file.test_only {
+                index.entry(&t.name).or_default().push((fi, ti));
+            }
+        }
+    }
+    let aliases = ws.alias_map();
+    // BFS over field-type references, tracking the type-path witness.
+    let mut seen: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for root in &ws.shard.roots {
+        if !index.contains_key(root.as_str()) {
+            emit(
+                out,
+                "lint.toml",
+                1,
+                format!("[shard] root type `{root}` is not defined in the workspace"),
+            );
+            continue;
+        }
+        seen.entry(root.clone()).or_insert(vec![root.clone()]);
+        queue.push_back(root.clone());
+    }
+    while let Some(name) = queue.pop_front() {
+        let chain = seen[&name].clone();
+        let Some(defs) = index.get(name.as_str()) else {
+            continue;
+        };
+        for &(fi, ti) in defs {
+            let file = &ws.files[fi];
+            let ty = &file.parsed.types[ti];
+            for field in &ty.fields {
+                let field_ty = ws.expand_aliases(&field.ty, &aliases);
+                if let Some(bad) = unsend_word(&field_ty) {
+                    emit(
+                        out,
+                        &file.rel_path,
+                        field.line,
+                        format!(
+                            "field `{}.{}` holds `{bad}` — not shard-safe, reachable as {}",
+                            ty.name,
+                            field.name,
+                            chain.join(" -> ")
+                        ),
+                    );
+                }
+                for word in field_ty.split_whitespace() {
+                    let is_type_word = word.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                        && index.contains_key(word);
+                    if is_type_word && !seen.contains_key(word) {
+                        let mut next = chain.clone();
+                        next.push(word.to_string());
+                        seen.insert(word.to_string(), next);
+                        queue.push_back(word.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The first non-`Send`-pattern word of a flat type string: one of
+/// [`UNSEND_TYPES`] or a raw-pointer `* mut` / `* const` pair.
+fn unsend_word(ty: &str) -> Option<String> {
+    let words: Vec<&str> = ty.split_whitespace().collect();
+    for (i, w) in words.iter().enumerate() {
+        if UNSEND_TYPES.contains(w) {
+            return Some((*w).to_string());
+        }
+        if *w == "*" {
+            if let Some(next) = words.get(i + 1) {
+                if *next == "mut" || *next == "const" {
+                    return Some(format!("*{next}"));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, ShardConfig};
+    use crate::source::SourceFile;
+
+    fn run(files: &[(&str, &str)], roots: &[&str]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
+        let config = Config {
+            lib_crates: vec!["tagbreathe".to_string(), "dsp".to_string()],
+            shard: ShardConfig {
+                roots: roots.iter().map(|s| s.to_string()).collect(),
+            },
+            ..Config::default()
+        };
+        let ws = Workspace::build(&sources, &config);
+        ShardSafety.check(&ws)
+    }
+
+    #[test]
+    fn mutable_static_is_flagged() {
+        let v = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "static mut SCRATCH: [f64; 4] = [0.0; 4];\n",
+            )],
+            &[],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`SCRATCH`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn immutable_static_and_non_lib_crate_are_exempt() {
+        let ok = run(
+            &[
+                ("crates/dsp/src/a.rs", "static N: u32 = 4;\n"),
+                ("crates/bench/src/b.rs", "static mut SCRATCH: u32 = 0;\n"),
+            ],
+            &[],
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn rc_in_pub_signature_is_flagged() {
+        let v = run(
+            &[(
+                "crates/dsp/src/a.rs",
+                "/// Doc.\npub fn share(x: std::rc::Rc<f64>) -> f64 { *x }\n\
+                 /// Doc.\npub fn cellar() -> std::cell::RefCell<f64> { std::cell::RefCell::new(0.0) }\n\
+                 fn private(_x: std::rc::Rc<f64>) {}\n",
+            )],
+            &[],
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("takes `Rc`"), "{}", v[0].message);
+        assert!(
+            v[1].message.contains("returns `RefCell`"),
+            "{}",
+            v[1].message
+        );
+    }
+
+    #[test]
+    fn root_closure_follows_field_types_with_witness() {
+        let v = run(
+            &[(
+                "crates/tagbreathe/src/a.rs",
+                "pub struct Root { tags: std::collections::BTreeMap<u8, Mid> }\n\
+                 struct Mid { inner: Leaf }\n\
+                 struct Leaf { cache: std::rc::Rc<f64> }\n",
+            )],
+            &["Root"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("Root -> Mid -> Leaf"),
+            "{}",
+            v[0].message
+        );
+        assert!(v[0].message.contains("`Rc`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn clean_root_closure_passes_and_missing_root_is_flagged() {
+        let ok = run(
+            &[(
+                "crates/tagbreathe/src/a.rs",
+                "pub struct Root { tags: Vec<f64> }\n",
+            )],
+            &["Root"],
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let missing = run(
+            &[("crates/tagbreathe/src/a.rs", "pub struct Root;\n")],
+            &["Ghost"],
+        );
+        assert_eq!(missing.len(), 1, "{missing:?}");
+        assert_eq!(missing[0].path, "lint.toml");
+    }
+
+    #[test]
+    fn closure_follows_type_aliases() {
+        let v = run(
+            &[(
+                "crates/tagbreathe/src/a.rs",
+                "type Slab = Vec<(u32, Leaf)>;\n\
+                 pub struct Root { slots: Slab }\n\
+                 struct Leaf { cache: std::rc::Rc<f64> }\n",
+            )],
+            &["Root"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Root -> Leaf"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn raw_pointer_field_is_flagged() {
+        let v = run(
+            &[(
+                "crates/tagbreathe/src/a.rs",
+                "pub struct Root { p: *mut f64 }\n",
+            )],
+            &["Root"],
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`*mut`"), "{}", v[0].message);
+    }
+}

@@ -476,11 +476,12 @@ mod tests {
 
     fn run_with(files: &[(&str, &str)], units: UnitsConfig) -> Vec<Violation> {
         let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
-        let ws = Workspace::build(
-            &sources,
-            &["dsp".to_string(), "tagbreathe".to_string()],
-            &units,
-        );
+        let config = crate::config::Config {
+            lib_crates: vec!["dsp".to_string(), "tagbreathe".to_string()],
+            units,
+            ..crate::config::Config::default()
+        };
+        let ws = Workspace::build(&sources, &config);
         UnitDataflow.check(&ws)
     }
 

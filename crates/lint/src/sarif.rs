@@ -79,7 +79,7 @@ fn level(s: Severity) -> &'static str {
 }
 
 /// Encodes a string as a JSON string literal (RFC 8259 escaping).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

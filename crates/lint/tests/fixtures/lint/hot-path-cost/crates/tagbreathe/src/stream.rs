@@ -1,0 +1,30 @@
+//! Fixture: heap allocation and keyed lookups on the configured hot path.
+
+use std::collections::BTreeMap;
+
+/// Per-tag ingest state.
+pub struct Ingest {
+    counts: BTreeMap<u32, u64>,
+    scratch: Vec<f64>,
+}
+
+impl Ingest {
+    /// Hot per-report entry point.
+    pub fn push(&mut self, tag: u32, v: f64) {
+        let slot = self.counts.entry(tag).or_insert(0);
+        *slot += 1;
+        self.scratch.push(v);
+        let label = format!("tag-{tag}");
+        self.audit(label);
+        self.reset();
+    }
+
+    fn audit(&self, label: String) {
+        drop(label);
+    }
+
+    /// Cold, allow-listed: the fixture expects no finding here.
+    fn reset(&mut self) {
+        self.scratch = Vec::new();
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: unguarded division and domain calls on signal-derived values.
+
+/// Fraction of spectrum energy inside the breathing band.
+#[must_use]
+pub fn band_fraction(band_energy: f64, total_energy: f64) -> f64 {
+    band_energy / total_energy
+}
+
+/// Log-power of one bin.
+#[must_use]
+pub fn log_power(power: f64) -> f64 {
+    power.ln()
+}
+
+/// Guarded division: the fixture expects no finding here.
+#[must_use]
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: shard-unsafe state reachable from the configured shard root.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+static mut SCRATCH: u64 = 0;
+
+/// Shard root: one of these per monitored user.
+pub struct UserState {
+    window: WindowState,
+}
+
+struct WindowState {
+    cache: Rc<RefCell<Vec<f64>>>,
+}
+
+/// Hands single-threaded shared ownership out of the crate.
+pub fn share(state: &UserState) -> Rc<RefCell<Vec<f64>>> {
+    state.window.cache.clone()
+}

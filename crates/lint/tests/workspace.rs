@@ -112,7 +112,17 @@ fn semantic_error_rules_are_registered() {
         .iter()
         .map(|r| r.id())
         .collect();
-    assert_eq!(ids, vec!["panic-reach", "unit-dataflow", "lock-discipline"]);
+    assert_eq!(
+        ids,
+        vec![
+            "panic-reach",
+            "unit-dataflow",
+            "lock-discipline",
+            "hot-path-cost",
+            "shard-safety",
+            "nan-guard"
+        ]
+    );
     for rule in tagbreathe_lint::rules::semantic_rules() {
         assert_eq!(rule.default_severity(), Severity::Error, "{}", rule.id());
     }

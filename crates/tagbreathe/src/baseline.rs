@@ -154,19 +154,21 @@ mod tests {
     }
 
     #[test]
-    fn rssi_baseline_tracks_breathing_in_ideal_conditions() {
+    fn rssi_baseline_tracks_breathing_in_ideal_conditions() -> Result<(), Box<dyn std::error::Error>>
+    {
         // Close range, strong signal: the sub-stream median should land at
         // 10 bpm or its harmonic-ambiguous double — the paper's Figure 2
         // observation that RSSI is informative but imprecise.
         let reports = capture(1.0, 90.0);
         let cfg = PipelineConfig::paper_default();
         let rates = rssi_rates(&reports, &EmbeddedIdentity::new([1]), &cfg);
-        let bpm = rates[&1].expect("strong-signal RSSI estimate");
+        let bpm = rates[&1].ok_or("strong-signal RSSI estimate missing")?;
         let ratio = bpm / 10.0;
         assert!(
             (0.8..=1.3).contains(&ratio) || (1.8..=2.2).contains(&ratio),
             "RSSI baseline got {bpm} bpm"
         );
+        Ok(())
     }
 
     #[test]
@@ -196,7 +198,7 @@ mod tests {
         let cfg = PipelineConfig::paper_default();
         let rates = rssi_rates(&reports, &EmbeddedIdentity::new([1]), &cfg);
         for (_, r) in rates {
-            assert!(r.is_none() || r.unwrap().is_finite());
+            assert!(r.is_none_or(f64::is_finite));
         }
     }
 

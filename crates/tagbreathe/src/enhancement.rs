@@ -11,7 +11,7 @@
 //! suppress an estimate.
 
 use crate::baseline::{doppler_rates, rssi_rates};
-use crate::config::PipelineConfig;
+use crate::config::{InvalidConfigError, PipelineConfig};
 use crate::monitor::BreathMonitor;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
@@ -55,18 +55,19 @@ fn rates_match(a: f64, b: f64) -> bool {
 /// Runs the phase pipeline plus both baselines and cross-validates.
 ///
 /// Users whose phase analysis fails are absent from the result (there is
-/// nothing to corroborate).
+/// nothing to corroborate). An invalid `config` is reported rather than
+/// panicking so callers can surface it.
 pub fn enhanced_estimates<R: IdentityResolver>(
     reports: &[TagReport],
     resolver: &R,
     config: &PipelineConfig,
-) -> BTreeMap<u64, EnhancedEstimate> {
-    let monitor = BreathMonitor::new(config.clone()).expect("validated configuration");
+) -> Result<BTreeMap<u64, EnhancedEstimate>, InvalidConfigError> {
+    let monitor = BreathMonitor::new(config.clone())?;
     let analysis = monitor.analyze(reports, resolver);
     let rssi = rssi_rates(reports, resolver, config);
     let doppler = doppler_rates(reports, resolver, config);
 
-    analysis
+    Ok(analysis
         .successes()
         .filter_map(|(id, user)| {
             let phase_bpm = user.mean_rate_bpm()?;
@@ -83,7 +84,7 @@ pub fn enhanced_estimates<R: IdentityResolver>(
                 },
             ))
         })
-        .collect()
+        .collect())
 }
 
 fn judge(phase: f64, rssi: Option<f64>, doppler: Option<f64>) -> Agreement {
@@ -136,24 +137,26 @@ mod tests {
     }
 
     #[test]
-    fn strong_scenario_is_corroborated_or_unverified() {
+    fn strong_scenario_is_corroborated_or_unverified() -> Result<(), InvalidConfigError> {
         let scenario = Scenario::builder()
             .subject(Subject::paper_default(1, 1.5))
             .build();
         let reports = Reader::paper_default().run(&ScenarioWorld::new(scenario), 90.0);
         let cfg = PipelineConfig::paper_default();
-        let out = enhanced_estimates(&reports, &EmbeddedIdentity::new([1]), &cfg);
+        let out = enhanced_estimates(&reports, &EmbeddedIdentity::new([1]), &cfg)?;
         let e = out[&1];
         assert!((e.phase_bpm - 10.0).abs() < 1.0, "phase {}", e.phase_bpm);
         // At close range RSSI usually produces a supporting estimate.
         assert_ne!(e.agreement, Agreement::Contradicted, "{e:?}");
+        Ok(())
     }
 
     #[test]
-    fn empty_reports_produce_empty_map() {
+    fn empty_reports_produce_empty_map() -> Result<(), InvalidConfigError> {
         let cfg = PipelineConfig::paper_default();
-        let out = enhanced_estimates(&[], &EmbeddedIdentity::new([1]), &cfg);
+        let out = enhanced_estimates(&[], &EmbeddedIdentity::new([1]), &cfg)?;
         assert!(out.is_empty());
+        Ok(())
     }
 
     #[test]

@@ -63,6 +63,16 @@ use obs::trace::{NoopTracer, TraceEvent, Tracer};
 use obs::{NoopRecorder, Recorder};
 use std::collections::BTreeMap;
 
+/// The per-tag slab: slots sorted by `(antenna_port, tag_id)` so
+/// iteration order (and therefore float summation order) matches the
+/// `BTreeMap` this replaced. Lookup is a binary search behind a
+/// last-hit hint — reader traces revisit the same tag in bursts, so the
+/// per-report path is usually a single key compare.
+type TagSlab = Vec<((u8, u32), TagState)>;
+
+/// Per-port fusion accumulators, sorted by port (a handful of entries).
+type PortSlab = Vec<(u8, FusionAccumulator)>;
+
 /// Running read statistics of one `(antenna_port, tag_id)` stream — the
 /// incremental counterpart of [`TagStream`](crate::demux::TagStream)'s
 /// statistics, used for the paper's antenna-quality rule (Section IV-D.3).
@@ -175,11 +185,25 @@ pub struct UserSnapshot {
 /// to floating-point summation order inside fusion bins.
 #[derive(Debug, Clone, Default)]
 pub struct UserStreamState {
-    tags: BTreeMap<(u8, u32), TagState>,
+    tags: TagSlab,
+    /// Hint: slab index of the last slot touched by `push_traced`.
+    last_tag: usize,
     /// Per-port fusion accumulators (the `BestPort` layout).
-    per_port: BTreeMap<u8, FusionAccumulator>,
+    per_port: PortSlab,
     /// Single cross-port accumulator (the `MergeAll` layout).
     merged: Option<FusionAccumulator>,
+}
+
+/// Cold path: first report of a `(antenna_port, tag_id)` key allocates
+/// its slot — amortised once per tag, off the per-report path.
+fn admit_tag(tags: &mut TagSlab, at: usize, key: (u8, u32), kind: PreprocessKind) {
+    tags.insert(at, (key, TagState::new(kind)));
+}
+
+/// Cold path: first Eq. (3) increment on a port allocates its fusion
+/// accumulator — amortised once per antenna port.
+fn admit_port(per_port: &mut PortSlab, at: usize, port: u8, bin_s: f64) {
+    per_port.insert(at, (port, FusionAccumulator::new(bin_s)));
 }
 
 impl UserStreamState {
@@ -239,19 +263,48 @@ impl UserStreamState {
         if on {
             rec.count(metrics::GRAPH_REPORTS, 1);
         }
-        let state = self
-            .tags
-            .entry((report.antenna_port, tag_id))
-            .or_insert_with(|| TagState::new(config.preprocess));
+        // Hot slot lookup: last-hit hint, then its successor (readers
+        // interrogate a user's tags in bursts or round-robin, and
+        // round-robin walks the sorted slab in order), then the search.
+        let key = (report.antenna_port, tag_id);
+        let succ = self.last_tag.wrapping_add(1);
+        if self.tags.get(self.last_tag).is_none_or(|(k, _)| *k != key) {
+            if self.tags.get(succ).is_some_and(|(k, _)| *k == key) {
+                self.last_tag = succ;
+            } else {
+                self.last_tag = match self.tags.binary_search_by_key(&key, |slot| slot.0) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        admit_tag(&mut self.tags, i, key, config.preprocess);
+                        i
+                    }
+                };
+            }
+        }
+        let state = &mut self.tags[self.last_tag].1;
         state.stat.observe(report);
         match &mut state.pre {
             Preprocessor::Increments(unwrapper) => {
                 if let Some(sample) = unwrapper.push(report, &config.plan, config.max_phase_gap_s) {
                     let acc = match config.antenna {
-                        AntennaStrategy::BestPort => self
-                            .per_port
-                            .entry(report.antenna_port)
-                            .or_insert_with(|| FusionAccumulator::new(config.fusion_bin_s)),
+                        AntennaStrategy::BestPort => {
+                            let at = match self
+                                .per_port
+                                .binary_search_by_key(&report.antenna_port, |slot| slot.0)
+                            {
+                                Ok(i) => i,
+                                Err(i) => {
+                                    admit_port(
+                                        &mut self.per_port,
+                                        i,
+                                        report.antenna_port,
+                                        config.fusion_bin_s,
+                                    );
+                                    i
+                                }
+                            };
+                            &mut self.per_port[at].1
+                        }
                         AntennaStrategy::MergeAll => self
                             .merged
                             .get_or_insert_with(|| FusionAccumulator::new(config.fusion_bin_s)),
@@ -299,8 +352,8 @@ impl UserStreamState {
     /// [`UserStreams::best_antenna`](crate::demux::UserStreams::best_antenna).
     pub fn best_antenna(&self) -> Option<u8> {
         let mut ports: BTreeMap<u8, (f64, f64, usize)> = BTreeMap::new();
-        for (&(port, _), tag) in &self.tags {
-            let entry = ports.entry(port).or_insert((0.0, 0.0, 0));
+        for ((port, _), tag) in &self.tags {
+            let entry = ports.entry(*port).or_insert((0.0, 0.0, 0));
             if let Some(rate) = tag.stat.mean_rate_hz() {
                 entry.0 += rate;
             }
@@ -333,13 +386,19 @@ impl UserStreamState {
         let selected: Vec<&TagState> = self
             .tags
             .iter()
-            .filter(|(&(p, _), _)| matches!(config.antenna, AntennaStrategy::MergeAll) || p == port)
+            .filter(|((p, _), _)| matches!(config.antenna, AntennaStrategy::MergeAll) || *p == port)
             .map(|(_, t)| t)
             .collect();
         let report_count = selected.iter().map(|t| t.stat.count()).sum();
         let displacement = match config.preprocess {
             PreprocessKind::IncrementBinning => match config.antenna {
-                AntennaStrategy::BestPort => self.per_port.get(&port)?.trajectory()?,
+                AntennaStrategy::BestPort => {
+                    let at = self
+                        .per_port
+                        .binary_search_by_key(&port, |slot| slot.0)
+                        .ok()?;
+                    self.per_port[at].1.trajectory()?
+                }
                 AntennaStrategy::MergeAll => self.merged.as_ref()?.trajectory()?,
             },
             PreprocessKind::ChannelTrackMerge => {
@@ -384,14 +443,14 @@ impl UserStreamState {
             (0, 0)
         };
         let cutoff = watermark_s - window_s;
-        for acc in self.per_port.values_mut() {
+        for (_, acc) in &mut self.per_port {
             acc.evict_before(cutoff);
         }
         if let Some(acc) = &mut self.merged {
             acc.evict_before(cutoff);
         }
         let horizon = window_s.max(config.max_phase_gap_s);
-        self.tags.retain(|_, tag| {
+        self.tags.retain_mut(|(_, tag)| {
             match &mut tag.pre {
                 Preprocessor::Increments(unwrapper) => {
                     unwrapper.evict_stale(watermark_s, config.max_phase_gap_s);
@@ -403,6 +462,9 @@ impl UserStreamState {
             }
             watermark_s - tag.stat.last_seen_s() <= horizon
         });
+        // Slots may have shifted; the hint re-validates by key compare,
+        // but point it off the slab so the next push takes the search.
+        self.last_tag = usize::MAX;
         if on {
             let bins_evicted = bins_before.saturating_sub(self.fusion_bin_count());
             if bins_evicted > 0 {
@@ -418,8 +480,8 @@ impl UserStreamState {
     /// Number of live Δt fusion bins across all accumulators.
     fn fusion_bin_count(&self) -> usize {
         self.per_port
-            .values()
-            .map(FusionAccumulator::len)
+            .iter()
+            .map(|(_, acc)| acc.len())
             .sum::<usize>()
             + self.merged.as_ref().map_or(0, FusionAccumulator::len)
     }
@@ -440,8 +502,8 @@ impl UserStreamState {
     pub fn state_cells(&self) -> usize {
         let tag_cells: usize = self
             .tags
-            .values()
-            .map(|t| {
+            .iter()
+            .map(|(_, t)| {
                 1 + match &t.pre {
                     Preprocessor::Increments(u) => u.tracked_channels(),
                     Preprocessor::Tracks(a) => a.tracked_channels() + a.sample_count(),

@@ -170,10 +170,13 @@ mod tests {
     use crate::rate::estimate_rate;
     use std::f64::consts::PI;
 
-    fn series(f: impl Fn(f64) -> f64, secs: f64) -> TimeSeries {
+    fn series(
+        f: impl Fn(f64) -> f64,
+        secs: f64,
+    ) -> Result<TimeSeries, crate::series::InvalidSeriesError> {
         let dt = 1.0 / 16.0;
         let n = (secs / dt) as usize;
-        TimeSeries::new(0.0, dt, (0..n).map(|i| f(i as f64 * dt)).collect()).unwrap()
+        TimeSeries::new(0.0, dt, (0..n).map(|i| f(i as f64 * dt)).collect())
     }
 
     fn analyze(signal: &TimeSeries) -> PatternAnalysis {
@@ -182,8 +185,8 @@ mod tests {
     }
 
     #[test]
-    fn regular_sine_classifies_regular() {
-        let s = series(|t| (2.0 * PI * 0.2 * t).sin(), 120.0);
+    fn regular_sine_classifies_regular() -> Result<(), Box<dyn std::error::Error>> {
+        let s = series(|t| (2.0 * PI * 0.2 * t).sin(), 120.0)?;
         let p = analyze(&s);
         assert!(p.breaths.len() >= 20, "{} breaths", p.breaths.len());
         assert_eq!(p.class, PatternClass::Regular);
@@ -193,17 +196,19 @@ mod tests {
             assert!((b.duration_s() - 5.0).abs() < 0.3);
             assert!((b.depth - 2.0).abs() < 0.1);
         }
+        Ok(())
     }
 
     #[test]
-    fn depth_is_proportional_to_amplitude() {
-        let small = analyze(&series(|t| 0.5 * (2.0 * PI * 0.2 * t).sin(), 60.0));
-        let large = analyze(&series(|t| 2.0 * (2.0 * PI * 0.2 * t).sin(), 60.0));
+    fn depth_is_proportional_to_amplitude() -> Result<(), Box<dyn std::error::Error>> {
+        let small = analyze(&series(|t| 0.5 * (2.0 * PI * 0.2 * t).sin(), 60.0)?);
+        let large = analyze(&series(|t| 2.0 * (2.0 * PI * 0.2 * t).sin(), 60.0)?);
         assert!((large.mean_depth / small.mean_depth - 4.0).abs() < 0.2);
+        Ok(())
     }
 
     #[test]
-    fn varying_rate_classifies_irregular_rate() {
+    fn varying_rate_classifies_irregular_rate() -> Result<(), Box<dyn std::error::Error>> {
         // Rate alternates 8 and 20 bpm in 15 s blocks with continuous phase.
         let mut phase = 0.0;
         let dt = 1.0 / 16.0;
@@ -218,7 +223,7 @@ mod tests {
             phase += 2.0 * PI * f * dt;
             values.push(phase.sin());
         }
-        let s = TimeSeries::new(0.0, dt, values).unwrap();
+        let s = TimeSeries::new(0.0, dt, values)?;
         let p = analyze(&s);
         assert_eq!(
             p.class,
@@ -226,10 +231,12 @@ mod tests {
             "rate CV {}",
             p.rate_cv
         );
+        Ok(())
     }
 
     #[test]
-    fn cheyne_stokes_like_envelope_classifies_irregular_depth() {
+    fn cheyne_stokes_like_envelope_classifies_irregular_depth(
+    ) -> Result<(), Box<dyn std::error::Error>> {
         // Constant rate, amplitude swept 0.2..1.8 over 30 s cycles.
         let s = series(
             |t| {
@@ -237,25 +244,28 @@ mod tests {
                 env * (2.0 * PI * 0.25 * t).sin()
             },
             120.0,
-        );
+        )?;
         let p = analyze(&s);
         assert!(p.depth_cv > 0.3, "depth CV {}", p.depth_cv);
         assert_ne!(p.class, PatternClass::Regular);
+        Ok(())
     }
 
     #[test]
-    fn too_short_is_indeterminate() {
-        let s = series(|t| (2.0 * PI * 0.2 * t).sin(), 8.0);
+    fn too_short_is_indeterminate() -> Result<(), Box<dyn std::error::Error>> {
+        let s = series(|t| (2.0 * PI * 0.2 * t).sin(), 8.0)?;
         let p = analyze(&s);
         assert_eq!(p.class, PatternClass::Indeterminate);
+        Ok(())
     }
 
     #[test]
-    fn inspiratory_fraction_of_symmetric_sine_is_half() {
-        let p = analyze(&series(|t| (2.0 * PI * 0.2 * t).sin(), 60.0));
+    fn inspiratory_fraction_of_symmetric_sine_is_half() -> Result<(), Box<dyn std::error::Error>> {
+        let p = analyze(&series(|t| (2.0 * PI * 0.2 * t).sin(), 60.0)?);
         for b in &p.breaths {
             assert!((b.inspiratory_fraction - 0.5).abs() < 0.1);
         }
+        Ok(())
     }
 
     #[test]

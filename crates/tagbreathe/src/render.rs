@@ -66,48 +66,53 @@ pub fn vitals_line(user_id: u64, analysis: &UserAnalysis, width: usize) -> Strin
 mod tests {
     use super::*;
 
-    fn series(values: Vec<f64>) -> TimeSeries {
-        TimeSeries::new(0.0, 0.1, values).unwrap()
+    fn series(values: Vec<f64>) -> Result<TimeSeries, crate::series::InvalidSeriesError> {
+        TimeSeries::new(0.0, 0.1, values)
     }
 
     #[test]
-    fn sparkline_length_is_bounded_by_width() {
-        let ts = series((0..100).map(|i| (i as f64 * 0.3).sin()).collect());
+    fn sparkline_length_is_bounded_by_width() -> Result<(), Box<dyn std::error::Error>> {
+        let ts = series((0..100).map(|i| (i as f64 * 0.3).sin()).collect())?;
         assert_eq!(sparkline(&ts, 40).chars().count(), 40);
         assert_eq!(sparkline(&ts, 200).chars().count(), 100);
+        Ok(())
     }
 
     #[test]
-    fn sparkline_extremes_use_extreme_bars() {
-        let ts = series(vec![0.0, 1.0, 0.0, 1.0]);
+    fn sparkline_extremes_use_extreme_bars() -> Result<(), Box<dyn std::error::Error>> {
+        let ts = series(vec![0.0, 1.0, 0.0, 1.0])?;
         let line = sparkline(&ts, 4);
         let chars: Vec<char> = line.chars().collect();
         assert_eq!(chars[0], BARS[0]);
         assert_eq!(chars[1], BARS[7]);
+        Ok(())
     }
 
     #[test]
-    fn sparkline_of_constant_signal_is_uniform() {
-        let ts = series(vec![3.0; 20]);
+    fn sparkline_of_constant_signal_is_uniform() -> Result<(), Box<dyn std::error::Error>> {
+        let ts = series(vec![3.0; 20])?;
         let line = sparkline(&ts, 10);
-        let first = line.chars().next().unwrap();
+        let first = line.chars().next().ok_or("empty sparkline")?;
         assert!(line.chars().all(|c| c == first));
+        Ok(())
     }
 
     #[test]
-    fn sparkline_empty_cases() {
-        let ts = series(vec![]);
+    fn sparkline_empty_cases() -> Result<(), Box<dyn std::error::Error>> {
+        let ts = series(vec![])?;
         assert_eq!(sparkline(&ts, 10), "");
-        let ts = series(vec![1.0]);
+        let ts = series(vec![1.0])?;
         assert_eq!(sparkline(&ts, 0), "");
+        Ok(())
     }
 
     #[test]
-    fn sine_sparkline_oscillates() {
-        let ts = series((0..64).map(|i| (i as f64 / 64.0 * 12.56).sin()).collect());
+    fn sine_sparkline_oscillates() -> Result<(), Box<dyn std::error::Error>> {
+        let ts = series((0..64).map(|i| (i as f64 / 64.0 * 12.56).sin()).collect())?;
         let line = sparkline(&ts, 32);
         // Both high and low bars appear.
         assert!(line.contains(BARS[0]) || line.contains(BARS[1]));
         assert!(line.contains(BARS[7]) || line.contains(BARS[6]));
+        Ok(())
     }
 }

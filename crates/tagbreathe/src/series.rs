@@ -134,13 +134,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn construction_and_accessors() {
-        let ts = TimeSeries::new(1.0, 0.25, vec![0.0; 9]).unwrap();
+    fn construction_and_accessors() -> Result<(), InvalidSeriesError> {
+        let ts = TimeSeries::new(1.0, 0.25, vec![0.0; 9])?;
         assert_eq!(ts.len(), 9);
         assert!(!ts.is_empty());
         assert_eq!(ts.sample_rate_hz(), 4.0);
         assert_eq!(ts.duration_s(), 2.0);
         assert_eq!(ts.time_at(4), 2.0);
+        Ok(())
     }
 
     #[test]
@@ -152,34 +153,40 @@ mod tests {
     }
 
     #[test]
-    fn empty_series_duration_zero() {
-        let ts = TimeSeries::new(0.0, 1.0, vec![]).unwrap();
+    fn empty_series_duration_zero() -> Result<(), InvalidSeriesError> {
+        let ts = TimeSeries::new(0.0, 1.0, vec![])?;
         assert!(ts.is_empty());
         assert_eq!(ts.duration_s(), 0.0);
+        Ok(())
     }
 
     #[test]
-    fn with_values_preserves_time_base() {
-        let ts = TimeSeries::new(2.0, 0.5, vec![1.0, 2.0]).unwrap();
+    fn with_values_preserves_time_base() -> Result<(), InvalidSeriesError> {
+        let ts = TimeSeries::new(2.0, 0.5, vec![1.0, 2.0])?;
         let other = ts.with_values(vec![3.0, 4.0]);
         assert_eq!(other.start_s(), 2.0);
         assert_eq!(other.dt_s(), 0.5);
         assert_eq!(other.values(), &[3.0, 4.0]);
+        Ok(())
     }
 
     #[test]
     #[should_panic(expected = "same length")]
     fn with_values_length_mismatch_panics() {
-        TimeSeries::new(0.0, 1.0, vec![1.0])
-            .unwrap()
-            .with_values(vec![1.0, 2.0]);
+        // A construction failure returns without panicking, which fails the
+        // `should_panic` expectation loudly.
+        let Ok(ts) = TimeSeries::new(0.0, 1.0, vec![1.0]) else {
+            return;
+        };
+        ts.with_values(vec![1.0, 2.0]);
     }
 
     #[test]
-    fn iter_yields_time_value_pairs() {
-        let ts = TimeSeries::new(0.0, 2.0, vec![10.0, 20.0]).unwrap();
+    fn iter_yields_time_value_pairs() -> Result<(), InvalidSeriesError> {
+        let ts = TimeSeries::new(0.0, 2.0, vec![10.0, 20.0])?;
         let pairs: Vec<(f64, f64)> = ts.iter().collect();
         assert_eq!(pairs, vec![(0.0, 10.0), (2.0, 20.0)]);
+        Ok(())
     }
 
     #[test]

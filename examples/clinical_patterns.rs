@@ -82,7 +82,10 @@ fn main() {
             "   quality     : {:?} (reads {:.0}/s, band SNR {:.1})",
             quality.confidence, quality.read_rate_hz, quality.band_snr
         );
-        if let Some(e) = enhanced_estimates(&reports, &resolver, &config).get(&user_id) {
+        if let Some(e) = enhanced_estimates(&reports, &resolver, &config)
+            .unwrap_or_default()
+            .get(&user_id)
+        {
             println!(
                 "   cross-check : {:?} (RSSI {:?}, Doppler {:?})",
                 e.agreement,
