@@ -10,8 +10,9 @@
 #   5. rustdoc, zero-warn RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 #   6. equivalence suite  cargo test -q --release --test equivalence
 #   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace
-#   8. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
-#   9. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 4
+#   8. fleet bench smoke  cargo run --release -p tagbreathe-bench --bin stream_bench -- --fleet --smoke
+#   9. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
+#  10. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 0
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
@@ -19,16 +20,22 @@
 # microbench in its one-iteration smoke mode, and also asserts the
 # instrumented metrics sidecar and the flight-recorder Chrome-trace
 # sidecar are written and non-empty (stream_bench itself validates both
-# JSON documents before writing). Step 8 is the in-tree
+# JSON documents before writing). Step 8 runs the sharded fleet engine
+# in its one-point smoke mode: the binary exits non-zero unless the
+# fleet's merged snapshot stream is bit-identical to the single-threaded
+# engine's, and its JSON output is re-validated here like the other
+# machine-readable artefacts. Step 9 is the in-tree
 # ratchet linter (crates/lint): it fails on any violation beyond
 # lint-baseline.txt AND on any uncommitted slack (a burn-down that
 # forgot `-- check --update-baseline`). It also emits the full report as
 # SARIF 2.1.0 (lint.sarif), re-validated with the linter's own in-tree
 # JSON validator (`validate-json`, backed by tagbreathe_obs::json).
-# Step 9 is the machine-readable hot-path cost inventory: it fails if a
-# `[hotpath]` root no longer resolves or the per-report path grows past
-# the site budget, and its JSON is re-validated like the SARIF. Steps 8
-# and 9 together must finish inside the lint wall-clock budget below —
+# Step 10 is the machine-readable hot-path cost inventory: it fails if a
+# `[hotpath]` root no longer resolves or the per-report path performs
+# any allocation or non-slab map lookup at all (`--max-sites 0` — the
+# slab/interner refactor burned the last two sites, and this pins the
+# ratchet shut), and its JSON is re-validated like the SARIF. Steps 9
+# and 10 together must finish inside the lint wall-clock budget below —
 # the linter re-parses the workspace per invocation, so a runaway pass
 # shows up here before it slows every pre-commit hook.
 set -euo pipefail
@@ -59,6 +66,12 @@ test -s /tmp/BENCH_streaming_smoke.metrics.json \
 test -s /tmp/BENCH_streaming_smoke.trace.json \
     || { echo "ci: chrome-trace sidecar missing or empty" >&2; exit 1; }
 
+echo "==> stream_bench --fleet --smoke"
+cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --fleet --smoke --out /tmp/BENCH_fleet_smoke.json
+test -s /tmp/BENCH_fleet_smoke.json \
+    || { echo "ci: fleet bench output missing or empty" >&2; exit 1; }
+cargo run -q -p tagbreathe-lint -- validate-json /tmp/BENCH_fleet_smoke.json
+
 echo "==> cargo run -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif"
 lint_started_s=$SECONDS
 cargo run -q -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif
@@ -66,8 +79,8 @@ test -s /tmp/tagbreathe-lint.sarif \
     || { echo "ci: SARIF report missing or empty" >&2; exit 1; }
 cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-lint.sarif
 
-echo "==> cargo run -p tagbreathe-lint -- hotpath --max-sites 4"
-cargo run -q -p tagbreathe-lint -- hotpath --max-sites 4 --out /tmp/tagbreathe-hotpath.json
+echo "==> cargo run -p tagbreathe-lint -- hotpath --max-sites 0"
+cargo run -q -p tagbreathe-lint -- hotpath --max-sites 0 --out /tmp/tagbreathe-hotpath.json
 test -s /tmp/tagbreathe-hotpath.json \
     || { echo "ci: hot-path report missing or empty" >&2; exit 1; }
 cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-hotpath.json

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! stream_bench [--smoke] [--trace] [--out PATH]
+//! stream_bench --fleet [--smoke] [--out PATH]
 //! ```
 //!
 //! Sweeps reports/sec of the incremental `StreamingMonitor` against the
@@ -13,21 +14,75 @@
 //! main output. `--trace` additionally replays the smallest point with a
 //! flight recorder attached and writes the session as self-validated
 //! Chrome trace-event JSON (`<out stem>.trace.json`).
+//!
+//! `--fleet` switches to the sharded fleet-engine scaling sweep (users ×
+//! shard threads, default output `BENCH_fleet.json`); the run aborts
+//! non-zero if the fleet's snapshot stream is not bit-identical to the
+//! single-threaded engine's.
 
 use tagbreathe_bench::streaming::{
     metrics_sidecar, render, run, to_json, trace_sidecar, StreamBenchConfig,
 };
 
+fn fleet_main(smoke: bool, out_path: &str) {
+    use tagbreathe_bench::fleet;
+    let config = if smoke {
+        fleet::FleetBenchConfig::smoke()
+    } else {
+        fleet::FleetBenchConfig::quick()
+    };
+    eprintln!(
+        "# stream_bench --fleet — users {:?}, shards {:?}, {} s @ {} reads/s",
+        config.users, config.shards, config.duration_s, config.aggregate_hz
+    );
+    let check = fleet::equivalence_check(&config);
+    if !check.bit_identical {
+        eprintln!(
+            "error: fleet snapshots diverged from the single-threaded engine \
+             ({} users, {} shards)",
+            check.users, check.shards
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# equivalence: {} snapshots bit-identical at {} users × {} shards",
+        check.snapshots, check.users, check.shards
+    );
+    let points = fleet::run(&config);
+    print!("{}", fleet::render(&points));
+    let json = fleet::to_json(&config, &points, &check);
+    if let Err(e) = obs::json::validate(&json) {
+        eprintln!("error: fleet bench output is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let with_trace = args.iter().any(|a| a == "--trace");
+    let fleet_mode = args.iter().any(|a| a == "--fleet");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_streaming.json".to_string());
+        .unwrap_or_else(|| {
+            if fleet_mode {
+                "BENCH_fleet.json".to_string()
+            } else {
+                "BENCH_streaming.json".to_string()
+            }
+        });
+    if fleet_mode {
+        fleet_main(smoke, &out_path);
+        return;
+    }
     let config = if smoke {
         StreamBenchConfig::smoke()
     } else {

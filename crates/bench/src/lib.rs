@@ -16,6 +16,7 @@
 pub mod ablation;
 pub mod characterization;
 pub mod evaluation;
+pub mod fleet;
 pub mod harness;
 pub mod microbench;
 pub mod streaming;

@@ -142,10 +142,11 @@ mod tests {
     }
 
     #[test]
-    fn parse_round_trip() {
+    fn parse_round_trip() -> Result<(), &'static str> {
         let epc = Epc96::monitor(0xA1B2_C3D4_E5F6_0718, 0x2938_4756);
-        let parsed: Epc96 = epc.to_string().parse().unwrap();
+        let parsed: Epc96 = epc.to_string().parse().map_err(|_| "parse failed")?;
         assert_eq!(parsed, epc);
+        Ok(())
     }
 
     #[test]

@@ -93,11 +93,11 @@ impl LinkProfile {
     /// RN16 reply 16 bits + 6-symbol preamble, EPC reply ≈128 bits
     /// (PC + 96-bit EPC + CRC-16) + preamble.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the profile is invalid.
-    pub fn slot_timing(&self) -> SlotTiming {
-        self.validate().expect("valid link profile");
+    /// Returns the validation message if the profile is invalid.
+    pub fn slot_timing(&self) -> Result<SlotTiming, &'static str> {
+        self.validate()?;
         let rbit = self.reader_bit_us();
         let tbit = self.tag_bit_us();
         let t1 = self.turnaround_us();
@@ -116,13 +116,13 @@ impl LinkProfile {
         // Failure: like success but the EPC CRC fails near the end.
         let failed = query_rep + t1 + rn16 + ack + t1 + epc_reply * 0.8;
 
-        SlotTiming {
+        Ok(SlotTiming {
             round_overhead_us: self.round_overhead_us,
             empty_us: empty.round() as u64,
             collision_us: collision.round() as u64,
             success_us: success.round() as u64,
             failed_us: failed.round() as u64,
-        }
+        })
     }
 }
 
@@ -137,10 +137,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn dense_reader_m4_matches_calibrated_defaults() {
+    fn dense_reader_m4_matches_calibrated_defaults() -> Result<(), &'static str> {
         // The derived timing should land near the hand-calibrated
         // SlotTiming::paper_default() the rest of the workspace uses.
-        let derived = LinkProfile::dense_reader_m4().slot_timing();
+        let derived = LinkProfile::dense_reader_m4().slot_timing()?;
         let calibrated = SlotTiming::paper_default();
         assert_eq!(derived.round_overhead_us, calibrated.round_overhead_us);
         let close = |a: u64, b: u64, tol: f64| (a as f64 - b as f64).abs() / b as f64 <= tol;
@@ -151,14 +151,16 @@ mod tests {
             calibrated.success_us
         );
         assert!(close(derived.empty_us, calibrated.empty_us, 1.0));
+        Ok(())
     }
 
     #[test]
-    fn fm0_is_much_faster_than_miller4() {
-        let m4 = LinkProfile::dense_reader_m4().slot_timing();
-        let fm0 = LinkProfile::max_throughput_fm0().slot_timing();
+    fn fm0_is_much_faster_than_miller4() -> Result<(), &'static str> {
+        let m4 = LinkProfile::dense_reader_m4().slot_timing()?;
+        let fm0 = LinkProfile::max_throughput_fm0().slot_timing()?;
         assert!(fm0.success_us * 4 < m4.success_us);
         assert!(fm0.empty_us < m4.empty_us);
+        Ok(())
     }
 
     #[test]
@@ -169,17 +171,18 @@ mod tests {
     }
 
     #[test]
-    fn slot_ordering_invariants() {
+    fn slot_ordering_invariants() -> Result<(), &'static str> {
         for p in [
             LinkProfile::dense_reader_m4(),
             LinkProfile::max_throughput_fm0(),
         ] {
-            let t = p.slot_timing();
+            let t = p.slot_timing()?;
             assert!(t.empty_us < t.collision_us);
             assert!(t.collision_us < t.success_us);
             assert!(t.failed_us <= t.success_us);
             assert!(t.failed_us > t.empty_us);
         }
+        Ok(())
     }
 
     #[test]
@@ -196,15 +199,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "valid link profile")]
-    fn invalid_profile_panics_in_slot_timing() {
+    fn invalid_profile_is_rejected_by_slot_timing() {
         let mut p = LinkProfile::dense_reader_m4();
         p.miller_m = 5;
-        p.slot_timing();
+        assert!(p.slot_timing().is_err());
     }
 
     #[test]
-    fn single_tag_rate_from_derived_timing() {
+    fn single_tag_rate_from_derived_timing() -> Result<(), &'static str> {
         // Derived dense-reader timing must still deliver the paper's ≈64 Hz
         // single-tag rate through the actual MAC.
         use crate::inventory::{run_round, Participant};
@@ -212,7 +214,7 @@ mod tests {
         use prng::Xoshiro256;
         let mut rng = Xoshiro256::seed_from_u64(1);
         let mut q = QState::standard_default();
-        let timing = LinkProfile::dense_reader_m4().slot_timing();
+        let timing = LinkProfile::dense_reader_m4().slot_timing()?;
         let participants = [Participant {
             tag_index: 0,
             read_probability: 1.0,
@@ -226,5 +228,6 @@ mod tests {
         }
         let rate = reads as f64 / (us as f64 / 1e6);
         assert!((50.0..80.0).contains(&rate), "rate {rate} Hz");
+        Ok(())
     }
 }

@@ -79,10 +79,10 @@ impl ScenarioWorld {
     }
 
     fn site_index(site: TagSite) -> u32 {
-        TagSite::ALL
-            .iter()
-            .position(|&s| s == site)
-            .expect("TagSite::ALL is exhaustive") as u32
+        // TagSite::ALL is exhaustive, so the position always exists and
+        // fits u32; 0 is the front-chest fallback if either ever breaks.
+        let pos = TagSite::ALL.iter().position(|&s| s == site).unwrap_or(0);
+        u32::try_from(pos).unwrap_or(0)
     }
 }
 

@@ -141,11 +141,15 @@ impl CommissionReport {
 /// independently with the configured probability and the whole write is
 /// retried until it verifies or retries run out. Deterministic per `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config` is invalid.
-pub fn commission(plan: &CommissionPlan, config: &WriteConfig, seed: u64) -> CommissionReport {
-    config.validate().expect("valid write configuration");
+/// Returns the validation message if `config` is invalid.
+pub fn commission(
+    plan: &CommissionPlan,
+    config: &WriteConfig,
+    seed: u64,
+) -> Result<CommissionReport, &'static str> {
+    config.validate()?;
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut outcomes = Vec::with_capacity(plan.entries.len());
     let mut fallback = MappingTable::new();
@@ -164,7 +168,7 @@ pub fn commission(plan: &CommissionPlan, config: &WriteConfig, seed: u64) -> Com
         }
         outcomes.push((factory, outcome));
     }
-    CommissionReport { outcomes, fallback }
+    Ok(CommissionReport { outcomes, fallback })
 }
 
 #[cfg(test)]
@@ -177,26 +181,27 @@ mod tests {
     }
 
     #[test]
-    fn near_field_commissioning_mostly_succeeds() {
+    fn near_field_commissioning_mostly_succeeds() -> Result<(), &'static str> {
         let mut plan = CommissionPlan::new();
         for i in 0..100 {
             plan.add(factory(i), 1, i);
         }
-        let report = commission(&plan, &WriteConfig::near_field(), 1);
+        let report = commission(&plan, &WriteConfig::near_field(), 1)?;
         assert_eq!(report.outcomes.len(), 100);
         assert!(report.written() >= 99, "{} written", report.written());
         assert_eq!(report.failed(), report.fallback.len());
+        Ok(())
     }
 
     #[test]
-    fn weak_link_fails_and_falls_back_to_table() {
+    fn weak_link_fails_and_falls_back_to_table() -> Result<(), &'static str> {
         let mut plan = CommissionPlan::new();
         plan.add(factory(0), 7, 0);
         let config = WriteConfig {
             word_success_probability: 0.05,
             max_retries: 3,
         };
-        let report = commission(&plan, &config, 2);
+        let report = commission(&plan, &config, 2)?;
         assert_eq!(report.written(), 0);
         assert_eq!(report.fallback.len(), 1);
         // The fallback resolves the factory EPC to the intended identity.
@@ -207,20 +212,22 @@ mod tests {
                 tag_id: 0
             }
         );
+        Ok(())
     }
 
     #[test]
-    fn add_user_plans_three_tags() {
+    fn add_user_plans_three_tags() -> Result<(), &'static str> {
         let mut plan = CommissionPlan::new();
         plan.add_user([factory(0), factory(1), factory(2)], 42);
         assert_eq!(plan.len(), 3);
         assert!(!plan.is_empty());
-        let report = commission(&plan, &WriteConfig::near_field(), 3);
+        let report = commission(&plan, &WriteConfig::near_field(), 3)?;
         assert_eq!(report.outcomes.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn deterministic_per_seed() {
+    fn deterministic_per_seed() -> Result<(), &'static str> {
         let mut plan = CommissionPlan::new();
         for i in 0..20 {
             plan.add(factory(i), 1, i);
@@ -229,13 +236,14 @@ mod tests {
             word_success_probability: 0.7,
             max_retries: 2,
         };
-        let a = commission(&plan, &config, 9);
-        let b = commission(&plan, &config, 9);
+        let a = commission(&plan, &config, 9)?;
+        let b = commission(&plan, &config, 9)?;
         assert_eq!(a.outcomes, b.outcomes);
+        Ok(())
     }
 
     #[test]
-    fn retries_reduce_failures() {
+    fn retries_reduce_failures() -> Result<(), &'static str> {
         let mut plan = CommissionPlan::new();
         for i in 0..200 {
             plan.add(factory(i), 1, i);
@@ -247,7 +255,7 @@ mod tests {
                 max_retries: 1,
             },
             4,
-        );
+        )?;
         let many = commission(
             &plan,
             &WriteConfig {
@@ -255,24 +263,25 @@ mod tests {
                 max_retries: 10,
             },
             4,
-        );
+        )?;
         assert!(many.written() > few.written());
+        Ok(())
     }
 
     #[test]
-    fn empty_plan_is_fine() {
-        let report = commission(&CommissionPlan::new(), &WriteConfig::near_field(), 0);
+    fn empty_plan_is_fine() -> Result<(), &'static str> {
+        let report = commission(&CommissionPlan::new(), &WriteConfig::near_field(), 0)?;
         assert!(report.outcomes.is_empty());
         assert_eq!(report.written(), 0);
+        Ok(())
     }
 
     #[test]
-    #[should_panic(expected = "valid write configuration")]
-    fn invalid_config_panics() {
+    fn invalid_config_is_rejected() {
         let config = WriteConfig {
             word_success_probability: 1.5,
             max_retries: 1,
         };
-        commission(&CommissionPlan::new(), &config, 0);
+        assert!(commission(&CommissionPlan::new(), &config, 0).is_err());
     }
 }

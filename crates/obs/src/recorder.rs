@@ -36,6 +36,12 @@ impl Label {
     pub fn port(port: u8) -> Self {
         Label::new("port", u64::from(port))
     }
+
+    /// The conventional fleet-shard label.
+    #[must_use]
+    pub fn shard(shard: u32) -> Self {
+        Label::new("shard", u64::from(shard))
+    }
 }
 
 /// A metric sink.

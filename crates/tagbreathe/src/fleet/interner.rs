@@ -1,0 +1,321 @@
+//! EPC-to-route interning: the fleet's user-ID partitioner and hot-path
+//! route cache.
+//!
+//! The streaming hot path used to resolve every report through the identity
+//! resolver (a linear scan for [`epcgen2::mapping::EmbeddedIdentity`]) and then a
+//! `BTreeMap::entry` per-user lookup. The fleet engine replaces both with
+//! one open-addressed probe over flat parallel arrays: EPC bits in, a
+//! [`Route`] out — which shard owns the user, the dense slot the user's
+//! state occupies on that shard, and the short tag ID. Unknown EPCs (item
+//! tags) are cached too, so contending item traffic costs one probe instead
+//! of one resolver scan per read.
+//!
+//! Admission (cache miss) is the cold path: it consults the real resolver,
+//! assigns the user a shard via [`shard_of_user`] and a dense slot from the
+//! shard's counter, and inserts the route. The table is kept at most half
+//! full and grows by rebuild, so probes always terminate.
+
+/// Sentinel shard value marking an empty table cell.
+const SHARD_EMPTY: u32 = u32::MAX;
+/// Sentinel shard value caching a "not a monitoring tag" resolution.
+const SHARD_UNKNOWN: u32 = u32::MAX - 1;
+
+/// Where a report goes after identity resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// A monitoring tag: shard index, dense user slot on that shard, and
+    /// the resolved short tag ID.
+    User {
+        /// Index of the owning shard.
+        shard: u32,
+        /// Dense per-shard slot of the user's stream state.
+        slot: u32,
+        /// Resolved short tag ID.
+        tag_id: u32,
+    },
+    /// Not a monitoring tag (item traffic or unresolvable EPC).
+    Unknown,
+}
+
+/// Deterministic user-to-shard partitioner (SplitMix64 finalizer, reduced
+/// modulo the shard count). Stable across runs and shard layouts, so the
+/// same user always lands on the same shard for a given fleet width.
+#[must_use]
+pub fn shard_of_user(user_id: u64, n_shards: usize) -> u32 {
+    let n = n_shards.max(1) as u64;
+    u32::try_from(mix(user_id) % n).unwrap_or(0)
+}
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ z >> 30).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ z >> 27).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ z >> 31
+}
+
+fn hash_epc(user_bits: u64, tag_bits: u32) -> u64 {
+    mix(user_bits ^ u64::from(tag_bits).rotate_left(32))
+}
+
+/// Open-addressed EPC → [`Route`] cache over parallel flat arrays.
+///
+/// Linear probing, power-of-two capacity, ≤ 50 % load factor. The probe is
+/// allocation-free and panic-free; all growth happens on the cold admission
+/// path.
+#[derive(Debug)]
+pub struct IdentityCache {
+    key_user: Vec<u64>,
+    key_tag: Vec<u32>,
+    route_shard: Vec<u32>,
+    route_slot: Vec<u32>,
+    route_tag: Vec<u32>,
+    len: usize,
+}
+
+impl Default for IdentityCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IdentityCache {
+    /// An empty cache with a small initial table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_pow2_capacity(64)
+    }
+
+    fn with_pow2_capacity(capacity: usize) -> Self {
+        IdentityCache {
+            key_user: vec![0; capacity],
+            key_tag: vec![0; capacity],
+            route_shard: vec![SHARD_EMPTY; capacity],
+            route_slot: vec![0; capacity],
+            route_tag: vec![0; capacity],
+            len: 0,
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        (self.route_shard.len() as u64).saturating_sub(1)
+    }
+
+    /// Hot-path lookup: the route cached for this EPC, or `None` on a miss
+    /// (the caller then takes the cold admission path).
+    #[must_use]
+    pub fn probe(&self, user_bits: u64, tag_bits: u32) -> Option<Route> {
+        let mask = self.mask();
+        let mut at = hash_epc(user_bits, tag_bits) & mask;
+        loop {
+            let shard = self.route_shard.get(at as usize).copied()?;
+            if shard == SHARD_EMPTY {
+                return None;
+            }
+            let user_hit = self.key_user.get(at as usize).copied()? == user_bits;
+            let tag_hit = self.key_tag.get(at as usize).copied()? == tag_bits;
+            if user_hit && tag_hit {
+                if shard == SHARD_UNKNOWN {
+                    return Some(Route::Unknown);
+                }
+                let slot = self.route_slot.get(at as usize).copied()?;
+                let tag_id = self.route_tag.get(at as usize).copied()?;
+                return Some(Route::User {
+                    shard,
+                    slot,
+                    tag_id,
+                });
+            }
+            at = at.wrapping_add(1) & mask;
+        }
+    }
+
+    /// Cold path: caches `route` for this EPC, growing the table if needed.
+    /// A duplicate key overwrites the cached route.
+    pub fn admit_route(&mut self, user_bits: u64, tag_bits: u32, route: Route) {
+        if (self.len + 1) * 2 > self.route_shard.len() {
+            self.grow_table();
+        }
+        let inserted = self.place(user_bits, tag_bits, route);
+        if inserted {
+            self.len += 1;
+        }
+    }
+
+    /// Cached route count (including cached Unknown resolutions).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn place(&mut self, user_bits: u64, tag_bits: u32, route: Route) -> bool {
+        let (shard, slot, tag_id) = match route {
+            Route::User {
+                shard,
+                slot,
+                tag_id,
+            } => (shard, slot, tag_id),
+            Route::Unknown => (SHARD_UNKNOWN, 0, 0),
+        };
+        let mask = self.mask();
+        let mut at = hash_epc(user_bits, tag_bits) & mask;
+        loop {
+            let i = at as usize;
+            let cell = self.route_shard.get(i).copied().unwrap_or(SHARD_EMPTY);
+            let same_key = cell != SHARD_EMPTY
+                && self.key_user.get(i).copied() == Some(user_bits)
+                && self.key_tag.get(i).copied() == Some(tag_bits);
+            if cell == SHARD_EMPTY || same_key {
+                set(&mut self.key_user, i, user_bits);
+                set(&mut self.key_tag, i, tag_bits);
+                set(&mut self.route_shard, i, shard);
+                set(&mut self.route_slot, i, slot);
+                set(&mut self.route_tag, i, tag_id);
+                return cell == SHARD_EMPTY;
+            }
+            at = at.wrapping_add(1) & mask;
+        }
+    }
+
+    fn grow_table(&mut self) {
+        let bigger = Self::with_pow2_capacity(self.route_shard.len().max(32) * 2);
+        let old = std::mem::replace(self, bigger);
+        for i in 0..old.route_shard.len() {
+            let shard = old.route_shard.get(i).copied().unwrap_or(SHARD_EMPTY);
+            if shard == SHARD_EMPTY {
+                continue;
+            }
+            let user = old.key_user.get(i).copied().unwrap_or(0);
+            let tag = old.key_tag.get(i).copied().unwrap_or(0);
+            let route = if shard == SHARD_UNKNOWN {
+                Route::Unknown
+            } else {
+                Route::User {
+                    shard,
+                    slot: old.route_slot.get(i).copied().unwrap_or(0),
+                    tag_id: old.route_tag.get(i).copied().unwrap_or(0),
+                }
+            };
+            if self.place(user, tag, route) {
+                self.len += 1;
+            }
+        }
+    }
+}
+
+fn set<T>(cells: &mut [T], at: usize, value: T) {
+    if let Some(cell) = cells.get_mut(at) {
+        *cell = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = IdentityCache::new();
+        assert_eq!(cache.probe(1, 2), None);
+        let route = Route::User {
+            shard: 3,
+            slot: 9,
+            tag_id: 2,
+        };
+        cache.admit_route(1, 2, route);
+        assert_eq!(cache.probe(1, 2), Some(route));
+        assert_eq!(cache.probe(1, 3), None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn caches_unknown_routes() {
+        let mut cache = IdentityCache::new();
+        cache.admit_route(u64::MAX, 5, Route::Unknown);
+        assert_eq!(cache.probe(u64::MAX, 5), Some(Route::Unknown));
+    }
+
+    #[test]
+    fn overwrite_does_not_double_count() {
+        let mut cache = IdentityCache::new();
+        cache.admit_route(7, 1, Route::Unknown);
+        cache.admit_route(
+            7,
+            1,
+            Route::User {
+                shard: 0,
+                slot: 4,
+                tag_id: 1,
+            },
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.probe(7, 1),
+            Some(Route::User {
+                shard: 0,
+                slot: 4,
+                tag_id: 1
+            })
+        );
+    }
+
+    #[test]
+    fn survives_growth_with_many_keys() {
+        let mut cache = IdentityCache::new();
+        for user in 0..10_000u64 {
+            for tag in 0..3u32 {
+                cache.admit_route(
+                    user,
+                    tag,
+                    Route::User {
+                        shard: shard_of_user(user, 4),
+                        slot: u32::try_from(user).unwrap_or(0),
+                        tag_id: tag,
+                    },
+                );
+            }
+        }
+        assert_eq!(cache.len(), 30_000);
+        for user in (0..10_000u64).step_by(997) {
+            let got = cache.probe(user, 1);
+            assert_eq!(
+                got,
+                Some(Route::User {
+                    shard: shard_of_user(user, 4),
+                    slot: u32::try_from(user).unwrap_or(0),
+                    tag_id: 1
+                }),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioner_is_stable_and_in_range() {
+        for user in 0..1000u64 {
+            let s = shard_of_user(user, 8);
+            assert!(s < 8);
+            assert_eq!(s, shard_of_user(user, 8));
+        }
+        assert_eq!(shard_of_user(42, 1), 0);
+        assert_eq!(shard_of_user(42, 0), 0);
+    }
+
+    #[test]
+    fn partitioner_spreads_users() {
+        let mut counts = [0usize; 4];
+        for user in 0..4000u64 {
+            if let Some(c) = counts.get_mut(shard_of_user(user, 4) as usize) {
+                *c += 1;
+            }
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!((700..=1300).contains(&c), "shard {shard} got {c}");
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! Sharded multi-core fleet engine: many users, many cores, one stream.
+//!
+//! [`StreamingMonitor`](crate::pipeline::StreamingMonitor) drives every
+//! user's operator graph inline on the caller's thread — the right shape
+//! for one reader and a handful of subjects. A hospital-ward deployment
+//! inverts the economics: thousands of monitored users behind one LLRP
+//! feed, far more analysis work per cadence tick than one core can absorb.
+//! The fleet engine spreads that work across OS threads without giving up
+//! the property that makes the single-threaded engine testable — the
+//! estimate stream is **bit-identical** to the inline one.
+//!
+//! Architecture (std-only: threads + atomics):
+//!
+//! ```text
+//!            ┌────────────┐   SPSC ring    ┌──────────────┐
+//!  reports → │   router   │ ═════════════▶ │ shard worker │──┐
+//!            │ (caller's  │ ═════════════▶ │ shard worker │──┼─▶ mpsc ─▶ merge
+//!            │   thread)  │ ═════════════▶ │ shard worker │──┘   (router)
+//!            └────────────┘                └──────────────┘
+//! ```
+//!
+//! * The **router** interns each EPC once ([`interner::IdentityCache`]),
+//!   partitions users over shards by hash ([`interner::shard_of_user`]),
+//!   and forwards every report over a bounded lock-free
+//!   [`ring`](ring::SpscRing) to the owning shard.
+//! * Each **shard worker** owns the [`shard::ShardCore`] slab for its
+//!   users; the ring is its only input, so no user state is ever shared
+//!   between threads.
+//! * **Snapshots** use epoch/watermark handoff: the router broadcasts a
+//!   `Snapshot{watermark, time, epoch}` request in-stream, each shard
+//!   evicts to the watermark, analyses its users and sends one part back;
+//!   the router merges the disjoint per-user maps in epoch order.
+//!
+//! Bit-identity holds because control messages are broadcast *in stream
+//! order* on every ring: each shard observes exactly the interleaving of
+//! its reports, evictions and snapshot points that the single-threaded
+//! engine would have applied to the same users.
+
+pub mod interner;
+pub mod msg;
+pub mod ring;
+pub mod shard;
+
+use crate::config::{InvalidConfigError, PipelineConfig};
+use crate::demux::{classify, LinkQualityTracker};
+use crate::metrics;
+use crate::pipeline::RateSnapshot;
+use epcgen2::epc::Epc96;
+use epcgen2::mapping::IdentityResolver;
+use epcgen2::report::TagReport;
+use interner::{shard_of_user, IdentityCache, Route};
+use msg::ShardMsg;
+use obs::trace::SharedTracer;
+use obs::{Label, Recorder, SharedRecorder};
+use ring::{RingConsumer, RingProducer, SLOT_WORDS};
+use shard::ShardCore;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// Ring capacity per shard, in slots. 1024 six-word slots ≈ 48 KiB per
+/// shard: deep enough to ride out a snapshot pause, small enough to stay
+/// cache-resident.
+const RING_SLOTS: usize = 1024;
+
+/// One shard's snapshot contribution, sent back over the results channel.
+#[derive(Debug)]
+struct ShardPart {
+    shard: u32,
+    epoch: u64,
+    time_s: f64,
+    rates_bpm: BTreeMap<u64, f64>,
+    effort_rms: BTreeMap<u64, f64>,
+    occupancy: usize,
+    state_cells: usize,
+    ring_depth: u64,
+}
+
+/// Accumulator for one epoch's parts while they trickle in.
+#[derive(Debug, Default)]
+struct PendingEpoch {
+    time_s: f64,
+    parts: usize,
+    rates_bpm: BTreeMap<u64, f64>,
+    effort_rms: BTreeMap<u64, f64>,
+    occupancy: usize,
+    state_cells: usize,
+}
+
+/// The router's handle to one shard: ring producer plus worker thread.
+#[derive(Debug)]
+struct ShardLink {
+    feed: RingProducer,
+    worker: Option<thread::JoinHandle<()>>,
+    /// Next dense user slot to assign on this shard.
+    next_slot: u32,
+}
+
+/// Multi-core sharded streaming engine.
+///
+/// Same contract as [`StreamingMonitor`](crate::pipeline::StreamingMonitor)
+/// — push time-ordered reports, get [`RateSnapshot`]s back at the cadence —
+/// but per-user work runs on `shards` worker threads. Snapshot parts merge
+/// in epoch order, so the returned stream is deterministic and
+/// bit-identical to the single-threaded engine for any shard count
+/// (pinned by `tests/fleet_equivalence.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use tagbreathe::fleet::FleetEngine;
+/// use tagbreathe::PipelineConfig;
+/// use epcgen2::mapping::EmbeddedIdentity;
+///
+/// let mut fleet = FleetEngine::new(
+///     PipelineConfig::paper_default(),
+///     EmbeddedIdentity::new([1]),
+///     25.0,
+///     5.0,
+///     2,
+/// )?;
+/// let mut snaps = fleet.push(None::<tagbreathe::TagReport>.into_iter());
+/// snaps.extend(fleet.finish());
+/// assert!(snaps.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FleetEngine<R> {
+    config: PipelineConfig,
+    resolver: R,
+    routes: IdentityCache,
+    /// Cold-path user → (shard, slot) assignments.
+    user_slots: BTreeMap<u64, (u32, u32)>,
+    shards: Vec<ShardLink>,
+    results: mpsc::Receiver<ShardPart>,
+    pending: BTreeMap<u64, PendingEpoch>,
+    /// Broadcast instant per in-flight epoch (recorded runs only).
+    epoch_started: BTreeMap<u64, Instant>,
+    next_epoch: u64,
+    next_emit: u64,
+    /// Merged snapshots ready to hand back, in epoch order.
+    done: Vec<RateSnapshot>,
+    window_s: f64,
+    update_every_s: f64,
+    watermark_s: f64,
+    next_update_s: f64,
+    last_evict_s: f64,
+    recorder: SharedRecorder,
+    recording: bool,
+    link_quality: LinkQualityTracker,
+    finished: bool,
+}
+
+impl<R: IdentityResolver> FleetEngine<R> {
+    /// Creates a fleet with `shards` worker threads and no metric sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the window /
+    /// cadence are not positive.
+    pub fn new(
+        config: PipelineConfig,
+        resolver: R,
+        window_s: f64,
+        update_every_s: f64,
+        shards: usize,
+    ) -> Result<Self, InvalidConfigError> {
+        Self::observed(
+            config,
+            resolver,
+            window_s,
+            update_every_s,
+            shards,
+            SharedRecorder::noop(),
+        )
+    }
+
+    /// Creates a fleet with `shards` worker threads, routing per-shard and
+    /// per-user metrics through `recorder` (workers get clones of the
+    /// handle, so counters aggregate across threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the window /
+    /// cadence are not positive.
+    pub fn observed(
+        config: PipelineConfig,
+        resolver: R,
+        window_s: f64,
+        update_every_s: f64,
+        shards: usize,
+        recorder: SharedRecorder,
+    ) -> Result<Self, InvalidConfigError> {
+        config.validate()?;
+        if window_s.is_nan() || window_s <= 0.0 || update_every_s.is_nan() || update_every_s <= 0.0
+        {
+            return Err(crate::pipeline::validate_window_error());
+        }
+        let shards = shards.max(1);
+        let (results_tx, results) = mpsc::channel();
+        let mut links = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (feed, consumer) = ring::channel(RING_SLOTS);
+            let worker_config = config.clone();
+            let worker_recorder = recorder.clone();
+            let out = results_tx.clone();
+            let shard_id = u32::try_from(shard).unwrap_or(u32::MAX);
+            let worker = thread::spawn(move || {
+                shard_worker(
+                    shard_id,
+                    consumer,
+                    worker_config,
+                    window_s,
+                    &worker_recorder,
+                    &out,
+                );
+            });
+            links.push(ShardLink {
+                feed,
+                worker: Some(worker),
+                next_slot: 0,
+            });
+        }
+        drop(results_tx);
+        let recording = recorder.enabled();
+        Ok(FleetEngine {
+            config,
+            resolver,
+            routes: IdentityCache::new(),
+            user_slots: BTreeMap::new(),
+            shards: links,
+            results,
+            pending: BTreeMap::new(),
+            epoch_started: BTreeMap::new(),
+            next_epoch: 0,
+            next_emit: 0,
+            done: Vec::new(),
+            window_s,
+            update_every_s,
+            watermark_s: 0.0,
+            next_update_s: update_every_s,
+            last_evict_s: 0.0,
+            recorder,
+            recording,
+            link_quality: LinkQualityTracker::new(),
+            finished: false,
+        })
+    }
+
+    /// Number of shard workers.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Users admitted (interned and assigned a shard) so far.
+    #[must_use]
+    pub fn routed_users(&self) -> usize {
+        self.user_slots.len()
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Routes a batch of time-ordered reports and returns every merged
+    /// snapshot that completed its handoff. Snapshots for a cadence point
+    /// may surface in a later `push` (or in [`FleetEngine::finish`]) if a
+    /// shard has not caught up yet; their order is always epoch order.
+    pub fn push<I>(&mut self, reports: I) -> Vec<RateSnapshot>
+    where
+        I: IntoIterator<Item = TagReport>,
+    {
+        for r in reports {
+            self.watermark_s = self.watermark_s.max(r.time_s);
+            if self.recording {
+                self.recorder.count(metrics::REPORTS_INGESTED, 1);
+                let _ = self.link_quality.observe(&r);
+            }
+            let route = match self.routes.probe(r.epc.user_id(), r.epc.tag_id()) {
+                Some(route) => route,
+                None => self.admit_report(&r),
+            };
+            match route {
+                Route::User {
+                    shard,
+                    slot,
+                    tag_id,
+                } => {
+                    let words = ShardMsg::Report {
+                        slot,
+                        tag_id,
+                        antenna_port: r.antenna_port,
+                        channel_index: r.channel_index,
+                        time_s: r.time_s,
+                        phase_rad: r.phase_rad,
+                        rssi_dbm: r.rssi_dbm,
+                        doppler_hz: r.doppler_hz,
+                    }
+                    .encode();
+                    self.send_to(shard, &words);
+                    if self.recording {
+                        self.recorder.count(metrics::FLEET_REPORTS_ROUTED, 1);
+                    }
+                }
+                Route::Unknown => {
+                    if self.recording {
+                        self.recorder.count(metrics::REPORTS_UNKNOWN, 1);
+                    }
+                }
+            }
+            if self.watermark_s >= self.next_update_s {
+                self.request_due_snapshots();
+            }
+            if self.watermark_s - self.last_evict_s >= self.window_s.min(self.update_every_s) {
+                let words = ShardMsg::Evict {
+                    watermark_s: self.watermark_s,
+                }
+                .encode();
+                self.broadcast(&words);
+                self.last_evict_s = self.watermark_s;
+            }
+        }
+        self.drain_results();
+        std::mem::take(&mut self.done)
+    }
+
+    /// Flushes the fleet: waits for every in-flight snapshot part, joins
+    /// the workers and returns the remaining merged snapshots.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<RateSnapshot> {
+        self.shutdown();
+        std::mem::take(&mut self.done)
+    }
+
+    /// Cold path on a route-cache miss: resolve, partition to a shard,
+    /// assign a dense slot, tell the shard, cache the route.
+    fn admit_report(&mut self, r: &TagReport) -> Route {
+        let route = match classify(&self.resolver, r) {
+            Some((user_id, tag_id)) => {
+                let (shard, slot) = match self.user_slots.get(&user_id) {
+                    Some(&assigned) => assigned,
+                    None => {
+                        let shard = shard_of_user(user_id, self.shards.len());
+                        let slot = self.assign_slot(shard);
+                        self.user_slots.insert(user_id, (shard, slot));
+                        let words = ShardMsg::Admit { slot, user_id }.encode();
+                        self.send_to(shard, &words);
+                        (shard, slot)
+                    }
+                };
+                Route::User {
+                    shard,
+                    slot,
+                    tag_id,
+                }
+            }
+            None => Route::Unknown,
+        };
+        self.routes
+            .admit_route(r.epc.user_id(), r.epc.tag_id(), route);
+        route
+    }
+}
+
+impl<R> FleetEngine<R> {
+    fn assign_slot(&mut self, shard: u32) -> u32 {
+        match self.shards.get_mut(shard as usize) {
+            Some(link) => {
+                let slot = link.next_slot;
+                link.next_slot = link.next_slot.wrapping_add(1);
+                slot
+            }
+            None => 0,
+        }
+    }
+
+    /// Broadcasts a snapshot request for every due cadence point. The
+    /// request carries the current watermark (shards evict to it first)
+    /// and a monotonically increasing epoch for ordered merging.
+    fn request_due_snapshots(&mut self) {
+        while self.watermark_s >= self.next_update_s {
+            let words = ShardMsg::Snapshot {
+                watermark_s: self.watermark_s,
+                time_s: self.next_update_s,
+                epoch: self.next_epoch,
+            }
+            .encode();
+            self.broadcast(&words);
+            if self.recording {
+                self.epoch_started.insert(self.next_epoch, Instant::now());
+            }
+            self.next_epoch += 1;
+            self.last_evict_s = self.watermark_s;
+            self.next_update_s += self.update_every_s;
+        }
+        self.drain_results();
+    }
+
+    /// Blocking ring send with stall accounting: a full ring applies
+    /// bounded backpressure to the router instead of shedding reports.
+    fn send_to(&mut self, shard: u32, words: &[u64; SLOT_WORDS]) {
+        let Some(link) = self.shards.get_mut(shard as usize) else {
+            return;
+        };
+        let mut stalls = 0u64;
+        while !link.feed.try_push(words) {
+            stalls += 1;
+            thread::yield_now();
+        }
+        if stalls > 0 && self.recording {
+            self.recorder.add(
+                metrics::FLEET_RING_STALLS,
+                Some(Label::shard(shard)),
+                stalls,
+            );
+        }
+    }
+
+    fn broadcast(&mut self, words: &[u64; SLOT_WORDS]) {
+        for shard in 0..u32::try_from(self.shards.len()).unwrap_or(0) {
+            self.send_to(shard, words);
+        }
+    }
+
+    fn drain_results(&mut self) {
+        while let Ok(part) = self.results.try_recv() {
+            self.absorb(part);
+        }
+    }
+
+    fn absorb(&mut self, mut part: ShardPart) {
+        if self.recording {
+            let label = Some(Label::shard(part.shard));
+            self.recorder
+                .set_gauge(metrics::FLEET_RING_DEPTH, label, part.ring_depth as f64);
+            self.recorder
+                .set_gauge(metrics::FLEET_SHARD_USERS, label, part.occupancy as f64);
+        }
+        let entry = self.pending.entry(part.epoch).or_default();
+        entry.time_s = part.time_s;
+        entry.parts += 1;
+        entry.rates_bpm.append(&mut part.rates_bpm);
+        entry.effort_rms.append(&mut part.effort_rms);
+        entry.occupancy += part.occupancy;
+        entry.state_cells += part.state_cells;
+        self.flush_ready();
+    }
+
+    /// Emits every epoch whose parts have all arrived, in epoch order —
+    /// the "order-pinned merge" that makes fleet output deterministic.
+    fn flush_ready(&mut self) {
+        loop {
+            let complete = self
+                .pending
+                .get(&self.next_emit)
+                .is_some_and(|e| e.parts == self.shards.len());
+            if !complete {
+                return;
+            }
+            let Some(epoch) = self.pending.remove(&self.next_emit) else {
+                return;
+            };
+            if self.recording {
+                let rec = self.recorder.as_dyn();
+                if let Some(started) = self.epoch_started.remove(&self.next_emit) {
+                    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    rec.record(metrics::FLEET_HANDOFF_LATENCY_NS, ns);
+                }
+                rec.count(metrics::SNAPSHOTS, 1);
+                rec.count(metrics::RATES_REPORTED, epoch.rates_bpm.len() as u64);
+                let failures = epoch.occupancy.saturating_sub(epoch.rates_bpm.len());
+                if failures > 0 {
+                    rec.count(metrics::ANALYSIS_FAILURES, failures as u64);
+                }
+                rec.gauge(metrics::USERS_TRACKED, epoch.occupancy as f64);
+                rec.gauge(metrics::STATE_CELLS, epoch.state_cells as f64);
+                self.link_quality.publish(rec);
+            }
+            self.done.push(RateSnapshot {
+                time_s: epoch.time_s,
+                rates_bpm: epoch.rates_bpm,
+                effort_rms: epoch.effort_rms,
+            });
+            self.next_emit += 1;
+        }
+    }
+
+    /// Idempotent teardown: broadcast `Finish`, join workers, absorb every
+    /// remaining part.
+    fn shutdown(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let words = ShardMsg::Finish.encode();
+        for link in &mut self.shards {
+            while !link.feed.try_push(&words) {
+                thread::yield_now();
+            }
+        }
+        for link in &mut self.shards {
+            if let Some(worker) = link.worker.take() {
+                let _ = worker.join();
+            }
+        }
+        self.drain_results();
+    }
+}
+
+impl<R> Drop for FleetEngine<R> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A shard worker's event loop: decode ring messages, drive the core,
+/// publish snapshot parts. Runs until `Finish` (or a codec mismatch, which
+/// cannot happen with a same-version router).
+fn shard_worker(
+    shard: u32,
+    mut feed: RingConsumer,
+    config: PipelineConfig,
+    window_s: f64,
+    recorder: &SharedRecorder,
+    out: &mpsc::Sender<ShardPart>,
+) {
+    let mut core = ShardCore::new();
+    let tracer = SharedTracer::noop();
+    let mut idle: u32 = 0;
+    loop {
+        let Some(words) = feed.pop() else {
+            // Spin briefly for latency, then yield so oversubscribed hosts
+            // (more shards than cores) still make progress.
+            idle = idle.saturating_add(1);
+            if idle > 64 {
+                thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        };
+        idle = 0;
+        match ShardMsg::decode(&words) {
+            Some(ShardMsg::Report {
+                slot,
+                tag_id,
+                antenna_port,
+                channel_index,
+                time_s,
+                phase_rad,
+                rssi_dbm,
+                doppler_hz,
+            }) => {
+                // The EPC was consumed by the router's interner; per-user
+                // operators only read the measurement fields.
+                let report = TagReport {
+                    time_s,
+                    epc: Epc96::monitor(0, 0),
+                    antenna_port,
+                    channel_index,
+                    phase_rad,
+                    rssi_dbm,
+                    doppler_hz,
+                };
+                core.ingest(
+                    slot,
+                    tag_id,
+                    &report,
+                    &config,
+                    recorder.as_dyn(),
+                    tracer.as_dyn(),
+                );
+            }
+            Some(ShardMsg::Admit { slot, user_id }) => core.admit_user_at(slot, user_id),
+            Some(ShardMsg::Evict { watermark_s }) => {
+                core.evict(watermark_s, window_s, &config, recorder.as_dyn());
+            }
+            Some(ShardMsg::Snapshot {
+                watermark_s,
+                time_s,
+                epoch,
+            }) => {
+                core.evict(watermark_s, window_s, &config, recorder.as_dyn());
+                let mut rates_bpm = BTreeMap::new();
+                let mut effort_rms = BTreeMap::new();
+                core.snapshot_into(&config, &mut rates_bpm, &mut effort_rms);
+                let part = ShardPart {
+                    shard,
+                    epoch,
+                    time_s,
+                    rates_bpm,
+                    effort_rms,
+                    occupancy: core.occupancy(),
+                    state_cells: core.state_cells(),
+                    ring_depth: feed.depth_hint(),
+                };
+                if out.send(part).is_err() {
+                    return;
+                }
+            }
+            Some(ShardMsg::Finish) | None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epcgen2::mapping::EmbeddedIdentity;
+
+    fn report(user: u64, tag: u32, t: f64) -> TagReport {
+        TagReport {
+            time_s: t,
+            epc: Epc96::monitor(user, tag),
+            antenna_port: 1,
+            channel_index: 3,
+            phase_rad: 1.0 + (0.4 * t).sin() * 0.08,
+            rssi_dbm: -52.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    #[test]
+    fn routes_users_and_emits_cadence_snapshots() -> Result<(), &'static str> {
+        let mut fleet = FleetEngine::new(
+            PipelineConfig::paper_default(),
+            EmbeddedIdentity::new([1, 2, 3]),
+            10.0,
+            5.0,
+            2,
+        )
+        .map_err(|_| "construction failed")?;
+        let mut reports = Vec::new();
+        let mut t = 0.0;
+        while t < 21.0 {
+            for user in 1..=3u64 {
+                reports.push(report(
+                    user,
+                    0,
+                    t + f64::from(u32::try_from(user).unwrap_or(0)) * 1e-4,
+                ));
+            }
+            t += 0.05;
+        }
+        let mut snaps = fleet.push(reports);
+        assert_eq!(fleet.routed_users(), 3);
+        assert_eq!(fleet.shard_count(), 2);
+        snaps.extend(fleet.finish());
+        assert_eq!(snaps.len(), 4, "cadence points at 5,10,15,20 s");
+        let times: Vec<f64> = snaps.iter().map(|s| s.time_s).collect();
+        assert_eq!(times, [5.0, 10.0, 15.0, 20.0]);
+        Ok(())
+    }
+
+    #[test]
+    fn unknown_epcs_are_cached_not_fatal() -> Result<(), &'static str> {
+        let mut fleet = FleetEngine::new(
+            PipelineConfig::paper_default(),
+            EmbeddedIdentity::new([1]),
+            10.0,
+            5.0,
+            3,
+        )
+        .map_err(|_| "construction failed")?;
+        let stray: Vec<TagReport> = (0..100)
+            .map(|i| report(u64::MAX, 7, f64::from(i) * 0.01))
+            .collect();
+        let snaps = fleet.push(stray);
+        assert!(snaps.is_empty());
+        assert_eq!(fleet.routed_users(), 0);
+        assert!(fleet.finish().is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() -> Result<(), &'static str> {
+        let fleet = FleetEngine::new(
+            PipelineConfig::paper_default(),
+            EmbeddedIdentity::new([1]),
+            10.0,
+            5.0,
+            4,
+        )
+        .map_err(|_| "construction failed")?;
+        drop(fleet); // must not hang or leak threads
+        Ok(())
+    }
+}

@@ -1,0 +1,200 @@
+//! Fixed-width encoding of shard feed messages into ring slots.
+//!
+//! Every message the router sends a shard worker is packed into one
+//! [`SLOT_WORDS`]-word ring slot:
+//!
+//! ```text
+//! w0: kind(8) | antenna_port(8) | channel_index(16) | slot(32)
+//! w1: tag_id / user_id / f64-bits payload   (kind-dependent)
+//! w2..w5: f64 bit patterns                  (kind-dependent)
+//! ```
+//!
+//! Floats travel as `f64::to_bits` so the decode is bit-exact: a report
+//! replayed through a ring produces byte-identical per-user state to one
+//! pushed in-process, which is what the fleet equivalence tests pin down.
+
+use super::ring::SLOT_WORDS;
+
+const KIND_REPORT: u64 = 0;
+const KIND_ADMIT: u64 = 1;
+const KIND_EVICT: u64 = 2;
+const KIND_SNAPSHOT: u64 = 3;
+const KIND_FINISH: u64 = 4;
+
+/// A decoded shard feed message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardMsg {
+    /// One tag read routed to a user slot on this shard.
+    Report {
+        /// Dense per-shard user slot assigned at admission.
+        slot: u32,
+        /// Short tag ID from the resolved identity.
+        tag_id: u32,
+        /// Reader antenna port of the read.
+        antenna_port: u8,
+        /// Frequency-hop channel index of the read.
+        channel_index: u16,
+        /// Read timestamp, seconds.
+        time_s: f64,
+        /// Low-level phase sample, radians.
+        phase_rad: f64,
+        /// Received signal strength, dBm.
+        rssi_dbm: f64,
+        /// Reader-reported Doppler shift, Hz.
+        doppler_hz: f64,
+    },
+    /// Bind `user_id` to dense `slot` before its first report arrives.
+    Admit {
+        /// Dense per-shard user slot being created.
+        slot: u32,
+        /// The 64-bit user identity owning the slot.
+        user_id: u64,
+    },
+    /// Evict samples older than the window behind `watermark_s`.
+    Evict {
+        /// Stream watermark at the eviction point, seconds.
+        watermark_s: f64,
+    },
+    /// Evict, then publish a snapshot part stamped `epoch`.
+    Snapshot {
+        /// Stream watermark driving the pre-snapshot eviction, seconds.
+        watermark_s: f64,
+        /// Cadence timestamp the snapshot reports as its time, seconds.
+        time_s: f64,
+        /// Monotonic snapshot sequence number for ordered merging.
+        epoch: u64,
+    },
+    /// Final message: drain and exit the worker loop.
+    Finish,
+}
+
+fn pack_header(kind: u64, port: u8, channel: u16, slot: u32) -> u64 {
+    kind | u64::from(port) << 8 | u64::from(channel) << 16 | u64::from(slot) << 32
+}
+
+impl ShardMsg {
+    /// Packs the message into one ring slot.
+    #[must_use]
+    pub fn encode(&self) -> [u64; SLOT_WORDS] {
+        match *self {
+            ShardMsg::Report {
+                slot,
+                tag_id,
+                antenna_port,
+                channel_index,
+                time_s,
+                phase_rad,
+                rssi_dbm,
+                doppler_hz,
+            } => [
+                pack_header(KIND_REPORT, antenna_port, channel_index, slot),
+                u64::from(tag_id),
+                time_s.to_bits(),
+                phase_rad.to_bits(),
+                rssi_dbm.to_bits(),
+                doppler_hz.to_bits(),
+            ],
+            ShardMsg::Admit { slot, user_id } => {
+                [pack_header(KIND_ADMIT, 0, 0, slot), user_id, 0, 0, 0, 0]
+            }
+            ShardMsg::Evict { watermark_s } => [
+                pack_header(KIND_EVICT, 0, 0, 0),
+                watermark_s.to_bits(),
+                0,
+                0,
+                0,
+                0,
+            ],
+            ShardMsg::Snapshot {
+                watermark_s,
+                time_s,
+                epoch,
+            } => [
+                pack_header(KIND_SNAPSHOT, 0, 0, 0),
+                watermark_s.to_bits(),
+                time_s.to_bits(),
+                epoch,
+                0,
+                0,
+            ],
+            ShardMsg::Finish => [pack_header(KIND_FINISH, 0, 0, 0), 0, 0, 0, 0, 0],
+        }
+    }
+
+    /// Unpacks a ring slot. Returns `None` for an unknown kind tag, which
+    /// only happens if producer and consumer disagree on the codec version.
+    #[must_use]
+    pub fn decode(words: &[u64; SLOT_WORDS]) -> Option<ShardMsg> {
+        let [header, w1, w2, w3, w4, w5] = *words;
+        let port = u8::try_from(header >> 8 & 0xFF).unwrap_or(0);
+        let channel = u16::try_from(header >> 16 & 0xFFFF).unwrap_or(0);
+        let slot = u32::try_from(header >> 32).unwrap_or(0);
+        match header & 0xFF {
+            KIND_REPORT => Some(ShardMsg::Report {
+                slot,
+                tag_id: u32::try_from(w1 & 0xFFFF_FFFF).unwrap_or(0),
+                antenna_port: port,
+                channel_index: channel,
+                time_s: f64::from_bits(w2),
+                phase_rad: f64::from_bits(w3),
+                rssi_dbm: f64::from_bits(w4),
+                doppler_hz: f64::from_bits(w5),
+            }),
+            KIND_ADMIT => Some(ShardMsg::Admit { slot, user_id: w1 }),
+            KIND_EVICT => Some(ShardMsg::Evict {
+                watermark_s: f64::from_bits(w1),
+            }),
+            KIND_SNAPSHOT => Some(ShardMsg::Snapshot {
+                watermark_s: f64::from_bits(w1),
+                time_s: f64::from_bits(w2),
+                epoch: w3,
+            }),
+            KIND_FINISH => Some(ShardMsg::Finish),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_bit_exact() {
+        let msg = ShardMsg::Report {
+            slot: 123_456,
+            tag_id: 7,
+            antenna_port: 3,
+            channel_index: 49,
+            time_s: 12.345_678_901,
+            phase_rad: -2.618_033_989,
+            rssi_dbm: -61.25,
+            doppler_hz: 0.1 + 0.2, // deliberately non-representable sum
+        };
+        assert_eq!(ShardMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for msg in [
+            ShardMsg::Admit {
+                slot: u32::MAX,
+                user_id: u64::MAX - 1,
+            },
+            ShardMsg::Evict { watermark_s: 90.5 },
+            ShardMsg::Snapshot {
+                watermark_s: 88.0,
+                time_s: 90.0,
+                epoch: 17,
+            },
+            ShardMsg::Finish,
+        ] {
+            assert_eq!(ShardMsg::decode(&msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert_eq!(ShardMsg::decode(&[0xFF, 0, 0, 0, 0, 0]), None);
+    }
+}

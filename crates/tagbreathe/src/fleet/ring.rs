@@ -1,0 +1,256 @@
+//! Bounded lock-free single-producer/single-consumer ring for shard feeds.
+//!
+//! Each fleet shard is fed over one of these rings by the router thread: one
+//! producer (the router), one consumer (the shard worker). The design is the
+//! classic Lamport queue with monotonically increasing head/tail sequence
+//! counters, built entirely from `AtomicU64` words so the shard-safety lint
+//! can verify there is no interior mutability or raw-pointer aliasing in the
+//! shard state closure.
+//!
+//! Slots are fixed at [`SLOT_WORDS`] `u64` words: large enough for an encoded
+//! [`ShardMsg`](super::msg::ShardMsg), small enough to keep a slot within one
+//! or two cache lines. The producer caches the consumer's tail (and vice
+//! versa) so the common-case `try_push`/`pop` touch only one shared atomic.
+//!
+//! Memory ordering: slot words are written with `Relaxed` stores and
+//! published by a `Release` store of `head`; the consumer `Acquire`-loads
+//! `head` before reading the words, which gives the usual release/acquire
+//! happens-before edge. The mirror-image protocol frees slots via `tail`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of `u64` words in one ring slot.
+pub const SLOT_WORDS: usize = 6;
+
+/// A cache-line-padded atomic counter, so the head and tail counters do not
+/// false-share one line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PadAtomic {
+    value: AtomicU64,
+}
+
+/// Shared state of a bounded SPSC ring of [`SLOT_WORDS`]-word slots.
+#[derive(Debug)]
+pub struct SpscRing {
+    /// Slot storage: `capacity * SLOT_WORDS` atomic words.
+    words: Vec<AtomicU64>,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: u64,
+    /// Next sequence number the producer will publish (monotonic).
+    head: PadAtomic,
+    /// Next sequence number the consumer will free (monotonic).
+    tail: PadAtomic,
+}
+
+impl SpscRing {
+    fn with_capacity(capacity_pow2: usize) -> Self {
+        let capacity = capacity_pow2.next_power_of_two().max(2);
+        let mut words = Vec::new();
+        words.resize_with(capacity * SLOT_WORDS, AtomicU64::default);
+        SpscRing {
+            words,
+            mask: (capacity as u64).saturating_sub(1),
+            head: PadAtomic::default(),
+            tail: PadAtomic::default(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.mask.wrapping_add(1)
+    }
+
+    fn slot_base(&self, seq: u64) -> usize {
+        // `seq & mask` is below capacity, so the product is in range; the
+        // widening cast to usize is lossless on the supported targets.
+        (seq & self.mask) as usize * SLOT_WORDS
+    }
+}
+
+/// Creates a connected producer/consumer pair over a fresh ring.
+///
+/// `capacity` is rounded up to the next power of two (minimum 2 slots).
+#[must_use]
+pub fn channel(capacity: usize) -> (RingProducer, RingConsumer) {
+    let ring = Arc::new(SpscRing::with_capacity(capacity));
+    (
+        RingProducer {
+            ring: Arc::clone(&ring),
+            cached_tail: 0,
+        },
+        RingConsumer {
+            ring,
+            cached_head: 0,
+        },
+    )
+}
+
+/// The producer half of an SPSC ring. Not clonable: exactly one producer.
+#[derive(Debug)]
+pub struct RingProducer {
+    ring: Arc<SpscRing>,
+    /// Last observed consumer tail; refreshed only when the ring looks full.
+    cached_tail: u64,
+}
+
+impl RingProducer {
+    /// Attempts to enqueue one slot. Returns `false` when the ring is full
+    /// (after refreshing the cached tail), leaving the slot unconsumed.
+    pub fn try_push(&mut self, slot: &[u64; SLOT_WORDS]) -> bool {
+        let head = self.ring.head.value.load(Ordering::Relaxed);
+        if head.wrapping_sub(self.cached_tail) >= self.ring.capacity() {
+            self.cached_tail = self.ring.tail.value.load(Ordering::Acquire);
+            if head.wrapping_sub(self.cached_tail) >= self.ring.capacity() {
+                return false;
+            }
+        }
+        let base = self.ring.slot_base(head);
+        for (i, &word) in slot.iter().enumerate() {
+            if let Some(cell) = self.ring.words.get(base + i) {
+                cell.store(word, Ordering::Relaxed);
+            }
+        }
+        self.ring
+            .head
+            .value
+            .store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Occupied slots from the producer's view (an upper bound: the consumer
+    /// may have drained since the cached tail was refreshed).
+    #[must_use]
+    pub fn depth_hint(&self) -> u64 {
+        self.ring
+            .head
+            .value
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.ring.tail.value.load(Ordering::Acquire))
+    }
+}
+
+/// The consumer half of an SPSC ring. Not clonable: exactly one consumer.
+#[derive(Debug)]
+pub struct RingConsumer {
+    ring: Arc<SpscRing>,
+    /// Last observed producer head; refreshed only when the ring looks empty.
+    cached_head: u64,
+}
+
+impl RingConsumer {
+    /// Dequeues one slot, or `None` when the ring is empty (after refreshing
+    /// the cached head).
+    pub fn pop(&mut self) -> Option<[u64; SLOT_WORDS]> {
+        let tail = self.ring.tail.value.load(Ordering::Relaxed);
+        if tail == self.cached_head {
+            self.cached_head = self.ring.head.value.load(Ordering::Acquire);
+            if tail == self.cached_head {
+                return None;
+            }
+        }
+        let base = self.ring.slot_base(tail);
+        let mut out = [0u64; SLOT_WORDS];
+        for (i, word) in out.iter_mut().enumerate() {
+            if let Some(cell) = self.ring.words.get(base + i) {
+                *word = cell.load(Ordering::Relaxed);
+            }
+        }
+        self.ring
+            .tail
+            .value
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Some(out)
+    }
+
+    /// Occupied slots from the consumer's view (a lower bound: the producer
+    /// may have published since the cached head was refreshed).
+    #[must_use]
+    pub fn depth_hint(&self) -> u64 {
+        self.ring
+            .head
+            .value
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.ring.tail.value.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let (mut tx, mut rx) = channel(4);
+        assert!(rx.pop().is_none());
+        assert!(tx.try_push(&[1, 2, 3, 4, 5, 6]));
+        assert_eq!(rx.pop(), Some([1, 2, 3, 4, 5, 6]));
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn fills_at_capacity_and_recovers() {
+        let (mut tx, mut rx) = channel(4);
+        for i in 0..4 {
+            assert!(tx.try_push(&[i; SLOT_WORDS]), "slot {i}");
+        }
+        assert!(!tx.try_push(&[9; SLOT_WORDS]));
+        assert_eq!(tx.depth_hint(), 4);
+        assert_eq!(rx.pop(), Some([0; SLOT_WORDS]));
+        assert!(tx.try_push(&[9; SLOT_WORDS]));
+        assert_eq!(rx.pop(), Some([1; SLOT_WORDS]));
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (mut tx, _rx) = channel(3);
+        for i in 0..4 {
+            assert!(tx.try_push(&[i; SLOT_WORDS]));
+        }
+        assert!(!tx.try_push(&[4; SLOT_WORDS]));
+    }
+
+    #[test]
+    fn preserves_fifo_order_across_wrap() {
+        let (mut tx, mut rx) = channel(2);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..11 {
+            while tx.try_push(&[next_in; SLOT_WORDS]) {
+                next_in += 1;
+            }
+            while let Some(slot) = rx.pop() {
+                assert_eq!(slot, [next_out; SLOT_WORDS]);
+                next_out += 1;
+            }
+        }
+        assert_eq!(next_in, next_out);
+        assert!(next_out >= 11);
+    }
+
+    #[test]
+    fn cross_thread_sequences_arrive_intact() -> Result<(), &'static str> {
+        let (mut tx, mut rx) = channel(8);
+        let n = 10_000u64;
+        let worker = std::thread::spawn(move || {
+            let mut expected = 0u64;
+            while expected < n {
+                if let Some(slot) = rx.pop() {
+                    if slot != [expected; SLOT_WORDS] {
+                        return Err("slot corrupted in transit");
+                    }
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            Ok(())
+        });
+        for i in 0..n {
+            while !tx.try_push(&[i; SLOT_WORDS]) {
+                std::thread::yield_now();
+            }
+        }
+        worker.join().map_err(|_| "consumer panicked")?
+    }
+}

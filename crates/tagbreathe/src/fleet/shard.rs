@@ -1,0 +1,228 @@
+//! A shard's slab of per-user stream state.
+//!
+//! [`ShardCore`] owns the [`UserStreamState`]s of every user routed to one
+//! shard, addressed by the dense slot the interner assigned at admission.
+//! The same core drives both deployment shapes: [`StreamingMonitor`]
+//! (single shard, inline on the caller's thread) and the fleet engine's
+//! worker threads (one core per shard, fed over a ring). Keeping one
+//! implementation is what makes the sharded engine bit-identical to the
+//! single-threaded one: a report mutates exactly the same state machine
+//! either way.
+//!
+//! [`StreamingMonitor`]: crate::pipeline::StreamingMonitor
+
+use crate::config::PipelineConfig;
+use crate::monitor::analyze_displacement;
+use crate::operators::UserStreamState;
+use epcgen2::report::TagReport;
+use obs::trace::{TraceEvent, Tracer};
+use obs::Recorder;
+use std::collections::BTreeMap;
+
+/// Slab of user stream states owned by one shard.
+#[derive(Debug, Default)]
+pub struct ShardCore {
+    states: Vec<UserStreamState>,
+    user_ids: Vec<u64>,
+}
+
+impl ShardCore {
+    /// An empty shard.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardCore::default()
+    }
+
+    /// Binds `user_id` to the next dense slot and returns that slot. Cold:
+    /// called once per user at admission.
+    pub(crate) fn admit_user(&mut self, user_id: u64) -> u32 {
+        self.states.push(UserStreamState::default());
+        self.user_ids.push(user_id);
+        u32::try_from(self.user_ids.len().saturating_sub(1)).unwrap_or(u32::MAX)
+    }
+
+    /// Binds `user_id` at an externally assigned `slot`, padding the slab if
+    /// the admit message for an earlier slot was addressed elsewhere. Used
+    /// by fleet workers replaying the router's admission order.
+    pub(crate) fn admit_user_at(&mut self, slot: u32, user_id: u64) {
+        let at = slot as usize;
+        while self.states.len() <= at {
+            self.states.push(UserStreamState::default());
+            self.user_ids.push(0);
+        }
+        if let Some(cell) = self.user_ids.get_mut(at) {
+            *cell = user_id;
+        }
+    }
+
+    /// Hot path: routes one resolved report into the user state at `slot`.
+    /// Emits the per-read provenance event first, mirroring the pre-fleet
+    /// demux ordering.
+    pub(crate) fn ingest(
+        &mut self,
+        slot: u32,
+        tag_id: u32,
+        report: &TagReport,
+        config: &PipelineConfig,
+        rec: &dyn Recorder,
+        tracer: &dyn Tracer,
+    ) {
+        let at = slot as usize;
+        let user_id = self.user_ids.get(at).copied().unwrap_or(0);
+        if tracer.enabled() {
+            tracer.emit(TraceEvent::read(
+                report.time_s,
+                user_id,
+                tag_id,
+                report.antenna_port,
+                report.channel_index,
+                report.phase_rad,
+                report.rssi_dbm,
+            ));
+        }
+        if let Some(state) = self.states.get_mut(at) {
+            state.push_traced(user_id, tag_id, report, config, rec, tracer);
+        }
+    }
+
+    /// Evicts samples older than the window on every occupied slot. A slot
+    /// whose state empties is reset to a fresh default, releasing buffers
+    /// exactly as the pre-fleet `BTreeMap::retain` dropped the entry.
+    pub(crate) fn evict(
+        &mut self,
+        watermark_s: f64,
+        window_s: f64,
+        config: &PipelineConfig,
+        rec: &dyn Recorder,
+    ) {
+        for state in &mut self.states {
+            if state.is_empty() {
+                continue;
+            }
+            state.evict_observed(watermark_s, window_s, config, rec);
+            if state.is_empty() {
+                *state = UserStreamState::default();
+            }
+        }
+    }
+
+    /// Analyzes every occupied slot into the per-user rate and effort maps.
+    /// Keys are user IDs, so parts from disjoint shards merge without
+    /// collisions.
+    pub(crate) fn snapshot_into(
+        &self,
+        config: &PipelineConfig,
+        rates_bpm: &mut BTreeMap<u64, f64>,
+        effort_rms: &mut BTreeMap<u64, f64>,
+    ) {
+        for (state, &id) in self.states.iter().zip(&self.user_ids) {
+            let Some(snap) = state.snapshot(config) else {
+                continue;
+            };
+            let Ok(analysis) = analyze_displacement(
+                config,
+                snap.antenna_port,
+                snap.report_count,
+                snap.displacement,
+            ) else {
+                continue;
+            };
+            if let Some(bpm) = analysis.mean_rate_bpm() {
+                rates_bpm.insert(id, bpm);
+            }
+            if let Some(effort) = dsp::stats::rms(analysis.breath_signal.values()) {
+                effort_rms.insert(id, effort);
+            }
+        }
+    }
+
+    /// Number of slots currently holding buffered samples. Matches the
+    /// pre-fleet `users.len()` (the map never held empty states after an
+    /// eviction pass).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.states.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Total buffered cells across all slots (samples, bins and tracks).
+    #[must_use]
+    pub fn state_cells(&self) -> usize {
+        self.states.iter().map(UserStreamState::state_cells).sum()
+    }
+
+    /// Distinct tags currently buffered across all slots.
+    #[must_use]
+    pub fn tag_count(&self) -> usize {
+        self.states.iter().map(UserStreamState::tag_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epcgen2::epc::Epc96;
+
+    fn report(user: u64, tag: u32, t: f64) -> TagReport {
+        TagReport {
+            time_s: t,
+            epc: Epc96::monitor(user, tag),
+            antenna_port: 1,
+            channel_index: 0,
+            phase_rad: 1.0 + t.sin() * 0.05,
+            rssi_dbm: -55.0,
+            doppler_hz: 0.0,
+        }
+    }
+
+    #[test]
+    fn admits_are_dense_and_ordered() {
+        let mut core = ShardCore::new();
+        assert_eq!(core.admit_user(10), 0);
+        assert_eq!(core.admit_user(20), 1);
+        core.admit_user_at(4, 50);
+        assert_eq!(core.admit_user(60), 5);
+        assert_eq!(core.occupancy(), 0);
+    }
+
+    #[test]
+    fn ingest_buffers_and_evict_resets() {
+        let cfg = PipelineConfig::paper_default();
+        let rec = obs::SharedRecorder::noop();
+        let tracer = obs::trace::SharedTracer::noop();
+        let mut core = ShardCore::new();
+        let slot = core.admit_user(1);
+        for i in 0..50 {
+            core.ingest(
+                slot,
+                0,
+                &report(1, 0, f64::from(i) * 0.03),
+                &cfg,
+                rec.as_dyn(),
+                tracer.as_dyn(),
+            );
+        }
+        assert_eq!(core.occupancy(), 1);
+        assert!(core.state_cells() > 0);
+        assert_eq!(core.tag_count(), 1);
+        core.evict(1000.0, 1.0, &cfg, rec.as_dyn());
+        assert_eq!(core.occupancy(), 0);
+        assert_eq!(core.state_cells(), 0);
+    }
+
+    #[test]
+    fn out_of_range_slot_is_ignored() {
+        let cfg = PipelineConfig::paper_default();
+        let rec = obs::SharedRecorder::noop();
+        let tracer = obs::trace::SharedTracer::noop();
+        let mut core = ShardCore::new();
+        core.ingest(
+            99,
+            0,
+            &report(1, 0, 0.0),
+            &cfg,
+            rec.as_dyn(),
+            tracer.as_dyn(),
+        );
+        assert_eq!(core.occupancy(), 0);
+    }
+}

@@ -56,6 +56,7 @@ pub mod config;
 pub mod demux;
 pub mod enhancement;
 pub mod extract;
+pub mod fleet;
 pub mod flight;
 pub mod fusion;
 pub mod metrics;
@@ -74,6 +75,7 @@ pub use config::{AntennaStrategy, FilterKind, PipelineConfig, PreprocessKind};
 pub use demux::{ChannelHop, LinkQualityTracker};
 pub use enhancement::{enhanced_estimates, Agreement, EnhancedEstimate};
 pub use epcgen2::report::TagReport;
+pub use fleet::FleetEngine;
 pub use flight::{
     Anomaly, AnomalyDetector, AnomalyKind, DiagnosticBundle, FlightDiagnostics, TriggerConfig,
 };

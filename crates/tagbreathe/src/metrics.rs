@@ -99,3 +99,23 @@ pub const TRACE_DROPPED_EVENTS: &str = "tagbreathe_trace_dropped_events_total";
 /// estimates, scaled by 1000 so the integer-valued histogram keeps three
 /// decimal places.
 pub const QUALITY_BAND_SNR_MILLI: &str = "tagbreathe_quality_band_snr_milli";
+
+/// Counter: reports routed onto shard rings by the fleet engine.
+pub const FLEET_REPORTS_ROUTED: &str = "tagbreathe_fleet_reports_routed_total";
+
+/// Counter, labelled `shard`: router stalls on a full shard ring — each
+/// stall is one bounded-backpressure spin that would have been a shed
+/// report in a lossy design.
+pub const FLEET_RING_STALLS: &str = "tagbreathe_fleet_ring_stalls_total";
+
+/// Gauge, labelled `shard`: ring occupancy a shard observed when it took
+/// its snapshot part (slots still queued behind the snapshot request).
+pub const FLEET_RING_DEPTH: &str = "tagbreathe_fleet_ring_depth";
+
+/// Gauge, labelled `shard`: users holding state on the shard at its last
+/// snapshot part.
+pub const FLEET_SHARD_USERS: &str = "tagbreathe_fleet_shard_users";
+
+/// Histogram: wall-clock latency from broadcasting a snapshot request to
+/// emitting the merged fleet snapshot, nanoseconds.
+pub const FLEET_HANDOFF_LATENCY_NS: &str = "tagbreathe_fleet_handoff_latency_ns";

@@ -281,7 +281,9 @@ impl UserStreamState {
                 };
             }
         }
-        let state = &mut self.tags[self.last_tag].1;
+        let Some((_, state)) = self.tags.get_mut(self.last_tag) else {
+            return; // unreachable: the slot above was just found or admitted
+        };
         state.stat.observe(report);
         match &mut state.pre {
             Preprocessor::Increments(unwrapper) => {
@@ -303,7 +305,10 @@ impl UserStreamState {
                                     i
                                 }
                             };
-                            &mut self.per_port[at].1
+                            let Some((_, acc)) = self.per_port.get_mut(at) else {
+                                return; // unreachable: admitted above
+                            };
+                            acc
                         }
                         AntennaStrategy::MergeAll => self
                             .merged
@@ -397,7 +402,7 @@ impl UserStreamState {
                         .per_port
                         .binary_search_by_key(&port, |slot| slot.0)
                         .ok()?;
-                    self.per_port[at].1.trajectory()?
+                    self.per_port.get(at)?.1.trajectory()?
                 }
                 AntennaStrategy::MergeAll => self.merged.as_ref()?.trajectory()?,
             },

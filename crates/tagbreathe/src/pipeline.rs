@@ -17,10 +17,10 @@
 //!   back-pressures the reader.
 
 use crate::config::PipelineConfig;
-use crate::demux::{LinkQualityTracker, StreamDemux};
+use crate::demux::{classify, LinkQualityTracker};
+use crate::fleet::interner::{IdentityCache, Route};
+use crate::fleet::shard::ShardCore;
 use crate::metrics;
-use crate::monitor::analyze_displacement;
-use crate::operators::UserStreamState;
 use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
 use obs::trace::{SharedTracer, TraceEvent, TraceSpan, Tracer};
@@ -65,8 +65,15 @@ pub struct RateSnapshot {
 #[derive(Debug)]
 pub struct StreamingMonitor<R> {
     config: PipelineConfig,
-    demux: StreamDemux<R>,
-    users: BTreeMap<u64, UserStreamState>,
+    resolver: R,
+    /// Hot-path EPC → route cache; consulted before the resolver.
+    routes: IdentityCache,
+    /// Cold-path user → dense slot map, for users wearing several tags.
+    user_slots: BTreeMap<u64, u32>,
+    /// The single shard this inline monitor drives.
+    core: ShardCore,
+    /// Snapshots that became due but have not been returned yet.
+    pending: Vec<RateSnapshot>,
     window_s: f64,
     update_every_s: f64,
     watermark_s: f64,
@@ -105,8 +112,11 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         }
         Ok(StreamingMonitor {
             config,
-            demux: StreamDemux::new(resolver),
-            users: BTreeMap::new(),
+            resolver,
+            routes: IdentityCache::new(),
+            user_slots: BTreeMap::new(),
+            core: ShardCore::new(),
+            pending: Vec::new(),
             window_s,
             update_every_s,
             watermark_s: 0.0,
@@ -214,7 +224,6 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     where
         I: IntoIterator<Item = TagReport>,
     {
-        let mut snapshots = Vec::new();
         for r in reports {
             self.watermark_s = self.watermark_s.max(r.time_s);
             if self.recording {
@@ -233,21 +242,14 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
                     }
                 }
             }
-            match self.demux.push(&r) {
-                Some((user_id, tag_id)) => {
-                    if self.tracing {
-                        self.tracer.emit(TraceEvent::read(
-                            r.time_s,
-                            user_id,
-                            tag_id,
-                            r.antenna_port,
-                            r.channel_index,
-                            r.phase_rad,
-                            r.rssi_dbm,
-                        ));
-                    }
-                    self.users.entry(user_id).or_default().push_traced(
-                        user_id,
+            let route = match self.routes.probe(r.epc.user_id(), r.epc.tag_id()) {
+                Some(route) => route,
+                None => self.admit_report(&r),
+            };
+            match route {
+                Route::User { slot, tag_id, .. } => {
+                    self.core.ingest(
+                        slot,
                         tag_id,
                         &r,
                         &self.config,
@@ -255,7 +257,7 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
                         self.tracer.as_dyn(),
                     );
                 }
-                None => {
+                Route::Unknown => {
                     if self.recording {
                         self.recorder.count(metrics::REPORTS_UNKNOWN, 1);
                     }
@@ -268,10 +270,8 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
                     }
                 }
             }
-            while self.watermark_s >= self.next_update_s {
-                self.evict();
-                snapshots.push(self.snapshot_observed(self.next_update_s));
-                self.next_update_s += self.update_every_s;
+            if self.watermark_s >= self.next_update_s {
+                self.emit_due();
             }
             // Keep state bounded even when the snapshot cadence is long
             // relative to the window.
@@ -279,7 +279,45 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
                 self.evict();
             }
         }
-        snapshots
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Cold path on a route-cache miss: resolve the EPC, intern the user
+    /// into the single inline shard, and cache the route (Unknown EPCs
+    /// are cached too, so item traffic stays O(1) per read).
+    fn admit_report(&mut self, r: &TagReport) -> Route {
+        let route = match classify(&self.resolver, r) {
+            Some((user_id, tag_id)) => {
+                let slot = match self.user_slots.get(&user_id) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = self.core.admit_user(user_id);
+                        self.user_slots.insert(user_id, slot);
+                        slot
+                    }
+                };
+                Route::User {
+                    shard: 0,
+                    slot,
+                    tag_id,
+                }
+            }
+            None => Route::Unknown,
+        };
+        self.routes
+            .admit_route(r.epc.user_id(), r.epc.tag_id(), route);
+        route
+    }
+
+    /// Cold path at a cadence boundary: emits every due snapshot into the
+    /// pending buffer, advancing the update clock.
+    fn emit_due(&mut self) {
+        while self.watermark_s >= self.next_update_s {
+            self.evict();
+            let snap = self.snapshot_observed(self.next_update_s);
+            self.pending.push(snap);
+            self.next_update_s += self.update_every_s;
+        }
     }
 
     /// Forces an immediate snapshot over the current window.
@@ -292,18 +330,18 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     /// phase references, buffered track samples and fusion bins. Bounded
     /// by window contents (plus the gap horizon), not stream length.
     pub fn buffered(&self) -> usize {
-        self.users.values().map(UserStreamState::state_cells).sum()
+        self.core.state_cells()
     }
 
     /// Number of users currently holding state.
     pub fn tracked_users(&self) -> usize {
-        self.users.len()
+        self.core.occupancy()
     }
 
     /// Number of `(antenna_port, tag_id)` slots currently holding state
     /// across all users.
     pub fn tracked_tags(&self) -> usize {
-        self.users.values().map(UserStreamState::tag_count).sum()
+        self.core.tag_count()
     }
 
     /// The active configuration.
@@ -321,15 +359,12 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
         } else {
             None
         };
-        for state in self.users.values_mut() {
-            state.evict_observed(
-                self.watermark_s,
-                self.window_s,
-                &self.config,
-                self.recorder.as_dyn(),
-            );
-        }
-        self.users.retain(|_, s| !s.is_empty());
+        self.core.evict(
+            self.watermark_s,
+            self.window_s,
+            &self.config,
+            self.recorder.as_dyn(),
+        );
         self.last_evict_s = self.watermark_s;
         if let Some(start) = start {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -355,11 +390,11 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
                 rec.record(metrics::SNAPSHOT_LATENCY_NS, ns);
                 rec.count(metrics::SNAPSHOTS, 1);
                 rec.count(metrics::RATES_REPORTED, snap.rates_bpm.len() as u64);
-                let failures = self.users.len().saturating_sub(snap.rates_bpm.len());
+                let failures = self.core.occupancy().saturating_sub(snap.rates_bpm.len());
                 if failures > 0 {
                     rec.count(metrics::ANALYSIS_FAILURES, failures as u64);
                 }
-                rec.gauge(metrics::USERS_TRACKED, self.users.len() as f64);
+                rec.gauge(metrics::USERS_TRACKED, self.core.occupancy() as f64);
                 rec.gauge(metrics::STATE_CELLS, self.buffered() as f64);
                 self.link_quality.publish(rec);
                 snap
@@ -383,25 +418,8 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     fn snapshot(&self, time_s: f64) -> RateSnapshot {
         let mut rates_bpm = BTreeMap::new();
         let mut effort_rms = BTreeMap::new();
-        for (&id, state) in &self.users {
-            let Some(snap) = state.snapshot(&self.config) else {
-                continue;
-            };
-            let Ok(analysis) = analyze_displacement(
-                &self.config,
-                snap.antenna_port,
-                snap.report_count,
-                snap.displacement,
-            ) else {
-                continue;
-            };
-            if let Some(bpm) = analysis.mean_rate_bpm() {
-                rates_bpm.insert(id, bpm);
-            }
-            if let Some(effort) = dsp::stats::rms(analysis.breath_signal.values()) {
-                effort_rms.insert(id, effort);
-            }
-        }
+        self.core
+            .snapshot_into(&self.config, &mut rates_bpm, &mut effort_rms);
         RateSnapshot {
             time_s,
             rates_bpm,
@@ -410,7 +428,7 @@ impl<R: IdentityResolver> StreamingMonitor<R> {
     }
 }
 
-fn validate_window_error() -> crate::config::InvalidConfigError {
+pub(crate) fn validate_window_error() -> crate::config::InvalidConfigError {
     // Construct via the public validation path so the message is uniform.
     let mut cfg = PipelineConfig::paper_default();
     cfg.fusion_bin_s = -1.0;

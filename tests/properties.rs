@@ -298,7 +298,7 @@ fn link_profile_timing_ordering() {
             miller_m: [1u8, 2, 4, 8][rng.gen_range(0..4)],
             round_overhead_us: 1_000,
         };
-        let t = profile.slot_timing();
+        let t = profile.slot_timing().expect("profile drawn in-range");
         assert!(t.empty_us < t.collision_us);
         assert!(t.collision_us < t.success_us);
         assert!(t.failed_us <= t.success_us);

@@ -93,7 +93,7 @@ fn commissioning_fallback_flows_into_the_pipeline() {
         word_success_probability: 0.5, // hostile: many writes fail
         max_retries: 2,
     };
-    let report = commission(&plan, &config, 7);
+    let report = commission(&plan, &config, 7).expect("valid write configuration");
     assert_eq!(report.written() + report.failed(), 3);
     // Every failed tag is covered by the fallback.
     assert_eq!(report.fallback.len(), report.failed());
