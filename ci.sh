@@ -11,8 +11,9 @@
 #   6. equivalence suite  cargo test -q --release --test equivalence
 #   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace
 #   8. fleet bench smoke  cargo run --release -p tagbreathe-bench --bin stream_bench -- --fleet --smoke
-#   9. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
-#  10. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 0
+#   9. loopback soak      cargo run --release -p tagbreathe-bench --bin loopback_soak -- --smoke
+#  10. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
+#  11. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 0
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
@@ -24,18 +25,21 @@
 # in its one-point smoke mode: the binary exits non-zero unless the
 # fleet's merged snapshot stream is bit-identical to the single-threaded
 # engine's, and its JSON output is re-validated here like the other
-# machine-readable artefacts. Step 9 is the in-tree
+# machine-readable artefacts. Step 9 drives a simulated reader fleet
+# through real TCP into tagbreathe-server (docs/PROTOCOL.md) and exits
+# non-zero unless every served snapshot is bit-identical to the inline
+# engine and nothing was shed. Step 10 is the in-tree
 # ratchet linter (crates/lint): it fails on any violation beyond
 # lint-baseline.txt AND on any uncommitted slack (a burn-down that
 # forgot `-- check --update-baseline`). It also emits the full report as
 # SARIF 2.1.0 (lint.sarif), re-validated with the linter's own in-tree
 # JSON validator (`validate-json`, backed by tagbreathe_obs::json).
-# Step 10 is the machine-readable hot-path cost inventory: it fails if a
+# Step 11 is the machine-readable hot-path cost inventory: it fails if a
 # `[hotpath]` root no longer resolves or the per-report path performs
 # any allocation or non-slab map lookup at all (`--max-sites 0` — the
 # slab/interner refactor burned the last two sites, and this pins the
-# ratchet shut), and its JSON is re-validated like the SARIF. Steps 9
-# and 10 together must finish inside the lint wall-clock budget below —
+# ratchet shut), and its JSON is re-validated like the SARIF. Steps 10
+# and 11 together must finish inside the lint wall-clock budget below —
 # the linter re-parses the workspace per invocation, so a runaway pass
 # shows up here before it slows every pre-commit hook.
 set -euo pipefail
@@ -71,6 +75,12 @@ cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --fleet --smoke
 test -s /tmp/BENCH_fleet_smoke.json \
     || { echo "ci: fleet bench output missing or empty" >&2; exit 1; }
 cargo run -q -p tagbreathe-lint -- validate-json /tmp/BENCH_fleet_smoke.json
+
+echo "==> loopback_soak --smoke"
+cargo run -q --release -p tagbreathe-bench --bin loopback_soak -- --smoke --out /tmp/BENCH_loopback_smoke.json
+test -s /tmp/BENCH_loopback_smoke.json \
+    || { echo "ci: loopback soak output missing or empty" >&2; exit 1; }
+cargo run -q -p tagbreathe-lint -- validate-json /tmp/BENCH_loopback_smoke.json
 
 echo "==> cargo run -p tagbreathe-lint -- check --format sarif --out /tmp/tagbreathe-lint.sarif"
 lint_started_s=$SECONDS

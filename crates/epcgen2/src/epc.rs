@@ -39,9 +39,13 @@ impl Epc96 {
     /// Builds an EPC from the raw 96-bit big-endian byte representation.
     pub fn from_bytes(bytes: [u8; 12]) -> Self {
         let mut user = [0u8; 8];
-        user.copy_from_slice(&bytes[..8]);
         let mut tag = [0u8; 4];
-        tag.copy_from_slice(&bytes[8..]);
+        for (dst, src) in user.iter_mut().zip(&bytes) {
+            *dst = *src;
+        }
+        for (dst, src) in tag.iter_mut().zip(bytes.iter().skip(8)) {
+            *dst = *src;
+        }
         Epc96 {
             user: u64::from_be_bytes(user),
             tag: u32::from_be_bytes(tag),
@@ -51,8 +55,14 @@ impl Epc96 {
     /// The raw 96-bit big-endian byte representation.
     pub fn to_bytes(self) -> [u8; 12] {
         let mut out = [0u8; 12];
-        out[..8].copy_from_slice(&self.user.to_be_bytes());
-        out[8..].copy_from_slice(&self.tag.to_be_bytes());
+        let words = self
+            .user
+            .to_be_bytes()
+            .into_iter()
+            .chain(self.tag.to_be_bytes());
+        for (dst, src) in out.iter_mut().zip(words) {
+            *dst = src;
+        }
         out
     }
 

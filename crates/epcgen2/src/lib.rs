@@ -14,7 +14,9 @@
 //!   breathing scenarios;
 //! * [`reader`] — the full reader loop: frequency hopping (Figure 5),
 //!   antenna round-robin, per-read physical-layer observation;
-//! * [`report`] — LLRP-style low-level reports and CSV trace replay.
+//! * [`report`] — LLRP-style low-level reports and CSV trace replay;
+//! * [`wire`] — the TagBreathe ingest wire protocol (TBIP/1) framing;
+//! * [`client`] — a reader-side [`client::ReaderClient`] speaking it.
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod client;
 pub mod epc;
 pub mod inventory;
 pub mod llrp;
@@ -44,11 +47,13 @@ pub mod report;
 pub mod select;
 pub mod session;
 pub mod timing;
+pub mod wire;
 pub mod world;
 pub mod writer;
 
+pub use client::{ClientError, ReaderClient};
 pub use epc::Epc96;
-pub use mapping::{EmbeddedIdentity, IdentityResolver, MappingTable, TagIdentity};
+pub use mapping::{EmbeddedIdentity, IdentityResolver, MappingTable, OpenAdmission, TagIdentity};
 pub use reader::{Reader, ReaderConfig};
 pub use report::TagReport;
 pub use select::SelectMask;

@@ -58,6 +58,23 @@ impl IdentityResolver for EmbeddedIdentity {
     }
 }
 
+/// Resolver that admits *every* EPC as a monitoring tag via the embedded
+/// layout. This is the ingest-server default: a deployment-wide service
+/// cannot enumerate its user population up front, so admission control
+/// moves to the reader hosts (which only commission monitoring tags) and
+/// the server trusts the embedded identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenAdmission;
+
+impl IdentityResolver for OpenAdmission {
+    fn resolve(&self, epc: Epc96) -> TagIdentity {
+        TagIdentity::Monitor {
+            user_id: epc.user_id(),
+            tag_id: epc.tag_id(),
+        }
+    }
+}
+
 /// Fallback resolver: an explicit factory-EPC → identity table.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappingTable {

@@ -42,6 +42,18 @@ impl Label {
     pub fn shard(shard: u32) -> Self {
         Label::new("shard", u64::from(shard))
     }
+
+    /// The conventional ingest-reader label (server-side sessions).
+    #[must_use]
+    pub fn reader(reader: u32) -> Self {
+        Label::new("reader", u64::from(reader))
+    }
+
+    /// The conventional protocol-error-code label on shed counters.
+    #[must_use]
+    pub fn code(code: u8) -> Self {
+        Label::new("code", u64::from(code))
+    }
 }
 
 /// A metric sink.

@@ -1,0 +1,90 @@
+//! The `tagbreathe-server` binary: a deployable ingest service.
+//!
+//! ```text
+//! tagbreathe-server [--ingest ADDR] [--http ADDR] [--shards N]
+//!                   [--window SECS] [--update-every SECS]
+//!                   [--duration SECS]
+//! ```
+//!
+//! Binds the ingest and HTTP listeners, prints both bound addresses to
+//! stdout (machine-readable, one per line), and runs until `--duration`
+//! elapses (default: forever). See `docs/OPERATIONS.md`.
+
+use std::time::Duration;
+use tagbreathe_server::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tagbreathe-server [--ingest ADDR] [--http ADDR] [--shards N]\n\
+         \x20                        [--window SECS] [--update-every SECS] [--duration SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        ingest_addr: "127.0.0.1:4610".into(),
+        http_addr: "127.0.0.1:4611".into(),
+        ..ServerConfig::default()
+    };
+    let mut duration_s: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("missing value for {name}");
+                    usage();
+                }
+            }
+        };
+        match flag.as_str() {
+            "--ingest" => config.ingest_addr = value("--ingest"),
+            "--http" => config.http_addr = value("--http"),
+            "--shards" => match value("--shards").parse() {
+                Ok(n) => config.shards = n,
+                Err(_) => usage(),
+            },
+            "--window" => match value("--window").parse() {
+                Ok(s) => config.window_s = s,
+                Err(_) => usage(),
+            },
+            "--update-every" => match value("--update-every").parse() {
+                Ok(s) => config.update_every_s = s,
+                Err(_) => usage(),
+            },
+            "--duration" => match value("--duration").parse() {
+                Ok(s) => duration_s = Some(s),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ingest {}", handle.ingest_addr());
+    println!("http {}", handle.http_addr());
+
+    match duration_s {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs_f64(secs.max(0.0)));
+            let snapshots = handle.shutdown();
+            eprintln!("served {} snapshots", snapshots.len());
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}

@@ -1,0 +1,200 @@
+//! The engine thread: single consumer of session events, owner of the
+//! merge lanes, the fleet engine, the snapshot log, and the flight
+//! recorder.
+//!
+//! Sessions never touch the [`tagbreathe::FleetEngine`] directly — they
+//! enqueue `EngineEvent`s on a bounded channel and the engine thread
+//! applies them in arrival order. Because the [`crate::merge`] lanes make
+//! the release order independent of arrival interleave, the reports the
+//! fleet sees (and therefore every served snapshot) are bit-identical to
+//! an inline run over the same per-reader streams.
+
+use crate::merge::LaneMerger;
+use crate::metrics;
+use obs::recorder::{Recorder, SharedRecorder};
+use obs::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use tagbreathe::flight::FlightDiagnostics;
+use tagbreathe::{FleetEngine, RateSnapshot, TagReport};
+
+use epcgen2::mapping::IdentityResolver;
+
+/// A unit of work for the engine thread.
+#[derive(Debug)]
+pub(crate) enum EngineEvent {
+    /// A session completed its Hello: open a merge lane.
+    Open {
+        /// Reader identity from the Hello.
+        reader: u32,
+    },
+    /// An accepted Batch frame (clock offset already applied).
+    Batch {
+        /// Reader identity.
+        reader: u32,
+        /// The decoded reports, session-FIFO order.
+        reports: Vec<TagReport>,
+        /// The frame's reader clock, seconds.
+        reader_clock_s: f64,
+    },
+    /// A Heartbeat frame: advance the lane watermark.
+    Heartbeat {
+        /// Reader identity.
+        reader: u32,
+        /// The frame's reader clock, seconds.
+        reader_clock_s: f64,
+    },
+    /// The session ended (Goodbye, EOF, error): close the lane.
+    Close {
+        /// Reader identity.
+        reader: u32,
+    },
+}
+
+/// The most recent analysis for one user, served at `/snapshot/{user}`.
+#[derive(Debug, Clone, Copy)]
+pub struct UserSnapshot {
+    /// Stream time of the snapshot that produced it, seconds.
+    pub time_s: f64,
+    /// Windowed breathing rate, bpm.
+    pub rate_bpm: f64,
+    /// Breathing-effort RMS of the extracted signal.
+    pub effort_rms: f64,
+}
+
+/// Snapshot state shared between the engine thread and the HTTP surface.
+#[derive(Debug, Default)]
+pub(crate) struct SnapshotStore {
+    /// Every snapshot emitted, in epoch order (bounded by the server's
+    /// `snapshot_log` config; oldest dropped first).
+    pub log: Vec<RateSnapshot>,
+    /// Snapshots dropped from the front of `log` to honour the bound.
+    pub trimmed: u64,
+    /// Latest per-user analysis.
+    pub latest: BTreeMap<u64, UserSnapshot>,
+    /// Rendered flight-recorder bundles (JSON), oldest first.
+    pub bundles: Vec<String>,
+}
+
+/// Everything the engine thread owns, bundled for [`run_engine`].
+pub(crate) struct EngineState<R> {
+    pub fleet: FleetEngine<R>,
+    pub flight: FlightDiagnostics,
+    pub recorder: SharedRecorder,
+    pub log_cap: usize,
+}
+
+/// Consumes events until every sender hangs up, then drains the lanes,
+/// finishes the fleet, and returns.
+pub(crate) fn run_engine<R: IdentityResolver>(
+    rx: &Receiver<EngineEvent>,
+    mut state: EngineState<R>,
+    store: &Mutex<SnapshotStore>,
+) {
+    let mut merger = LaneMerger::new();
+    while let Ok(event) = rx.recv() {
+        match event {
+            EngineEvent::Open { reader } => merger.open(reader),
+            EngineEvent::Batch {
+                reader,
+                reports,
+                reader_clock_s,
+            } => {
+                merger.push(reader, reports, reader_clock_s);
+            }
+            EngineEvent::Heartbeat {
+                reader,
+                reader_clock_s,
+            } => merger.heartbeat(reader, reader_clock_s),
+            EngineEvent::Close { reader } => merger.close(reader),
+        }
+        let released = merger.release();
+        feed(&mut state, store, released);
+    }
+    // All sessions and the acceptor are gone: flush everything.
+    let rest = merger.drain_all();
+    feed(&mut state, store, rest);
+    let EngineState {
+        fleet,
+        mut flight,
+        recorder,
+        log_cap,
+    } = state;
+    let tail = fleet.finish();
+    for snap in tail {
+        publish(&mut flight, &recorder, store, log_cap, snap);
+    }
+}
+
+fn feed<R: IdentityResolver>(
+    state: &mut EngineState<R>,
+    store: &Mutex<SnapshotStore>,
+    released: Vec<TagReport>,
+) {
+    if released.is_empty() {
+        return;
+    }
+    state.recorder.add(
+        metrics::SERVER_REPORTS_MERGED_TOTAL,
+        None,
+        released.len() as u64,
+    );
+    let tracer = state.flight.tracer();
+    if tracer.as_dyn().enabled() {
+        for r in &released {
+            tracer.as_dyn().emit(TraceEvent::read(
+                r.time_s,
+                r.epc.user_id(),
+                r.epc.tag_id(),
+                r.antenna_port,
+                r.channel_index,
+                r.phase_rad,
+                r.rssi_dbm,
+            ));
+        }
+    }
+    let snapshots = state.fleet.push(released);
+    for snap in snapshots {
+        publish(
+            &mut state.flight,
+            &state.recorder,
+            store,
+            state.log_cap,
+            snap,
+        );
+    }
+}
+
+fn publish(
+    flight: &mut FlightDiagnostics,
+    recorder: &SharedRecorder,
+    store: &Mutex<SnapshotStore>,
+    log_cap: usize,
+    snap: RateSnapshot,
+) {
+    flight.scan(&snap, recorder.as_dyn());
+    let fresh: Vec<String> = flight.take_bundles().iter().map(|b| b.to_json()).collect();
+    recorder.add(metrics::SERVER_SNAPSHOTS_TOTAL, None, 1);
+    let Ok(mut guard) = store.lock() else {
+        return;
+    };
+    for (&user, rate) in &snap.rates_bpm {
+        let effort = snap.effort_rms.get(&user).copied().unwrap_or(0.0);
+        guard.latest.insert(
+            user,
+            UserSnapshot {
+                time_s: snap.time_s,
+                rate_bpm: *rate,
+                effort_rms: effort,
+            },
+        );
+    }
+    guard.bundles.extend(fresh);
+    guard.log.push(snap);
+    if guard.log.len() > log_cap.max(1) {
+        let excess = guard.log.len() - log_cap.max(1);
+        guard.log.drain(..excess);
+        guard.trimmed += excess as u64;
+    }
+}

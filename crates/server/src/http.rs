@@ -1,0 +1,204 @@
+//! Minimal HTTP/1.1 observability surface (std-only).
+//!
+//! One thread accepts connections and answers each request inline —
+//! every response closes the connection, requests are capped at 8 KiB,
+//! and only `GET` is implemented. This is an *operator* surface (curl,
+//! Prometheus scrapes, the soak harness), not a general web server.
+//!
+//! Endpoints (`docs/OPERATIONS.md` documents them for operators):
+//!
+//! | Path               | Body                                          |
+//! |--------------------|-----------------------------------------------|
+//! | `/metrics`         | Prometheus text exposition                    |
+//! | `/metrics.json`    | The same registry as JSON                     |
+//! | `/healthz`         | `ok`                                          |
+//! | `/snapshot/{user}` | Latest analysis for the user, JSON            |
+//! | `/snapshots`       | Full snapshot log with `f64::to_bits` fields  |
+//! | `/bundle`          | Latest flight-recorder bundle, JSON, or 404   |
+
+use crate::engine::SnapshotStore;
+use crate::metrics;
+use obs::recorder::Recorder;
+use obs::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const MAX_REQUEST: usize = 8 * 1024;
+
+pub(crate) struct HttpState {
+    pub registry: Arc<Registry>,
+    pub store: Arc<Mutex<SnapshotStore>>,
+}
+
+/// Accept loop; returns when `stop` is set.
+pub(crate) fn run_http(listener: &TcpListener, state: &HttpState, stop: &AtomicBool) {
+    let _ = listener.set_nonblocking(true);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state
+                    .registry
+                    .add(metrics::SERVER_HTTP_REQUESTS_TOTAL, None, 1);
+                serve_one(stream, state);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, state: &HttpState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Some(request) = read_request(&mut stream) else {
+        return;
+    };
+    let (status, content_type, body) = route(&request, state);
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads up to the end of the request headers and returns the request
+/// line (method + target).
+fn read_request(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                if buf.len() > MAX_REQUEST {
+                    return None;
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    text.lines().next().map(str::to_string)
+}
+
+fn route(request_line: &str, state: &HttpState) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return ("405 Method Not Allowed", "text/plain", "GET only\n".into());
+    }
+    match target {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            state.registry.render_prometheus(),
+        ),
+        "/metrics.json" => ("200 OK", "application/json", state.registry.render_json()),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
+        "/bundle" => match state.store.lock() {
+            Ok(guard) => match guard.bundles.last() {
+                Some(bundle) => ("200 OK", "application/json", bundle.clone()),
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    "no bundles captured\n".into(),
+                ),
+            },
+            Err(_) => (
+                "500 Internal Server Error",
+                "text/plain",
+                "state poisoned\n".into(),
+            ),
+        },
+        "/snapshots" => match state.store.lock() {
+            Ok(guard) => ("200 OK", "application/json", render_snapshots(&guard)),
+            Err(_) => (
+                "500 Internal Server Error",
+                "text/plain",
+                "state poisoned\n".into(),
+            ),
+        },
+        _ => {
+            if let Some(user_str) = target.strip_prefix("/snapshot/") {
+                if let Ok(user) = user_str.parse::<u64>() {
+                    return match state.store.lock() {
+                        Ok(guard) => match guard.latest.get(&user) {
+                            Some(snap) => ("200 OK", "application/json", render_user(user, snap)),
+                            None => ("404 Not Found", "text/plain", "unknown user\n".into()),
+                        },
+                        Err(_) => (
+                            "500 Internal Server Error",
+                            "text/plain",
+                            "state poisoned\n".into(),
+                        ),
+                    };
+                }
+            }
+            ("404 Not Found", "text/plain", "no such endpoint\n".into())
+        }
+    }
+}
+
+fn render_user(user: u64, snap: &crate::engine::UserSnapshot) -> String {
+    format!(
+        concat!(
+            "{{\"user\":{},\"time_s\":{},\"rate_bpm\":{},\"effort_rms\":{},",
+            "\"rate_bpm_bits\":\"{:#018x}\",\"effort_rms_bits\":\"{:#018x}\"}}"
+        ),
+        user,
+        snap.time_s,
+        snap.rate_bpm,
+        snap.effort_rms,
+        snap.rate_bpm.to_bits(),
+        snap.effort_rms.to_bits(),
+    )
+}
+
+/// Renders the snapshot log. Every float also appears as its IEEE-754
+/// bit pattern (hex string — JSON numbers cannot carry 64 significant
+/// bits), which is what the loopback soak compares for bit-identity.
+fn render_snapshots(store: &SnapshotStore) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"trimmed\":");
+    out.push_str(&store.trimmed.to_string());
+    out.push_str(",\"snapshots\":[");
+    for (i, snap) in store.log.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"time_s_bits\":\"");
+        out.push_str(&format!("{:#018x}", snap.time_s.to_bits()));
+        out.push_str("\",\"users\":[");
+        for (j, (&user, rate)) in snap.rates_bpm.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let effort = snap.effort_rms.get(&user).copied().unwrap_or(0.0);
+            out.push_str(&format!(
+                concat!(
+                    "{{\"user\":{},\"rate_bpm\":{},\"effort_rms\":{},",
+                    "\"rate_bpm_bits\":\"{:#018x}\",\"effort_rms_bits\":\"{:#018x}\"}}"
+                ),
+                user,
+                rate,
+                effort,
+                rate.to_bits(),
+                effort.to_bits(),
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}

@@ -1,0 +1,61 @@
+//! # tagbreathe-server
+//!
+//! The TagBreathe ingest service: turns the library pipeline into a
+//! deployable network boundary, mirroring how RFID readers actually
+//! ship — networked appliances streaming LLRP-style reports to central
+//! middleware.
+//!
+//! Three thread groups cooperate:
+//!
+//! * **Ingest sessions** ([`session`], one thread per TCP connection)
+//!   speak the [`epcgen2::wire`] protocol: Hello/Ack negotiation, then
+//!   length-prefixed [`tagbreathe::TagReport`] batches with CRC-32
+//!   integrity and `f64::to_bits` float transport. Protocol violations
+//!   are answered with Reject and counted, never panicked on.
+//! * **The engine thread** ([`engine`]) owns the sharded
+//!   [`tagbreathe::FleetEngine`]. Session events arrive over a *bounded*
+//!   queue (sessions stall briefly, then shed under overload) and pass
+//!   through the watermark-driven [`merge::LaneMerger`], which makes the
+//!   report order — and therefore every served snapshot — bit-identical
+//!   to an inline engine run regardless of TCP interleave.
+//! * **The HTTP surface** ([`http`]) serves `/metrics` (Prometheus),
+//!   `/snapshot/{user}`, `/snapshots`, and `/bundle` (flight-recorder
+//!   pulls after anomalies) — operator endpoints documented in
+//!   `docs/OPERATIONS.md`.
+//!
+//! Start one with [`start`] (open admission) or
+//! [`start_with_resolver`] (explicit admission policy — the fleet
+//! admission seam):
+//!
+//! ```
+//! use tagbreathe_server::{start, ServerConfig};
+//!
+//! let handle = start(ServerConfig::default())?;
+//! println!("ingest at {}, http at {}", handle.ingest_addr(), handle.http_addr());
+//! let snapshots = handle.shutdown();
+//! assert!(snapshots.is_empty()); // nothing was fed
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod http;
+pub mod merge;
+pub mod metrics;
+pub mod server;
+pub mod session;
+
+pub use engine::UserSnapshot;
+pub use merge::LaneMerger;
+pub use server::{start, start_with_resolver, ServerConfig, ServerHandle};
+
+/// The normative wire-protocol specification, embedded from
+/// `docs/PROTOCOL.md` so its examples compile and run as doc-tests.
+#[doc = include_str!("../../../docs/PROTOCOL.md")]
+pub mod protocol_spec {}
+
+/// The operator runbook, embedded from `docs/OPERATIONS.md` so its
+/// examples compile and run as doc-tests.
+#[doc = include_str!("../../../docs/OPERATIONS.md")]
+pub mod operations_guide {}

@@ -1,0 +1,46 @@
+//! Metric names exported by the ingest server.
+//!
+//! Documented for operators in `docs/METRICS.md` (§ Ingest server);
+//! naming follows the repo-wide Prometheus conventions — counters end in
+//! `_total`, gauges are bare, labels are numeric.
+
+/// Counter: TCP connections accepted on the ingest listener.
+pub const SERVER_CONNECTIONS_TOTAL: &str = "tagbreathe_server_connections_total";
+
+/// Gauge: sessions currently past their Hello and not yet closed.
+pub const SERVER_SESSIONS_OPEN: &str = "tagbreathe_server_sessions_open";
+
+/// Counter (label `reader`): well-formed frames accepted per session.
+pub const SERVER_FRAMES_TOTAL: &str = "tagbreathe_server_frames_total";
+
+/// Counter (label `reader`): tag reports accepted into the merge lanes.
+pub const SERVER_REPORTS_TOTAL: &str = "tagbreathe_server_reports_total";
+
+/// Counter (label `code`): frames dropped for protocol violations; the
+/// label value is the wire error code the offender was answered with
+/// (`docs/PROTOCOL.md` §7).
+pub const SERVER_FRAMES_SHED_TOTAL: &str = "tagbreathe_server_frames_shed_total";
+
+/// Counter: reports dropped because the engine queue stayed full past
+/// the stall budget (overload shedding, not protocol errors).
+pub const SERVER_REPORTS_SHED_TOTAL: &str = "tagbreathe_server_reports_shed_total";
+
+/// Counter: 1ms waits spent by sessions on a full engine queue before
+/// either enqueueing or shedding.
+pub const SERVER_QUEUE_STALLS_TOTAL: &str = "tagbreathe_server_queue_stalls_total";
+
+/// Gauge (label `reader`): minimum observed skew between the server's
+/// wall clock and the reader's stream clock, seconds. Monotonically
+/// non-increasing per session; diagnostic only — timestamps are never
+/// rewritten from this estimate.
+pub const SERVER_READER_CLOCK_SKEW_S: &str = "tagbreathe_server_reader_clock_skew_s";
+
+/// Counter: snapshots emitted by the fleet engine and appended to the
+/// served log.
+pub const SERVER_SNAPSHOTS_TOTAL: &str = "tagbreathe_server_snapshots_total";
+
+/// Counter: reports released from the merge lanes into the fleet engine.
+pub const SERVER_REPORTS_MERGED_TOTAL: &str = "tagbreathe_server_reports_merged_total";
+
+/// Counter: HTTP requests served (all endpoints, all statuses).
+pub const SERVER_HTTP_REQUESTS_TOTAL: &str = "tagbreathe_server_http_requests_total";

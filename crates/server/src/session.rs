@@ -1,0 +1,320 @@
+//! Per-connection ingest sessions.
+//!
+//! Each accepted TCP connection runs `run_session` on its own thread:
+//! a buffered frame loop (length-prefix framing tolerates arbitrary TCP
+//! segmentation) around the protocol state machine — exactly one Hello,
+//! then Batch/Heartbeat until Goodbye or disconnect. Every protocol
+//! violation is answered with a Reject frame, counted on
+//! [`crate::metrics::SERVER_FRAMES_SHED_TOTAL`] under its error code,
+//! and closes the connection; the server never panics on hostile input
+//! (the malformed-input suite in `tests/failure_injection.rs` pins this).
+//!
+//! Backpressure: accepted batches go to the engine over a bounded
+//! channel. When it is full the session stalls in 1 ms steps (counted as
+//! queue stalls) up to the configured budget, then sheds the batch
+//! (counted as shed reports) rather than blocking the socket forever.
+
+use crate::engine::EngineEvent;
+use crate::metrics;
+use epcgen2::wire::{
+    encode_frame, ErrorCode, Message, WireError, FEATURE_CLOCK_OFFSET, SUPPORTED_FEATURES,
+};
+use obs::recorder::{Label, Recorder, SharedRecorder};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs a session needs from the server configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionLimits {
+    /// 1 ms stall steps to wait on a full engine queue before shedding.
+    pub stall_budget: usize,
+}
+
+/// Outcome of one session, for logging/tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionEnd {
+    /// The client sent Goodbye.
+    Graceful,
+    /// The client disconnected at a frame boundary without Goodbye.
+    Eof,
+    /// The client disconnected mid-frame.
+    MidFrame,
+    /// The session was terminated for a protocol violation.
+    Violation(ErrorCode),
+    /// The transport failed or the server is shutting down.
+    Transport,
+}
+
+struct SessionCtx<'a> {
+    tx: &'a SyncSender<EngineEvent>,
+    recorder: &'a SharedRecorder,
+    limits: SessionLimits,
+    stop: &'a AtomicBool,
+    session_id: u32,
+    /// Populated by the Hello.
+    reader: Option<u32>,
+    granted: u32,
+    clock_offset_s: f64,
+    hello_clock_s: f64,
+    started: Instant,
+    min_skew_s: f64,
+}
+
+impl SessionCtx<'_> {
+    /// Updates the per-reader wall-vs-stream clock-skew gauge with a new
+    /// sample; keeps the monotone minimum (least queueing delay), which is
+    /// the classic one-way offset estimator. Diagnostic only — report
+    /// timestamps are never rewritten from it.
+    fn observe_clock(&mut self, reader_clock_s: f64) {
+        let Some(reader) = self.reader else {
+            return;
+        };
+        if !reader_clock_s.is_finite() {
+            return;
+        }
+        let wall = self.started.elapsed().as_secs_f64();
+        let skew = wall - (reader_clock_s - self.hello_clock_s);
+        if skew < self.min_skew_s {
+            self.min_skew_s = skew;
+            self.recorder.set_gauge(
+                metrics::SERVER_READER_CLOCK_SKEW_S,
+                Some(Label::reader(reader)),
+                skew,
+            );
+        }
+    }
+
+    fn shed_frame(&self, code: ErrorCode) {
+        self.recorder.add(
+            metrics::SERVER_FRAMES_SHED_TOTAL,
+            Some(Label::code(code.as_u8())),
+            1,
+        );
+    }
+}
+
+/// Runs one ingest session to completion. Never panics; all exits are
+/// mapped to a [`SessionEnd`].
+pub(crate) fn run_session(
+    mut stream: TcpStream,
+    tx: &SyncSender<EngineEvent>,
+    recorder: &SharedRecorder,
+    limits: SessionLimits,
+    stop: &AtomicBool,
+    session_id: u32,
+) -> SessionEnd {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut ctx = SessionCtx {
+        tx,
+        recorder,
+        limits,
+        stop,
+        session_id,
+        reader: None,
+        granted: 0,
+        clock_offset_s: 0.0,
+        hello_clock_s: 0.0,
+        started: Instant::now(),
+        min_skew_s: f64::INFINITY,
+    };
+    let end = frame_loop(&mut stream, &mut ctx);
+    if let Some(reader) = ctx.reader {
+        // Close the merge lane so buffered reports release. Blocking send:
+        // losing a Close would wedge the merge until shutdown.
+        let _ = tx.send(EngineEvent::Close { reader });
+    }
+    end
+}
+
+/// Reads frames from `stream` into a growing buffer and dispatches each
+/// complete frame. Returns how the session ended.
+fn frame_loop(stream: &mut TcpStream, ctx: &mut SessionCtx<'_>) -> SessionEnd {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            match epcgen2::wire::decode_frame(&buf) {
+                Ok((msg, used)) => {
+                    buf.drain(..used.min(buf.len()));
+                    match dispatch(stream, ctx, msg) {
+                        Ok(true) => {}
+                        Ok(false) => return SessionEnd::Graceful,
+                        Err(end) => return end,
+                    }
+                }
+                Err(WireError::Truncated) => break, // need more bytes
+                Err(err) => {
+                    let code = err.protocol_code().unwrap_or(ErrorCode::Malformed);
+                    ctx.shed_frame(code);
+                    let _ = stream.write_all(&encode_frame(&Message::Reject { code }));
+                    return SessionEnd::Violation(code);
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return SessionEnd::Eof;
+                }
+                // Disconnect mid-frame: shed the partial frame.
+                ctx.shed_frame(ErrorCode::Malformed);
+                return SessionEnd::MidFrame;
+            }
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    return SessionEnd::Transport;
+                }
+            }
+            Err(_) => return SessionEnd::Transport,
+        }
+    }
+}
+
+/// Handles one decoded message. `Ok(true)` continues the session,
+/// `Ok(false)` is a graceful Goodbye, `Err` terminates it.
+fn dispatch(
+    stream: &mut TcpStream,
+    ctx: &mut SessionCtx<'_>,
+    msg: Message,
+) -> Result<bool, SessionEnd> {
+    match msg {
+        Message::Hello {
+            reader_id,
+            features,
+            clock_offset_s,
+            reader_clock_s,
+        } => {
+            if ctx.reader.is_some() {
+                return Err(reject(stream, ctx, ErrorCode::DuplicateHello));
+            }
+            ctx.reader = Some(reader_id);
+            ctx.granted = features & SUPPORTED_FEATURES;
+            ctx.clock_offset_s = if ctx.granted & FEATURE_CLOCK_OFFSET != 0 {
+                clock_offset_s
+            } else {
+                0.0
+            };
+            ctx.hello_clock_s = reader_clock_s;
+            ctx.started = Instant::now();
+            ctx.recorder.add(
+                metrics::SERVER_FRAMES_TOTAL,
+                Some(Label::reader(reader_id)),
+                1,
+            );
+            // Blocking send: an Open must not be shed, or the lane would
+            // never exist and its Close would be meaningless.
+            if ctx
+                .tx
+                .send(EngineEvent::Open { reader: reader_id })
+                .is_err()
+            {
+                return Err(reject(stream, ctx, ErrorCode::Unavailable));
+            }
+            let ack = Message::Ack {
+                session: ctx.session_id,
+                features: ctx.granted,
+            };
+            if stream.write_all(&encode_frame(&ack)).is_err() {
+                return Err(SessionEnd::Transport);
+            }
+            Ok(true)
+        }
+        Message::Batch {
+            reader_clock_s,
+            mut reports,
+            ..
+        } => {
+            let Some(reader) = ctx.reader else {
+                return Err(reject(stream, ctx, ErrorCode::NotHelloed));
+            };
+            ctx.observe_clock(reader_clock_s);
+            ctx.recorder
+                .add(metrics::SERVER_FRAMES_TOTAL, Some(Label::reader(reader)), 1);
+            let count = reports.len() as u64;
+            // Apply the negotiated clock offset. Adding 0.0 is skipped so
+            // an offset-free session stays bit-identical to inline runs;
+            // compared as bits because this is an exact-zero sentinel, not
+            // a numeric tolerance.
+            if ctx.clock_offset_s.to_bits() != 0 {
+                for r in &mut reports {
+                    r.time_s += ctx.clock_offset_s;
+                }
+            }
+            let event = EngineEvent::Batch {
+                reader,
+                reports,
+                reader_clock_s: reader_clock_s + ctx.clock_offset_s,
+            };
+            if enqueue_with_backpressure(ctx, event) {
+                ctx.recorder.add(
+                    metrics::SERVER_REPORTS_TOTAL,
+                    Some(Label::reader(reader)),
+                    count,
+                );
+            } else {
+                ctx.recorder
+                    .add(metrics::SERVER_REPORTS_SHED_TOTAL, None, count);
+            }
+            Ok(true)
+        }
+        Message::Heartbeat { reader_clock_s } => {
+            let Some(reader) = ctx.reader else {
+                return Err(reject(stream, ctx, ErrorCode::NotHelloed));
+            };
+            ctx.observe_clock(reader_clock_s);
+            ctx.recorder
+                .add(metrics::SERVER_FRAMES_TOTAL, Some(Label::reader(reader)), 1);
+            // Heartbeats advance the merge watermark; losing one under
+            // overload merely delays release, so best-effort is fine.
+            let _ = ctx.tx.try_send(EngineEvent::Heartbeat {
+                reader,
+                reader_clock_s: reader_clock_s + ctx.clock_offset_s,
+            });
+            Ok(true)
+        }
+        Message::Goodbye => {
+            if ctx.reader.is_none() {
+                return Err(reject(stream, ctx, ErrorCode::NotHelloed));
+            }
+            Ok(false)
+        }
+        // Ack and Reject are server→client only.
+        Message::Ack { .. } | Message::Reject { .. } => {
+            Err(reject(stream, ctx, ErrorCode::Malformed))
+        }
+    }
+}
+
+fn reject(stream: &mut TcpStream, ctx: &SessionCtx<'_>, code: ErrorCode) -> SessionEnd {
+    ctx.shed_frame(code);
+    let _ = stream.write_all(&encode_frame(&Message::Reject { code }));
+    SessionEnd::Violation(code)
+}
+
+/// Tries to enqueue a sheddable event, stalling in 1 ms steps up to the
+/// budget. Returns whether the event was accepted.
+fn enqueue_with_backpressure(ctx: &SessionCtx<'_>, event: EngineEvent) -> bool {
+    let mut event = event;
+    for _ in 0..=ctx.limits.stall_budget {
+        match ctx.tx.try_send(event) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(back)) => {
+                event = back;
+                ctx.recorder
+                    .add(metrics::SERVER_QUEUE_STALLS_TOTAL, None, 1);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+    false
+}

@@ -111,8 +111,10 @@ pub fn fuse_level_tracks(streams: &[Vec<Sample>], bin_s: f64) -> Option<TimeSeri
         let mut counts = vec![0usize; n];
         for s in stream {
             let idx = (((s.time - t_min) / bin_s) as usize).min(n - 1);
-            sums[idx] += s.value;
-            counts[idx] += 1;
+            if let (Some(sum), Some(count)) = (sums.get_mut(idx), counts.get_mut(idx)) {
+                *sum += s.value;
+                *count += 1;
+            }
         }
         let filled = fill_gaps(&sums, &counts);
         for (f, v) in fused.iter_mut().zip(&filled) {
@@ -128,28 +130,39 @@ pub fn fuse_level_tracks(streams: &[Vec<Sample>], bin_s: f64) -> Option<TimeSeri
 fn fill_gaps(sums: &[f64], counts: &[usize]) -> Vec<f64> {
     let n = sums.len();
     let mut out = vec![0.0; n];
-    let occupied: Vec<usize> = (0..n).filter(|&i| counts[i] > 0).collect();
-    if occupied.is_empty() {
+    let occupied: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let (Some(&first), Some(&last)) = (occupied.first(), occupied.last()) else {
         return out;
-    }
-    for &i in &occupied {
-        out[i] = sums[i] / counts[i] as f64;
+    };
+    for (o, (&sum, &count)) in out.iter_mut().zip(sums.iter().zip(counts.iter())) {
+        if count > 0 {
+            *o = sum / count as f64;
+        }
     }
     // Leading edge: hold the first occupied value.
-    for i in 0..occupied[0] {
-        out[i] = out[occupied[0]];
+    let first_val = out.get(first).copied().unwrap_or(0.0);
+    for o in out.iter_mut().take(first) {
+        *o = first_val;
     }
     // Trailing edge.
-    for i in occupied[occupied.len() - 1] + 1..n {
-        out[i] = out[occupied[occupied.len() - 1]];
+    let last_val = out.get(last).copied().unwrap_or(0.0);
+    for o in out.iter_mut().skip(last + 1) {
+        *o = last_val;
     }
     // Interior gaps: linear interpolation.
     for pair in occupied.windows(2) {
-        let (a, b) = (pair[0], pair[1]);
+        let (Some(&a), Some(&b)) = (pair.first(), pair.last()) else {
+            continue;
+        };
         if b > a + 1 {
-            let va = out[a];
-            let vb = out[b];
-            for (off, o) in out[a + 1..b].iter_mut().enumerate() {
+            let va = out.get(a).copied().unwrap_or(0.0);
+            let vb = out.get(b).copied().unwrap_or(0.0);
+            for (off, o) in out.iter_mut().take(b).skip(a + 1).enumerate() {
                 let alpha = (off + 1) as f64 / (b - a) as f64;
                 *o = va + alpha * (vb - va);
             }

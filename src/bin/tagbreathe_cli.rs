@@ -8,6 +8,8 @@
 //! tagbreathe-cli live --rate 12 --duration 60
 //! tagbreathe-cli metrics --users 2 --duration 30 --format prom
 //! tagbreathe-cli trace --rate 12 --duration 60 --out session.trace.json
+//! tagbreathe-cli serve --ingest 127.0.0.1:4610 --http 127.0.0.1:4611
+//! tagbreathe-cli feed trace.csv --addr 127.0.0.1:4610 --reader 1
 //! tagbreathe-cli help
 //! ```
 
@@ -33,6 +35,8 @@ fn main() -> ExitCode {
         "live" => live(&args[1..]),
         "metrics" => metrics(&args[1..]),
         "trace" => trace(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "feed" => feed(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -71,6 +75,14 @@ fn usage() {
     eprintln!("        [--jump BPM] --out TRACE.json [--bundle BUNDLE.json]");
     eprintln!("      stream a simulated session through the flight recorder,");
     eprintln!("      export the Chrome trace, and dump any anomaly bundle");
+    eprintln!();
+    eprintln!("  serve [--ingest HOST:PORT] [--http HOST:PORT] [--shards N]");
+    eprintln!("        [--window S] [--update-every S] [--duration S]");
+    eprintln!("      run the TBIP/1 ingest server (see docs/PROTOCOL.md); with");
+    eprintln!("      --duration it shuts down after S wall-clock seconds");
+    eprintln!();
+    eprintln!("  feed FILE.csv --addr HOST:PORT [--reader ID] [--batch N]");
+    eprintln!("      replay a recorded trace to a running server as one reader");
 }
 
 /// Parses `--key value` flags into a map; returns leftover positionals.
@@ -397,6 +409,77 @@ fn trace(args: &[String]) -> Result<(), String> {
             bundle.reports().len()
         );
     }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    use tagbreathe_suite::server::{self, ServerConfig};
+
+    let (flags, _) = parse_flags(args)?;
+    let duration = get_f64(&flags, "duration", 0.0)?;
+    let config = ServerConfig {
+        ingest_addr: flags
+            .get("ingest")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:4610".into()),
+        http_addr: flags
+            .get("http")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:4611".into()),
+        window_s: get_f64(&flags, "window", 30.0)?,
+        update_every_s: get_f64(&flags, "update-every", 5.0)?,
+        shards: get_usize(&flags, "shards", 2)?,
+        ..ServerConfig::default()
+    };
+    let handle = server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("ingest {}", handle.ingest_addr());
+    println!("http {}", handle.http_addr());
+    eprintln!("serving; scrape http://{}/metrics", handle.http_addr());
+    if duration > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(duration));
+        let snapshots = handle.shutdown();
+        eprintln!(
+            "shut down after {duration} s; {} snapshot(s) emitted",
+            snapshots.len()
+        );
+        Ok(())
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}
+
+fn feed(args: &[String]) -> Result<(), String> {
+    use std::net::TcpStream;
+    use tagbreathe_suite::epcgen2::ReaderClient;
+
+    let (flags, positional) = parse_flags(args)?;
+    let path = positional.first().ok_or("feed requires a trace file")?;
+    let addr = flags.get("addr").ok_or("feed requires --addr HOST:PORT")?;
+    let reader_id = u32::try_from(get_usize(&flags, "reader", 1)?)
+        .map_err(|_| "--reader must fit in 32 bits".to_string())?;
+    let batch = get_usize(&flags, "batch", 256)?.max(1);
+
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reports = read_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    if reports.is_empty() {
+        return Err("trace holds no reports".into());
+    }
+
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut client =
+        ReaderClient::connect(stream, reader_id, 0).map_err(|e| format!("handshake: {e}"))?;
+    for chunk in reports.chunks(batch) {
+        let clock = chunk.last().map_or(0.0, |r| r.time_s);
+        client
+            .send_batch(chunk, clock)
+            .map_err(|e| format!("batch: {e}"))?;
+    }
+    let sent = client.reports_sent();
+    let batches = client.batches_sent();
+    client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
+    eprintln!("fed {sent} reports in {batches} batch(es) as reader {reader_id} to {addr}");
     Ok(())
 }
 

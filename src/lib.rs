@@ -31,6 +31,7 @@ pub use dsp;
 pub use epcgen2;
 pub use obs;
 pub use rfchannel;
+pub use server;
 pub use tagbreathe;
 
 /// The most common imports in one place.

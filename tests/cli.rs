@@ -196,6 +196,95 @@ fn trace_requires_out_and_validates_waveform() {
 }
 
 #[test]
+fn serve_then_feed_round_trip() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let trace = dir.join(format!("tagbreathe_cli_feed_{pid}.csv"));
+    let trace_str = trace.to_str().unwrap().to_string();
+
+    let out = cli()
+        .args([
+            "simulate",
+            "--users",
+            "1",
+            "--distance",
+            "3",
+            "--rates",
+            "12",
+            "--duration",
+            "20",
+            "--seed",
+            "9",
+            "--out",
+            &trace_str,
+        ])
+        .output()
+        .expect("simulate runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Ephemeral ports so parallel test runs never collide; the server
+    // prints the bound addresses on stdout before serving.
+    let mut server = cli()
+        .args([
+            "serve",
+            "--ingest",
+            "127.0.0.1:0",
+            "--http",
+            "127.0.0.1:0",
+            "--duration",
+            "30",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut addrs = String::new();
+    {
+        use std::io::BufRead;
+        let stdout = server.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        for _ in 0..2 {
+            addrs.push_str(&lines.next().expect("addr line").expect("addr line"));
+            addrs.push('\n');
+        }
+    }
+    let ingest = addrs
+        .lines()
+        .find_map(|l| l.strip_prefix("ingest "))
+        .expect("ingest address printed")
+        .to_string();
+
+    let out = cli()
+        .args(["feed", &trace_str, "--addr", &ingest, "--reader", "3"])
+        .output()
+        .expect("feed runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "feed failed: {stderr}");
+    assert!(stderr.contains("as reader 3"), "{stderr}");
+
+    server.kill().ok();
+    server.wait().ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn feed_validates_inputs() {
+    let out = cli().args(["feed"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace file"));
+    let out = cli()
+        .args(["feed", "/nonexistent/trace.csv"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+}
+
+#[test]
 fn live_dashboard_emits_snapshots() {
     let out = cli()
         .args(["live", "--rate", "12", "--duration", "45", "--seed", "3"])
