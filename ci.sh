@@ -11,9 +11,10 @@
 #   6. equivalence suite  cargo test -q --release --test equivalence
 #   7. bench smoke        cargo run --release -p tagbreathe-bench --bin stream_bench -- --smoke --trace
 #   8. fleet bench smoke  cargo run --release -p tagbreathe-bench --bin stream_bench -- --fleet --smoke
-#   9. loopback soak      cargo run --release -p tagbreathe-bench --bin loopback_soak -- --smoke
-#  10. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
-#  11. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 0
+#   9. CLI slo smoke      cargo run --release --bin tagbreathe-cli -- slo <metrics sidecar>
+#  10. loopback soak      cargo run --release -p tagbreathe-bench --bin loopback_soak -- --smoke
+#  11. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
+#  12. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 0
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
@@ -25,21 +26,29 @@
 # in its one-point smoke mode: the binary exits non-zero unless the
 # fleet's merged snapshot stream is bit-identical to the single-threaded
 # engine's, and its JSON output is re-validated here like the other
-# machine-readable artefacts. Step 9 drives a simulated reader fleet
+# machine-readable artefacts. Step 8 also ratchets the fleet's memory
+# footprint: the max `bytes_per_resident_user` across smoke points must
+# stay under the ceiling asserted below (observed ~364 B/user at the
+# smoke window; the ceiling leaves ~10x headroom and catches per-user
+# state blowups). Step 9 renders the SLO table offline from the step-7
+# metrics sidecar via `tagbreathe-cli slo` — the same burn-rate code the
+# server runs behind `/slo`. Step 10 drives a simulated reader fleet
 # through real TCP into tagbreathe-server (docs/PROTOCOL.md) and exits
 # non-zero unless every served snapshot is bit-identical to the inline
-# engine and nothing was shed. Step 10 is the in-tree
+# engine and nothing was shed; it also validates the `/slo` JSON (via
+# obs::json) and the `/status` dashboard sections under live load.
+# Step 11 is the in-tree
 # ratchet linter (crates/lint): it fails on any violation beyond
 # lint-baseline.txt AND on any uncommitted slack (a burn-down that
 # forgot `-- check --update-baseline`). It also emits the full report as
 # SARIF 2.1.0 (lint.sarif), re-validated with the linter's own in-tree
 # JSON validator (`validate-json`, backed by tagbreathe_obs::json).
-# Step 11 is the machine-readable hot-path cost inventory: it fails if a
+# Step 12 is the machine-readable hot-path cost inventory: it fails if a
 # `[hotpath]` root no longer resolves or the per-report path performs
 # any allocation or non-slab map lookup at all (`--max-sites 0` — the
 # slab/interner refactor burned the last two sites, and this pins the
-# ratchet shut), and its JSON is re-validated like the SARIF. Steps 10
-# and 11 together must finish inside the lint wall-clock budget below —
+# ratchet shut), and its JSON is re-validated like the SARIF. Steps 11
+# and 12 together must finish inside the lint wall-clock budget below —
 # the linter re-parses the workspace per invocation, so a runaway pass
 # shows up here before it slows every pre-commit hook.
 set -euo pipefail
@@ -75,6 +84,29 @@ cargo run -q --release -p tagbreathe-bench --bin stream_bench -- --fleet --smoke
 test -s /tmp/BENCH_fleet_smoke.json \
     || { echo "ci: fleet bench output missing or empty" >&2; exit 1; }
 cargo run -q -p tagbreathe-lint -- validate-json /tmp/BENCH_fleet_smoke.json
+
+# Memory-ceiling ratchet: per-user resident state on the fleet path must
+# stay bounded. Observed ~364 B/user at the smoke window; 4096 leaves
+# ~10x headroom while still catching per-user state blowups.
+bytes_user_max=$(grep -o '"bytes_per_resident_user": *[0-9.]*' /tmp/BENCH_fleet_smoke.json \
+    | awk -F': *' 'BEGIN{m=0} {if ($2+0 > m) m = $2+0} END{printf "%d", m}')
+if [ "$bytes_user_max" -le 0 ]; then
+    echo "ci: fleet smoke reported no resident bytes per user" >&2
+    exit 1
+fi
+if [ "$bytes_user_max" -gt 4096 ]; then
+    echo "ci: bytes_per_resident_user ${bytes_user_max} exceeds the 4096 B ceiling" >&2
+    exit 1
+fi
+echo "ci: bytes_per_resident_user max ${bytes_user_max} (ceiling 4096)"
+
+echo "==> tagbreathe-cli slo /tmp/BENCH_streaming_smoke.metrics.json"
+cargo run -q --release --bin tagbreathe-cli -- slo /tmp/BENCH_streaming_smoke.metrics.json \
+    > /tmp/tagbreathe-slo.txt
+grep -q "snapshot_lag_p99" /tmp/tagbreathe-slo.txt \
+    || { echo "ci: CLI slo table missing the lag objective" >&2; exit 1; }
+grep -q "bytes_per_resident_user" /tmp/tagbreathe-slo.txt \
+    || { echo "ci: CLI slo table missing the residency objective" >&2; exit 1; }
 
 echo "==> loopback_soak --smoke"
 cargo run -q --release -p tagbreathe-bench --bin loopback_soak -- --smoke --out /tmp/BENCH_loopback_smoke.json

@@ -291,6 +291,28 @@ fn main() {
     let metrics_body = http_get(http, "/metrics");
     let health = http_get(http, "/healthz");
 
+    // The operator surface must hold together under live load: /slo is
+    // valid JSON with every declared objective, /status renders the
+    // dashboard sections.
+    let slo_body = http_get(http, "/slo");
+    if let Err(e) = obs::json::validate(&slo_body) {
+        eprintln!("error: /slo is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    for name in ["snapshot_lag_p99", "shed_ratio", "bytes_per_resident_user"] {
+        if !slo_body.contains(name) {
+            eprintln!("error: /slo is missing objective {name}: {slo_body}");
+            std::process::exit(1);
+        }
+    }
+    let status_body = http_get(http, "/status");
+    for section in ["SLOs", "snapshot lag by stage", "shards", "ingest"] {
+        if !status_body.contains(section) {
+            eprintln!("error: /status is missing section {section:?}: {status_body}");
+            std::process::exit(1);
+        }
+    }
+
     let snapshots = handle.shutdown();
     let reference = reference_snapshots(&streams, &cfg);
 

@@ -17,7 +17,11 @@
 use epcgen2::epc::Epc96;
 use epcgen2::mapping::{IdentityResolver, TagIdentity};
 use epcgen2::report::TagReport;
+use obs::recorder::{Label, SharedRecorder};
+use obs::registry::Registry;
+use obs::Stage;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 use tagbreathe::fleet::FleetEngine;
 use tagbreathe::pipeline::{RateSnapshot, StreamingMonitor};
@@ -144,6 +148,14 @@ pub struct FleetPoint {
     pub total_ms: f64,
     /// Reports per second of wall time.
     pub reports_per_s: f64,
+    /// Median ingest→snapshot lag (freshness stage `shard_ingest`), ns.
+    /// 0 for the inline baseline, which has no fleet lag attribution.
+    pub snapshot_lag_p50_ns: u64,
+    /// p99 of the same stage, ns.
+    pub snapshot_lag_p99_ns: u64,
+    /// Resident stream-state bytes per resident user at the final
+    /// snapshot part (the quantity the memory-ceiling ratchet bounds).
+    pub bytes_per_resident_user: f64,
 }
 
 fn total_reports(config: &FleetBenchConfig) -> usize {
@@ -155,12 +167,17 @@ fn time_fleet(config: &FleetBenchConfig, n_users: usize, shards: usize) -> Fleet
     let resolver = RangeIdentity {
         max_user: n_users as u64,
     };
-    let mut fleet = FleetEngine::new(
+    // An observed run: the recorder's overhead is part of the deployment
+    // shape the bench characterises, and its registry is what the lag and
+    // resident-memory columns read afterwards.
+    let registry = Arc::new(Registry::new());
+    let mut fleet = FleetEngine::observed(
         PipelineConfig::paper_default(),
         resolver,
         config.window_s,
         config.cadence_s,
         shards,
+        SharedRecorder::new(registry.clone()),
     )
     .expect("bench config is valid");
     let n = total_reports(config);
@@ -175,6 +192,22 @@ fn time_fleet(config: &FleetBenchConfig, n_users: usize, shards: usize) -> Fleet
     }
     snapshots += black_box(fleet.finish()).len();
     let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let lag = registry.labeled_histogram(
+        tagbreathe::metrics::SNAPSHOT_LAG_NS,
+        Some(Label::stage(Stage::ShardIngest.code())),
+    );
+    let quantile = |q: f64| lag.as_ref().and_then(|h| h.quantile(q)).unwrap_or_default();
+    let mut bytes = 0.0;
+    let mut resident_users = 0.0;
+    for shard in 0..u32::try_from(shards.max(1)).unwrap_or(u32::MAX) {
+        let label = Some(Label::shard(shard));
+        bytes += registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_RESIDENT_BYTES, label)
+            .unwrap_or(0.0);
+        resident_users += registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_SHARD_USERS, label)
+            .unwrap_or(0.0);
+    }
     FleetPoint {
         users: n_users,
         shards,
@@ -182,6 +215,13 @@ fn time_fleet(config: &FleetBenchConfig, n_users: usize, shards: usize) -> Fleet
         snapshots,
         total_ms,
         reports_per_s: n as f64 / (total_ms / 1e3),
+        snapshot_lag_p50_ns: quantile(0.5),
+        snapshot_lag_p99_ns: quantile(0.99),
+        bytes_per_resident_user: if resident_users > 0.0 {
+            bytes / resident_users
+        } else {
+            0.0
+        },
     }
 }
 
@@ -215,6 +255,9 @@ fn time_single(config: &FleetBenchConfig, n_users: usize) -> FleetPoint {
         snapshots,
         total_ms,
         reports_per_s: n as f64 / (total_ms / 1e3),
+        snapshot_lag_p50_ns: 0,
+        snapshot_lag_p99_ns: 0,
+        bytes_per_resident_user: 0.0,
     }
 }
 
@@ -314,8 +357,16 @@ pub fn render(points: &[FleetPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>8} {:>8} {:>10} {:>6} {:>12} {:>14}",
-        "users", "shards", "reports", "snaps", "total_ms", "reports/s"
+        "{:>8} {:>8} {:>10} {:>6} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "users",
+        "shards",
+        "reports",
+        "snaps",
+        "total_ms",
+        "reports/s",
+        "lag_p50_ms",
+        "lag_p99_ms",
+        "bytes/user"
     );
     for p in points {
         let shards = if p.shards == 0 {
@@ -325,8 +376,16 @@ pub fn render(points: &[FleetPoint]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:>8} {:>8} {:>10} {:>6} {:>12.1} {:>14.0}",
-            p.users, shards, p.reports, p.snapshots, p.total_ms, p.reports_per_s
+            "{:>8} {:>8} {:>10} {:>6} {:>12.1} {:>14.0} {:>12.3} {:>12.3} {:>12.0}",
+            p.users,
+            shards,
+            p.reports,
+            p.snapshots,
+            p.total_ms,
+            p.reports_per_s,
+            p.snapshot_lag_p50_ns as f64 / 1e6,
+            p.snapshot_lag_p99_ns as f64 / 1e6,
+            p.bytes_per_resident_user,
         );
     }
     out
@@ -366,7 +425,22 @@ pub fn to_json(
         let _ = writeln!(out, "      \"reports\": {},", p.reports);
         let _ = writeln!(out, "      \"snapshots\": {},", p.snapshots);
         let _ = writeln!(out, "      \"total_ms\": {:.1},", p.total_ms);
-        let _ = writeln!(out, "      \"reports_per_s\": {:.0}", p.reports_per_s);
+        let _ = writeln!(out, "      \"reports_per_s\": {:.0},", p.reports_per_s);
+        let _ = writeln!(
+            out,
+            "      \"snapshot_lag_p50_ns\": {},",
+            p.snapshot_lag_p50_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"snapshot_lag_p99_ns\": {},",
+            p.snapshot_lag_p99_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"bytes_per_resident_user\": {:.0}",
+            p.bytes_per_resident_user
+        );
         let comma = if i + 1 < points.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
@@ -389,6 +463,16 @@ mod tests {
         let json = to_json(&config, &points, &check);
         obs::json::validate(&json).expect("bench JSON must parse");
         assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"snapshot_lag_p50_ns\""));
+        assert!(json.contains("\"snapshot_lag_p99_ns\""));
+        assert!(json.contains("\"bytes_per_resident_user\""));
+        assert!(
+            points
+                .iter()
+                .filter(|p| p.shards > 0)
+                .all(|p| p.bytes_per_resident_user > 0.0),
+            "fleet points carry a resident-memory measurement"
+        );
         assert!(render(&points).contains("inline"));
     }
 

@@ -21,3 +21,15 @@ pub const READ_FAILURES: &str = "epcgen2_read_failures_total";
 
 /// Histogram: powered tags participating per inventory round.
 pub const ROUND_PARTICIPANTS: &str = "epcgen2_round_participants";
+
+/// Every metric name this crate can emit, for the docs drift guard
+/// (`tests/metrics_docs.rs` cross-checks this list against
+/// `docs/METRICS.md` in both directions).
+pub const ALL: &[&str] = &[
+    INVENTORY_ROUNDS,
+    SLOTS_EMPTY,
+    SLOTS_COLLISION,
+    READS,
+    READ_FAILURES,
+    ROUND_PARTICIPANTS,
+];

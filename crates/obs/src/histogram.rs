@@ -210,6 +210,36 @@ mod tests {
     }
 
     #[test]
+    fn quantile_is_monotone_in_q() {
+        // q1 ≤ q2 ⇒ quantile(q1) ≤ quantile(q2), across distributions
+        // that exercise the zero bucket, dense mid buckets, the last
+        // finite bucket and the overflow bucket.
+        let distributions: [&[u64]; 4] = [
+            &[0, 0, 1, 2, 3, 500, 501, 1 << 40],
+            &[7],
+            &[0, u64::MAX, (1 << 63) - 1, 1 << 63],
+            &[1, 1, 1, 2, 4, 8, 16, 32, 64, 128, 1024, 1_000_000],
+        ];
+        for values in distributions {
+            let mut h = LogHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            let mut prev = 0u64;
+            for step in 0..=100u32 {
+                let q = f64::from(step) / 100.0;
+                let at = h.quantile(q).unwrap_or(0);
+                assert!(
+                    at >= prev,
+                    "quantile({q}) = {at} < quantile(prev) = {prev} for {values:?}"
+                );
+                prev = at;
+            }
+            assert_eq!(h.quantile(1.0), h.max(), "q=1 is the observed max");
+        }
+    }
+
+    #[test]
     fn quantile_is_within_one_power_of_two() {
         let mut h = LogHistogram::new();
         for v in [10u64, 20, 30, 40, 1000] {

@@ -25,6 +25,12 @@
 //!   overflow bucket, integers only on the record path;
 //! * [`span`] — [`StageTimer`], a drop guard that reads the clock only
 //!   when the recorder is enabled;
+//! * [`freshness`] — ingest→publication lag attribution: the
+//!   [`freshness::Stage`] label codes and the [`freshness::WatermarkClock`]
+//!   watermark-lag tracker;
+//! * [`slo`] — declarative service-level objectives ([`slo::SloTable`])
+//!   evaluated by a windowed multi-rate burn-rate state machine
+//!   (ok → warning → burning);
 //! * [`trace`] — the flight recorder: typed [`trace::TraceEvent`]s behind
 //!   the [`Tracer`] trait, retained in a fixed-capacity overwrite-oldest
 //!   ring ([`FlightRecorder`]) and exportable as Chrome trace-event JSON;
@@ -66,15 +72,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod freshness;
 pub mod histogram;
 pub mod json;
 pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use freshness::{Stage, WatermarkClock};
 pub use histogram::LogHistogram;
 pub use recorder::{Label, NoopRecorder, Recorder, SharedRecorder};
 pub use registry::{MetricsSnapshot, Registry};
+pub use slo::{BurnRatePolicy, SloSpec, SloState, SloTable, SloTransition};
 pub use span::StageTimer;
 pub use trace::{FlightRecorder, NoopTracer, SharedTracer, TraceEvent, TraceSpan, Tracer};

@@ -54,6 +54,13 @@ impl Label {
     pub fn code(code: u8) -> Self {
         Label::new("code", u64::from(code))
     }
+
+    /// The conventional pipeline-stage label on the snapshot-lag
+    /// histogram (codes documented by `crate::freshness::Stage`).
+    #[must_use]
+    pub fn stage(code: u8) -> Self {
+        Label::new("stage", u64::from(code))
+    }
 }
 
 /// A metric sink.

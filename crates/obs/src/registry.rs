@@ -82,10 +82,18 @@ impl Registry {
     /// recorded.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
+        self.labeled_histogram(name, None)
+    }
+
+    /// A copy of the histogram `name` with exactly `label`, if any
+    /// observation was recorded — e.g. one stage of the snapshot-lag
+    /// histogram.
+    #[must_use]
+    pub fn labeled_histogram(&self, name: &str, label: Option<Label>) -> Option<LogHistogram> {
         self.store()
             .histograms
             .iter()
-            .find(|((n, l), _)| *n == name && l.is_none())
+            .find(|((n, l), _)| *n == name && *l == label)
             .map(|(_, h)| h.clone())
     }
 

@@ -1,0 +1,545 @@
+//! Declarative service-level objectives with burn-rate evaluation.
+//!
+//! The judgement half of the freshness loop (`crate::freshness` is the
+//! measurement half): a host declares a table of upper-bound objectives —
+//! e.g. *p99 snapshot lag < 250 ms*, *shed ratio < 0.1%*, *bytes per
+//! resident user < ceiling* — and feeds each one a measured value at a
+//! regular cadence ("ticks"; the ingest server ticks once per published
+//! snapshot). A windowed multi-rate state machine classifies every
+//! objective as [`SloState::Ok`], [`SloState::Warning`] or
+//! [`SloState::Burning`] and reports each transition, so hosts can count
+//! it, trace it, and fire a flight-recorder dump the moment an objective
+//! starts burning.
+//!
+//! The machine is deliberately wall-clock-free: windows are counted in
+//! ticks, so evaluation is deterministic and unit-testable. A tick is
+//! *bad* when the measured value meets or exceeds the objective. The
+//! multi-rate rule follows the SRE burn-rate pattern: **burning** needs
+//! the bad fraction over both the short and the long window at or above
+//! the fast rate (sustained, recent breach), **warning** needs both at
+//! or above the slow rate (slow burn), anything less is ok.
+//!
+//! # Examples
+//!
+//! ```
+//! use tagbreathe_obs::slo::{BurnRatePolicy, Slo, SloSpec, SloState};
+//!
+//! let mut slo = Slo::new(
+//!     SloSpec::new("snapshot_lag_p99_ns", 250_000_000.0, "ns"),
+//!     BurnRatePolicy::default(),
+//! );
+//! assert_eq!(slo.state(), SloState::Ok);
+//! // A persistently breached objective burns immediately.
+//! let transition = slo.evaluate(Some(1.0e9));
+//! assert_eq!(transition.map(|t| t.to), Some(SloState::Burning));
+//! ```
+
+use std::fmt;
+
+/// One objective's health, worst last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SloState {
+    /// The objective is being met.
+    Ok = 0,
+    /// The error budget is burning slowly (sustained partial breach).
+    Warning = 1,
+    /// The error budget is burning fast (recent sustained breach).
+    Burning = 2,
+}
+
+impl SloState {
+    /// Stable lowercase name used in JSON and status renderings.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warning => "warning",
+            SloState::Burning => "burning",
+        }
+    }
+
+    /// The numeric code used as a metric label / gauge value.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            SloState::Ok => 0,
+            SloState::Warning => 1,
+            SloState::Burning => 2,
+        }
+    }
+}
+
+impl fmt::Display for SloState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A state change reported by [`Slo::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloTransition {
+    /// State before this tick.
+    pub from: SloState,
+    /// State after this tick.
+    pub to: SloState,
+}
+
+/// One declared upper-bound objective: `value < objective`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Objective name, e.g. `"snapshot_lag_p99_ns"`.
+    pub name: &'static str,
+    /// The bound the measured value must stay strictly below.
+    pub objective: f64,
+    /// Unit suffix for rendering, e.g. `"ns"`, `"ratio"`, `"bytes"`.
+    pub unit: &'static str,
+}
+
+impl SloSpec {
+    /// Declares an objective.
+    #[must_use]
+    pub fn new(name: &'static str, objective: f64, unit: &'static str) -> Self {
+        SloSpec {
+            name,
+            objective,
+            unit,
+        }
+    }
+
+    /// Whether `value` breaches the objective (missing data never does).
+    #[must_use]
+    pub fn breached(&self, value: Option<f64>) -> bool {
+        value.is_some_and(|v| v.is_nan() || v >= self.objective)
+    }
+}
+
+/// Window lengths and rates for the burn-rate machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRatePolicy {
+    /// Short (fast-burn) window, ticks.
+    pub short_window: usize,
+    /// Long (slow-burn) window, ticks. Clamped up to the short window.
+    pub long_window: usize,
+    /// Bad fraction over both windows at which the slow burn warns.
+    pub warning_ratio: f64,
+    /// Bad fraction over both windows at which the fast burn fires.
+    pub burning_ratio: f64,
+}
+
+impl Default for BurnRatePolicy {
+    /// 3-tick fast window and 12-tick slow window; warn at a quarter of
+    /// ticks bad, burn at three quarters. At the server's default 5 s
+    /// snapshot cadence that is a 15 s fast / 60 s slow alert pair.
+    fn default() -> Self {
+        BurnRatePolicy {
+            short_window: 3,
+            long_window: 12,
+            warning_ratio: 0.25,
+            burning_ratio: 0.75,
+        }
+    }
+}
+
+/// The windowed multi-rate burn-rate state machine for one objective.
+#[derive(Debug, Clone)]
+pub struct BurnRateMachine {
+    policy: BurnRatePolicy,
+    /// Ring of the last `long_window` tick outcomes, oldest first.
+    window: Vec<bool>,
+    state: SloState,
+}
+
+impl BurnRateMachine {
+    /// Creates a machine in [`SloState::Ok`]. Degenerate policies are
+    /// clamped sane (windows at least 1 tick, long ≥ short).
+    #[must_use]
+    pub fn new(policy: BurnRatePolicy) -> Self {
+        let short = policy.short_window.max(1);
+        let long = policy.long_window.max(short);
+        BurnRateMachine {
+            policy: BurnRatePolicy {
+                short_window: short,
+                long_window: long,
+                ..policy
+            },
+            window: Vec::with_capacity(long),
+            state: SloState::Ok,
+        }
+    }
+
+    /// Folds in one tick outcome; returns the transition if the state
+    /// changed.
+    pub fn tick(&mut self, bad: bool) -> Option<SloTransition> {
+        if self.window.len() >= self.policy.long_window {
+            self.window.remove(0);
+        }
+        self.window.push(bad);
+        let next = self.classify();
+        if next == self.state {
+            return None;
+        }
+        let from = self.state;
+        self.state = next;
+        Some(SloTransition { from, to: next })
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> SloState {
+        self.state
+    }
+
+    /// Bad fraction over the short (fast-burn) window.
+    #[must_use]
+    pub fn short_ratio(&self) -> f64 {
+        ratio(suffix(&self.window, self.policy.short_window))
+    }
+
+    /// Bad fraction over the long (slow-burn) window.
+    #[must_use]
+    pub fn long_ratio(&self) -> f64 {
+        ratio(&self.window)
+    }
+
+    fn classify(&self) -> SloState {
+        let short = self.short_ratio();
+        let long = self.long_ratio();
+        if short >= self.policy.burning_ratio && long >= self.policy.burning_ratio {
+            SloState::Burning
+        } else if short >= self.policy.warning_ratio && long >= self.policy.warning_ratio {
+            SloState::Warning
+        } else {
+            SloState::Ok
+        }
+    }
+}
+
+fn suffix(window: &[bool], len: usize) -> &[bool] {
+    let start = window.len().saturating_sub(len);
+    window.get(start..).unwrap_or(window)
+}
+
+fn ratio(ticks: &[bool]) -> f64 {
+    if ticks.is_empty() {
+        return 0.0;
+    }
+    let bad = ticks.iter().filter(|&&b| b).count();
+    bad as f64 / ticks.len() as f64
+}
+
+/// One declared objective plus its burn-rate state and last measurement.
+#[derive(Debug, Clone)]
+pub struct Slo {
+    /// The declared objective.
+    pub spec: SloSpec,
+    machine: BurnRateMachine,
+    last_value: Option<f64>,
+}
+
+impl Slo {
+    /// Pairs an objective with a burn-rate policy.
+    #[must_use]
+    pub fn new(spec: SloSpec, policy: BurnRatePolicy) -> Self {
+        Slo {
+            spec,
+            machine: BurnRateMachine::new(policy),
+            last_value: None,
+        }
+    }
+
+    /// Feeds one measured value (`None` when the metric has no data yet —
+    /// counted as a good tick); returns the transition, if any.
+    pub fn evaluate(&mut self, value: Option<f64>) -> Option<SloTransition> {
+        self.last_value = value;
+        self.machine.tick(self.spec.breached(value))
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> SloState {
+        self.machine.state()
+    }
+
+    /// A rendering-ready row for this objective.
+    #[must_use]
+    pub fn row(&self) -> SloRow {
+        SloRow {
+            name: self.spec.name,
+            objective: self.spec.objective,
+            unit: self.spec.unit,
+            value: self.last_value,
+            state: self.machine.state(),
+            short_ratio: self.machine.short_ratio(),
+            long_ratio: self.machine.long_ratio(),
+        }
+    }
+}
+
+/// A table of objectives evaluated together at each tick.
+#[derive(Debug, Clone, Default)]
+pub struct SloTable {
+    slos: Vec<Slo>,
+}
+
+impl SloTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SloTable::default()
+    }
+
+    /// Appends an objective.
+    pub fn push(&mut self, spec: SloSpec, policy: BurnRatePolicy) {
+        self.slos.push(Slo::new(spec, policy));
+    }
+
+    /// Number of objectives.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slos.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slos.is_empty()
+    }
+
+    /// The objectives, declaration order.
+    #[must_use]
+    pub fn slos(&self) -> &[Slo] {
+        &self.slos
+    }
+
+    /// Ticks every objective with its measured value (by declaration
+    /// index; missing entries tick as no-data). Returns the transitions
+    /// that fired, as `(index, transition)`.
+    pub fn evaluate(&mut self, values: &[Option<f64>]) -> Vec<(usize, SloTransition)> {
+        self.slos
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slo)| {
+                let value = values.get(i).copied().flatten();
+                slo.evaluate(value).map(|t| (i, t))
+            })
+            .collect()
+    }
+
+    /// Rendering-ready rows, declaration order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<SloRow> {
+        self.slos.iter().map(Slo::row).collect()
+    }
+
+    /// The worst state across the table (ok when empty).
+    #[must_use]
+    pub fn worst(&self) -> SloState {
+        self.slos
+            .iter()
+            .map(Slo::state)
+            .max()
+            .unwrap_or(SloState::Ok)
+    }
+}
+
+/// One objective's rendering-ready status.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloRow {
+    /// Objective name.
+    pub name: &'static str,
+    /// Declared upper bound.
+    pub objective: f64,
+    /// Unit suffix.
+    pub unit: &'static str,
+    /// Last measured value (`None` before any data).
+    pub value: Option<f64>,
+    /// Current burn-rate state.
+    pub state: SloState,
+    /// Bad fraction over the fast window.
+    pub short_ratio: f64,
+    /// Bad fraction over the slow window.
+    pub long_ratio: f64,
+}
+
+/// Renders rows as one JSON object — the `/slo` endpoint body and the
+/// `tagbreathe-cli slo` machine output. Valid per [`crate::json`].
+#[must_use]
+pub fn render_rows_json(rows: &[SloRow]) -> String {
+    use std::fmt::Write as _;
+    let worst = rows.iter().map(|r| r.state).max().unwrap_or(SloState::Ok);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"worst\": \"{}\",", worst.as_str());
+    out.push_str("  \"slos\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"objective\": {}, \"value\": {}, \
+             \"state\": \"{}\", \"short_ratio\": {}, \"long_ratio\": {}}}{comma}",
+            row.name,
+            row.unit,
+            json_number(row.objective),
+            row.value.map_or("null".to_string(), json_number),
+            row.state.as_str(),
+            json_number(row.short_ratio),
+            json_number(row.long_ratio),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders rows as a fixed-width plain-text table — the `/status` section
+/// and the `tagbreathe-cli slo` terminal output.
+#[must_use]
+pub fn render_rows_text(rows: &[SloRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>14} {:>8} {:>6} {:>6}",
+        "slo", "value", "objective", "state", "fast", "slow"
+    );
+    for row in rows {
+        let value = row
+            .value
+            .map_or("-".to_string(), |v| format_value(v, row.unit));
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14} {:>14} {:>8} {:>5.0}% {:>5.0}%",
+            row.name,
+            value,
+            format_value(row.objective, row.unit),
+            row.state.as_str(),
+            row.short_ratio * 100.0,
+            row.long_ratio * 100.0,
+        );
+    }
+    out
+}
+
+fn format_value(value: f64, unit: &str) -> String {
+    if unit == "ns" && value.is_finite() {
+        // Lag objectives read better in milliseconds.
+        format!("{:.1} ms", value / 1.0e6)
+    } else if value.is_finite() && value.abs() >= 100.0 {
+        format!("{value:.0} {unit}")
+    } else {
+        format!("{value} {unit}")
+    }
+}
+
+/// JSON has no NaN/Inf literals; map non-finite values to null.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn policy() -> BurnRatePolicy {
+        BurnRatePolicy {
+            short_window: 2,
+            long_window: 4,
+            warning_ratio: 0.25,
+            burning_ratio: 1.0,
+        }
+    }
+
+    #[test]
+    fn machine_walks_ok_warning_burning_and_back() {
+        let mut m = BurnRateMachine::new(policy());
+        assert_eq!(m.state(), SloState::Ok);
+        // Good ticks keep it ok.
+        assert!(m.tick(false).is_none());
+        assert!(m.tick(false).is_none());
+        // One bad tick in four: long ratio 1/3 ≥ 0.25 but the short
+        // window goes [false, true] → 0.5 < 1.0: warning, not burning.
+        assert_eq!(
+            m.tick(true).map(|t| (t.from, t.to)),
+            Some((SloState::Ok, SloState::Warning))
+        );
+        // Sustained badness saturates both windows → burning.
+        assert!(m.tick(true).is_none(), "short 1.0 but long 2/4 = 0.5");
+        assert!(m.tick(true).is_none(), "long 3/4 = 0.75 < 1.0");
+        assert_eq!(m.tick(true).map(|t| t.to), Some(SloState::Burning));
+        assert_eq!(m.state(), SloState::Burning);
+        // Recovery drains the fast window first, then the slow one.
+        assert_eq!(m.tick(false).map(|t| t.to), Some(SloState::Warning));
+        assert_eq!(
+            m.tick(false).map(|t| t.to),
+            Some(SloState::Ok),
+            "short window all-good again"
+        );
+        assert!(m.tick(false).is_none());
+    }
+
+    #[test]
+    fn impossible_objective_burns_on_first_tick() {
+        let mut slo = Slo::new(SloSpec::new("lag", 0.0, "ns"), BurnRatePolicy::default());
+        assert_eq!(
+            slo.evaluate(Some(5.0)).map(|t| (t.from, t.to)),
+            Some((SloState::Ok, SloState::Burning))
+        );
+    }
+
+    #[test]
+    fn missing_data_and_nan_are_good_and_bad_respectively() {
+        let spec = SloSpec::new("x", 10.0, "ns");
+        assert!(!spec.breached(None));
+        assert!(!spec.breached(Some(9.9)));
+        assert!(spec.breached(Some(10.0)), "bound is strict");
+        assert!(spec.breached(Some(f64::NAN)), "unmeasurable is breached");
+    }
+
+    #[test]
+    fn table_evaluates_by_index_and_tracks_worst() {
+        let mut table = SloTable::new();
+        table.push(SloSpec::new("a", 1.0, "ns"), policy());
+        table.push(SloSpec::new("b", 1.0, "ratio"), policy());
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.worst(), SloState::Ok);
+        let fired = table.evaluate(&[Some(0.5), Some(2.0)]);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired.first().map(|(i, _)| *i), Some(1));
+        // A freshly-filled window is all-bad: straight to burning.
+        assert_eq!(table.worst(), SloState::Burning);
+        let rows = table.rows();
+        assert_eq!(rows.first().map(|r| r.state), Some(SloState::Ok));
+        assert_eq!(rows.last().map(|r| r.value), Some(Some(2.0)));
+    }
+
+    #[test]
+    fn renderings_are_valid_and_carry_states() {
+        let mut table = SloTable::new();
+        table.push(SloSpec::new("snapshot_lag_p99_ns", 2.5e8, "ns"), policy());
+        table.push(SloSpec::new("shed_ratio", 0.001, "ratio"), policy());
+        let _ = table.evaluate(&[Some(1.0e6), None]);
+        let rows = table.rows();
+        let json_out = render_rows_json(&rows);
+        assert!(json::validate(&json_out).is_ok(), "valid JSON: {json_out}");
+        assert!(json_out.contains("\"worst\": \"ok\""), "{json_out}");
+        assert!(json_out.contains("\"value\": null"), "{json_out}");
+        let text = render_rows_text(&rows);
+        assert!(text.contains("snapshot_lag_p99_ns"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+    }
+
+    #[test]
+    fn degenerate_policy_is_clamped() {
+        let m = BurnRateMachine::new(BurnRatePolicy {
+            short_window: 0,
+            long_window: 0,
+            warning_ratio: 0.5,
+            burning_ratio: 0.5,
+        });
+        assert_eq!(m.state(), SloState::Ok);
+    }
+}

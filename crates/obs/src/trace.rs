@@ -309,11 +309,11 @@ impl FlightRecorder {
         let ring = self.lock();
         let mut out = Vec::with_capacity(ring.len);
         if ring.len < self.capacity {
-            out.extend_from_slice(&ring.buf[..ring.len]);
+            out.extend_from_slice(ring.buf.get(..ring.len).unwrap_or(&ring.buf));
         } else {
             // Full ring: oldest at head, wrapping.
-            out.extend_from_slice(&ring.buf[ring.head..]);
-            out.extend_from_slice(&ring.buf[..ring.head]);
+            out.extend_from_slice(ring.buf.get(ring.head..).unwrap_or_default());
+            out.extend_from_slice(ring.buf.get(..ring.head).unwrap_or(&ring.buf));
         }
         out
     }

@@ -11,12 +11,15 @@
 
 use crate::merge::LaneMerger;
 use crate::metrics;
-use obs::recorder::{Recorder, SharedRecorder};
+use obs::freshness::{duration_ns, Stage, WatermarkClock};
+use obs::recorder::{Label, Recorder, SharedRecorder};
+use obs::registry::Registry;
+use obs::slo::{SloState, SloTable};
 use obs::trace::TraceEvent;
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
-use std::sync::Mutex;
-use tagbreathe::flight::FlightDiagnostics;
+use std::sync::{Arc, Mutex};
+use tagbreathe::flight::{Anomaly, AnomalyKind, FlightDiagnostics};
 use tagbreathe::{FleetEngine, RateSnapshot, TagReport};
 
 use epcgen2::mapping::IdentityResolver;
@@ -80,9 +83,23 @@ pub(crate) struct SnapshotStore {
 /// Everything the engine thread owns, bundled for [`run_engine`].
 pub(crate) struct EngineState<R> {
     pub fleet: FleetEngine<R>,
+    pub publisher: Publisher,
+}
+
+/// The publication half of the engine: flight scanning, freshness
+/// attribution, SLO evaluation and the served snapshot log. Split from
+/// the fleet so the final drain can finish the fleet (which consumes it)
+/// and keep publishing the tail snapshots.
+pub(crate) struct Publisher {
     pub flight: FlightDiagnostics,
     pub recorder: SharedRecorder,
+    pub registry: Arc<Registry>,
+    pub slo: Arc<Mutex<SloTable>>,
+    pub shards: usize,
     pub log_cap: usize,
+    /// Engine-ingest stamps measured against snapshot publication — the
+    /// `total` freshness stage.
+    pub total_clock: WatermarkClock,
 }
 
 /// Consumes events until every sender hangs up, then drains the lanes,
@@ -92,7 +109,11 @@ pub(crate) fn run_engine<R: IdentityResolver>(
     mut state: EngineState<R>,
     store: &Mutex<SnapshotStore>,
 ) {
+    let recording = state.publisher.recorder.as_dyn().enabled();
     let mut merger = LaneMerger::new();
+    // Engine-ingest stamps measured against lane release — the
+    // `lane_merge` freshness stage.
+    let mut lane_clock = WatermarkClock::new(512, 0.05);
     while let Ok(event) = rx.recv() {
         match event {
             EngineEvent::Open { reader } => merger.open(reader),
@@ -101,6 +122,14 @@ pub(crate) fn run_engine<R: IdentityResolver>(
                 reports,
                 reader_clock_s,
             } => {
+                if recording {
+                    let newest = reports
+                        .iter()
+                        .map(|r| r.time_s)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    lane_clock.stamp(newest);
+                    state.publisher.total_clock.stamp(newest);
+                }
                 merger.push(reader, reports, reader_clock_s);
             }
             EngineEvent::Heartbeat {
@@ -110,6 +139,9 @@ pub(crate) fn run_engine<R: IdentityResolver>(
             EngineEvent::Close { reader } => merger.close(reader),
         }
         let released = merger.release();
+        if recording {
+            observe_merge(&mut lane_clock, &merger, &state.publisher, &released);
+        }
         feed(&mut state, store, released);
     }
     // All sessions and the acceptor are gone: flush everything.
@@ -117,13 +149,50 @@ pub(crate) fn run_engine<R: IdentityResolver>(
     feed(&mut state, store, rest);
     let EngineState {
         fleet,
-        mut flight,
-        recorder,
-        log_cap,
+        mut publisher,
     } = state;
     let tail = fleet.finish();
     for snap in tail {
-        publish(&mut flight, &recorder, store, log_cap, snap);
+        publisher.publish(store, snap);
+    }
+}
+
+/// Records the lane-merge stage lag for a released batch and refreshes
+/// the per-reader lag gauges (how far each open lane's watermark trails
+/// the furthest-ahead lane, stream seconds).
+fn observe_merge(
+    lane_clock: &mut WatermarkClock,
+    merger: &LaneMerger,
+    publisher: &Publisher,
+    released: &[TagReport],
+) {
+    if let Some(last) = released.last() {
+        if let Some(lag) = lane_clock.lag(last.time_s) {
+            publisher.recorder.observe(
+                tagbreathe::metrics::SNAPSHOT_LAG_NS,
+                Some(Label::stage(Stage::LaneMerge.code())),
+                duration_ns(lag),
+            );
+        }
+    }
+    let lanes = merger.lane_watermarks();
+    let ahead = lanes
+        .iter()
+        .map(|&(_, w)| w)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !ahead.is_finite() {
+        return;
+    }
+    for (reader, w) in lanes {
+        // A lane that has not yet spoken has no finite watermark; its
+        // absence from the gauge (rather than a fake zero) is the signal.
+        if w.is_finite() {
+            publisher.recorder.set_gauge(
+                metrics::SERVER_READER_LAG_S,
+                Some(Label::reader(reader)),
+                (ahead - w).max(0.0),
+            );
+        }
     }
 }
 
@@ -135,12 +204,12 @@ fn feed<R: IdentityResolver>(
     if released.is_empty() {
         return;
     }
-    state.recorder.add(
+    state.publisher.recorder.add(
         metrics::SERVER_REPORTS_MERGED_TOTAL,
         None,
         released.len() as u64,
     );
-    let tracer = state.flight.tracer();
+    let tracer = state.publisher.flight.tracer();
     if tracer.as_dyn().enabled() {
         for r in &released {
             tracer.as_dyn().emit(TraceEvent::read(
@@ -156,45 +225,103 @@ fn feed<R: IdentityResolver>(
     }
     let snapshots = state.fleet.push(released);
     for snap in snapshots {
-        publish(
-            &mut state.flight,
-            &state.recorder,
-            store,
-            state.log_cap,
-            snap,
-        );
+        state.publisher.publish(store, snap);
     }
 }
 
-fn publish(
-    flight: &mut FlightDiagnostics,
-    recorder: &SharedRecorder,
-    store: &Mutex<SnapshotStore>,
-    log_cap: usize,
-    snap: RateSnapshot,
-) {
-    flight.scan(&snap, recorder.as_dyn());
-    let fresh: Vec<String> = flight.take_bundles().iter().map(|b| b.to_json()).collect();
-    recorder.add(metrics::SERVER_SNAPSHOTS_TOTAL, None, 1);
-    let Ok(mut guard) = store.lock() else {
-        return;
-    };
-    for (&user, rate) in &snap.rates_bpm {
-        let effort = snap.effort_rms.get(&user).copied().unwrap_or(0.0);
-        guard.latest.insert(
-            user,
-            UserSnapshot {
-                time_s: snap.time_s,
-                rate_bpm: *rate,
-                effort_rms: effort,
-            },
-        );
+impl Publisher {
+    /// Scans, measures, judges and serves one snapshot: flight-recorder
+    /// triggers, the `total` freshness stage, the SLO burn-rate machines
+    /// (whose Burning transitions also capture a flight bundle), then the
+    /// shared snapshot store.
+    pub(crate) fn publish(&mut self, store: &Mutex<SnapshotStore>, snap: RateSnapshot) {
+        self.flight.scan(&snap, self.recorder.as_dyn());
+        if self.recorder.as_dyn().enabled() {
+            if let Some(lag) = self.total_clock.lag(snap.time_s) {
+                self.recorder.observe(
+                    tagbreathe::metrics::SNAPSHOT_LAG_NS,
+                    Some(Label::stage(Stage::Total.code())),
+                    duration_ns(lag),
+                );
+            }
+            self.evaluate_slos(snap.time_s);
+        }
+        let fresh: Vec<String> = self
+            .flight
+            .take_bundles()
+            .iter()
+            .map(|b| b.to_json())
+            .collect();
+        self.recorder.add(metrics::SERVER_SNAPSHOTS_TOTAL, None, 1);
+        let Ok(mut guard) = store.lock() else {
+            return;
+        };
+        for (&user, rate) in &snap.rates_bpm {
+            let effort = snap.effort_rms.get(&user).copied().unwrap_or(0.0);
+            guard.latest.insert(
+                user,
+                UserSnapshot {
+                    time_s: snap.time_s,
+                    rate_bpm: *rate,
+                    effort_rms: effort,
+                },
+            );
+        }
+        guard.bundles.extend(fresh);
+        guard.log.push(snap);
+        if guard.log.len() > self.log_cap.max(1) {
+            let excess = guard.log.len() - self.log_cap.max(1);
+            guard.log.drain(..excess);
+            guard.trimmed += excess as u64;
+        }
     }
-    guard.bundles.extend(fresh);
-    guard.log.push(snap);
-    if guard.log.len() > log_cap.max(1) {
-        let excess = guard.log.len() - log_cap.max(1);
-        guard.log.drain(..excess);
-        guard.trimmed += excess as u64;
+
+    /// One tick of every SLO burn-rate machine against freshly measured
+    /// values. Transitions count, re-gauge, emit a trace instant, and —
+    /// on entering Burning — capture a flight-recorder bundle so the
+    /// evidence window around the breach is preserved.
+    fn evaluate_slos(&mut self, time_s: f64) {
+        let values = crate::slo::measure(&self.registry, self.shards);
+        let Ok(mut table) = self.slo.lock() else {
+            return;
+        };
+        let transitions = table.evaluate(&values);
+        for (idx, transition) in transitions {
+            self.recorder.add(
+                metrics::SERVER_SLO_TRANSITIONS_TOTAL,
+                Some(Label::code(transition.to.code())),
+                1,
+            );
+            let row = table.slos().get(idx).map(|s| s.row());
+            let value = row.and_then(|r| r.value).unwrap_or(f64::NAN);
+            let objective = row.map_or(f64::NAN, |r| r.objective);
+            let tracer = self.flight.tracer();
+            if tracer.as_dyn().enabled() {
+                tracer.as_dyn().emit(
+                    TraceEvent::instant("slo_transition", time_s)
+                        .with_user(idx as u64)
+                        .with_values(value, f64::from(transition.to.code())),
+                );
+            }
+            if transition.to == SloState::Burning {
+                self.flight.capture_anomaly(
+                    Anomaly {
+                        kind: AnomalyKind::SloBreach,
+                        user: idx as u64,
+                        time_s,
+                        value,
+                        reference: objective,
+                    },
+                    self.recorder.as_dyn(),
+                );
+            }
+        }
+        for (idx, slo) in table.slos().iter().enumerate() {
+            self.recorder.set_gauge(
+                metrics::SERVER_SLO_STATE,
+                Some(Label::code(u8::try_from(idx).unwrap_or(u8::MAX))),
+                f64::from(slo.state().code()),
+            );
+        }
     }
 }

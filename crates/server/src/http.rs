@@ -12,25 +12,32 @@
 //! | `/metrics`         | Prometheus text exposition                    |
 //! | `/metrics.json`    | The same registry as JSON                     |
 //! | `/healthz`         | `ok`                                          |
+//! | `/slo`             | SLO table with burn-rate states, JSON         |
+//! | `/status`          | Operator dashboard, plain text                |
+//! | `/status.html`     | The same dashboard, minimal HTML              |
 //! | `/snapshot/{user}` | Latest analysis for the user, JSON            |
 //! | `/snapshots`       | Full snapshot log with `f64::to_bits` fields  |
 //! | `/bundle`          | Latest flight-recorder bundle, JSON, or 404   |
 
 use crate::engine::SnapshotStore;
 use crate::metrics;
-use obs::recorder::Recorder;
+use obs::freshness::{duration_ns, Stage};
+use obs::recorder::{Label, Recorder};
 use obs::registry::Registry;
+use obs::slo::{render_rows_json, render_rows_text, SloTable};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const MAX_REQUEST: usize = 8 * 1024;
 
 pub(crate) struct HttpState {
     pub registry: Arc<Registry>,
     pub store: Arc<Mutex<SnapshotStore>>,
+    pub slo: Arc<Mutex<SloTable>>,
+    pub shards: usize,
 }
 
 /// Accept loop; returns when `stop` is set.
@@ -57,7 +64,13 @@ fn serve_one(mut stream: TcpStream, state: &HttpState) {
     let Some(request) = read_request(&mut stream) else {
         return;
     };
+    let started = Instant::now();
     let (status, content_type, body) = route(&request, state);
+    state.registry.observe(
+        tagbreathe::metrics::SNAPSHOT_LAG_NS,
+        Some(Label::stage(Stage::HttpServe.code())),
+        duration_ns(started.elapsed()),
+    );
     let header = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -106,6 +119,20 @@ fn route(request_line: &str, state: &HttpState) -> (&'static str, &'static str, 
         ),
         "/metrics.json" => ("200 OK", "application/json", state.registry.render_json()),
         "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
+        "/slo" => match state.slo.lock() {
+            Ok(table) => (
+                "200 OK",
+                "application/json",
+                render_rows_json(&table.rows()),
+            ),
+            Err(_) => (
+                "500 Internal Server Error",
+                "text/plain",
+                "state poisoned\n".into(),
+            ),
+        },
+        "/status" => ("200 OK", "text/plain", render_status(state)),
+        "/status.html" => ("200 OK", "text/html", render_status_html(state)),
         "/bundle" => match state.store.lock() {
             Ok(guard) => match guard.bundles.last() {
                 Some(bundle) => ("200 OK", "application/json", bundle.clone()),
@@ -148,6 +175,125 @@ fn route(request_line: &str, state: &HttpState) -> (&'static str, &'static str, 
             ("404 Not Found", "text/plain", "no such endpoint\n".into())
         }
     }
+}
+
+/// The `/status` dashboard: SLO states, per-stage snapshot-lag
+/// quantiles, per-shard depth/occupancy/memory, and the ingest shed
+/// counters — everything the SLO-breach runbook asks an operator to
+/// look at first, in one std-only page.
+fn render_status(state: &HttpState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(2048);
+    out.push_str("tagbreathe server status\n========================\n\n");
+
+    out.push_str("SLOs\n");
+    match state.slo.lock() {
+        Ok(table) => out.push_str(&render_rows_text(&table.rows())),
+        Err(_) => out.push_str("  (state poisoned)\n"),
+    }
+
+    out.push_str("\nsnapshot lag by stage (approximate, power-of-two buckets)\n");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>8} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50 ms", "p99 ms", "max ms"
+    );
+    for stage in Stage::ALL {
+        let Some(h) = state.registry.labeled_histogram(
+            tagbreathe::metrics::SNAPSHOT_LAG_NS,
+            Some(Label::stage(stage.code())),
+        ) else {
+            continue;
+        };
+        let ms = |ns: Option<u64>| ns.map_or(0.0, |v| v as f64 / 1e6);
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            stage.as_str(),
+            h.count(),
+            ms(h.quantile(0.5)),
+            ms(h.quantile(0.99)),
+            ms(h.max()),
+        );
+    }
+
+    out.push_str("\nshards\n");
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>12} {:>8} {:>16}",
+        "shard", "ring_depth", "users", "resident_bytes"
+    );
+    for shard in 0..u32::try_from(state.shards.max(1)).unwrap_or(u32::MAX) {
+        let label = Some(Label::shard(shard));
+        let depth = state
+            .registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_RING_DEPTH, label)
+            .unwrap_or(0.0);
+        let users = state
+            .registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_SHARD_USERS, label)
+            .unwrap_or(0.0);
+        let bytes = state
+            .registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_RESIDENT_BYTES, label)
+            .unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>12.0} {:>8.0} {:>16.0}",
+            shard, depth, users, bytes
+        );
+    }
+
+    out.push_str("\ningest\n");
+    let counter = |name| state.registry.counter(name);
+    let _ = writeln!(
+        out,
+        "  reports accepted: {}",
+        counter(metrics::SERVER_REPORTS_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  reports merged:   {}",
+        counter(metrics::SERVER_REPORTS_MERGED_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  reports shed:     {}",
+        counter(metrics::SERVER_REPORTS_SHED_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  frames shed:      {}",
+        counter(metrics::SERVER_FRAMES_SHED_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  queue stalls:     {}",
+        counter(metrics::SERVER_QUEUE_STALLS_TOTAL)
+    );
+    let _ = writeln!(
+        out,
+        "  snapshots served: {}",
+        counter(metrics::SERVER_SNAPSHOTS_TOTAL)
+    );
+    out
+}
+
+/// `/status.html`: the same dashboard wrapped in a minimal HTML page —
+/// still std-only, renders in any browser without assets.
+fn render_status_html(state: &HttpState) -> String {
+    let text = render_status(state)
+        .replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;");
+    format!(
+        concat!(
+            "<!DOCTYPE html><html><head><title>tagbreathe status</title>",
+            "<style>body{{font-family:monospace;margin:2em}}</style>",
+            "</head><body><pre>{}</pre></body></html>\n"
+        ),
+        text
+    )
 }
 
 fn render_user(user: u64, snap: &crate::engine::UserSnapshot) -> String {

@@ -19,9 +19,14 @@
 //!   report order — and therefore every served snapshot — bit-identical
 //!   to an inline engine run regardless of TCP interleave.
 //! * **The HTTP surface** ([`http`]) serves `/metrics` (Prometheus),
-//!   `/snapshot/{user}`, `/snapshots`, and `/bundle` (flight-recorder
-//!   pulls after anomalies) — operator endpoints documented in
-//!   `docs/OPERATIONS.md`.
+//!   `/snapshot/{user}`, `/snapshots`, `/bundle` (flight-recorder pulls
+//!   after anomalies), `/slo` (burn-rate states) and `/status` (the
+//!   operator dashboard) — endpoints documented in `docs/OPERATIONS.md`.
+//!
+//! The engine additionally runs the freshness/SLO layer ([`slo`]): each
+//! published snapshot records ingest→publication lag per pipeline stage
+//! and ticks a burn-rate state machine per objective; entering the
+//! Burning state captures a flight-recorder bundle automatically.
 //!
 //! Start one with [`start`] (open admission) or
 //! [`start_with_resolver`] (explicit admission policy — the fleet
@@ -45,10 +50,12 @@ pub mod merge;
 pub mod metrics;
 pub mod server;
 pub mod session;
+pub mod slo;
 
 pub use engine::UserSnapshot;
 pub use merge::LaneMerger;
 pub use server::{start, start_with_resolver, ServerConfig, ServerHandle};
+pub use slo::SloConfig;
 
 /// The normative wire-protocol specification, embedded from
 /// `docs/PROTOCOL.md` so its examples compile and run as doc-tests.

@@ -105,6 +105,18 @@ impl LaneMerger {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Per-reader watermarks of the **open** lanes, in reader order. The
+    /// engine turns these into per-reader lag gauges: a lane's lag is the
+    /// furthest-ahead open watermark minus its own.
+    #[must_use]
+    pub fn lane_watermarks(&self) -> Vec<(u32, f64)> {
+        self.lanes
+            .iter()
+            .filter(|(_, l)| !l.closed)
+            .map(|(&reader, l)| (reader, l.watermark_s))
+            .collect()
+    }
+
     /// Reports buffered across all lanes.
     #[must_use]
     pub fn pending(&self) -> usize {

@@ -44,3 +44,37 @@ pub const SERVER_REPORTS_MERGED_TOTAL: &str = "tagbreathe_server_reports_merged_
 
 /// Counter: HTTP requests served (all endpoints, all statuses).
 pub const SERVER_HTTP_REQUESTS_TOTAL: &str = "tagbreathe_server_http_requests_total";
+
+/// Gauge (label `reader`): seconds of stream time a reader's merge lane
+/// trails the furthest-ahead lane at the moment a merged batch releases.
+/// A persistently large value names the reader that is holding the merge
+/// watermark (and therefore snapshot freshness) back.
+pub const SERVER_READER_LAG_S: &str = "tagbreathe_server_reader_lag_s";
+
+/// Gauge (label `code` = SLO table index): current burn-rate state of
+/// each SLO — 0 ok, 1 warning, 2 burning (`obs::slo::SloState` codes).
+pub const SERVER_SLO_STATE: &str = "tagbreathe_server_slo_state";
+
+/// Counter (label `code` = the state being entered): SLO state-machine
+/// transitions, so alert churn is visible even between scrapes.
+pub const SERVER_SLO_TRANSITIONS_TOTAL: &str = "tagbreathe_server_slo_transitions_total";
+
+/// Every metric name this crate can emit, for the docs drift guard
+/// (`tests/metrics_docs.rs` cross-checks this list against
+/// `docs/METRICS.md` in both directions).
+pub const ALL: &[&str] = &[
+    SERVER_CONNECTIONS_TOTAL,
+    SERVER_SESSIONS_OPEN,
+    SERVER_FRAMES_TOTAL,
+    SERVER_REPORTS_TOTAL,
+    SERVER_FRAMES_SHED_TOTAL,
+    SERVER_REPORTS_SHED_TOTAL,
+    SERVER_QUEUE_STALLS_TOTAL,
+    SERVER_READER_CLOCK_SKEW_S,
+    SERVER_SNAPSHOTS_TOTAL,
+    SERVER_REPORTS_MERGED_TOTAL,
+    SERVER_HTTP_REQUESTS_TOTAL,
+    SERVER_READER_LAG_S,
+    SERVER_SLO_STATE,
+    SERVER_SLO_TRANSITIONS_TOTAL,
+];

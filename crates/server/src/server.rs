@@ -1,12 +1,15 @@
 //! Server lifecycle: listeners, threads, shutdown.
 
-use crate::engine::{run_engine, EngineEvent, EngineState, SnapshotStore, UserSnapshot};
+use crate::engine::{run_engine, EngineEvent, EngineState, Publisher, SnapshotStore, UserSnapshot};
 use crate::http::{run_http, HttpState};
 use crate::metrics;
 use crate::session::{run_session, SessionLimits};
+use crate::slo::SloConfig;
 use epcgen2::mapping::{IdentityResolver, OpenAdmission};
+use obs::freshness::WatermarkClock;
 use obs::recorder::{Recorder, SharedRecorder};
 use obs::registry::Registry;
+use obs::slo::{SloRow, SloTable};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,6 +46,9 @@ pub struct ServerConfig {
     pub triggers: TriggerConfig,
     /// Served snapshot-log bound (oldest trimmed beyond it).
     pub snapshot_log: usize,
+    /// SLO objectives and burn-rate policy (evaluated once per published
+    /// snapshot; served at `/slo` and `/status`).
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +65,7 @@ impl Default for ServerConfig {
             flight_ring: 4096,
             triggers: TriggerConfig::default_config(),
             snapshot_log: 4096,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -70,6 +77,7 @@ pub struct ServerHandle {
     ingest_addr: SocketAddr,
     http_addr: SocketAddr,
     registry: Arc<Registry>,
+    slo: Arc<Mutex<SloTable>>,
     store: Arc<Mutex<SnapshotStore>>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
@@ -94,6 +102,12 @@ impl ServerHandle {
     #[must_use]
     pub fn registry(&self) -> Arc<Registry> {
         self.registry.clone()
+    }
+
+    /// The current SLO table rows, as served at `/slo`.
+    #[must_use]
+    pub fn slo_rows(&self) -> Vec<SloRow> {
+        self.slo.lock().map(|t| t.rows()).unwrap_or_default()
     }
 
     /// Latest per-user analysis, as served at `/snapshot/{user}`.
@@ -177,15 +191,27 @@ where
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = sync_channel::<EngineEvent>(config.queue_depth.max(1));
 
+    let slo_table = Arc::new(Mutex::new(crate::slo::build_table(&config.slo)));
+
     let engine_store = store.clone();
     let engine_recorder = recorder.clone();
+    let engine_registry = registry.clone();
+    let engine_slo = slo_table.clone();
     let log_cap = config.snapshot_log;
+    let shards = config.shards;
+    let total_clock = WatermarkClock::new(1024, config.update_every_s / 8.0);
     let engine = std::thread::spawn(move || {
         let state = EngineState {
             fleet,
-            flight,
-            recorder: engine_recorder,
-            log_cap,
+            publisher: Publisher {
+                flight,
+                recorder: engine_recorder,
+                registry: engine_registry,
+                slo: engine_slo,
+                shards,
+                log_cap,
+                total_clock,
+            },
         };
         run_engine(&rx, state, &engine_store);
     });
@@ -239,6 +265,8 @@ where
     let http_state = HttpState {
         registry: registry.clone(),
         store: store.clone(),
+        slo: slo_table.clone(),
+        shards: config.shards,
     };
     let http_stop = stop.clone();
     let http_thread = std::thread::spawn(move || {
@@ -249,6 +277,7 @@ where
         ingest_addr,
         http_addr,
         registry,
+        slo: slo_table,
         store,
         stop,
         acceptor: Some(acceptor),

@@ -1,0 +1,143 @@
+//! The server's declarative SLO table and its measurement hooks.
+//!
+//! The objectives are declared here once and evaluated by the engine
+//! thread after every published snapshot ([`crate::engine`]); the shared
+//! [`SloTable`] behind the evaluation is also what `/slo` and `/status`
+//! render, so operators and the burn-rate machine always see the same
+//! numbers. Three objectives ship by default, in fixed table order:
+//!
+//! | # | SLO                       | Measured from                                  |
+//! |---|---------------------------|------------------------------------------------|
+//! | 0 | `snapshot_lag_p99`        | stage-`total` of `tagbreathe_snapshot_lag_ns`  |
+//! | 1 | `shed_ratio`              | shed ÷ (shed + accepted) report counters       |
+//! | 2 | `bytes_per_resident_user` | fleet resident-bytes ÷ resident-user gauges    |
+
+use obs::recorder::Label;
+use obs::registry::Registry;
+use obs::slo::{BurnRatePolicy, SloSpec, SloTable};
+use obs::Stage;
+
+/// Objectives for the server's built-in SLOs. All upper bounds: a
+/// measured value at or above the objective is a bad tick for the
+/// burn-rate machine.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Objective on the p99 ingest→publication snapshot lag, ns.
+    pub snapshot_lag_p99_ns: u64,
+    /// Objective on shed ÷ (shed + accepted) reports.
+    pub shed_ratio: f64,
+    /// Objective on resident stream-state bytes per resident user.
+    pub bytes_per_user: f64,
+    /// Burn-rate windows and thresholds shared by all three SLOs.
+    pub policy: BurnRatePolicy,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            snapshot_lag_p99_ns: 250_000_000,
+            shed_ratio: 0.001,
+            bytes_per_user: 262_144.0,
+            policy: BurnRatePolicy::default(),
+        }
+    }
+}
+
+/// Builds the server's SLO table from its configured objectives, in the
+/// fixed order documented on [`SloConfig`].
+#[must_use]
+pub fn build_table(config: &SloConfig) -> SloTable {
+    let mut table = SloTable::new();
+    table.push(
+        SloSpec::new("snapshot_lag_p99", config.snapshot_lag_p99_ns as f64, "ns"),
+        config.policy,
+    );
+    table.push(
+        SloSpec::new("shed_ratio", config.shed_ratio, "ratio"),
+        config.policy,
+    );
+    table.push(
+        SloSpec::new("bytes_per_resident_user", config.bytes_per_user, "bytes"),
+        config.policy,
+    );
+    table
+}
+
+/// Reads the current value of each SLO from the live registry, in table
+/// order. `None` means "no data yet", which the burn-rate machine treats
+/// as a good tick.
+#[must_use]
+pub fn measure(registry: &Registry, shards: usize) -> [Option<f64>; 3] {
+    let lag_p99 = registry
+        .labeled_histogram(
+            tagbreathe::metrics::SNAPSHOT_LAG_NS,
+            Some(Label::stage(Stage::Total.code())),
+        )
+        .and_then(|h| h.quantile(0.99))
+        .map(|ns| ns as f64);
+
+    let shed = registry.counter(crate::metrics::SERVER_REPORTS_SHED_TOTAL);
+    let accepted = registry.counter(crate::metrics::SERVER_REPORTS_TOTAL);
+    let offered = shed + accepted;
+    let shed_ratio = (offered > 0).then(|| shed as f64 / offered as f64);
+
+    let mut bytes = 0.0;
+    let mut users = 0.0;
+    for shard in 0..u32::try_from(shards.max(1)).unwrap_or(u32::MAX) {
+        let label = Some(Label::shard(shard));
+        bytes += registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_RESIDENT_BYTES, label)
+            .unwrap_or(0.0);
+        users += registry
+            .labeled_gauge(tagbreathe::metrics::FLEET_SHARD_USERS, label)
+            .unwrap_or(0.0);
+    }
+    let bytes_per_user = (users > 0.0).then(|| bytes / users);
+
+    [lag_p99, shed_ratio, bytes_per_user]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Recorder;
+
+    #[test]
+    fn table_order_matches_measure_order() {
+        let table = build_table(&SloConfig::default());
+        let names: Vec<&str> = table.slos().iter().map(|s| s.row().name).collect();
+        assert_eq!(
+            names,
+            vec!["snapshot_lag_p99", "shed_ratio", "bytes_per_resident_user"]
+        );
+    }
+
+    #[test]
+    fn measure_reads_registry_or_reports_no_data() {
+        let registry = Registry::new();
+        assert_eq!(measure(&registry, 2), [None, None, None]);
+
+        registry.observe(
+            tagbreathe::metrics::SNAPSHOT_LAG_NS,
+            Some(Label::stage(Stage::Total.code())),
+            1_000_000,
+        );
+        registry.count(crate::metrics::SERVER_REPORTS_TOTAL, 99);
+        registry.count(crate::metrics::SERVER_REPORTS_SHED_TOTAL, 1);
+        registry.set_gauge(
+            tagbreathe::metrics::FLEET_RESIDENT_BYTES,
+            Some(Label::shard(0)),
+            4096.0,
+        );
+        registry.set_gauge(
+            tagbreathe::metrics::FLEET_SHARD_USERS,
+            Some(Label::shard(0)),
+            2.0,
+        );
+
+        let [lag, shed, bytes] = measure(&registry, 2);
+        assert!(lag.is_some_and(|v| v >= 1_000_000.0));
+        assert_eq!(shed, Some(0.01));
+        assert_eq!(bytes, Some(2048.0));
+    }
+}

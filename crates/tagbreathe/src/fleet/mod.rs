@@ -50,6 +50,7 @@ use epcgen2::mapping::IdentityResolver;
 use epcgen2::report::TagReport;
 use interner::{shard_of_user, IdentityCache, Route};
 use msg::ShardMsg;
+use obs::freshness::{duration_ns, Stage, WatermarkClock};
 use obs::trace::SharedTracer;
 use obs::{Label, Recorder, SharedRecorder};
 use ring::{RingConsumer, RingProducer, SLOT_WORDS};
@@ -74,6 +75,7 @@ struct ShardPart {
     effort_rms: BTreeMap<u64, f64>,
     occupancy: usize,
     state_cells: usize,
+    resident_bytes: u64,
     ring_depth: u64,
 }
 
@@ -149,6 +151,9 @@ pub struct FleetEngine<R> {
     recorder: SharedRecorder,
     recording: bool,
     link_quality: LinkQualityTracker,
+    /// Ingest stamps for the shard-ingest freshness stage (recorded runs
+    /// only; never touched on the disabled path).
+    lag_clock: WatermarkClock,
     finished: bool,
 }
 
@@ -244,6 +249,7 @@ impl<R: IdentityResolver> FleetEngine<R> {
             recorder,
             recording,
             link_quality: LinkQualityTracker::new(),
+            lag_clock: WatermarkClock::new(512, update_every_s / 8.0),
             finished: false,
         })
     }
@@ -274,11 +280,21 @@ impl<R: IdentityResolver> FleetEngine<R> {
     where
         I: IntoIterator<Item = TagReport>,
     {
+        // One clock pair per push call (not per report) when recording:
+        // the ring-handoff stage is the router-side cost of this batch.
+        let handoff_started = if self.recording {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut routed_any = false;
         for r in reports {
+            routed_any = true;
             self.watermark_s = self.watermark_s.max(r.time_s);
             if self.recording {
                 self.recorder.count(metrics::REPORTS_INGESTED, 1);
                 let _ = self.link_quality.observe(&r);
+                self.lag_clock.stamp(r.time_s);
             }
             let route = match self.routes.probe(r.epc.user_id(), r.epc.tag_id()) {
                 Some(route) => route,
@@ -323,6 +339,13 @@ impl<R: IdentityResolver> FleetEngine<R> {
                 self.broadcast(&words);
                 self.last_evict_s = self.watermark_s;
             }
+        }
+        if let (Some(started), true) = (handoff_started, routed_any) {
+            self.recorder.observe(
+                metrics::SNAPSHOT_LAG_NS,
+                Some(Label::stage(Stage::RingHandoff.code())),
+                duration_ns(started.elapsed()),
+            );
         }
         self.drain_results();
         std::mem::take(&mut self.done)
@@ -439,6 +462,11 @@ impl<R> FleetEngine<R> {
                 .set_gauge(metrics::FLEET_RING_DEPTH, label, part.ring_depth as f64);
             self.recorder
                 .set_gauge(metrics::FLEET_SHARD_USERS, label, part.occupancy as f64);
+            self.recorder.set_gauge(
+                metrics::FLEET_RESIDENT_BYTES,
+                label,
+                part.resident_bytes as f64,
+            );
         }
         let entry = self.pending.entry(part.epoch).or_default();
         entry.time_s = part.time_s;
@@ -465,10 +493,22 @@ impl<R> FleetEngine<R> {
                 return;
             };
             if self.recording {
+                if let Some(lag) = self.lag_clock.lag(epoch.time_s) {
+                    self.recorder.observe(
+                        metrics::SNAPSHOT_LAG_NS,
+                        Some(Label::stage(Stage::ShardIngest.code())),
+                        duration_ns(lag),
+                    );
+                }
                 let rec = self.recorder.as_dyn();
                 if let Some(started) = self.epoch_started.remove(&self.next_emit) {
                     let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     rec.record(metrics::FLEET_HANDOFF_LATENCY_NS, ns);
+                    rec.observe(
+                        metrics::SNAPSHOT_LAG_NS,
+                        Some(Label::stage(Stage::EpochMerge.code())),
+                        ns,
+                    );
                 }
                 rec.count(metrics::SNAPSHOTS, 1);
                 rec.count(metrics::RATES_REPORTED, epoch.rates_bpm.len() as u64);
@@ -596,6 +636,7 @@ fn shard_worker(
                     effort_rms,
                     occupancy: core.occupancy(),
                     state_cells: core.state_cells(),
+                    resident_bytes: core.resident_bytes(),
                     ring_depth: feed.depth_hint(),
                 };
                 if out.send(part).is_err() {

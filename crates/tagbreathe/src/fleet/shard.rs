@@ -155,6 +155,18 @@ impl ShardCore {
     pub fn tag_count(&self) -> usize {
         self.states.iter().map(UserStreamState::tag_count).sum()
     }
+
+    /// Estimated resident bytes of this shard's stream state: the slab
+    /// itself plus 8 bytes per buffered cell (samples, bins, tracks are
+    /// all `f64`-sized). An estimate, not an allocator measurement — it
+    /// tracks the bounded-memory quantity the eviction policy controls,
+    /// which is what the bytes/resident-user SLO budgets.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let slab = self.states.len() * std::mem::size_of::<UserStreamState>()
+            + self.user_ids.len() * std::mem::size_of::<u64>();
+        (slab + self.state_cells() * std::mem::size_of::<f64>()) as u64
+    }
 }
 
 #[cfg(test)]
@@ -204,9 +216,18 @@ mod tests {
         assert_eq!(core.occupancy(), 1);
         assert!(core.state_cells() > 0);
         assert_eq!(core.tag_count(), 1);
+        let resident = core.resident_bytes();
+        assert!(
+            resident > core.state_cells() as u64 * 8,
+            "resident estimate covers cells plus slab: {resident}"
+        );
         core.evict(1000.0, 1.0, &cfg, rec.as_dyn());
         assert_eq!(core.occupancy(), 0);
         assert_eq!(core.state_cells(), 0);
+        assert!(
+            core.resident_bytes() < resident,
+            "eviction shrinks the estimate"
+        );
     }
 
     #[test]

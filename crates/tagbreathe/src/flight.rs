@@ -127,6 +127,9 @@ pub enum AnomalyKind {
     LowQuality,
     /// The apnea detector reported an episode.
     Apnea,
+    /// A service-level objective entered the burning state (fired by the
+    /// serving layer's burn-rate machine, not by the per-user detector).
+    SloBreach,
 }
 
 impl AnomalyKind {
@@ -138,6 +141,7 @@ impl AnomalyKind {
             AnomalyKind::EffortCollapse => "effort_collapse",
             AnomalyKind::LowQuality => "low_quality",
             AnomalyKind::Apnea => "apnea",
+            AnomalyKind::SloBreach => "slo_breach",
         }
     }
 }
@@ -181,6 +185,11 @@ impl fmt::Display for Anomaly {
                 f,
                 "apnea for user {} from t={:.1} s to t={:.1} s",
                 self.user, self.value, self.reference
+            ),
+            AnomalyKind::SloBreach => write!(
+                f,
+                "SLO {} burning at t={:.1} s: {:.3} (objective {:.3})",
+                self.user, self.time_s, self.value, self.reference
             ),
         }
     }
@@ -511,6 +520,14 @@ impl FlightDiagnostics {
     ) -> usize {
         let fired = self.detector.observe_apnea(user, episodes);
         self.capture_all(&fired, rec)
+    }
+
+    /// Captures a bundle for an externally detected anomaly (e.g. an SLO
+    /// entering the burning state), bypassing the per-user detector but
+    /// respecting the bundle cap and publishing the trace counters.
+    /// Returns the number of bundles captured (0 when suppressed).
+    pub fn capture_anomaly(&mut self, anomaly: Anomaly, rec: &dyn Recorder) -> usize {
+        self.capture_all(&[anomaly], rec)
     }
 
     fn capture_all(&mut self, anomalies: &[Anomaly], rec: &dyn Recorder) -> usize {

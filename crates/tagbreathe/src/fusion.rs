@@ -57,8 +57,8 @@ pub fn fuse_displacement(
     let mut bins = vec![0.0; n];
     for s in streams.iter().flatten() {
         let idx = ((s.time - t_min) / bin_s) as usize;
-        if idx < n {
-            bins[idx] += s.value;
+        if let Some(bin) = bins.get_mut(idx) {
+            *bin += s.value;
         }
     }
 
@@ -315,10 +315,11 @@ pub fn fuse_rates_median(rates_bpm: &[Option<f64>]) -> Option<f64> {
     }
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = xs.len();
+    let upper = xs.get(n / 2).copied()?;
     Some(if n % 2 == 1 {
-        xs[n / 2]
+        upper
     } else {
-        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+        0.5 * (xs.get(n / 2 - 1).copied()? + upper)
     })
 }
 

@@ -119,3 +119,53 @@ pub const FLEET_SHARD_USERS: &str = "tagbreathe_fleet_shard_users";
 /// Histogram: wall-clock latency from broadcasting a snapshot request to
 /// emitting the merged fleet snapshot, nanoseconds.
 pub const FLEET_HANDOFF_LATENCY_NS: &str = "tagbreathe_fleet_handoff_latency_ns";
+
+/// Histogram (ns), labelled `stage`: ingest→snapshot-publication lag
+/// attributed per pipeline boundary. Stage codes follow
+/// `obs::freshness::Stage` (0 total, 1 lane_merge, 2 ring_handoff,
+/// 3 shard_ingest, 4 epoch_merge, 5 http_serve); see `docs/METRICS.md`
+/// for the per-stage semantics.
+pub const SNAPSHOT_LAG_NS: &str = "tagbreathe_snapshot_lag_ns";
+
+/// Gauge, labelled `shard`: estimated bytes of resident per-user stream
+/// state on the shard at its last snapshot part (slab plus an 8-byte
+/// estimate per buffered cell).
+pub const FLEET_RESIDENT_BYTES: &str = "tagbreathe_fleet_resident_bytes";
+
+/// Every metric name this crate can emit, for the docs drift guard
+/// (`tests/metrics_docs.rs` cross-checks this list against
+/// `docs/METRICS.md` in both directions).
+pub const ALL: &[&str] = &[
+    REPORTS_INGESTED,
+    REPORTS_UNKNOWN,
+    GRAPH_REPORTS,
+    PHASE_INCREMENTS,
+    PHASE_REJECTS,
+    TRACK_SAMPLES,
+    FUSION_BINS_CREATED,
+    FUSION_BINS_EVICTED,
+    TAGS_EVICTED,
+    SNAPSHOTS,
+    RATES_REPORTED,
+    ANALYSIS_FAILURES,
+    SNAPSHOT_LATENCY_NS,
+    EVICT_LATENCY_NS,
+    STAGE_DEMUX_NS,
+    STAGE_FOLD_NS,
+    STAGE_ANALYZE_NS,
+    USERS_TRACKED,
+    STATE_CELLS,
+    PORT_RSSI_EWMA_DBM,
+    PORT_READ_RATE_HZ,
+    QUALITY_GRADES,
+    TRACE_DUMPS,
+    TRACE_DROPPED_EVENTS,
+    QUALITY_BAND_SNR_MILLI,
+    FLEET_REPORTS_ROUTED,
+    FLEET_RING_STALLS,
+    FLEET_RING_DEPTH,
+    FLEET_SHARD_USERS,
+    FLEET_HANDOFF_LATENCY_NS,
+    SNAPSHOT_LAG_NS,
+    FLEET_RESIDENT_BYTES,
+];

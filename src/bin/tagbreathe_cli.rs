@@ -10,6 +10,7 @@
 //! tagbreathe-cli trace --rate 12 --duration 60 --out session.trace.json
 //! tagbreathe-cli serve --ingest 127.0.0.1:4610 --http 127.0.0.1:4611
 //! tagbreathe-cli feed trace.csv --addr 127.0.0.1:4610 --reader 1
+//! tagbreathe-cli slo metrics.json
 //! tagbreathe-cli help
 //! ```
 
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "trace" => trace(&args[1..]),
         "serve" => serve(&args[1..]),
         "feed" => feed(&args[1..]),
+        "slo" => slo(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -83,6 +85,10 @@ fn usage() {
     eprintln!();
     eprintln!("  feed FILE.csv --addr HOST:PORT [--reader ID] [--batch N]");
     eprintln!("      replay a recorded trace to a running server as one reader");
+    eprintln!();
+    eprintln!("  slo FILE.json [--lag-p99-ms N] [--shed-ratio R] [--bytes-per-user B]");
+    eprintln!("      evaluate the default SLO table offline against a metrics");
+    eprintln!("      sidecar (a /metrics.json dump or a BENCH metrics file)");
 }
 
 /// Parses `--key value` flags into a map; returns leftover positionals.
@@ -480,6 +486,107 @@ fn feed(args: &[String]) -> Result<(), String> {
     let batches = client.batches_sent();
     client.goodbye().map_err(|e| format!("goodbye: {e}"))?;
     eprintln!("fed {sent} reports in {batches} batch(es) as reader {reader_id} to {addr}");
+    Ok(())
+}
+
+/// Metric entries keyed by the unescaped registry key (`name{label="v"}`).
+type MetricEntries = Vec<(String, f64)>;
+
+/// Extracts `"key": value` entries from a registry JSON dump
+/// (`Registry::render_json` emits one entry per line). Returns numeric
+/// entries (counters and gauges) and per-histogram p99 summaries, keyed
+/// by the unescaped metric key (`name{label="v"}`).
+fn parse_metrics_sidecar(text: &str) -> (MetricEntries, MetricEntries) {
+    let mut numbers = Vec::new();
+    let mut hist_p99 = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((raw_key, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        let key = raw_key.replace("\\\"", "\"");
+        if let Ok(v) = value.parse::<f64>() {
+            numbers.push((key, v));
+        } else if value.starts_with('{') {
+            if let Some(p99) = value
+                .split_once("\"p99\": ")
+                .and_then(|(_, tail)| tail.trim_end_matches(['}', ' ']).parse::<f64>().ok())
+            {
+                hist_p99.push((key, p99));
+            }
+        }
+    }
+    (numbers, hist_p99)
+}
+
+/// Sums every numeric entry whose metric name (label part stripped)
+/// equals `name`; `None` when no entry matches.
+fn sum_metric(numbers: &[(String, f64)], name: &str) -> Option<f64> {
+    let matching: Vec<f64> = numbers
+        .iter()
+        .filter(|(k, _)| k.split('{').next() == Some(name))
+        .map(|(_, v)| *v)
+        .collect();
+    (!matching.is_empty()).then(|| matching.iter().sum())
+}
+
+fn slo(args: &[String]) -> Result<(), String> {
+    use tagbreathe_suite::obs::slo::render_rows_text;
+    use tagbreathe_suite::server::slo::{build_table, SloConfig};
+    use tagbreathe_suite::tagbreathe::metrics as tmetrics;
+
+    let (flags, positional) = parse_flags(args)?;
+    let path = positional
+        .first()
+        .ok_or("slo requires a metrics sidecar (JSON) file")?;
+    let defaults = SloConfig::default();
+    let config = SloConfig {
+        snapshot_lag_p99_ns: (get_f64(
+            &flags,
+            "lag-p99-ms",
+            defaults.snapshot_lag_p99_ns as f64 / 1e6,
+        )? * 1e6) as u64,
+        shed_ratio: get_f64(&flags, "shed-ratio", defaults.shed_ratio)?,
+        bytes_per_user: get_f64(&flags, "bytes-per-user", defaults.bytes_per_user)?,
+        policy: defaults.policy,
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (numbers, hist_p99) = parse_metrics_sidecar(&text);
+
+    // Prefer the end-to-end stage (a server dump); fall back to the
+    // fleet's shard-ingest stage (a bench sidecar).
+    let lag_key_total = format!("{}{{stage=\"0\"}}", tmetrics::SNAPSHOT_LAG_NS);
+    let lag_key_shard = format!("{}{{stage=\"3\"}}", tmetrics::SNAPSHOT_LAG_NS);
+    let lag_p99 = hist_p99
+        .iter()
+        .find(|(k, _)| *k == lag_key_total)
+        .or_else(|| hist_p99.iter().find(|(k, _)| *k == lag_key_shard))
+        .map(|(_, v)| *v);
+
+    let shed = sum_metric(&numbers, "tagbreathe_server_reports_shed_total").unwrap_or(0.0);
+    let accepted = sum_metric(&numbers, "tagbreathe_server_reports_total");
+    let shed_ratio = accepted.map(|a| {
+        if a + shed > 0.0 {
+            shed / (a + shed)
+        } else {
+            0.0
+        }
+    });
+
+    let bytes = sum_metric(&numbers, tmetrics::FLEET_RESIDENT_BYTES);
+    let users = sum_metric(&numbers, tmetrics::FLEET_SHARD_USERS);
+    let bytes_per_user = match (bytes, users) {
+        (Some(b), Some(u)) if u > 0.0 => Some(b / u),
+        _ => None,
+    };
+
+    let mut table = build_table(&config);
+    let _ = table.evaluate(&[lag_p99, shed_ratio, bytes_per_user]);
+    print!("{}", render_rows_text(&table.rows()));
     Ok(())
 }
 

@@ -1,0 +1,73 @@
+//! Drift guard between the metric registries and `docs/METRICS.md`.
+//!
+//! Every metric name a workspace registry can emit is declared in one of
+//! the crates' `metrics::ALL` arrays; the reference documentation must
+//! list each of them, and must not document names the code no longer
+//! emits. Renaming or adding a metric therefore fails here until the
+//! docs row moves with it.
+
+use std::collections::BTreeSet;
+
+const DOCS: &str = include_str!("../docs/METRICS.md");
+
+/// Every metric name the workspace can emit, from the per-crate
+/// declaration arrays.
+fn code_names() -> BTreeSet<&'static str> {
+    tagbreathe::metrics::ALL
+        .iter()
+        .chain(server::metrics::ALL)
+        .chain(epcgen2::metrics::ALL)
+        .copied()
+        .collect()
+}
+
+/// Backticked tokens in the docs that look like metric names: snake_case
+/// with one of the workspace prefixes. Prose mentions like
+/// `tagbreathe::metrics` or globs like `tagbreathe_fleet_*` carry
+/// non-name characters and are skipped.
+fn doc_names() -> BTreeSet<&'static str> {
+    let mut names = BTreeSet::new();
+    for piece in DOCS.split('`').skip(1).step_by(2) {
+        let is_name = piece
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if is_name && (piece.starts_with("tagbreathe_") || piece.starts_with("epcgen2_")) {
+            names.insert(piece);
+        }
+    }
+    names
+}
+
+#[test]
+fn every_emitted_metric_is_documented() {
+    let code = code_names();
+    let docs = doc_names();
+    let missing: Vec<_> = code.difference(&docs).collect();
+    assert!(
+        missing.is_empty(),
+        "metrics emitted but missing from docs/METRICS.md: {missing:?}"
+    );
+}
+
+#[test]
+fn every_documented_metric_is_emitted() {
+    let code = code_names();
+    let docs = doc_names();
+    let stale: Vec<_> = docs.difference(&code).collect();
+    assert!(
+        stale.is_empty(),
+        "docs/METRICS.md documents names no registry emits: {stale:?}"
+    );
+}
+
+#[test]
+fn declaration_arrays_have_no_duplicates() {
+    let mut seen = BTreeSet::new();
+    for name in tagbreathe::metrics::ALL
+        .iter()
+        .chain(server::metrics::ALL)
+        .chain(epcgen2::metrics::ALL)
+    {
+        assert!(seen.insert(*name), "metric declared twice: {name}");
+    }
+}
