@@ -15,6 +15,9 @@
 #  10. loopback soak      cargo run --release -p tagbreathe-bench --bin loopback_soak -- --smoke
 #  11. workspace lint     cargo run -p tagbreathe-lint -- check --format sarif
 #  12. hot-path report    cargo run -p tagbreathe-lint -- hotpath --max-sites 0
+#  13. atomics report     cargo run -p tagbreathe-lint -- atomics --max-violations 0
+#  14. atomics mutant     cargo run -p tagbreathe-lint -- atomics --cfg sync_mutant  (must FAIL)
+#  15. model checker      cargo run --release -p tagbreathe-syncmodel --bin syncmodel_check -- --deep
 #
 # Step 5 keeps the API docs buildable (broken intra-doc links are
 # errors). Step 6 pins the batch/streaming agreement of the shared
@@ -47,9 +50,19 @@
 # `[hotpath]` root no longer resolves or the per-report path performs
 # any allocation or non-slab map lookup at all (`--max-sites 0` — the
 # slab/interner refactor burned the last two sites, and this pins the
-# ratchet shut), and its JSON is re-validated like the SARIF. Steps 11
-# and 12 together must finish inside the lint wall-clock budget below —
-# the linter re-parses the workspace per invocation, so a runaway pass
+# ratchet shut), and its JSON is re-validated like the SARIF. Step 13 is
+# the atomics-discipline gate: every atomic call site must match the
+# ordering protocol declared in lint.toml's `[atomics]` section
+# (`--max-violations 0`), and the JSON report is re-validated. Step 14
+# is the static mutant proof: re-resolving the cfg-switched ordering
+# constants under `--cfg sync_mutant` MUST produce violations — if the
+# weakened orderings pass the gate, the analyzer has gone blind and CI
+# fails. Step 15 runs the bounded model checker (crates/syncmodel): the
+# declared ring/barrier/drain protocols must survive exhaustive
+# small-bound exploration AND seeded deep random walks, and each runtime
+# ordering mutant must fail with a counterexample trace. Steps 11-15
+# together must finish inside the lint wall-clock budget below — the
+# linter re-parses the workspace per invocation, so a runaway pass
 # shows up here before it slows every pre-commit hook.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -127,8 +140,26 @@ test -s /tmp/tagbreathe-hotpath.json \
     || { echo "ci: hot-path report missing or empty" >&2; exit 1; }
 cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-hotpath.json
 
-# Lint wall-clock budget: both semantic runs (check + hotpath), binaries
-# already built, must stay interactive. 60 s is ~10x current cost.
+echo "==> cargo run -p tagbreathe-lint -- atomics --max-violations 0"
+cargo run -q -p tagbreathe-lint -- atomics --max-violations 0 --out /tmp/tagbreathe-atomics.json
+test -s /tmp/tagbreathe-atomics.json \
+    || { echo "ci: atomics report missing or empty" >&2; exit 1; }
+cargo run -q -p tagbreathe-lint -- validate-json /tmp/tagbreathe-atomics.json
+
+echo "==> cargo run -p tagbreathe-lint -- atomics --cfg sync_mutant (expected to fail)"
+if cargo run -q -p tagbreathe-lint -- atomics --cfg sync_mutant --max-violations 0 \
+    --out /tmp/tagbreathe-atomics-mutant.json >/dev/null 2>&1; then
+    echo "ci: atomics pass did NOT flag the sync_mutant orderings — analyzer is blind" >&2
+    exit 1
+fi
+echo "ci: sync_mutant orderings rejected by the atomics gate, as required"
+
+echo "==> syncmodel_check --deep"
+cargo run -q --release -p tagbreathe-syncmodel --bin syncmodel_check -- --deep
+
+# Lint wall-clock budget: the semantic runs (check + hotpath + atomics,
+# both cfgs) plus the model checker, binaries already built, must stay
+# interactive. 60 s is ~10x current cost.
 lint_elapsed_s=$((SECONDS - lint_started_s))
 if [ "$lint_elapsed_s" -gt 60 ]; then
     echo "ci: lint passes took ${lint_elapsed_s}s — over the 60 s budget" >&2

@@ -35,6 +35,16 @@ fn fleet_main(smoke: bool, out_path: &str) {
         "# stream_bench --fleet — users {:?}, shards {:?}, {} s @ {} reads/s",
         config.users, config.shards, config.duration_s, config.aggregate_hz
     );
+    let host_parallelism = fleet::host_parallelism();
+    if !fleet::scaling_valid(&config, host_parallelism) {
+        eprintln!(
+            "WARNING: sweep asks for up to {} shard threads but this host can \
+             only run {host_parallelism} in parallel — oversubscribed points \
+             measure scheduler time-slicing, NOT shard scaling; the report is \
+             marked \"scaling_valid\": false",
+            config.shards.iter().copied().max().unwrap_or(0)
+        );
+    }
     let check = fleet::equivalence_check(&config);
     if !check.bit_identical {
         eprintln!(

@@ -392,6 +392,25 @@ pub fn render(points: &[FleetPoint]) -> String {
 }
 
 /// Serialises the sweep (with the self-check verdict and host parallelism)
+/// Worker threads the host can actually run in parallel.
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Whether every configured shard count fits the host: once the sweep
+/// asks for more shard threads than cores, the "scaling" numbers mostly
+/// measure scheduler time-slicing and must not be read as speedups.
+#[must_use]
+pub fn scaling_valid(config: &FleetBenchConfig, host_parallelism: usize) -> bool {
+    config
+        .shards
+        .iter()
+        .all(|&shards| shards <= host_parallelism)
+}
+
 /// as JSON.
 #[must_use]
 pub fn to_json(
@@ -400,13 +419,16 @@ pub fn to_json(
     check: &EquivalenceCheck,
 ) -> String {
     use std::fmt::Write as _;
-    let host_parallelism = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let host_parallelism = host_parallelism();
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"fleet_scaling\",");
     let _ = writeln!(out, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(
+        out,
+        "  \"scaling_valid\": {},",
+        scaling_valid(config, host_parallelism)
+    );
     let _ = writeln!(out, "  \"aggregate_hz\": {},", config.aggregate_hz);
     let _ = writeln!(out, "  \"duration_s\": {},", config.duration_s);
     let _ = writeln!(out, "  \"window_s\": {},", config.window_s);
@@ -463,6 +485,7 @@ mod tests {
         let json = to_json(&config, &points, &check);
         obs::json::validate(&json).expect("bench JSON must parse");
         assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"scaling_valid\""));
         assert!(json.contains("\"snapshot_lag_p50_ns\""));
         assert!(json.contains("\"snapshot_lag_p99_ns\""));
         assert!(json.contains("\"bytes_per_resident_user\""));
@@ -474,6 +497,16 @@ mod tests {
             "fleet points carry a resident-memory measurement"
         );
         assert!(render(&points).contains("inline"));
+    }
+
+    #[test]
+    fn scaling_validity_compares_shards_against_cores() {
+        let config = FleetBenchConfig::quick(); // shards up to 8
+        assert!(scaling_valid(&config, 8));
+        assert!(!scaling_valid(&config, 4));
+        let smoke = FleetBenchConfig::smoke(); // shards up to 2
+        assert!(scaling_valid(&smoke, 2));
+        assert!(!scaling_valid(&smoke, 1));
     }
 
     #[test]

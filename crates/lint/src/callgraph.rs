@@ -18,10 +18,13 @@
 //!
 //! Unresolvable calls produce no edge; rules treat them as leaves.
 
-use crate::config::{Config, HotPathConfig, NanGuardConfig, ShardConfig, UnitsConfig};
+use crate::config::{
+    AtomicsConfig, Config, HotPathConfig, NanGuardConfig, ShardConfig, UnitsConfig,
+};
 use crate::parser::{base_type_name, parse_file, Expr, FnItem, ParsedFile, Stmt};
 use crate::source::SourceFile;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 /// One parsed workspace file.
 #[derive(Debug)]
@@ -53,6 +56,8 @@ pub struct Workspace {
     pub lock_order: Vec<String>,
     /// NaN-guard configuration from `lint.toml`.
     pub nanguard: NanGuardConfig,
+    /// Declared atomic ordering protocols from `lint.toml`.
+    pub atomics: AtomicsConfig,
     /// The call graph over every function in `files`.
     pub graph: CallGraph,
 }
@@ -104,29 +109,48 @@ impl Workspace {
             shard: config.shard.clone(),
             lock_order: config.lock_order.clone(),
             nanguard: config.nanguard.clone(),
+            atomics: config.atomics.clone(),
             graph,
         }
     }
 
-    /// The parsed item behind a graph node.
+    /// The parsed item behind a graph node. Total: an out-of-range node
+    /// (impossible for indices handed out by this workspace's own graph)
+    /// yields a shared empty item rather than a panic.
     pub fn item(&self, node: usize) -> &FnItem {
-        let n = &self.graph.nodes[node];
-        &self.files[n.file].parsed.fns[n.item]
+        static EMPTY: OnceLock<FnItem> = OnceLock::new();
+        self.graph
+            .nodes
+            .get(node)
+            .and_then(|n| self.files.get(n.file).map(|f| (f, n.item)))
+            .and_then(|(f, item)| f.parsed.fns.get(item))
+            .unwrap_or_else(|| EMPTY.get_or_init(FnItem::default))
     }
 
-    /// Workspace-relative path of the file defining a node.
+    /// Workspace-relative path of the file defining a node (empty for an
+    /// out-of-range node).
     pub fn path_of(&self, node: usize) -> &str {
-        &self.files[self.graph.nodes[node].file].rel_path
+        self.graph
+            .nodes
+            .get(node)
+            .and_then(|n| self.files.get(n.file))
+            .map_or("", |f| f.rel_path.as_str())
     }
 
     /// Whether a node's crate is held to library standards.
     pub fn in_lib_crate(&self, node: usize) -> bool {
-        self.lib_crates.contains(&self.graph.nodes[node].crate_name)
+        self.graph
+            .nodes
+            .get(node)
+            .is_some_and(|n| self.lib_crates.contains(&n.crate_name))
     }
 
-    /// A human-readable label for diagnostics: `Type::name` or `name`.
+    /// A human-readable label for diagnostics: `Type::name` or `name`
+    /// (`?` for an out-of-range node).
     pub fn label(&self, node: usize) -> String {
-        let n = &self.graph.nodes[node];
+        let Some(n) = self.graph.nodes.get(node) else {
+            return "?".to_string();
+        };
         match &n.impl_type {
             Some(t) => format!("{t}::{}", n.name),
             None => n.name.clone(),
@@ -137,15 +161,19 @@ impl Workspace {
     /// name (free functions and methods of any type). Used to resolve
     /// configured function names (`[hotpath] roots`, allow lists).
     pub fn nodes_labelled(&self, wanted: &str) -> Vec<usize> {
-        (0..self.graph.nodes.len())
-            .filter(|&i| !self.graph.nodes[i].is_test)
-            .filter(|&i| {
+        self.graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_test)
+            .filter(|(i, n)| {
                 if wanted.contains("::") {
-                    self.label(i) == wanted
+                    self.label(*i) == wanted
                 } else {
-                    self.graph.nodes[i].name == wanted
+                    n.name == wanted
                 }
             })
+            .map(|(i, _)| i)
             .collect()
     }
 
@@ -208,10 +236,13 @@ impl CallGraph {
         let index = NameIndex::build(&nodes);
         let mut edges = Vec::with_capacity(nodes.len());
         for node in &nodes {
-            let item = &files[node.file].parsed.fns[node.item];
             let mut callees = Vec::new();
-            if let Some(body) = &item.body {
-                let vars = local_types(item, node.impl_type.as_deref());
+            let item = files
+                .get(node.file)
+                .and_then(|f| f.parsed.fns.get(node.item));
+            if let Some(body) = item.and_then(|i| i.body.as_ref()) {
+                let vars =
+                    item.map_or_else(HashMap::new, |i| local_types(i, node.impl_type.as_deref()));
                 body.visit(&mut |e| {
                     resolve_expr(e, node, &nodes, &vars, &index, &mut callees);
                 });
@@ -228,7 +259,9 @@ impl CallGraph {
         let mut rev = vec![Vec::new(); self.nodes.len()];
         for (caller, callees) in self.edges.iter().enumerate() {
             for &callee in callees {
-                rev[callee].push(caller);
+                if let Some(callers) = rev.get_mut(callee) {
+                    callers.push(caller);
+                }
             }
         }
         rev
@@ -342,12 +375,12 @@ fn collect_let_types(
 fn constructed_type(init: &Expr) -> Option<String> {
     match init {
         Expr::Call { path, .. } if path.len() >= 2 => {
-            let t = &path[path.len() - 2];
+            let t = path.get(path.len() - 2)?;
             t.chars().next().filter(char::is_ascii_uppercase)?;
             Some(t.clone())
         }
         Expr::Call { path, .. } if path.len() == 1 => {
-            let t = &path[0];
+            let t = path.first()?;
             t.chars().next().filter(char::is_ascii_uppercase)?;
             Some(t.clone())
         }
@@ -372,12 +405,13 @@ fn resolve_expr(
     out: &mut Vec<usize>,
 ) {
     match e {
-        Expr::Call { path, .. } => match path.len() {
-            0 => {}
-            1 => out.extend(prefer(index.free.get(&path[0]), node, nodes)),
-            _ => {
-                let name = &path[path.len() - 1];
-                let qualifier = &path[path.len() - 2];
+        Expr::Call { path, .. } => match (path.first(), path.last(), path.len()) {
+            (None, _, _) | (_, None, _) => {}
+            (Some(first), _, 1) => out.extend(prefer(index.free.get(first), node, nodes)),
+            (_, Some(name), len) => {
+                let Some(qualifier) = path.get(len - 2) else {
+                    return;
+                };
                 let type_name = if qualifier == "Self" {
                     node.impl_type.clone()
                 } else if qualifier
@@ -426,13 +460,11 @@ fn resolve_expr(
 /// Type of a method receiver, when locally inferable.
 fn receiver_type(recv: &Expr, node: &FnNode, vars: &HashMap<String, String>) -> Option<String> {
     match recv {
-        Expr::Path { segs, .. } if segs.len() == 1 => {
-            if segs[0] == "self" {
-                node.impl_type.clone()
-            } else {
-                vars.get(&segs[0]).cloned()
-            }
-        }
+        Expr::Path { segs, .. } if segs.len() == 1 => match segs.first().map(String::as_str) {
+            Some("self") => node.impl_type.clone(),
+            Some(name) => vars.get(name).cloned(),
+            None => None,
+        },
         Expr::Unary { expr, .. } | Expr::Try { expr, .. } => receiver_type(expr, node, vars),
         _ => None,
     }
@@ -447,7 +479,7 @@ fn prefer(candidates: Option<&Vec<usize>>, node: &FnNode, nodes: &[FnNode]) -> V
     let same_file: Vec<usize> = all
         .iter()
         .copied()
-        .filter(|&i| nodes[i].file == node.file)
+        .filter(|&i| nodes.get(i).is_some_and(|n| n.file == node.file))
         .collect();
     if !same_file.is_empty() {
         return same_file;
@@ -455,7 +487,11 @@ fn prefer(candidates: Option<&Vec<usize>>, node: &FnNode, nodes: &[FnNode]) -> V
     let same_crate: Vec<usize> = all
         .iter()
         .copied()
-        .filter(|&i| nodes[i].crate_name == node.crate_name)
+        .filter(|&i| {
+            nodes
+                .get(i)
+                .is_some_and(|n| n.crate_name == node.crate_name)
+        })
         .collect();
     if !same_crate.is_empty() {
         return same_crate;

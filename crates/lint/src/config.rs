@@ -96,6 +96,75 @@ pub struct NanGuardConfig {
     pub paths: Vec<String>,
 }
 
+/// The declared ordering protocol for one named atomic
+/// (`[atomics]` in `lint.toml`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// A cross-thread publication point: every store must be `Release`
+    /// (it publishes data written before it) and every load `Acquire`
+    /// (it observes that data on another thread).
+    ReleaseAcquire,
+    /// A standalone counter or payload cell that carries no
+    /// synchronisation of its own: all accesses must be `Relaxed`.
+    Relaxed,
+}
+
+impl Protocol {
+    /// Parses a declaration value: `"relaxed"` or
+    /// `"publish(Release) / observe(Acquire)"` (whitespace-insensitive).
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Protocol> {
+        let norm: String = value
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match norm.as_str() {
+            "relaxed" => Some(Protocol::Relaxed),
+            "publish(release)/observe(acquire)" => Some(Protocol::ReleaseAcquire),
+            _ => None,
+        }
+    }
+
+    /// The canonical declaration text, for diagnostics.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Protocol::ReleaseAcquire => "publish(Release) / observe(Acquire)",
+            Protocol::Relaxed => "relaxed",
+        }
+    }
+}
+
+/// Atomics-discipline configuration for the `atomics` rule
+/// (`[atomics]` in `lint.toml`). Each key names one atomic, either as
+/// `Type.member` (a struct field, or an accessor method returning the
+/// atomic) or as a bare member/binding name; the value declares its
+/// protocol. No declarations disables the rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AtomicsConfig {
+    /// Declarations in file order: key → protocol.
+    pub decls: Vec<(String, Protocol)>,
+    /// Crates whose atomic call sites the pass skips (`exempt-crates`):
+    /// e.g. `syncmodel`, whose model shim intentionally mirrors the
+    /// `std::sync::atomic` API.
+    pub exempt: Vec<String>,
+}
+
+impl AtomicsConfig {
+    /// Looks up the protocol declared for `Owner.member`, trying the
+    /// qualified key first and then the bare member name.
+    #[must_use]
+    pub fn protocol_for(&self, owner: &str, member: &str) -> Option<(&str, Protocol)> {
+        let qualified = format!("{owner}.{member}");
+        self.decls
+            .iter()
+            .find(|(k, _)| *k == qualified)
+            .or_else(|| self.decls.iter().find(|(k, _)| k == member))
+            .map(|(k, p)| (k.as_str(), *p))
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -117,6 +186,8 @@ pub struct Config {
     pub lock_order: Vec<String>,
     /// NaN-guard covered paths.
     pub nanguard: NanGuardConfig,
+    /// Declared atomic ordering protocols.
+    pub atomics: AtomicsConfig,
 }
 
 impl Default for Config {
@@ -132,6 +203,7 @@ impl Default for Config {
             shard: ShardConfig::default(),
             lock_order: Vec::new(),
             nanguard: NanGuardConfig::default(),
+            atomics: AtomicsConfig::default(),
         }
     }
 }
@@ -166,6 +238,7 @@ impl Config {
                 section = name.trim().to_string();
                 let known = [
                     "severity", "engine", "units", "hotpath", "shard", "locks", "nanguard",
+                    "atomics",
                 ];
                 if !known.contains(&section.as_str()) {
                     return Err(ConfigError {
@@ -250,6 +323,25 @@ impl Config {
                         })
                     }
                 },
+                "atomics" if key == "exempt-crates" => {
+                    config.atomics.exempt = split_list(value);
+                }
+                "atomics" => {
+                    let proto = Protocol::parse(value).ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: format!(
+                            "invalid atomics protocol {value:?} (expected \"relaxed\" or \
+                             \"publish(Release) / observe(Acquire)\")"
+                        ),
+                    })?;
+                    if config.atomics.decls.iter().any(|(k, _)| k == key) {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("duplicate atomics declaration {key:?}"),
+                        });
+                    }
+                    config.atomics.decls.push((key.to_string(), proto));
+                }
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -337,6 +429,38 @@ mod tests {
         assert_eq!(cfg.lock_order, vec!["registry", "ring"]);
         assert_eq!(cfg.nanguard.paths.len(), 2);
         Ok(())
+    }
+
+    #[test]
+    fn parses_atomics_declarations() -> Result<(), ConfigError> {
+        let cfg = Config::parse(
+            "[atomics]\n\
+             SpscRing.head = \"publish(Release) / observe(Acquire)\"\n\
+             SpscRing.slot = \"relaxed\"\n\
+             stop = \"publish(Release)/observe(Acquire)\"\n",
+        )?;
+        assert_eq!(cfg.atomics.decls.len(), 3);
+        assert_eq!(
+            cfg.atomics.protocol_for("SpscRing", "head"),
+            Some(("SpscRing.head", Protocol::ReleaseAcquire))
+        );
+        assert_eq!(
+            cfg.atomics.protocol_for("SpscRing", "slot"),
+            Some(("SpscRing.slot", Protocol::Relaxed))
+        );
+        // Bare keys match the member regardless of owner.
+        assert_eq!(
+            cfg.atomics.protocol_for("ServerHandle", "stop"),
+            Some(("stop", Protocol::ReleaseAcquire))
+        );
+        assert_eq!(cfg.atomics.protocol_for("SpscRing", "mask"), None);
+        Ok(())
+    }
+
+    #[test]
+    fn invalid_atomics_protocol_rejected() {
+        assert!(Config::parse("[atomics]\nhead = \"seqcst\"\n").is_err());
+        assert!(Config::parse("[atomics]\nh = \"relaxed\"\nh = \"relaxed\"\n").is_err());
     }
 
     #[test]

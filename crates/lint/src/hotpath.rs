@@ -106,19 +106,29 @@ pub fn inventory(ws: &Workspace) -> Inventory {
             unmatched_roots.push(root.clone());
         }
         for i in matched {
-            if parent[i] == usize::MAX {
-                parent[i] = i;
+            if parent.get(i).copied() == Some(usize::MAX) {
+                if let Some(slot) = parent.get_mut(i) {
+                    *slot = i;
+                }
                 root_labels.push(ws.label(i));
                 queue.push_back(i);
             }
         }
     }
     while let Some(u) = queue.pop_front() {
-        for &v in &ws.graph.edges[u] {
-            if parent[v] != usize::MAX || ws.graph.nodes[v].is_test || allow.contains(&v) {
+        let Some(edges) = ws.graph.edges.get(u) else {
+            continue;
+        };
+        for &v in edges {
+            if parent.get(v).copied() != Some(usize::MAX)
+                || ws.graph.nodes.get(v).is_none_or(|node| node.is_test)
+                || allow.contains(&v)
+            {
                 continue;
             }
-            parent[v] = u;
+            if let Some(slot) = parent.get_mut(v) {
+                *slot = u;
+            }
             queue.push_back(v);
         }
     }
@@ -140,7 +150,7 @@ pub fn inventory(ws: &Workspace) -> Inventory {
     let mut sites = Vec::new();
     let mut reachable_fns = 0usize;
     for i in 0..n {
-        if parent[i] == usize::MAX {
+        if parent.get(i).copied().unwrap_or(usize::MAX) == usize::MAX {
             continue;
         }
         reachable_fns += 1;
@@ -149,7 +159,7 @@ pub fn inventory(ws: &Workspace) -> Inventory {
         };
         let env = TypeEnv {
             ws,
-            impl_type: ws.graph.nodes[i].impl_type.as_deref(),
+            impl_type: ws.graph.nodes.get(i).and_then(|x| x.impl_type.as_deref()),
             types: &types,
             aliases: &aliases,
         };
@@ -182,8 +192,12 @@ pub fn inventory(ws: &Workspace) -> Inventory {
 fn witness_path(ws: &Workspace, parent: &[usize], node: usize) -> Vec<String> {
     let mut chain = vec![node];
     let mut cur = node;
-    while parent[cur] != cur {
-        cur = parent[cur];
+    // Roots are their own parent; a missing entry terminates the walk.
+    while let Some(&p) = parent.get(cur) {
+        if p == cur || p == usize::MAX || chain.len() > 64 {
+            break;
+        }
+        cur = p;
         chain.push(cur);
     }
     chain.reverse();
@@ -289,10 +303,10 @@ impl TypeEnv<'_> {
 fn classify(e: &Expr, env: &TypeEnv<'_>) -> Option<(CostKind, String)> {
     match e {
         Expr::Call { path, .. } if path.len() >= 2 => {
-            let ty = &path[path.len() - 2];
-            let ctor = &path[path.len() - 1];
-            if HEAP_TYPES.contains(&ty.as_str()) && ALLOC_CTORS.contains(&ctor.as_str()) {
-                return Some((CostKind::Alloc, format!("{ty}::{ctor}")));
+            if let [.., ty, ctor] = path.as_slice() {
+                if HEAP_TYPES.contains(&ty.as_str()) && ALLOC_CTORS.contains(&ctor.as_str()) {
+                    return Some((CostKind::Alloc, format!("{ty}::{ctor}")));
+                }
             }
             None
         }

@@ -17,6 +17,9 @@
 //!   hot-path cost, shard safety, NaN guarding);
 //! * [`hotpath`] — the hot-path cost inventory behind the
 //!   `hot-path-cost` rule and the `hotpath` CLI report;
+//! * [`atomics`] — the atomics-discipline pass behind the `atomics`
+//!   rule and CLI report: every atomic call site must follow the
+//!   ordering protocol declared for it in `[atomics]` in `lint.toml`;
 //! * [`rules`] — token-pattern and semantic rules with per-rule severity;
 //! * [`sarif`] — a SARIF 2.1.0 emitter for editor/CI integration,
 //!   self-validated with the in-tree `tagbreathe_obs::json` checker;
@@ -29,6 +32,7 @@
 //!
 //! Run it as `cargo run -p tagbreathe-lint -- check` (see `ci.sh`).
 
+pub mod atomics;
 pub mod baseline;
 pub mod callgraph;
 pub mod config;

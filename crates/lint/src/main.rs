@@ -4,6 +4,7 @@
 //! tagbreathe-lint check   [--root DIR] [--update-baseline] [--format F] [--out FILE]
 //! tagbreathe-lint report  [--root DIR] [--format F] [--out FILE]
 //! tagbreathe-lint hotpath [--root DIR] [--out FILE] [--max-sites N]
+//! tagbreathe-lint atomics [--root DIR] [--out FILE] [--max-violations N] [--cfg NAME]...
 //! tagbreathe-lint rules
 //! tagbreathe-lint validate-json FILE
 //! ```
@@ -16,7 +17,11 @@
 //! a configured root matches nothing or the site count exceeds
 //! `--max-sites`, so CI can ratchet the inventory downward;
 //! `validate-json` runs the in-tree RFC 8259 validator over a file so CI
-//! can prove the artifact parses.
+//! can prove the artifact parses; `atomics` emits the atomics-discipline
+//! report (self-validated JSON) and exits non-zero when findings exceed
+//! `--max-violations` — `--cfg sync_mutant` re-resolves the workspace's
+//! `Ordering` constants under that cfg so CI can prove the seeded
+//! ordering mutant is caught without rebuilding anything.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,7 +30,7 @@ use tagbreathe_lint::engine::{
     check, load_config, load_workspace, regressed_violations, scan, BASELINE_FILE,
 };
 use tagbreathe_lint::sarif::{self, RuleMeta};
-use tagbreathe_lint::{baseline, hotpath, rules};
+use tagbreathe_lint::{atomics, baseline, hotpath, rules};
 
 /// Parsed command line.
 struct Cli {
@@ -38,6 +43,10 @@ struct Cli {
     file: Option<PathBuf>,
     /// `hotpath --max-sites`: fail when the inventory exceeds this.
     max_sites: Option<usize>,
+    /// `atomics --max-violations`: fail when findings exceed this.
+    max_violations: Option<usize>,
+    /// `atomics --cfg`: active cfg flags for const resolution.
+    cfgs: Vec<String>,
 }
 
 fn main() -> ExitCode {
@@ -51,6 +60,7 @@ fn main() -> ExitCode {
         "report" => run_report(&cli),
         "check" => run_check(&cli),
         "hotpath" => run_hotpath(&cli),
+        "atomics" => run_atomics(&cli),
         "validate-json" => run_validate_json(&cli),
         other => usage(&format!("unknown command {other:?}")),
     }
@@ -65,11 +75,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         out: None,
         file: None,
         max_sites: None,
+        max_violations: None,
+        cfgs: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "check" | "report" | "rules" | "hotpath" | "validate-json"
+            "check" | "report" | "rules" | "hotpath" | "atomics" | "validate-json"
                 if cli.command.is_empty() =>
             {
                 cli.command = args[i].clone();
@@ -105,6 +117,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 match args.get(i).and_then(|n| n.parse().ok()) {
                     Some(n) => cli.max_sites = Some(n),
                     None => return Err("--max-sites needs a number".to_string()),
+                }
+            }
+            "--max-violations" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse().ok()) {
+                    Some(n) => cli.max_violations = Some(n),
+                    None => return Err("--max-violations needs a number".to_string()),
+                }
+            }
+            "--cfg" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => cli.cfgs.push(name.clone()),
+                    None => return Err("--cfg needs a flag name".to_string()),
                 }
             }
             other if cli.command == "validate-json" && cli.file.is_none() => {
@@ -269,6 +295,63 @@ fn run_hotpath(cli: &Cli) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_atomics(cli: &Cli) -> ExitCode {
+    let config = match load_config(&cli.root) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let ws = match load_workspace(&cli.root, &config) {
+        Ok(w) => w,
+        Err(e) => return fail(&format!("scan failed: {e}")),
+    };
+    let report = atomics::analyze(&ws, &cli.cfgs);
+    let text = atomics::render_json(&report);
+    // The report validates itself before anything consumes it.
+    if let Err(e) = tagbreathe_obs::json::validate(&text) {
+        return fail(&format!(
+            "internal error: atomics report is invalid JSON at offset {}: {}",
+            e.offset, e.what
+        ));
+    }
+    let status = emit(cli.out.as_deref(), &text);
+    if status != ExitCode::SUCCESS {
+        return status;
+    }
+    for f in &report.findings {
+        eprintln!(
+            "lint: [atomics/{}] {}:{}: {}",
+            f.kind.tag(),
+            f.path,
+            f.line,
+            f.message
+        );
+        if !f.witness.is_empty() {
+            eprintln!("      via {}", f.witness.join(" -> "));
+        }
+    }
+    eprintln!(
+        "lint: atomics checked {} ops against {} declarations ({} findings{})",
+        report.checked_ops,
+        report.decl_count,
+        report.findings.len(),
+        if cli.cfgs.is_empty() {
+            String::new()
+        } else {
+            format!(", cfgs: {}", cli.cfgs.join(","))
+        }
+    );
+    if let Some(max) = cli.max_violations {
+        if report.findings.len() > max {
+            eprintln!(
+                "lint: atomics has {} findings, budget is {max}",
+                report.findings.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_validate_json(cli: &Cli) -> ExitCode {
     let Some(path) = &cli.file else {
         return usage("validate-json needs a file argument");
@@ -330,7 +413,7 @@ fn emit(out: Option<&std::path::Path>, text: &str) -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!(
-        "tagbreathe-lint: {problem}\n\nusage:\n  tagbreathe-lint check   [--root DIR] [--update-baseline] [--format human|sarif] [--out FILE]\n  tagbreathe-lint report  [--root DIR] [--format human|sarif] [--out FILE]\n  tagbreathe-lint hotpath [--root DIR] [--out FILE] [--max-sites N]\n  tagbreathe-lint rules\n  tagbreathe-lint validate-json FILE"
+        "tagbreathe-lint: {problem}\n\nusage:\n  tagbreathe-lint check   [--root DIR] [--update-baseline] [--format human|sarif] [--out FILE]\n  tagbreathe-lint report  [--root DIR] [--format human|sarif] [--out FILE]\n  tagbreathe-lint hotpath [--root DIR] [--out FILE] [--max-sites N]\n  tagbreathe-lint atomics [--root DIR] [--out FILE] [--max-violations N] [--cfg NAME]...\n  tagbreathe-lint rules\n  tagbreathe-lint validate-json FILE"
     );
     ExitCode::FAILURE
 }

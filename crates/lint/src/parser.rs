@@ -34,6 +34,46 @@ pub struct ParsedFile {
     pub statics: Vec<StaticItem>,
     /// All `type` aliases (including associated types), in source order.
     pub aliases: Vec<AliasItem>,
+    /// All `const NAME: T = …;` items (free and associated), in source
+    /// order, with any `#[cfg(flag)]` / `#[cfg(not(flag))]` guards.
+    pub consts: Vec<ConstItem>,
+}
+
+/// One `#[cfg(name)]` / `#[cfg(not(name))]` guard on an item. Only the
+/// bare single-flag forms are recognised; richer predicates (`all`,
+/// `any`, key-value pairs) are ignored, erring toward *fewer* facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgFlag {
+    /// The flag identifier, e.g. `sync_mutant` or `test`.
+    pub name: String,
+    /// True for the `#[cfg(not(name))]` form.
+    pub negated: bool,
+}
+
+impl CfgFlag {
+    /// Whether this guard is satisfied given the set of active flags.
+    #[must_use]
+    pub fn satisfied(&self, active: &[String]) -> bool {
+        let present = active.iter().any(|f| f == &self.name);
+        present != self.negated
+    }
+}
+
+/// One parsed `const NAME: T = …;` item.
+#[derive(Debug)]
+pub struct ConstItem {
+    /// Item name.
+    pub name: String,
+    /// Declared type as space-joined token text.
+    pub ty: String,
+    /// Initialiser as space-joined token text (best effort).
+    pub value: String,
+    /// 1-indexed line of the `const` keyword.
+    pub line: u32,
+    /// Lies in test code (`#[cfg(test)]` module or test-only path).
+    pub is_test: bool,
+    /// Recognised `#[cfg(…)]` guards on the item, outermost first.
+    pub cfgs: Vec<CfgFlag>,
 }
 
 /// One parsed `type Name = …;` alias.
@@ -100,7 +140,7 @@ pub struct Param {
 }
 
 /// One parsed `fn` item.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct FnItem {
     /// Function name.
     pub name: String,
@@ -406,6 +446,9 @@ pub fn parse_file(file: &SourceFile) -> ParsedFile {
     for a in &mut out.aliases {
         a.is_test = file.test_only || file.is_test_line(a.line);
     }
+    for c in &mut out.consts {
+        c.is_test = file.test_only || file.is_test_line(c.line);
+    }
     out
 }
 
@@ -509,6 +552,64 @@ impl Parser<'_> {
         }
     }
 
+    /// Skips one attribute like [`skip_attribute`](Self::skip_attribute),
+    /// but first recognises the exact shapes `#[cfg(name)]` and
+    /// `#[cfg(not(name))]` and returns the flag for those.
+    fn collect_attribute(&mut self) -> Option<CfgFlag> {
+        if !self.at_punct("#") {
+            return None;
+        }
+        let mut at = 1usize;
+        if self.peek_at(at).is_some_and(|k| k.is_punct("!")) {
+            at += 1;
+        }
+        let mut flag = None;
+        if self.peek_at(at).is_some_and(|k| k.is_punct("["))
+            && self.peek_at(at + 1).is_some_and(|k| k.is_ident("cfg"))
+            && self.peek_at(at + 2).is_some_and(|k| k.is_punct("("))
+        {
+            if self.peek_at(at + 3).is_some_and(|k| k.is_ident("not"))
+                && self.peek_at(at + 4).is_some_and(|k| k.is_punct("("))
+            {
+                if let Some(name) = self.peek_at(at + 5).and_then(|k| k.ident()) {
+                    if self.peek_at(at + 6).is_some_and(|k| k.is_punct(")"))
+                        && self.peek_at(at + 7).is_some_and(|k| k.is_punct(")"))
+                    {
+                        flag = Some(CfgFlag {
+                            name: name.to_string(),
+                            negated: true,
+                        });
+                    }
+                }
+            } else if let Some(name) = self.peek_at(at + 3).and_then(|k| k.ident()) {
+                if self.peek_at(at + 4).is_some_and(|k| k.is_punct(")")) {
+                    flag = Some(CfgFlag {
+                        name: name.to_string(),
+                        negated: false,
+                    });
+                }
+            }
+        }
+        self.skip_attribute();
+        flag
+    }
+
+    /// Skips all attributes at the cursor, collecting recognised single
+    /// `cfg` flags.
+    fn collect_attributes(&mut self) -> Vec<CfgFlag> {
+        let mut flags = Vec::new();
+        while self.at_punct("#") {
+            let before = self.pos;
+            if let Some(flag) = self.collect_attribute() {
+                flags.push(flag);
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        flags
+    }
+
     /// Skips a balanced `<…>` generic-argument list starting at `<`.
     fn skip_angles(&mut self) {
         if !self.at_punct("<") {
@@ -571,7 +672,7 @@ impl Parser<'_> {
 
     /// Parses (or skips) one item.
     fn item(&mut self, impl_type: Option<&str>) {
-        self.skip_attributes();
+        let cfgs = self.collect_attributes();
         let mut is_pub = false;
         if self.eat_ident("pub") {
             is_pub = true;
@@ -585,7 +686,7 @@ impl Parser<'_> {
             if self.eat_ident("const") {
                 // `const fn` qualifier vs. `const NAME: T = …;` item.
                 if !self.at_ident("fn") && !self.at_ident("unsafe") && !self.at_ident("extern") {
-                    self.skip_to_semi();
+                    self.parse_const(cfgs);
                     return;
                 }
             } else if self.eat_ident("unsafe") || self.eat_ident("async") {
@@ -735,6 +836,34 @@ impl Parser<'_> {
             }
             self.bump();
         }
+    }
+
+    /// Parses `const NAME: T = …;` with the cursor just past `const`.
+    fn parse_const(&mut self, cfgs: Vec<CfgFlag>) {
+        let line = self.line();
+        let Some(name) = self.ident_text() else {
+            self.skip_to_semi();
+            return;
+        };
+        self.bump();
+        if !self.eat_punct(":") {
+            self.skip_to_semi();
+            return;
+        }
+        let ty = self.type_text_until(&["=", ";"]);
+        let mut value = String::new();
+        if self.eat_punct("=") {
+            value = self.type_text_until(&[";"]);
+        }
+        self.out.consts.push(ConstItem {
+            name,
+            ty,
+            value,
+            line,
+            is_test: false,
+            cfgs,
+        });
+        self.skip_to_semi();
     }
 
     fn parse_impl(&mut self) {
@@ -2210,5 +2339,84 @@ mod tests {
         // The bodiless associated type is not an alias, and items after
         // the alias still parse.
         assert!(find(&pf, "f").is_some());
+    }
+
+    #[test]
+    fn const_items_are_captured_with_cfgs() {
+        let pf = parse(
+            "pub mod protocol {\n\
+               use std::sync::atomic::Ordering;\n\
+               #[cfg(not(sync_mutant))]\n\
+               pub const PUBLISH: Ordering = Ordering::Release;\n\
+               #[cfg(sync_mutant)]\n\
+               pub const PUBLISH: Ordering = Ordering::Relaxed;\n\
+               pub const SLOT: Ordering = Ordering::Relaxed;\n\
+             }\n\
+             const LIMIT: usize = 64 * 1024;\n\
+             fn after() {}\n",
+        );
+        assert_eq!(pf.consts.len(), 4, "{:?}", pf.consts);
+        assert_eq!(pf.consts[0].name, "PUBLISH");
+        assert!(pf.consts[0].ty.contains("Ordering"), "{}", pf.consts[0].ty);
+        assert!(
+            pf.consts[0].value.contains("Release"),
+            "{}",
+            pf.consts[0].value
+        );
+        assert_eq!(
+            pf.consts[0].cfgs,
+            vec![CfgFlag {
+                name: "sync_mutant".to_string(),
+                negated: true,
+            }]
+        );
+        assert_eq!(
+            pf.consts[1].cfgs,
+            vec![CfgFlag {
+                name: "sync_mutant".to_string(),
+                negated: false,
+            }]
+        );
+        assert!(pf.consts[2].cfgs.is_empty());
+        assert!(
+            pf.consts[3].value.contains("1024"),
+            "{}",
+            pf.consts[3].value
+        );
+        assert!(find(&pf, "after").is_some());
+    }
+
+    #[test]
+    fn cfg_flag_satisfaction() {
+        let on = CfgFlag {
+            name: "sync_mutant".to_string(),
+            negated: false,
+        };
+        let off = CfgFlag {
+            name: "sync_mutant".to_string(),
+            negated: true,
+        };
+        let active = vec!["sync_mutant".to_string()];
+        assert!(on.satisfied(&active) && !on.satisfied(&[]));
+        assert!(!off.satisfied(&active) && off.satisfied(&[]));
+    }
+
+    #[test]
+    fn associated_consts_do_not_derail_impl_parsing() {
+        let pf = parse(
+            "struct S;\n\
+             impl S {\n\
+               const CAP: usize = 8;\n\
+               fn cap(&self) -> usize { Self::CAP }\n\
+             }\n",
+        );
+        assert_eq!(pf.consts.len(), 1);
+        assert_eq!(pf.consts[0].name, "CAP");
+        assert_eq!(
+            find(&pf, "cap")
+                .and_then(|f| f.impl_type.clone())
+                .as_deref(),
+            Some("S")
+        );
     }
 }

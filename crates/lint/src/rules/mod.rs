@@ -6,6 +6,7 @@
 //! absorb pre-existing (reviewed) findings.
 
 mod allow_audit;
+mod atomics_rule;
 mod doc_comment;
 mod float_eq;
 mod hot_path;
@@ -24,6 +25,7 @@ use crate::report::{Severity, Violation};
 use crate::source::SourceFile;
 
 pub use allow_audit::AllowAudit;
+pub use atomics_rule::Atomics;
 pub use doc_comment::DocComment;
 pub use float_eq::FloatEq;
 pub use hot_path::HotPathCost;
@@ -91,6 +93,7 @@ pub fn semantic_rules() -> Vec<Box<dyn SemanticRule>> {
         Box::new(HotPathCost),
         Box::new(ShardSafety),
         Box::new(NanGuard),
+        Box::new(Atomics),
     ]
 }
 

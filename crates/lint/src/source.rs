@@ -59,11 +59,10 @@ impl SourceFile {
 
 /// Maps a workspace-relative path to its crate name.
 fn classify_crate(rel_path: &str) -> String {
-    let parts: Vec<&str> = rel_path.split('/').collect();
-    if parts.len() >= 2 && parts[0] == "crates" {
-        parts[1].to_string()
-    } else {
-        "suite".to_string()
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "suite".to_string(),
     }
 }
 
@@ -87,20 +86,21 @@ fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut i = 0;
     while i < code.len() {
         if is_cfg_test_attr(&code, i) {
-            let start_line = code[i].line;
+            let start_line = code.get(i).map_or(0, |t| t.line);
             // Skip this attribute (7 tokens: # [ cfg ( test ) ]) and any
             // further attributes, then expect `mod ident {`.
             let mut j = i + 7;
-            while j < code.len() && code[j].kind.is_punct("#") {
+            while code.get(j).is_some_and(|t| t.kind.is_punct("#")) {
                 j = skip_attribute(&code, j);
             }
-            if j + 2 < code.len()
-                && code[j].kind.is_ident("mod")
-                && matches!(code[j + 1].kind, TokenKind::Ident(_))
-                && code[j + 2].kind.is_punct("{")
-            {
+            let is_mod = code.get(j).is_some_and(|t| t.kind.is_ident("mod"))
+                && code
+                    .get(j + 1)
+                    .is_some_and(|t| matches!(t.kind, TokenKind::Ident(_)))
+                && code.get(j + 2).is_some_and(|t| t.kind.is_punct("{"));
+            if is_mod {
                 if let Some(end) = matching_brace(&code, j + 2) {
-                    ranges.push((start_line, code[end].line));
+                    ranges.push((start_line, code.get(end).map_or(start_line, |t| t.line)));
                     i = end + 1;
                     continue;
                 }
@@ -113,28 +113,29 @@ fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
 
 /// Is `# [ cfg ( test ) ]` at `i`?
 fn is_cfg_test_attr(code: &[&Token], i: usize) -> bool {
-    i + 6 < code.len()
-        && code[i].kind.is_punct("#")
-        && code[i + 1].kind.is_punct("[")
-        && code[i + 2].kind.is_ident("cfg")
-        && code[i + 3].kind.is_punct("(")
-        && code[i + 4].kind.is_ident("test")
-        && code[i + 5].kind.is_punct(")")
-        && code[i + 6].kind.is_punct("]")
+    let punct = |k: usize, p: &str| code.get(i + k).is_some_and(|t| t.kind.is_punct(p));
+    let ident = |k: usize, id: &str| code.get(i + k).is_some_and(|t| t.kind.is_ident(id));
+    punct(0, "#")
+        && punct(1, "[")
+        && ident(2, "cfg")
+        && punct(3, "(")
+        && ident(4, "test")
+        && punct(5, ")")
+        && punct(6, "]")
 }
 
 /// Given `#` at `i`, returns the index just past the attribute's `]`.
 pub fn skip_attribute(code: &[&Token], i: usize) -> usize {
     let mut j = i + 1; // at '['
-    if j >= code.len() || !code[j].kind.is_punct("[") {
+    if !code.get(j).is_some_and(|t| t.kind.is_punct("[")) {
         return i + 1;
     }
     let mut depth = 0usize;
-    while j < code.len() {
-        if code[j].kind.is_punct("[") {
+    while let Some(t) = code.get(j) {
+        if t.kind.is_punct("[") {
             depth += 1;
-        } else if code[j].kind.is_punct("]") {
-            depth -= 1;
+        } else if t.kind.is_punct("]") {
+            depth = depth.saturating_sub(1);
             if depth == 0 {
                 return j + 1;
             }

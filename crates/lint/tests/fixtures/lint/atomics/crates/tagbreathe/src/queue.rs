@@ -1,0 +1,33 @@
+//! Fixture: atomic call sites that break their declared [atomics]
+//! protocols, one per finding kind the rule classifies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A miniature publish/observe pair with deliberate ordering bugs.
+pub struct Queue {
+    head: AtomicU64,
+    stat: AtomicU64,
+    other: AtomicU64,
+}
+
+impl Queue {
+    /// Publishes a new head — missing its release edge.
+    pub fn publish(&self, v: u64) {
+        self.head.store(v, Ordering::Relaxed);
+    }
+
+    /// Observes the head — missing its acquire edge.
+    pub fn observe(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Bumps a statistic with a needless full fence.
+    pub fn bump(&self) {
+        self.stat.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Touches an atomic nobody declared.
+    pub fn stray(&self) -> u64 {
+        self.other.load(Ordering::Acquire)
+    }
+}

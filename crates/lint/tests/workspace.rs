@@ -120,7 +120,8 @@ fn semantic_error_rules_are_registered() {
             "lock-discipline",
             "hot-path-cost",
             "shard-safety",
-            "nan-guard"
+            "nan-guard",
+            "atomics"
         ]
     );
     for rule in tagbreathe_lint::rules::semantic_rules() {
@@ -240,4 +241,54 @@ fn update_baseline_refreezes_scratch_tree() {
     let text = fs::read_to_string(dir.join("lint-baseline.txt")).expect("baseline written");
     assert!(text.contains("lib-panic"), "{text}");
     fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shipped_tree_atomics_protocols_all_hold() {
+    let config = engine::load_config(&workspace_root()).expect("config loads");
+    let ws = engine::load_workspace(&workspace_root(), &config).expect("workspace loads");
+    let report = tagbreathe_lint::atomics::analyze(&ws, &[]);
+    assert!(
+        report.findings.is_empty(),
+        "shipped tree must satisfy every [atomics] declaration:\n{:#?}",
+        report.findings
+    );
+    // The declaration table is alive: the pass actually resolved sites
+    // against every entry rather than silently checking nothing.
+    assert!(
+        report.decl_count >= 8,
+        "declaration table shrank to {}",
+        report.decl_count
+    );
+    assert!(
+        report.checked_ops >= 15,
+        "only {} atomic ops resolved — receiver-chain resolution broken?",
+        report.checked_ops
+    );
+}
+
+#[test]
+fn sync_mutant_cfg_is_caught_with_ring_witnesses() {
+    let config = engine::load_config(&workspace_root()).expect("config loads");
+    let ws = engine::load_workspace(&workspace_root(), &config).expect("workspace loads");
+    let report = tagbreathe_lint::atomics::analyze(&ws, &["sync_mutant".to_string()]);
+    let ring: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.path.ends_with("fleet/ring.rs"))
+        .collect();
+    assert!(
+        ring.len() >= 2,
+        "--cfg sync_mutant must surface the seeded ring ordering bugs:\n{:#?}",
+        report.findings
+    );
+    let tags: Vec<&str> = ring.iter().map(|f| f.kind.tag()).collect();
+    assert!(tags.contains(&"relaxed-publish"), "{tags:?}");
+    assert!(tags.contains(&"relaxed-observe"), "{tags:?}");
+    for f in &ring {
+        assert!(
+            !f.witness.is_empty(),
+            "every mutant finding carries a witness path: {f:#?}"
+        );
+    }
 }

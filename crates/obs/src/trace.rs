@@ -37,6 +37,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -218,7 +219,6 @@ struct Ring {
     buf: Vec<TraceEvent>,
     head: usize,
     len: usize,
-    dropped: u64,
 }
 
 /// The flight recorder: a thread-safe, fixed-capacity, overwrite-oldest
@@ -247,6 +247,10 @@ struct Ring {
 #[derive(Debug)]
 pub struct FlightRecorder {
     ring: Mutex<Ring>,
+    /// Overwrite counter. A standalone `Relaxed` statistic (declared in
+    /// lint.toml `[atomics]`): it synchronises nothing, so readers never
+    /// take the ring lock just to poll it.
+    dropped: AtomicU64,
     capacity: usize,
 }
 
@@ -266,8 +270,8 @@ impl FlightRecorder {
                 buf: Vec::with_capacity(capacity),
                 head: 0,
                 len: 0,
-                dropped: 0,
             }),
+            dropped: AtomicU64::new(0),
             capacity,
         })
     }
@@ -300,7 +304,7 @@ impl FlightRecorder {
     /// [`FlightRecorder::clear`]).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.lock().dropped
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Copies the retained events out, oldest first.
@@ -320,11 +324,13 @@ impl FlightRecorder {
 
     /// Discards all retained events and resets the dropped counter.
     pub fn clear(&self) {
+        // The counter is a standalone relaxed statistic — reset it outside
+        // the ring guard so no atomic work happens under the lock.
+        self.dropped.store(0, Ordering::Relaxed);
         let mut ring = self.lock();
         ring.buf.clear();
         ring.head = 0;
         ring.len = 0;
-        ring.dropped = 0;
     }
 }
 
@@ -344,7 +350,7 @@ impl Tracer for FlightRecorder {
             let head = ring.head;
             ring.buf[head] = event;
             ring.head = (head + 1) % self.capacity;
-            ring.dropped += 1;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

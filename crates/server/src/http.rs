@@ -43,7 +43,7 @@ pub(crate) struct HttpState {
 /// Accept loop; returns when `stop` is set.
 pub(crate) fn run_http(listener: &TcpListener, state: &HttpState, stop: &AtomicBool) {
     let _ = listener.set_nonblocking(true);
-    while !stop.load(Ordering::Relaxed) {
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 state

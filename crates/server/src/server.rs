@@ -124,7 +124,10 @@ impl ServerHandle {
     /// emission order (minus any trimmed by the log bound).
     #[must_use]
     pub fn shutdown(mut self) -> Vec<RateSnapshot> {
-        self.stop.store(true, Ordering::Relaxed);
+        // Release pairs with the Acquire loads in the accept/session/http
+        // loops (declared in lint.toml `[atomics]`): whatever the caller
+        // wrote before shutdown is visible to the loops' final laps.
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
@@ -226,7 +229,7 @@ where
         let open = Arc::new(AtomicU64::new(0));
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         let mut next_session: u32 = 1;
-        while !accept_stop.load(Ordering::Relaxed) {
+        while !accept_stop.load(Ordering::Acquire) {
             match ingest.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nonblocking(false);

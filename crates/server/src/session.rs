@@ -170,7 +170,7 @@ fn frame_loop(stream: &mut TcpStream, ctx: &mut SessionCtx<'_>) -> SessionEnd {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if ctx.stop.load(Ordering::Relaxed) {
+                if ctx.stop.load(Ordering::Acquire) {
                     return SessionEnd::Transport;
                 }
             }

@@ -1,0 +1,238 @@
+//! The interleaving explorer: exhaustive breadth-first search (minimal
+//! counterexample traces by construction) plus seeded random deep walks
+//! for configurations beyond the exhaustive budget.
+
+use crate::mem::Mem;
+use prng::{Rng, Xoshiro256};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// One successor of a thread step: the thread's new local state, the new
+/// memory, and a human-readable action label for traces.
+pub struct Succ<T> {
+    /// The stepping thread's next local state.
+    pub thread: T,
+    /// The successor memory.
+    pub mem: Mem,
+    /// Action label, e.g. `P: publish head=1 (Release)`.
+    pub label: String,
+}
+
+/// A protocol state machine ported onto the memory model.
+///
+/// Threads advance by micro-steps of at most one atomic operation each,
+/// so the explorer's interleavings are exactly the architecture's. A
+/// terminal thread returns no successors.
+pub trait Machine {
+    /// Per-thread local state (program counter + registers).
+    type Thread: Clone + Eq + Hash + Debug;
+
+    /// Number of modelled memory locations.
+    fn locs(&self) -> usize;
+
+    /// Initial local state of every thread.
+    fn init(&self) -> Vec<Self::Thread>;
+
+    /// All successors of thread `tid` taking one step from `thread` in
+    /// `mem` — one entry per nondeterministic choice (e.g. per readable
+    /// store of a load). Empty means the thread is done.
+    fn step(&self, tid: usize, thread: &Self::Thread, mem: &Mem) -> Vec<Succ<Self::Thread>>;
+
+    /// A safety violation encoded in the local states, if any (machines
+    /// move a thread into a `Failed` state when an assertion breaks).
+    fn failure(&self, threads: &[Self::Thread]) -> Option<String>;
+
+    /// Property of terminal states (all threads done), e.g. "the drain
+    /// delivered every message".
+    ///
+    /// # Errors
+    ///
+    /// The violation message when the property does not hold.
+    fn final_check(&self, threads: &[Self::Thread], mem: &Mem) -> Result<(), String>;
+}
+
+/// Exploration budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Stop enqueueing past this many distinct states.
+    pub max_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Outcome of an exhaustive exploration.
+#[derive(Debug)]
+pub enum Verdict {
+    /// No reachable state violates the properties.
+    Pass {
+        /// Distinct states visited.
+        states: usize,
+        /// Whether the whole state space fit in the budget. A truncated
+        /// pass is only evidence, not a proof within bounds.
+        complete: bool,
+    },
+    /// A violation was found; the trace is minimal in interleaving steps
+    /// (breadth-first order).
+    Fail {
+        /// The violated property.
+        message: String,
+        /// Action labels from the initial state to the violation.
+        trace: Vec<String>,
+        /// Distinct states visited before the violation.
+        states: usize,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Pass`].
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass { .. })
+    }
+}
+
+type State<T> = (Vec<T>, Mem);
+
+/// Exhaustively explores every interleaving and load choice of `m`
+/// breadth-first. The first violation found has a minimal trace.
+#[must_use]
+pub fn explore<M: Machine>(m: &M, limits: &Limits) -> Verdict {
+    let init: State<M::Thread> = (m.init(), Mem::new(m.locs(), m.init().len()));
+    // id -> (parent id, action label); the root is its own parent.
+    let mut edges: Vec<(usize, String)> = vec![(0, String::new())];
+    let mut states: Vec<State<M::Thread>> = vec![init.clone()];
+    let mut seen: HashMap<State<M::Thread>, usize> = HashMap::new();
+    seen.insert(init, 0);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    queue.push_back(0);
+    let mut complete = true;
+
+    while let Some(id) = queue.pop_front() {
+        let Some((threads, mem)) = states.get(id).cloned() else {
+            continue;
+        };
+        let mut all_done = true;
+        for tid in 0..threads.len() {
+            let Some(thread) = threads.get(tid) else {
+                continue;
+            };
+            let succs = m.step(tid, thread, &mem);
+            if !succs.is_empty() {
+                all_done = false;
+            }
+            for succ in succs {
+                let mut next_threads = threads.clone();
+                if let Some(slot) = next_threads.get_mut(tid) {
+                    *slot = succ.thread;
+                }
+                if let Some(message) = m.failure(&next_threads) {
+                    let mut trace = rebuild_trace(&edges, id);
+                    trace.push(succ.label);
+                    return Verdict::Fail {
+                        message,
+                        trace,
+                        states: states.len(),
+                    };
+                }
+                let next: State<M::Thread> = (next_threads, succ.mem);
+                if let Entry::Vacant(e) = seen.entry(next.clone()) {
+                    if states.len() >= limits.max_states {
+                        complete = false;
+                        continue;
+                    }
+                    let nid = states.len();
+                    e.insert(nid);
+                    states.push(next);
+                    edges.push((id, succ.label));
+                    queue.push_back(nid);
+                }
+            }
+        }
+        if all_done {
+            if let Err(message) = m.final_check(&threads, &mem) {
+                return Verdict::Fail {
+                    message,
+                    trace: rebuild_trace(&edges, id),
+                    states: states.len(),
+                };
+            }
+        }
+    }
+    Verdict::Pass {
+        states: states.len(),
+        complete,
+    }
+}
+
+/// Walks parent links back to the root and returns labels root-first.
+fn rebuild_trace(edges: &[(usize, String)], mut id: usize) -> Vec<String> {
+    let mut labels = Vec::new();
+    while let Some((parent, label)) = edges.get(id) {
+        if *parent == id {
+            break;
+        }
+        labels.push(label.clone());
+        id = *parent;
+    }
+    labels.reverse();
+    labels
+}
+
+/// Seeded random deep runs for configurations whose state space exceeds
+/// the exhaustive budget: each walk picks a uniformly random enabled
+/// (thread, choice) successor every step. Returns the first violation's
+/// `(message, trace)`, or `None` when every walk stays clean.
+#[must_use]
+pub fn random_walks<M: Machine>(
+    m: &M,
+    walks: usize,
+    max_steps: usize,
+    seed: u64,
+) -> Option<(String, Vec<String>)> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for walk in 0..walks {
+        let mut threads = m.init();
+        let mut mem = Mem::new(m.locs(), threads.len());
+        let mut trace: Vec<String> = Vec::new();
+        for _ in 0..max_steps {
+            let mut options: Vec<(usize, Succ<M::Thread>)> = Vec::new();
+            for tid in 0..threads.len() {
+                let Some(thread) = threads.get(tid) else {
+                    continue;
+                };
+                for succ in m.step(tid, thread, &mem) {
+                    options.push((tid, succ));
+                }
+            }
+            if options.is_empty() {
+                if let Err(message) = m.final_check(&threads, &mem) {
+                    trace.push(format!("(walk {walk}, all threads done)"));
+                    return Some((message, trace));
+                }
+                break;
+            }
+            let pick = (rng.next_u64() % options.len() as u64) as usize;
+            let Some((tid, succ)) = options.into_iter().nth(pick) else {
+                break;
+            };
+            trace.push(succ.label.clone());
+            if let Some(slot) = threads.get_mut(tid) {
+                *slot = succ.thread;
+            }
+            mem = succ.mem;
+            if let Some(message) = m.failure(&threads) {
+                trace.insert(0, format!("(walk {walk})"));
+                return Some((message, trace));
+            }
+        }
+    }
+    None
+}

@@ -35,11 +35,21 @@
 //! order* on every ring: each shard observes exactly the interleaving of
 //! its reports, evictions and snapshot points that the single-threaded
 //! engine would have applied to the same users.
+//!
+//! The lock-free protocol itself is machine-checked: every atomic call
+//! site spells its ordering through [`ring::protocol`], statically
+//! enforced by the `atomics` pass of `tagbreathe-lint` against the
+//! `[atomics]` declarations in `lint.toml`, and dynamically explored by
+//! the bounded model checker in `crates/syncmodel`, which ports the ring
+//! push/pop, the epoch all-parts barrier and the `Finish` drain onto a
+//! store-buffer memory model (see `DESIGN.md` §15).
 
 pub mod interner;
 pub mod msg;
 pub mod ring;
 pub mod shard;
+
+pub use ring::protocol;
 
 use crate::config::{InvalidConfigError, PipelineConfig};
 use crate::demux::{classify, LinkQualityTracker};

@@ -12,16 +12,67 @@
 //! or two cache lines. The producer caches the consumer's tail (and vice
 //! versa) so the common-case `try_push`/`pop` touch only one shared atomic.
 //!
-//! Memory ordering: slot words are written with `Relaxed` stores and
-//! published by a `Release` store of `head`; the consumer `Acquire`-loads
-//! `head` before reading the words, which gives the usual release/acquire
+//! # Memory ordering
+//!
+//! The protocol is pure publish/observe and is machine-checked twice over:
+//!
+//! * every ordering at an atomic call site is spelled via the named
+//!   constants in [`protocol`], whose roles are declared in the
+//!   `[atomics]` section of `lint.toml` and enforced statically by
+//!   `tagbreathe-lint atomics`;
+//! * the same constants drive the bounded model checker in
+//!   `crates/syncmodel`, which explores the interleavings of a ported
+//!   push/pop state machine under a store-buffer memory model.
+//!
+//! Slot words are written with `Relaxed` stores and published by a
+//! `Release` store of `head`; the consumer `Acquire`-loads `head` before
+//! reading the words, which gives the usual release/acquire
 //! happens-before edge. The mirror-image protocol frees slots via `tail`.
+//! Each side keeps its **own** position in a plain (non-atomic) field —
+//! it is the only writer of that counter — so every remaining atomic
+//! load really is a cross-thread observe and every store a publication.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Number of `u64` words in one ring slot.
 pub const SLOT_WORDS: usize = 6;
+
+/// Named memory orderings of the ring protocol.
+///
+/// Exactly two roles exist: [`PUBLISH`](protocol::PUBLISH) stores a
+/// position counter to hand slots to the other side, and
+/// [`OBSERVE`](protocol::OBSERVE) loads the other side's counter.
+/// [`SLOT`](protocol::SLOT) covers the payload words, which carry no
+/// synchronisation of their own (the counter edge orders them).
+///
+/// Building with `--cfg sync_mutant` deliberately weakens the protocol
+/// (publish and observe both collapse to `Relaxed`): the seeded bug that
+/// the `atomics` lint pass and the `syncmodel` bounded model checker
+/// must both detect. Never enable it in production builds.
+pub mod protocol {
+    use std::sync::atomic::Ordering;
+
+    /// Ordering for storing a position counter, publishing the slot
+    /// words written before it.
+    #[cfg(not(sync_mutant))]
+    pub const PUBLISH: Ordering = Ordering::Release;
+    /// Seeded ordering bug: publication no longer carries the slot writes.
+    #[cfg(sync_mutant)]
+    pub const PUBLISH: Ordering = Ordering::Relaxed;
+
+    /// Ordering for loading the other side's position counter, acquiring
+    /// the slot words published with it.
+    #[cfg(not(sync_mutant))]
+    pub const OBSERVE: Ordering = Ordering::Acquire;
+    /// Seeded ordering bug: the consumer-side acquire edge is dropped.
+    #[cfg(sync_mutant)]
+    pub const OBSERVE: Ordering = Ordering::Relaxed;
+
+    /// Ordering for slot payload words: relaxed by design, ordered only
+    /// by the publish/observe edge on the position counters.
+    pub const SLOT: Ordering = Ordering::Relaxed;
+}
 
 /// A cache-line-padded atomic counter, so the head and tail counters do not
 /// false-share one line.
@@ -36,6 +87,9 @@ struct PadAtomic {
 pub struct SpscRing {
     /// Slot storage: `capacity * SLOT_WORDS` atomic words.
     words: Vec<AtomicU64>,
+    /// Out-of-range fallback cell for [`slot`](Self::slot), never reached
+    /// by in-protocol indices.
+    spare: AtomicU64,
     /// `capacity - 1`; capacity is always a power of two.
     mask: u64,
     /// Next sequence number the producer will publish (monotonic).
@@ -51,6 +105,7 @@ impl SpscRing {
         words.resize_with(capacity * SLOT_WORDS, AtomicU64::default);
         SpscRing {
             words,
+            spare: AtomicU64::new(0),
             mask: (capacity as u64).saturating_sub(1),
             head: PadAtomic::default(),
             tail: PadAtomic::default(),
@@ -66,6 +121,13 @@ impl SpscRing {
         // widening cast to usize is lossless on the supported targets.
         (seq & self.mask) as usize * SLOT_WORDS
     }
+
+    /// The payload word at index `at`. In-protocol indices are always in
+    /// range ([`slot_base`](Self::slot_base) wraps by `mask`); the spare
+    /// cell keeps this total without a panic path.
+    fn slot(&self, at: usize) -> &AtomicU64 {
+        self.words.get(at).unwrap_or(&self.spare)
+    }
 }
 
 /// Creates a connected producer/consumer pair over a fresh ring.
@@ -77,10 +139,12 @@ pub fn channel(capacity: usize) -> (RingProducer, RingConsumer) {
     (
         RingProducer {
             ring: Arc::clone(&ring),
+            next_head: 0,
             cached_tail: 0,
         },
         RingConsumer {
             ring,
+            next_tail: 0,
             cached_head: 0,
         },
     )
@@ -90,6 +154,9 @@ pub fn channel(capacity: usize) -> (RingProducer, RingConsumer) {
 #[derive(Debug)]
 pub struct RingProducer {
     ring: Arc<SpscRing>,
+    /// The producer's own head position. Mirrors the last `head` value
+    /// this side published; reading it never touches the shared atomic.
+    next_head: u64,
     /// Last observed consumer tail; refreshed only when the ring looks full.
     cached_tail: u64,
 }
@@ -98,35 +165,31 @@ impl RingProducer {
     /// Attempts to enqueue one slot. Returns `false` when the ring is full
     /// (after refreshing the cached tail), leaving the slot unconsumed.
     pub fn try_push(&mut self, slot: &[u64; SLOT_WORDS]) -> bool {
-        let head = self.ring.head.value.load(Ordering::Relaxed);
+        let head = self.next_head;
         if head.wrapping_sub(self.cached_tail) >= self.ring.capacity() {
-            self.cached_tail = self.ring.tail.value.load(Ordering::Acquire);
+            self.cached_tail = self.ring.tail.value.load(protocol::OBSERVE);
             if head.wrapping_sub(self.cached_tail) >= self.ring.capacity() {
                 return false;
             }
         }
         let base = self.ring.slot_base(head);
         for (i, &word) in slot.iter().enumerate() {
-            if let Some(cell) = self.ring.words.get(base + i) {
-                cell.store(word, Ordering::Relaxed);
-            }
+            self.ring.slot(base + i).store(word, protocol::SLOT);
         }
+        self.next_head = head.wrapping_add(1);
         self.ring
             .head
             .value
-            .store(head.wrapping_add(1), Ordering::Release);
+            .store(self.next_head, protocol::PUBLISH);
         true
     }
 
     /// Occupied slots from the producer's view (an upper bound: the consumer
-    /// may have drained since the cached tail was refreshed).
+    /// may have drained since the tail was last observed).
     #[must_use]
     pub fn depth_hint(&self) -> u64 {
-        self.ring
-            .head
-            .value
-            .load(Ordering::Relaxed)
-            .wrapping_sub(self.ring.tail.value.load(Ordering::Acquire))
+        self.next_head
+            .wrapping_sub(self.ring.tail.value.load(protocol::OBSERVE))
     }
 }
 
@@ -134,6 +197,9 @@ impl RingProducer {
 #[derive(Debug)]
 pub struct RingConsumer {
     ring: Arc<SpscRing>,
+    /// The consumer's own tail position. Mirrors the last `tail` value
+    /// this side published; reading it never touches the shared atomic.
+    next_tail: u64,
     /// Last observed producer head; refreshed only when the ring looks empty.
     cached_head: u64,
 }
@@ -142,9 +208,9 @@ impl RingConsumer {
     /// Dequeues one slot, or `None` when the ring is empty (after refreshing
     /// the cached head).
     pub fn pop(&mut self) -> Option<[u64; SLOT_WORDS]> {
-        let tail = self.ring.tail.value.load(Ordering::Relaxed);
+        let tail = self.next_tail;
         if tail == self.cached_head {
-            self.cached_head = self.ring.head.value.load(Ordering::Acquire);
+            self.cached_head = self.ring.head.value.load(protocol::OBSERVE);
             if tail == self.cached_head {
                 return None;
             }
@@ -152,26 +218,25 @@ impl RingConsumer {
         let base = self.ring.slot_base(tail);
         let mut out = [0u64; SLOT_WORDS];
         for (i, word) in out.iter_mut().enumerate() {
-            if let Some(cell) = self.ring.words.get(base + i) {
-                *word = cell.load(Ordering::Relaxed);
-            }
+            *word = self.ring.slot(base + i).load(protocol::SLOT);
         }
+        self.next_tail = tail.wrapping_add(1);
         self.ring
             .tail
             .value
-            .store(tail.wrapping_add(1), Ordering::Release);
+            .store(self.next_tail, protocol::PUBLISH);
         Some(out)
     }
 
     /// Occupied slots from the consumer's view (a lower bound: the producer
-    /// may have published since the cached head was refreshed).
+    /// may have published since the head was last observed).
     #[must_use]
     pub fn depth_hint(&self) -> u64 {
         self.ring
             .head
             .value
-            .load(Ordering::Acquire)
-            .wrapping_sub(self.ring.tail.value.load(Ordering::Relaxed))
+            .load(protocol::OBSERVE)
+            .wrapping_sub(self.next_tail)
     }
 }
 
@@ -211,6 +276,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_still_yields_two_slots() {
+        let (mut tx, mut rx) = channel(0);
+        assert!(tx.try_push(&[1; SLOT_WORDS]));
+        assert!(tx.try_push(&[2; SLOT_WORDS]));
+        assert!(
+            !tx.try_push(&[3; SLOT_WORDS]),
+            "channel(0) rounds to 2 slots"
+        );
+        assert_eq!(rx.pop(), Some([1; SLOT_WORDS]));
+        assert_eq!(rx.pop(), Some([2; SLOT_WORDS]));
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
     fn preserves_fifo_order_across_wrap() {
         let (mut tx, mut rx) = channel(2);
         let mut next_in = 0u64;
@@ -228,6 +307,11 @@ mod tests {
         assert!(next_out >= 11);
     }
 
+    // The cross-thread suites assume the correct protocol; under the
+    // seeded `sync_mutant` weakening their outcome is architecture
+    // dependent (x86's strong model often masks the bug — which is why
+    // the model checker exists).
+    #[cfg(not(sync_mutant))]
     #[test]
     fn cross_thread_sequences_arrive_intact() -> Result<(), &'static str> {
         let (mut tx, mut rx) = channel(8);

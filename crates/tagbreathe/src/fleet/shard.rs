@@ -9,6 +9,18 @@
 //! single-threaded one: a report mutates exactly the same state machine
 //! either way.
 //!
+//! # Synchronisation argument
+//!
+//! `ShardCore` holds no atomics and needs none: it is owned by exactly
+//! one thread at a time. Ownership transfers happen-before through the
+//! feed ring's publish/observe edge ([`super::ring::protocol`]) — every
+//! message a worker pops, and the shard state it mutates in response,
+//! is ordered after the router's writes and before the router observes
+//! the shard's snapshot parts. The `atomics` lint pass additionally
+//! checks that no `pub` signature of a `[shard]`-rooted type leaks an
+//! undeclared atomic, and the `crates/syncmodel` bounded model checker
+//! explores the ring edge this argument leans on.
+//!
 //! [`StreamingMonitor`]: crate::pipeline::StreamingMonitor
 
 use crate::config::PipelineConfig;
